@@ -1,0 +1,52 @@
+//! Criterion bench comparing per-round scheduling cost of every policy on the paper's
+//! 24-GPU cluster with 20 tenants (the Fig. 7 / Fig. 8 workload size), plus the cost of
+//! one full simulation round including rounding and placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oef_bench::{matrix_from_profiles, twenty_tenant_profiles};
+use oef_core::{AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef};
+use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
+use oef_sim::{Scenario, SimulationConfig, SimulationEngine};
+
+fn bench_policies(c: &mut Criterion) {
+    let profiles = twenty_tenant_profiles(7);
+    let speedups = matrix_from_profiles(&profiles);
+    let cluster = ClusterSpec::paper_evaluation_cluster();
+
+    let mut group = c.benchmark_group("allocation_20_tenants");
+    group.sample_size(20);
+    let policies: Vec<Box<dyn AllocationPolicy>> = vec![
+        Box::new(NonCooperativeOef::default()),
+        Box::new(CooperativeOef::default()),
+        Box::new(MaxMin::default()),
+        Box::new(GandivaFair::default()),
+        Box::new(Gavel::default()),
+        Box::new(MaxEfficiency::default()),
+    ];
+    for policy in &policies {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| policy.allocate(&cluster, &speedups).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation_round(c: &mut Criterion) {
+    let profiles = twenty_tenant_profiles(7);
+    let mut group = c.benchmark_group("simulation_round_20_tenants");
+    group.sample_size(10);
+    group.bench_function("noncoop_oef_round", |b| {
+        b.iter(|| {
+            let mut scenario = Scenario::on_paper_cluster();
+            for (name, speedup) in &profiles {
+                scenario = scenario.with_tenant(name.clone(), speedup.clone(), 2, 2, 1e12);
+            }
+            let mut engine = SimulationEngine::new(scenario.build(), SimulationConfig::default());
+            engine.run_round(&NonCooperativeOef::default()).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_simulation_round);
+criterion_main!(benches);

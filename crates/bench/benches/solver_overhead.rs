@@ -1,0 +1,61 @@
+//! Criterion bench for Fig. 10(a): fair-share evaluator overhead vs number of users.
+//!
+//! Ten GPU types, as in the paper.  The cooperative program has O(n²) envy-freeness
+//! constraints, so its sweep stops earlier than the non-cooperative one (the dense
+//! simplex substrate is the bottleneck, see DESIGN.md); the measured shape — the
+//! cooperative mechanism growing much faster with n — matches the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oef_core::{AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NUM_GPU_TYPES: usize = 10;
+
+fn instance(num_users: usize, seed: u64) -> (ClusterSpec, SpeedupMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..NUM_GPU_TYPES).map(|j| format!("gpu{j}")).collect();
+    let capacities: Vec<f64> = (0..NUM_GPU_TYPES).map(|_| rng.gen_range(4..=16) as f64).collect();
+    let cluster = ClusterSpec::new(names.into_iter().zip(capacities).collect()).unwrap();
+    let rows: Vec<Vec<f64>> = (0..num_users)
+        .map(|_| {
+            let mut row = vec![1.0];
+            let mut last = 1.0;
+            for _ in 1..NUM_GPU_TYPES {
+                last *= rng.gen_range(1.02..1.35);
+                row.push(last);
+            }
+            row
+        })
+        .collect();
+    (cluster, SpeedupMatrix::from_rows(rows).unwrap())
+}
+
+fn bench_noncoop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_noncooperative_oef");
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100, 200] {
+        let (cluster, users) = instance(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let policy = NonCooperativeOef::default();
+            b.iter(|| policy.allocate(&cluster, &users).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_coop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_cooperative_oef");
+    group.sample_size(10);
+    for &n in &[5usize, 10, 20, 30] {
+        let (cluster, users) = instance(n, 1000 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let policy = CooperativeOef::default();
+            b.iter(|| policy.allocate(&cluster, &users).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noncoop, bench_coop);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Figure 10 — scheduler overhead and sensitivity to profiling error.
+//!
+//! (a) Wall-clock time to solve the OEF allocation program as the number of users
+//!     grows, with ten GPU types (the paper sweeps 100-300 users; the cooperative
+//!     program's O(n²) constraints are heavier for the dense simplex substrate used
+//!     here, so its sweep is run at a reduced scale — the shape, cooperative growing
+//!     much faster than non-cooperative, is what matters).
+//! (b) Deviation between the throughput OEF promises based on (noisy) reported
+//!     profiles and the throughput achieved with the true profiles, as the profiling
+//!     error grows to ±20%.
+
+use oef_bench::{print_json_record, print_table};
+use oef_cluster::Profiler;
+use oef_core::{
+    AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix,
+    SpeedupVector,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const NUM_GPU_TYPES: usize = 10;
+
+fn random_cluster_and_users(num_users: usize, seed: u64) -> (ClusterSpec, SpeedupMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..NUM_GPU_TYPES).map(|j| format!("gpu{j}")).collect();
+    let capacities: Vec<f64> = (0..NUM_GPU_TYPES).map(|_| rng.gen_range(4..=16) as f64).collect();
+    let cluster = ClusterSpec::new(names.into_iter().zip(capacities).collect()).unwrap();
+    let rows: Vec<Vec<f64>> = (0..num_users)
+        .map(|_| {
+            let mut row = vec![1.0];
+            let mut last = 1.0;
+            for _ in 1..NUM_GPU_TYPES {
+                last *= rng.gen_range(1.02..1.35);
+                row.push(last);
+            }
+            row
+        })
+        .collect();
+    (cluster, SpeedupMatrix::from_rows(rows).unwrap())
+}
+
+fn time_solve(policy: &dyn AllocationPolicy, cluster: &ClusterSpec, users: &SpeedupMatrix) -> f64 {
+    let start = Instant::now();
+    policy.allocate(cluster, users).expect("allocation must succeed");
+    start.elapsed().as_secs_f64()
+}
+
+fn fig10a() {
+    let noncoop_sizes = [50usize, 100, 150, 200, 300];
+    let coop_sizes = [10usize, 20, 30, 40];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &n in &noncoop_sizes {
+        let (cluster, users) = random_cluster_and_users(n, 100 + n as u64);
+        let secs = time_solve(&NonCooperativeOef::default(), &cluster, &users);
+        rows.push(vec!["non-cooperative".into(), n.to_string(), format!("{secs:.3}")]);
+        json.push(serde_json::json!({"mode": "noncoop", "users": n, "seconds": secs}));
+    }
+    for &n in &coop_sizes {
+        let (cluster, users) = random_cluster_and_users(n, 200 + n as u64);
+        let secs = time_solve(&CooperativeOef::default(), &cluster, &users);
+        rows.push(vec!["cooperative".into(), n.to_string(), format!("{secs:.3}")]);
+        json.push(serde_json::json!({"mode": "coop", "users": n, "seconds": secs}));
+    }
+    print_table(
+        "Fig. 10(a): fair-share evaluator overhead (10 GPU types)",
+        &["mode", "users", "solve time (s)"],
+        &rows,
+    );
+    print_json_record("fig10a", &json);
+}
+
+fn fig10b() {
+    // Deviation between the throughput promised under noisy profiles and the throughput
+    // those same allocations deliver under the true profiles.
+    let error_rates = [-0.2f64, -0.1, 0.0, 0.1, 0.2];
+    let (cluster, truth) = {
+        let profiles = oef_bench::twenty_tenant_profiles(3);
+        (ClusterSpec::paper_evaluation_cluster(), oef_bench::matrix_from_profiles(&profiles))
+    };
+    let policy = CooperativeOef::default();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &error in &error_rates {
+        let profiler = Profiler::new(error.abs(), 42);
+        let noisy_rows: Vec<SpeedupVector> = (0..truth.num_users())
+            .map(|l| profiler.profile(truth.user(l), l as u64).unwrap())
+            .collect();
+        let noisy = SpeedupMatrix::new(noisy_rows).unwrap();
+        let allocation = policy.allocate(&cluster, &noisy).unwrap();
+
+        let promised: f64 = (0..truth.num_users())
+            .map(|l| noisy.user(l).dot(allocation.user_row(l)))
+            .sum();
+        let achieved: f64 = allocation.total_efficiency(&truth);
+        let deviation = (promised - achieved).abs() / achieved;
+        rows.push(vec![
+            format!("{:+.0}%", error * 100.0),
+            format!("{promised:.2}"),
+            format!("{achieved:.2}"),
+            format!("{:.2}%", deviation * 100.0),
+        ]);
+        json.push(serde_json::json!({
+            "error_rate": error, "promised": promised, "achieved": achieved,
+            "deviation": deviation,
+        }));
+    }
+    print_table(
+        "Fig. 10(b): throughput deviation vs profiling error (cooperative OEF, 20 tenants)",
+        &["profiling error", "promised", "achieved", "deviation"],
+        &rows,
+    );
+    print_json_record("fig10b", &json);
+}
+
+fn main() {
+    fig10a();
+    fig10b();
+}

@@ -1,0 +1,60 @@
+//! Figure 1 — the effect of GPU heterogeneity.
+//!
+//! (a) Normalised speedup of a VGG user and an LSTM user on the RTX 3070 vs RTX 3090.
+//! (b) Per-user throughput under Max-Min fairness vs OEF on a cluster with one GPU of
+//!     each type.
+
+use oef_bench::{fmt, print_json_record, print_table};
+use oef_core::{AllocationPolicy, ClusterSpec, CooperativeOef, SpeedupMatrix};
+use oef_schedulers::MaxMin;
+use oef_workloads::ModelCatalog;
+
+fn main() {
+    let catalog = ModelCatalog::paper_catalog();
+    let vgg = catalog.by_name("vgg16").unwrap();
+    let lstm = catalog.by_name("lstm").unwrap();
+
+    // Fig. 1(a): speedups on the slowest (3070) and fastest (3090) GPU types.
+    let rows = vec![
+        vec!["user-1 (VGG)".to_string(), fmt(vgg.base_speedup[0]), fmt(vgg.base_speedup[2])],
+        vec!["user-2 (LSTM)".to_string(), fmt(lstm.base_speedup[0]), fmt(lstm.base_speedup[2])],
+    ];
+    print_table("Fig. 1(a): normalised speedup per GPU type", &["user", "3070", "3090"], &rows);
+
+    // Fig. 1(b): Max-Min vs (cooperative) OEF on one 3070 + one 3090.
+    let cluster = ClusterSpec::homogeneous_counts(&["rtx3070", "rtx3090"], &[1.0, 1.0]).unwrap();
+    let speedups = SpeedupMatrix::from_rows(vec![
+        vec![1.0, vgg.base_speedup[2]],
+        vec![1.0, lstm.base_speedup[2]],
+    ])
+    .unwrap();
+
+    let max_min = MaxMin::default().allocate(&cluster, &speedups).unwrap();
+    let oef = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+    let mm_eff = max_min.user_efficiencies(&speedups);
+    let oef_eff = oef.user_efficiencies(&speedups);
+
+    let rows = vec![
+        vec!["user-1 (VGG)".to_string(), fmt(mm_eff[0]), fmt(oef_eff[0])],
+        vec!["user-2 (LSTM)".to_string(), fmt(mm_eff[1]), fmt(oef_eff[1])],
+        vec![
+            "cluster total".to_string(),
+            fmt(mm_eff.iter().sum::<f64>()),
+            fmt(oef_eff.iter().sum::<f64>()),
+        ],
+    ];
+    print_table(
+        "Fig. 1(b): normalised throughput under Max-Min vs OEF",
+        &["user", "max-min", "oef"],
+        &rows,
+    );
+
+    print_json_record(
+        "fig1",
+        &serde_json::json!({
+            "speedups": {"vgg_3090": vgg.base_speedup[2], "lstm_3090": lstm.base_speedup[2]},
+            "max_min": mm_eff,
+            "oef": oef_eff,
+        }),
+    );
+}

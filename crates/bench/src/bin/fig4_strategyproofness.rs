@@ -1,0 +1,103 @@
+//! Figure 4 — the power of strategy-proofness under non-cooperative OEF.
+//!
+//! (a) Four tenants with different DL models share the 24-GPU cluster; their normalised
+//!     throughput stays (almost) identical, and remains identical after user 4 departs
+//!     at the 40-minute mark.
+//! (b) The same scenario, but user 1 inflates its reported speedups: the cheater's
+//!     throughput drops below its honest level, honest users gain, and the cluster's
+//!     total throughput shrinks.
+
+use oef_bench::{fmt, four_tenant_profiles, print_json_record, print_table};
+use oef_core::{AllocationPolicy, NonCooperativeOef};
+use oef_sim::{Scenario, SimulationConfig, SimulationEngine, SimulationReport};
+
+/// Scheduling rounds are 5 minutes; the experiment runs for 80 minutes.
+const ROUNDS: usize = 16;
+/// User 4 departs after 40 minutes (8 rounds).
+const DEPARTURE_ROUND: usize = 8;
+
+fn run(cheating_factor: Option<f64>) -> SimulationReport {
+    let profiles = four_tenant_profiles();
+    let mut scenario = Scenario::on_paper_cluster();
+    for (name, speedup) in &profiles {
+        scenario = scenario.with_tenant(name.clone(), speedup.clone(), 4, 2, 1e12);
+    }
+    let state = scenario.build();
+    let mut engine = SimulationEngine::new(state, SimulationConfig::default());
+    if let Some(factor) = cheating_factor {
+        engine.state_mut().tenant_mut(0).cheat_with_factor(factor);
+    }
+    let policy = NonCooperativeOef::default();
+    for round in 0..ROUNDS {
+        if round == DEPARTURE_ROUND {
+            engine.state_mut().tenant_mut(3).departed = true;
+        }
+        engine.run_round(&policy).expect("round must succeed");
+    }
+    engine.report(policy.name())
+}
+
+fn summarize(report: &SimulationReport, label: &str) -> Vec<Vec<String>> {
+    // Average actual throughput per tenant before and after the departure.
+    (0..4)
+        .map(|tenant| {
+            let series = report.tenant_timeseries(tenant);
+            let before: Vec<f64> = series
+                .iter()
+                .filter(|(t, _)| *t < DEPARTURE_ROUND as f64 * 300.0)
+                .map(|(_, v)| *v)
+                .collect();
+            let after: Vec<f64> = series
+                .iter()
+                .filter(|(t, _)| *t >= DEPARTURE_ROUND as f64 * 300.0)
+                .map(|(_, v)| *v)
+                .collect();
+            let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+            vec![
+                format!("{label} user{}", tenant + 1),
+                fmt(avg(&before)),
+                fmt(avg(&after)),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let honest = run(None);
+    let cheating = run(Some(1.5));
+
+    let mut rows = summarize(&honest, "honest  ");
+    rows.extend(summarize(&cheating, "cheating"));
+    print_table(
+        "Fig. 4: per-user actual throughput under non-cooperative OEF (user 4 exits at 40 min)",
+        &["scenario / user", "0-40 min", "40-80 min"],
+        &rows,
+    );
+
+    let honest_total = honest.avg_total_actual();
+    let cheating_total = cheating.avg_total_actual();
+    let honest_user1 = honest.avg_tenant_actual(0);
+    let cheating_user1 = cheating.avg_tenant_actual(0);
+    println!(
+        "\nCheater (user 1) throughput: honest {:.2} -> cheating {:.2} ({:+.1}%)",
+        honest_user1,
+        cheating_user1,
+        100.0 * (cheating_user1 - honest_user1) / honest_user1
+    );
+    println!(
+        "Cluster total throughput:    honest {:.2} -> cheating {:.2} ({:+.1}%)",
+        honest_total,
+        cheating_total,
+        100.0 * (cheating_total - honest_total) / honest_total
+    );
+
+    print_json_record(
+        "fig4",
+        &serde_json::json!({
+            "honest_user1": honest_user1,
+            "cheating_user1": cheating_user1,
+            "honest_total": honest_total,
+            "cheating_total": cheating_total,
+        }),
+    );
+}

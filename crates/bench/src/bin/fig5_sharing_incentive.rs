@@ -1,0 +1,112 @@
+//! Figure 5 — sharing incentive and multi-job-type support under cooperative OEF.
+//!
+//! (a) Estimated and actual throughput of four tenants under cooperative OEF,
+//!     normalised to the Max-Min baseline (the sharing-incentive reference point).
+//! (b) User 1 adds a second job type at the 40-minute mark; both of its job types then
+//!     receive (almost) equal throughput, each roughly half of the other users'.
+
+use oef_bench::{fmt_ratio, four_tenant_profiles, print_json_record, print_table};
+use oef_core::{
+    ClusterSpec, CooperativeOef, MultiJobOef, OefMode, SpeedupVector, TenantWorkload,
+};
+use oef_schedulers::MaxMin;
+use oef_sim::{SimulationConfig, SimulationEngine, Scenario};
+
+const ROUNDS: usize = 16;
+
+fn fig5a() {
+    let profiles = four_tenant_profiles();
+
+    let run = |policy: &dyn oef_core::AllocationPolicy, physical: bool| {
+        let mut scenario = Scenario::on_paper_cluster();
+        for (name, speedup) in &profiles {
+            scenario = scenario.with_tenant(name.clone(), speedup.clone(), 4, 2, 1e12);
+        }
+        let config = SimulationConfig { physical_placement: physical, ..Default::default() };
+        let mut engine = SimulationEngine::new(scenario.build(), config);
+        engine.run(policy, ROUNDS).expect("simulation must not fail")
+    };
+
+    let maxmin = run(&MaxMin::default(), true);
+    let oef = run(&CooperativeOef::default(), true);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for tenant in 0..4 {
+        let baseline = maxmin.avg_tenant_estimated(tenant);
+        let estimated = oef.avg_tenant_estimated(tenant);
+        let actual = oef.avg_tenant_actual(tenant);
+        rows.push(vec![
+            format!("user{} ({})", tenant + 1, profiles[tenant].0),
+            fmt_ratio(estimated, baseline),
+            fmt_ratio(actual, baseline),
+        ]);
+        json.push(serde_json::json!({
+            "tenant": tenant,
+            "estimated_vs_maxmin": estimated / baseline,
+            "actual_vs_maxmin": actual / baseline,
+        }));
+    }
+    print_table(
+        "Fig. 5(a): cooperative OEF throughput relative to Max-Min (sharing incentive)",
+        &["user", "OEF estimated", "OEF actual"],
+        &rows,
+    );
+    print_json_record("fig5a", &json);
+}
+
+fn fig5b() {
+    // Algorithmic view of Fig. 5(b): before and after user 1 adds a second job type.
+    let cluster = ClusterSpec::paper_evaluation_cluster();
+    let profiles = four_tenant_profiles();
+
+    let before: Vec<TenantWorkload> = profiles
+        .iter()
+        .map(|(_, s)| TenantWorkload::single(s.clone()))
+        .collect();
+    let mut after = before.clone();
+    // User 1's new job type: a transformer-like profile.
+    after[0] = TenantWorkload::with_jobs(vec![
+        profiles[0].1.clone(),
+        SpeedupVector::new(vec![1.0, 1.6, 2.3]).unwrap(),
+    ]);
+
+    let solver = MultiJobOef::new(OefMode::NonCooperative);
+    let before_alloc = solver.allocate(&cluster, &before).unwrap();
+    let after_alloc = solver.allocate(&cluster, &after).unwrap();
+
+    let mut rows = Vec::new();
+    for (t, _) in profiles.iter().enumerate() {
+        rows.push(vec![
+            format!("user{}", t + 1),
+            format!("{:.2}", before_alloc.tenant_efficiency(&before, t)),
+            format!("{:.2}", after_alloc.tenant_efficiency(&after, t)),
+        ]);
+    }
+    rows.push(vec![
+        "user1 job1 / job2 (after)".to_string(),
+        format!("{:.2}", after_alloc.job_efficiency(&after, 0, 0)),
+        format!("{:.2}", after_alloc.job_efficiency(&after, 0, 1)),
+    ]);
+    print_table(
+        "Fig. 5(b): user 1 adds a second job type at minute 40 (non-cooperative OEF shares)",
+        &["tenant", "before", "after"],
+        &rows,
+    );
+    print_json_record(
+        "fig5b",
+        &serde_json::json!({
+            "before": (0..4).map(|t| before_alloc.tenant_efficiency(&before, t)).collect::<Vec<_>>(),
+            "after": (0..4).map(|t| after_alloc.tenant_efficiency(&after, t)).collect::<Vec<_>>(),
+            "user1_job_split": [
+                after_alloc.job_efficiency(&after, 0, 0),
+                after_alloc.job_efficiency(&after, 0, 1),
+            ],
+        }),
+    );
+}
+
+fn main() {
+    fig5a();
+    fig5b();
+}

@@ -1,0 +1,46 @@
+//! Figure 7 — training throughput under the non-cooperative setting.
+//!
+//! 20 tenants, each owning jobs of a single model family, share the 24-GPU cluster.
+//! Estimated and actual total throughput of non-cooperative OEF vs Gandiva_fair and
+//! Gavel, normalised to the weakest policy as in the paper.
+
+use oef_bench::{
+    compare_policies, fmt, fmt_ratio, print_json_record, print_table, twenty_tenant_profiles,
+    DEFAULT_ROUNDS,
+};
+use oef_core::{BoxedPolicy, NonCooperativeOef};
+use oef_schedulers::{GandivaFair, Gavel};
+
+fn main() {
+    let profiles = twenty_tenant_profiles(7);
+    let policies: Vec<BoxedPolicy> = vec![
+        Box::new(NonCooperativeOef::default()),
+        Box::new(GandivaFair::default()),
+        Box::new(Gavel::default()),
+    ];
+
+    let results = compare_policies(&policies, &profiles, 3, DEFAULT_ROUNDS);
+
+    let min_estimated =
+        results.iter().map(|r| r.estimated).fold(f64::INFINITY, f64::min);
+    let min_actual = results.iter().map(|r| r.actual).fold(f64::INFINITY, f64::min);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                fmt(r.estimated),
+                fmt_ratio(r.estimated, min_estimated),
+                fmt(r.actual),
+                fmt_ratio(r.actual, min_actual),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7: total training throughput, non-cooperative setting (20 tenants)",
+        &["policy", "estimated", "est. norm", "actual", "act. norm"],
+        &rows,
+    );
+    print_json_record("fig7", &results);
+}

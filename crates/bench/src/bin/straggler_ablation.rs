@@ -1,0 +1,104 @@
+//! §6.3.3 — straggler-effect alleviation, plus the placement ablations called out in
+//! DESIGN.md.
+//!
+//! Counts cross-GPU-type placements and straggler-affected workers under OEF,
+//! Gandiva_fair and Gavel on the 20-tenant workload, and additionally compares OEF's
+//! placer against a naive placer (no large-job priority, no cross-type avoidance) to
+//! quantify how much of the benefit comes from the placement optimisation itself.
+
+use oef_bench::{fmt, print_json_record, print_table, DEFAULT_ROUNDS};
+use oef_cluster::DevicePlacer;
+use oef_core::{AllocationPolicy, BoxedPolicy, CooperativeOef, SpeedupVector};
+use oef_schedulers::{GandivaFair, Gavel};
+use oef_sim::{Scenario, SimulationConfig, SimulationEngine, SimulationReport};
+use oef_workloads::ModelCatalog;
+
+/// Straggler exposure only shows up when tenants hold several devices and run
+/// multi-worker jobs, so this experiment uses six tenants with 4-worker jobs (the
+/// distributed-training case of §4.4) rather than the 20-tenant single-GPU mix.
+fn straggler_profiles() -> Vec<(String, SpeedupVector)> {
+    let catalog = ModelCatalog::paper_catalog();
+    ["vgg16", "lstm", "resnet50", "transformer", "rnn", "densenet121"]
+        .iter()
+        .map(|name| {
+            let model = catalog.by_name(name).expect("catalogue model");
+            (name.to_string(), model.speedup().expect("valid profile"))
+        })
+        .collect()
+}
+
+fn run_with(policy: &dyn AllocationPolicy, config: SimulationConfig) -> SimulationReport {
+    let mut scenario = Scenario::on_paper_cluster();
+    for (name, speedup) in straggler_profiles() {
+        scenario = scenario.with_tenant(name, speedup, 3, 4, 1e12);
+    }
+    let mut engine = SimulationEngine::new(scenario.build(), config);
+    engine.run(policy, DEFAULT_ROUNDS).expect("simulation must not fail")
+}
+
+fn main() {
+    // Part 1: straggler exposure per policy with the OEF placer.
+    let policies: Vec<BoxedPolicy> = vec![
+        Box::new(CooperativeOef::default()),
+        Box::new(GandivaFair::default()),
+        Box::new(Gavel::default()),
+    ];
+    let results: Vec<oef_bench::PolicyThroughput> = policies
+        .iter()
+        .map(|policy| {
+            let report = run_with(policy.as_ref(), SimulationConfig::default());
+            oef_bench::PolicyThroughput {
+                policy: policy.name().to_string(),
+                estimated: report.avg_total_estimated(),
+                actual: report.avg_total_actual(),
+                straggler_workers: report.straggler.affected_workers,
+                cross_type_placements: report.straggler.cross_type_placements,
+            }
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.cross_type_placements.to_string(),
+                r.straggler_workers.to_string(),
+                fmt(r.actual),
+            ]
+        })
+        .collect();
+    print_table(
+        "§6.3.3: straggler exposure per scheduler (6 tenants, 4-worker jobs, OEF placer)",
+        &["policy", "cross-type placements", "affected workers", "actual throughput"],
+        &rows,
+    );
+    print_json_record("straggler_by_policy", &results);
+
+    // Part 2: placer ablation — OEF allocations with the full placer vs a naive placer.
+    let mut ablation_rows = Vec::new();
+    let mut ablation_json = Vec::new();
+    for (label, placer) in
+        [("oef placer", DevicePlacer::new()), ("naive placer", DevicePlacer::naive())]
+    {
+        let config = SimulationConfig { placer, ..Default::default() };
+        let report = run_with(&CooperativeOef::default(), config);
+        ablation_rows.push(vec![
+            label.to_string(),
+            report.straggler.cross_type_placements.to_string(),
+            report.straggler.affected_workers.to_string(),
+            fmt(report.avg_total_actual()),
+        ]);
+        ablation_json.push(serde_json::json!({
+            "placer": label,
+            "cross_type_placements": report.straggler.cross_type_placements,
+            "affected_workers": report.straggler.affected_workers,
+            "actual_throughput": report.avg_total_actual(),
+        }));
+    }
+    print_table(
+        "Ablation: OEF with its placement optimisation vs a naive placer",
+        &["placer", "cross-type placements", "affected workers", "actual throughput"],
+        &ablation_rows,
+    );
+    print_json_record("placer_ablation", &ablation_json);
+}

@@ -1,0 +1,72 @@
+//! Network-contention model (§4.3).
+//!
+//! Distributed DL training synchronises gradients every iteration; when a job's workers
+//! span multiple hosts, the collective communication crosses the network and slows the
+//! job down.  OEF's placer packs multi-worker jobs onto as few hosts as possible; the
+//! baselines do not, which is one source of OEF's "actual" throughput advantage in
+//! Fig. 7 and Fig. 8.
+
+use serde::{Deserialize, Serialize};
+
+/// Multiplicative slow-down applied to jobs whose workers span several hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Fractional throughput loss per additional host beyond the first.
+    pub per_host_penalty: f64,
+    /// Lower bound on the contention factor so pathological placements cannot reach 0.
+    pub min_factor: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        Self { per_host_penalty: 0.08, min_factor: 0.5 }
+    }
+}
+
+impl ContentionModel {
+    /// Creates a model with the given per-host penalty and floor.
+    pub fn new(per_host_penalty: f64, min_factor: f64) -> Self {
+        Self { per_host_penalty, min_factor }
+    }
+
+    /// A model with no contention at all (ablation baseline).
+    pub fn disabled() -> Self {
+        Self { per_host_penalty: 0.0, min_factor: 1.0 }
+    }
+
+    /// Throughput multiplier for a job placed on `num_hosts` hosts with `workers`
+    /// workers.  Single-host (or single-worker) placements run at full speed.
+    pub fn factor(&self, num_hosts: usize, workers: usize) -> f64 {
+        if num_hosts <= 1 || workers <= 1 {
+            return 1.0;
+        }
+        let penalty = self.per_host_penalty * (num_hosts - 1) as f64;
+        (1.0 - penalty).max(self.min_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_host_has_no_penalty() {
+        let m = ContentionModel::default();
+        assert_eq!(m.factor(1, 8), 1.0);
+        assert_eq!(m.factor(3, 1), 1.0);
+    }
+
+    #[test]
+    fn penalty_grows_with_hosts_and_is_floored() {
+        let m = ContentionModel::new(0.1, 0.5);
+        assert!((m.factor(2, 4) - 0.9).abs() < 1e-12);
+        assert!((m.factor(3, 4) - 0.8).abs() < 1e-12);
+        assert_eq!(m.factor(100, 4), 0.5, "floor applies");
+    }
+
+    #[test]
+    fn disabled_model_is_identity() {
+        let m = ContentionModel::disabled();
+        assert_eq!(m.factor(5, 8), 1.0);
+    }
+}

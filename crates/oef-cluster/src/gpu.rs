@@ -1,0 +1,74 @@
+//! GPU types and device identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a GPU type within a cluster, ordered slowest-first (consistent with
+/// [`oef_core::SpeedupVector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GpuType(pub usize);
+
+impl GpuType {
+    /// Raw index of the type.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GpuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu-type-{}", self.0)
+    }
+}
+
+/// Identity of a physical GPU device within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId {
+    /// Host the device is attached to.
+    pub host: usize,
+    /// Slot of the device within its host.
+    pub slot: usize,
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}/gpu{}", self.host, self.slot)
+    }
+}
+
+/// Static description of one GPU device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GpuDevice {
+    /// Where the device lives.
+    pub id: DeviceId,
+    /// Which type it is.
+    pub gpu_type: GpuType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(GpuType(0) < GpuType(1));
+        assert_eq!(GpuType(2).index(), 2);
+        let a = DeviceId { host: 0, slot: 1 };
+        let b = DeviceId { host: 1, slot: 0 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GpuType(1).to_string(), "gpu-type-1");
+        assert_eq!(DeviceId { host: 2, slot: 3 }.to_string(), "host2/gpu3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = GpuDevice { id: DeviceId { host: 1, slot: 2 }, gpu_type: GpuType(1) };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: GpuDevice = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

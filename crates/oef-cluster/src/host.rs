@@ -1,0 +1,168 @@
+//! Hosts: machines holding several co-located GPUs of the same type.
+//!
+//! The paper's testbed (§6.1.1) places four GPUs of the same type on each host; network
+//! contention and the placement optimisation of §4.3 are defined at host granularity.
+
+use crate::gpu::{DeviceId, GpuDevice, GpuType};
+use serde::{Deserialize, Serialize};
+
+/// A host with a number of identical GPUs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Host {
+    /// Host index within the cluster.
+    pub id: usize,
+    /// GPU type installed in this host.
+    pub gpu_type: GpuType,
+    /// Number of GPU slots on the host.
+    pub num_gpus: usize,
+}
+
+impl Host {
+    /// Creates a host with `num_gpus` devices of `gpu_type`.
+    pub fn new(id: usize, gpu_type: GpuType, num_gpus: usize) -> Self {
+        Self { id, gpu_type, num_gpus }
+    }
+
+    /// Enumerates the devices of this host.
+    pub fn devices(&self) -> impl Iterator<Item = GpuDevice> + '_ {
+        (0..self.num_gpus).map(move |slot| GpuDevice {
+            id: DeviceId { host: self.id, slot },
+            gpu_type: self.gpu_type,
+        })
+    }
+}
+
+/// Static topology of the cluster: which hosts exist and what they contain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    hosts: Vec<Host>,
+    gpu_type_names: Vec<String>,
+}
+
+impl ClusterTopology {
+    /// Builds a topology from explicit hosts and GPU type names (slowest type first).
+    pub fn new(hosts: Vec<Host>, gpu_type_names: Vec<String>) -> Self {
+        Self { hosts, gpu_type_names }
+    }
+
+    /// The paper's 24-GPU testbed: two hosts of four GPUs for each of RTX 3070, 3080
+    /// and 3090.
+    pub fn paper_cluster() -> Self {
+        let names = vec!["rtx3070".to_string(), "rtx3080".to_string(), "rtx3090".to_string()];
+        let mut hosts = Vec::new();
+        let mut id = 0;
+        for t in 0..3 {
+            for _ in 0..2 {
+                hosts.push(Host::new(id, GpuType(t), 4));
+                id += 1;
+            }
+        }
+        Self::new(hosts, names)
+    }
+
+    /// Builds a homogeneous-host topology: `hosts_per_type[t]` hosts with
+    /// `gpus_per_host` devices of type `t` each.
+    pub fn uniform(gpu_type_names: Vec<String>, hosts_per_type: &[usize], gpus_per_host: usize) -> Self {
+        let mut hosts = Vec::new();
+        let mut id = 0;
+        for (t, &count) in hosts_per_type.iter().enumerate() {
+            for _ in 0..count {
+                hosts.push(Host::new(id, GpuType(t), gpus_per_host));
+                id += 1;
+            }
+        }
+        Self::new(hosts, gpu_type_names)
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Number of distinct GPU types.
+    pub fn num_gpu_types(&self) -> usize {
+        self.gpu_type_names.len()
+    }
+
+    /// GPU type names, slowest first.
+    pub fn gpu_type_names(&self) -> &[String] {
+        &self.gpu_type_names
+    }
+
+    /// Total number of devices of a given type.
+    pub fn capacity_of(&self, gpu_type: GpuType) -> usize {
+        self.hosts
+            .iter()
+            .filter(|h| h.gpu_type == gpu_type)
+            .map(|h| h.num_gpus)
+            .sum()
+    }
+
+    /// Capacities of every GPU type, slowest first.
+    pub fn capacities(&self) -> Vec<usize> {
+        (0..self.num_gpu_types()).map(|t| self.capacity_of(GpuType(t))).collect()
+    }
+
+    /// Total number of GPU devices in the cluster.
+    pub fn total_devices(&self) -> usize {
+        self.hosts.iter().map(|h| h.num_gpus).sum()
+    }
+
+    /// Converts the topology into the algorithmic [`oef_core::ClusterSpec`] used by the
+    /// fair-share evaluators.
+    pub fn to_cluster_spec(&self) -> oef_core::ClusterSpec {
+        let pairs: Vec<(String, f64)> = self
+            .gpu_type_names
+            .iter()
+            .enumerate()
+            .map(|(t, name)| (name.clone(), self.capacity_of(GpuType(t)) as f64))
+            .collect();
+        oef_core::ClusterSpec::new(pairs).expect("topology always yields a valid cluster spec")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_device_enumeration() {
+        let h = Host::new(3, GpuType(1), 4);
+        let devices: Vec<_> = h.devices().collect();
+        assert_eq!(devices.len(), 4);
+        assert_eq!(devices[2].id, DeviceId { host: 3, slot: 2 });
+        assert_eq!(devices[2].gpu_type, GpuType(1));
+    }
+
+    #[test]
+    fn paper_cluster_matches_section_611() {
+        let topo = ClusterTopology::paper_cluster();
+        assert_eq!(topo.hosts().len(), 6);
+        assert_eq!(topo.total_devices(), 24);
+        assert_eq!(topo.capacities(), vec![8, 8, 8]);
+        assert_eq!(topo.num_gpu_types(), 3);
+        let spec = topo.to_cluster_spec();
+        assert_eq!(spec.capacities(), &[8.0, 8.0, 8.0]);
+        assert_eq!(spec.gpu_type_name(2), "rtx3090");
+    }
+
+    #[test]
+    fn uniform_topology_counts() {
+        let topo = ClusterTopology::uniform(
+            vec!["a".into(), "b".into()],
+            &[3, 1],
+            2,
+        );
+        assert_eq!(topo.capacity_of(GpuType(0)), 6);
+        assert_eq!(topo.capacity_of(GpuType(1)), 2);
+        assert_eq!(topo.total_devices(), 8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let topo = ClusterTopology::paper_cluster();
+        let json = serde_json::to_string(&topo).unwrap();
+        let back: ClusterTopology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, topo);
+    }
+}

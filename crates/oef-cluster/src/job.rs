@@ -1,0 +1,179 @@
+//! DL training jobs.
+//!
+//! A job is described by its worker demand (number of GPUs it wants simultaneously),
+//! its speedup profile across GPU types and the total amount of work it has to do,
+//! measured in *slow-GPU seconds*: running one worker on the slowest GPU type for one
+//! second completes one unit of work, running on a faster type completes `speedup`
+//! units per second.
+
+use oef_core::SpeedupVector;
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted but not yet arrived (future arrival time in a trace).
+    Pending,
+    /// Arrived and waiting for / receiving GPU time.
+    Runnable,
+    /// All work completed.
+    Finished,
+}
+
+/// A DL training job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique identifier.
+    pub id: JobId,
+    /// Index of the owning tenant.
+    pub tenant: usize,
+    /// Human-readable model name (e.g. `"vgg16"`).
+    pub model: String,
+    /// Number of GPU workers the job uses when scheduled.
+    pub workers: usize,
+    /// Speedup profile across GPU types.
+    pub speedup: SpeedupVector,
+    /// Total work in slow-GPU seconds.
+    pub total_work: f64,
+    /// Remaining work in slow-GPU seconds.
+    pub remaining_work: f64,
+    /// Arrival time in seconds since the start of the trace.
+    pub arrival_time: f64,
+    /// Completion time in seconds, set when the job finishes.
+    pub completion_time: Option<f64>,
+    /// Seconds of scheduling rounds during which the job was runnable but received no
+    /// GPU (used for the round-robin starvation priority of §6.1.3).
+    pub starvation_time: f64,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+impl Job {
+    /// Creates a runnable job with zero elapsed time.
+    pub fn new(
+        id: JobId,
+        tenant: usize,
+        model: impl Into<String>,
+        workers: usize,
+        speedup: SpeedupVector,
+        total_work: f64,
+        arrival_time: f64,
+    ) -> Self {
+        Self {
+            id,
+            tenant,
+            model: model.into(),
+            workers: workers.max(1),
+            speedup,
+            total_work,
+            remaining_work: total_work,
+            arrival_time,
+            completion_time: None,
+            starvation_time: 0.0,
+            state: if arrival_time <= 0.0 { JobState::Runnable } else { JobState::Pending },
+        }
+    }
+
+    /// Whether the job still has work left.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, JobState::Finished)
+    }
+
+    /// Advances the job by `work` slow-GPU seconds of progress at time `now`; marks it
+    /// finished when the remaining work reaches zero.
+    pub fn advance(&mut self, work: f64, now: f64) {
+        if self.is_finished() {
+            return;
+        }
+        self.remaining_work = (self.remaining_work - work).max(0.0);
+        if self.remaining_work <= 1e-9 {
+            self.remaining_work = 0.0;
+            self.state = JobState::Finished;
+            self.completion_time = Some(now);
+        }
+    }
+
+    /// Marks the job runnable if its arrival time has passed.
+    pub fn maybe_arrive(&mut self, now: f64) {
+        if matches!(self.state, JobState::Pending) && self.arrival_time <= now {
+            self.state = JobState::Runnable;
+        }
+    }
+
+    /// Job completion time (JCT): completion minus arrival, if finished.
+    pub fn jct(&self) -> Option<f64> {
+        self.completion_time.map(|c| c - self.arrival_time)
+    }
+
+    /// Fraction of total work already completed, in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total_work <= 0.0 {
+            1.0
+        } else {
+            1.0 - self.remaining_work / self.total_work
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speedup() -> SpeedupVector {
+        SpeedupVector::new(vec![1.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn new_job_defaults() {
+        let j = Job::new(JobId(1), 0, "vgg16", 2, speedup(), 100.0, 0.0);
+        assert_eq!(j.state, JobState::Runnable);
+        assert_eq!(j.workers, 2);
+        assert_eq!(j.progress(), 0.0);
+        assert_eq!(j.jct(), None);
+
+        let future = Job::new(JobId(2), 0, "lstm", 1, speedup(), 100.0, 50.0);
+        assert_eq!(future.state, JobState::Pending);
+    }
+
+    #[test]
+    fn zero_worker_demand_is_clamped_to_one() {
+        let j = Job::new(JobId(1), 0, "vgg16", 0, speedup(), 100.0, 0.0);
+        assert_eq!(j.workers, 1);
+    }
+
+    #[test]
+    fn advance_and_finish() {
+        let mut j = Job::new(JobId(1), 0, "vgg16", 1, speedup(), 100.0, 0.0);
+        j.advance(40.0, 10.0);
+        assert!(!j.is_finished());
+        assert!((j.progress() - 0.4).abs() < 1e-12);
+        j.advance(70.0, 20.0);
+        assert!(j.is_finished());
+        assert_eq!(j.completion_time, Some(20.0));
+        assert_eq!(j.jct(), Some(20.0));
+        // Further progress is a no-op.
+        j.advance(10.0, 30.0);
+        assert_eq!(j.completion_time, Some(20.0));
+    }
+
+    #[test]
+    fn arrival_transitions() {
+        let mut j = Job::new(JobId(1), 0, "vgg16", 1, speedup(), 100.0, 50.0);
+        j.maybe_arrive(10.0);
+        assert_eq!(j.state, JobState::Pending);
+        j.maybe_arrive(50.0);
+        assert_eq!(j.state, JobState::Runnable);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let j = Job::new(JobId(7), 3, "transformer", 4, speedup(), 1000.0, 12.5);
+        let json = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, j);
+    }
+}

@@ -1,0 +1,505 @@
+//! The OEF placer (§4.3): rounding fractional fair shares to whole devices and mapping
+//! them onto hosts.
+//!
+//! Two pieces live here:
+//!
+//! 1. [`RoundingPlacer`] converts the fractional per-tenant GPU shares produced by a
+//!    fair-share evaluator into integer device counts.  It tracks a cumulative
+//!    deviation per `(tenant, GPU type)` so that tenants who were rounded down catch up
+//!    in later rounds (`real = round(ideal + dev)`, `dev += ideal − real`), and it
+//!    zeroes shares that are too small to run any of the tenant's jobs (the min-demand
+//!    cutoff) so those tenants accumulate deviation instead of receiving useless
+//!    slivers.
+//! 2. [`DevicePlacer`] maps integer device counts to concrete devices on hosts,
+//!    giving placement priority to jobs with more workers and packing each job onto as
+//!    few hosts as possible to limit network contention.
+
+use crate::gpu::{GpuDevice, GpuType};
+use crate::host::ClusterTopology;
+use crate::job::JobId;
+use crate::tenant::Tenant;
+use oef_core::Allocation;
+use serde::{Deserialize, Serialize};
+
+/// Rounds fractional fair shares into integer per-round device counts while staying
+/// fair in the long run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundingPlacer {
+    /// Cumulative deviation `dev[tenant][gpu_type]` between ideal and granted shares.
+    deviation: Vec<Vec<f64>>,
+}
+
+impl RoundingPlacer {
+    /// Creates a placer for `num_tenants` tenants and `num_gpu_types` GPU types.
+    pub fn new(num_tenants: usize, num_gpu_types: usize) -> Self {
+        Self { deviation: vec![vec![0.0; num_gpu_types]; num_tenants] }
+    }
+
+    /// Grows the deviation table when tenants join after construction.
+    pub fn ensure_capacity(&mut self, num_tenants: usize, num_gpu_types: usize) {
+        for row in &mut self.deviation {
+            if row.len() < num_gpu_types {
+                row.resize(num_gpu_types, 0.0);
+            }
+        }
+        while self.deviation.len() < num_tenants {
+            self.deviation.push(vec![0.0; num_gpu_types]);
+        }
+    }
+
+    /// Current cumulative deviation of a tenant on a GPU type.
+    pub fn deviation(&self, tenant: usize, gpu_type: usize) -> f64 {
+        self.deviation[tenant][gpu_type]
+    }
+
+    /// Rounds the `ideal` fractional allocation into whole devices.
+    ///
+    /// * `capacities[j]` — number of physical devices of type `j`.
+    /// * `min_demand[l]` — the smallest worker count among tenant `l`'s runnable jobs
+    ///   (`0` disables the cutoff for that tenant).
+    ///
+    /// Returns `counts[l][j]`, the whole number of type-`j` devices granted to tenant
+    /// `l` this round.  Deviations are updated so the time-average of `counts`
+    /// converges to the time-average of `ideal`.
+    pub fn round_shares(
+        &mut self,
+        ideal: &Allocation,
+        capacities: &[usize],
+        min_demand: &[usize],
+    ) -> Vec<Vec<usize>> {
+        let n = ideal.num_users();
+        let k = ideal.num_gpu_types();
+        self.ensure_capacity(n, k);
+
+        // Step 1: per-entry target = ideal + accumulated deviation, rounded to nearest.
+        let mut counts = vec![vec![0usize; k]; n];
+        for j in 0..k {
+            let mut granted = 0usize;
+            // Round every tenant's target, largest fractional remainder first so that
+            // capacity is respected deterministically.
+            let mut order: Vec<usize> = (0..n).collect();
+            let targets: Vec<f64> =
+                (0..n).map(|l| (ideal.share(l, j) + self.deviation[l][j]).max(0.0)).collect();
+            order.sort_by(|a, b| {
+                targets[*b].partial_cmp(&targets[*a]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &l in &order {
+                let want = targets[l].round() as usize;
+                let available = capacities[j].saturating_sub(granted);
+                let grant = want.min(available);
+                counts[l][j] = grant;
+                granted += grant;
+            }
+        }
+
+        // Step 2: min-demand cutoff — a tenant whose total grant cannot run even its
+        // smallest job gives the devices back and accumulates deviation instead.
+        for l in 0..n {
+            let total: usize = counts[l].iter().sum();
+            if min_demand[l] > 0 && total > 0 && total < min_demand[l] {
+                for j in 0..k {
+                    counts[l][j] = 0;
+                }
+            }
+        }
+
+        // Step 3: update deviations with what was actually granted.
+        for l in 0..n {
+            for j in 0..k {
+                self.deviation[l][j] += ideal.share(l, j) - counts[l][j] as f64;
+            }
+        }
+
+        counts
+    }
+}
+
+/// Placement of one job onto concrete devices for one scheduling round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobPlacement {
+    /// The placed job.
+    pub job: JobId,
+    /// Owning tenant.
+    pub tenant: usize,
+    /// Devices assigned to the job's workers this round.
+    pub devices: Vec<GpuDevice>,
+}
+
+impl JobPlacement {
+    /// GPU types of the assigned devices.
+    pub fn gpu_types(&self) -> Vec<GpuType> {
+        self.devices.iter().map(|d| d.gpu_type).collect()
+    }
+
+    /// Number of distinct hosts the job spans.
+    pub fn num_hosts(&self) -> usize {
+        let mut hosts: Vec<usize> = self.devices.iter().map(|d| d.id.host).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts.len()
+    }
+}
+
+/// Result of device placement for one round.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// One entry per job that received devices this round.
+    pub placements: Vec<JobPlacement>,
+}
+
+impl PlacementPlan {
+    /// Placements belonging to one tenant.
+    pub fn for_tenant(&self, tenant: usize) -> impl Iterator<Item = &JobPlacement> {
+        self.placements.iter().filter(move |p| p.tenant == tenant)
+    }
+
+    /// Total number of devices handed out.
+    pub fn devices_used(&self) -> usize {
+        self.placements.iter().map(|p| p.devices.len()).sum()
+    }
+}
+
+/// Maps per-tenant integer device counts onto hosts, packing jobs to minimise network
+/// contention, and optionally preferring single-GPU-type placements to avoid the
+/// straggler effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DevicePlacer {
+    /// Give placement priority to jobs with more workers (the paper's behaviour).  When
+    /// `false`, jobs are placed in starvation order only (ablation).
+    pub prioritize_large_jobs: bool,
+    /// Prefer keeping each job on a single GPU type even when that means spanning more
+    /// hosts.  OEF's allocations make this almost always possible (Theorem 5.2).
+    pub avoid_cross_type: bool,
+}
+
+impl Default for DevicePlacer {
+    fn default() -> Self {
+        Self { prioritize_large_jobs: true, avoid_cross_type: true }
+    }
+}
+
+impl DevicePlacer {
+    /// Creates the default (paper) placer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A naive placer used as an ablation baseline: no large-job priority, no
+    /// cross-type avoidance.
+    pub fn naive() -> Self {
+        Self { prioritize_large_jobs: false, avoid_cross_type: false }
+    }
+
+    /// Assigns devices to jobs.
+    ///
+    /// * `counts[l][j]` — whole devices of type `j` granted to tenant `l` this round.
+    /// * `tenants` — tenant states; runnable jobs are considered in placement order.
+    ///
+    /// Jobs are greedily packed onto the host with the most free devices of the chosen
+    /// GPU type; a job only spans hosts (or GPU types, if `avoid_cross_type` is off or
+    /// unavoidable) when it cannot fit otherwise.
+    pub fn place(
+        &self,
+        topology: &ClusterTopology,
+        counts: &[Vec<usize>],
+        tenants: &[Tenant],
+    ) -> PlacementPlan {
+        let k = topology.num_gpu_types();
+        // Free devices per host, per type (a host only has one type, but indexing by
+        // type keeps the lookups simple).
+        let mut free: Vec<Vec<GpuDevice>> = vec![Vec::new(); topology.hosts().len()];
+        for host in topology.hosts() {
+            free[host.id] = host.devices().collect();
+        }
+
+        let mut plan = PlacementPlan::default();
+
+        for tenant in tenants {
+            if tenant.id >= counts.len() {
+                continue;
+            }
+            // Budget of devices per type for this tenant.
+            let mut budget: Vec<usize> = counts[tenant.id].clone();
+            budget.resize(k, 0);
+            let total_budget: usize = budget.iter().sum();
+            if total_budget == 0 {
+                continue;
+            }
+
+            // Placement order: larger jobs first (if enabled), then most starved.
+            let mut jobs = tenant.runnable_jobs();
+            if self.prioritize_large_jobs {
+                jobs.sort_by(|a, b| {
+                    b.workers.cmp(&a.workers).then(
+                        b.starvation_time
+                            .partial_cmp(&a.starvation_time)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+                });
+            }
+
+            for job in jobs {
+                let remaining_budget: usize = budget.iter().sum();
+                if remaining_budget == 0 {
+                    break;
+                }
+                let workers = job.workers.min(remaining_budget);
+                if workers == 0 {
+                    continue;
+                }
+                let devices =
+                    self.place_one_job(&mut free, &mut budget, workers, topology);
+                if !devices.is_empty() {
+                    plan.placements.push(JobPlacement {
+                        job: job.id,
+                        tenant: tenant.id,
+                        devices,
+                    });
+                }
+            }
+        }
+
+        plan
+    }
+
+    /// Places a single job of `workers` workers, preferring a single type and a single
+    /// host.  Consumes from `budget` and `free`.
+    fn place_one_job(
+        &self,
+        free: &mut [Vec<GpuDevice>],
+        budget: &mut [usize],
+        workers: usize,
+        topology: &ClusterTopology,
+    ) -> Vec<GpuDevice> {
+        let k = budget.len();
+
+        // Candidate GPU types ordered fastest-first so jobs land on the best GPUs the
+        // tenant owns this round.
+        let mut type_order: Vec<usize> = (0..k).filter(|j| budget[*j] > 0).collect();
+        type_order.sort_by(|a, b| b.cmp(a));
+
+        // First choice: a single type with enough budget, on as few hosts as possible.
+        if self.avoid_cross_type {
+            for &j in &type_order {
+                if budget[j] >= workers {
+                    let picked = Self::take_from_type(free, topology, GpuType(j), workers);
+                    if picked.len() == workers {
+                        budget[j] -= workers;
+                        return picked;
+                    }
+                    // Not enough physical devices of that type remain free; put any
+                    // partially taken devices back and fall through.
+                    Self::put_back(free, picked);
+                }
+            }
+        }
+
+        // Fallback: take devices type by type (fastest first) until the worker count is
+        // met — this is the cross-type case that triggers the straggler effect.
+        let mut picked = Vec::new();
+        for &j in &type_order {
+            if picked.len() >= workers {
+                break;
+            }
+            let need = (workers - picked.len()).min(budget[j]);
+            if need == 0 {
+                continue;
+            }
+            let got = Self::take_from_type(free, topology, GpuType(j), need);
+            budget[j] -= got.len();
+            picked.extend(got);
+        }
+        picked
+    }
+
+    /// Takes up to `count` free devices of `gpu_type`, preferring the host with the most
+    /// free devices of that type (best packing).
+    fn take_from_type(
+        free: &mut [Vec<GpuDevice>],
+        topology: &ClusterTopology,
+        gpu_type: GpuType,
+        count: usize,
+    ) -> Vec<GpuDevice> {
+        let mut taken = Vec::new();
+        while taken.len() < count {
+            // Host with the most remaining free devices of the wanted type.
+            let best_host = topology
+                .hosts()
+                .iter()
+                .filter(|h| h.gpu_type == gpu_type)
+                .map(|h| (h.id, free[h.id].len()))
+                .filter(|(_, n)| *n > 0)
+                .max_by_key(|(_, n)| *n);
+            let Some((host_id, _)) = best_host else {
+                break;
+            };
+            let take_here = (count - taken.len()).min(free[host_id].len());
+            for _ in 0..take_here {
+                taken.push(free[host_id].pop().expect("checked non-empty"));
+            }
+        }
+        taken
+    }
+
+    fn put_back(free: &mut [Vec<GpuDevice>], devices: Vec<GpuDevice>) {
+        for d in devices {
+            free[d.id.host].push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::straggler::StragglerModel;
+    use oef_core::SpeedupVector;
+
+    fn sv2() -> SpeedupVector {
+        SpeedupVector::new(vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    fn tenant_with_jobs(id: usize, worker_counts: &[usize]) -> Tenant {
+        let mut t = Tenant::new(id, format!("tenant-{id}"), sv2());
+        for (i, &w) in worker_counts.iter().enumerate() {
+            t.add_job(Job::new(
+                JobId((id as u64) * 100 + i as u64),
+                id,
+                "vgg16",
+                w,
+                sv2(),
+                1e6,
+                0.0,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn rounding_converges_to_ideal_over_time() {
+        // Two tenants each ideally own 1.5 of the 3 devices of a single type.
+        let ideal = Allocation::new(vec![vec![1.5], vec![1.5]]).unwrap();
+        let mut placer = RoundingPlacer::new(2, 1);
+        let mut totals = [0usize; 2];
+        for _ in 0..10 {
+            let counts = placer.round_shares(&ideal, &[3], &[1, 1]);
+            assert!(counts[0][0] + counts[1][0] <= 3);
+            totals[0] += counts[0][0];
+            totals[1] += counts[1][0];
+        }
+        // Over 10 rounds each tenant should have received ~15 device-rounds.
+        assert!((totals[0] as i64 - 15).abs() <= 1, "tenant 0 got {totals:?}");
+        assert!((totals[1] as i64 - 15).abs() <= 1, "tenant 1 got {totals:?}");
+    }
+
+    #[test]
+    fn min_demand_cutoff_defers_small_grants() {
+        // Tenant 0's smallest job needs 4 workers but its ideal share is only 1 device
+        // per round: it should receive nothing for a few rounds, then a burst of 4.
+        let ideal = Allocation::new(vec![vec![1.0], vec![3.0]]).unwrap();
+        let mut placer = RoundingPlacer::new(2, 1);
+        let mut burst_seen = false;
+        let mut granted_when_starved = 0;
+        for _ in 0..8 {
+            let counts = placer.round_shares(&ideal, &[4], &[4, 1]);
+            if counts[0][0] > 0 {
+                assert!(counts[0][0] >= 4, "grant below min demand: {counts:?}");
+                burst_seen = true;
+            } else {
+                granted_when_starved += 1;
+            }
+        }
+        assert!(burst_seen, "deviation should eventually produce a full-size grant");
+        assert!(granted_when_starved >= 2);
+    }
+
+    #[test]
+    fn rounding_respects_capacity() {
+        let ideal = Allocation::new(vec![vec![2.7, 0.0], vec![2.7, 0.0], vec![2.6, 0.0]]).unwrap();
+        let mut placer = RoundingPlacer::new(3, 2);
+        for _ in 0..20 {
+            let counts = placer.round_shares(&ideal, &[8, 8], &[1, 1, 1]);
+            let total: usize = counts.iter().map(|c| c[0]).sum();
+            assert!(total <= 8, "over capacity: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ensure_capacity_grows_tables() {
+        let mut placer = RoundingPlacer::new(1, 1);
+        placer.ensure_capacity(3, 2);
+        assert_eq!(placer.deviation(2, 1), 0.0);
+    }
+
+    #[test]
+    fn placement_packs_multi_worker_job_on_single_host() {
+        let topology = ClusterTopology::paper_cluster();
+        let tenants = vec![tenant_with_jobs(0, &[4, 1])];
+        // Tenant 0 owns 5 of the fastest GPUs this round.
+        let counts = vec![vec![0, 0, 5]];
+        let plan = DevicePlacer::new().place(&topology, &counts, &tenants);
+        assert_eq!(plan.devices_used(), 5);
+        // The 4-worker job must land on a single host (each host has exactly 4 GPUs).
+        let big = plan
+            .placements
+            .iter()
+            .find(|p| p.devices.len() == 4)
+            .expect("4-worker job placed");
+        assert_eq!(big.num_hosts(), 1, "multi-worker job should be packed");
+        assert!(!StragglerModel::is_cross_type(&big.gpu_types()));
+    }
+
+    #[test]
+    fn placement_prefers_single_type_to_avoid_stragglers() {
+        let topology = ClusterTopology::paper_cluster();
+        let tenants = vec![tenant_with_jobs(0, &[2])];
+        // Budget spread over two types; the job fits entirely in either.
+        let counts = vec![vec![0, 2, 2]];
+        let plan = DevicePlacer::new().place(&topology, &counts, &tenants);
+        assert_eq!(plan.placements.len(), 1);
+        let types = plan.placements[0].gpu_types();
+        assert!(types.iter().all(|t| *t == types[0]), "should not mix GPU types: {types:?}");
+        // The fastest type is preferred.
+        assert_eq!(types[0], GpuType(2));
+    }
+
+    #[test]
+    fn naive_placer_can_split_across_types() {
+        let topology = ClusterTopology::paper_cluster();
+        let tenants = vec![tenant_with_jobs(0, &[4])];
+        // Only 2 devices of each of two types: a 4-worker job must span types.
+        let counts = vec![vec![0, 2, 2]];
+        let plan = DevicePlacer::naive().place(&topology, &counts, &tenants);
+        assert_eq!(plan.placements.len(), 1);
+        assert_eq!(plan.placements[0].devices.len(), 4);
+    }
+
+    #[test]
+    fn placement_skips_tenants_without_budget() {
+        let topology = ClusterTopology::paper_cluster();
+        let tenants = vec![tenant_with_jobs(0, &[1]), tenant_with_jobs(1, &[1])];
+        let counts = vec![vec![0, 0, 0], vec![1, 0, 0]];
+        let plan = DevicePlacer::new().place(&topology, &counts, &tenants);
+        assert!(plan.for_tenant(0).next().is_none());
+        assert_eq!(plan.for_tenant(1).count(), 1);
+    }
+
+    #[test]
+    fn large_job_priority_changes_order() {
+        let topology = ClusterTopology::paper_cluster();
+        // One tenant with a 1-worker job (very starved) and a 3-worker job (not starved)
+        // but only 3 devices of budget: with large-job priority the 3-worker job runs.
+        let mut tenant = tenant_with_jobs(0, &[1, 3]);
+        tenant.jobs[0].starvation_time = 100.0;
+        let counts = vec![vec![3, 0, 0]];
+        let plan = DevicePlacer::new().place(&topology, &counts, &[tenant.clone()]);
+        let placed_workers: Vec<usize> =
+            plan.placements.iter().map(|p| p.devices.len()).collect();
+        assert!(placed_workers.contains(&3), "large job should be placed first: {placed_workers:?}");
+
+        // The naive placer goes by starvation only, so the 1-worker job is placed first
+        // and the remaining 2 devices go to (part of) the big job.
+        let plan = DevicePlacer::naive().place(&topology, &counts, &[tenant]);
+        assert_eq!(plan.placements[0].devices.len(), 1);
+    }
+}

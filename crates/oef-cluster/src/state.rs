@@ -1,0 +1,222 @@
+//! Mutable cluster state: topology plus the tenants and jobs currently in the system.
+//!
+//! The simulator (`oef-sim`) owns the control loop; this type owns the data it operates
+//! on and the queries both the fair-share evaluator and the placer need each round
+//! (active tenants, their reported speedup matrix, per-tenant minimum job demands).
+
+use crate::host::ClusterTopology;
+use crate::job::{Job, JobId};
+use crate::tenant::Tenant;
+use oef_core::{ClusterSpec, Result, SpeedupMatrix};
+use serde::{Deserialize, Serialize};
+
+/// The live state of a cluster: static topology plus dynamic tenants and jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    topology: ClusterTopology,
+    tenants: Vec<Tenant>,
+    next_job_id: u64,
+}
+
+impl ClusterState {
+    /// Creates an empty cluster with the given topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        Self { topology, tenants: Vec::new(), next_job_id: 0 }
+    }
+
+    /// The paper's 24-GPU evaluation cluster with no tenants yet.
+    pub fn paper_cluster() -> Self {
+        Self::new(ClusterTopology::paper_cluster())
+    }
+
+    /// Static topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Algorithmic cluster specification derived from the topology.
+    pub fn cluster_spec(&self) -> ClusterSpec {
+        self.topology.to_cluster_spec()
+    }
+
+    /// All tenants (active or not).
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Mutable access to all tenants.
+    pub fn tenants_mut(&mut self) -> &mut [Tenant] {
+        &mut self.tenants
+    }
+
+    /// Adds a tenant and returns its index.
+    pub fn add_tenant(&mut self, mut tenant: Tenant) -> usize {
+        let id = self.tenants.len();
+        tenant.id = id;
+        for job in &mut tenant.jobs {
+            job.tenant = id;
+        }
+        self.tenants.push(tenant);
+        id
+    }
+
+    /// Adds a job to an existing tenant, assigning it a fresh [`JobId`].
+    pub fn submit_job(&mut self, tenant: usize, mut job: Job) -> JobId {
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        job.id = id;
+        job.tenant = tenant;
+        self.tenants[tenant].add_job(job);
+        id
+    }
+
+    /// Tenant by index.
+    pub fn tenant(&self, id: usize) -> &Tenant {
+        &self.tenants[id]
+    }
+
+    /// Mutable tenant by index.
+    pub fn tenant_mut(&mut self, id: usize) -> &mut Tenant {
+        &mut self.tenants[id]
+    }
+
+    /// Indices of tenants that should be scheduled this round (not departed, with
+    /// unfinished jobs).
+    pub fn active_tenants(&self) -> Vec<usize> {
+        self.tenants.iter().filter(|t| t.is_active()).map(|t| t.id).collect()
+    }
+
+    /// Speedup matrix of the listed tenants, using their *reported* profiles (the
+    /// scheduler never sees the ground truth).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tenant_ids` is empty.
+    pub fn reported_speedups(&self, tenant_ids: &[usize]) -> Result<SpeedupMatrix> {
+        SpeedupMatrix::new(
+            tenant_ids.iter().map(|&l| self.tenants[l].reported_speedup.clone()).collect(),
+        )
+    }
+
+    /// Speedup matrix of the listed tenants using their *true* profiles (used by
+    /// metrics to compute real progress).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tenant_ids` is empty.
+    pub fn true_speedups(&self, tenant_ids: &[usize]) -> Result<SpeedupMatrix> {
+        SpeedupMatrix::new(
+            tenant_ids.iter().map(|&l| self.tenants[l].true_speedup.clone()).collect(),
+        )
+    }
+
+    /// Smallest runnable-job worker demand per listed tenant (0 when the tenant has no
+    /// runnable job), used for the placer's min-demand cutoff.
+    pub fn min_demands(&self, tenant_ids: &[usize]) -> Vec<usize> {
+        tenant_ids
+            .iter()
+            .map(|&l| {
+                self.tenants[l]
+                    .runnable_jobs()
+                    .iter()
+                    .map(|j| j.workers)
+                    .min()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Marks pending jobs whose arrival time has passed as runnable.
+    pub fn process_arrivals(&mut self, now: f64) {
+        for tenant in &mut self.tenants {
+            for job in &mut tenant.jobs {
+                job.maybe_arrive(now);
+            }
+        }
+    }
+
+    /// All finished jobs across tenants (for JCT statistics).
+    pub fn finished_jobs(&self) -> Vec<&Job> {
+        self.tenants.iter().flat_map(|t| t.jobs.iter()).filter(|j| j.is_finished()).collect()
+    }
+
+    /// Whether every job of every tenant has finished.
+    pub fn all_jobs_finished(&self) -> bool {
+        self.tenants.iter().all(|t| t.jobs.iter().all(|j| j.is_finished()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_core::SpeedupVector;
+
+    fn sv(values: Vec<f64>) -> SpeedupVector {
+        SpeedupVector::new(values).unwrap()
+    }
+
+    fn job(workers: usize, arrival: f64) -> Job {
+        Job::new(JobId(0), 0, "vgg16", workers, sv(vec![1.0, 1.2, 1.4]), 100.0, arrival)
+    }
+
+    #[test]
+    fn add_tenant_reassigns_ids() {
+        let mut state = ClusterState::paper_cluster();
+        let a = state.add_tenant(Tenant::new(99, "alice", sv(vec![1.0, 1.2, 1.4])));
+        let b = state.add_tenant(Tenant::new(0, "bob", sv(vec![1.0, 1.5, 2.0])));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(state.tenant(1).name, "bob");
+    }
+
+    #[test]
+    fn submit_job_assigns_fresh_ids() {
+        let mut state = ClusterState::paper_cluster();
+        let t = state.add_tenant(Tenant::new(0, "alice", sv(vec![1.0, 1.2, 1.4])));
+        let j1 = state.submit_job(t, job(1, 0.0));
+        let j2 = state.submit_job(t, job(2, 0.0));
+        assert_ne!(j1, j2);
+        assert_eq!(state.tenant(t).jobs.len(), 2);
+        assert!(state.tenant(t).jobs.iter().all(|j| j.tenant == t));
+    }
+
+    #[test]
+    fn active_tenants_and_min_demands() {
+        let mut state = ClusterState::paper_cluster();
+        let a = state.add_tenant(Tenant::new(0, "alice", sv(vec![1.0, 1.2, 1.4])));
+        let b = state.add_tenant(Tenant::new(0, "bob", sv(vec![1.0, 1.5, 2.0])));
+        state.submit_job(a, job(2, 0.0));
+        state.submit_job(a, job(4, 0.0));
+        // Bob's job has not arrived yet.
+        state.submit_job(b, job(1, 100.0));
+
+        let active = state.active_tenants();
+        assert_eq!(active, vec![0, 1], "bob has an unfinished (pending) job so he is active");
+        assert_eq!(state.min_demands(&[a, b]), vec![2, 0]);
+
+        state.process_arrivals(100.0);
+        assert_eq!(state.min_demands(&[a, b]), vec![2, 1]);
+    }
+
+    #[test]
+    fn reported_vs_true_speedups() {
+        let mut state = ClusterState::paper_cluster();
+        let a = state.add_tenant(Tenant::new(0, "alice", sv(vec![1.0, 1.2, 1.4])));
+        state.tenant_mut(a).cheat_with_factor(1.5);
+        let reported = state.reported_speedups(&[a]).unwrap();
+        let truth = state.true_speedups(&[a]).unwrap();
+        assert!((reported.speedup(0, 1) - 1.8).abs() < 1e-12);
+        assert!((truth.speedup(0, 1) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finished_bookkeeping() {
+        let mut state = ClusterState::paper_cluster();
+        let a = state.add_tenant(Tenant::new(0, "alice", sv(vec![1.0, 1.2, 1.4])));
+        let id = state.submit_job(a, job(1, 0.0));
+        assert!(!state.all_jobs_finished());
+        state.tenant_mut(a).job_mut(id).unwrap().advance(1e9, 50.0);
+        assert!(state.all_jobs_finished());
+        assert_eq!(state.finished_jobs().len(), 1);
+    }
+}

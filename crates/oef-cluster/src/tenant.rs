@@ -1,0 +1,181 @@
+//! Tenants (users) of the multi-tenant GPU cluster.
+
+use crate::job::{Job, JobId};
+use oef_core::SpeedupVector;
+use serde::{Deserialize, Serialize};
+
+/// A tenant: a user submitting DL training jobs, with a true speedup profile and a
+/// (possibly different) reported profile when the tenant cheats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Index of this tenant.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// Priority weight (§4.2.3), 1 for normal tenants.
+    pub weight: u32,
+    /// True speedup profile of the tenant's (representative) job type.
+    pub true_speedup: SpeedupVector,
+    /// Speedup profile the tenant reports to the scheduler.  Equal to `true_speedup`
+    /// for honest tenants; inflated for cheaters (Fig. 4(b)).
+    pub reported_speedup: SpeedupVector,
+    /// Jobs owned by this tenant.
+    pub jobs: Vec<Job>,
+    /// Whether the tenant has left the cluster (Fig. 4(a): user 4 exits at minute 40).
+    pub departed: bool,
+}
+
+impl Tenant {
+    /// Creates an honest tenant with weight 1 and no jobs.
+    pub fn new(id: usize, name: impl Into<String>, speedup: SpeedupVector) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            weight: 1,
+            reported_speedup: speedup.clone(),
+            true_speedup: speedup,
+            jobs: Vec::new(),
+            departed: false,
+        }
+    }
+
+    /// Builder-style weight setter.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Makes the tenant report an inflated speedup profile (multiplying the speedup on
+    /// every non-slowest GPU type by `factor`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inflated vector would be invalid, which cannot happen for positive
+    /// finite factors.
+    pub fn cheat_with_factor(&mut self, factor: f64) {
+        let k = self.true_speedup.num_gpu_types();
+        let mut factors = vec![1.0; k];
+        for f in factors.iter_mut().skip(1) {
+            *f = factor;
+        }
+        self.reported_speedup =
+            self.true_speedup.inflate(&factors).expect("inflation with positive factor is valid");
+    }
+
+    /// Restores honest reporting.
+    pub fn report_honestly(&mut self) {
+        self.reported_speedup = self.true_speedup.clone();
+    }
+
+    /// Whether the tenant currently misreports its profile.
+    pub fn is_cheating(&self) -> bool {
+        self.reported_speedup != self.true_speedup
+    }
+
+    /// Adds a job owned by this tenant.
+    pub fn add_job(&mut self, job: Job) {
+        debug_assert_eq!(job.tenant, self.id);
+        self.jobs.push(job);
+    }
+
+    /// Jobs that are runnable (arrived and unfinished), in starvation-priority order:
+    /// jobs that have waited the longest come first (§6.1.3).
+    pub fn runnable_jobs(&self) -> Vec<&Job> {
+        let mut jobs: Vec<&Job> =
+            self.jobs.iter().filter(|j| matches!(j.state, crate::job::JobState::Runnable)).collect();
+        jobs.sort_by(|a, b| {
+            b.starvation_time
+                .partial_cmp(&a.starvation_time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        jobs
+    }
+
+    /// Whether the tenant has any unfinished jobs.
+    pub fn has_active_jobs(&self) -> bool {
+        self.jobs.iter().any(|j| !j.is_finished())
+    }
+
+    /// Whether the tenant should be considered by the scheduler this round.
+    pub fn is_active(&self) -> bool {
+        !self.departed && self.has_active_jobs()
+    }
+
+    /// Looks up one of the tenant's jobs by id.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Mutable lookup of one of the tenant's jobs by id.
+    pub fn job_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        self.jobs.iter_mut().find(|j| j.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobState;
+
+    fn sv(values: Vec<f64>) -> SpeedupVector {
+        SpeedupVector::new(values).unwrap()
+    }
+
+    fn job(id: u64, tenant: usize, starvation: f64) -> Job {
+        let mut j = Job::new(JobId(id), tenant, "vgg16", 1, sv(vec![1.0, 2.0]), 100.0, 0.0);
+        j.starvation_time = starvation;
+        j
+    }
+
+    #[test]
+    fn honest_by_default_and_cheating_toggles() {
+        let mut t = Tenant::new(0, "alice", sv(vec![1.0, 2.0, 3.0]));
+        assert!(!t.is_cheating());
+        t.cheat_with_factor(1.4);
+        assert!(t.is_cheating());
+        assert!((t.reported_speedup.speedup(1) - 2.8).abs() < 1e-12);
+        assert!((t.reported_speedup.speedup(2) - 4.2).abs() < 1e-12);
+        assert_eq!(t.true_speedup.speedup(1), 2.0, "true profile unchanged");
+        t.report_honestly();
+        assert!(!t.is_cheating());
+    }
+
+    #[test]
+    fn runnable_jobs_sorted_by_starvation() {
+        let mut t = Tenant::new(0, "alice", sv(vec![1.0, 2.0]));
+        t.add_job(job(1, 0, 5.0));
+        t.add_job(job(2, 0, 20.0));
+        t.add_job(job(3, 0, 20.0));
+        let mut finished = job(4, 0, 99.0);
+        finished.state = JobState::Finished;
+        t.add_job(finished);
+        let order: Vec<u64> = t.runnable_jobs().iter().map(|j| j.id.0).collect();
+        assert_eq!(order, vec![2, 3, 1], "longest-starved first, ties by id");
+    }
+
+    #[test]
+    fn activity_flags() {
+        let mut t = Tenant::new(1, "bob", sv(vec![1.0, 2.0]));
+        assert!(!t.is_active(), "no jobs yet");
+        let mut j = job(1, 1, 0.0);
+        j.tenant = 1;
+        t.add_job(j);
+        assert!(t.is_active());
+        t.job_mut(JobId(1)).unwrap().state = JobState::Finished;
+        assert!(!t.is_active());
+        t.departed = true;
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn weight_builder_and_job_lookup() {
+        let mut t = Tenant::new(2, "carol", sv(vec![1.0, 1.5])).with_weight(3);
+        assert_eq!(t.weight, 3);
+        let mut j = job(9, 2, 0.0);
+        j.tenant = 2;
+        t.add_job(j);
+        assert!(t.job(JobId(9)).is_some());
+        assert!(t.job(JobId(10)).is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Cluster specification: GPU types and their capacities.
+
+use crate::error::OefError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Description of a heterogeneous GPU cluster at the granularity the allocation
+/// algorithms care about: an ordered list of GPU types (slowest first, consistent with
+/// [`crate::SpeedupVector`]) and the number of devices of each type.
+///
+/// Capacities are `f64` because the fair-share evaluator reasons about fractional GPU
+/// shares; the placer in `oef-cluster` is responsible for rounding to whole devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    gpu_type_names: Vec<String>,
+    capacities: Vec<f64>,
+}
+
+impl ClusterSpec {
+    /// Creates a specification from `(name, capacity)` pairs ordered slowest GPU first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OefError::InvalidCluster`] if there are no GPU types or any capacity is
+    /// non-positive or non-finite.
+    pub fn new(gpu_types: Vec<(String, f64)>) -> Result<Self> {
+        if gpu_types.is_empty() {
+            return Err(OefError::InvalidCluster { reason: "no GPU types".into() });
+        }
+        let mut names = Vec::with_capacity(gpu_types.len());
+        let mut capacities = Vec::with_capacity(gpu_types.len());
+        for (name, capacity) in gpu_types {
+            if !capacity.is_finite() || capacity <= 0.0 {
+                return Err(OefError::InvalidCluster {
+                    reason: format!("GPU type {name} has capacity {capacity}"),
+                });
+            }
+            names.push(name);
+            capacities.push(capacity);
+        }
+        Ok(Self { gpu_type_names: names, capacities })
+    }
+
+    /// Convenience constructor from parallel slices of names and capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OefError::InvalidCluster`] if the slices differ in length or the
+    /// capacities are invalid.
+    pub fn homogeneous_counts(names: &[&str], capacities: &[f64]) -> Result<Self> {
+        if names.len() != capacities.len() {
+            return Err(OefError::InvalidCluster {
+                reason: format!(
+                    "{} GPU type names but {} capacities",
+                    names.len(),
+                    capacities.len()
+                ),
+            });
+        }
+        Self::new(names.iter().map(|n| n.to_string()).zip(capacities.iter().copied()).collect())
+    }
+
+    /// The 24-GPU evaluation cluster of the paper (§6.1.1): eight RTX 3070, eight
+    /// RTX 3080 and eight RTX 3090 devices.
+    pub fn paper_evaluation_cluster() -> Self {
+        Self::homogeneous_counts(&["rtx3070", "rtx3080", "rtx3090"], &[8.0, 8.0, 8.0])
+            .expect("static cluster spec is valid")
+    }
+
+    /// Number of GPU types.
+    pub fn num_gpu_types(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Capacity (device count) of GPU type `j`.
+    pub fn capacity(&self, j: usize) -> f64 {
+        self.capacities[j]
+    }
+
+    /// All capacities, slowest type first (the paper's vector `m`).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Name of GPU type `j`.
+    pub fn gpu_type_name(&self, j: usize) -> &str {
+        &self.gpu_type_names[j]
+    }
+
+    /// All GPU type names.
+    pub fn gpu_type_names(&self) -> &[String] {
+        &self.gpu_type_names
+    }
+
+    /// Total number of devices across all types.
+    pub fn total_devices(&self) -> f64 {
+        self.capacities.iter().sum()
+    }
+
+    /// The equal share `m / n` of the cluster for one of `n` users (used by the
+    /// sharing-incentive definition).
+    pub fn equal_share(&self, num_users: usize) -> Vec<f64> {
+        let n = num_users.max(1) as f64;
+        self.capacities.iter().map(|c| c / n).collect()
+    }
+
+    /// Validates that a speedup matrix matches this cluster's GPU-type count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OefError::DimensionMismatch`] when the counts differ.
+    pub fn check_compatible(&self, speedups: &crate::SpeedupMatrix) -> Result<()> {
+        if speedups.num_gpu_types() != self.num_gpu_types() {
+            return Err(OefError::DimensionMismatch {
+                cluster_types: self.num_gpu_types(),
+                speedup_types: speedups.num_gpu_types(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpeedupMatrix;
+
+    #[test]
+    fn rejects_empty_and_nonpositive() {
+        assert!(ClusterSpec::new(vec![]).is_err());
+        assert!(ClusterSpec::new(vec![("a".into(), 0.0)]).is_err());
+        assert!(ClusterSpec::new(vec![("a".into(), -1.0)]).is_err());
+        assert!(ClusterSpec::new(vec![("a".into(), f64::INFINITY)]).is_err());
+    }
+
+    #[test]
+    fn homogeneous_counts_checks_lengths() {
+        assert!(ClusterSpec::homogeneous_counts(&["a", "b"], &[1.0]).is_err());
+        let c = ClusterSpec::homogeneous_counts(&["a", "b"], &[1.0, 2.0]).unwrap();
+        assert_eq!(c.num_gpu_types(), 2);
+        assert_eq!(c.capacity(1), 2.0);
+        assert_eq!(c.gpu_type_name(0), "a");
+        assert_eq!(c.gpu_type_names().len(), 2);
+    }
+
+    #[test]
+    fn paper_cluster_has_24_gpus() {
+        let c = ClusterSpec::paper_evaluation_cluster();
+        assert_eq!(c.num_gpu_types(), 3);
+        assert_eq!(c.total_devices(), 24.0);
+        assert_eq!(c.capacities(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn equal_share_divides_capacities() {
+        let c = ClusterSpec::paper_evaluation_cluster();
+        assert_eq!(c.equal_share(4), vec![2.0, 2.0, 2.0]);
+        // Degenerate zero-user input falls back to the full cluster rather than dividing
+        // by zero.
+        assert_eq!(c.equal_share(0), vec![8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn compatibility_check() {
+        let c = ClusterSpec::homogeneous_counts(&["a", "b"], &[1.0, 1.0]).unwrap();
+        let ok = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        let bad = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(c.check_compatible(&ok).is_ok());
+        assert!(matches!(c.check_compatible(&bad), Err(OefError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ClusterSpec::paper_evaluation_cluster();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cooperative OEF (§4.2.2, optimisation problem (10)).
+//!
+//! In cooperative environments misreporting is a non-issue, so OEF drops the
+//! equal-throughput constraint and instead encodes envy-freeness directly as linear
+//! constraints while maximising total efficiency.  Theorem 5.1 shows that at the
+//! optimum, envy-freeness implies sharing-incentive for free.
+
+use crate::error::OefError;
+use crate::policy::AllocationPolicy;
+use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
+use oef_lp::{ConstraintOp, Problem, Sense, SimplexOptions};
+use serde::{Deserialize, Serialize};
+
+/// The cooperative OEF fair-share evaluator.
+///
+/// ```
+/// use oef_core::{AllocationPolicy, ClusterSpec, CooperativeOef, SpeedupMatrix};
+///
+/// // The worked example of §3.1.1, Eq. (6): two users with speedups (1,2) and (1,5).
+/// let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
+/// let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+/// let allocation = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+/// // Total efficiency 5.25, reached by X = [1, 0.25; 0, 0.75].
+/// assert!((allocation.total_efficiency(&speedups) - 5.25).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CooperativeOef {
+    /// Options forwarded to the simplex solver.
+    pub solver_options: SimplexOptions,
+}
+
+impl Default for CooperativeOef {
+    fn default() -> Self {
+        Self { solver_options: SimplexOptions::default() }
+    }
+}
+
+impl CooperativeOef {
+    /// Creates a policy with custom solver options.
+    pub fn with_options(solver_options: SimplexOptions) -> Self {
+        Self { solver_options }
+    }
+
+    /// Builds the LP of problem (10): maximise total efficiency subject to capacity and
+    /// pairwise envy-freeness constraints `W_l · x_l ≥ W_l · x_i`.
+    fn build_problem(
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+    ) -> (Problem, Vec<Vec<oef_lp::Variable>>) {
+        let n = speedups.num_users();
+        let k = cluster.num_gpu_types();
+        let mut problem = Problem::new(Sense::Maximize);
+
+        let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
+            .map(|l| (0..k).map(|j| problem.add_variable(format!("x_{l}_{j}"))).collect())
+            .collect();
+
+        // Objective (10a).
+        for l in 0..n {
+            for j in 0..k {
+                problem.set_objective_coefficient(vars[l][j], speedups.speedup(l, j));
+            }
+        }
+
+        // Capacity constraints (10b).
+        for j in 0..k {
+            let terms: Vec<_> = (0..n).map(|l| (vars[l][j], 1.0)).collect();
+            problem.add_constraint(&terms, ConstraintOp::Le, cluster.capacity(j));
+        }
+
+        // Envy-freeness constraints (10c): W_l · x_l − W_l · x_i ≥ 0 for every ordered
+        // pair of distinct users.
+        for l in 0..n {
+            for i in 0..n {
+                if i == l {
+                    continue;
+                }
+                let mut terms: Vec<_> =
+                    (0..k).map(|j| (vars[l][j], speedups.speedup(l, j))).collect();
+                terms.extend((0..k).map(|j| (vars[i][j], -speedups.speedup(l, j))));
+                problem.add_constraint(&terms, ConstraintOp::Ge, 0.0);
+            }
+        }
+
+        (problem, vars)
+    }
+}
+
+impl AllocationPolicy for CooperativeOef {
+    fn name(&self) -> &str {
+        "oef-cooperative"
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        if speedups.num_users() == 0 {
+            return Err(OefError::NoUsers);
+        }
+
+        let (problem, vars) = Self::build_problem(cluster, speedups);
+        let solution = problem.solve_with(&self.solver_options)?;
+
+        let rows: Vec<Vec<f64>> = vars
+            .iter()
+            .map(|row| row.iter().map(|v| solution.value(*v)).collect())
+            .collect();
+        Allocation::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_type_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap()
+    }
+
+    fn is_envy_free(a: &Allocation, w: &SpeedupMatrix) -> bool {
+        let n = a.num_users();
+        (0..n).all(|l| {
+            (0..n).all(|i| a.cross_efficiency(l, l, w) >= a.cross_efficiency(l, i, w) - 1e-6)
+        })
+    }
+
+    #[test]
+    fn paper_example_eq6_total_efficiency() {
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!((a.total_efficiency(&speedups) - 5.25).abs() < 1e-6);
+        let eff = a.user_efficiencies(&speedups);
+        assert!((eff[0] - 1.5).abs() < 1e-6, "user 1 gets 1 + 2*0.25 = 1.5, got {}", eff[0]);
+        assert!((eff[1] - 3.75).abs() < 1e-6, "user 2 gets 5*0.75 = 3.75, got {}", eff[1]);
+        assert!(is_envy_free(&a, &speedups));
+    }
+
+    #[test]
+    fn fig1b_vgg_lstm_example() {
+        // Fig. 1(b): user 1 runs VGG (1.39x on the fast GPU), user 2 runs LSTM (2.15x).
+        // Cooperative OEF keeps user 1 at its max-min throughput (~1.19) and lifts user 2
+        // to ~1.85.
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.39], vec![1.0, 2.15]]).unwrap();
+        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let eff = a.user_efficiencies(&speedups);
+        assert!((eff[0] - 1.195).abs() < 1e-3, "expected ~1.195, got {}", eff[0]);
+        assert!((eff[1] - 1.849).abs() < 2e-3, "expected ~1.85, got {}", eff[1]);
+        assert!(is_envy_free(&a, &speedups));
+    }
+
+    #[test]
+    fn three_user_example_beats_gandiva_and_gavel() {
+        // Expression (2): with speedups (1,2), (1,3), (1,4) the envy-free optimum is
+        // X* = [1 0; 0 0.5; 0 0.5] with total efficiency 4.5, higher than both
+        // Gandiva_fair (4.35) and Gavel (4.33) achieve on the same input.
+        let cluster = two_type_cluster();
+        let speedups =
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
+                .unwrap();
+        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!(a.total_efficiency(&speedups) >= 4.5 - 1e-6);
+        assert!(is_envy_free(&a, &speedups));
+        // Sharing incentive follows from EF + optimality (Theorem 5.1).
+        let share = cluster.equal_share(3);
+        for l in 0..3 {
+            let si = speedups.user(l).dot(&share);
+            assert!(
+                a.user_efficiency(l, &speedups) >= si - 1e-6,
+                "user {l} violates sharing incentive"
+            );
+        }
+    }
+
+    #[test]
+    fn envy_freeness_holds_on_larger_random_like_instance() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![
+            vec![1.0, 1.1, 1.39],
+            vec![1.0, 1.6, 2.15],
+            vec![1.0, 1.3, 1.8],
+            vec![1.0, 2.0, 3.1],
+            vec![1.0, 1.05, 1.12],
+        ])
+        .unwrap();
+        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!(a.is_feasible(&cluster));
+        assert!(is_envy_free(&a, &speedups));
+        assert!(a.uses_adjacent_types_only());
+    }
+
+    #[test]
+    fn single_user_gets_whole_cluster() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.5, 2.0]]).unwrap();
+        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!((a.user_efficiency(0, &speedups) - (8.0 + 12.0 + 16.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn coop_total_efficiency_at_least_noncoop() {
+        // The cooperative program's feasible set contains every equal-throughput
+        // solution... it does not in general, but its optimum must be at least the
+        // non-cooperative optimum on instances where the non-cooperative solution is
+        // envy-free (identical users), and is never worse on the paper's examples.
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let coop = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let noncoop =
+            crate::NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!(
+            coop.total_efficiency(&speedups) >= noncoop.total_efficiency(&speedups) - 1e-6
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type of the OEF core crate.
+
+use std::fmt;
+
+/// Errors produced while validating inputs or computing allocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OefError {
+    /// A speedup vector was empty, contained non-positive or non-finite entries, or its
+    /// first (slowest GPU) entry was not 1.
+    InvalidSpeedup {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The speedup matrix and cluster specification disagree on the number of GPU types.
+    DimensionMismatch {
+        /// Number of GPU types in the cluster specification.
+        cluster_types: usize,
+        /// Number of GPU types implied by the speedup matrix.
+        speedup_types: usize,
+    },
+    /// The cluster specification was malformed (no GPU types, or non-positive capacity).
+    InvalidCluster {
+        /// Description of the violation.
+        reason: String,
+    },
+    /// There are no users to allocate to.
+    NoUsers,
+    /// Weights must be strictly positive.
+    InvalidWeight {
+        /// Index of the tenant with the invalid weight.
+        tenant: usize,
+    },
+    /// The underlying linear program failed to solve.
+    Solver(oef_lp::LpError),
+    /// An allocation matrix had inconsistent dimensions.
+    InvalidAllocation {
+        /// Description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for OefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OefError::InvalidSpeedup { reason } => write!(f, "invalid speedup vector: {reason}"),
+            OefError::DimensionMismatch { cluster_types, speedup_types } => write!(
+                f,
+                "dimension mismatch: cluster has {cluster_types} GPU types but speedups have {speedup_types}"
+            ),
+            OefError::InvalidCluster { reason } => write!(f, "invalid cluster spec: {reason}"),
+            OefError::NoUsers => write!(f, "no users to allocate resources to"),
+            OefError::InvalidWeight { tenant } => {
+                write!(f, "tenant {tenant} has a non-positive weight")
+            }
+            OefError::Solver(e) => write!(f, "allocation LP failed: {e}"),
+            OefError::InvalidAllocation { reason } => write!(f, "invalid allocation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for OefError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OefError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<oef_lp::LpError> for OefError {
+    fn from(value: oef_lp::LpError) -> Self {
+        OefError::Solver(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = OefError::DimensionMismatch { cluster_types: 3, speedup_types: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+        let e = OefError::Solver(oef_lp::LpError::Infeasible);
+        assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn solver_error_has_source() {
+        use std::error::Error;
+        let e = OefError::Solver(oef_lp::LpError::Unbounded);
+        assert!(e.source().is_some());
+        let e = OefError::NoUsers;
+        assert!(e.source().is_none());
+    }
+}

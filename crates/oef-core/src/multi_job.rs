@@ -1,0 +1,277 @@
+//! Support for tenants training multiple DL job types at once (§4.2.4).
+//!
+//! A tenant with several job types cannot be described by a single speedup vector, so
+//! OEF treats each job type as a *virtual user*.  To keep the weighting fair, the
+//! tenant's weight is divided equally among its job types: a tenant with weight 1 and
+//! two job types contributes two virtual users of weight 1/2 each.  Because the
+//! replication machinery works with integer counts, all virtual weights are scaled by
+//! the least common multiple of the tenants' job-type counts.
+
+use crate::error::OefError;
+use crate::weighted::{OefMode, VirtualUserExpansion};
+use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix, SpeedupVector};
+use serde::{Deserialize, Serialize};
+
+/// A tenant's workload: one speedup vector per job type, plus a priority weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantWorkload {
+    /// Speedup vector of each job type this tenant trains.
+    pub job_types: Vec<SpeedupVector>,
+    /// Priority weight of the tenant (defaults to 1).
+    pub weight: u32,
+}
+
+impl TenantWorkload {
+    /// A tenant with a single job type and weight 1.
+    pub fn single(job: SpeedupVector) -> Self {
+        Self { job_types: vec![job], weight: 1 }
+    }
+
+    /// A tenant with several job types and weight 1.
+    pub fn with_jobs(job_types: Vec<SpeedupVector>) -> Self {
+        Self { job_types, weight: 1 }
+    }
+
+    /// Sets the priority weight, builder style.
+    pub fn weighted(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// Allocation result of [`MultiJobOef`], resolved both per tenant and per job type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiJobAllocation {
+    /// Per-tenant aggregate allocation (one row per tenant).
+    pub per_tenant: Allocation,
+    /// `per_job[t][p]` is the allocation row of job type `p` of tenant `t`.
+    pub per_job: Vec<Vec<Vec<f64>>>,
+}
+
+impl MultiJobAllocation {
+    /// Normalised throughput of job type `p` of tenant `t`.
+    pub fn job_efficiency(&self, tenants: &[TenantWorkload], t: usize, p: usize) -> f64 {
+        tenants[t].job_types[p].dot(&self.per_job[t][p])
+    }
+
+    /// Total normalised throughput of tenant `t` (summed over its job types).
+    pub fn tenant_efficiency(&self, tenants: &[TenantWorkload], t: usize) -> f64 {
+        (0..tenants[t].job_types.len()).map(|p| self.job_efficiency(tenants, t, p)).sum()
+    }
+}
+
+/// OEF allocation for tenants with multiple job types, built on the virtual-user
+/// expansion of weighted OEF.
+///
+/// ```
+/// use oef_core::{ClusterSpec, MultiJobOef, OefMode, SpeedupVector, TenantWorkload};
+///
+/// // §4.2.4 example: tenant 1 trains jobs with speedups (1,2) and (1,3); tenant 2
+/// // trains a single (1,5) job.  Both tenants have equal weight.
+/// let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
+/// let tenants = vec![
+///     TenantWorkload::with_jobs(vec![
+///         SpeedupVector::new(vec![1.0, 2.0]).unwrap(),
+///         SpeedupVector::new(vec![1.0, 3.0]).unwrap(),
+///     ]),
+///     TenantWorkload::single(SpeedupVector::new(vec![1.0, 5.0]).unwrap()),
+/// ];
+/// let result = MultiJobOef::new(OefMode::NonCooperative).allocate(&cluster, &tenants).unwrap();
+/// // Each of tenant 1's job types receives half of what tenant 2 receives in total.
+/// let e11 = result.job_efficiency(&tenants, 0, 0);
+/// let e12 = result.job_efficiency(&tenants, 0, 1);
+/// let e2 = result.tenant_efficiency(&tenants, 1);
+/// assert!((e11 - e12).abs() < 1e-5);
+/// assert!((e11 + e12 - e2).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiJobOef {
+    mode: OefMode,
+}
+
+impl MultiJobOef {
+    /// Creates a multi-job wrapper around the chosen OEF mechanism.
+    pub fn new(mode: OefMode) -> Self {
+        Self { mode }
+    }
+
+    /// Computes the allocation for tenants with possibly many job types.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OefError::NoUsers`] for an empty tenant list,
+    /// [`OefError::InvalidWeight`] for zero weights, [`OefError::InvalidSpeedup`] for a
+    /// tenant with no job types, and propagates solver errors.
+    pub fn allocate(
+        &self,
+        cluster: &ClusterSpec,
+        tenants: &[TenantWorkload],
+    ) -> Result<MultiJobAllocation> {
+        if tenants.is_empty() {
+            return Err(OefError::NoUsers);
+        }
+        for (t, tenant) in tenants.iter().enumerate() {
+            if tenant.weight == 0 {
+                return Err(OefError::InvalidWeight { tenant: t });
+            }
+            if tenant.job_types.is_empty() {
+                return Err(OefError::InvalidSpeedup {
+                    reason: format!("tenant {t} has no job types"),
+                });
+            }
+        }
+
+        // Scale factor so that weight / num_job_types becomes an integer for everyone.
+        let scale = tenants.iter().map(|t| t.job_types.len() as u64).fold(1u64, lcm);
+
+        // One "virtual job row" per (tenant, job type), replicated according to the
+        // tenant's share of the weight.
+        let mut rows = Vec::new();
+        let mut weights = Vec::new();
+        let mut owner: Vec<(usize, usize)> = Vec::new();
+        for (t, tenant) in tenants.iter().enumerate() {
+            let replication =
+                (tenant.weight as u64 * scale / tenant.job_types.len() as u64) as u32;
+            for (p, job) in tenant.job_types.iter().enumerate() {
+                rows.push(job.clone());
+                weights.push(replication);
+                owner.push((t, p));
+            }
+        }
+        let job_matrix = SpeedupMatrix::new(rows)?;
+        let expansion = VirtualUserExpansion::from_weights(&job_matrix, &weights)?;
+        let policy = self.mode.policy();
+        let virtual_allocation = policy.allocate(cluster, &expansion.expanded)?;
+        // Collapse virtual users back to (tenant, job) rows first.
+        let per_job_rows = expansion.collapse(&virtual_allocation, job_matrix.num_users())?;
+
+        let k = cluster.num_gpu_types();
+        let mut per_job: Vec<Vec<Vec<f64>>> =
+            tenants.iter().map(|t| vec![vec![0.0; k]; t.job_types.len()]).collect();
+        let mut per_tenant = vec![vec![0.0; k]; tenants.len()];
+        for (row_idx, &(t, p)) in owner.iter().enumerate() {
+            for j in 0..k {
+                let v = per_job_rows.share(row_idx, j);
+                per_job[t][p][j] += v;
+                per_tenant[t][j] += v;
+            }
+        }
+
+        Ok(MultiJobAllocation { per_tenant: Allocation::new(per_tenant)?, per_job })
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_type_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap()
+    }
+
+    fn sv(values: Vec<f64>) -> SpeedupVector {
+        SpeedupVector::new(values).unwrap()
+    }
+
+    #[test]
+    fn lcm_and_gcd_helpers() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(lcm(2, 3), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+    }
+
+    #[test]
+    fn paper_section_424_example_shape() {
+        // Tenant 1: jobs (1,2) and (1,3); tenant 2: one (1,5) job; equal weights.
+        // The paper's allocation gives tenant 1's jobs roughly (1, 0.11) and (0, 0.41)
+        // and tenant 2 two virtual rows of (0, 0.24) each.
+        let cluster = two_type_cluster();
+        let tenants = vec![
+            TenantWorkload::with_jobs(vec![sv(vec![1.0, 2.0]), sv(vec![1.0, 3.0])]),
+            TenantWorkload::single(sv(vec![1.0, 5.0])),
+        ];
+        let result = MultiJobOef::new(OefMode::NonCooperative).allocate(&cluster, &tenants).unwrap();
+
+        // All four virtual users have equal throughput, so each job of tenant 1 matches
+        // each half of tenant 2's throughput.
+        let e11 = result.job_efficiency(&tenants, 0, 0);
+        let e12 = result.job_efficiency(&tenants, 0, 1);
+        let e2 = result.tenant_efficiency(&tenants, 1);
+        assert!((e11 - e12).abs() < 1e-5, "job throughputs differ: {e11} vs {e12}");
+        assert!((e2 - (e11 + e12)).abs() < 1e-5, "tenant 2 should match tenant 1's total");
+        assert!(result.per_tenant.is_feasible(&cluster));
+
+        // The slow GPU goes to the slowest virtual user (tenant 1's (1,2) job).
+        assert!(result.per_job[0][0][0] > 0.9, "per-job allocation {:?}", result.per_job);
+    }
+
+    #[test]
+    fn single_job_tenants_reduce_to_weighted_oef() {
+        let cluster = two_type_cluster();
+        let tenants = vec![
+            TenantWorkload::single(sv(vec![1.0, 2.0])),
+            TenantWorkload::single(sv(vec![1.0, 5.0])).weighted(2),
+        ];
+        let multi = MultiJobOef::new(OefMode::NonCooperative).allocate(&cluster, &tenants).unwrap();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let weighted = crate::WeightedOef::new(OefMode::NonCooperative)
+            .allocate_weighted(&cluster, &speedups, &[1, 2])
+            .unwrap();
+        for t in 0..2 {
+            let a = multi.tenant_efficiency(&tenants, t);
+            let b = weighted.user_efficiency(t, &speedups);
+            assert!((a - b).abs() < 1e-5, "tenant {t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        let cluster = two_type_cluster();
+        assert!(matches!(
+            MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &[]),
+            Err(OefError::NoUsers)
+        ));
+        let no_jobs = vec![TenantWorkload { job_types: vec![], weight: 1 }];
+        assert!(MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &no_jobs).is_err());
+        let zero_weight = vec![TenantWorkload::single(sv(vec![1.0, 2.0])).weighted(0)];
+        assert!(matches!(
+            MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &zero_weight),
+            Err(OefError::InvalidWeight { tenant: 0 })
+        ));
+    }
+
+    #[test]
+    fn cooperative_mode_multi_job_is_feasible_and_uses_adjacent_types() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let tenants = vec![
+            TenantWorkload::with_jobs(vec![sv(vec![1.0, 1.2, 1.39]), sv(vec![1.0, 1.7, 2.15])]),
+            TenantWorkload::single(sv(vec![1.0, 1.4, 1.9])),
+            TenantWorkload::with_jobs(vec![
+                sv(vec![1.0, 1.1, 1.2]),
+                sv(vec![1.0, 2.0, 3.0]),
+                sv(vec![1.0, 1.5, 2.0]),
+            ]),
+        ];
+        let result = MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &tenants).unwrap();
+        assert!(result.per_tenant.is_feasible(&cluster));
+        for (t, tenant) in tenants.iter().enumerate() {
+            assert!(result.tenant_efficiency(&tenants, t) > 0.0);
+            for p in 0..tenant.job_types.len() {
+                assert!(result.job_efficiency(&tenants, t, p) >= -1e-9);
+            }
+        }
+    }
+}

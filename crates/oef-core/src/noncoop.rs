@@ -1,0 +1,197 @@
+//! Non-cooperative OEF (§4.2.1, optimisation problem (9)).
+//!
+//! In non-cooperative environments tenants may misreport their speedup profiles to grab
+//! more of the high-end GPUs, so strategy-proofness is the binding fairness property.
+//! The paper's key observation is that forcing all tenants to attain *identical
+//! normalised throughput* while maximising total efficiency yields a strategy-proof
+//! mechanism (Theorem 5.4): a lie that helps anyone else must, through the equality
+//! constraint, come back to hurt the liar.
+
+use crate::error::OefError;
+use crate::policy::AllocationPolicy;
+use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
+use oef_lp::{ConstraintOp, Problem, Sense, SimplexOptions};
+use serde::{Deserialize, Serialize};
+
+/// The non-cooperative OEF fair-share evaluator.
+///
+/// ```
+/// use oef_core::{AllocationPolicy, ClusterSpec, NonCooperativeOef, SpeedupMatrix};
+///
+/// let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
+/// let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+/// let allocation = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+/// let eff = allocation.user_efficiencies(&speedups);
+/// // Equal normalised throughput across users (constraint 9c).
+/// assert!((eff[0] - eff[1]).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NonCooperativeOef {
+    /// Options forwarded to the simplex solver.
+    pub solver_options: SimplexOptions,
+}
+
+impl Default for NonCooperativeOef {
+    fn default() -> Self {
+        Self { solver_options: SimplexOptions::default() }
+    }
+}
+
+impl NonCooperativeOef {
+    /// Creates a policy with custom solver options.
+    pub fn with_options(solver_options: SimplexOptions) -> Self {
+        Self { solver_options }
+    }
+
+    /// Builds the LP of problem (9): maximise `Σ_l Σ_j w_l^j x_l^j` subject to per-type
+    /// capacity constraints and pairwise equal throughput.
+    fn build_problem(
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+    ) -> (Problem, Vec<Vec<oef_lp::Variable>>) {
+        let n = speedups.num_users();
+        let k = cluster.num_gpu_types();
+        let mut problem = Problem::new(Sense::Maximize);
+
+        let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
+            .map(|l| (0..k).map(|j| problem.add_variable(format!("x_{l}_{j}"))).collect())
+            .collect();
+
+        // Objective (9a).
+        for l in 0..n {
+            for j in 0..k {
+                problem.set_objective_coefficient(vars[l][j], speedups.speedup(l, j));
+            }
+        }
+
+        // Capacity constraints (9b).
+        for j in 0..k {
+            let terms: Vec<_> = (0..n).map(|l| (vars[l][j], 1.0)).collect();
+            problem.add_constraint(&terms, ConstraintOp::Le, cluster.capacity(j));
+        }
+
+        // Equal-throughput constraints (9c), expressed against user 0.
+        for l in 1..n {
+            let mut terms: Vec<_> = (0..k).map(|j| (vars[0][j], speedups.speedup(0, j))).collect();
+            terms.extend((0..k).map(|j| (vars[l][j], -speedups.speedup(l, j))));
+            problem.add_constraint(&terms, ConstraintOp::Eq, 0.0);
+        }
+
+        (problem, vars)
+    }
+}
+
+impl AllocationPolicy for NonCooperativeOef {
+    fn name(&self) -> &str {
+        "oef-noncooperative"
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        let n = speedups.num_users();
+        if n == 0 {
+            return Err(OefError::NoUsers);
+        }
+
+        let (problem, vars) = Self::build_problem(cluster, speedups);
+        let solution = problem.solve_with(&self.solver_options)?;
+
+        let rows: Vec<Vec<f64>> = vars
+            .iter()
+            .map(|row| row.iter().map(|v| solution.value(*v)).collect())
+            .collect();
+        Allocation::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_type_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn equal_throughput_holds_for_three_users() {
+        // Speedup matrix of Expression (1) in the paper.
+        let cluster = two_type_cluster();
+        let speedups =
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
+                .unwrap();
+        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let eff = a.user_efficiencies(&speedups);
+        assert!((eff[0] - eff[1]).abs() < 1e-6);
+        assert!((eff[1] - eff[2]).abs() < 1e-6);
+        assert!(a.is_feasible(&cluster));
+        assert!(eff[0] > 1.0, "each user should beat a single slow GPU, got {eff:?}");
+    }
+
+    #[test]
+    fn single_user_gets_everything() {
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 3.0]]).unwrap();
+        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!((a.share(0, 0) - 1.0).abs() < 1e-6);
+        assert!((a.share(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_users_split_equally_in_efficiency() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![
+            vec![1.0, 1.5, 2.0],
+            vec![1.0, 1.5, 2.0],
+            vec![1.0, 1.5, 2.0],
+            vec![1.0, 1.5, 2.0],
+        ])
+        .unwrap();
+        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let eff = a.user_efficiencies(&speedups);
+        let expected = (8.0 + 1.5 * 8.0 + 2.0 * 8.0) / 4.0;
+        for e in eff {
+            assert!((e - expected).abs() < 1e-5, "expected {expected}, got {e}");
+        }
+    }
+
+    #[test]
+    fn allocation_only_uses_adjacent_gpu_types() {
+        // Theorem 5.2: each user's allocation spans a contiguous range of GPU types.
+        let cluster =
+            ClusterSpec::homogeneous_counts(&["a", "b", "c", "d"], &[2.0, 2.0, 2.0, 2.0]).unwrap();
+        let speedups = SpeedupMatrix::from_rows(vec![
+            vec![1.0, 1.2, 1.3, 1.4],
+            vec![1.0, 1.5, 2.0, 2.5],
+            vec![1.0, 2.0, 3.5, 5.0],
+        ])
+        .unwrap();
+        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!(a.uses_adjacent_types_only(), "allocation {a:?} uses non-adjacent GPU types");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap();
+        assert!(matches!(
+            NonCooperativeOef::default().allocate(&cluster, &speedups),
+            Err(OefError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn total_efficiency_beats_max_min_with_skewed_speedups() {
+        // Max-min (equal split of every type) is a feasible point of problem (9) only
+        // when all users have identical speedups; with skewed speedups OEF should do at
+        // least as well as the equal-throughput max-min-like baseline.
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.39], vec![1.0, 2.15]]).unwrap();
+        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let eff = a.user_efficiencies(&speedups);
+        assert!((eff[0] - eff[1]).abs() < 1e-6);
+        // The equalised throughput must be at least the worst user's max-min throughput
+        // (0.5 + 1.39 * 0.5 = 1.195 for user 1): OEF can always replicate max-min when
+        // speedups are equalisable, but the equality constraint may shift the split.
+        assert!(eff[0] >= 1.0);
+    }
+}

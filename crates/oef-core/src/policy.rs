@@ -1,0 +1,68 @@
+//! The [`AllocationPolicy`] trait implemented by OEF and by every baseline scheduler.
+
+use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
+
+/// A fair-share evaluator: turns a cluster specification and a speedup matrix into an
+/// allocation matrix.
+///
+/// The OEF policies live in this crate ([`crate::NonCooperativeOef`],
+/// [`crate::CooperativeOef`], [`crate::WeightedOef`]); the baselines the paper compares
+/// against (Max-Min, Gandiva_fair, Gavel, pure efficiency maximisation) implement the
+/// same trait in the `oef-schedulers` crate, so the simulator and the benchmark harness
+/// can swap policies freely.
+pub trait AllocationPolicy {
+    /// Human-readable policy name used in reports and experiment output.
+    fn name(&self) -> &str;
+
+    /// Computes the allocation matrix for one scheduling round.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the inputs are inconsistent (dimension
+    /// mismatch, empty user set) or if the underlying optimisation fails.
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation>;
+}
+
+/// Boxed, thread-safe allocation policy, convenient for heterogeneous collections of
+/// schedulers in experiments.
+pub type BoxedPolicy = Box<dyn AllocationPolicy + Send + Sync>;
+
+impl<P: AllocationPolicy + ?Sized> AllocationPolicy for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        (**self).allocate(cluster, speedups)
+    }
+}
+
+impl<P: AllocationPolicy + ?Sized> AllocationPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        (**self).allocate(cluster, speedups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NonCooperativeOef;
+
+    #[test]
+    fn references_and_boxes_forward() {
+        let policy = NonCooperativeOef::default();
+        let by_ref: &dyn AllocationPolicy = &policy;
+        assert_eq!(by_ref.name(), policy.name());
+
+        let boxed: BoxedPolicy = Box::new(NonCooperativeOef::default());
+        let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 4.0]]).unwrap();
+        let a = boxed.allocate(&cluster, &speedups).unwrap();
+        assert_eq!(a.num_users(), 2);
+        assert_eq!((&boxed).name(), "oef-noncooperative");
+    }
+}

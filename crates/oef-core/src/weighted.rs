@@ -1,0 +1,268 @@
+//! Weighted OEF (§4.2.3): tenant priorities through speedup-row replication.
+//!
+//! Instead of weighting the objective (which would break the fairness proofs), OEF
+//! replicates the speedup vector of a tenant with weight `π` exactly `π` times, creating
+//! `π` *virtual users*.  Each virtual user receives its own fair allocation and the
+//! tenant's real allocation is the sum of its virtual users' allocations, so a tenant
+//! with twice the weight ends up with twice the normalised throughput under the
+//! non-cooperative (equal-throughput) mechanism.
+
+use crate::error::OefError;
+use crate::policy::AllocationPolicy;
+use crate::{
+    Allocation, ClusterSpec, CooperativeOef, NonCooperativeOef, Result, SpeedupMatrix,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which underlying OEF mechanism a weighted / multi-job wrapper should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OefMode {
+    /// Strategy-proof, equal-throughput OEF (problem (9)).
+    NonCooperative,
+    /// Envy-free, sharing-incentive OEF (problem (10)).
+    Cooperative,
+}
+
+impl OefMode {
+    /// Instantiates the corresponding allocation policy with default solver options.
+    pub fn policy(self) -> Box<dyn AllocationPolicy + Send + Sync> {
+        match self {
+            OefMode::NonCooperative => Box::new(NonCooperativeOef::default()),
+            OefMode::Cooperative => Box::new(CooperativeOef::default()),
+        }
+    }
+}
+
+/// Expansion of weighted tenants into virtual users and the mapping back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualUserExpansion {
+    /// For each virtual user, the index of the real tenant it belongs to.
+    pub owner_of_virtual: Vec<usize>,
+    /// Expanded speedup matrix with one row per virtual user.
+    pub expanded: SpeedupMatrix,
+}
+
+impl VirtualUserExpansion {
+    /// Expands `speedups` so tenant `l` appears `weights[l]` times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OefError::InvalidWeight`] for zero weights and
+    /// [`OefError::DimensionMismatch`] when `weights` and `speedups` disagree on the
+    /// number of tenants.
+    pub fn from_weights(speedups: &SpeedupMatrix, weights: &[u32]) -> Result<Self> {
+        if weights.len() != speedups.num_users() {
+            return Err(OefError::DimensionMismatch {
+                cluster_types: weights.len(),
+                speedup_types: speedups.num_users(),
+            });
+        }
+        let mut owner_of_virtual = Vec::new();
+        let mut rows = Vec::new();
+        for (l, &w) in weights.iter().enumerate() {
+            if w == 0 {
+                return Err(OefError::InvalidWeight { tenant: l });
+            }
+            for _ in 0..w {
+                owner_of_virtual.push(l);
+                rows.push(speedups.user(l).clone());
+            }
+        }
+        Ok(Self { owner_of_virtual, expanded: SpeedupMatrix::new(rows)? })
+    }
+
+    /// Number of virtual users in the expansion.
+    pub fn num_virtual_users(&self) -> usize {
+        self.owner_of_virtual.len()
+    }
+
+    /// Collapses a virtual-user allocation back into one row per real tenant by summing
+    /// the rows owned by each tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OefError::InvalidAllocation`] if `virtual_allocation` does not have one
+    /// row per virtual user.
+    pub fn collapse(&self, virtual_allocation: &Allocation, num_tenants: usize) -> Result<Allocation> {
+        if virtual_allocation.num_users() != self.num_virtual_users() {
+            return Err(OefError::InvalidAllocation {
+                reason: format!(
+                    "expected {} virtual rows, got {}",
+                    self.num_virtual_users(),
+                    virtual_allocation.num_users()
+                ),
+            });
+        }
+        let k = virtual_allocation.num_gpu_types();
+        let mut rows = vec![vec![0.0; k]; num_tenants];
+        for (v, &owner) in self.owner_of_virtual.iter().enumerate() {
+            for j in 0..k {
+                rows[owner][j] += virtual_allocation.share(v, j);
+            }
+        }
+        Allocation::new(rows)
+    }
+}
+
+/// Weighted OEF policy: wraps either OEF mechanism and applies per-tenant weights.
+///
+/// ```
+/// use oef_core::{ClusterSpec, OefMode, SpeedupMatrix, WeightedOef};
+///
+/// // §4.2.3 example: speedups (1,2) and (1,5), the second tenant has weight 2.
+/// let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
+/// let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+/// let weighted = WeightedOef::new(OefMode::NonCooperative);
+/// let allocation = weighted.allocate_weighted(&cluster, &speedups, &[1, 2]).unwrap();
+/// let eff = allocation.user_efficiencies(&speedups);
+/// // Tenant 2 obtains twice tenant 1's normalised throughput.
+/// assert!((eff[1] - 2.0 * eff[0]).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightedOef {
+    mode: OefMode,
+}
+
+impl WeightedOef {
+    /// Creates a weighted wrapper around the chosen OEF mechanism.
+    pub fn new(mode: OefMode) -> Self {
+        Self { mode }
+    }
+
+    /// The wrapped mechanism.
+    pub fn mode(&self) -> OefMode {
+        self.mode
+    }
+
+    /// Computes the per-tenant allocation under integer weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and solver errors from the underlying mechanism.
+    pub fn allocate_weighted(
+        &self,
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+        weights: &[u32],
+    ) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        let expansion = VirtualUserExpansion::from_weights(speedups, weights)?;
+        let policy = self.mode.policy();
+        let virtual_allocation = policy.allocate(cluster, &expansion.expanded)?;
+        expansion.collapse(&virtual_allocation, speedups.num_users())
+    }
+}
+
+impl AllocationPolicy for WeightedOef {
+    fn name(&self) -> &str {
+        match self.mode {
+            OefMode::NonCooperative => "oef-weighted-noncooperative",
+            OefMode::Cooperative => "oef-weighted-cooperative",
+        }
+    }
+
+    /// Equal-weight allocation (weight 1 for every tenant), equivalent to the wrapped
+    /// mechanism.
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        self.allocate_weighted(cluster, speedups, &vec![1; speedups.num_users()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_type_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn expansion_counts_and_owners() {
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let exp = VirtualUserExpansion::from_weights(&speedups, &[1, 2]).unwrap();
+        assert_eq!(exp.num_virtual_users(), 3);
+        assert_eq!(exp.owner_of_virtual, vec![0, 1, 1]);
+        assert_eq!(exp.expanded.num_users(), 3);
+        assert_eq!(exp.expanded.speedup(2, 1), 5.0);
+    }
+
+    #[test]
+    fn zero_weight_is_rejected() {
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        assert!(matches!(
+            VirtualUserExpansion::from_weights(&speedups, &[1, 0]),
+            Err(OefError::InvalidWeight { tenant: 1 })
+        ));
+    }
+
+    #[test]
+    fn weight_length_mismatch_is_rejected() {
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(WeightedOef::new(OefMode::NonCooperative)
+            .allocate_weighted(&two_type_cluster(), &speedups, &[1, 2])
+            .is_err());
+    }
+
+    #[test]
+    fn paper_section_423_example() {
+        // Weight 2 for the (1,5) user: it should receive 2/3 of the fast GPU and end up
+        // with twice the other tenant's throughput under non-cooperative OEF.
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let a = WeightedOef::new(OefMode::NonCooperative)
+            .allocate_weighted(&cluster, &speedups, &[1, 2])
+            .unwrap();
+        let eff = a.user_efficiencies(&speedups);
+        assert!((eff[1] - 2.0 * eff[0]).abs() < 1e-5, "efficiencies {eff:?}");
+        assert!(a.is_feasible(&cluster));
+        // Tenant 2 holds roughly two thirds of the fast GPU.
+        assert!((a.share(1, 1) - 2.0 / 3.0).abs() < 0.05, "share {:?}", a.user_row(1));
+    }
+
+    #[test]
+    fn equal_weights_match_unweighted_mechanism() {
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let weighted = WeightedOef::new(OefMode::Cooperative);
+        let a = weighted.allocate(&cluster, &speedups).unwrap();
+        let b = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        assert!((a.total_efficiency(&speedups) - b.total_efficiency(&speedups)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_cooperative_scales_throughput_ratio() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let speedups =
+            SpeedupMatrix::from_rows(vec![vec![1.0, 1.4, 2.0], vec![1.0, 1.4, 2.0]]).unwrap();
+        // Identical speedups: with weights 1 and 3 the second tenant should obtain three
+        // times the throughput of the first under either mechanism.
+        for mode in [OefMode::NonCooperative, OefMode::Cooperative] {
+            let a = WeightedOef::new(mode)
+                .allocate_weighted(&cluster, &speedups, &[1, 3])
+                .unwrap();
+            let eff = a.user_efficiencies(&speedups);
+            assert!(
+                (eff[1] - 3.0 * eff[0]).abs() < 1e-4,
+                "mode {mode:?}: efficiencies {eff:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn collapse_rejects_wrong_row_count() {
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        let exp = VirtualUserExpansion::from_weights(&speedups, &[1, 2]).unwrap();
+        let wrong = Allocation::zeros(2, 2);
+        assert!(exp.collapse(&wrong, 2).is_err());
+    }
+
+    #[test]
+    fn policy_names_depend_on_mode() {
+        assert_eq!(WeightedOef::new(OefMode::Cooperative).name(), "oef-weighted-cooperative");
+        assert_eq!(
+            WeightedOef::new(OefMode::NonCooperative).name(),
+            "oef-weighted-noncooperative"
+        );
+        assert_eq!(WeightedOef::new(OefMode::Cooperative).mode(), OefMode::Cooperative);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the LP solver.
+
+use std::fmt;
+
+/// Errors returned when building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The program has no feasible solution.
+    Infeasible,
+    /// The objective can be improved without bound over the feasible region.
+    Unbounded,
+    /// The solver exceeded its iteration limit (should not happen with Bland's rule
+    /// unless the limit is set very low).
+    IterationLimit {
+        /// Number of simplex pivots performed before giving up.
+        iterations: usize,
+    },
+    /// A variable handle from a different [`crate::Problem`] was used, or an index was
+    /// out of range.
+    InvalidVariable {
+        /// The offending variable index.
+        index: usize,
+        /// The number of variables in the problem.
+        count: usize,
+    },
+    /// A constraint or objective contained a non-finite coefficient.
+    NonFiniteCoefficient {
+        /// Human-readable location of the offending coefficient.
+        location: String,
+    },
+    /// The problem has no variables or no constraints where at least one is required.
+    EmptyProblem,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            }
+            LpError::InvalidVariable { index, count } => {
+                write!(f, "variable index {index} out of range for problem with {count} variables")
+            }
+            LpError::NonFiniteCoefficient { location } => {
+                write!(f, "non-finite coefficient in {location}")
+            }
+            LpError::EmptyProblem => write!(f, "problem has no variables"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            LpError::Infeasible,
+            LpError::Unbounded,
+            LpError::IterationLimit { iterations: 7 },
+            LpError::InvalidVariable { index: 3, count: 2 },
+            LpError::NonFiniteCoefficient { location: "objective".to_string() },
+            LpError::EmptyProblem,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

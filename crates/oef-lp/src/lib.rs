@@ -1,0 +1,45 @@
+//! # oef-lp — a small, dependency-free linear-programming solver
+//!
+//! The OEF paper solves its allocation programs with cvxpy + ECOS.  Both OEF programs
+//! (the non-cooperative program (9) and the cooperative program (10)), as well as the
+//! Gavel baseline, are *linear* programs, so this crate provides an exact two-phase
+//! dense simplex solver which plays the role of that substrate.
+//!
+//! The API follows a builder style:
+//!
+//! ```
+//! use oef_lp::{Problem, Sense, ConstraintOp};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x, y >= 0
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_variable("x");
+//! let y = p.add_variable("y");
+//! p.set_objective_coefficient(x, 3.0);
+//! p.set_objective_coefficient(y, 2.0);
+//! p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+//! p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 2.0);
+//!
+//! let solution = p.solve().unwrap();
+//! assert!((solution.objective_value() - 10.0).abs() < 1e-6);
+//! assert!((solution.value(x) - 2.0).abs() < 1e-6);
+//! assert!((solution.value(y) - 2.0).abs() < 1e-6);
+//! ```
+//!
+//! The solver supports `<=`, `>=` and `==` constraints, non-negative variables and
+//! either optimisation sense.  It detects infeasible and unbounded programs and
+//! reports them through [`LpError`].
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use problem::{Constraint, ConstraintOp, LinearExpr, Problem, Sense, Variable};
+pub use simplex::{SimplexOptions, SolverStats};
+pub use solution::Solution;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LpError>;

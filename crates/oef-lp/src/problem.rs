@@ -1,0 +1,355 @@
+//! Linear-program builder types.
+//!
+//! A [`Problem`] owns a set of non-negative decision variables, an objective and a
+//! list of linear constraints.  Variables are referred to through the opaque
+//! [`Variable`] handle returned by [`Problem::add_variable`].
+
+use crate::error::LpError;
+use crate::simplex::{self, SimplexOptions};
+use crate::solution::Solution;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Optimisation direction of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sense {
+    /// Maximise the objective.
+    Maximize,
+    /// Minimise the objective.
+    Minimize,
+}
+
+/// Relational operator of a [`Constraint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// Left-hand side must be less than or equal to the right-hand side.
+    Le,
+    /// Left-hand side must equal the right-hand side.
+    Eq,
+    /// Left-hand side must be greater than or equal to the right-hand side.
+    Ge,
+}
+
+/// Handle to a decision variable of a [`Problem`].
+///
+/// Handles are plain indices; they are cheap to copy and can be stored in lookup
+/// tables (for example the OEF crates keep a `(user, gpu_type) -> Variable` map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Variable(pub(crate) usize);
+
+impl Variable {
+    /// Raw index of this variable inside its problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression `sum coefficient_i * variable_i`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinearExpr {
+    terms: Vec<(Variable, f64)>,
+}
+
+impl LinearExpr {
+    /// Creates an empty expression.
+    pub fn new() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// Adds `coefficient * variable` to the expression, returning `self` for chaining.
+    pub fn add_term(&mut self, variable: Variable, coefficient: f64) -> &mut Self {
+        self.terms.push((variable, coefficient));
+        self
+    }
+
+    /// Iterates over the `(variable, coefficient)` terms of the expression.
+    pub fn terms(&self) -> impl Iterator<Item = (Variable, f64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// Number of terms in the expression.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl FromIterator<(Variable, f64)> for LinearExpr {
+    fn from_iter<T: IntoIterator<Item = (Variable, f64)>>(iter: T) -> Self {
+        Self { terms: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(Variable, f64)> for LinearExpr {
+    fn extend<T: IntoIterator<Item = (Variable, f64)>>(&mut self, iter: T) {
+        self.terms.extend(iter);
+    }
+}
+
+/// A single linear constraint `expr op rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left-hand side expression.
+    pub expr: LinearExpr,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+    /// Optional label used in debugging output.
+    pub name: Option<String>,
+}
+
+/// A linear program over non-negative variables.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Problem {
+    sense: Sense,
+    variable_names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimisation sense.
+    pub fn new(sense: Sense) -> Self {
+        Self { sense, variable_names: Vec::new(), objective: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// Adds a non-negative decision variable with objective coefficient zero.
+    pub fn add_variable(&mut self, name: impl Into<String>) -> Variable {
+        let idx = self.variable_names.len();
+        self.variable_names.push(name.into());
+        self.objective.push(0.0);
+        Variable(idx)
+    }
+
+    /// Adds `count` variables named `prefix_0 .. prefix_{count-1}` and returns their handles.
+    pub fn add_variables(&mut self, prefix: &str, count: usize) -> Vec<Variable> {
+        (0..count).map(|i| self.add_variable(format!("{prefix}_{i}"))).collect()
+    }
+
+    /// Sets the objective coefficient of `variable`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` does not belong to this problem.
+    pub fn set_objective_coefficient(&mut self, variable: Variable, coefficient: f64) {
+        self.objective[variable.0] = coefficient;
+    }
+
+    /// Adds `delta` to the objective coefficient of `variable`.
+    pub fn add_objective_coefficient(&mut self, variable: Variable, delta: f64) {
+        self.objective[variable.0] += delta;
+    }
+
+    /// Adds a constraint from `(variable, coefficient)` pairs.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(Variable, f64)],
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> usize {
+        let expr: LinearExpr = terms.iter().copied().collect();
+        self.add_constraint_expr(expr, op, rhs, None)
+    }
+
+    /// Adds a named constraint from a prepared [`LinearExpr`].
+    pub fn add_constraint_expr(
+        &mut self,
+        expr: LinearExpr,
+        op: ConstraintOp,
+        rhs: f64,
+        name: Option<String>,
+    ) -> usize {
+        self.constraints.push(Constraint { expr, op, rhs, name });
+        self.constraints.len() - 1
+    }
+
+    /// Number of decision variables.
+    pub fn num_variables(&self) -> usize {
+        self.variable_names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Objective coefficients indexed by variable.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraints of the problem.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Name of a variable.
+    pub fn variable_name(&self, variable: Variable) -> &str {
+        &self.variable_names[variable.0]
+    }
+
+    /// Validates the problem: every referenced variable exists and all coefficients are
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::EmptyProblem`], [`LpError::InvalidVariable`] or
+    /// [`LpError::NonFiniteCoefficient`].
+    pub fn validate(&self) -> Result<()> {
+        if self.variable_names.is_empty() {
+            return Err(LpError::EmptyProblem);
+        }
+        for (i, c) in self.objective.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: format!("objective coefficient of variable {i}"),
+                });
+            }
+        }
+        for (ci, constraint) in self.constraints.iter().enumerate() {
+            if !constraint.rhs.is_finite() {
+                return Err(LpError::NonFiniteCoefficient {
+                    location: format!("right-hand side of constraint {ci}"),
+                });
+            }
+            for (var, coeff) in constraint.expr.terms() {
+                if var.0 >= self.variable_names.len() {
+                    return Err(LpError::InvalidVariable {
+                        index: var.0,
+                        count: self.variable_names.len(),
+                    });
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::NonFiniteCoefficient {
+                        location: format!("constraint {ci}, variable {}", var.0),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the problem with default [`SimplexOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Infeasible`] or [`LpError::Unbounded`] for degenerate
+    /// programs, or a validation error for malformed input.
+    pub fn solve(&self) -> Result<Solution> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the problem with explicit solver options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Problem::solve`], plus [`LpError::IterationLimit`] if the configured
+    /// pivot budget is exhausted.
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution> {
+        self.validate()?;
+        simplex::solve(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.add_objective_coefficient(y, 0.5);
+        p.add_objective_coefficient(y, 0.5);
+        p.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Le, 3.0);
+
+        assert_eq!(p.num_variables(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.objective(), &[1.0, 1.0]);
+        assert_eq!(p.variable_name(x), "x");
+        assert_eq!(p.variable_name(y), "y");
+        assert_eq!(p.sense(), Sense::Maximize);
+        assert_eq!(p.constraints()[0].rhs, 3.0);
+    }
+
+    #[test]
+    fn add_variables_generates_names() {
+        let mut p = Problem::new(Sense::Minimize);
+        let vars = p.add_variables("x", 3);
+        assert_eq!(vars.len(), 3);
+        assert_eq!(p.variable_name(vars[2]), "x_2");
+    }
+
+    #[test]
+    fn validate_rejects_empty_problem() {
+        let p = Problem::new(Sense::Maximize);
+        assert_eq!(p.validate(), Err(LpError::EmptyProblem));
+    }
+
+    #[test]
+    fn validate_rejects_nan_objective() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective_coefficient(x, f64::NAN);
+        assert!(matches!(p.validate(), Err(LpError::NonFiniteCoefficient { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_variable() {
+        let mut other = Problem::new(Sense::Maximize);
+        other.add_variable("a");
+        let foreign = other.add_variable("b");
+
+        let mut p = Problem::new(Sense::Maximize);
+        let _x = p.add_variable("x");
+        p.add_constraint(&[(foreign, 1.0)], ConstraintOp::Le, 1.0);
+        assert!(matches!(p.validate(), Err(LpError::InvalidVariable { index: 1, count: 1 })));
+    }
+
+    #[test]
+    fn validate_rejects_infinite_rhs() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, f64::INFINITY);
+        assert!(matches!(p.validate(), Err(LpError::NonFiniteCoefficient { .. })));
+    }
+
+    #[test]
+    fn linear_expr_collect_and_extend() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        let mut expr: LinearExpr = vec![(x, 1.0)].into_iter().collect();
+        expr.extend(vec![(y, 2.0)]);
+        assert_eq!(expr.len(), 2);
+        assert!(!expr.is_empty());
+        let terms: Vec<_> = expr.terms().collect();
+        assert_eq!(terms, vec![(x, 1.0), (y, 2.0)]);
+    }
+
+    #[test]
+    fn problem_serde_round_trip() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective_coefficient(x, 2.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 5.0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Problem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_variables(), 1);
+        assert_eq!(back.constraints()[0].rhs, 5.0);
+    }
+}

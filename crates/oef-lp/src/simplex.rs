@@ -1,0 +1,636 @@
+//! Dense two-phase simplex implementation.
+//!
+//! The solver converts the user-facing [`Problem`] into standard form
+//! (`min c'x  s.t.  Ax = b, x >= 0, b >= 0`) by adding slack, surplus and artificial
+//! variables, runs a phase-1 simplex to find a basic feasible solution, and then a
+//! phase-2 simplex on the original objective.  Dantzig's rule is used for pivot
+//! selection by default and the solver falls back to Bland's rule after a configurable
+//! number of pivots to guarantee termination on degenerate programs.
+
+use crate::error::LpError;
+use crate::problem::{ConstraintOp, Problem, Sense};
+use crate::solution::Solution;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the simplex solver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimplexOptions {
+    /// Numerical tolerance used for optimality and feasibility tests.
+    pub tolerance: f64,
+    /// Hard limit on the total number of pivots across both phases.
+    pub max_iterations: usize,
+    /// After this many pivots in a phase, switch from Dantzig's rule to Bland's rule to
+    /// break potential cycles.
+    pub bland_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self { tolerance: 1e-9, max_iterations: 1_000_000, bland_threshold: 10_000 }
+    }
+}
+
+/// Statistics describing a solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Total number of pivots across phase 1 and phase 2.
+    pub iterations: usize,
+    /// Number of rows in the standard-form tableau.
+    pub rows: usize,
+    /// Number of columns (excluding the right-hand side) in the tableau.
+    pub columns: usize,
+}
+
+/// The standard-form tableau plus bookkeeping.
+struct Tableau {
+    /// `rows x (cols + 1)` matrix; the last column is the right-hand side.
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// Basis: for each row, the column index of its basic variable.
+    basis: Vec<usize>,
+    /// Phase-2 objective row (length `cols + 1`), kept reduced against the basis.
+    objective: Vec<f64>,
+    /// Phase-1 objective row, only meaningful during phase 1.
+    phase1: Vec<f64>,
+    /// Number of structural (user) variables.
+    n_structural: usize,
+    /// Column index of the first artificial variable.
+    artificial_start: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+}
+
+/// Solves `problem` with the two-phase simplex method.
+pub(crate) fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solution> {
+    let mut tableau = build_tableau(problem);
+    let mut iterations = 0usize;
+
+    // Phase 1: drive artificial variables to zero.
+    if tableau.artificial_start < tableau.cols {
+        run_phase(&mut tableau, Phase::One, options, &mut iterations)?;
+        let phase1_value = -tableau.phase1[tableau.cols];
+        if phase1_value > options.tolerance.max(1e-7) {
+            return Err(LpError::Infeasible);
+        }
+        drive_out_artificials(&mut tableau, options);
+    }
+
+    // Phase 2: optimise the true objective.
+    run_phase(&mut tableau, Phase::Two, options, &mut iterations)?;
+
+    let mut values = vec![0.0; problem.num_variables()];
+    for (row, &basic_col) in tableau.basis.iter().enumerate() {
+        if basic_col < tableau.n_structural {
+            values[basic_col] = tableau.rhs(row);
+        }
+    }
+    // Clamp tiny negatives produced by round-off.
+    for v in &mut values {
+        if v.abs() < options.tolerance {
+            *v = 0.0;
+        }
+    }
+
+    let mut objective_value: f64 =
+        problem.objective().iter().zip(values.iter()).map(|(c, x)| c * x).sum();
+    if objective_value.abs() < options.tolerance {
+        objective_value = 0.0;
+    }
+
+    let stats =
+        SolverStats { iterations, rows: tableau.rows, columns: tableau.cols };
+    Ok(Solution::new(values, objective_value, stats))
+}
+
+enum Phase {
+    One,
+    Two,
+}
+
+/// Builds the standard-form tableau:
+/// * every constraint gets a non-negative right-hand side,
+/// * `<=` constraints get a slack column,
+/// * `>=` constraints get a surplus column and an artificial column,
+/// * `==` constraints get an artificial column.
+fn build_tableau(problem: &Problem) -> Tableau {
+    let n = problem.num_variables();
+    let m = problem.num_constraints();
+
+    // Count extra columns.
+    let mut n_slack = 0usize;
+    let mut n_artificial = 0usize;
+    for c in problem.constraints() {
+        let flip = c.rhs < 0.0;
+        let op = effective_op(c.op, flip);
+        match op {
+            ConstraintOp::Le => n_slack += 1,
+            ConstraintOp::Ge => {
+                n_slack += 1;
+                n_artificial += 1;
+            }
+            ConstraintOp::Eq => n_artificial += 1,
+        }
+    }
+
+    let cols = n + n_slack + n_artificial;
+    let artificial_start = n + n_slack;
+    let mut data = vec![0.0; m * (cols + 1)];
+    let mut basis = vec![usize::MAX; m];
+
+    let mut slack_cursor = n;
+    let mut artificial_cursor = artificial_start;
+
+    for (row, c) in problem.constraints().iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        let op = effective_op(c.op, flip);
+        let offset = row * (cols + 1);
+
+        for (var, coeff) in c.expr.terms() {
+            data[offset + var.index()] += sign * coeff;
+        }
+        data[offset + cols] = sign * c.rhs;
+
+        match op {
+            ConstraintOp::Le => {
+                data[offset + slack_cursor] = 1.0;
+                basis[row] = slack_cursor;
+                slack_cursor += 1;
+            }
+            ConstraintOp::Ge => {
+                data[offset + slack_cursor] = -1.0;
+                slack_cursor += 1;
+                data[offset + artificial_cursor] = 1.0;
+                basis[row] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+            ConstraintOp::Eq => {
+                data[offset + artificial_cursor] = 1.0;
+                basis[row] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+        }
+    }
+
+    // Phase-2 objective row: minimise.  Maximisation is handled by negating the
+    // coefficients here and negating back when reporting the objective (we recompute
+    // the objective from the primal values instead, so only the direction matters).
+    let mut objective = vec![0.0; cols + 1];
+    for (i, &c) in problem.objective().iter().enumerate() {
+        objective[i] = match problem.sense() {
+            Sense::Minimize => c,
+            Sense::Maximize => -c,
+        };
+    }
+
+    // Phase-1 objective row: minimise the sum of artificial variables.  Expressed in
+    // reduced form against the initial basis (subtract rows whose basic variable is
+    // artificial).
+    let mut phase1 = vec![0.0; cols + 1];
+    for col in artificial_start..cols {
+        phase1[col] = 1.0;
+    }
+    for (row, &basic) in basis.iter().enumerate() {
+        if basic >= artificial_start {
+            for col in 0..=cols {
+                phase1[col] -= data[row * (cols + 1) + col];
+            }
+        }
+    }
+
+    // Reduce the phase-2 objective against slack basic variables (their reduced cost is
+    // already zero because the objective has no slack terms); nothing to do for them.
+
+    let mut tableau = Tableau {
+        data,
+        rows: m,
+        cols,
+        basis,
+        objective,
+        phase1,
+        n_structural: n,
+        artificial_start,
+    };
+    // Reduce the phase-2 objective against any artificial basic variables as well, so
+    // that it stays consistent once phase 2 starts (the artificial columns carry zero
+    // phase-2 cost, so no reduction is required — reduced costs of basic columns are
+    // zero by construction here).
+    reduce_objective_against_basis(&mut tableau);
+    tableau
+}
+
+fn effective_op(op: ConstraintOp, flipped: bool) -> ConstraintOp {
+    if !flipped {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+/// Makes the reduced costs of all basic columns exactly zero in the phase-2 objective.
+fn reduce_objective_against_basis(t: &mut Tableau) {
+    for row in 0..t.rows {
+        let basic = t.basis[row];
+        let coeff = t.objective[basic];
+        if coeff != 0.0 {
+            for col in 0..=t.cols {
+                t.objective[col] -= coeff * t.at(row, col);
+            }
+        }
+    }
+}
+
+/// Runs one phase of the simplex method until optimality.
+fn run_phase(
+    t: &mut Tableau,
+    phase: Phase,
+    options: &SimplexOptions,
+    iterations: &mut usize,
+) -> Result<()> {
+    let mut phase_pivots = 0usize;
+    loop {
+        if *iterations >= options.max_iterations {
+            return Err(LpError::IterationLimit { iterations: *iterations });
+        }
+        let use_bland = phase_pivots >= options.bland_threshold;
+        let entering = {
+            let row = match phase {
+                Phase::One => &t.phase1,
+                Phase::Two => &t.objective,
+            };
+            select_entering(row, t, &phase, options, use_bland)
+        };
+        let Some(entering) = entering else {
+            return Ok(()); // optimal for this phase
+        };
+
+        let Some(leaving_row) = select_leaving(t, entering, options, use_bland) else {
+            // No leaving row: the column is unbounded.  During phase 1 this cannot
+            // happen for a bounded artificial objective, so report unboundedness.
+            return match phase {
+                Phase::One => Err(LpError::Infeasible),
+                Phase::Two => Err(LpError::Unbounded),
+            };
+        };
+
+        pivot(t, leaving_row, entering);
+        *iterations += 1;
+        phase_pivots += 1;
+    }
+}
+
+/// Chooses the entering column (most negative reduced cost, or Bland's smallest index).
+fn select_entering(
+    reduced: &[f64],
+    t: &Tableau,
+    phase: &Phase,
+    options: &SimplexOptions,
+    bland: bool,
+) -> Option<usize> {
+    let limit = match phase {
+        // During phase 2, never let an artificial variable re-enter the basis.
+        Phase::Two => t.artificial_start,
+        Phase::One => t.cols,
+    };
+    if bland {
+        (0..limit).find(|&c| reduced[c] < -options.tolerance)
+    } else {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..limit {
+            let r = reduced[c];
+            if r < -options.tolerance && best.map_or(true, |(_, b)| r < b) {
+                best = Some((c, r));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+/// Minimum-ratio test; returns the pivot row.
+fn select_leaving(
+    t: &Tableau,
+    entering: usize,
+    options: &SimplexOptions,
+    bland: bool,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for row in 0..t.rows {
+        let coeff = t.at(row, entering);
+        if coeff > options.tolerance {
+            let ratio = t.rhs(row) / coeff;
+            match best {
+                None => best = Some((row, ratio)),
+                Some((brow, bratio)) => {
+                    let better = if bland {
+                        // Bland: tie-break on the smallest basis column index.
+                        ratio < bratio - options.tolerance
+                            || ((ratio - bratio).abs() <= options.tolerance
+                                && t.basis[row] < t.basis[brow])
+                    } else {
+                        ratio < bratio - options.tolerance
+                            || ((ratio - bratio).abs() <= options.tolerance
+                                && t.at(row, entering) > t.at(brow, entering))
+                    };
+                    if better {
+                        best = Some((row, ratio));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(row, _)| row)
+}
+
+/// Performs a Gauss–Jordan pivot on `(pivot_row, pivot_col)` and updates both objective
+/// rows and the basis.
+fn pivot(t: &mut Tableau, pivot_row: usize, pivot_col: usize) {
+    let width = t.cols + 1;
+    let pivot_value = t.at(pivot_row, pivot_col);
+    debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
+
+    // Normalise the pivot row.
+    for col in 0..width {
+        *t.at_mut(pivot_row, col) /= pivot_value;
+    }
+    *t.at_mut(pivot_row, pivot_col) = 1.0;
+
+    // Eliminate the pivot column from all other rows.
+    for row in 0..t.rows {
+        if row == pivot_row {
+            continue;
+        }
+        let factor = t.at(row, pivot_col);
+        if factor != 0.0 {
+            for col in 0..width {
+                let delta = factor * t.at(pivot_row, col);
+                *t.at_mut(row, col) -= delta;
+            }
+            *t.at_mut(row, pivot_col) = 0.0;
+        }
+    }
+
+    // Update the two objective rows.
+    let factor = t.objective[pivot_col];
+    if factor != 0.0 {
+        for col in 0..width {
+            t.objective[col] -= factor * t.at(pivot_row, col);
+        }
+        t.objective[pivot_col] = 0.0;
+    }
+    let factor = t.phase1[pivot_col];
+    if factor != 0.0 {
+        for col in 0..width {
+            t.phase1[col] -= factor * t.at(pivot_row, col);
+        }
+        t.phase1[pivot_col] = 0.0;
+    }
+
+    t.basis[pivot_row] = pivot_col;
+}
+
+/// After phase 1, pivots any artificial variables that are still basic (at value zero)
+/// out of the basis, or marks their row as redundant.
+fn drive_out_artificials(t: &mut Tableau, options: &SimplexOptions) {
+    for row in 0..t.rows {
+        if t.basis[row] >= t.artificial_start {
+            // Find a non-artificial column with a nonzero coefficient in this row.
+            let mut found = None;
+            for col in 0..t.artificial_start {
+                if t.at(row, col).abs() > options.tolerance {
+                    found = Some(col);
+                    break;
+                }
+            }
+            if let Some(col) = found {
+                pivot(t, row, col);
+            }
+            // If no column is found the row is redundant (all zeros); the artificial
+            // stays basic at value zero which is harmless because phase 2 never lets
+            // artificial columns re-enter and the row cannot be selected for pivoting
+            // with a positive coefficient in any structural column.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Problem, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximize_two_variables() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic textbook problem).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 3.0);
+        p.set_objective_coefficient(y, 5.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective_value(), 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints() {
+        // min 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36, 10x + 30y >= 90.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 0.12);
+        p.set_objective_coefficient(y, 0.15);
+        p.add_constraint(&[(x, 60.0), (y, 60.0)], ConstraintOp::Ge, 300.0);
+        p.add_constraint(&[(x, 12.0), (y, 6.0)], ConstraintOp::Ge, 36.0);
+        p.add_constraint(&[(x, 10.0), (y, 30.0)], ConstraintOp::Ge, 90.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective_value(), 0.66);
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y s.t. x + y = 10, x - y = 2 -> x = 6, y = 4, obj = 14.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.set_objective_coefficient(y, 2.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 10.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 6.0);
+        assert_close(s.value(y), 4.0);
+        assert_close(s.objective_value(), 14.0);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalised() {
+        // x - y <= -2 with x, y >= 0 means y >= x + 2; maximize x + y bounded by y <= 5.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Le, -2.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 5.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(y), 5.0);
+        assert_close(s.value(x), 3.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x >= 5 and x <= 3 simultaneously.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective_coefficient(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 5.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 3.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn minimization_unbounded_below() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, -1.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 10.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A degenerate LP (multiple constraints intersect at the optimum).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(x, 2.0), (y, 1.0)], ConstraintOp::Le, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective_value(), 1.0);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert!(s.value(x) >= -1e-9 && s.value(x) <= 3.0 + 1e-9);
+        assert_close(s.objective_value(), 0.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_handled() {
+        // The same equality listed twice leaves a redundant artificial row after
+        // phase 1; the solver must still find the optimum.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 2.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 4.0);
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Eq, 8.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 1.0);
+        assert_close(s.objective_value(), 7.0);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 3.0);
+        p.set_objective_coefficient(y, 5.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
+        assert!(matches!(p.solve_with(&opts), Err(LpError::IterationLimit { .. })));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective_coefficient(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert!(s.stats().iterations >= 1);
+        assert_eq!(s.stats().rows, 1);
+        assert!(s.stats().columns >= 2);
+    }
+
+    #[test]
+    fn equal_throughput_structure_like_noncoop_oef() {
+        // A miniature version of the non-cooperative OEF program (9):
+        // two users, two GPU types with capacities 1 and 1, speedups (1,2) and (1,5).
+        // maximize total throughput subject to equal per-user throughput.
+        let mut p = Problem::new(Sense::Maximize);
+        let x11 = p.add_variable("x11");
+        let x12 = p.add_variable("x12");
+        let x21 = p.add_variable("x21");
+        let x22 = p.add_variable("x22");
+        for (v, c) in [(x11, 1.0), (x12, 2.0), (x21, 1.0), (x22, 5.0)] {
+            p.set_objective_coefficient(v, c);
+        }
+        p.add_constraint(&[(x11, 1.0), (x21, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(x12, 1.0), (x22, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(
+            &[(x11, 1.0), (x12, 2.0), (x21, -1.0), (x22, -5.0)],
+            ConstraintOp::Eq,
+            0.0,
+        );
+        let s = p.solve().unwrap();
+        let e1 = s.value(x11) + 2.0 * s.value(x12);
+        let e2 = s.value(x21) + 5.0 * s.value(x22);
+        assert!((e1 - e2).abs() < 1e-6, "equal-throughput constraint violated");
+        // Feasibility of capacities.
+        assert!(s.value(x11) + s.value(x21) <= 1.0 + 1e-6);
+        assert!(s.value(x12) + s.value(x22) <= 1.0 + 1e-6);
+    }
+}

@@ -1,0 +1,72 @@
+//! Solution type returned by the solver.
+
+use crate::problem::Variable;
+use crate::simplex::SolverStats;
+use serde::{Deserialize, Serialize};
+
+/// An optimal (or feasible, for a zero objective) solution to a [`crate::Problem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    values: Vec<f64>,
+    objective_value: f64,
+    stats: SolverStats,
+}
+
+impl Solution {
+    pub(crate) fn new(values: Vec<f64>, objective_value: f64, stats: SolverStats) -> Self {
+        Self { values, objective_value, stats }
+    }
+
+    /// Value of a decision variable at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` does not belong to the problem that produced this solution.
+    pub fn value(&self, variable: Variable) -> f64 {
+        self.values[variable.index()]
+    }
+
+    /// All variable values, indexed by [`Variable::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Objective value at the optimum (in the original optimisation sense).
+    pub fn objective_value(&self) -> f64 {
+        self.objective_value
+    }
+
+    /// Solver statistics for this solve.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Problem, Sense};
+
+    #[test]
+    fn values_accessor_matches_value() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 2.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 3.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.values().len(), 2);
+        assert_eq!(s.values()[0], s.value(x));
+        assert_eq!(s.values()[1], s.value(y));
+    }
+
+    #[test]
+    fn solution_serde_round_trip() {
+        let sol = Solution::new(vec![1.0, 2.0], 3.0, SolverStats::default());
+        let json = serde_json::to_string(&sol).unwrap();
+        let back: Solution = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sol);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random bounded LPs with `<=` constraints and non-negative
+//! right-hand sides (always feasible: the origin is feasible, and a box constraint per
+//! variable keeps them bounded).  Check that the reported solution is feasible, that
+//! the objective matches the primal values, and that it is at least as good as a
+//! brute-force sample of feasible points.
+
+use oef_lp::{ConstraintOp, LpError, Problem, Sense};
+use proptest::prelude::*;
+
+/// A randomly generated, always-feasible, always-bounded maximisation LP.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    objective: Vec<f64>,
+    /// `constraints[i] = (coefficients, rhs)` encoding `coeffs . x <= rhs`.
+    constraints: Vec<(Vec<f64>, f64)>,
+    /// Upper bound per variable (a `x_i <= ub_i` constraint).
+    upper_bounds: Vec<f64>,
+}
+
+fn random_lp(max_vars: usize, max_constraints: usize) -> impl Strategy<Value = RandomLp> {
+    (2..=max_vars, 1..=max_constraints).prop_flat_map(|(n, m)| {
+        let objective = proptest::collection::vec(0.0..10.0f64, n);
+        let upper_bounds = proptest::collection::vec(0.5..5.0f64, n);
+        let constraints = proptest::collection::vec(
+            (proptest::collection::vec(0.0..4.0f64, n), 1.0..20.0f64),
+            m,
+        );
+        (objective, upper_bounds, constraints).prop_map(|(objective, upper_bounds, constraints)| {
+            RandomLp { objective, constraints, upper_bounds }
+        })
+    })
+}
+
+fn build_problem(lp: &RandomLp) -> (Problem, Vec<oef_lp::Variable>) {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars = p.add_variables("x", lp.objective.len());
+    for (v, c) in vars.iter().zip(lp.objective.iter()) {
+        p.set_objective_coefficient(*v, *c);
+    }
+    for (coeffs, rhs) in &lp.constraints {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        p.add_constraint(&terms, ConstraintOp::Le, *rhs);
+    }
+    for (v, ub) in vars.iter().zip(lp.upper_bounds.iter()) {
+        p.add_constraint(&[(*v, 1.0)], ConstraintOp::Le, *ub);
+    }
+    (p, vars)
+}
+
+fn is_feasible(lp: &RandomLp, x: &[f64], tol: f64) -> bool {
+    if x.iter().any(|&v| v < -tol) {
+        return false;
+    }
+    for (coeffs, rhs) in &lp.constraints {
+        let lhs: f64 = coeffs.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        if lhs > rhs + tol {
+            return false;
+        }
+    }
+    for (v, ub) in x.iter().zip(lp.upper_bounds.iter()) {
+        if *v > ub + tol {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solution_is_feasible_and_objective_consistent(lp in random_lp(6, 6)) {
+        let (p, vars) = build_problem(&lp);
+        let sol = p.solve().expect("bounded feasible LP must solve");
+        let x: Vec<f64> = vars.iter().map(|v| sol.value(*v)).collect();
+        prop_assert!(is_feasible(&lp, &x, 1e-6), "solver returned infeasible point {x:?}");
+        let recomputed: f64 = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
+        prop_assert!((recomputed - sol.objective_value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_dominates_random_feasible_points(lp in random_lp(5, 4), seeds in proptest::collection::vec(0.0..1.0f64, 50)) {
+        let (p, vars) = build_problem(&lp);
+        let sol = p.solve().expect("bounded feasible LP must solve");
+        let n = vars.len();
+        // Sample candidate points inside the per-variable boxes and keep feasible ones;
+        // none of them may beat the reported optimum.
+        for chunk in seeds.chunks(n) {
+            if chunk.len() < n {
+                continue;
+            }
+            let candidate: Vec<f64> =
+                chunk.iter().zip(lp.upper_bounds.iter()).map(|(s, ub)| s * ub).collect();
+            if is_feasible(&lp, &candidate, 0.0) {
+                let value: f64 =
+                    lp.objective.iter().zip(candidate.iter()).map(|(c, v)| c * v).sum();
+                prop_assert!(value <= sol.objective_value() + 1e-6,
+                    "random feasible point beats the reported optimum");
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(lp in random_lp(5, 4), factor in 0.5..4.0f64) {
+        let (p, _) = build_problem(&lp);
+        let base = p.solve().unwrap().objective_value();
+
+        let mut scaled = lp.clone();
+        for c in &mut scaled.objective {
+            *c *= factor;
+        }
+        let (p2, _) = build_problem(&scaled);
+        let scaled_value = p2.solve().unwrap().objective_value();
+        prop_assert!((scaled_value - factor * base).abs() < 1e-5 * (1.0 + base.abs()));
+    }
+
+    #[test]
+    fn tightening_a_bound_never_improves_optimum(lp in random_lp(5, 4), which in 0usize..5, shrink in 0.1..0.9f64) {
+        let (p, _) = build_problem(&lp);
+        let base = p.solve().unwrap().objective_value();
+
+        let mut tightened = lp.clone();
+        let idx = which % tightened.upper_bounds.len();
+        tightened.upper_bounds[idx] *= shrink;
+        let (p2, _) = build_problem(&tightened);
+        let tightened_value = p2.solve().unwrap().objective_value();
+        prop_assert!(tightened_value <= base + 1e-6);
+    }
+}
+
+#[test]
+fn infeasible_system_is_detected_even_with_many_variables() {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars = p.add_variables("x", 10);
+    for v in &vars {
+        p.set_objective_coefficient(*v, 1.0);
+    }
+    let all: Vec<_> = vars.iter().map(|v| (*v, 1.0)).collect();
+    p.add_constraint(&all, ConstraintOp::Le, 1.0);
+    p.add_constraint(&all, ConstraintOp::Ge, 2.0);
+    assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+}
+
+#[test]
+fn equality_chain_mirrors_oef_equal_throughput() {
+    // Five users with speedups (1, i+1) sharing one slow and one fast GPU; equal
+    // throughput must hold pairwise at the optimum of the non-cooperative program.
+    let n = 5;
+    let mut p = Problem::new(Sense::Maximize);
+    let mut x = Vec::new();
+    for l in 0..n {
+        x.push((p.add_variable(format!("x{l}0")), p.add_variable(format!("x{l}1"))));
+    }
+    for (l, (slow, fast)) in x.iter().enumerate() {
+        p.set_objective_coefficient(*slow, 1.0);
+        p.set_objective_coefficient(*fast, (l + 2) as f64);
+    }
+    let slow_sum: Vec<_> = x.iter().map(|(s, _)| (*s, 1.0)).collect();
+    let fast_sum: Vec<_> = x.iter().map(|(_, f)| (*f, 1.0)).collect();
+    p.add_constraint(&slow_sum, ConstraintOp::Le, 4.0);
+    p.add_constraint(&fast_sum, ConstraintOp::Le, 4.0);
+    for l in 1..n {
+        let (s0, f0) = x[0];
+        let (sl, fl) = x[l];
+        p.add_constraint(
+            &[(s0, 1.0), (f0, 2.0), (sl, -1.0), (fl, -((l + 2) as f64))],
+            ConstraintOp::Eq,
+            0.0,
+        );
+    }
+    let sol = p.solve().unwrap();
+    let eff: Vec<f64> = x
+        .iter()
+        .enumerate()
+        .map(|(l, (s, f))| sol.value(*s) + (l + 2) as f64 * sol.value(*f))
+        .collect();
+    for e in &eff {
+        assert!((e - eff[0]).abs() < 1e-6, "unequal throughput {eff:?}");
+    }
+    assert!(sol.objective_value() > 0.0);
+}

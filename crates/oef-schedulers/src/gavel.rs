@@ -1,0 +1,209 @@
+//! Gavel's heterogeneity-aware max-min policy (Narayanan et al., OSDI '20), as
+//! characterised in §2.4 of the OEF paper.
+//!
+//! Gavel maximises the *minimum normalised ratio* between a tenant's achieved
+//! throughput and the throughput it would obtain from an equal `1/n` share of the
+//! cluster (which makes the policy sharing-incentive by construction).  Following the
+//! paper's characterisation (Expression (3): every user ends at the same ~1.08 ratio),
+//! the second stage pins every tenant to that equalised ratio rather than letting
+//! non-bottleneck tenants run ahead — which is exactly why the paper finds Gavel
+//! pareto-inefficient and short of optimal efficiency.  Both stages are linear programs
+//! solved with `oef-lp`.
+
+use oef_core::{Allocation, AllocationPolicy, ClusterSpec, OefError, Result, SpeedupMatrix};
+use oef_lp::{ConstraintOp, Problem, Sense, SimplexOptions};
+use serde::{Deserialize, Serialize};
+
+/// The Gavel scheduler (two-stage max-min-ratio LP).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gavel {
+    /// Options forwarded to the simplex solver.
+    pub solver_options: SimplexOptions,
+    /// Small slack subtracted from the stage-1 ratio when enforcing it in stage 2, to
+    /// keep the second LP numerically feasible.
+    pub ratio_slack: f64,
+}
+
+impl Default for Gavel {
+    fn default() -> Self {
+        Self { solver_options: SimplexOptions::default(), ratio_slack: 1e-7 }
+    }
+}
+
+impl Gavel {
+    /// Creates the scheduler with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fair_share_throughputs(cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Vec<f64> {
+        let share = cluster.equal_share(speedups.num_users());
+        (0..speedups.num_users()).map(|l| speedups.user(l).dot(&share)).collect()
+    }
+}
+
+impl AllocationPolicy for Gavel {
+    fn name(&self) -> &str {
+        "gavel"
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        let n = speedups.num_users();
+        if n == 0 {
+            return Err(OefError::NoUsers);
+        }
+        let k = cluster.num_gpu_types();
+        let fair = Self::fair_share_throughputs(cluster, speedups);
+
+        // Stage 1: maximise the minimum ratio t = min_l (W_l . x_l) / fair_l.
+        let mut stage1 = Problem::new(Sense::Maximize);
+        let t = stage1.add_variable("t");
+        stage1.set_objective_coefficient(t, 1.0);
+        let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
+            .map(|l| (0..k).map(|j| stage1.add_variable(format!("x_{l}_{j}"))).collect())
+            .collect();
+        for j in 0..k {
+            let terms: Vec<_> = (0..n).map(|l| (vars[l][j], 1.0)).collect();
+            stage1.add_constraint(&terms, ConstraintOp::Le, cluster.capacity(j));
+        }
+        for l in 0..n {
+            let mut terms: Vec<_> =
+                (0..k).map(|j| (vars[l][j], speedups.speedup(l, j))).collect();
+            terms.push((t, -fair[l]));
+            stage1.add_constraint(&terms, ConstraintOp::Ge, 0.0);
+        }
+        let stage1_solution = stage1.solve_with(&self.solver_options)?;
+        let best_ratio = stage1_solution.value(t);
+
+        // Stage 2: pin every tenant to the equalised ratio (within a tiny numerical
+        // band), as in the paper's Expression (3) where all users end at ~1.08x their
+        // fair share.  The objective prefers vertices with high total throughput within
+        // that band but cannot lift anyone above the equalised ratio — which is exactly
+        // why the paper finds Gavel pareto-inefficient.
+        let mut stage2 = Problem::new(Sense::Maximize);
+        let vars2: Vec<Vec<oef_lp::Variable>> = (0..n)
+            .map(|l| (0..k).map(|j| stage2.add_variable(format!("x_{l}_{j}"))).collect())
+            .collect();
+        for l in 0..n {
+            for j in 0..k {
+                stage2.set_objective_coefficient(vars2[l][j], speedups.speedup(l, j));
+            }
+        }
+        for j in 0..k {
+            let terms: Vec<_> = (0..n).map(|l| (vars2[l][j], 1.0)).collect();
+            stage2.add_constraint(&terms, ConstraintOp::Le, cluster.capacity(j));
+        }
+        let floor = (best_ratio - self.ratio_slack).max(0.0);
+        let ceiling = best_ratio + self.ratio_slack;
+        for l in 0..n {
+            let terms: Vec<_> = (0..k).map(|j| (vars2[l][j], speedups.speedup(l, j))).collect();
+            stage2.add_constraint(&terms, ConstraintOp::Ge, floor * fair[l]);
+            let terms: Vec<_> = (0..k).map(|j| (vars2[l][j], speedups.speedup(l, j))).collect();
+            stage2.add_constraint(&terms, ConstraintOp::Le, ceiling * fair[l]);
+        }
+        let stage2_solution = stage2.solve_with(&self.solver_options)?;
+
+        let rows: Vec<Vec<f64>> = vars2
+            .iter()
+            .map(|row| row.iter().map(|v| stage2_solution.value(*v)).collect())
+            .collect();
+        Allocation::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_core::fairness;
+
+    fn two_type_cluster() -> ClusterSpec {
+        ClusterSpec::homogeneous_counts(&["g1", "g2"], &[1.0, 1.0]).unwrap()
+    }
+
+    fn paper_matrix() -> SpeedupMatrix {
+        SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn equalises_normalised_ratios_like_expression_3() {
+        // Expression (3): efficiencies ~ <1.09, 1.44, 1.8>, i.e. ratios ~1.08 for all.
+        let cluster = two_type_cluster();
+        let w = paper_matrix();
+        let a = Gavel::new().allocate(&cluster, &w).unwrap();
+        let fair = Gavel::fair_share_throughputs(&cluster, &w);
+        let eff = a.user_efficiencies(&w);
+        let ratios: Vec<f64> = eff.iter().zip(fair.iter()).map(|(e, f)| e / f).collect();
+        // All ratios should be at least the equalised value (~1.08).
+        for r in &ratios {
+            assert!(*r >= 1.05, "ratios {ratios:?}");
+        }
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((min - 1.08).abs() < 0.03, "expected min ratio ~1.08, got {min}");
+        assert!(a.is_feasible(&cluster));
+    }
+
+    #[test]
+    fn is_sharing_incentive_by_construction() {
+        let cluster = two_type_cluster();
+        let w = paper_matrix();
+        let a = Gavel::new().allocate(&cluster, &w).unwrap();
+        let report = fairness::check_sharing_incentive(&a, &w, &cluster, 1e-6);
+        assert!(report.sharing_incentive, "ratios {:?}", report.ratios);
+    }
+
+    #[test]
+    fn total_efficiency_below_cooperative_oef() {
+        // §2.4 argues Gavel's total efficiency is lower than the envy-free optimum (4.5).
+        let cluster = two_type_cluster();
+        let w = paper_matrix();
+        let gavel = Gavel::new().allocate(&cluster, &w).unwrap();
+        let oef = oef_core::CooperativeOef::default().allocate(&cluster, &w).unwrap();
+        assert!(
+            gavel.total_efficiency(&w) < oef.total_efficiency(&w) - 0.05,
+            "Gavel {} vs OEF {}",
+            gavel.total_efficiency(&w),
+            oef.total_efficiency(&w)
+        );
+    }
+
+    #[test]
+    fn violates_strategy_proofness() {
+        // §2.4: user 1 raising its reported speedup on GPU2 to 2.5 gains throughput.
+        let cluster = two_type_cluster();
+        let w = paper_matrix();
+        let report = fairness::probe_strategy_proofness(
+            &Gavel::new(),
+            &cluster,
+            &w,
+            &[1.25, 1.5, 2.0],
+            1e-6,
+        )
+        .unwrap();
+        assert!(
+            !report.strategy_proof,
+            "Gavel should admit a profitable lie, max gain {}",
+            report.max_relative_gain
+        );
+    }
+
+    #[test]
+    fn single_user_gets_whole_cluster() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let w = SpeedupMatrix::from_rows(vec![vec![1.0, 1.5, 2.0]]).unwrap();
+        let a = Gavel::new().allocate(&cluster, &w).unwrap();
+        assert!((a.user_efficiency(0, &w) - 36.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn many_identical_users_get_equal_ratios() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let w = SpeedupMatrix::from_rows(vec![vec![1.0, 1.5, 2.0]; 6]).unwrap();
+        let a = Gavel::new().allocate(&cluster, &w).unwrap();
+        let eff = a.user_efficiencies(&w);
+        let expected = (8.0 + 12.0 + 16.0) / 6.0;
+        for e in &eff {
+            assert!((e - expected).abs() < 1e-4, "eff {eff:?}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # oef-schedulers — baseline schedulers for heterogeneous GPU clusters
+//!
+//! The OEF paper evaluates against three baselines, all reimplemented here behind the
+//! same [`AllocationPolicy`] trait as the OEF mechanisms so experiments can swap
+//! policies freely:
+//!
+//! * [`MaxMin`] — heterogeneity-oblivious max-min fairness: every tenant receives an
+//!   equal share of every GPU type.
+//! * [`GandivaFair`] — max-min fairness followed by greedy pairwise trading of slow-GPU
+//!   shares for fast-GPU shares (§2.4 of the paper).
+//! * [`Gavel`] — the heterogeneity-aware max-min policy of Narayanan et al.: maximise
+//!   the minimum ratio between a tenant's throughput and its equal-share throughput,
+//!   then use leftover capacity for total throughput.
+//! * [`MaxEfficiency`] — pure efficiency maximisation (Eq. (4)), the unfair upper bound
+//!   used to quantify the price of fairness.
+//!
+//! ```
+//! use oef_core::{AllocationPolicy, ClusterSpec, SpeedupMatrix};
+//! use oef_schedulers::{GandivaFair, Gavel, MaxMin};
+//!
+//! let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
+//! let speedups = SpeedupMatrix::from_rows(vec![
+//!     vec![1.0, 2.0],
+//!     vec![1.0, 3.0],
+//!     vec![1.0, 4.0],
+//! ]).unwrap();
+//!
+//! let max_min = MaxMin::default();
+//! let gandiva = GandivaFair::default();
+//! let gavel = Gavel::default();
+//! for policy in [&max_min as &dyn AllocationPolicy, &gandiva, &gavel] {
+//!     let allocation = policy.allocate(&cluster, &speedups).unwrap();
+//!     assert!(allocation.is_feasible(&cluster));
+//! }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gandiva_fair;
+mod gavel;
+mod max_efficiency;
+mod max_min;
+
+pub use gandiva_fair::GandivaFair;
+pub use gavel::Gavel;
+pub use max_efficiency::MaxEfficiency;
+pub use max_min::MaxMin;
+
+/// Re-export of the policy trait implemented by every scheduler in this crate, so
+/// downstream code can depend on `oef-schedulers` alone.
+pub use oef_core::AllocationPolicy;
+
+/// Alias kept for readability in simulator / benchmark code: a scheduler is just an
+/// allocation policy.
+pub use oef_core::AllocationPolicy as Scheduler;
+
+/// Returns one boxed instance of every scheduler in this crate plus both OEF
+/// mechanisms, keyed by name — convenient for experiment sweeps.
+pub fn all_policies() -> Vec<oef_core::BoxedPolicy> {
+    vec![
+        Box::new(oef_core::NonCooperativeOef::default()),
+        Box::new(oef_core::CooperativeOef::default()),
+        Box::new(MaxMin::default()),
+        Box::new(GandivaFair::default()),
+        Box::new(Gavel::default()),
+        Box::new(MaxEfficiency::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_have_unique_names() {
+        let policies = all_policies();
+        let mut names: Vec<_> = policies.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names.len(), 6);
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 6, "duplicate policy names");
+    }
+}

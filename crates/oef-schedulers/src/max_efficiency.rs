@@ -1,0 +1,97 @@
+//! Pure efficiency maximisation (Eq. (4) of the paper).
+//!
+//! This scheduler ignores fairness entirely: every GPU type is handed to the tenant
+//! with the largest speedup on it.  The paper uses it to show that unconstrained
+//! efficiency maximisation starves slow-speedup tenants (§3.1.1); the benchmark harness
+//! uses it as the upper bound when reporting efficiency ratios.
+
+use oef_core::{Allocation, AllocationPolicy, ClusterSpec, OefError, Result, SpeedupMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Efficiency-only scheduler: each GPU type goes to the tenant that accelerates most
+/// on it (ties broken towards the lower tenant index).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxEfficiency;
+
+impl MaxEfficiency {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AllocationPolicy for MaxEfficiency {
+    fn name(&self) -> &str {
+        "max-efficiency"
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        let n = speedups.num_users();
+        if n == 0 {
+            return Err(OefError::NoUsers);
+        }
+        let k = cluster.num_gpu_types();
+        let mut rows = vec![vec![0.0; k]; n];
+        for j in 0..k {
+            let mut best_user = 0;
+            let mut best_speedup = f64::NEG_INFINITY;
+            for l in 0..n {
+                let s = speedups.speedup(l, j);
+                if s > best_speedup {
+                    best_speedup = s;
+                    best_user = l;
+                }
+            }
+            rows[best_user][j] = cluster.capacity(j);
+        }
+        Allocation::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_core::fairness;
+
+    #[test]
+    fn assigns_each_type_to_fastest_user() {
+        // §3.1.1 example, Expression (5): GPU2 goes to u3, GPU1 to u1 (lowest index on a
+        // tie of speedup 1).
+        let cluster = ClusterSpec::homogeneous_counts(&["g1", "g2"], &[1.0, 1.0]).unwrap();
+        let speedups =
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
+                .unwrap();
+        let a = MaxEfficiency.allocate(&cluster, &speedups).unwrap();
+        assert_eq!(a.user_row(0), &[1.0, 0.0]);
+        assert_eq!(a.user_row(1), &[0.0, 0.0]);
+        assert_eq!(a.user_row(2), &[0.0, 1.0]);
+        // Total efficiency equals the unconstrained optimum of Eq. (4).
+        assert!(
+            (a.total_efficiency(&speedups) - fairness::max_total_efficiency(&cluster, &speedups))
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn starves_users_and_violates_fairness() {
+        let cluster = ClusterSpec::homogeneous_counts(&["g1", "g2"], &[1.0, 1.0]).unwrap();
+        let speedups =
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
+                .unwrap();
+        let a = MaxEfficiency.allocate(&cluster, &speedups).unwrap();
+        let envy = fairness::check_envy_freeness(&a, &speedups, 1e-9);
+        assert!(!envy.envy_free, "pure efficiency maximisation should create envy");
+        let si = fairness::check_sharing_incentive(&a, &speedups, &cluster, 1e-9);
+        assert!(!si.sharing_incentive, "user 2 is starved so SI must fail");
+    }
+
+    #[test]
+    fn single_user_cluster() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.5, 2.0]]).unwrap();
+        let a = MaxEfficiency.allocate(&cluster, &speedups).unwrap();
+        assert_eq!(a.user_row(0), &[8.0, 8.0, 8.0]);
+    }
+}

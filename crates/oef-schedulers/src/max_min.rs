@@ -1,0 +1,81 @@
+//! Heterogeneity-oblivious max-min fairness.
+//!
+//! In a heterogeneous GPU cluster the classic max-min principle degenerates to "give
+//! every tenant an equal share of every GPU type" (§2.3.3): because every tenant wants
+//! as much of every type as it can get, progressive filling equalises the per-type
+//! shares at `m_j / n`.  This is the baseline Fig. 1(b) and Fig. 5(a) compare against
+//! and the starting point of Gandiva_fair's trading phase.
+
+use oef_core::{Allocation, AllocationPolicy, ClusterSpec, OefError, Result, SpeedupMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Max-min fair scheduler: equal split of every GPU type across tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxMin;
+
+impl MaxMin {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AllocationPolicy for MaxMin {
+    fn name(&self) -> &str {
+        "max-min"
+    }
+
+    fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        let n = speedups.num_users();
+        if n == 0 {
+            return Err(OefError::NoUsers);
+        }
+        let row: Vec<f64> = cluster.equal_share(n);
+        Allocation::new(vec![row; n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_of_every_type() {
+        let cluster = ClusterSpec::paper_evaluation_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![
+            vec![1.0, 1.2, 1.39],
+            vec![1.0, 1.6, 2.15],
+            vec![1.0, 1.4, 1.8],
+            vec![1.0, 1.1, 1.3],
+        ])
+        .unwrap();
+        let a = MaxMin::new().allocate(&cluster, &speedups).unwrap();
+        for l in 0..4 {
+            assert_eq!(a.user_row(l), &[2.0, 2.0, 2.0]);
+        }
+        assert!(a.is_feasible(&cluster));
+    }
+
+    #[test]
+    fn fig1b_max_min_throughputs() {
+        // Fig. 1(b): under max-min the VGG user reaches 1.19x and the LSTM user 1.57x
+        // (speedups 1.39 and 2.15 on the fast GPU, one device of each type).
+        let cluster = ClusterSpec::homogeneous_counts(&["rtx3070", "rtx3090"], &[1.0, 1.0]).unwrap();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.39], vec![1.0, 2.15]]).unwrap();
+        let a = MaxMin.allocate(&cluster, &speedups).unwrap();
+        let eff = a.user_efficiencies(&speedups);
+        assert!((eff[0] - 1.195).abs() < 1e-9);
+        assert!((eff[1] - 1.575).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let cluster = ClusterSpec::homogeneous_counts(&["a"], &[1.0]).unwrap();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            MaxMin.allocate(&cluster, &speedups),
+            Err(OefError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! # oef-sim — round-based cluster simulator for the OEF reproduction
+//!
+//! The paper evaluates OEF on a physical 24-GPU cluster over hours to days of wall
+//! clock.  This crate replaces that testbed with a deterministic round-based simulator:
+//! every round the chosen [`AllocationPolicy`](oef_core::AllocationPolicy) computes
+//! fractional fair shares from the tenants' *reported* speedups, the placer rounds them
+//! to whole devices and packs them onto hosts, and jobs advance subject to network
+//! contention and straggler penalties.
+//!
+//! * [`SimulationEngine`] / [`SimulationConfig`] — the control loop.
+//! * [`SimulationReport`] / [`RoundRecord`] — per-round throughput, JCT and straggler
+//!   metrics, with the paper's estimated-vs-actual split.
+//! * [`Scenario`] — declarative construction of cluster states, including from
+//!   synthetic Philly-like traces.
+//!
+//! ```
+//! use oef_core::{NonCooperativeOef, SpeedupVector};
+//! use oef_sim::{Scenario, SimulationConfig, SimulationEngine};
+//!
+//! let state = Scenario::on_paper_cluster()
+//!     .with_tenant("vgg-user", SpeedupVector::new(vec![1.0, 1.18, 1.39]).unwrap(), 4, 1, 1e7)
+//!     .with_tenant("lstm-user", SpeedupVector::new(vec![1.0, 1.55, 2.15]).unwrap(), 4, 1, 1e7)
+//!     .build();
+//! let mut engine = SimulationEngine::new(state, SimulationConfig::default());
+//! let report = engine.run(&NonCooperativeOef::default(), 10).unwrap();
+//! assert_eq!(report.rounds.len(), 10);
+//! assert!(report.avg_total_actual() > 0.0);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod metrics;
+mod scenario;
+
+pub use engine::{SimulationConfig, SimulationEngine};
+pub use metrics::{JctStats, RoundRecord, SimulationReport, TenantRound};
+pub use scenario::{Scenario, ScenarioTenant};

@@ -1,0 +1,234 @@
+//! Metrics collected by the simulator.
+//!
+//! The paper distinguishes the **estimated** throughput (what the fair-share evaluator
+//! promises, used in the "estimated" bars of Fig. 5, 7 and 8) from the **actual**
+//! throughput (what the cluster delivers after rounding, placement, network contention
+//! and the straggler effect).  Both are recorded per tenant per round, together with
+//! the JCT statistics of §6.3.2 and the straggler counters of §6.3.3.
+
+use oef_cluster::StragglerStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-tenant measurements for a single scheduling round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantRound {
+    /// Tenant index in the cluster state.
+    pub tenant: usize,
+    /// Normalised throughput promised by the fair-share evaluator (`W_l · x_l` with the
+    /// tenant's true speedups).
+    pub estimated_throughput: f64,
+    /// Normalised throughput actually delivered after placement and runtime effects.
+    pub actual_throughput: f64,
+    /// Number of whole devices the tenant held this round.
+    pub devices_held: usize,
+}
+
+/// One scheduling round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Simulated time at the start of the round, in seconds.
+    pub time_secs: f64,
+    /// Wall-clock time the fair-share evaluator took, in seconds (Fig. 10(a)).
+    pub solver_time_secs: f64,
+    /// Per-tenant measurements (only tenants active this round appear).
+    pub tenants: Vec<TenantRound>,
+}
+
+impl RoundRecord {
+    /// Total estimated throughput across tenants this round.
+    pub fn total_estimated(&self) -> f64 {
+        self.tenants.iter().map(|t| t.estimated_throughput).sum()
+    }
+
+    /// Total actual throughput across tenants this round.
+    pub fn total_actual(&self) -> f64 {
+        self.tenants.iter().map(|t| t.actual_throughput).sum()
+    }
+
+    /// Measurement of a specific tenant this round, if it was active.
+    pub fn tenant(&self, tenant: usize) -> Option<&TenantRound> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+}
+
+/// Summary statistics of job completion times.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JctStats {
+    /// Number of finished jobs.
+    pub finished_jobs: usize,
+    /// Mean JCT in seconds.
+    pub mean_secs: f64,
+    /// Median (p50) JCT in seconds.
+    pub p50_secs: f64,
+    /// 95th-percentile JCT in seconds.
+    pub p95_secs: f64,
+    /// Maximum JCT in seconds.
+    pub max_secs: f64,
+}
+
+impl JctStats {
+    /// Computes statistics from raw JCTs; returns zeros when no job has finished.
+    pub fn from_jcts(mut jcts: Vec<f64>) -> Self {
+        if jcts.is_empty() {
+            return Self { finished_jobs: 0, mean_secs: 0.0, p50_secs: 0.0, p95_secs: 0.0, max_secs: 0.0 };
+        }
+        jcts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = jcts.len();
+        let mean = jcts.iter().sum::<f64>() / n as f64;
+        let pct = |p: f64| jcts[(((n - 1) as f64) * p).round() as usize];
+        Self {
+            finished_jobs: n,
+            mean_secs: mean,
+            p50_secs: pct(0.5),
+            p95_secs: pct(0.95),
+            max_secs: jcts[n - 1],
+        }
+    }
+}
+
+/// Complete output of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Name of the policy that was simulated.
+    pub policy: String,
+    /// Length of a scheduling round in seconds.
+    pub round_secs: f64,
+    /// Per-round records.
+    pub rounds: Vec<RoundRecord>,
+    /// Straggler counters accumulated over the run (§6.3.3).
+    pub straggler: StragglerStats,
+    /// JCT statistics over jobs that finished during the run (§6.3.2).
+    pub jct: JctStats,
+    /// Simulated time at the end of the run, in seconds.
+    pub end_time_secs: f64,
+    /// Number of jobs that were still unfinished at the end of the run.
+    pub unfinished_jobs: usize,
+}
+
+impl SimulationReport {
+    /// Average total estimated throughput over rounds that had at least one active
+    /// tenant.
+    pub fn avg_total_estimated(&self) -> f64 {
+        average(self.rounds.iter().filter(|r| !r.tenants.is_empty()).map(RoundRecord::total_estimated))
+    }
+
+    /// Average total actual throughput over rounds that had at least one active tenant.
+    pub fn avg_total_actual(&self) -> f64 {
+        average(self.rounds.iter().filter(|r| !r.tenants.is_empty()).map(RoundRecord::total_actual))
+    }
+
+    /// Average actual throughput of one tenant over the rounds in which it was active.
+    pub fn avg_tenant_actual(&self, tenant: usize) -> f64 {
+        average(self.rounds.iter().filter_map(|r| r.tenant(tenant).map(|t| t.actual_throughput)))
+    }
+
+    /// Average estimated throughput of one tenant over the rounds in which it was
+    /// active.
+    pub fn avg_tenant_estimated(&self, tenant: usize) -> f64 {
+        average(self.rounds.iter().filter_map(|r| r.tenant(tenant).map(|t| t.estimated_throughput)))
+    }
+
+    /// Time series `(time, actual_throughput)` of one tenant (Fig. 4 / Fig. 5(b)).
+    pub fn tenant_timeseries(&self, tenant: usize) -> Vec<(f64, f64)> {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.tenant(tenant).map(|t| (r.time_secs, t.actual_throughput)))
+            .collect()
+    }
+
+    /// Average wall-clock solver time per round, in seconds (Fig. 10(a)).
+    pub fn avg_solver_time(&self) -> f64 {
+        average(self.rounds.iter().map(|r| r.solver_time_secs))
+    }
+}
+
+fn average<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, estimated: &[f64], actual: &[f64]) -> RoundRecord {
+        RoundRecord {
+            round,
+            time_secs: round as f64 * 300.0,
+            solver_time_secs: 0.001,
+            tenants: estimated
+                .iter()
+                .zip(actual.iter())
+                .enumerate()
+                .map(|(i, (e, a))| TenantRound {
+                    tenant: i,
+                    estimated_throughput: *e,
+                    actual_throughput: *a,
+                    devices_held: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_totals_and_lookup() {
+        let r = record(0, &[1.0, 2.0], &[0.9, 1.8]);
+        assert!((r.total_estimated() - 3.0).abs() < 1e-12);
+        assert!((r.total_actual() - 2.7).abs() < 1e-12);
+        assert_eq!(r.tenant(1).unwrap().actual_throughput, 1.8);
+        assert!(r.tenant(5).is_none());
+    }
+
+    #[test]
+    fn jct_stats_from_values() {
+        let stats = JctStats::from_jcts(vec![10.0, 20.0, 30.0, 40.0, 100.0]);
+        assert_eq!(stats.finished_jobs, 5);
+        assert!((stats.mean_secs - 40.0).abs() < 1e-12);
+        assert_eq!(stats.p50_secs, 30.0);
+        assert_eq!(stats.max_secs, 100.0);
+        let empty = JctStats::from_jcts(vec![]);
+        assert_eq!(empty.finished_jobs, 0);
+        assert_eq!(empty.mean_secs, 0.0);
+    }
+
+    #[test]
+    fn report_averages_skip_empty_rounds() {
+        let report = SimulationReport {
+            policy: "test".into(),
+            round_secs: 300.0,
+            rounds: vec![
+                record(0, &[1.0, 1.0], &[1.0, 0.5]),
+                RoundRecord { round: 1, time_secs: 300.0, solver_time_secs: 0.0, tenants: vec![] },
+                record(2, &[3.0, 1.0], &[2.0, 0.5]),
+            ],
+            straggler: StragglerStats::default(),
+            jct: JctStats::from_jcts(vec![]),
+            end_time_secs: 900.0,
+            unfinished_jobs: 0,
+        };
+        assert!((report.avg_total_estimated() - 3.0).abs() < 1e-12);
+        assert!((report.avg_total_actual() - 2.0).abs() < 1e-12);
+        assert!((report.avg_tenant_actual(0) - 1.5).abs() < 1e-12);
+        assert!((report.avg_tenant_estimated(1) - 1.0).abs() < 1e-12);
+        assert_eq!(report.tenant_timeseries(0).len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = record(3, &[1.0], &[0.8]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,203 @@
+//! Declarative scenario construction.
+//!
+//! Experiments, examples and benches all need to build a [`ClusterState`] with a
+//! specific tenant mix; [`Scenario`] provides a small builder for that, including
+//! loading a synthetic [`Trace`] produced by `oef-workloads`.
+
+use oef_cluster::{ClusterState, ClusterTopology, Job, JobId, Tenant};
+use oef_core::SpeedupVector;
+use oef_workloads::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Specification of one tenant in a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioTenant {
+    /// Tenant name.
+    pub name: String,
+    /// Speedup profile of the tenant's jobs.
+    pub speedup: SpeedupVector,
+    /// Priority weight.
+    pub weight: u32,
+    /// Number of identical jobs to submit at time zero.
+    pub num_jobs: usize,
+    /// Workers per job.
+    pub workers: usize,
+    /// Work per job in slow-GPU seconds.
+    pub work_per_job: f64,
+}
+
+/// A declarative description of a simulation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    topology: ClusterTopology,
+    tenants: Vec<ScenarioTenant>,
+}
+
+impl Scenario {
+    /// Starts a scenario on the given topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        Self { topology, tenants: Vec::new() }
+    }
+
+    /// Starts a scenario on the paper's 24-GPU cluster.
+    pub fn on_paper_cluster() -> Self {
+        Self::new(ClusterTopology::paper_cluster())
+    }
+
+    /// Adds a tenant with a batch of identical jobs, builder style.
+    pub fn with_tenant(
+        mut self,
+        name: impl Into<String>,
+        speedup: SpeedupVector,
+        num_jobs: usize,
+        workers: usize,
+        work_per_job: f64,
+    ) -> Self {
+        self.tenants.push(ScenarioTenant {
+            name: name.into(),
+            speedup,
+            weight: 1,
+            num_jobs,
+            workers,
+            work_per_job,
+        });
+        self
+    }
+
+    /// Sets the weight of the most recently added tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tenant has been added yet.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.tenants.last_mut().expect("with_weight requires a tenant").weight = weight;
+        self
+    }
+
+    /// Tenants declared so far.
+    pub fn tenants(&self) -> &[ScenarioTenant] {
+        &self.tenants
+    }
+
+    /// The topology of the scenario.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Materialises the scenario into a [`ClusterState`].
+    pub fn build(&self) -> ClusterState {
+        let mut state = ClusterState::new(self.topology.clone());
+        for spec in &self.tenants {
+            let id = state
+                .add_tenant(Tenant::new(0, spec.name.clone(), spec.speedup.clone()).with_weight(spec.weight));
+            for _ in 0..spec.num_jobs {
+                state.submit_job(
+                    id,
+                    Job::new(
+                        JobId(0),
+                        id,
+                        "scenario-job",
+                        spec.workers,
+                        spec.speedup.clone(),
+                        spec.work_per_job,
+                        0.0,
+                    ),
+                );
+            }
+        }
+        state
+    }
+
+    /// Materialises a cluster state from a synthetic trace: one tenant per trace
+    /// tenant, with that tenant's jobs and arrival times.
+    pub fn from_trace(topology: ClusterTopology, trace: &Trace) -> ClusterState {
+        let mut state = ClusterState::new(topology);
+        for trace_tenant in &trace.tenants {
+            let representative = trace_tenant
+                .jobs
+                .first()
+                .map(|j| j.speedup.clone())
+                .unwrap_or_else(|| {
+                    SpeedupVector::new(vec![1.0; trace.num_gpu_types.max(1)])
+                        .expect("uniform vector is valid")
+                });
+            let id = state.add_tenant(
+                Tenant::new(0, trace_tenant.name.clone(), representative)
+                    .with_weight(trace_tenant.weight),
+            );
+            for job in &trace_tenant.jobs {
+                state.submit_job(
+                    id,
+                    Job::new(
+                        JobId(0),
+                        id,
+                        job.model.clone(),
+                        job.workers,
+                        job.speedup.clone(),
+                        job.total_work,
+                        job.arrival_time,
+                    ),
+                );
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_workloads::{PhillyTraceGenerator, TraceConfig};
+
+    fn sv(values: Vec<f64>) -> SpeedupVector {
+        SpeedupVector::new(values).unwrap()
+    }
+
+    #[test]
+    fn builder_creates_tenants_and_jobs() {
+        let state = Scenario::on_paper_cluster()
+            .with_tenant("vgg-user", sv(vec![1.0, 1.18, 1.39]), 3, 2, 1000.0)
+            .with_tenant("lstm-user", sv(vec![1.0, 1.55, 2.15]), 2, 1, 500.0)
+            .with_weight(2)
+            .build();
+        assert_eq!(state.tenants().len(), 2);
+        assert_eq!(state.tenant(0).jobs.len(), 3);
+        assert_eq!(state.tenant(1).jobs.len(), 2);
+        assert_eq!(state.tenant(1).weight, 2);
+        assert_eq!(state.tenant(0).jobs[0].workers, 2);
+    }
+
+    #[test]
+    fn from_trace_preserves_job_counts_and_arrivals() {
+        let trace = PhillyTraceGenerator::new(TraceConfig {
+            num_tenants: 5,
+            jobs_per_tenant: 4,
+            ..Default::default()
+        })
+        .generate();
+        let state = Scenario::from_trace(ClusterTopology::paper_cluster(), &trace);
+        assert_eq!(state.tenants().len(), 5);
+        let total_jobs: usize = state.tenants().iter().map(|t| t.jobs.len()).sum();
+        assert_eq!(total_jobs, trace.num_jobs());
+        // Jobs with positive arrival times start pending.
+        let any_pending = state
+            .tenants()
+            .iter()
+            .flat_map(|t| t.jobs.iter())
+            .any(|j| matches!(j.state, oef_cluster::JobState::Pending));
+        assert!(any_pending);
+    }
+
+    #[test]
+    fn scenario_accessors() {
+        let scenario = Scenario::on_paper_cluster().with_tenant(
+            "a",
+            sv(vec![1.0, 1.2, 1.4]),
+            1,
+            1,
+            10.0,
+        );
+        assert_eq!(scenario.tenants().len(), 1);
+        assert_eq!(scenario.topology().total_devices(), 24);
+    }
+}

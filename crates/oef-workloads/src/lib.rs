@@ -1,0 +1,25 @@
+//! # oef-workloads — DL model profiles and synthetic traces
+//!
+//! The OEF evaluation uses six DL models (VGG, ResNet, DenseNet on CIFAR-100; LSTM,
+//! RNN, Transformer on WikiText-2) trained on RTX 3070/3080/3090 GPUs with random
+//! hyper-parameters, and keeps contention at the level observed in Microsoft's Philly
+//! trace.  Neither the physical GPUs nor the proprietary trace are available here, so
+//! this crate provides the substitutes documented in `DESIGN.md`:
+//!
+//! * [`DlModel`] and [`ModelCatalog`] — a profile table with the relative speedups the
+//!   paper reports (e.g. VGG 1.39×, LSTM 2.15× on the 3090) plus hyper-parameter
+//!   jitter, so every generated job has a realistic speedup vector.
+//! * [`PhillyTraceGenerator`] — a synthetic multi-tenant trace with Poisson arrivals
+//!   and log-normal job durations whose contention level can be tuned to match the
+//!   Philly characteristics the paper cites.
+//! * [`Trace`] / [`TraceJob`] — serialisable trace containers consumed by `oef-sim`.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod models;
+mod philly;
+mod trace;
+
+pub use models::{DlModel, ModelCatalog, ModelDomain};
+pub use philly::{PhillyTraceGenerator, TraceConfig};
+pub use trace::{Trace, TraceJob, TraceTenant};

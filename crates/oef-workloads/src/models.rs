@@ -1,0 +1,220 @@
+//! DL model catalogue with per-GPU-type speedup profiles.
+//!
+//! The numbers are anchored on the measurements the paper reports or implies:
+//! Fig. 1(a) gives VGG a 1.39× and LSTM a 2.15× speedup on the RTX 3090 relative to the
+//! RTX 3070.  The remaining models are filled in with profiles consistent with their
+//! architectural families (compute-bound CNNs gain less from newer GPUs than
+//! memory-bandwidth-bound sequence models of this size).  Hyper-parameter variation
+//! (batch size, learning rate) perturbs the profile slightly, as in §6.1.2.
+
+use oef_core::{Result, SpeedupVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Task domain of a DL model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelDomain {
+    /// Image classification on CIFAR-100.
+    ImageClassification,
+    /// Language modelling on WikiText-2.
+    LanguageModeling,
+}
+
+/// One DL model family with its speedup profile across the paper's three GPU types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DlModel {
+    /// Model name (e.g. `"vgg16"`).
+    pub name: String,
+    /// Task domain.
+    pub domain: ModelDomain,
+    /// Speedup on the RTX 3070 / 3080 / 3090, normalised to the 3070.
+    pub base_speedup: Vec<f64>,
+    /// Typical number of GPU workers requested by jobs of this model.
+    pub typical_workers: usize,
+    /// Mean job duration in seconds when run on a single slowest-type GPU.
+    pub mean_duration_secs: f64,
+}
+
+impl DlModel {
+    /// Speedup vector of this model without hyper-parameter jitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stored profile is malformed (cannot happen for the
+    /// built-in catalogue).
+    pub fn speedup(&self) -> Result<SpeedupVector> {
+        SpeedupVector::new(self.base_speedup.clone())
+    }
+
+    /// Speedup vector with multiplicative hyper-parameter jitter of at most
+    /// `jitter` on the non-slowest types, deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the jittered profile is invalid (cannot happen for
+    /// `jitter < 1`).
+    pub fn speedup_with_jitter(&self, jitter: f64, seed: u64) -> Result<SpeedupVector> {
+        let base = self.speedup()?;
+        if jitter <= 0.0 {
+            return Ok(base);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut factors = vec![1.0; self.base_speedup.len()];
+        for f in factors.iter_mut().skip(1) {
+            *f = 1.0 + rng.gen_range(-jitter..=jitter);
+        }
+        base.inflate(&factors)
+    }
+}
+
+/// The catalogue of models used in the paper's evaluation (§6.1.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCatalog {
+    models: Vec<DlModel>,
+}
+
+impl Default for ModelCatalog {
+    fn default() -> Self {
+        Self::paper_catalog()
+    }
+}
+
+impl ModelCatalog {
+    /// The six models of §6.1.2 with three-GPU-type profiles.
+    pub fn paper_catalog() -> Self {
+        let models = vec![
+            DlModel {
+                name: "vgg16".into(),
+                domain: ModelDomain::ImageClassification,
+                base_speedup: vec![1.0, 1.18, 1.39],
+                typical_workers: 2,
+                mean_duration_secs: 3.0 * 3600.0,
+            },
+            DlModel {
+                name: "resnet50".into(),
+                domain: ModelDomain::ImageClassification,
+                base_speedup: vec![1.0, 1.25, 1.55],
+                typical_workers: 2,
+                mean_duration_secs: 4.0 * 3600.0,
+            },
+            DlModel {
+                name: "densenet121".into(),
+                domain: ModelDomain::ImageClassification,
+                base_speedup: vec![1.0, 1.22, 1.48],
+                typical_workers: 1,
+                mean_duration_secs: 5.0 * 3600.0,
+            },
+            DlModel {
+                name: "lstm".into(),
+                domain: ModelDomain::LanguageModeling,
+                base_speedup: vec![1.0, 1.55, 2.15],
+                typical_workers: 1,
+                mean_duration_secs: 2.5 * 3600.0,
+            },
+            DlModel {
+                name: "rnn".into(),
+                domain: ModelDomain::LanguageModeling,
+                base_speedup: vec![1.0, 1.45, 1.95],
+                typical_workers: 1,
+                mean_duration_secs: 2.0 * 3600.0,
+            },
+            DlModel {
+                name: "transformer".into(),
+                domain: ModelDomain::LanguageModeling,
+                base_speedup: vec![1.0, 1.6, 2.3],
+                typical_workers: 4,
+                mean_duration_secs: 6.0 * 3600.0,
+            },
+        ];
+        Self { models }
+    }
+
+    /// All models.
+    pub fn models(&self) -> &[DlModel] {
+        &self.models
+    }
+
+    /// Looks a model up by name.
+    pub fn by_name(&self, name: &str) -> Option<&DlModel> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Number of GPU types the profiles cover.
+    pub fn num_gpu_types(&self) -> usize {
+        self.models.first().map_or(0, |m| m.base_speedup.len())
+    }
+
+    /// Picks a model deterministically from a seed (uniform over the catalogue).
+    pub fn pick(&self, seed: u64) -> &DlModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = rng.gen_range(0..self.models.len());
+        &self.models[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_paper_figures() {
+        let catalog = ModelCatalog::paper_catalog();
+        assert_eq!(catalog.models().len(), 6);
+        assert_eq!(catalog.num_gpu_types(), 3);
+        let vgg = catalog.by_name("vgg16").unwrap();
+        assert!((vgg.base_speedup[2] - 1.39).abs() < 1e-12, "Fig. 1(a): VGG 1.39x on 3090");
+        let lstm = catalog.by_name("lstm").unwrap();
+        assert!((lstm.base_speedup[2] - 2.15).abs() < 1e-12, "Fig. 1(a): LSTM 2.15x on 3090");
+        assert!(catalog.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn all_profiles_are_valid_and_monotone() {
+        for model in ModelCatalog::paper_catalog().models() {
+            let s = model.speedup().unwrap();
+            assert_eq!(s.speedup(0), 1.0);
+            for j in 1..s.num_gpu_types() {
+                assert!(
+                    s.speedup(j) >= s.speedup(j - 1),
+                    "{} profile not monotone",
+                    model.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let model = ModelCatalog::paper_catalog().by_name("resnet50").unwrap().clone();
+        let a = model.speedup_with_jitter(0.1, 42).unwrap();
+        let b = model.speedup_with_jitter(0.1, 42).unwrap();
+        assert_eq!(a, b);
+        for j in 1..3 {
+            let rel = (a.speedup(j) - model.base_speedup[j]).abs() / model.base_speedup[j];
+            assert!(rel <= 0.1 + 1e-9);
+        }
+        let zero = model.speedup_with_jitter(0.0, 42).unwrap();
+        assert_eq!(zero.as_slice(), model.base_speedup.as_slice());
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_in_range() {
+        let catalog = ModelCatalog::paper_catalog();
+        let a = catalog.pick(7).name.clone();
+        let b = catalog.pick(7).name.clone();
+        assert_eq!(a, b);
+        // Different seeds cover more than one model.
+        let names: std::collections::HashSet<_> =
+            (0..50).map(|s| catalog.pick(s).name.clone()).collect();
+        assert!(names.len() > 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let catalog = ModelCatalog::paper_catalog();
+        let json = serde_json::to_string(&catalog).unwrap();
+        let back: ModelCatalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, catalog);
+    }
+}

@@ -1,0 +1,229 @@
+//! Philly-like synthetic trace generation.
+//!
+//! The paper keeps "cluster contention levels consistent with those observed in
+//! Microsoft's Philly trace" (§6.1.2) and runs the JCT experiment with 50 tenants of
+//! ~20 jobs each over three days (§6.3.2).  The Philly trace itself is not available
+//! offline, so this generator produces traces with the same statistical shape: most
+//! tenants submit recurring jobs of the same model family (hyper-parameter search),
+//! inter-arrival times are exponential, and job sizes are log-normally distributed and
+//! heavy-tailed.  The `contention` knob scales total submitted work relative to cluster
+//! capacity.
+
+use crate::models::ModelCatalog;
+use crate::trace::{Trace, TraceJob, TraceTenant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic trace generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of tenants.
+    pub num_tenants: usize,
+    /// Average number of jobs per tenant.
+    pub jobs_per_tenant: usize,
+    /// Duration of the arrival window in seconds.
+    pub duration_secs: f64,
+    /// Target contention: total submitted work divided by what the slowest-GPU cluster
+    /// could complete in `duration_secs` (1.0 ≈ fully loaded, >1 over-subscribed).
+    pub contention: f64,
+    /// Total number of GPU devices in the simulated cluster (used to hit `contention`).
+    pub cluster_devices: usize,
+    /// Relative hyper-parameter jitter applied to each job's speedup profile.
+    pub speedup_jitter: f64,
+    /// Fraction of tenants that mix two different model families (the rest run
+    /// recurring jobs of a single family, like hyper-parameter sweeps).
+    pub multi_model_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            num_tenants: 20,
+            jobs_per_tenant: 20,
+            duration_secs: 24.0 * 3600.0,
+            contention: 1.2,
+            cluster_devices: 24,
+            speedup_jitter: 0.05,
+            multi_model_fraction: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The configuration used for the paper's JCT experiment (§6.3.2): 50 tenants,
+    /// ~20 jobs each, three days.
+    pub fn jct_experiment() -> Self {
+        Self {
+            num_tenants: 50,
+            jobs_per_tenant: 20,
+            duration_secs: 3.0 * 24.0 * 3600.0,
+            contention: 1.3,
+            ..Self::default()
+        }
+    }
+
+    /// The configuration used for the throughput experiments (§6.3.1): 20 tenants, each
+    /// owning jobs of a single type.
+    pub fn throughput_experiment() -> Self {
+        Self { num_tenants: 20, jobs_per_tenant: 10, multi_model_fraction: 0.0, ..Self::default() }
+    }
+}
+
+/// Generator of Philly-like synthetic traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhillyTraceGenerator {
+    config: TraceConfig,
+    catalog: ModelCatalog,
+}
+
+impl PhillyTraceGenerator {
+    /// Creates a generator with the given configuration and the paper's model catalogue.
+    pub fn new(config: TraceConfig) -> Self {
+        Self { config, catalog: ModelCatalog::paper_catalog() }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Generates the trace.  Deterministic in the configured seed.
+    pub fn generate(&self) -> Trace {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Work budget implied by the contention target, split across all jobs.
+        let total_jobs = (cfg.num_tenants * cfg.jobs_per_tenant).max(1);
+        let capacity_work = cfg.cluster_devices as f64 * cfg.duration_secs;
+        let mean_job_work = cfg.contention * capacity_work / total_jobs as f64;
+
+        let mut tenants = Vec::with_capacity(cfg.num_tenants);
+        for t in 0..cfg.num_tenants {
+            let primary = self.catalog.pick(cfg.seed.wrapping_add(t as u64 * 7919)).clone();
+            let mixes_models = rng.gen_bool(cfg.multi_model_fraction.clamp(0.0, 1.0));
+            let secondary = if mixes_models {
+                Some(self.catalog.pick(cfg.seed.wrapping_add(t as u64 * 104729 + 13)).clone())
+            } else {
+                None
+            };
+
+            // Number of jobs: Poisson-ish around jobs_per_tenant (±50%).
+            let job_count = ((cfg.jobs_per_tenant as f64)
+                * rng.gen_range(0.5..1.5))
+            .round()
+            .max(1.0) as usize;
+
+            let mut jobs = Vec::with_capacity(job_count);
+            let mut arrival = 0.0f64;
+            let mean_inter_arrival = cfg.duration_secs / job_count as f64;
+            for j in 0..job_count {
+                // Exponential inter-arrival times.
+                let u: f64 = rng.gen_range(1e-6..1.0);
+                arrival += -mean_inter_arrival * u.ln() * 0.5;
+                arrival = arrival.min(cfg.duration_secs);
+
+                let model = match (&secondary, j % 2) {
+                    (Some(second), 1) => second,
+                    _ => &primary,
+                };
+                let speedup = model
+                    .speedup_with_jitter(cfg.speedup_jitter, cfg.seed ^ (t as u64) << 20 ^ j as u64)
+                    .expect("catalogue profiles are valid");
+
+                // Log-normal-ish work: exp of a normal sample approximated from uniforms.
+                let z: f64 = (0..6).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 3.0;
+                let work = (mean_job_work * (0.35 * z).exp()).max(60.0);
+
+                let workers = if model.typical_workers > 1 && rng.gen_bool(0.6) {
+                    model.typical_workers
+                } else {
+                    1
+                };
+
+                jobs.push(TraceJob {
+                    model: model.name.clone(),
+                    workers,
+                    speedup,
+                    total_work: work,
+                    arrival_time: arrival,
+                });
+            }
+
+            tenants.push(TraceTenant { name: format!("tenant-{t}"), weight: 1, jobs });
+        }
+
+        Trace { tenants, num_gpu_types: self.catalog.num_gpu_types() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = PhillyTraceGenerator::new(TraceConfig::default());
+        let a = gen.generate();
+        let b = gen.generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_tenant_count_and_rough_job_count() {
+        let cfg = TraceConfig { num_tenants: 12, jobs_per_tenant: 8, ..Default::default() };
+        let trace = PhillyTraceGenerator::new(cfg).generate();
+        assert_eq!(trace.tenants.len(), 12);
+        let jobs = trace.num_jobs();
+        assert!(jobs >= 12 * 4 && jobs <= 12 * 12, "job count {jobs} out of range");
+    }
+
+    #[test]
+    fn contention_scales_total_work() {
+        let low = PhillyTraceGenerator::new(TraceConfig {
+            contention: 0.5,
+            seed: 1,
+            ..Default::default()
+        })
+        .generate();
+        let high = PhillyTraceGenerator::new(TraceConfig {
+            contention: 2.0,
+            seed: 1,
+            ..Default::default()
+        })
+        .generate();
+        assert!(
+            high.total_work() > 2.0 * low.total_work(),
+            "contention knob should scale submitted work"
+        );
+    }
+
+    #[test]
+    fn arrivals_fall_inside_the_window_and_speedups_are_valid() {
+        let cfg = TraceConfig::default();
+        let window = cfg.duration_secs;
+        let trace = PhillyTraceGenerator::new(cfg).generate();
+        for tenant in &trace.tenants {
+            for job in &tenant.jobs {
+                assert!(job.arrival_time >= 0.0 && job.arrival_time <= window);
+                assert!(job.total_work >= 60.0);
+                assert!(job.workers >= 1);
+                assert_eq!(job.speedup.speedup(0), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn preset_configs_match_paper_scales() {
+        let jct = TraceConfig::jct_experiment();
+        assert_eq!(jct.num_tenants, 50);
+        assert_eq!(jct.jobs_per_tenant, 20);
+        assert!((jct.duration_secs - 259_200.0).abs() < 1e-6);
+        let tput = TraceConfig::throughput_experiment();
+        assert_eq!(tput.num_tenants, 20);
+        assert_eq!(tput.multi_model_fraction, 0.0);
+    }
+}

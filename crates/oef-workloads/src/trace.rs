@@ -1,0 +1,135 @@
+//! Serialisable trace containers consumed by the simulator.
+
+use oef_core::SpeedupVector;
+use serde::{Deserialize, Serialize};
+
+/// One job of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceJob {
+    /// Model name the job trains.
+    pub model: String,
+    /// Number of GPU workers the job requests.
+    pub workers: usize,
+    /// Speedup profile of the job across GPU types.
+    pub speedup: SpeedupVector,
+    /// Total work in slow-GPU seconds.
+    pub total_work: f64,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_time: f64,
+}
+
+/// One tenant of a trace with its jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTenant {
+    /// Tenant name.
+    pub name: String,
+    /// Priority weight.
+    pub weight: u32,
+    /// Jobs submitted by this tenant over the trace, in arrival order.
+    pub jobs: Vec<TraceJob>,
+}
+
+/// A complete multi-tenant trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Tenants with their job streams.
+    pub tenants: Vec<TraceTenant>,
+    /// Number of GPU types the speedup profiles cover.
+    pub num_gpu_types: usize,
+}
+
+impl Trace {
+    /// Total number of jobs across all tenants.
+    pub fn num_jobs(&self) -> usize {
+        self.tenants.iter().map(|t| t.jobs.len()).sum()
+    }
+
+    /// Time of the last arrival in the trace, in seconds.
+    pub fn last_arrival(&self) -> f64 {
+        self.tenants
+            .iter()
+            .flat_map(|t| t.jobs.iter().map(|j| j.arrival_time))
+            .fold(0.0, f64::max)
+    }
+
+    /// Total amount of work in the trace, in slow-GPU seconds.
+    pub fn total_work(&self) -> f64 {
+        self.tenants.iter().flat_map(|t| t.jobs.iter().map(|j| j.total_work)).sum()
+    }
+
+    /// Representative (first-job) speedup vector of each tenant, used when a scheduler
+    /// needs one profile per tenant.
+    pub fn representative_speedups(&self) -> Vec<SpeedupVector> {
+        self.tenants
+            .iter()
+            .filter_map(|t| t.jobs.first().map(|j| j.speedup.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(values: Vec<f64>) -> SpeedupVector {
+        SpeedupVector::new(values).unwrap()
+    }
+
+    fn small_trace() -> Trace {
+        Trace {
+            tenants: vec![
+                TraceTenant {
+                    name: "t0".into(),
+                    weight: 1,
+                    jobs: vec![
+                        TraceJob {
+                            model: "vgg16".into(),
+                            workers: 2,
+                            speedup: sv(vec![1.0, 1.4]),
+                            total_work: 100.0,
+                            arrival_time: 0.0,
+                        },
+                        TraceJob {
+                            model: "vgg16".into(),
+                            workers: 2,
+                            speedup: sv(vec![1.0, 1.4]),
+                            total_work: 50.0,
+                            arrival_time: 600.0,
+                        },
+                    ],
+                },
+                TraceTenant {
+                    name: "t1".into(),
+                    weight: 2,
+                    jobs: vec![TraceJob {
+                        model: "lstm".into(),
+                        workers: 1,
+                        speedup: sv(vec![1.0, 2.1]),
+                        total_work: 200.0,
+                        arrival_time: 60.0,
+                    }],
+                },
+            ],
+            num_gpu_types: 2,
+        }
+    }
+
+    #[test]
+    fn aggregate_queries() {
+        let trace = small_trace();
+        assert_eq!(trace.num_jobs(), 3);
+        assert_eq!(trace.last_arrival(), 600.0);
+        assert!((trace.total_work() - 350.0).abs() < 1e-12);
+        let reps = trace.representative_speedups();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[1].speedup(1), 2.1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace = small_trace();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

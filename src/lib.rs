@@ -1,0 +1,60 @@
+//! # OEF — Optimal Resource Efficiency with Fairness in Heterogeneous GPU Clusters
+//!
+//! This is the facade crate of the OEF workspace, a from-scratch Rust reproduction of
+//! the Middleware '24 paper *"Optimal Resource Efficiency with Fairness in
+//! Heterogeneous GPU Clusters"* by Mo, Xu and Lau.
+//!
+//! The workspace is organised as a set of focused crates, all re-exported here:
+//!
+//! * [`lp`] — a two-phase simplex linear-programming solver (the substrate that
+//!   replaces the paper's cvxpy/ECOS dependency).
+//! * [`core`] — the OEF allocation framework itself: non-cooperative OEF
+//!   (strategy-proof), cooperative OEF (envy-free + sharing-incentive), weighted OEF
+//!   and multi-job-type support, plus fairness-property checkers.
+//! * [`schedulers`] — the baselines the paper compares against: Max-Min,
+//!   Gandiva_fair, Gavel and pure efficiency maximisation.
+//! * [`cluster`] — the cluster model: GPU types, hosts, jobs, tenants, the rounding
+//!   placer, and the network-contention / straggler models.
+//! * [`workloads`] — DL model speedup profiles and a Philly-like trace generator.
+//! * [`sim`] — a round-based discrete-event simulator that drives any scheduler over
+//!   a trace and collects throughput / JCT / straggler metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oef::core::{ClusterSpec, SpeedupMatrix, CooperativeOef, AllocationPolicy};
+//!
+//! // A cluster with one slow GPU and one fast GPU (per Fig. 1 of the paper) ...
+//! let cluster = ClusterSpec::homogeneous_counts(&["rtx3070", "rtx3090"], &[1.0, 1.0]).unwrap();
+//! // ... shared by a VGG user (1.39x speedup) and an LSTM user (2.15x speedup).
+//! let speedups = SpeedupMatrix::from_rows(vec![
+//!     vec![1.0, 1.39],
+//!     vec![1.0, 2.15],
+//! ]).unwrap();
+//!
+//! let allocation = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+//! let eff = allocation.user_efficiencies(&speedups);
+//! // The LSTM user is steered towards the fast GPU without making the VGG user envious.
+//! assert!(eff[1] > 1.8 && eff[0] > 1.15);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oef_cluster as cluster;
+pub use oef_core as core;
+pub use oef_lp as lp;
+pub use oef_schedulers as schedulers;
+pub use oef_sim as sim;
+pub use oef_workloads as workloads;
+
+/// Convenience prelude re-exporting the most commonly used types across the workspace.
+pub mod prelude {
+    pub use oef_cluster::{ClusterState, GpuType, Host, Job, Tenant};
+    pub use oef_core::{
+        Allocation, AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef,
+        SpeedupMatrix, SpeedupVector, WeightedOef,
+    };
+    pub use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin, Scheduler};
+    pub use oef_sim::{Scenario, SimulationEngine, SimulationReport};
+    pub use oef_workloads::{DlModel, PhillyTraceGenerator, Trace};
+}

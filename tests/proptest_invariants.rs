@@ -1,0 +1,139 @@
+//! Property-based integration tests over the core OEF invariants, run across random
+//! clusters and speedup matrices through the public facade crate.
+
+use oef::core::{
+    fairness, AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, OefMode,
+    SpeedupMatrix, WeightedOef,
+};
+use oef::schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
+use proptest::prelude::*;
+
+/// A random instance: 2-3 GPU types with small capacities, 2-5 users with increasing
+/// speedups across types.
+fn instance() -> impl Strategy<Value = (ClusterSpec, SpeedupMatrix)> {
+    (2usize..=3, 2usize..=5).prop_flat_map(|(k, n)| {
+        let capacities = proptest::collection::vec(1.0f64..6.0, k);
+        let growth = proptest::collection::vec(proptest::collection::vec(1.02f64..2.2, k - 1), n);
+        (capacities, growth).prop_map(move |(capacities, growth)| {
+            let names: Vec<String> = (0..k).map(|j| format!("type{j}")).collect();
+            let cluster = ClusterSpec::new(
+                names.into_iter().zip(capacities.into_iter()).collect(),
+            )
+            .unwrap();
+            let rows: Vec<Vec<f64>> = growth
+                .into_iter()
+                .map(|g| {
+                    let mut row = vec![1.0];
+                    let mut last = 1.0;
+                    for f in g {
+                        last *= f;
+                        row.push(last);
+                    }
+                    row
+                })
+                .collect();
+            (cluster, SpeedupMatrix::from_rows(rows).unwrap())
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_returns_feasible_allocations((cluster, speedups) in instance()) {
+        let noncoop = NonCooperativeOef::default();
+        let coop = CooperativeOef::default();
+        let maxmin = MaxMin::default();
+        let gandiva = GandivaFair::default();
+        let gavel = Gavel::default();
+        let maxeff = MaxEfficiency::default();
+        let policies: Vec<&dyn AllocationPolicy> =
+            vec![&noncoop, &coop, &maxmin, &gandiva, &gavel, &maxeff];
+        for policy in policies {
+            let allocation = policy.allocate(&cluster, &speedups).unwrap();
+            prop_assert!(allocation.is_feasible(&cluster), "{} infeasible", policy.name());
+            prop_assert_eq!(allocation.num_users(), speedups.num_users());
+            for eff in allocation.user_efficiencies(&speedups) {
+                prop_assert!(eff >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn noncoop_equalises_throughput_and_is_pareto_efficient((cluster, speedups) in instance()) {
+        let allocation = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let eff = allocation.user_efficiencies(&speedups);
+        for e in &eff {
+            prop_assert!((e - eff[0]).abs() < 1e-5, "unequal throughput {eff:?}");
+        }
+        let pe = fairness::check_pareto_efficiency(&allocation, &speedups, &cluster, 1e-3).unwrap();
+        prop_assert!(pe.pareto_efficient, "improvable by {}", pe.improvable_by);
+    }
+
+    #[test]
+    fn coop_is_envy_free_sharing_incentive_and_adjacent((cluster, speedups) in instance()) {
+        let allocation = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let envy = fairness::check_envy_freeness(&allocation, &speedups, 1e-5);
+        prop_assert!(envy.envy_free, "max envy {}", envy.max_envy);
+        let si = fairness::check_sharing_incentive(&allocation, &speedups, &cluster, 1e-5);
+        prop_assert!(si.sharing_incentive, "min SI ratio {}", si.min_ratio);
+        // Adjacency (Theorem 5.2) is asserted on non-degenerate instances in
+        // tests/paper_examples.rs; random instances can contain speedup ties for which
+        // the simplex may return an equally-optimal but non-adjacent vertex.
+    }
+
+    #[test]
+    fn coop_total_efficiency_dominates_other_fair_policies((cluster, speedups) in instance()) {
+        let coop = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let maxmin = MaxMin::default().allocate(&cluster, &speedups).unwrap();
+        let gavel = Gavel::default().allocate(&cluster, &speedups).unwrap();
+        let coop_total = coop.total_efficiency(&speedups);
+        prop_assert!(coop_total >= maxmin.total_efficiency(&speedups) - 1e-5);
+        prop_assert!(coop_total >= gavel.total_efficiency(&speedups) - 1e-4);
+        // And it never exceeds the unconstrained optimum.
+        prop_assert!(coop_total <= fairness::max_total_efficiency(&cluster, &speedups) + 1e-6);
+    }
+
+    #[test]
+    fn noncoop_is_strategy_proof_on_random_instances((cluster, speedups) in instance()) {
+        let report = fairness::probe_strategy_proofness(
+            &NonCooperativeOef::default(),
+            &cluster,
+            &speedups,
+            &[1.15, 1.5],
+            1e-6,
+        )
+        .unwrap();
+        prop_assert!(
+            report.strategy_proof,
+            "profitable lie found: {:?} gain {}",
+            report.worst_case,
+            report.max_relative_gain
+        );
+    }
+
+    #[test]
+    fn weighted_oef_scales_with_weights((cluster, speedups) in instance(), weight in 2u32..4) {
+        // Give the first tenant a higher weight: its throughput relative to an
+        // equal-weight run should scale by exactly `weight` under the non-cooperative
+        // (equal-throughput-per-virtual-user) mechanism.
+        let weighted = WeightedOef::new(OefMode::NonCooperative);
+        let n = speedups.num_users();
+        let mut weights = vec![1u32; n];
+        weights[0] = weight;
+        let unweighted = weighted.allocate_weighted(&cluster, &speedups, &vec![1; n]).unwrap();
+        let boosted = weighted.allocate_weighted(&cluster, &speedups, &weights).unwrap();
+        let base_others: f64 = (1..n).map(|l| unweighted.user_efficiency(l, &speedups)).sum();
+        let boosted_others: f64 = (1..n).map(|l| boosted.user_efficiency(l, &speedups)).sum();
+        // Tenant 0's throughput relative to the other tenants' grows by the weight.
+        if base_others > 1e-9 && boosted_others > 1e-9 {
+            let base_ratio = unweighted.user_efficiency(0, &speedups) / (base_others / (n - 1) as f64);
+            let boosted_ratio = boosted.user_efficiency(0, &speedups) / (boosted_others / (n - 1) as f64);
+            prop_assert!(
+                (boosted_ratio - weight as f64 * base_ratio).abs() < 1e-3 * boosted_ratio.max(1.0),
+                "weight {weight}: ratio {base_ratio} -> {boosted_ratio}"
+            );
+        }
+    }
+}
