@@ -1,21 +1,38 @@
-//! Criterion bench for Fig. 10(a): fair-share evaluator overhead vs number of users.
+//! Criterion bench for Fig. 10(a): fair-share evaluator overhead vs number of users,
+//! plus the cold-vs-warm comparison for the revised-simplex solver context.
 //!
 //! Ten GPU types, as in the paper.  The cooperative program has O(n²) envy-freeness
 //! constraints, so its sweep stops earlier than the non-cooperative one (the dense
 //! simplex substrate is the bottleneck, see DESIGN.md); the measured shape — the
-//! cooperative mechanism growing much faster with n — matches the paper.
+//! cooperative mechanism growing much faster than non-cooperative — matches the paper.
+//!
+//! The cold-vs-warm groups measure the per-round LP hot path on a steady-state
+//! round sequence (same tenants, slightly jittered speedup reports every round):
+//!
+//! * `solver_cold_dense`   — the dense two-phase reference, one full solve per round;
+//! * `solver_cold_revised` — the revised simplex without basis reuse;
+//! * `solver_warm_context` — one [`oef_lp::SolverContext`] reused across rounds.
+//!
+//! Every warm solve is checked against the dense reference objective (1e-6),
+//! and the measured means are written to `BENCH_solver.json` at the workspace
+//! root so future changes can track the speedup trajectory.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use oef_core::{AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix};
+use oef_lp::{ConstraintOp, Problem, Sense, SolverContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const NUM_GPU_TYPES: usize = 10;
+/// Rounds in the steady-state sequence the warm path cycles through.
+const ROUND_SEQUENCE: usize = 8;
 
 fn instance(num_users: usize, seed: u64) -> (ClusterSpec, SpeedupMatrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let names: Vec<String> = (0..NUM_GPU_TYPES).map(|j| format!("gpu{j}")).collect();
-    let capacities: Vec<f64> = (0..NUM_GPU_TYPES).map(|_| rng.gen_range(4..=16) as f64).collect();
+    let capacities: Vec<f64> = (0..NUM_GPU_TYPES)
+        .map(|_| rng.gen_range(4..=16) as f64)
+        .collect();
     let cluster = ClusterSpec::new(names.into_iter().zip(capacities).collect()).unwrap();
     let rows: Vec<Vec<f64>> = (0..num_users)
         .map(|_| {
@@ -57,5 +74,181 @@ fn bench_coop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_noncoop, bench_coop);
-criterion_main!(benches);
+/// Builds the non-cooperative OEF LP of problem (9) for one round's reports.
+fn build_noncoop_problem(cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Problem {
+    let n = speedups.num_users();
+    let k = cluster.num_gpu_types();
+    let mut problem = Problem::new(Sense::Maximize);
+    let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
+        .map(|l| {
+            (0..k)
+                .map(|j| problem.add_variable(format!("x_{l}_{j}")))
+                .collect()
+        })
+        .collect();
+    for l in 0..n {
+        for j in 0..k {
+            problem.set_objective_coefficient(vars[l][j], speedups.speedup(l, j));
+        }
+    }
+    for j in 0..k {
+        let terms: Vec<_> = (0..n).map(|l| (vars[l][j], 1.0)).collect();
+        problem.add_constraint(&terms, ConstraintOp::Le, cluster.capacity(j));
+    }
+    for l in 1..n {
+        let mut terms: Vec<_> = (0..k)
+            .map(|j| (vars[0][j], speedups.speedup(0, j)))
+            .collect();
+        terms.extend((0..k).map(|j| (vars[l][j], -speedups.speedup(l, j))));
+        problem.add_constraint(&terms, ConstraintOp::Eq, 0.0);
+    }
+    problem
+}
+
+/// A steady-state round sequence: the same tenant mix with per-round ±2%
+/// jitter on the reported speedups (shape never changes).
+fn round_sequence(num_users: usize, seed: u64) -> (ClusterSpec, Vec<Problem>) {
+    let (cluster, base) = instance(num_users, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let problems = (0..ROUND_SEQUENCE)
+        .map(|_| {
+            let rows: Vec<Vec<f64>> = (0..base.num_users())
+                .map(|l| {
+                    let mut row = vec![1.0];
+                    for j in 1..base.num_gpu_types() {
+                        row.push(base.speedup(l, j) * rng.gen_range(0.98..1.02));
+                    }
+                    row
+                })
+                .collect();
+            let jittered = SpeedupMatrix::from_rows(rows).unwrap();
+            build_noncoop_problem(&cluster, &jittered)
+        })
+        .collect();
+    (cluster, problems)
+}
+
+/// One measured point of the cold-vs-warm comparison.
+struct TrajectoryPoint {
+    n: usize,
+    cold_dense_secs: f64,
+    cold_revised_secs: f64,
+    warm_secs: f64,
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion, points: &mut Vec<TrajectoryPoint>) {
+    // 500 tenants produce multi-second dense solves; keep samples minimal
+    // there so the sweep stays tractable.
+    let sizes: &[(usize, usize)] = &[(4, 10), (20, 10), (100, 5), (500, 2)];
+
+    for &(n, samples) in sizes {
+        let (_, problems) = round_sequence(n, 42 + n as u64);
+
+        // Correctness gate: the warm-started context must reproduce the dense
+        // reference objective on every round of the sequence.  Warm starts
+        // are allowed to fall back cold occasionally (that is the safety
+        // valve), but the steady state must serve most rounds warm.
+        let mut ctx = SolverContext::new();
+        let mut warm_rounds = 0usize;
+        for (round, p) in problems.iter().enumerate() {
+            let warm = ctx.solve(p).unwrap();
+            let dense = p.solve().unwrap();
+            assert!(
+                (warm.objective_value() - dense.objective_value()).abs()
+                    < 1e-6 * (1.0 + dense.objective_value().abs()),
+                "n={n} round {round}: warm {} vs dense {}",
+                warm.objective_value(),
+                dense.objective_value()
+            );
+            if round > 0 && warm.stats().warm_start {
+                warm_rounds += 1;
+            }
+        }
+        assert!(
+            warm_rounds * 2 >= ROUND_SEQUENCE - 1,
+            "n={n}: only {warm_rounds}/{} re-solves warm-started",
+            ROUND_SEQUENCE - 1
+        );
+
+        let mut group = c.benchmark_group("solver_cold_dense");
+        group.sample_size(samples);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| problems[0].solve().unwrap())
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("solver_cold_revised");
+        group.sample_size(samples);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SolverContext::new().solve(&problems[0]).unwrap())
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("solver_warm_context");
+        group.sample_size(samples);
+        // Pre-warm, then cycle through the jittered round sequence so every
+        // measured solve is a warm re-solve of a *different* round.
+        let mut ctx = SolverContext::new();
+        ctx.solve(&problems[0]).unwrap();
+        let mut round = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                round = (round + 1) % problems.len();
+                ctx.solve(&problems[round]).unwrap()
+            })
+        });
+        group.finish();
+
+        let find = |label: &str| {
+            c.measurements()
+                .iter()
+                .rev()
+                .find(|m| m.label == format!("{label}/{n}"))
+                .map(|m| m.mean_secs)
+                .unwrap_or(f64::NAN)
+        };
+        points.push(TrajectoryPoint {
+            n,
+            cold_dense_secs: find("solver_cold_dense"),
+            cold_revised_secs: find("solver_cold_revised"),
+            warm_secs: find("solver_warm_context"),
+        });
+    }
+}
+
+/// Writes `BENCH_solver.json` at the workspace root: one trajectory point per
+/// tenant count, so future PRs can track the cold/warm speedup over time.
+fn emit_trajectory(points: &[TrajectoryPoint]) {
+    let rows: Vec<serde_json::Value> = points
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "tenants": p.n,
+                "cold_dense_secs": p.cold_dense_secs,
+                "cold_revised_secs": p.cold_revised_secs,
+                "warm_secs": p.warm_secs,
+                "speedup_warm_vs_cold_dense": p.cold_dense_secs / p.warm_secs,
+                "speedup_warm_vs_cold_revised": p.cold_revised_secs / p.warm_secs,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "experiment": "solver_cold_vs_warm",
+        "gpu_types": NUM_GPU_TYPES,
+        "rounds_in_sequence": ROUND_SEQUENCE,
+        "points": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    let body = serde_json::to_string(&doc).expect("trajectory serializes");
+    std::fs::write(path, body).expect("write BENCH_solver.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_noncoop(&mut criterion);
+    bench_coop(&mut criterion);
+    let mut points = Vec::new();
+    bench_cold_vs_warm(&mut criterion, &mut points);
+    emit_trajectory(&points);
+}

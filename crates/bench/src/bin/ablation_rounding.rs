@@ -21,8 +21,8 @@ fn floor_round(ideal: &Allocation, capacities: &[usize]) -> Vec<Vec<usize>> {
     for j in 0..k {
         let mut used = 0usize;
         for l in 0..n {
-            let grant = (ideal.share(l, j).floor() as usize)
-                .min(capacities[j].saturating_sub(used));
+            let grant =
+                (ideal.share(l, j).floor() as usize).min(capacities[j].saturating_sub(used));
             counts[l][j] = grant;
             used += grant;
         }
@@ -32,14 +32,8 @@ fn floor_round(ideal: &Allocation, capacities: &[usize]) -> Vec<Vec<usize>> {
 
 fn main() {
     // Five tenants sharing 8 GPUs of one type with deliberately fractional ideal shares.
-    let ideal = Allocation::new(vec![
-        vec![1.6],
-        vec![1.6],
-        vec![1.6],
-        vec![1.6],
-        vec![1.6],
-    ])
-    .unwrap();
+    let ideal =
+        Allocation::new(vec![vec![1.6], vec![1.6], vec![1.6], vec![1.6], vec![1.6]]).unwrap();
     let capacities = [8usize];
     let min_demand = [1usize; 5];
 
@@ -82,7 +76,11 @@ fn main() {
             "Ablation: device-rounds received per tenant over {ROUNDS} rounds (ideal {:.1} each)",
             ideal_total
         ),
-        &["rounding policy", "per-tenant device-rounds", "worst gap vs ideal"],
+        &[
+            "rounding policy",
+            "per-tenant device-rounds",
+            "worst gap vs ideal",
+        ],
         &rows,
     );
 

@@ -12,8 +12,7 @@
 use oef_bench::{print_json_record, print_table};
 use oef_cluster::Profiler;
 use oef_core::{
-    AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix,
-    SpeedupVector,
+    AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix, SpeedupVector,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +23,9 @@ const NUM_GPU_TYPES: usize = 10;
 fn random_cluster_and_users(num_users: usize, seed: u64) -> (ClusterSpec, SpeedupMatrix) {
     let mut rng = StdRng::seed_from_u64(seed);
     let names: Vec<String> = (0..NUM_GPU_TYPES).map(|j| format!("gpu{j}")).collect();
-    let capacities: Vec<f64> = (0..NUM_GPU_TYPES).map(|_| rng.gen_range(4..=16) as f64).collect();
+    let capacities: Vec<f64> = (0..NUM_GPU_TYPES)
+        .map(|_| rng.gen_range(4..=16) as f64)
+        .collect();
     let cluster = ClusterSpec::new(names.into_iter().zip(capacities).collect()).unwrap();
     let rows: Vec<Vec<f64>> = (0..num_users)
         .map(|_| {
@@ -42,7 +43,9 @@ fn random_cluster_and_users(num_users: usize, seed: u64) -> (ClusterSpec, Speedu
 
 fn time_solve(policy: &dyn AllocationPolicy, cluster: &ClusterSpec, users: &SpeedupMatrix) -> f64 {
     let start = Instant::now();
-    policy.allocate(cluster, users).expect("allocation must succeed");
+    policy
+        .allocate(cluster, users)
+        .expect("allocation must succeed");
     start.elapsed().as_secs_f64()
 }
 
@@ -55,13 +58,21 @@ fn fig10a() {
     for &n in &noncoop_sizes {
         let (cluster, users) = random_cluster_and_users(n, 100 + n as u64);
         let secs = time_solve(&NonCooperativeOef::default(), &cluster, &users);
-        rows.push(vec!["non-cooperative".into(), n.to_string(), format!("{secs:.3}")]);
+        rows.push(vec![
+            "non-cooperative".into(),
+            n.to_string(),
+            format!("{secs:.3}"),
+        ]);
         json.push(serde_json::json!({"mode": "noncoop", "users": n, "seconds": secs}));
     }
     for &n in &coop_sizes {
         let (cluster, users) = random_cluster_and_users(n, 200 + n as u64);
         let secs = time_solve(&CooperativeOef::default(), &cluster, &users);
-        rows.push(vec!["cooperative".into(), n.to_string(), format!("{secs:.3}")]);
+        rows.push(vec![
+            "cooperative".into(),
+            n.to_string(),
+            format!("{secs:.3}"),
+        ]);
         json.push(serde_json::json!({"mode": "coop", "users": n, "seconds": secs}));
     }
     print_table(
@@ -78,7 +89,10 @@ fn fig10b() {
     let error_rates = [-0.2f64, -0.1, 0.0, 0.1, 0.2];
     let (cluster, truth) = {
         let profiles = oef_bench::twenty_tenant_profiles(3);
-        (ClusterSpec::paper_evaluation_cluster(), oef_bench::matrix_from_profiles(&profiles))
+        (
+            ClusterSpec::paper_evaluation_cluster(),
+            oef_bench::matrix_from_profiles(&profiles),
+        )
     };
     let policy = CooperativeOef::default();
 

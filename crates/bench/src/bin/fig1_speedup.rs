@@ -16,10 +16,22 @@ fn main() {
 
     // Fig. 1(a): speedups on the slowest (3070) and fastest (3090) GPU types.
     let rows = vec![
-        vec!["user-1 (VGG)".to_string(), fmt(vgg.base_speedup[0]), fmt(vgg.base_speedup[2])],
-        vec!["user-2 (LSTM)".to_string(), fmt(lstm.base_speedup[0]), fmt(lstm.base_speedup[2])],
+        vec![
+            "user-1 (VGG)".to_string(),
+            fmt(vgg.base_speedup[0]),
+            fmt(vgg.base_speedup[2]),
+        ],
+        vec![
+            "user-2 (LSTM)".to_string(),
+            fmt(lstm.base_speedup[0]),
+            fmt(lstm.base_speedup[2]),
+        ],
     ];
-    print_table("Fig. 1(a): normalised speedup per GPU type", &["user", "3070", "3090"], &rows);
+    print_table(
+        "Fig. 1(a): normalised speedup per GPU type",
+        &["user", "3070", "3090"],
+        &rows,
+    );
 
     // Fig. 1(b): Max-Min vs (cooperative) OEF on one 3070 + one 3090.
     let cluster = ClusterSpec::homogeneous_counts(&["rtx3070", "rtx3090"], &[1.0, 1.0]).unwrap();
@@ -30,7 +42,9 @@ fn main() {
     .unwrap();
 
     let max_min = MaxMin::default().allocate(&cluster, &speedups).unwrap();
-    let oef = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+    let oef = CooperativeOef::default()
+        .allocate(&cluster, &speedups)
+        .unwrap();
     let mm_eff = max_min.user_efficiencies(&speedups);
     let oef_eff = oef.user_efficiencies(&speedups);
 

@@ -52,7 +52,13 @@ fn summarize(report: &SimulationReport, label: &str) -> Vec<Vec<String>> {
                 .filter(|(t, _)| *t >= DEPARTURE_ROUND as f64 * 300.0)
                 .map(|(_, v)| *v)
                 .collect();
-            let avg = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+            let avg = |v: &[f64]| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
             vec![
                 format!("{label} user{}", tenant + 1),
                 fmt(avg(&before)),

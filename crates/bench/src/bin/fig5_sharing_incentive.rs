@@ -6,11 +6,9 @@
 //!     receive (almost) equal throughput, each roughly half of the other users'.
 
 use oef_bench::{fmt_ratio, four_tenant_profiles, print_json_record, print_table};
-use oef_core::{
-    ClusterSpec, CooperativeOef, MultiJobOef, OefMode, SpeedupVector, TenantWorkload,
-};
+use oef_core::{ClusterSpec, CooperativeOef, MultiJobOef, OefMode, SpeedupVector, TenantWorkload};
 use oef_schedulers::MaxMin;
-use oef_sim::{SimulationConfig, SimulationEngine, Scenario};
+use oef_sim::{Scenario, SimulationConfig, SimulationEngine};
 
 const ROUNDS: usize = 16;
 
@@ -22,9 +20,14 @@ fn fig5a() {
         for (name, speedup) in &profiles {
             scenario = scenario.with_tenant(name.clone(), speedup.clone(), 4, 2, 1e12);
         }
-        let config = SimulationConfig { physical_placement: physical, ..Default::default() };
+        let config = SimulationConfig {
+            physical_placement: physical,
+            ..Default::default()
+        };
         let mut engine = SimulationEngine::new(scenario.build(), config);
-        engine.run(policy, ROUNDS).expect("simulation must not fail")
+        engine
+            .run(policy, ROUNDS)
+            .expect("simulation must not fail")
     };
 
     let maxmin = run(&MaxMin::default(), true);

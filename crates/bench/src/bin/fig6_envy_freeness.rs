@@ -12,7 +12,9 @@ fn main() {
     let speedups = matrix_from_profiles(&profiles);
     let cluster = ClusterSpec::paper_evaluation_cluster();
 
-    let allocation = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+    let allocation = CooperativeOef::default()
+        .allocate(&cluster, &speedups)
+        .unwrap();
     let report = fairness::check_envy_freeness(&allocation, &speedups, 1e-6);
 
     let n = speedups.num_users();

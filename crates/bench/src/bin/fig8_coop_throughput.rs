@@ -21,9 +21,14 @@ fn main() {
 
     let results = compare_policies(&policies, &profiles, 3, DEFAULT_ROUNDS);
 
-    let min_estimated =
-        results.iter().map(|r| r.estimated).fold(f64::INFINITY, f64::min);
-    let min_actual = results.iter().map(|r| r.actual).fold(f64::INFINITY, f64::min);
+    let min_estimated = results
+        .iter()
+        .map(|r| r.estimated)
+        .fold(f64::INFINITY, f64::min);
+    let min_actual = results
+        .iter()
+        .map(|r| r.actual)
+        .fold(f64::INFINITY, f64::min);
 
     let rows: Vec<Vec<String>> = results
         .iter()

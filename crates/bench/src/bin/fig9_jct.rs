@@ -47,7 +47,10 @@ fn main() {
     let mut results = Vec::new();
     for policy in &policies {
         let state = Scenario::from_trace(ClusterTopology::paper_cluster(), &trace);
-        let config = SimulationConfig { round_secs, ..Default::default() };
+        let config = SimulationConfig {
+            round_secs,
+            ..Default::default()
+        };
         let mut engine = SimulationEngine::new(state, config);
         let report = engine
             .run_until_complete(policy.as_ref(), max_rounds)
@@ -71,7 +74,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 9: job completion time over a Philly-like trace (normalised to OEF)",
-        &["policy", "mean JCT (s)", "p50 (s)", "p95 (s)", "JCT ratio", "unfinished"],
+        &[
+            "policy",
+            "mean JCT (s)",
+            "p50 (s)",
+            "p95 (s)",
+            "JCT ratio",
+            "unfinished",
+        ],
         &rows,
     );
 

@@ -18,13 +18,20 @@ use oef_workloads::ModelCatalog;
 /// distributed-training case of §4.4) rather than the 20-tenant single-GPU mix.
 fn straggler_profiles() -> Vec<(String, SpeedupVector)> {
     let catalog = ModelCatalog::paper_catalog();
-    ["vgg16", "lstm", "resnet50", "transformer", "rnn", "densenet121"]
-        .iter()
-        .map(|name| {
-            let model = catalog.by_name(name).expect("catalogue model");
-            (name.to_string(), model.speedup().expect("valid profile"))
-        })
-        .collect()
+    [
+        "vgg16",
+        "lstm",
+        "resnet50",
+        "transformer",
+        "rnn",
+        "densenet121",
+    ]
+    .iter()
+    .map(|name| {
+        let model = catalog.by_name(name).expect("catalogue model");
+        (name.to_string(), model.speedup().expect("valid profile"))
+    })
+    .collect()
 }
 
 fn run_with(policy: &dyn AllocationPolicy, config: SimulationConfig) -> SimulationReport {
@@ -33,7 +40,9 @@ fn run_with(policy: &dyn AllocationPolicy, config: SimulationConfig) -> Simulati
         scenario = scenario.with_tenant(name, speedup, 3, 4, 1e12);
     }
     let mut engine = SimulationEngine::new(scenario.build(), config);
-    engine.run(policy, DEFAULT_ROUNDS).expect("simulation must not fail")
+    engine
+        .run(policy, DEFAULT_ROUNDS)
+        .expect("simulation must not fail")
 }
 
 fn main() {
@@ -69,7 +78,12 @@ fn main() {
         .collect();
     print_table(
         "§6.3.3: straggler exposure per scheduler (6 tenants, 4-worker jobs, OEF placer)",
-        &["policy", "cross-type placements", "affected workers", "actual throughput"],
+        &[
+            "policy",
+            "cross-type placements",
+            "affected workers",
+            "actual throughput",
+        ],
         &rows,
     );
     print_json_record("straggler_by_policy", &results);
@@ -77,10 +91,14 @@ fn main() {
     // Part 2: placer ablation — OEF allocations with the full placer vs a naive placer.
     let mut ablation_rows = Vec::new();
     let mut ablation_json = Vec::new();
-    for (label, placer) in
-        [("oef placer", DevicePlacer::new()), ("naive placer", DevicePlacer::naive())]
-    {
-        let config = SimulationConfig { placer, ..Default::default() };
+    for (label, placer) in [
+        ("oef placer", DevicePlacer::new()),
+        ("naive placer", DevicePlacer::naive()),
+    ] {
+        let config = SimulationConfig {
+            placer,
+            ..Default::default()
+        };
         let report = run_with(&CooperativeOef::default(), config);
         ablation_rows.push(vec![
             label.to_string(),
@@ -97,7 +115,12 @@ fn main() {
     }
     print_table(
         "Ablation: OEF with its placement optimisation vs a naive placer",
-        &["placer", "cross-type placements", "affected workers", "actual throughput"],
+        &[
+            "placer",
+            "cross-type placements",
+            "affected workers",
+            "actual throughput",
+        ],
         &ablation_rows,
     );
     print_json_record("placer_ablation", &ablation_json);

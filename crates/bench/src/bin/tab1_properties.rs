@@ -8,6 +8,7 @@
 use oef_bench::{print_json_record, print_table};
 use oef_core::fairness::{self, FairnessSummary};
 use oef_core::{BoxedPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix};
+use oef_lp::SolverContext;
 use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +37,11 @@ fn random_instance(rng: &mut StdRng) -> (ClusterSpec, SpeedupMatrix) {
 }
 
 fn mark(ok: bool) -> String {
-    if ok { "yes".to_string() } else { "no".to_string() }
+    if ok {
+        "yes".to_string()
+    } else {
+        "no".to_string()
+    }
 }
 
 fn main() {
@@ -66,10 +71,18 @@ fn main() {
         // A property counts as provided only if it holds on every instance.
         let (mut pe, mut ef, mut si, mut sp) = (true, true, true, true);
         let mut worst_eff_ratio = f64::INFINITY;
+        // One pareto-LP solver context per policy: instances that share a
+        // (users x gpu-types) shape warm-start each other's pareto check.
+        let mut pareto_ctx = SolverContext::new();
         for (cluster, speedups) in &instances {
-            let summary =
-                fairness::evaluate_policy(policy.as_ref(), cluster, speedups, &[1.2, 1.5, 2.0])
-                    .expect("policy evaluation must succeed");
+            let summary = fairness::evaluate_policy_with(
+                &mut pareto_ctx,
+                policy.as_ref(),
+                cluster,
+                speedups,
+                &[1.2, 1.5, 2.0],
+            )
+            .expect("policy evaluation must succeed");
             pe &= summary.pareto.pareto_efficient;
             ef &= summary.envy.envy_free;
             si &= summary.sharing.sharing_incentive;

@@ -19,19 +19,28 @@ pub struct ContentionModel {
 
 impl Default for ContentionModel {
     fn default() -> Self {
-        Self { per_host_penalty: 0.08, min_factor: 0.5 }
+        Self {
+            per_host_penalty: 0.08,
+            min_factor: 0.5,
+        }
     }
 }
 
 impl ContentionModel {
     /// Creates a model with the given per-host penalty and floor.
     pub fn new(per_host_penalty: f64, min_factor: f64) -> Self {
-        Self { per_host_penalty, min_factor }
+        Self {
+            per_host_penalty,
+            min_factor,
+        }
     }
 
     /// A model with no contention at all (ablation baseline).
     pub fn disabled() -> Self {
-        Self { per_host_penalty: 0.0, min_factor: 1.0 }
+        Self {
+            per_host_penalty: 0.0,
+            min_factor: 1.0,
+        }
     }
 
     /// Throughput multiplier for a job placed on `num_hosts` hosts with `workers`

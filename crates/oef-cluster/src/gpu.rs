@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let d = GpuDevice { id: DeviceId { host: 1, slot: 2 }, gpu_type: GpuType(1) };
+        let d = GpuDevice {
+            id: DeviceId { host: 1, slot: 2 },
+            gpu_type: GpuType(1),
+        };
         let json = serde_json::to_string(&d).unwrap();
         let back: GpuDevice = serde_json::from_str(&json).unwrap();
         assert_eq!(back, d);

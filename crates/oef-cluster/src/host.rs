@@ -20,13 +20,20 @@ pub struct Host {
 impl Host {
     /// Creates a host with `num_gpus` devices of `gpu_type`.
     pub fn new(id: usize, gpu_type: GpuType, num_gpus: usize) -> Self {
-        Self { id, gpu_type, num_gpus }
+        Self {
+            id,
+            gpu_type,
+            num_gpus,
+        }
     }
 
     /// Enumerates the devices of this host.
     pub fn devices(&self) -> impl Iterator<Item = GpuDevice> + '_ {
         (0..self.num_gpus).map(move |slot| GpuDevice {
-            id: DeviceId { host: self.id, slot },
+            id: DeviceId {
+                host: self.id,
+                slot,
+            },
             gpu_type: self.gpu_type,
         })
     }
@@ -42,13 +49,20 @@ pub struct ClusterTopology {
 impl ClusterTopology {
     /// Builds a topology from explicit hosts and GPU type names (slowest type first).
     pub fn new(hosts: Vec<Host>, gpu_type_names: Vec<String>) -> Self {
-        Self { hosts, gpu_type_names }
+        Self {
+            hosts,
+            gpu_type_names,
+        }
     }
 
     /// The paper's 24-GPU testbed: two hosts of four GPUs for each of RTX 3070, 3080
     /// and 3090.
     pub fn paper_cluster() -> Self {
-        let names = vec!["rtx3070".to_string(), "rtx3080".to_string(), "rtx3090".to_string()];
+        let names = vec![
+            "rtx3070".to_string(),
+            "rtx3080".to_string(),
+            "rtx3090".to_string(),
+        ];
         let mut hosts = Vec::new();
         let mut id = 0;
         for t in 0..3 {
@@ -62,7 +76,11 @@ impl ClusterTopology {
 
     /// Builds a homogeneous-host topology: `hosts_per_type[t]` hosts with
     /// `gpus_per_host` devices of type `t` each.
-    pub fn uniform(gpu_type_names: Vec<String>, hosts_per_type: &[usize], gpus_per_host: usize) -> Self {
+    pub fn uniform(
+        gpu_type_names: Vec<String>,
+        hosts_per_type: &[usize],
+        gpus_per_host: usize,
+    ) -> Self {
         let mut hosts = Vec::new();
         let mut id = 0;
         for (t, &count) in hosts_per_type.iter().enumerate() {
@@ -100,7 +118,9 @@ impl ClusterTopology {
 
     /// Capacities of every GPU type, slowest first.
     pub fn capacities(&self) -> Vec<usize> {
-        (0..self.num_gpu_types()).map(|t| self.capacity_of(GpuType(t))).collect()
+        (0..self.num_gpu_types())
+            .map(|t| self.capacity_of(GpuType(t)))
+            .collect()
     }
 
     /// Total number of GPU devices in the cluster.
@@ -148,11 +168,7 @@ mod tests {
 
     #[test]
     fn uniform_topology_counts() {
-        let topo = ClusterTopology::uniform(
-            vec!["a".into(), "b".into()],
-            &[3, 1],
-            2,
-        );
+        let topo = ClusterTopology::uniform(vec!["a".into(), "b".into()], &[3, 1], 2);
         assert_eq!(topo.capacity_of(GpuType(0)), 6);
         assert_eq!(topo.capacity_of(GpuType(1)), 2);
         assert_eq!(topo.total_devices(), 8);

@@ -74,7 +74,11 @@ impl Job {
             arrival_time,
             completion_time: None,
             starvation_time: 0.0,
-            state: if arrival_time <= 0.0 { JobState::Runnable } else { JobState::Pending },
+            state: if arrival_time <= 0.0 {
+                JobState::Runnable
+            } else {
+                JobState::Pending
+            },
         }
     }
 

@@ -32,7 +32,9 @@ pub struct RoundingPlacer {
 impl RoundingPlacer {
     /// Creates a placer for `num_tenants` tenants and `num_gpu_types` GPU types.
     pub fn new(num_tenants: usize, num_gpu_types: usize) -> Self {
-        Self { deviation: vec![vec![0.0; num_gpu_types]; num_tenants] }
+        Self {
+            deviation: vec![vec![0.0; num_gpu_types]; num_tenants],
+        }
     }
 
     /// Grows the deviation table when tenants join after construction.
@@ -78,10 +80,13 @@ impl RoundingPlacer {
             // Round every tenant's target, largest fractional remainder first so that
             // capacity is respected deterministically.
             let mut order: Vec<usize> = (0..n).collect();
-            let targets: Vec<f64> =
-                (0..n).map(|l| (ideal.share(l, j) + self.deviation[l][j]).max(0.0)).collect();
+            let targets: Vec<f64> = (0..n)
+                .map(|l| (ideal.share(l, j) + self.deviation[l][j]).max(0.0))
+                .collect();
             order.sort_by(|a, b| {
-                targets[*b].partial_cmp(&targets[*a]).unwrap_or(std::cmp::Ordering::Equal)
+                targets[*b]
+                    .partial_cmp(&targets[*a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for &l in &order {
                 let want = targets[l].round() as usize;
@@ -174,7 +179,10 @@ pub struct DevicePlacer {
 
 impl Default for DevicePlacer {
     fn default() -> Self {
-        Self { prioritize_large_jobs: true, avoid_cross_type: true }
+        Self {
+            prioritize_large_jobs: true,
+            avoid_cross_type: true,
+        }
     }
 }
 
@@ -187,7 +195,10 @@ impl DevicePlacer {
     /// A naive placer used as an ablation baseline: no large-job priority, no
     /// cross-type avoidance.
     pub fn naive() -> Self {
-        Self { prioritize_large_jobs: false, avoid_cross_type: false }
+        Self {
+            prioritize_large_jobs: false,
+            avoid_cross_type: false,
+        }
     }
 
     /// Assigns devices to jobs.
@@ -247,8 +258,7 @@ impl DevicePlacer {
                 if workers == 0 {
                     continue;
                 }
-                let devices =
-                    self.place_one_job(&mut free, &mut budget, workers, topology);
+                let devices = self.place_one_job(&mut free, &mut budget, workers, topology);
                 if !devices.is_empty() {
                     plan.placements.push(JobPlacement {
                         job: job.id,
@@ -388,8 +398,14 @@ mod tests {
             totals[1] += counts[1][0];
         }
         // Over 10 rounds each tenant should have received ~15 device-rounds.
-        assert!((totals[0] as i64 - 15).abs() <= 1, "tenant 0 got {totals:?}");
-        assert!((totals[1] as i64 - 15).abs() <= 1, "tenant 1 got {totals:?}");
+        assert!(
+            (totals[0] as i64 - 15).abs() <= 1,
+            "tenant 0 got {totals:?}"
+        );
+        assert!(
+            (totals[1] as i64 - 15).abs() <= 1,
+            "tenant 1 got {totals:?}"
+        );
     }
 
     #[test]
@@ -409,7 +425,10 @@ mod tests {
                 granted_when_starved += 1;
             }
         }
-        assert!(burst_seen, "deviation should eventually produce a full-size grant");
+        assert!(
+            burst_seen,
+            "deviation should eventually produce a full-size grant"
+        );
         assert!(granted_when_starved >= 2);
     }
 
@@ -458,7 +477,10 @@ mod tests {
         let plan = DevicePlacer::new().place(&topology, &counts, &tenants);
         assert_eq!(plan.placements.len(), 1);
         let types = plan.placements[0].gpu_types();
-        assert!(types.iter().all(|t| *t == types[0]), "should not mix GPU types: {types:?}");
+        assert!(
+            types.iter().all(|t| *t == types[0]),
+            "should not mix GPU types: {types:?}"
+        );
         // The fastest type is preferred.
         assert_eq!(types[0], GpuType(2));
     }
@@ -493,9 +515,11 @@ mod tests {
         tenant.jobs[0].starvation_time = 100.0;
         let counts = vec![vec![3, 0, 0]];
         let plan = DevicePlacer::new().place(&topology, &counts, &[tenant.clone()]);
-        let placed_workers: Vec<usize> =
-            plan.placements.iter().map(|p| p.devices.len()).collect();
-        assert!(placed_workers.contains(&3), "large job should be placed first: {placed_workers:?}");
+        let placed_workers: Vec<usize> = plan.placements.iter().map(|p| p.devices.len()).collect();
+        assert!(
+            placed_workers.contains(&3),
+            "large job should be placed first: {placed_workers:?}"
+        );
 
         // The naive placer goes by starvation only, so the 1-worker job is placed first
         // and the remaining 2 devices go to (part of) the big job.

@@ -22,14 +22,20 @@ pub struct Profiler {
 
 impl Default for Profiler {
     fn default() -> Self {
-        Self { error_rate: 0.0, seed: 7 }
+        Self {
+            error_rate: 0.0,
+            seed: 7,
+        }
     }
 }
 
 impl Profiler {
     /// Creates a profiler with the given maximum relative error and RNG seed.
     pub fn new(error_rate: f64, seed: u64) -> Self {
-        Self { error_rate: error_rate.abs(), seed }
+        Self {
+            error_rate: error_rate.abs(),
+            seed,
+        }
     }
 
     /// An exact profiler (no measurement error).
@@ -50,7 +56,8 @@ impl Profiler {
         if self.error_rate == 0.0 {
             return Ok(true_speedup.clone());
         }
-        let mut rng = StdRng::seed_from_u64(self.seed ^ job_key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ job_key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let k = true_speedup.num_gpu_types();
         let mut factors = vec![1.0; k];
         for f in factors.iter_mut().skip(1) {

@@ -21,7 +21,11 @@ pub struct ClusterState {
 impl ClusterState {
     /// Creates an empty cluster with the given topology.
     pub fn new(topology: ClusterTopology) -> Self {
-        Self { topology, tenants: Vec::new(), next_job_id: 0 }
+        Self {
+            topology,
+            tenants: Vec::new(),
+            next_job_id: 0,
+        }
     }
 
     /// The paper's 24-GPU evaluation cluster with no tenants yet.
@@ -83,7 +87,11 @@ impl ClusterState {
     /// Indices of tenants that should be scheduled this round (not departed, with
     /// unfinished jobs).
     pub fn active_tenants(&self) -> Vec<usize> {
-        self.tenants.iter().filter(|t| t.is_active()).map(|t| t.id).collect()
+        self.tenants
+            .iter()
+            .filter(|t| t.is_active())
+            .map(|t| t.id)
+            .collect()
     }
 
     /// Speedup matrix of the listed tenants, using their *reported* profiles (the
@@ -94,7 +102,10 @@ impl ClusterState {
     /// Returns an error if `tenant_ids` is empty.
     pub fn reported_speedups(&self, tenant_ids: &[usize]) -> Result<SpeedupMatrix> {
         SpeedupMatrix::new(
-            tenant_ids.iter().map(|&l| self.tenants[l].reported_speedup.clone()).collect(),
+            tenant_ids
+                .iter()
+                .map(|&l| self.tenants[l].reported_speedup.clone())
+                .collect(),
         )
     }
 
@@ -106,7 +117,10 @@ impl ClusterState {
     /// Returns an error if `tenant_ids` is empty.
     pub fn true_speedups(&self, tenant_ids: &[usize]) -> Result<SpeedupMatrix> {
         SpeedupMatrix::new(
-            tenant_ids.iter().map(|&l| self.tenants[l].true_speedup.clone()).collect(),
+            tenant_ids
+                .iter()
+                .map(|&l| self.tenants[l].true_speedup.clone())
+                .collect(),
         )
     }
 
@@ -137,12 +151,18 @@ impl ClusterState {
 
     /// All finished jobs across tenants (for JCT statistics).
     pub fn finished_jobs(&self) -> Vec<&Job> {
-        self.tenants.iter().flat_map(|t| t.jobs.iter()).filter(|j| j.is_finished()).collect()
+        self.tenants
+            .iter()
+            .flat_map(|t| t.jobs.iter())
+            .filter(|j| j.is_finished())
+            .collect()
     }
 
     /// Whether every job of every tenant has finished.
     pub fn all_jobs_finished(&self) -> bool {
-        self.tenants.iter().all(|t| t.jobs.iter().all(|j| j.is_finished()))
+        self.tenants
+            .iter()
+            .all(|t| t.jobs.iter().all(|j| j.is_finished()))
     }
 }
 
@@ -156,7 +176,15 @@ mod tests {
     }
 
     fn job(workers: usize, arrival: f64) -> Job {
-        Job::new(JobId(0), 0, "vgg16", workers, sv(vec![1.0, 1.2, 1.4]), 100.0, arrival)
+        Job::new(
+            JobId(0),
+            0,
+            "vgg16",
+            workers,
+            sv(vec![1.0, 1.2, 1.4]),
+            100.0,
+            arrival,
+        )
     }
 
     #[test]
@@ -191,7 +219,11 @@ mod tests {
         state.submit_job(b, job(1, 100.0));
 
         let active = state.active_tenants();
-        assert_eq!(active, vec![0, 1], "bob has an unfinished (pending) job so he is active");
+        assert_eq!(
+            active,
+            vec![0, 1],
+            "bob has an unfinished (pending) job so he is active"
+        );
         assert_eq!(state.min_demands(&[a, b]), vec![2, 0]);
 
         state.process_arrivals(100.0);

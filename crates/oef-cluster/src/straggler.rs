@@ -67,7 +67,10 @@ impl StragglerModel {
         if assigned_types.is_empty() {
             return (0.0, 0);
         }
-        let speeds: Vec<f64> = assigned_types.iter().map(|t| speedup.speedup(t.index())).collect();
+        let speeds: Vec<f64> = assigned_types
+            .iter()
+            .map(|t| speedup.speedup(t.index()))
+            .collect();
         if !self.synchronous {
             return (speeds.iter().sum(), 0);
         }
@@ -134,8 +137,14 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = StragglerStats { cross_type_placements: 2, affected_workers: 5 };
-        let b = StragglerStats { cross_type_placements: 1, affected_workers: 3 };
+        let mut a = StragglerStats {
+            cross_type_placements: 2,
+            affected_workers: 5,
+        };
+        let b = StragglerStats {
+            cross_type_placements: 1,
+            affected_workers: 3,
+        };
         a.merge(&b);
         assert_eq!(a.cross_type_placements, 3);
         assert_eq!(a.affected_workers, 8);

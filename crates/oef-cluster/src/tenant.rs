@@ -58,8 +58,10 @@ impl Tenant {
         for f in factors.iter_mut().skip(1) {
             *f = factor;
         }
-        self.reported_speedup =
-            self.true_speedup.inflate(&factors).expect("inflation with positive factor is valid");
+        self.reported_speedup = self
+            .true_speedup
+            .inflate(&factors)
+            .expect("inflation with positive factor is valid");
     }
 
     /// Restores honest reporting.
@@ -81,8 +83,11 @@ impl Tenant {
     /// Jobs that are runnable (arrived and unfinished), in starvation-priority order:
     /// jobs that have waited the longest come first (§6.1.3).
     pub fn runnable_jobs(&self) -> Vec<&Job> {
-        let mut jobs: Vec<&Job> =
-            self.jobs.iter().filter(|j| matches!(j.state, crate::job::JobState::Runnable)).collect();
+        let mut jobs: Vec<&Job> = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, crate::job::JobState::Runnable))
+            .collect();
         jobs.sort_by(|a, b| {
             b.starvation_time
                 .partial_cmp(&a.starvation_time)
@@ -123,7 +128,15 @@ mod tests {
     }
 
     fn job(id: u64, tenant: usize, starvation: f64) -> Job {
-        let mut j = Job::new(JobId(id), tenant, "vgg16", 1, sv(vec![1.0, 2.0]), 100.0, 0.0);
+        let mut j = Job::new(
+            JobId(id),
+            tenant,
+            "vgg16",
+            1,
+            sv(vec![1.0, 2.0]),
+            100.0,
+            0.0,
+        );
         j.starvation_time = starvation;
         j
     }

@@ -23,7 +23,9 @@ impl Allocation {
     /// negative / non-finite entries.
     pub fn new(rows: Vec<Vec<f64>>) -> Result<Self> {
         if rows.is_empty() || rows[0].is_empty() {
-            return Err(OefError::InvalidAllocation { reason: "empty allocation matrix".into() });
+            return Err(OefError::InvalidAllocation {
+                reason: "empty allocation matrix".into(),
+            });
         }
         let k = rows[0].len();
         for (l, row) in rows.iter().enumerate() {
@@ -43,14 +45,20 @@ impl Allocation {
         // Clamp tiny numerical negatives to zero so downstream arithmetic stays clean.
         let rows = rows
             .into_iter()
-            .map(|row| row.into_iter().map(|v| if v < 0.0 { 0.0 } else { v }).collect())
+            .map(|row| {
+                row.into_iter()
+                    .map(|v| if v < 0.0 { 0.0 } else { v })
+                    .collect()
+            })
             .collect();
         Ok(Self { rows })
     }
 
     /// An all-zero allocation for `num_users` tenants over `num_gpu_types` types.
     pub fn zeros(num_users: usize, num_gpu_types: usize) -> Self {
-        Self { rows: vec![vec![0.0; num_gpu_types]; num_users] }
+        Self {
+            rows: vec![vec![0.0; num_gpu_types]; num_users],
+        }
     }
 
     /// Number of tenants.
@@ -96,7 +104,9 @@ impl Allocation {
 
     /// Efficiencies of every tenant.
     pub fn user_efficiencies(&self, speedups: &SpeedupMatrix) -> Vec<f64> {
-        (0..self.num_users()).map(|l| self.user_efficiency(l, speedups)).collect()
+        (0..self.num_users())
+            .map(|l| self.user_efficiency(l, speedups))
+            .collect()
     }
 
     /// Overall cluster efficiency `Σ_l W_l · x_l` — the objective the OEF programs
@@ -129,9 +139,7 @@ impl Allocation {
             let first = row.iter().position(|v| *v > TOL);
             let last = row.iter().rposition(|v| *v > TOL);
             match (first, last) {
-                (Some(first), Some(last)) => {
-                    row[first..=last].iter().all(|v| *v > TOL)
-                }
+                (Some(first), Some(last)) => row[first..=last].iter().all(|v| *v > TOL),
                 _ => true, // all-zero rows are trivially adjacent
             }
         })
@@ -195,8 +203,8 @@ mod tests {
     fn efficiencies_match_paper_example() {
         // Expression (2) of the paper: X* = [1 0; 0 0.5; 0 0.5] with W = [1 2;1 3;1 4]
         // gives efficiencies (1, 1.5, 2).
-        let w = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
-            .unwrap();
+        let w =
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap();
         let x = Allocation::new(vec![vec![1.0, 0.0], vec![0.0, 0.5], vec![0.0, 0.5]]).unwrap();
         let eff = x.user_efficiencies(&w);
         assert!((eff[0] - 1.0).abs() < 1e-12);

@@ -25,7 +25,9 @@ impl ClusterSpec {
     /// non-positive or non-finite.
     pub fn new(gpu_types: Vec<(String, f64)>) -> Result<Self> {
         if gpu_types.is_empty() {
-            return Err(OefError::InvalidCluster { reason: "no GPU types".into() });
+            return Err(OefError::InvalidCluster {
+                reason: "no GPU types".into(),
+            });
         }
         let mut names = Vec::with_capacity(gpu_types.len());
         let mut capacities = Vec::with_capacity(gpu_types.len());
@@ -38,7 +40,10 @@ impl ClusterSpec {
             names.push(name);
             capacities.push(capacity);
         }
-        Ok(Self { gpu_type_names: names, capacities })
+        Ok(Self {
+            gpu_type_names: names,
+            capacities,
+        })
     }
 
     /// Convenience constructor from parallel slices of names and capacities.
@@ -57,7 +62,13 @@ impl ClusterSpec {
                 ),
             });
         }
-        Self::new(names.iter().map(|n| n.to_string()).zip(capacities.iter().copied()).collect())
+        Self::new(
+            names
+                .iter()
+                .map(|n| n.to_string())
+                .zip(capacities.iter().copied())
+                .collect(),
+        )
     }
 
     /// The 24-GPU evaluation cluster of the paper (§6.1.1): eight RTX 3070, eight
@@ -166,7 +177,10 @@ mod tests {
         let ok = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
         let bad = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0, 3.0]]).unwrap();
         assert!(c.check_compatible(&ok).is_ok());
-        assert!(matches!(c.check_compatible(&bad), Err(OefError::DimensionMismatch { .. })));
+        assert!(matches!(
+            c.check_compatible(&bad),
+            Err(OefError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

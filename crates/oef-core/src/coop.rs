@@ -8,7 +8,7 @@
 use crate::error::OefError;
 use crate::policy::AllocationPolicy;
 use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
-use oef_lp::{ConstraintOp, Problem, Sense, SimplexOptions};
+use oef_lp::{ConstraintOp, ContextCell, Problem, Sense, SimplexOptions};
 use serde::{Deserialize, Serialize};
 
 /// The cooperative OEF fair-share evaluator.
@@ -27,18 +27,31 @@ use serde::{Deserialize, Serialize};
 pub struct CooperativeOef {
     /// Options forwarded to the simplex solver.
     pub solver_options: SimplexOptions,
+    /// Reusable warm-start solver state: round `N+1` (or a strategy-probe
+    /// re-solve) starts from round `N`'s optimal basis whenever the LP shape
+    /// is unchanged.
+    context: ContextCell,
 }
 
 impl Default for CooperativeOef {
     fn default() -> Self {
-        Self { solver_options: SimplexOptions::default() }
+        Self::with_options(SimplexOptions::default())
     }
 }
 
 impl CooperativeOef {
     /// Creates a policy with custom solver options.
     pub fn with_options(solver_options: SimplexOptions) -> Self {
-        Self { solver_options }
+        let context = ContextCell::with_options(solver_options.clone());
+        Self {
+            solver_options,
+            context,
+        }
+    }
+
+    /// Read access to the policy's solver context (warm/cold counters).
+    pub fn solver_context(&self) -> &ContextCell {
+        &self.context
     }
 
     /// Builds the LP of problem (10): maximise total efficiency subject to capacity and
@@ -52,7 +65,11 @@ impl CooperativeOef {
         let mut problem = Problem::new(Sense::Maximize);
 
         let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
-            .map(|l| (0..k).map(|j| problem.add_variable(format!("x_{l}_{j}"))).collect())
+            .map(|l| {
+                (0..k)
+                    .map(|j| problem.add_variable(format!("x_{l}_{j}")))
+                    .collect()
+            })
             .collect();
 
         // Objective (10a).
@@ -75,8 +92,9 @@ impl CooperativeOef {
                 if i == l {
                     continue;
                 }
-                let mut terms: Vec<_> =
-                    (0..k).map(|j| (vars[l][j], speedups.speedup(l, j))).collect();
+                let mut terms: Vec<_> = (0..k)
+                    .map(|j| (vars[l][j], speedups.speedup(l, j)))
+                    .collect();
                 terms.extend((0..k).map(|j| (vars[i][j], -speedups.speedup(l, j))));
                 problem.add_constraint(&terms, ConstraintOp::Ge, 0.0);
             }
@@ -98,13 +116,28 @@ impl AllocationPolicy for CooperativeOef {
         }
 
         let (problem, vars) = Self::build_problem(cluster, speedups);
-        let solution = problem.solve_with(&self.solver_options)?;
+        // `solve_with` re-syncs from the public field, so mutations of
+        // `self.solver_options` (or a serde round trip) stay authoritative.
+        let solution = self.context.solve_with(&problem, &self.solver_options)?;
+        crate::noncoop::extract_rows(&solution, &vars)
+    }
 
-        let rows: Vec<Vec<f64>> = vars
-            .iter()
-            .map(|row| row.iter().map(|v| solution.value(*v)).collect())
-            .collect();
-        Allocation::new(rows)
+    fn allocate_mut(
+        &mut self,
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+    ) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        if speedups.num_users() == 0 {
+            return Err(OefError::NoUsers);
+        }
+        let (problem, vars) = Self::build_problem(cluster, speedups);
+        // Exclusive access: skip the cell's mutex entirely.
+        let solution = self
+            .context
+            .get_mut()
+            .solve_with(&problem, &self.solver_options)?;
+        crate::noncoop::extract_rows(&solution, &vars)
     }
 }
 
@@ -127,11 +160,21 @@ mod tests {
     fn paper_example_eq6_total_efficiency() {
         let cluster = two_type_cluster();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
-        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         assert!((a.total_efficiency(&speedups) - 5.25).abs() < 1e-6);
         let eff = a.user_efficiencies(&speedups);
-        assert!((eff[0] - 1.5).abs() < 1e-6, "user 1 gets 1 + 2*0.25 = 1.5, got {}", eff[0]);
-        assert!((eff[1] - 3.75).abs() < 1e-6, "user 2 gets 5*0.75 = 3.75, got {}", eff[1]);
+        assert!(
+            (eff[0] - 1.5).abs() < 1e-6,
+            "user 1 gets 1 + 2*0.25 = 1.5, got {}",
+            eff[0]
+        );
+        assert!(
+            (eff[1] - 3.75).abs() < 1e-6,
+            "user 2 gets 5*0.75 = 3.75, got {}",
+            eff[1]
+        );
         assert!(is_envy_free(&a, &speedups));
     }
 
@@ -142,10 +185,20 @@ mod tests {
         // to ~1.85.
         let cluster = two_type_cluster();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.39], vec![1.0, 2.15]]).unwrap();
-        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         let eff = a.user_efficiencies(&speedups);
-        assert!((eff[0] - 1.195).abs() < 1e-3, "expected ~1.195, got {}", eff[0]);
-        assert!((eff[1] - 1.849).abs() < 2e-3, "expected ~1.85, got {}", eff[1]);
+        assert!(
+            (eff[0] - 1.195).abs() < 1e-3,
+            "expected ~1.195, got {}",
+            eff[0]
+        );
+        assert!(
+            (eff[1] - 1.849).abs() < 2e-3,
+            "expected ~1.85, got {}",
+            eff[1]
+        );
         assert!(is_envy_free(&a, &speedups));
     }
 
@@ -156,9 +209,10 @@ mod tests {
         // Gandiva_fair (4.35) and Gavel (4.33) achieve on the same input.
         let cluster = two_type_cluster();
         let speedups =
-            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
-                .unwrap();
-        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap();
+        let a = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         assert!(a.total_efficiency(&speedups) >= 4.5 - 1e-6);
         assert!(is_envy_free(&a, &speedups));
         // Sharing incentive follows from EF + optimality (Theorem 5.1).
@@ -183,7 +237,9 @@ mod tests {
             vec![1.0, 1.05, 1.12],
         ])
         .unwrap();
-        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         assert!(a.is_feasible(&cluster));
         assert!(is_envy_free(&a, &speedups));
         assert!(a.uses_adjacent_types_only());
@@ -193,7 +249,9 @@ mod tests {
     fn single_user_gets_whole_cluster() {
         let cluster = ClusterSpec::paper_evaluation_cluster();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.5, 2.0]]).unwrap();
-        let a = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         assert!((a.user_efficiency(0, &speedups) - (8.0 + 12.0 + 16.0)).abs() < 1e-5);
     }
 
@@ -205,11 +263,12 @@ mod tests {
         // envy-free (identical users), and is never worse on the paper's examples.
         let cluster = two_type_cluster();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
-        let coop = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
-        let noncoop =
-            crate::NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
-        assert!(
-            coop.total_efficiency(&speedups) >= noncoop.total_efficiency(&speedups) - 1e-6
-        );
+        let coop = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
+        let noncoop = crate::NonCooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
+        assert!(coop.total_efficiency(&speedups) >= noncoop.total_efficiency(&speedups) - 1e-6);
     }
 }

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_descriptive() {
-        let e = OefError::DimensionMismatch { cluster_types: 3, speedup_types: 2 };
+        let e = OefError::DimensionMismatch {
+            cluster_types: 3,
+            speedup_types: 2,
+        };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('2'));
         let e = OefError::Solver(oef_lp::LpError::Infeasible);

@@ -24,12 +24,18 @@ pub struct TenantWorkload {
 impl TenantWorkload {
     /// A tenant with a single job type and weight 1.
     pub fn single(job: SpeedupVector) -> Self {
-        Self { job_types: vec![job], weight: 1 }
+        Self {
+            job_types: vec![job],
+            weight: 1,
+        }
     }
 
     /// A tenant with several job types and weight 1.
     pub fn with_jobs(job_types: Vec<SpeedupVector>) -> Self {
-        Self { job_types, weight: 1 }
+        Self {
+            job_types,
+            weight: 1,
+        }
     }
 
     /// Sets the priority weight, builder style.
@@ -56,7 +62,9 @@ impl MultiJobAllocation {
 
     /// Total normalised throughput of tenant `t` (summed over its job types).
     pub fn tenant_efficiency(&self, tenants: &[TenantWorkload], t: usize) -> f64 {
-        (0..tenants[t].job_types.len()).map(|p| self.job_efficiency(tenants, t, p)).sum()
+        (0..tenants[t].job_types.len())
+            .map(|p| self.job_efficiency(tenants, t, p))
+            .sum()
     }
 }
 
@@ -84,15 +92,64 @@ impl MultiJobAllocation {
 /// assert!((e11 - e12).abs() < 1e-5);
 /// assert!((e11 + e12 - e2).abs() < 1e-5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MultiJobOef {
     mode: OefMode,
+    inner: std::sync::OnceLock<crate::policy::BoxedPolicy>,
+}
+
+impl std::fmt::Debug for MultiJobOef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiJobOef")
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for MultiJobOef {
+    fn clone(&self) -> Self {
+        Self::new(self.mode)
+    }
+}
+
+impl PartialEq for MultiJobOef {
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode
+    }
+}
+
+impl Eq for MultiJobOef {}
+
+impl serde::Serialize for MultiJobOef {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![("mode".to_string(), self.mode.serialize())])
+    }
+}
+
+impl serde::Deserialize for MultiJobOef {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let mode = match value.get("mode") {
+            Some(m) => OefMode::deserialize(m)?,
+            None => return Err(serde::Error::custom("missing field `mode` for MultiJobOef")),
+        };
+        Ok(Self::new(mode))
+    }
 }
 
 impl MultiJobOef {
     /// Creates a multi-job wrapper around the chosen OEF mechanism.
+    ///
+    /// The wrapped mechanism is instantiated lazily and reused across calls,
+    /// so repeated allocations of an unchanged tenant mix warm-start from the
+    /// previous optimal basis.
     pub fn new(mode: OefMode) -> Self {
-        Self { mode }
+        Self {
+            mode,
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn inner_policy(&self) -> &crate::policy::BoxedPolicy {
+        self.inner.get_or_init(|| self.mode.policy())
     }
 
     /// Computes the allocation for tenants with possibly many job types.
@@ -122,7 +179,10 @@ impl MultiJobOef {
         }
 
         // Scale factor so that weight / num_job_types becomes an integer for everyone.
-        let scale = tenants.iter().map(|t| t.job_types.len() as u64).fold(1u64, lcm);
+        let scale = tenants
+            .iter()
+            .map(|t| t.job_types.len() as u64)
+            .fold(1u64, lcm);
 
         // One "virtual job row" per (tenant, job type), replicated according to the
         // tenant's share of the weight.
@@ -130,8 +190,7 @@ impl MultiJobOef {
         let mut weights = Vec::new();
         let mut owner: Vec<(usize, usize)> = Vec::new();
         for (t, tenant) in tenants.iter().enumerate() {
-            let replication =
-                (tenant.weight as u64 * scale / tenant.job_types.len() as u64) as u32;
+            let replication = (tenant.weight as u64 * scale / tenant.job_types.len() as u64) as u32;
             for (p, job) in tenant.job_types.iter().enumerate() {
                 rows.push(job.clone());
                 weights.push(replication);
@@ -140,14 +199,15 @@ impl MultiJobOef {
         }
         let job_matrix = SpeedupMatrix::new(rows)?;
         let expansion = VirtualUserExpansion::from_weights(&job_matrix, &weights)?;
-        let policy = self.mode.policy();
-        let virtual_allocation = policy.allocate(cluster, &expansion.expanded)?;
+        let virtual_allocation = self.inner_policy().allocate(cluster, &expansion.expanded)?;
         // Collapse virtual users back to (tenant, job) rows first.
         let per_job_rows = expansion.collapse(&virtual_allocation, job_matrix.num_users())?;
 
         let k = cluster.num_gpu_types();
-        let mut per_job: Vec<Vec<Vec<f64>>> =
-            tenants.iter().map(|t| vec![vec![0.0; k]; t.job_types.len()]).collect();
+        let mut per_job: Vec<Vec<Vec<f64>>> = tenants
+            .iter()
+            .map(|t| vec![vec![0.0; k]; t.job_types.len()])
+            .collect();
         let mut per_tenant = vec![vec![0.0; k]; tenants.len()];
         for (row_idx, &(t, p)) in owner.iter().enumerate() {
             for j in 0..k {
@@ -157,7 +217,10 @@ impl MultiJobOef {
             }
         }
 
-        Ok(MultiJobAllocation { per_tenant: Allocation::new(per_tenant)?, per_job })
+        Ok(MultiJobAllocation {
+            per_tenant: Allocation::new(per_tenant)?,
+            per_job,
+        })
     }
 }
 
@@ -203,19 +266,31 @@ mod tests {
             TenantWorkload::with_jobs(vec![sv(vec![1.0, 2.0]), sv(vec![1.0, 3.0])]),
             TenantWorkload::single(sv(vec![1.0, 5.0])),
         ];
-        let result = MultiJobOef::new(OefMode::NonCooperative).allocate(&cluster, &tenants).unwrap();
+        let result = MultiJobOef::new(OefMode::NonCooperative)
+            .allocate(&cluster, &tenants)
+            .unwrap();
 
         // All four virtual users have equal throughput, so each job of tenant 1 matches
         // each half of tenant 2's throughput.
         let e11 = result.job_efficiency(&tenants, 0, 0);
         let e12 = result.job_efficiency(&tenants, 0, 1);
         let e2 = result.tenant_efficiency(&tenants, 1);
-        assert!((e11 - e12).abs() < 1e-5, "job throughputs differ: {e11} vs {e12}");
-        assert!((e2 - (e11 + e12)).abs() < 1e-5, "tenant 2 should match tenant 1's total");
+        assert!(
+            (e11 - e12).abs() < 1e-5,
+            "job throughputs differ: {e11} vs {e12}"
+        );
+        assert!(
+            (e2 - (e11 + e12)).abs() < 1e-5,
+            "tenant 2 should match tenant 1's total"
+        );
         assert!(result.per_tenant.is_feasible(&cluster));
 
         // The slow GPU goes to the slowest virtual user (tenant 1's (1,2) job).
-        assert!(result.per_job[0][0][0] > 0.9, "per-job allocation {:?}", result.per_job);
+        assert!(
+            result.per_job[0][0][0] > 0.9,
+            "per-job allocation {:?}",
+            result.per_job
+        );
     }
 
     #[test]
@@ -225,7 +300,9 @@ mod tests {
             TenantWorkload::single(sv(vec![1.0, 2.0])),
             TenantWorkload::single(sv(vec![1.0, 5.0])).weighted(2),
         ];
-        let multi = MultiJobOef::new(OefMode::NonCooperative).allocate(&cluster, &tenants).unwrap();
+        let multi = MultiJobOef::new(OefMode::NonCooperative)
+            .allocate(&cluster, &tenants)
+            .unwrap();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
         let weighted = crate::WeightedOef::new(OefMode::NonCooperative)
             .allocate_weighted(&cluster, &speedups, &[1, 2])
@@ -244,8 +321,13 @@ mod tests {
             MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &[]),
             Err(OefError::NoUsers)
         ));
-        let no_jobs = vec![TenantWorkload { job_types: vec![], weight: 1 }];
-        assert!(MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &no_jobs).is_err());
+        let no_jobs = vec![TenantWorkload {
+            job_types: vec![],
+            weight: 1,
+        }];
+        assert!(MultiJobOef::new(OefMode::Cooperative)
+            .allocate(&cluster, &no_jobs)
+            .is_err());
         let zero_weight = vec![TenantWorkload::single(sv(vec![1.0, 2.0])).weighted(0)];
         assert!(matches!(
             MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &zero_weight),
@@ -265,7 +347,9 @@ mod tests {
                 sv(vec![1.0, 1.5, 2.0]),
             ]),
         ];
-        let result = MultiJobOef::new(OefMode::Cooperative).allocate(&cluster, &tenants).unwrap();
+        let result = MultiJobOef::new(OefMode::Cooperative)
+            .allocate(&cluster, &tenants)
+            .unwrap();
         assert!(result.per_tenant.is_feasible(&cluster));
         for (t, tenant) in tenants.iter().enumerate() {
             assert!(result.tenant_efficiency(&tenants, t) > 0.0);

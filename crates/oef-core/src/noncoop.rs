@@ -10,7 +10,7 @@
 use crate::error::OefError;
 use crate::policy::AllocationPolicy;
 use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
-use oef_lp::{ConstraintOp, Problem, Sense, SimplexOptions};
+use oef_lp::{ConstraintOp, ContextCell, Problem, Sense, SimplexOptions};
 use serde::{Deserialize, Serialize};
 
 /// The non-cooperative OEF fair-share evaluator.
@@ -29,18 +29,31 @@ use serde::{Deserialize, Serialize};
 pub struct NonCooperativeOef {
     /// Options forwarded to the simplex solver.
     pub solver_options: SimplexOptions,
+    /// Reusable warm-start solver state: round `N+1` (or a strategy-probe
+    /// re-solve) starts from round `N`'s optimal basis whenever the LP shape
+    /// is unchanged.
+    context: ContextCell,
 }
 
 impl Default for NonCooperativeOef {
     fn default() -> Self {
-        Self { solver_options: SimplexOptions::default() }
+        Self::with_options(SimplexOptions::default())
     }
 }
 
 impl NonCooperativeOef {
     /// Creates a policy with custom solver options.
     pub fn with_options(solver_options: SimplexOptions) -> Self {
-        Self { solver_options }
+        let context = ContextCell::with_options(solver_options.clone());
+        Self {
+            solver_options,
+            context,
+        }
+    }
+
+    /// Read access to the policy's solver context (warm/cold counters).
+    pub fn solver_context(&self) -> &ContextCell {
+        &self.context
     }
 
     /// Builds the LP of problem (9): maximise `Σ_l Σ_j w_l^j x_l^j` subject to per-type
@@ -54,7 +67,11 @@ impl NonCooperativeOef {
         let mut problem = Problem::new(Sense::Maximize);
 
         let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
-            .map(|l| (0..k).map(|j| problem.add_variable(format!("x_{l}_{j}"))).collect())
+            .map(|l| {
+                (0..k)
+                    .map(|j| problem.add_variable(format!("x_{l}_{j}")))
+                    .collect()
+            })
             .collect();
 
         // Objective (9a).
@@ -72,7 +89,9 @@ impl NonCooperativeOef {
 
         // Equal-throughput constraints (9c), expressed against user 0.
         for l in 1..n {
-            let mut terms: Vec<_> = (0..k).map(|j| (vars[0][j], speedups.speedup(0, j))).collect();
+            let mut terms: Vec<_> = (0..k)
+                .map(|j| (vars[0][j], speedups.speedup(0, j)))
+                .collect();
             terms.extend((0..k).map(|j| (vars[l][j], -speedups.speedup(l, j))));
             problem.add_constraint(&terms, ConstraintOp::Eq, 0.0);
         }
@@ -94,14 +113,41 @@ impl AllocationPolicy for NonCooperativeOef {
         }
 
         let (problem, vars) = Self::build_problem(cluster, speedups);
-        let solution = problem.solve_with(&self.solver_options)?;
-
-        let rows: Vec<Vec<f64>> = vars
-            .iter()
-            .map(|row| row.iter().map(|v| solution.value(*v)).collect())
-            .collect();
-        Allocation::new(rows)
+        // `solve_with` re-syncs from the public field, so mutations of
+        // `self.solver_options` (or a serde round trip) stay authoritative.
+        let solution = self.context.solve_with(&problem, &self.solver_options)?;
+        extract_rows(&solution, &vars)
     }
+
+    fn allocate_mut(
+        &mut self,
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+    ) -> Result<Allocation> {
+        cluster.check_compatible(speedups)?;
+        if speedups.num_users() == 0 {
+            return Err(OefError::NoUsers);
+        }
+        let (problem, vars) = Self::build_problem(cluster, speedups);
+        // Exclusive access: skip the cell's mutex entirely.
+        let solution = self
+            .context
+            .get_mut()
+            .solve_with(&problem, &self.solver_options)?;
+        extract_rows(&solution, &vars)
+    }
+}
+
+/// Reads the per-user allocation rows out of a solution.
+pub(crate) fn extract_rows(
+    solution: &oef_lp::Solution,
+    vars: &[Vec<oef_lp::Variable>],
+) -> Result<Allocation> {
+    let rows: Vec<Vec<f64>> = vars
+        .iter()
+        .map(|row| row.iter().map(|v| solution.value(*v)).collect())
+        .collect();
+    Allocation::new(rows)
 }
 
 #[cfg(test)]
@@ -117,21 +163,27 @@ mod tests {
         // Speedup matrix of Expression (1) in the paper.
         let cluster = two_type_cluster();
         let speedups =
-            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
-                .unwrap();
-        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap();
+        let a = NonCooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         let eff = a.user_efficiencies(&speedups);
         assert!((eff[0] - eff[1]).abs() < 1e-6);
         assert!((eff[1] - eff[2]).abs() < 1e-6);
         assert!(a.is_feasible(&cluster));
-        assert!(eff[0] > 1.0, "each user should beat a single slow GPU, got {eff:?}");
+        assert!(
+            eff[0] > 1.0,
+            "each user should beat a single slow GPU, got {eff:?}"
+        );
     }
 
     #[test]
     fn single_user_gets_everything() {
         let cluster = two_type_cluster();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 3.0]]).unwrap();
-        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = NonCooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         assert!((a.share(0, 0) - 1.0).abs() < 1e-6);
         assert!((a.share(0, 1) - 1.0).abs() < 1e-6);
     }
@@ -146,7 +198,9 @@ mod tests {
             vec![1.0, 1.5, 2.0],
         ])
         .unwrap();
-        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = NonCooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         let eff = a.user_efficiencies(&speedups);
         let expected = (8.0 + 1.5 * 8.0 + 2.0 * 8.0) / 4.0;
         for e in eff {
@@ -165,8 +219,34 @@ mod tests {
             vec![1.0, 2.0, 3.5, 5.0],
         ])
         .unwrap();
-        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
-        assert!(a.uses_adjacent_types_only(), "allocation {a:?} uses non-adjacent GPU types");
+        let a = NonCooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
+        assert!(
+            a.uses_adjacent_types_only(),
+            "allocation {a:?} uses non-adjacent GPU types"
+        );
+    }
+
+    #[test]
+    fn mutated_solver_options_stay_authoritative() {
+        // The public field must keep driving solves even though the warm-start
+        // context captured a copy at construction time.
+        let mut policy = NonCooperativeOef::default();
+        let cluster = two_type_cluster();
+        let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
+        assert!(policy.allocate(&cluster, &speedups).is_ok());
+        policy.solver_options.max_iterations = 0;
+        assert!(
+            matches!(
+                policy.allocate(&cluster, &speedups),
+                Err(OefError::Solver(oef_lp::LpError::IterationLimit { .. }))
+            ),
+            "a zero pivot budget set after construction must be honored"
+        );
+        policy.solver_options.max_iterations = 1_000_000;
+        let via_mut = policy.allocate_mut(&cluster, &speedups).unwrap();
+        assert!(via_mut.is_feasible(&cluster));
     }
 
     #[test]
@@ -186,7 +266,9 @@ mod tests {
         // least as well as the equal-throughput max-min-like baseline.
         let cluster = two_type_cluster();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.39], vec![1.0, 2.15]]).unwrap();
-        let a = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let a = NonCooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         let eff = a.user_efficiencies(&speedups);
         assert!((eff[0] - eff[1]).abs() < 1e-6);
         // The equalised throughput must be at least the worst user's max-min throughput

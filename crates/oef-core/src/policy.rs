@@ -16,11 +16,36 @@ pub trait AllocationPolicy {
 
     /// Computes the allocation matrix for one scheduling round.
     ///
+    /// The LP-backed OEF policies keep an interior-mutable
+    /// [`oef_lp::SolverContext`] behind this `&self` method, so calling
+    /// `allocate` round after round automatically warm-starts each solve from
+    /// the previous round's optimal basis.
+    ///
     /// # Errors
     ///
     /// Implementations return an error if the inputs are inconsistent (dimension
     /// mismatch, empty user set) or if the underlying optimisation fails.
     fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation>;
+
+    /// Computes the allocation matrix with exclusive access to the policy.
+    ///
+    /// The default implementation forwards to [`AllocationPolicy::allocate`].
+    /// The LP-backed OEF policies ([`crate::CooperativeOef`],
+    /// [`crate::NonCooperativeOef`]) override it to reach their solver
+    /// context without going through its mutex.  Callers that own their
+    /// policy (for example a harness driving one policy across rounds)
+    /// should prefer this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllocationPolicy::allocate`].
+    fn allocate_mut(
+        &mut self,
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+    ) -> Result<Allocation> {
+        self.allocate(cluster, speedups)
+    }
 }
 
 /// Boxed, thread-safe allocation policy, convenient for heterogeneous collections of
@@ -45,6 +70,14 @@ impl<P: AllocationPolicy + ?Sized> AllocationPolicy for Box<P> {
     fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
         (**self).allocate(cluster, speedups)
     }
+
+    fn allocate_mut(
+        &mut self,
+        cluster: &ClusterSpec,
+        speedups: &SpeedupMatrix,
+    ) -> Result<Allocation> {
+        (**self).allocate_mut(cluster, speedups)
+    }
 }
 
 #[cfg(test)]
@@ -58,11 +91,17 @@ mod tests {
         let by_ref: &dyn AllocationPolicy = &policy;
         assert_eq!(by_ref.name(), policy.name());
 
-        let boxed: BoxedPolicy = Box::new(NonCooperativeOef::default());
+        let inner = NonCooperativeOef::default();
+        let mut boxed: BoxedPolicy = Box::new(inner);
         let cluster = ClusterSpec::homogeneous_counts(&["slow", "fast"], &[1.0, 1.0]).unwrap();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 4.0]]).unwrap();
         let a = boxed.allocate(&cluster, &speedups).unwrap();
         assert_eq!(a.num_users(), 2);
-        assert_eq!((&boxed).name(), "oef-noncooperative");
+        // Exercise the `&P` blanket impl explicitly.
+        let reborrowed: &BoxedPolicy = &boxed;
+        assert_eq!(reborrowed.name(), "oef-noncooperative");
+        // And the `allocate_mut` forwarding through `Box<P>`.
+        let b = boxed.allocate_mut(&cluster, &speedups).unwrap();
+        assert_eq!(b.num_users(), 2);
     }
 }

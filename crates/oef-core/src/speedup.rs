@@ -28,7 +28,9 @@ impl SpeedupVector {
     /// non-positive or non-finite entries, or is not normalised.
     pub fn new(values: Vec<f64>) -> Result<Self> {
         if values.is_empty() {
-            return Err(OefError::InvalidSpeedup { reason: "empty speedup vector".into() });
+            return Err(OefError::InvalidSpeedup {
+                reason: "empty speedup vector".into(),
+            });
         }
         for (i, v) in values.iter().enumerate() {
             if !v.is_finite() || *v <= 0.0 {
@@ -39,7 +41,10 @@ impl SpeedupVector {
         }
         if (values[0] - 1.0).abs() > NORMALISATION_TOL {
             return Err(OefError::InvalidSpeedup {
-                reason: format!("first entry is {} but must be 1 (slowest GPU type)", values[0]),
+                reason: format!(
+                    "first entry is {} but must be 1 (slowest GPU type)",
+                    values[0]
+                ),
             });
         }
         Ok(Self { values })
@@ -54,7 +59,9 @@ impl SpeedupVector {
     /// non-finite.
     pub fn from_raw_throughputs(raw: &[f64]) -> Result<Self> {
         if raw.is_empty() {
-            return Err(OefError::InvalidSpeedup { reason: "empty throughput vector".into() });
+            return Err(OefError::InvalidSpeedup {
+                reason: "empty throughput vector".into(),
+            });
         }
         let base = raw[0];
         if !base.is_finite() || base <= 0.0 {
@@ -82,7 +89,11 @@ impl SpeedupVector {
 
     /// Dot product with an allocation row: the tenant's achieved normalised throughput.
     pub fn dot(&self, allocation_row: &[f64]) -> f64 {
-        self.values.iter().zip(allocation_row.iter()).map(|(w, x)| w * x).sum()
+        self.values
+            .iter()
+            .zip(allocation_row.iter())
+            .map(|(w, x)| w * x)
+            .sum()
     }
 
     /// Returns a copy where each entry is multiplied by `factors` element-wise (used to
@@ -93,8 +104,12 @@ impl SpeedupVector {
     ///
     /// Returns [`OefError::InvalidSpeedup`] if the inflated vector is invalid.
     pub fn inflate(&self, factors: &[f64]) -> Result<Self> {
-        let raw: Vec<f64> =
-            self.values.iter().zip(factors.iter()).map(|(v, f)| v * f).collect();
+        let raw: Vec<f64> = self
+            .values
+            .iter()
+            .zip(factors.iter())
+            .map(|(v, f)| v * f)
+            .collect();
         Self::from_raw_throughputs(&raw)
     }
 
@@ -102,7 +117,11 @@ impl SpeedupVector {
     /// `≽` relation between speedup vectors).
     pub fn dominates(&self, other: &SpeedupVector) -> bool {
         self.values.len() == other.values.len()
-            && self.values.iter().zip(other.values.iter()).all(|(a, b)| *a >= *b - 1e-12)
+            && self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .all(|(a, b)| *a >= *b - 1e-12)
     }
 }
 
@@ -127,10 +146,7 @@ impl SpeedupMatrix {
         for (i, r) in rows.iter().enumerate() {
             if r.num_gpu_types() != k {
                 return Err(OefError::InvalidSpeedup {
-                    reason: format!(
-                        "row {i} has {} GPU types, expected {k}",
-                        r.num_gpu_types()
-                    ),
+                    reason: format!("row {i} has {} GPU types, expected {k}", r.num_gpu_types()),
                 });
             }
         }
@@ -145,6 +161,12 @@ impl SpeedupMatrix {
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
         let rows: Result<Vec<SpeedupVector>> = rows.into_iter().map(SpeedupVector::new).collect();
         Self::new(rows?)
+    }
+
+    /// Consumes the matrix, returning its rows.  Lets round-based callers
+    /// reclaim the row buffer instead of reallocating it every round.
+    pub fn into_rows(self) -> Vec<SpeedupVector> {
+        self.rows
     }
 
     /// Number of tenants (rows).
@@ -264,7 +286,10 @@ mod tests {
             SpeedupVector::new(vec![1.0, 2.0]).unwrap(),
             SpeedupVector::new(vec![1.0, 2.0, 3.0]).unwrap(),
         ];
-        assert!(matches!(SpeedupMatrix::new(rows), Err(OefError::InvalidSpeedup { .. })));
+        assert!(matches!(
+            SpeedupMatrix::new(rows),
+            Err(OefError::InvalidSpeedup { .. })
+        ));
     }
 
     #[test]

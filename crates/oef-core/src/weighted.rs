@@ -9,9 +9,7 @@
 
 use crate::error::OefError;
 use crate::policy::AllocationPolicy;
-use crate::{
-    Allocation, ClusterSpec, CooperativeOef, NonCooperativeOef, Result, SpeedupMatrix,
-};
+use crate::{Allocation, ClusterSpec, CooperativeOef, NonCooperativeOef, Result, SpeedupMatrix};
 use serde::{Deserialize, Serialize};
 
 /// Which underlying OEF mechanism a weighted / multi-job wrapper should use.
@@ -68,7 +66,10 @@ impl VirtualUserExpansion {
                 rows.push(speedups.user(l).clone());
             }
         }
-        Ok(Self { owner_of_virtual, expanded: SpeedupMatrix::new(rows)? })
+        Ok(Self {
+            owner_of_virtual,
+            expanded: SpeedupMatrix::new(rows)?,
+        })
     }
 
     /// Number of virtual users in the expansion.
@@ -83,7 +84,11 @@ impl VirtualUserExpansion {
     ///
     /// Returns [`OefError::InvalidAllocation`] if `virtual_allocation` does not have one
     /// row per virtual user.
-    pub fn collapse(&self, virtual_allocation: &Allocation, num_tenants: usize) -> Result<Allocation> {
+    pub fn collapse(
+        &self,
+        virtual_allocation: &Allocation,
+        num_tenants: usize,
+    ) -> Result<Allocation> {
         if virtual_allocation.num_users() != self.num_virtual_users() {
             return Err(OefError::InvalidAllocation {
                 reason: format!(
@@ -106,6 +111,12 @@ impl VirtualUserExpansion {
 
 /// Weighted OEF policy: wraps either OEF mechanism and applies per-tenant weights.
 ///
+/// The wrapped mechanism is instantiated once, lazily, and reused across
+/// calls; its internal [`oef_lp::SolverContext`] therefore warm-starts every
+/// re-solve of an unchanged LP shape (e.g. the same tenant mix round after
+/// round).  Cloning yields a wrapper with a fresh solver state, and equality
+/// only considers the mechanism choice.
+///
 /// ```
 /// use oef_core::{ClusterSpec, OefMode, SpeedupMatrix, WeightedOef};
 ///
@@ -118,20 +129,35 @@ impl VirtualUserExpansion {
 /// // Tenant 2 obtains twice tenant 1's normalised throughput.
 /// assert!((eff[1] - 2.0 * eff[0]).abs() < 1e-5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WeightedOef {
     mode: OefMode,
+    inner: std::sync::OnceLock<crate::policy::BoxedPolicy>,
+}
+
+impl std::fmt::Debug for WeightedOef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightedOef")
+            .field("mode", &self.mode)
+            .finish_non_exhaustive()
+    }
 }
 
 impl WeightedOef {
     /// Creates a weighted wrapper around the chosen OEF mechanism.
     pub fn new(mode: OefMode) -> Self {
-        Self { mode }
+        Self {
+            mode,
+            inner: std::sync::OnceLock::new(),
+        }
     }
 
     /// The wrapped mechanism.
     pub fn mode(&self) -> OefMode {
         self.mode
+    }
+
+    fn inner_policy(&self) -> &crate::policy::BoxedPolicy {
+        self.inner.get_or_init(|| self.mode.policy())
     }
 
     /// Computes the per-tenant allocation under integer weights.
@@ -147,9 +173,38 @@ impl WeightedOef {
     ) -> Result<Allocation> {
         cluster.check_compatible(speedups)?;
         let expansion = VirtualUserExpansion::from_weights(speedups, weights)?;
-        let policy = self.mode.policy();
-        let virtual_allocation = policy.allocate(cluster, &expansion.expanded)?;
+        let virtual_allocation = self.inner_policy().allocate(cluster, &expansion.expanded)?;
         expansion.collapse(&virtual_allocation, speedups.num_users())
+    }
+}
+
+impl Clone for WeightedOef {
+    fn clone(&self) -> Self {
+        Self::new(self.mode)
+    }
+}
+
+impl PartialEq for WeightedOef {
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode
+    }
+}
+
+impl Eq for WeightedOef {}
+
+impl serde::Serialize for WeightedOef {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![("mode".to_string(), self.mode.serialize())])
+    }
+}
+
+impl serde::Deserialize for WeightedOef {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let mode = match value.get("mode") {
+            Some(m) => OefMode::deserialize(m)?,
+            None => return Err(serde::Error::custom("missing field `mode` for WeightedOef")),
+        };
+        Ok(Self::new(mode))
     }
 }
 
@@ -216,7 +271,11 @@ mod tests {
         assert!((eff[1] - 2.0 * eff[0]).abs() < 1e-5, "efficiencies {eff:?}");
         assert!(a.is_feasible(&cluster));
         // Tenant 2 holds roughly two thirds of the fast GPU.
-        assert!((a.share(1, 1) - 2.0 / 3.0).abs() < 0.05, "share {:?}", a.user_row(1));
+        assert!(
+            (a.share(1, 1) - 2.0 / 3.0).abs() < 0.05,
+            "share {:?}",
+            a.user_row(1)
+        );
     }
 
     #[test]
@@ -225,7 +284,9 @@ mod tests {
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 5.0]]).unwrap();
         let weighted = WeightedOef::new(OefMode::Cooperative);
         let a = weighted.allocate(&cluster, &speedups).unwrap();
-        let b = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+        let b = CooperativeOef::default()
+            .allocate(&cluster, &speedups)
+            .unwrap();
         assert!((a.total_efficiency(&speedups) - b.total_efficiency(&speedups)).abs() < 1e-6);
     }
 
@@ -258,11 +319,17 @@ mod tests {
 
     #[test]
     fn policy_names_depend_on_mode() {
-        assert_eq!(WeightedOef::new(OefMode::Cooperative).name(), "oef-weighted-cooperative");
+        assert_eq!(
+            WeightedOef::new(OefMode::Cooperative).name(),
+            "oef-weighted-cooperative"
+        );
         assert_eq!(
             WeightedOef::new(OefMode::NonCooperative).name(),
             "oef-weighted-noncooperative"
         );
-        assert_eq!(WeightedOef::new(OefMode::Cooperative).mode(), OefMode::Cooperative);
+        assert_eq!(
+            WeightedOef::new(OefMode::Cooperative).mode(),
+            OefMode::Cooperative
+        );
     }
 }

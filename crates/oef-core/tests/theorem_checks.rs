@@ -9,11 +9,9 @@ use oef_core::{
 /// A mid-sized, clearly non-degenerate instance: five tenants with distinct, strictly
 /// increasing speedup profiles over four GPU generations.
 fn instance() -> (ClusterSpec, SpeedupMatrix) {
-    let cluster = ClusterSpec::homogeneous_counts(
-        &["k80", "p100", "v100", "a100"],
-        &[6.0, 6.0, 4.0, 4.0],
-    )
-    .unwrap();
+    let cluster =
+        ClusterSpec::homogeneous_counts(&["k80", "p100", "v100", "a100"], &[6.0, 6.0, 4.0, 4.0])
+            .unwrap();
     let speedups = SpeedupMatrix::from_rows(vec![
         vec![1.0, 1.08, 1.15, 1.22],
         vec![1.0, 1.35, 1.80, 2.30],
@@ -28,7 +26,9 @@ fn instance() -> (ClusterSpec, SpeedupMatrix) {
 #[test]
 fn theorem_51_cooperative_oef_is_ef_si_and_best_under_those_constraints() {
     let (cluster, speedups) = instance();
-    let allocation = CooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+    let allocation = CooperativeOef::default()
+        .allocate(&cluster, &speedups)
+        .unwrap();
 
     let envy = fairness::check_envy_freeness(&allocation, &speedups, 1e-6);
     assert!(envy.envy_free, "max envy {}", envy.max_envy);
@@ -40,40 +40,46 @@ fn theorem_51_cooperative_oef_is_ef_si_and_best_under_those_constraints() {
     // max-min as the canonical envy-free competitor) beats its total efficiency.
     let equal_rows = vec![cluster.equal_share(speedups.num_users()); speedups.num_users()];
     let max_min = oef_core::Allocation::new(equal_rows).unwrap();
-    assert!(
-        allocation.total_efficiency(&speedups) >= max_min.total_efficiency(&speedups) - 1e-6
-    );
+    assert!(allocation.total_efficiency(&speedups) >= max_min.total_efficiency(&speedups) - 1e-6);
 }
 
 #[test]
 fn theorem_52_adjacency_and_extreme_point_bound_noncoop() {
     let (cluster, speedups) = instance();
-    let allocation = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
-    assert!(allocation.uses_adjacent_types_only(), "allocation {allocation:?}");
+    let allocation = NonCooperativeOef::default()
+        .allocate(&cluster, &speedups)
+        .unwrap();
+    assert!(
+        allocation.uses_adjacent_types_only(),
+        "allocation {allocation:?}"
+    );
     // Extreme-point argument of §4.4: at most n + m − 1 nonzero entries, so with five
     // tenants and four GPU types most tenants sit on a single GPU type.
     assert!(
-        allocation.nonzero_entries() <= speedups.num_users() + cluster.num_gpu_types() - 1,
+        allocation.nonzero_entries() < speedups.num_users() + cluster.num_gpu_types(),
         "too many nonzero entries: {}",
         allocation.nonzero_entries()
     );
     let single_type_tenants = (0..speedups.num_users())
         .filter(|l| allocation.gpu_types_used_by(*l) <= 1)
         .count();
-    assert!(single_type_tenants >= 2, "most tenants should use a single GPU type");
+    assert!(
+        single_type_tenants >= 2,
+        "most tenants should use a single GPU type"
+    );
 }
 
 #[test]
 fn theorem_53_both_mechanisms_are_pareto_efficient() {
     let (cluster, speedups) = instance();
-    for policy in
-        [&NonCooperativeOef::default() as &dyn AllocationPolicy, &CooperativeOef::default()]
-    {
+    for policy in [
+        &NonCooperativeOef::default() as &dyn AllocationPolicy,
+        &CooperativeOef::default(),
+    ] {
         let allocation = policy.allocate(&cluster, &speedups).unwrap();
         let tolerance = 1e-3 * allocation.total_efficiency(&speedups);
         let report =
-            fairness::check_pareto_efficiency(&allocation, &speedups, &cluster, tolerance)
-                .unwrap();
+            fairness::check_pareto_efficiency(&allocation, &speedups, &cluster, tolerance).unwrap();
         assert!(
             report.pareto_efficient,
             "{} improvable by {}",
@@ -142,8 +148,11 @@ fn weighted_oef_preserves_fairness_properties_of_the_wrapped_mechanism() {
         .allocate_weighted(&cluster, &speedups, &weights)
         .unwrap();
     let eff = allocation.user_efficiencies(&speedups);
-    let per_weight: Vec<f64> =
-        eff.iter().zip(weights.iter()).map(|(e, w)| e / *w as f64).collect();
+    let per_weight: Vec<f64> = eff
+        .iter()
+        .zip(weights.iter())
+        .map(|(e, w)| e / *w as f64)
+        .collect();
     for v in &per_weight {
         assert!(
             (v - per_weight[0]).abs() < 1e-5,
@@ -158,14 +167,18 @@ fn lemma_31_slowest_user_fills_from_the_left() {
     // from the slowest end (Lemma 3.1): its rightmost nonzero may be fractional but
     // everything to the left of it is saturated or zero-capacity for others.
     let (cluster, speedups) = instance();
-    let allocation = NonCooperativeOef::default().allocate(&cluster, &speedups).unwrap();
+    let allocation = NonCooperativeOef::default()
+        .allocate(&cluster, &speedups)
+        .unwrap();
     // User 0 has the (weakly) lowest speedup on every type in this instance.
     let row = allocation.user_row(0);
     let last_nonzero = row.iter().rposition(|v| *v > 1e-6).unwrap_or(0);
     for j in 0..last_nonzero {
         // Every type strictly left of the rightmost nonzero is fully consumed by user 0
         // or fully allocated across users (no slack left unused on slow types).
-        let total: f64 = (0..speedups.num_users()).map(|l| allocation.share(l, j)).sum();
+        let total: f64 = (0..speedups.num_users())
+            .map(|l| allocation.share(l, j))
+            .sum();
         assert!(
             total >= cluster.capacity(j) - 1e-6 || row[j] >= cluster.capacity(j) - 1e-6,
             "slow GPU type {j} left partially idle while user 0 extends to type {last_nonzero}"

@@ -38,10 +38,16 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} pivots")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} pivots"
+                )
             }
             LpError::InvalidVariable { index, count } => {
-                write!(f, "variable index {index} out of range for problem with {count} variables")
+                write!(
+                    f,
+                    "variable index {index} out of range for problem with {count} variables"
+                )
             }
             LpError::NonFiniteCoefficient { location } => {
                 write!(f, "non-finite coefficient in {location}")
@@ -64,7 +70,9 @@ mod tests {
             LpError::Unbounded,
             LpError::IterationLimit { iterations: 7 },
             LpError::InvalidVariable { index: 3, count: 2 },
-            LpError::NonFiniteCoefficient { location: "objective".to_string() },
+            LpError::NonFiniteCoefficient {
+                location: "objective".to_string(),
+            },
             LpError::EmptyProblem,
         ];
         for e in errors {

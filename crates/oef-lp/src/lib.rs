@@ -28,16 +28,52 @@
 //! The solver supports `<=`, `>=` and `==` constraints, non-negative variables and
 //! either optimisation sense.  It detects infeasible and unbounded programs and
 //! reports them through [`LpError`].
+//!
+//! # Cold vs warm solve paths
+//!
+//! The crate ships two solvers with identical semantics:
+//!
+//! * **Cold / dense reference** — [`Problem::solve`] and
+//!   [`Problem::solve_with`] run the dense two-phase simplex from scratch on
+//!   every call.  This is the reference oracle: simple, battle-tested by the
+//!   property suite, with no state between calls.
+//! * **Warm / revised** — [`SolverContext::solve`] (and the interior-mutable
+//!   [`ContextCell`] the OEF policies embed) runs the revised simplex with a
+//!   reusable basis inverse and caches the optimal basis between calls.
+//!
+//! A context solve picks its path per call:
+//!
+//! 1. If the problem's [`Problem::shape_signature`] matches the cached basis
+//!    (same dimensions and per-row effective operators), the context
+//!    **warm-starts**: refactorize the cached basis against the new
+//!    coefficients, repair primal feasibility with a few dual-simplex pivots
+//!    if the data perturbation moved the vertex, and finish with primal
+//!    phase 2.  An unchanged problem re-solves in zero pivots; a per-round
+//!    jittered problem typically needs a handful.
+//! 2. On shape change, a singular or unrepairable basis, or an exhausted
+//!    pivot budget, it falls back to a **cold** two-phase revised solve.
+//! 3. If even that hits the iteration limit (numerical trouble), the context
+//!    defers to the dense reference solver, so `SolverContext::solve` never
+//!    answers worse than `Problem::solve_with`.
+//!
+//! Mutate a problem between rounds with [`Problem::update_rhs`],
+//! [`Problem::update_objective_coefficient`] and
+//! [`Problem::update_constraint_coefficient`] — these keep the shape (and
+//! therefore warm-startability) intact, with the one caveat that flipping the
+//! sign of a right-hand side changes the effective operator and forces a cold
+//! solve.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
 mod problem;
+mod revised;
 mod simplex;
 mod solution;
 
 pub use error::LpError;
 pub use problem::{Constraint, ConstraintOp, LinearExpr, Problem, Sense, Variable};
+pub use revised::{ContextCell, ContextStats, SolverContext};
 pub use simplex::{SimplexOptions, SolverStats};
 pub use solution::Solution;
 

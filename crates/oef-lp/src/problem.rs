@@ -80,7 +80,9 @@ impl LinearExpr {
 
 impl FromIterator<(Variable, f64)> for LinearExpr {
     fn from_iter<T: IntoIterator<Item = (Variable, f64)>>(iter: T) -> Self {
-        Self { terms: iter.into_iter().collect() }
+        Self {
+            terms: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -117,7 +119,12 @@ pub struct Problem {
 impl Problem {
     /// Creates an empty problem with the given optimisation sense.
     pub fn new(sense: Sense) -> Self {
-        Self { sense, variable_names: Vec::new(), objective: Vec::new(), constraints: Vec::new() }
+        Self {
+            sense,
+            variable_names: Vec::new(),
+            objective: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// Adds a non-negative decision variable with objective coefficient zero.
@@ -130,7 +137,9 @@ impl Problem {
 
     /// Adds `count` variables named `prefix_0 .. prefix_{count-1}` and returns their handles.
     pub fn add_variables(&mut self, prefix: &str, count: usize) -> Vec<Variable> {
-        (0..count).map(|i| self.add_variable(format!("{prefix}_{i}"))).collect()
+        (0..count)
+            .map(|i| self.add_variable(format!("{prefix}_{i}")))
+            .collect()
     }
 
     /// Sets the objective coefficient of `variable`.
@@ -145,6 +154,81 @@ impl Problem {
     /// Adds `delta` to the objective coefficient of `variable`.
     pub fn add_objective_coefficient(&mut self, variable: Variable, delta: f64) {
         self.objective[variable.0] += delta;
+    }
+
+    /// Updates the objective coefficient of `variable` in place.
+    ///
+    /// Alias of [`Problem::set_objective_coefficient`], named for the
+    /// round-over-round update flow: mutating coefficients between solves
+    /// keeps the problem shape intact, so a [`crate::SolverContext`] can
+    /// warm-start from the previous optimal basis.
+    pub fn update_objective_coefficient(&mut self, variable: Variable, coefficient: f64) {
+        self.objective[variable.0] = coefficient;
+    }
+
+    /// Updates the right-hand side of constraint `index` in place, without
+    /// rebuilding the constraint row.
+    ///
+    /// Note that flipping the *sign* of a right-hand side changes the
+    /// standard-form layout (rows are normalised to non-negative right-hand
+    /// sides), so it also changes [`Problem::shape_signature`] and forces the
+    /// next context solve to run cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_rhs(&mut self, index: usize, rhs: f64) {
+        self.constraints[index].rhs = rhs;
+    }
+
+    /// Updates (or inserts) the coefficient of `variable` in constraint
+    /// `index`, keeping the rest of the row intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn update_constraint_coefficient(
+        &mut self,
+        index: usize,
+        variable: Variable,
+        coefficient: f64,
+    ) {
+        let expr = &mut self.constraints[index].expr;
+        if let Some(entry) = expr.terms.iter_mut().find(|(v, _)| *v == variable) {
+            entry.1 = coefficient;
+        } else {
+            expr.terms.push((variable, coefficient));
+        }
+    }
+
+    /// Hash of the problem *shape*: dimensions plus the effective relational
+    /// operator of every row (after negative-RHS normalisation).  Two
+    /// problems with equal signatures build identical standard-form layouts,
+    /// which is the precondition for basis reuse in
+    /// [`crate::SolverContext::solve`].
+    pub fn shape_signature(&self) -> u64 {
+        // FNV-1a over the shape description.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in (self.variable_names.len() as u64).to_le_bytes() {
+            mix(b);
+        }
+        for b in (self.constraints.len() as u64).to_le_bytes() {
+            mix(b);
+        }
+        for c in &self.constraints {
+            let flipped = c.rhs < 0.0;
+            let op = match (c.op, flipped) {
+                (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => 0u8,
+                (ConstraintOp::Ge, false) | (ConstraintOp::Le, true) => 1,
+                (ConstraintOp::Eq, _) => 2,
+            };
+            mix(op | u8::from(flipped) << 4);
+        }
+        hash
     }
 
     /// Adds a constraint from `(variable, coefficient)` pairs.
@@ -166,7 +250,12 @@ impl Problem {
         rhs: f64,
         name: Option<String>,
     ) -> usize {
-        self.constraints.push(Constraint { expr, op, rhs, name });
+        self.constraints.push(Constraint {
+            expr,
+            op,
+            rhs,
+            name,
+        });
         self.constraints.len() - 1
     }
 
@@ -305,7 +394,10 @@ mod tests {
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_variable("x");
         p.set_objective_coefficient(x, f64::NAN);
-        assert!(matches!(p.validate(), Err(LpError::NonFiniteCoefficient { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
     }
 
     #[test]
@@ -317,7 +409,10 @@ mod tests {
         let mut p = Problem::new(Sense::Maximize);
         let _x = p.add_variable("x");
         p.add_constraint(&[(foreign, 1.0)], ConstraintOp::Le, 1.0);
-        assert!(matches!(p.validate(), Err(LpError::InvalidVariable { index: 1, count: 1 })));
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::InvalidVariable { index: 1, count: 1 })
+        ));
     }
 
     #[test]
@@ -325,7 +420,10 @@ mod tests {
         let mut p = Problem::new(Sense::Maximize);
         let x = p.add_variable("x");
         p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, f64::INFINITY);
-        assert!(matches!(p.validate(), Err(LpError::NonFiniteCoefficient { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(LpError::NonFiniteCoefficient { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,1255 @@
+//! Warm-start capable revised simplex and the reusable [`SolverContext`].
+//!
+//! The dense two-phase solver in [`crate::simplex`] rebuilds and pivots a full
+//! `m x (cols+1)` tableau on every call, which is wasteful for the OEF
+//! scheduling loop: every round (and every strategy-proofness probe) solves a
+//! program with the *same shape* — identical constraint operators and
+//! dimensions — where only the speedup coefficients and capacities moved.  The
+//! optimal basis barely changes between consecutive rounds.
+//!
+//! This module implements the revised simplex method:
+//!
+//! * the constraint matrix is stored **sparse by column** and never modified;
+//! * the only dense state is the `m x m` basis inverse, updated in `O(m²)`
+//!   per pivot (a full-tableau pivot costs `O(m * cols)`);
+//! * entering columns are priced on demand against the sparse matrix.
+//!
+//! [`SolverContext`] owns every buffer the solver needs (basis inverse, basic
+//! solution, pricing scratch, standard-form arrays) so repeated solves do not
+//! reallocate, and it caches the optimal basis of the last solve.  When asked
+//! to solve a problem whose [shape signature](crate::Problem::shape_signature)
+//! matches the cached one, it *warm-starts*: refactorize the cached basis
+//! against the new coefficients, and — if that basis is still primal feasible
+//! — skip phase 1 entirely and run phase 2 from a (usually near-optimal)
+//! starting point.  On shape change, a singular or infeasible cached basis, or
+//! any numerical trouble, it falls back to a cold solve; if the revised cold
+//! path itself hits its iteration limit the context falls all the way back to
+//! the dense reference solver, so `SolverContext::solve` never reports worse
+//! answers than [`crate::Problem::solve_with`].
+
+use crate::error::LpError;
+use crate::problem::{ConstraintOp, Problem, Sense};
+use crate::simplex::{SimplexOptions, SolverStats};
+use crate::solution::Solution;
+use crate::Result;
+
+/// Feasibility slack accepted when deciding whether a cached basis is still
+/// primal feasible for the updated right-hand side.
+const WARM_FEASIBILITY_TOL: f64 = 1e-7;
+
+/// Reusable solver state: buffers plus the cached basis of the last solve.
+///
+/// ```
+/// use oef_lp::{ConstraintOp, Problem, Sense, SolverContext};
+///
+/// let mut p = Problem::new(Sense::Maximize);
+/// let x = p.add_variable("x");
+/// let y = p.add_variable("y");
+/// p.set_objective_coefficient(x, 3.0);
+/// p.set_objective_coefficient(y, 5.0);
+/// p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
+/// p.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
+/// p.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+///
+/// let mut ctx = SolverContext::new();
+/// let cold = ctx.solve(&p).unwrap();
+/// assert!(!cold.stats().warm_start);
+///
+/// // Same shape, perturbed data: the second solve starts from the cached basis.
+/// p.update_rhs(2, 20.0);
+/// let warm = ctx.solve(&p).unwrap();
+/// assert!(warm.stats().warm_start);
+/// assert!((warm.objective_value() - 38.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Default)]
+pub struct SolverContext {
+    options: SimplexOptions,
+    cache: Option<BasisCache>,
+    warm_solves: u64,
+    cold_solves: u64,
+    dense_fallbacks: u64,
+    last_was_warm: bool,
+    scratch: Scratch,
+}
+
+#[derive(Debug, Clone)]
+struct BasisCache {
+    signature: u64,
+    basis: Vec<usize>,
+}
+
+/// Counters describing how a context's solves were served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Solves that started from the cached basis.
+    pub warm_solves: u64,
+    /// Solves that ran the two-phase revised simplex from scratch.
+    pub cold_solves: u64,
+    /// Cold solves that additionally fell back to the dense reference solver.
+    pub dense_fallbacks: u64,
+}
+
+/// All reusable buffers, kept out of `SolverContext`'s public face.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Sparse standard-form matrix, by column: `(row, coefficient)` pairs.
+    columns: Vec<Vec<(usize, f64)>>,
+    /// Non-negative right-hand side.
+    b: Vec<f64>,
+    /// Phase-2 cost vector (minimize orientation).
+    cost: Vec<f64>,
+    /// Dense `m x m` basis inverse, row-major.
+    binv: Vec<f64>,
+    /// Current basic solution `B^{-1} b`.
+    xb: Vec<f64>,
+    /// Dual prices `c_B^T B^{-1}`.
+    y: Vec<f64>,
+    /// Direction column `B^{-1} a_j`.
+    u: Vec<f64>,
+    /// Copy of the normalised pivot row used during the rank-one update.
+    pivot_row: Vec<f64>,
+    /// Dense working copy of the basis matrix during refactorization.
+    factor_work: Vec<f64>,
+    /// Current basis: column index per row.
+    basis: Vec<usize>,
+    /// Membership flag per column.
+    in_basis: Vec<bool>,
+    /// Extracted structural values.
+    values: Vec<f64>,
+}
+
+/// Standard-form layout shared by the cold and warm paths.
+struct StandardForm {
+    rows: usize,
+    cols: usize,
+    n_structural: usize,
+    artificial_start: usize,
+}
+
+impl SolverContext {
+    /// Context with default [`SimplexOptions`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Context with explicit solver options.
+    pub fn with_options(options: SimplexOptions) -> Self {
+        Self {
+            options,
+            ..Self::default()
+        }
+    }
+
+    /// The options this context solves with.
+    pub fn options(&self) -> &SimplexOptions {
+        &self.options
+    }
+
+    /// Whether the most recent [`SolverContext::solve`] warm-started.
+    pub fn last_was_warm(&self) -> bool {
+        self.last_was_warm
+    }
+
+    /// Warm/cold counters for this context.
+    pub fn stats(&self) -> ContextStats {
+        ContextStats {
+            warm_solves: self.warm_solves,
+            cold_solves: self.cold_solves,
+            dense_fallbacks: self.dense_fallbacks,
+        }
+    }
+
+    /// Drops the cached basis, forcing the next solve to run cold.
+    pub fn invalidate(&mut self) {
+        self.cache = None;
+    }
+
+    /// Solves with the given options, updating the context's options first if
+    /// they differ.  The cached basis stays valid across option changes (it
+    /// describes the previous optimum, not the tolerances used to reach it).
+    ///
+    /// This is how policies keep a *public* `solver_options` field
+    /// authoritative while the context holds the reusable state: every solve
+    /// re-syncs from the field.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolverContext::solve`].
+    pub fn solve_with(&mut self, problem: &Problem, options: &SimplexOptions) -> Result<Solution> {
+        if self.options != *options {
+            self.options = options.clone();
+        }
+        self.solve(problem)
+    }
+
+    /// Solves `problem`, warm-starting from the previous optimal basis when
+    /// the problem shape is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Problem::solve_with`]: validation errors,
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::IterationLimit`].
+    pub fn solve(&mut self, problem: &Problem) -> Result<Solution> {
+        problem.validate()?;
+        let signature = problem.shape_signature();
+        let form = build_standard_form(problem, &mut self.scratch);
+
+        if let Some(cache) = self.cache.take() {
+            if cache.signature == signature && cache.basis.len() == form.rows {
+                if let Some(solution) = self.try_warm(problem, &form, &cache.basis)? {
+                    self.warm_solves += 1;
+                    self.last_was_warm = true;
+                    self.cache = Some(BasisCache {
+                        signature,
+                        basis: self.scratch.basis.clone(),
+                    });
+                    return Ok(solution);
+                }
+            }
+        }
+
+        self.last_was_warm = false;
+        self.cold_solves += 1;
+        match self.cold_solve(problem, &form) {
+            Ok(solution) => {
+                self.cache = Some(BasisCache {
+                    signature,
+                    basis: self.scratch.basis.clone(),
+                });
+                Ok(solution)
+            }
+            Err(LpError::IterationLimit { .. }) => {
+                // Numerical trouble (e.g. cycling beyond the pivot budget):
+                // defer to the dense reference solver rather than failing.
+                self.dense_fallbacks += 1;
+                self.cache = None;
+                problem.solve_with(&self.options)
+            }
+            Err(other) => {
+                self.cache = None;
+                Err(other)
+            }
+        }
+    }
+
+    /// Attempts a warm-started phase-2 solve from `basis`.  Returns
+    /// `Ok(None)` when the cached basis is unusable (singular, no longer
+    /// primal feasible, or phase 2 ran out of pivots) so the caller can fall
+    /// back to a cold solve.
+    fn try_warm(
+        &mut self,
+        problem: &Problem,
+        form: &StandardForm,
+        basis: &[usize],
+    ) -> Result<Option<Solution>> {
+        let s = &mut self.scratch;
+        s.basis.clear();
+        s.basis.extend_from_slice(basis);
+        if !factorize(s, form) {
+            return Ok(None);
+        }
+        compute_xb(s, form);
+
+        // Artificial columns cached from a redundant row must stay at zero;
+        // if the new data moves them, the basis is unusable.
+        let artificials_ok = s
+            .basis
+            .iter()
+            .zip(s.xb.iter())
+            .all(|(&col, &v)| col < form.artificial_start || v.abs() <= WARM_FEASIBILITY_TOL);
+        if !artificials_ok {
+            return Ok(None);
+        }
+
+        let mut iterations = 0usize;
+        if s.xb.iter().any(|&v| v < -WARM_FEASIBILITY_TOL) {
+            // The cached basis is no longer primal feasible for the perturbed
+            // data — the typical steady-state case when constraint
+            // coefficients (not just the objective) moved.  It is usually
+            // still dual feasible (it was optimal a round ago), so a short
+            // dual-simplex repair restores primal feasibility in a handful
+            // of pivots instead of a full two-phase cold solve.
+            if !run_dual_repair(s, form, &self.options, &mut iterations) {
+                // Not dual feasible either (or the repair stalled, or the
+                // program looks infeasible from here): let the cold path
+                // re-derive the answer from scratch rather than trusting a
+                // perturbed basis for a hard verdict.
+                return Ok(None);
+            }
+        }
+        for v in &mut s.xb {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+
+        match run_revised_phase(s, form, Phase::Two, &self.options, &mut iterations) {
+            Ok(()) => Ok(Some(extract_solution(s, form, problem, iterations, true))),
+            Err(LpError::IterationLimit { .. }) => Ok(None),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Two-phase revised simplex from the all-slack/artificial basis.
+    fn cold_solve(&mut self, problem: &Problem, form: &StandardForm) -> Result<Solution> {
+        // A preceding (failed) warm attempt may have overwritten the scratch
+        // basis with the cached one; rebuild the standard form so the basis
+        // is the pristine all-slack/artificial one again.
+        build_standard_form(problem, &mut self.scratch);
+        let s = &mut self.scratch;
+        // The initial basis matrix is the identity (slack +1 or artificial +1
+        // per row), so no factorization is required.
+        let m = form.rows;
+        s.binv.clear();
+        s.binv.resize(m * m, 0.0);
+        for i in 0..m {
+            s.binv[i * m + i] = 1.0;
+        }
+        s.xb.clear();
+        s.xb.extend_from_slice(&s.b);
+        s.in_basis.clear();
+        s.in_basis.resize(form.cols, false);
+        for &col in &s.basis {
+            s.in_basis[col] = true;
+        }
+
+        let mut iterations = 0usize;
+        if form.artificial_start < form.cols {
+            run_revised_phase(s, form, Phase::One, &self.options, &mut iterations)?;
+            let infeasibility: f64 = s
+                .basis
+                .iter()
+                .zip(s.xb.iter())
+                .filter(|(&col, _)| col >= form.artificial_start)
+                .map(|(_, &v)| v.max(0.0))
+                .sum();
+            if infeasibility > self.options.tolerance.max(1e-7) {
+                return Err(LpError::Infeasible);
+            }
+            drive_out_artificials(s, form, &self.options);
+        }
+        run_revised_phase(s, form, Phase::Two, &self.options, &mut iterations)?;
+        Ok(extract_solution(s, form, problem, iterations, false))
+    }
+}
+
+enum Phase {
+    One,
+    Two,
+}
+
+/// Builds the sparse standard form into the context's scratch buffers and
+/// sets the initial all-slack/artificial basis.  Mirrors the dense builder in
+/// `simplex.rs`: `<=` rows get a slack, `>=` rows a surplus plus artificial,
+/// `==` rows an artificial; negative right-hand sides are normalised first.
+fn build_standard_form(problem: &Problem, s: &mut Scratch) -> StandardForm {
+    let n = problem.num_variables();
+    let m = problem.num_constraints();
+
+    let mut n_slack = 0usize;
+    let mut n_artificial = 0usize;
+    for c in problem.constraints() {
+        match effective_op(c.op, c.rhs < 0.0) {
+            ConstraintOp::Le => n_slack += 1,
+            ConstraintOp::Ge => {
+                n_slack += 1;
+                n_artificial += 1;
+            }
+            ConstraintOp::Eq => n_artificial += 1,
+        }
+    }
+    let cols = n + n_slack + n_artificial;
+    let artificial_start = n + n_slack;
+
+    s.columns.resize_with(cols, Vec::new);
+    for col in &mut s.columns {
+        col.clear();
+    }
+    s.b.clear();
+    s.b.resize(m, 0.0);
+    s.basis.clear();
+    s.basis.resize(m, usize::MAX);
+
+    let mut slack_cursor = n;
+    let mut artificial_cursor = artificial_start;
+    for (row, c) in problem.constraints().iter().enumerate() {
+        let flip = c.rhs < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for (var, coeff) in c.expr.terms() {
+            if coeff != 0.0 {
+                push_coefficient(&mut s.columns[var.index()], row, sign * coeff);
+            }
+        }
+        s.b[row] = sign * c.rhs;
+        match effective_op(c.op, flip) {
+            ConstraintOp::Le => {
+                s.columns[slack_cursor].push((row, 1.0));
+                s.basis[row] = slack_cursor;
+                slack_cursor += 1;
+            }
+            ConstraintOp::Ge => {
+                s.columns[slack_cursor].push((row, -1.0));
+                slack_cursor += 1;
+                s.columns[artificial_cursor].push((row, 1.0));
+                s.basis[row] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+            ConstraintOp::Eq => {
+                s.columns[artificial_cursor].push((row, 1.0));
+                s.basis[row] = artificial_cursor;
+                artificial_cursor += 1;
+            }
+        }
+    }
+
+    // Phase-2 costs in minimize orientation; slack and artificial columns
+    // carry zero cost.
+    s.cost.clear();
+    s.cost.resize(cols, 0.0);
+    let flip = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    for (i, &c) in problem.objective().iter().enumerate() {
+        s.cost[i] = flip * c;
+    }
+
+    StandardForm {
+        rows: m,
+        cols,
+        n_structural: n,
+        artificial_start,
+    }
+}
+
+/// Accumulates duplicate terms on the same row (the dense builder uses `+=`).
+fn push_coefficient(column: &mut Vec<(usize, f64)>, row: usize, coeff: f64) {
+    if let Some(entry) = column.iter_mut().find(|(r, _)| *r == row) {
+        entry.1 += coeff;
+    } else {
+        column.push((row, coeff));
+    }
+}
+
+fn effective_op(op: ConstraintOp, flipped: bool) -> ConstraintOp {
+    if !flipped {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+/// Gauss–Jordan inversion of the basis matrix into `s.binv`.
+/// Returns `false` when the basis is singular (warm start must be abandoned).
+fn factorize(s: &mut Scratch, form: &StandardForm) -> bool {
+    let m = form.rows;
+    // Dense copy of the basis matrix (column j = basis column j), in the
+    // reusable scratch buffer so warm solves do not allocate.
+    s.factor_work.clear();
+    s.factor_work.resize(m * m, 0.0);
+    for (j, &col) in s.basis.iter().enumerate() {
+        if col >= form.cols {
+            return false;
+        }
+        for &(row, coeff) in &s.columns[col] {
+            s.factor_work[row * m + j] = coeff;
+        }
+    }
+    s.binv.clear();
+    s.binv.resize(m * m, 0.0);
+    for i in 0..m {
+        s.binv[i * m + i] = 1.0;
+    }
+
+    for pivot in 0..m {
+        // Partial pivoting for numerical stability.
+        let mut best_row = pivot;
+        let mut best_abs = s.factor_work[pivot * m + pivot].abs();
+        for r in pivot + 1..m {
+            let a = s.factor_work[r * m + pivot].abs();
+            if a > best_abs {
+                best_abs = a;
+                best_row = r;
+            }
+        }
+        if best_abs < 1e-12 {
+            return false;
+        }
+        if best_row != pivot {
+            // Row swaps are elementary operations applied to both sides of
+            // [B | I]; the final right side is exactly B^{-1} (with rows in
+            // basis order) regardless of the pivoting permutation.
+            for c in 0..m {
+                s.factor_work.swap(pivot * m + c, best_row * m + c);
+                s.binv.swap(pivot * m + c, best_row * m + c);
+            }
+        }
+        let inv = 1.0 / s.factor_work[pivot * m + pivot];
+        for c in 0..m {
+            s.factor_work[pivot * m + c] *= inv;
+            s.binv[pivot * m + c] *= inv;
+        }
+        for r in 0..m {
+            if r == pivot {
+                continue;
+            }
+            let factor = s.factor_work[r * m + pivot];
+            if factor != 0.0 {
+                for c in 0..m {
+                    s.factor_work[r * m + c] -= factor * s.factor_work[pivot * m + c];
+                    s.binv[r * m + c] -= factor * s.binv[pivot * m + c];
+                }
+            }
+        }
+    }
+
+    s.in_basis.clear();
+    s.in_basis.resize(form.cols, false);
+    for &col in &s.basis {
+        s.in_basis[col] = true;
+    }
+    true
+}
+
+/// `xb = B^{-1} b`.
+fn compute_xb(s: &mut Scratch, form: &StandardForm) {
+    let m = form.rows;
+    s.xb.clear();
+    s.xb.resize(m, 0.0);
+    for i in 0..m {
+        let row = &s.binv[i * m..(i + 1) * m];
+        s.xb[i] = row.iter().zip(s.b.iter()).map(|(a, b)| a * b).sum();
+    }
+}
+
+/// Runs one phase of the revised simplex to optimality.
+fn run_revised_phase(
+    s: &mut Scratch,
+    form: &StandardForm,
+    phase: Phase,
+    options: &SimplexOptions,
+    iterations: &mut usize,
+) -> Result<()> {
+    let m = form.rows;
+    let mut phase_pivots = 0usize;
+    loop {
+        if *iterations >= options.max_iterations {
+            return Err(LpError::IterationLimit {
+                iterations: *iterations,
+            });
+        }
+        let use_bland = phase_pivots >= options.bland_threshold;
+
+        // Duals: y = c_B^T B^{-1} for the phase's cost vector.
+        s.y.clear();
+        s.y.resize(m, 0.0);
+        for (i, &basic_col) in s.basis.iter().enumerate() {
+            let c = match phase {
+                Phase::One => {
+                    if basic_col >= form.artificial_start {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Phase::Two => s.cost[basic_col],
+            };
+            if c != 0.0 {
+                let row = &s.binv[i * m..(i + 1) * m];
+                for (yj, &bij) in s.y.iter_mut().zip(row.iter()) {
+                    *yj += c * bij;
+                }
+            }
+        }
+
+        // Pricing: most negative reduced cost (Dantzig), or first negative
+        // (Bland) once the phase is suspected of cycling.
+        let limit = match phase {
+            // Never let an artificial column re-enter during phase 2.
+            Phase::Two => form.artificial_start,
+            Phase::One => form.cols,
+        };
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..limit {
+            if s.in_basis[j] {
+                continue;
+            }
+            let cj = match phase {
+                Phase::One => {
+                    if j >= form.artificial_start {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Phase::Two => s.cost[j],
+            };
+            let ya: f64 = s.columns[j].iter().map(|&(r, v)| s.y[r] * v).sum();
+            let reduced = cj - ya;
+            if reduced < -options.tolerance {
+                if use_bland {
+                    entering = Some((j, reduced));
+                    break;
+                }
+                if entering.is_none_or(|(_, best)| reduced < best) {
+                    entering = Some((j, reduced));
+                }
+            }
+        }
+        let Some((entering, _)) = entering else {
+            return Ok(()); // optimal for this phase
+        };
+
+        // Direction: u = B^{-1} a_j.
+        s.u.clear();
+        s.u.resize(m, 0.0);
+        for &(r, v) in &s.columns[entering] {
+            if v != 0.0 {
+                for i in 0..m {
+                    s.u[i] += s.binv[i * m + r] * v;
+                }
+            }
+        }
+
+        // Ratio test.
+        let mut leaving: Option<(usize, f64)> = None;
+        for i in 0..m {
+            let ui = s.u[i];
+            if ui > options.tolerance {
+                let ratio = s.xb[i] / ui;
+                let better = match leaving {
+                    None => true,
+                    Some((li, lratio)) => {
+                        if use_bland {
+                            ratio < lratio - options.tolerance
+                                || ((ratio - lratio).abs() <= options.tolerance
+                                    && s.basis[i] < s.basis[li])
+                        } else {
+                            ratio < lratio - options.tolerance
+                                || ((ratio - lratio).abs() <= options.tolerance && ui > s.u[li])
+                        }
+                    }
+                };
+                if better {
+                    leaving = Some((i, ratio));
+                }
+            }
+        }
+        let Some((leaving, _)) = leaving else {
+            return match phase {
+                // The phase-1 objective is bounded below by zero, so a missing
+                // leaving row there signals numerical breakdown; surface it as
+                // infeasibility exactly like the dense solver does.
+                Phase::One => Err(LpError::Infeasible),
+                Phase::Two => Err(LpError::Unbounded),
+            };
+        };
+
+        pivot_update(s, form, leaving, entering);
+        *iterations += 1;
+        phase_pivots += 1;
+    }
+}
+
+/// Dual-simplex repair for a warm-started basis that lost primal feasibility.
+///
+/// Preconditions: `binv`, `xb`, `basis`, `in_basis` describe a factorized
+/// basis whose reduced costs are (near-)non-negative — true for a basis that
+/// was optimal before a small data perturbation.  Each iteration drives the
+/// most negative basic value out of the basis, choosing the entering column
+/// by the dual ratio test so reduced costs stay non-negative.  Returns `true`
+/// when the basis became primal feasible; `false` when the start was not dual
+/// feasible, the pivot budget ran out, or the program appears infeasible —
+/// in every failure case the caller cold-solves, so this function never has
+/// to render a verdict on its own.
+fn run_dual_repair(
+    s: &mut Scratch,
+    form: &StandardForm,
+    options: &SimplexOptions,
+    iterations: &mut usize,
+) -> bool {
+    let m = form.rows;
+    // A perturbed-but-recent basis should repair in a few pivots; cap the
+    // budget so a pathological basis cannot cost much more than a cold solve
+    // (dual pivots and cold primal pivots have the same O(m²) cost).
+    let budget = (4 * m + 32).min(options.max_iterations.saturating_sub(*iterations));
+
+    for _ in 0..budget {
+        // Leaving row: most negative basic value.
+        let mut leaving: Option<(usize, f64)> = None;
+        for (i, &v) in s.xb.iter().enumerate() {
+            if v < -WARM_FEASIBILITY_TOL && leaving.is_none_or(|(_, best)| v < best) {
+                leaving = Some((i, v));
+            }
+        }
+        let Some((row, _)) = leaving else {
+            return true; // primal feasible
+        };
+
+        // Duals for the phase-2 costs (needed for the dual ratio test).
+        s.y.clear();
+        s.y.resize(m, 0.0);
+        for (i, &basic_col) in s.basis.iter().enumerate() {
+            let c = s.cost[basic_col];
+            if c != 0.0 {
+                let binv_row = &s.binv[i * m..(i + 1) * m];
+                for (yj, &bij) in s.y.iter_mut().zip(binv_row.iter()) {
+                    *yj += c * bij;
+                }
+            }
+        }
+
+        // Entering column: minimize d_j / (-alpha_j) over nonbasic real
+        // columns with alpha_j < 0, where alpha_j = (B^{-1})_row · a_j.
+        // Small negative reduced costs (the perturbation can nudge a
+        // previously-optimal basis slightly dual-infeasible) are clamped to
+        // zero in the ratio: correctness does not depend on maintaining dual
+        // feasibility here, because the subsequent primal phase 2 restores
+        // optimality from any primal-feasible basis — the repair only has to
+        // terminate, which the pivot budget guarantees.
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..form.artificial_start {
+            if s.in_basis[j] {
+                continue;
+            }
+            let mut alpha = 0.0;
+            let mut reduced = s.cost[j];
+            for &(r, v) in &s.columns[j] {
+                alpha += s.binv[row * m + r] * v;
+                reduced -= s.y[r] * v;
+            }
+            if alpha < -options.tolerance {
+                let ratio = reduced.max(0.0) / -alpha;
+                if entering.is_none_or(|(_, best)| ratio < best) {
+                    entering = Some((j, ratio));
+                }
+            }
+        }
+        let Some((entering, _)) = entering else {
+            // No eligible column: the row proves (restricted) infeasibility,
+            // but let the cold path confirm it.
+            return false;
+        };
+
+        // Direction u = B^{-1} a_entering, then the usual rank-one update.
+        s.u.clear();
+        s.u.resize(m, 0.0);
+        for &(r, v) in &s.columns[entering] {
+            if v != 0.0 {
+                for i in 0..m {
+                    s.u[i] += s.binv[i * m + r] * v;
+                }
+            }
+        }
+        if s.u[row].abs() <= options.tolerance {
+            return false; // numerically degenerate pivot
+        }
+        pivot_update(s, form, row, entering);
+        *iterations += 1;
+    }
+    false
+}
+
+/// Rank-one update of `binv` and `xb` for a pivot on `(row, entering)`.
+fn pivot_update(s: &mut Scratch, form: &StandardForm, row: usize, entering: usize) {
+    let m = form.rows;
+    let pivot_value = s.u[row];
+    debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero direction element");
+
+    let inv = 1.0 / pivot_value;
+    for c in 0..m {
+        s.binv[row * m + c] *= inv;
+    }
+    s.xb[row] *= inv;
+
+    s.pivot_row.clear();
+    s.pivot_row
+        .extend_from_slice(&s.binv[row * m..(row + 1) * m]);
+    let xb_row = s.xb[row];
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = s.u[i];
+        if factor != 0.0 {
+            let target = &mut s.binv[i * m..(i + 1) * m];
+            for (t, &p) in target.iter_mut().zip(s.pivot_row.iter()) {
+                *t -= factor * p;
+            }
+            s.xb[i] -= factor * xb_row;
+        }
+    }
+
+    s.in_basis[s.basis[row]] = false;
+    s.in_basis[entering] = true;
+    s.basis[row] = entering;
+}
+
+/// After phase 1, pivots artificial variables (at value zero) out of the
+/// basis where possible; redundant rows keep their artificial at zero, which
+/// is harmless because their direction component stays zero for every real
+/// column.
+fn drive_out_artificials(s: &mut Scratch, form: &StandardForm, options: &SimplexOptions) {
+    let m = form.rows;
+    for row in 0..m {
+        if s.basis[row] < form.artificial_start {
+            continue;
+        }
+        let binv_row: Vec<f64> = s.binv[row * m..(row + 1) * m].to_vec();
+        let mut replacement = None;
+        for j in 0..form.artificial_start {
+            if s.in_basis[j] {
+                continue;
+            }
+            let w: f64 = s.columns[j].iter().map(|&(r, v)| binv_row[r] * v).sum();
+            if w.abs() > options.tolerance {
+                replacement = Some(j);
+                break;
+            }
+        }
+        if let Some(j) = replacement {
+            s.u.clear();
+            s.u.resize(m, 0.0);
+            for &(r, v) in &s.columns[j] {
+                if v != 0.0 {
+                    for i in 0..m {
+                        s.u[i] += s.binv[i * m + r] * v;
+                    }
+                }
+            }
+            pivot_update(s, form, row, j);
+        }
+    }
+}
+
+/// Reads the structural solution out of the basic values and recomputes the
+/// objective from the primal point (exactly like the dense solver).
+fn extract_solution(
+    s: &mut Scratch,
+    form: &StandardForm,
+    problem: &Problem,
+    iterations: usize,
+    warm_start: bool,
+) -> Solution {
+    s.values.clear();
+    s.values.resize(form.n_structural, 0.0);
+    for (i, &basic_col) in s.basis.iter().enumerate() {
+        if basic_col < form.n_structural {
+            s.values[basic_col] = s.xb[i];
+        }
+    }
+    // Clamp round-off negatives to zero; legitimate tiny positives survive
+    // (variables are non-negative by construction, so any negative here is
+    // numerical noise from the basis updates).
+    for v in &mut s.values {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+
+    let mut objective_value: f64 = problem
+        .objective()
+        .iter()
+        .zip(s.values.iter())
+        .map(|(c, x)| c * x)
+        .sum();
+    if objective_value.abs() < 1e-12 {
+        objective_value = 0.0;
+    }
+    let stats = SolverStats {
+        iterations,
+        rows: form.rows,
+        columns: form.cols,
+        warm_start,
+    };
+    Solution::new(s.values.clone(), objective_value, stats)
+}
+
+/// Interior-mutable, thread-safe wrapper around a [`SolverContext`].
+///
+/// Allocation policies take `&self` (the [`AllocationPolicy`]-style traits
+/// downstream are object-safe and shared across threads), yet warm-starting
+/// needs mutable solver state.  `ContextCell` bridges the two: policies store
+/// one cell and call [`ContextCell::solve`] from `&self`, while the cached
+/// basis and buffers persist across rounds behind a mutex.
+///
+/// Cloning produces a *fresh* cell with the same options: solver caches are
+/// per-instance working state, not part of a policy's identity.  For the same
+/// reason cells compare equal to each other and serialize as `null`.
+///
+/// [`AllocationPolicy`]: https://docs.rs/oef-core
+#[derive(Debug, Default)]
+pub struct ContextCell {
+    inner: std::sync::Mutex<SolverContext>,
+}
+
+impl ContextCell {
+    /// Cell with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cell with explicit solver options.
+    pub fn with_options(options: SimplexOptions) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(SolverContext::with_options(options)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SolverContext> {
+        // A panic mid-solve leaves only scratch buffers in an odd state; the
+        // next solve rebuilds them, so poisoning is safe to ignore.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Solves through the shared context (see [`SolverContext::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolverContext::solve`].
+    pub fn solve(&self, problem: &Problem) -> Result<Solution> {
+        self.lock().solve(problem)
+    }
+
+    /// Solves through the shared context with the caller's options, re-syncing
+    /// the context's options first (see [`SolverContext::solve_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SolverContext::solve`].
+    pub fn solve_with(&self, problem: &Problem, options: &SimplexOptions) -> Result<Solution> {
+        self.lock().solve_with(problem, options)
+    }
+
+    /// Warm/cold counters of the underlying context.
+    pub fn stats(&self) -> ContextStats {
+        self.lock().stats()
+    }
+
+    /// Whether the most recent solve warm-started.
+    pub fn last_was_warm(&self) -> bool {
+        self.lock().last_was_warm()
+    }
+
+    /// Drops the cached basis.
+    pub fn invalidate(&self) {
+        self.lock().invalidate();
+    }
+
+    /// Direct mutable access when the cell is uniquely owned.
+    pub fn get_mut(&mut self) -> &mut SolverContext {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Clone for ContextCell {
+    fn clone(&self) -> Self {
+        Self::with_options(self.lock().options().clone())
+    }
+}
+
+impl PartialEq for ContextCell {
+    /// Solver caches are working state, not identity: all cells are equal.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for ContextCell {}
+
+impl serde::Serialize for ContextCell {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for ContextCell {
+    fn deserialize(_value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(Self::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Problem, Sense, Variable};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    fn textbook_problem() -> (Problem, Variable, Variable) {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 3.0);
+        p.set_objective_coefficient(y, 5.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint(&[(y, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint(&[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        (p, x, y)
+    }
+
+    #[test]
+    fn cold_solve_matches_dense_on_textbook_problem() {
+        let (p, x, y) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        let s = ctx.solve(&p).unwrap();
+        assert_close(s.objective_value(), 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+        assert!(!s.stats().warm_start);
+        assert_eq!(ctx.stats().cold_solves, 1);
+    }
+
+    #[test]
+    fn warm_solve_on_identical_problem_takes_zero_pivots() {
+        let (p, _, _) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        let cold = ctx.solve(&p).unwrap();
+        let warm = ctx.solve(&p).unwrap();
+        assert!(warm.stats().warm_start);
+        assert_eq!(
+            warm.stats().iterations,
+            0,
+            "optimal basis should be reused as-is"
+        );
+        assert_close(warm.objective_value(), cold.objective_value());
+        assert!(ctx.last_was_warm());
+        assert_eq!(ctx.stats().warm_solves, 1);
+    }
+
+    #[test]
+    fn warm_solve_tracks_objective_perturbation() {
+        let (mut p, x, y) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        ctx.solve(&p).unwrap();
+        p.update_objective_coefficient(x, 4.0);
+        let warm = ctx.solve(&p).unwrap();
+        assert!(warm.stats().warm_start);
+        let dense = p.solve().unwrap();
+        assert_close(warm.objective_value(), dense.objective_value());
+        assert_close(warm.value(x), dense.value(x));
+        assert_close(warm.value(y), dense.value(y));
+    }
+
+    #[test]
+    fn warm_solve_tracks_rhs_update() {
+        let (mut p, _, _) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        ctx.solve(&p).unwrap();
+        p.update_rhs(2, 20.0);
+        let warm = ctx.solve(&p).unwrap();
+        let dense = p.solve().unwrap();
+        assert_close(warm.objective_value(), dense.objective_value());
+    }
+
+    #[test]
+    fn ge_and_eq_constraints_cold_solve() {
+        // min 0.12x + 0.15y s.t. 60x + 60y >= 300, 12x + 6y >= 36, 10x + 30y >= 90.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 0.12);
+        p.set_objective_coefficient(y, 0.15);
+        p.add_constraint(&[(x, 60.0), (y, 60.0)], ConstraintOp::Ge, 300.0);
+        p.add_constraint(&[(x, 12.0), (y, 6.0)], ConstraintOp::Ge, 36.0);
+        p.add_constraint(&[(x, 10.0), (y, 30.0)], ConstraintOp::Ge, 90.0);
+        let mut ctx = SolverContext::new();
+        let s = ctx.solve(&p).unwrap();
+        assert_close(s.objective_value(), 0.66);
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 2.0);
+        // Warm re-solve with a perturbed RHS still agrees with dense.
+        p.update_rhs(0, 320.0);
+        let warm = ctx.solve(&p).unwrap();
+        let dense = p.solve().unwrap();
+        assert_close(warm.objective_value(), dense.objective_value());
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut infeasible = Problem::new(Sense::Maximize);
+        let x = infeasible.add_variable("x");
+        infeasible.set_objective_coefficient(x, 1.0);
+        infeasible.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 5.0);
+        infeasible.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 3.0);
+        assert_eq!(
+            SolverContext::new().solve(&infeasible).unwrap_err(),
+            LpError::Infeasible
+        );
+
+        let mut unbounded = Problem::new(Sense::Maximize);
+        let x = unbounded.add_variable("x");
+        let y = unbounded.add_variable("y");
+        unbounded.set_objective_coefficient(x, 1.0);
+        unbounded.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 1.0);
+        assert_eq!(
+            SolverContext::new().solve(&unbounded).unwrap_err(),
+            LpError::Unbounded
+        );
+    }
+
+    #[test]
+    fn shape_change_falls_back_to_cold() {
+        let (p, _, _) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        ctx.solve(&p).unwrap();
+
+        // Different shape: one extra constraint.
+        let (mut p2, x, y) = textbook_problem();
+        p2.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 7.0);
+        let s = ctx.solve(&p2).unwrap();
+        assert!(!s.stats().warm_start, "shape change must cold-solve");
+        assert_eq!(ctx.stats().cold_solves, 2);
+        let dense = p2.solve().unwrap();
+        assert_close(s.objective_value(), dense.objective_value());
+    }
+
+    #[test]
+    fn rhs_sign_flip_changes_shape_and_cold_solves() {
+        // Flipping the sign of a RHS changes the effective operator, so the
+        // standard-form layout (and the signature) must change with it.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Le, 2.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 5.0);
+        let mut ctx = SolverContext::new();
+        ctx.solve(&p).unwrap();
+
+        p.update_rhs(0, -2.0); // x - y <= -2 becomes a >= row after normalisation
+        let s = ctx.solve(&p).unwrap();
+        assert!(!s.stats().warm_start);
+        let dense = p.solve().unwrap();
+        assert_close(s.objective_value(), dense.objective_value());
+    }
+
+    #[test]
+    fn infeasible_after_update_is_reported_not_cached() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        p.set_objective_coefficient(x, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 3.0);
+        let mut ctx = SolverContext::new();
+        assert!(ctx.solve(&p).is_ok());
+
+        // Same shape, but now x >= 5 and x <= 3: infeasible.
+        p.update_rhs(0, 5.0);
+        assert_eq!(ctx.solve(&p).unwrap_err(), LpError::Infeasible);
+        // The context recovers on the next solvable update.
+        p.update_rhs(0, 2.0);
+        let s = ctx.solve(&p).unwrap();
+        assert_close(s.objective_value(), 3.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates_with_bland_fallback() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 1.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(y, 1.0)], ConstraintOp::Le, 1.0);
+        p.add_constraint(&[(x, 2.0), (y, 1.0)], ConstraintOp::Le, 2.0);
+        // Force Bland's rule from the first pivot: termination is then
+        // guaranteed even on this degenerate vertex.
+        let options = SimplexOptions {
+            bland_threshold: 0,
+            ..SimplexOptions::default()
+        };
+        let mut ctx = SolverContext::with_options(options);
+        let s = ctx.solve(&p).unwrap();
+        assert_close(s.objective_value(), 1.0);
+        // Warm re-solve of the same degenerate program also terminates.
+        let warm = ctx.solve(&p).unwrap();
+        assert!(warm.stats().warm_start);
+        assert_close(warm.objective_value(), 1.0);
+    }
+
+    #[test]
+    fn tiny_pivot_budget_falls_back_to_dense_reference() {
+        let (p, _, _) = textbook_problem();
+        // One pivot is not enough for the revised path, so the context must
+        // silently defer to the dense solver... which also fails with the
+        // same budget — the error is reported faithfully.
+        let options = SimplexOptions {
+            max_iterations: 0,
+            ..SimplexOptions::default()
+        };
+        let mut ctx = SolverContext::with_options(options);
+        assert!(matches!(ctx.solve(&p), Err(LpError::IterationLimit { .. })));
+        assert_eq!(ctx.stats().dense_fallbacks, 1);
+    }
+
+    #[test]
+    fn redundant_equalities_are_handled() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_variable("x");
+        let y = p.add_variable("y");
+        p.set_objective_coefficient(x, 2.0);
+        p.set_objective_coefficient(y, 1.0);
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 4.0);
+        p.add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Eq, 8.0);
+        p.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 3.0);
+        let mut ctx = SolverContext::new();
+        let s = ctx.solve(&p).unwrap();
+        assert_close(s.value(x), 3.0);
+        assert_close(s.value(y), 1.0);
+        let warm = ctx.solve(&p).unwrap();
+        assert_close(warm.objective_value(), 7.0);
+    }
+
+    #[test]
+    fn equal_throughput_structure_matches_dense() {
+        // The miniature non-cooperative OEF program from the dense solver's
+        // test-suite: warm-started round sequence must match dense exactly.
+        let build = |w22: f64| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x11 = p.add_variable("x11");
+            let x12 = p.add_variable("x12");
+            let x21 = p.add_variable("x21");
+            let x22 = p.add_variable("x22");
+            for (v, c) in [(x11, 1.0), (x12, 2.0), (x21, 1.0), (x22, w22)] {
+                p.set_objective_coefficient(v, c);
+            }
+            p.add_constraint(&[(x11, 1.0), (x21, 1.0)], ConstraintOp::Le, 1.0);
+            p.add_constraint(&[(x12, 1.0), (x22, 1.0)], ConstraintOp::Le, 1.0);
+            p.add_constraint(
+                &[(x11, 1.0), (x12, 2.0), (x21, -1.0), (x22, -w22)],
+                ConstraintOp::Eq,
+                0.0,
+            );
+            p
+        };
+        let mut ctx = SolverContext::new();
+        for (round, w22) in [5.0, 5.1, 4.9, 5.05, 5.0].into_iter().enumerate() {
+            let p = build(w22);
+            let s = ctx.solve(&p).unwrap();
+            let dense = p.solve().unwrap();
+            assert!(
+                (s.objective_value() - dense.objective_value()).abs() < 1e-6,
+                "round {round}: revised {} vs dense {}",
+                s.objective_value(),
+                dense.objective_value()
+            );
+            if round > 0 {
+                assert!(s.stats().warm_start, "round {round} should warm-start");
+            }
+        }
+    }
+}

@@ -14,7 +14,7 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the simplex solver.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimplexOptions {
     /// Numerical tolerance used for optimality and feasibility tests.
     pub tolerance: f64,
@@ -27,7 +27,11 @@ pub struct SimplexOptions {
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        Self { tolerance: 1e-9, max_iterations: 1_000_000, bland_threshold: 10_000 }
+        Self {
+            tolerance: 1e-9,
+            max_iterations: 1_000_000,
+            bland_threshold: 10_000,
+        }
     }
 }
 
@@ -40,6 +44,9 @@ pub struct SolverStats {
     pub rows: usize,
     /// Number of columns (excluding the right-hand side) in the tableau.
     pub columns: usize,
+    /// Whether the solve started from a cached basis (always `false` for the
+    /// dense reference solver; see [`crate::SolverContext`]).
+    pub warm_start: bool,
 }
 
 /// The standard-form tableau plus bookkeeping.
@@ -101,21 +108,31 @@ pub(crate) fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solut
             values[basic_col] = tableau.rhs(row);
         }
     }
-    // Clamp tiny negatives produced by round-off.
+    // Clamp tiny negatives produced by round-off.  Only negatives: a
+    // legitimate tiny positive value (e.g. a sliver of a GPU share priced
+    // below the tolerance) must survive extraction.
     for v in &mut values {
-        if v.abs() < options.tolerance {
+        if *v < 0.0 && *v > -options.tolerance {
             *v = 0.0;
         }
     }
 
-    let mut objective_value: f64 =
-        problem.objective().iter().zip(values.iter()).map(|(c, x)| c * x).sum();
+    let mut objective_value: f64 = problem
+        .objective()
+        .iter()
+        .zip(values.iter())
+        .map(|(c, x)| c * x)
+        .sum();
     if objective_value.abs() < options.tolerance {
         objective_value = 0.0;
     }
 
-    let stats =
-        SolverStats { iterations, rows: tableau.rows, columns: tableau.cols };
+    let stats = SolverStats {
+        iterations,
+        rows: tableau.rows,
+        columns: tableau.cols,
+        warm_start: false,
+    };
     Ok(Solution::new(values, objective_value, stats))
 }
 
@@ -270,7 +287,9 @@ fn run_phase(
     let mut phase_pivots = 0usize;
     loop {
         if *iterations >= options.max_iterations {
-            return Err(LpError::IterationLimit { iterations: *iterations });
+            return Err(LpError::IterationLimit {
+                iterations: *iterations,
+            });
         }
         let use_bland = phase_pivots >= options.bland_threshold;
         let entering = {
@@ -318,7 +337,7 @@ fn select_entering(
         let mut best: Option<(usize, f64)> = None;
         for c in 0..limit {
             let r = reduced[c];
-            if r < -options.tolerance && best.map_or(true, |(_, b)| r < b) {
+            if r < -options.tolerance && best.is_none_or(|(_, b)| r < b) {
                 best = Some((c, r));
             }
         }
@@ -589,8 +608,14 @@ mod tests {
         p.set_objective_coefficient(x, 3.0);
         p.set_objective_coefficient(y, 5.0);
         p.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
-        let opts = SimplexOptions { max_iterations: 0, ..Default::default() };
-        assert!(matches!(p.solve_with(&opts), Err(LpError::IterationLimit { .. })));
+        let opts = SimplexOptions {
+            max_iterations: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            p.solve_with(&opts),
+            Err(LpError::IterationLimit { .. })
+        ));
     }
 
     #[test]
@@ -628,7 +653,10 @@ mod tests {
         let s = p.solve().unwrap();
         let e1 = s.value(x11) + 2.0 * s.value(x12);
         let e2 = s.value(x21) + 5.0 * s.value(x22);
-        assert!((e1 - e2).abs() < 1e-6, "equal-throughput constraint violated");
+        assert!(
+            (e1 - e2).abs() < 1e-6,
+            "equal-throughput constraint violated"
+        );
         // Feasibility of capacities.
         assert!(s.value(x11) + s.value(x21) <= 1.0 + 1e-6);
         assert!(s.value(x12) + s.value(x22) <= 1.0 + 1e-6);

@@ -14,7 +14,11 @@ pub struct Solution {
 
 impl Solution {
     pub(crate) fn new(values: Vec<f64>, objective_value: f64, stats: SolverStats) -> Self {
-        Self { values, objective_value, stats }
+        Self {
+            values,
+            objective_value,
+            stats,
+        }
     }
 
     /// Value of a decision variable at the optimum.

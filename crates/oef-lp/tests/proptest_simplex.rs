@@ -23,12 +23,14 @@ fn random_lp(max_vars: usize, max_constraints: usize) -> impl Strategy<Value = R
     (2..=max_vars, 1..=max_constraints).prop_flat_map(|(n, m)| {
         let objective = proptest::collection::vec(0.0..10.0f64, n);
         let upper_bounds = proptest::collection::vec(0.5..5.0f64, n);
-        let constraints = proptest::collection::vec(
-            (proptest::collection::vec(0.0..4.0f64, n), 1.0..20.0f64),
-            m,
-        );
+        let constraints =
+            proptest::collection::vec((proptest::collection::vec(0.0..4.0f64, n), 1.0..20.0f64), m);
         (objective, upper_bounds, constraints).prop_map(|(objective, upper_bounds, constraints)| {
-            RandomLp { objective, constraints, upper_bounds }
+            RandomLp {
+                objective,
+                constraints,
+                upper_bounds,
+            }
         })
     })
 }
@@ -151,7 +153,10 @@ fn equality_chain_mirrors_oef_equal_throughput() {
     let mut p = Problem::new(Sense::Maximize);
     let mut x = Vec::new();
     for l in 0..n {
-        x.push((p.add_variable(format!("x{l}0")), p.add_variable(format!("x{l}1"))));
+        x.push((
+            p.add_variable(format!("x{l}0")),
+            p.add_variable(format!("x{l}1")),
+        ));
     }
     for (l, (slow, fast)) in x.iter().enumerate() {
         p.set_objective_coefficient(*slow, 1.0);

@@ -1,0 +1,256 @@
+//! Property-based agreement tests between the warm-started [`SolverContext`]
+//! and the cold dense reference solver.
+//!
+//! Strategy: generate a random bounded, feasible LP, then walk a random
+//! perturbation sequence over it (objective rescaling, right-hand-side
+//! tightening/loosening, constraint-coefficient tweaks) that never changes the
+//! problem *shape*.  Solve every step twice — once through a shared
+//! `SolverContext` (warm after the first step) and once with the dense
+//! two-phase reference — and require identical objectives (within 1e-6) plus
+//! primal feasibility of the warm solution.
+
+use oef_lp::{ConstraintOp, Problem, Sense, SolverContext, Variable};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    objective: Vec<f64>,
+    /// `constraints[i] = (coefficients, rhs)` encoding `coeffs . x <= rhs`.
+    constraints: Vec<(Vec<f64>, f64)>,
+    /// Upper bound per variable (an `x_i <= ub_i` constraint).
+    upper_bounds: Vec<f64>,
+    /// Optional `coeffs . x >= rhs` rows, feasible by construction.
+    ge_rows: Vec<(Vec<f64>, f64)>,
+}
+
+/// One shape-preserving perturbation step.
+#[derive(Debug, Clone)]
+enum Perturbation {
+    /// Scale every objective coefficient.
+    Objective(f64),
+    /// Scale the RHS of `<=` constraint `index % len` (stays positive).
+    Rhs(usize, f64),
+    /// Scale one coefficient inside one `<=` constraint.
+    Coefficient(usize, usize, f64),
+}
+
+fn random_lp(max_vars: usize, max_constraints: usize) -> impl Strategy<Value = RandomLp> {
+    (2..=max_vars, 1..=max_constraints, 0usize..=2).prop_flat_map(|(n, m, n_ge)| {
+        let objective = proptest::collection::vec(0.0..10.0f64, n);
+        let upper_bounds = proptest::collection::vec(0.5..5.0f64, n);
+        let constraints =
+            proptest::collection::vec((proptest::collection::vec(0.0..4.0f64, n), 1.0..20.0f64), m);
+        let ge_coeffs = proptest::collection::vec(proptest::collection::vec(0.1..2.0f64, n), n_ge);
+        let ge_fractions = proptest::collection::vec(0.1..0.9f64, n_ge);
+        (
+            objective,
+            upper_bounds,
+            constraints,
+            ge_coeffs,
+            ge_fractions,
+        )
+            .prop_map(
+                |(objective, upper_bounds, constraints, ge_coeffs, ge_fractions)| {
+                    // A `>=` row is kept feasible by construction: its RHS is a
+                    // fraction of the row value at the midpoint of the variable
+                    // boxes, a point that satisfies every `x_i <= ub_i`.  The
+                    // `<=` rows may still cut that point off, in which case the
+                    // instance can be infeasible — the test skips those instances
+                    // (both solvers must agree on infeasibility, though).
+                    let ge_rows = ge_coeffs
+                        .into_iter()
+                        .zip(ge_fractions)
+                        .map(|(coeffs, fraction)| {
+                            let midpoint_value: f64 = coeffs
+                                .iter()
+                                .zip(upper_bounds.iter())
+                                .map(|(c, ub)| c * ub / 2.0)
+                                .sum();
+                            let rhs = fraction * midpoint_value;
+                            (coeffs, rhs)
+                        })
+                        .collect();
+                    RandomLp {
+                        objective,
+                        constraints,
+                        upper_bounds,
+                        ge_rows,
+                    }
+                },
+            )
+    })
+}
+
+fn perturbations(steps: usize) -> impl Strategy<Value = Vec<Perturbation>> {
+    proptest::collection::vec(
+        (0usize..3, 0usize..8, 0usize..8, 0.6..1.6f64).prop_map(
+            |(kind, a, b, factor)| match kind {
+                0 => Perturbation::Objective(factor),
+                1 => Perturbation::Rhs(a, factor),
+                _ => Perturbation::Coefficient(a, b, factor),
+            },
+        ),
+        steps,
+    )
+}
+
+fn build_problem(lp: &RandomLp) -> (Problem, Vec<Variable>) {
+    let mut p = Problem::new(Sense::Maximize);
+    let vars = p.add_variables("x", lp.objective.len());
+    for (v, c) in vars.iter().zip(lp.objective.iter()) {
+        p.set_objective_coefficient(*v, *c);
+    }
+    for (coeffs, rhs) in &lp.constraints {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        p.add_constraint(&terms, ConstraintOp::Le, *rhs);
+    }
+    for (v, ub) in vars.iter().zip(lp.upper_bounds.iter()) {
+        p.add_constraint(&[(*v, 1.0)], ConstraintOp::Le, *ub);
+    }
+    for (coeffs, rhs) in &lp.ge_rows {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        p.add_constraint(&terms, ConstraintOp::Ge, *rhs);
+    }
+    (p, vars)
+}
+
+/// Applies one perturbation to both the abstract LP and the built problem.
+fn apply(lp: &mut RandomLp, p: &mut Problem, vars: &[Variable], step: &Perturbation) {
+    match step {
+        Perturbation::Objective(factor) => {
+            for (i, c) in lp.objective.iter_mut().enumerate() {
+                *c *= factor;
+                p.update_objective_coefficient(vars[i], *c);
+            }
+        }
+        Perturbation::Rhs(index, factor) => {
+            if lp.constraints.is_empty() {
+                return;
+            }
+            let i = index % lp.constraints.len();
+            lp.constraints[i].1 *= factor;
+            p.update_rhs(i, lp.constraints[i].1);
+        }
+        Perturbation::Coefficient(ci, vi, factor) => {
+            if lp.constraints.is_empty() {
+                return;
+            }
+            let ci = ci % lp.constraints.len();
+            let vi = vi % lp.objective.len();
+            lp.constraints[ci].0[vi] *= factor;
+            p.update_constraint_coefficient(ci, vars[vi], lp.constraints[ci].0[vi]);
+        }
+    }
+}
+
+fn is_feasible(lp: &RandomLp, x: &[f64], tol: f64) -> bool {
+    if x.iter().any(|&v| v < -tol) {
+        return false;
+    }
+    for (coeffs, rhs) in &lp.constraints {
+        let lhs: f64 = coeffs.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        if lhs > rhs + tol {
+            return false;
+        }
+    }
+    for (v, ub) in x.iter().zip(lp.upper_bounds.iter()) {
+        if *v > ub + tol {
+            return false;
+        }
+    }
+    for (coeffs, rhs) in &lp.ge_rows {
+        let lhs: f64 = coeffs.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        if lhs < rhs - tol {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warm_context_agrees_with_dense_across_perturbation_sequences(
+        lp in random_lp(6, 5),
+        steps in perturbations(5),
+    ) {
+        let (mut p, vars) = build_problem(&lp);
+        let mut lp = lp;
+        let mut ctx = SolverContext::new();
+
+        for (step_idx, step) in std::iter::once(None)
+            .chain(steps.iter().map(Some))
+            .enumerate()
+        {
+            if let Some(step) = step {
+                apply(&mut lp, &mut p, &vars, step);
+            }
+            let dense = p.solve();
+            let warm = ctx.solve(&p);
+            match (dense, warm) {
+                (Ok(dense), Ok(warm)) => {
+                    let scale = 1.0 + dense.objective_value().abs();
+                    prop_assert!(
+                        (warm.objective_value() - dense.objective_value()).abs() < 1e-6 * scale,
+                        "step {step_idx}: warm {} vs dense {}",
+                        warm.objective_value(),
+                        dense.objective_value()
+                    );
+                    let x: Vec<f64> = vars.iter().map(|v| warm.value(*v)).collect();
+                    prop_assert!(
+                        is_feasible(&lp, &x, 1e-6),
+                        "step {step_idx}: warm solution {x:?} infeasible"
+                    );
+                }
+                (Err(dense_err), warm_result) => {
+                    // Perturbations can push the `>=` rows past the `<=` box:
+                    // both solvers must then agree the program is infeasible.
+                    prop_assert!(
+                        matches!(warm_result, Err(ref e) if *e == dense_err),
+                        "step {step_idx}: dense {dense_err:?} but warm {warm_result:?}"
+                    );
+                }
+                (Ok(dense), Err(warm_err)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "step {step_idx}: dense solved to {} but warm failed with {warm_err:?}",
+                        dense.objective_value()
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_identical_solves_stay_warm_and_exact(lp in random_lp(5, 4)) {
+        let (p, _) = build_problem(&lp);
+        let mut ctx = SolverContext::new();
+        let first = match ctx.solve(&p) {
+            Ok(s) => s,
+            Err(e) => {
+                // The random `>=` rows can contradict the `<=` cuts; both
+                // solvers must agree, and there is nothing to warm-start.
+                let dense = p.solve();
+                prop_assert!(
+                    matches!(dense, Err(ref d) if *d == e),
+                    "context {e:?} but dense {dense:?}"
+                );
+                return Ok(());
+            }
+        };
+        for _ in 0..3 {
+            let again = match ctx.solve(&p) {
+                Ok(s) => s,
+                Err(e) => return Err(TestCaseError::fail(format!("{e:?} on {lp:?}"))),
+            };
+            prop_assert!(again.stats().warm_start);
+            prop_assert_eq!(again.stats().iterations, 0);
+            let scale = 1.0 + first.objective_value().abs();
+            prop_assert!(
+                (again.objective_value() - first.objective_value()).abs() < 1e-9 * scale
+            );
+        }
+        prop_assert_eq!(ctx.stats().cold_solves, 1);
+        prop_assert_eq!(ctx.stats().warm_solves, 3);
+    }
+}

@@ -36,19 +36,19 @@ impl GandivaFair {
 
     /// Runs the trading phase between fast type `fast` and slower type `slow` on the
     /// current allocation, in place.
-    fn trade_pair(
-        allocation: &mut [Vec<f64>],
-        speedups: &SpeedupMatrix,
-        slow: usize,
-        fast: usize,
-    ) {
+    fn trade_pair(allocation: &mut [Vec<f64>], speedups: &SpeedupMatrix, slow: usize, fast: usize) {
         let n = allocation.len();
         // Relative speedup of the fast type in units of the slow type, per tenant.
-        let ratio: Vec<f64> =
-            (0..n).map(|l| speedups.speedup(l, fast) / speedups.speedup(l, slow)).collect();
+        let ratio: Vec<f64> = (0..n)
+            .map(|l| speedups.speedup(l, fast) / speedups.speedup(l, slow))
+            .collect();
         // Buyers in descending ratio order, sellers from the other end.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|a, b| ratio[*b].partial_cmp(&ratio[*a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|a, b| {
+            ratio[*b]
+                .partial_cmp(&ratio[*a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let mut hi = 0usize;
         let mut lo = n - 1;
@@ -134,11 +134,25 @@ mod tests {
     #[test]
     fn reproduces_expression_1_allocation() {
         // Expression (1): X = [1 0.09; 0 0.47; 0 0.44], E = <1.18, 1.41, 1.76>.
-        let a = GandivaFair.allocate(&two_type_cluster(), &paper_matrix()).unwrap();
+        let a = GandivaFair
+            .allocate(&two_type_cluster(), &paper_matrix())
+            .unwrap();
         assert!((a.share(0, 0) - 1.0).abs() < 1e-6);
-        assert!((a.share(0, 1) - 0.089).abs() < 0.01, "u1 fast share {}", a.share(0, 1));
-        assert!((a.share(1, 1) - 0.467).abs() < 0.01, "u2 fast share {}", a.share(1, 1));
-        assert!((a.share(2, 1) - 0.444).abs() < 0.01, "u3 fast share {}", a.share(2, 1));
+        assert!(
+            (a.share(0, 1) - 0.089).abs() < 0.01,
+            "u1 fast share {}",
+            a.share(0, 1)
+        );
+        assert!(
+            (a.share(1, 1) - 0.467).abs() < 0.01,
+            "u2 fast share {}",
+            a.share(1, 1)
+        );
+        assert!(
+            (a.share(2, 1) - 0.444).abs() < 0.01,
+            "u3 fast share {}",
+            a.share(2, 1)
+        );
         let eff = a.user_efficiencies(&paper_matrix());
         assert!((eff[0] - 1.18).abs() < 0.01);
         assert!((eff[1] - 1.40).abs() < 0.02);
@@ -162,7 +176,10 @@ mod tests {
         let w = paper_matrix();
         let a = GandivaFair.allocate(&cluster, &w).unwrap();
         let report = fairness::check_envy_freeness(&a, &w, 1e-6);
-        assert!(!report.envy_free, "Gandiva_fair should not be envy-free here");
+        assert!(
+            !report.envy_free,
+            "Gandiva_fair should not be envy-free here"
+        );
         // u3 (index 2) envies u2 (index 1), as stated in §2.4.
         assert_eq!(report.worst_pair, Some((2, 1)));
     }

@@ -26,7 +26,10 @@ pub struct Gavel {
 
 impl Default for Gavel {
     fn default() -> Self {
-        Self { solver_options: SimplexOptions::default(), ratio_slack: 1e-7 }
+        Self {
+            solver_options: SimplexOptions::default(),
+            ratio_slack: 1e-7,
+        }
     }
 }
 
@@ -38,7 +41,9 @@ impl Gavel {
 
     fn fair_share_throughputs(cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Vec<f64> {
         let share = cluster.equal_share(speedups.num_users());
-        (0..speedups.num_users()).map(|l| speedups.user(l).dot(&share)).collect()
+        (0..speedups.num_users())
+            .map(|l| speedups.user(l).dot(&share))
+            .collect()
     }
 }
 
@@ -61,15 +66,20 @@ impl AllocationPolicy for Gavel {
         let t = stage1.add_variable("t");
         stage1.set_objective_coefficient(t, 1.0);
         let vars: Vec<Vec<oef_lp::Variable>> = (0..n)
-            .map(|l| (0..k).map(|j| stage1.add_variable(format!("x_{l}_{j}"))).collect())
+            .map(|l| {
+                (0..k)
+                    .map(|j| stage1.add_variable(format!("x_{l}_{j}")))
+                    .collect()
+            })
             .collect();
         for j in 0..k {
             let terms: Vec<_> = (0..n).map(|l| (vars[l][j], 1.0)).collect();
             stage1.add_constraint(&terms, ConstraintOp::Le, cluster.capacity(j));
         }
         for l in 0..n {
-            let mut terms: Vec<_> =
-                (0..k).map(|j| (vars[l][j], speedups.speedup(l, j))).collect();
+            let mut terms: Vec<_> = (0..k)
+                .map(|j| (vars[l][j], speedups.speedup(l, j)))
+                .collect();
             terms.push((t, -fair[l]));
             stage1.add_constraint(&terms, ConstraintOp::Ge, 0.0);
         }
@@ -83,7 +93,11 @@ impl AllocationPolicy for Gavel {
         // why the paper finds Gavel pareto-inefficient.
         let mut stage2 = Problem::new(Sense::Maximize);
         let vars2: Vec<Vec<oef_lp::Variable>> = (0..n)
-            .map(|l| (0..k).map(|j| stage2.add_variable(format!("x_{l}_{j}"))).collect())
+            .map(|l| {
+                (0..k)
+                    .map(|j| stage2.add_variable(format!("x_{l}_{j}")))
+                    .collect()
+            })
             .collect();
         for l in 0..n {
             for j in 0..k {
@@ -97,9 +111,13 @@ impl AllocationPolicy for Gavel {
         let floor = (best_ratio - self.ratio_slack).max(0.0);
         let ceiling = best_ratio + self.ratio_slack;
         for l in 0..n {
-            let terms: Vec<_> = (0..k).map(|j| (vars2[l][j], speedups.speedup(l, j))).collect();
+            let terms: Vec<_> = (0..k)
+                .map(|j| (vars2[l][j], speedups.speedup(l, j)))
+                .collect();
             stage2.add_constraint(&terms, ConstraintOp::Ge, floor * fair[l]);
-            let terms: Vec<_> = (0..k).map(|j| (vars2[l][j], speedups.speedup(l, j))).collect();
+            let terms: Vec<_> = (0..k)
+                .map(|j| (vars2[l][j], speedups.speedup(l, j)))
+                .collect();
             stage2.add_constraint(&terms, ConstraintOp::Le, ceiling * fair[l]);
         }
         let stage2_solution = stage2.solve_with(&self.solver_options)?;
@@ -139,7 +157,10 @@ mod tests {
             assert!(*r >= 1.05, "ratios {ratios:?}");
         }
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!((min - 1.08).abs() < 0.03, "expected min ratio ~1.08, got {min}");
+        assert!(
+            (min - 1.08).abs() < 0.03,
+            "expected min ratio ~1.08, got {min}"
+        );
         assert!(a.is_feasible(&cluster));
     }
 
@@ -158,7 +179,9 @@ mod tests {
         let cluster = two_type_cluster();
         let w = paper_matrix();
         let gavel = Gavel::new().allocate(&cluster, &w).unwrap();
-        let oef = oef_core::CooperativeOef::default().allocate(&cluster, &w).unwrap();
+        let oef = oef_core::CooperativeOef::default()
+            .allocate(&cluster, &w)
+            .unwrap();
         assert!(
             gavel.total_efficiency(&w) < oef.total_efficiency(&w) - 0.05,
             "Gavel {} vs OEF {}",

@@ -60,8 +60,7 @@ mod tests {
         // tie of speedup 1).
         let cluster = ClusterSpec::homogeneous_counts(&["g1", "g2"], &[1.0, 1.0]).unwrap();
         let speedups =
-            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
-                .unwrap();
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap();
         let a = MaxEfficiency.allocate(&cluster, &speedups).unwrap();
         assert_eq!(a.user_row(0), &[1.0, 0.0]);
         assert_eq!(a.user_row(1), &[0.0, 0.0]);
@@ -78,11 +77,13 @@ mod tests {
     fn starves_users_and_violates_fairness() {
         let cluster = ClusterSpec::homogeneous_counts(&["g1", "g2"], &[1.0, 1.0]).unwrap();
         let speedups =
-            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]])
-                .unwrap();
+            SpeedupMatrix::from_rows(vec![vec![1.0, 2.0], vec![1.0, 3.0], vec![1.0, 4.0]]).unwrap();
         let a = MaxEfficiency.allocate(&cluster, &speedups).unwrap();
         let envy = fairness::check_envy_freeness(&a, &speedups, 1e-9);
-        assert!(!envy.envy_free, "pure efficiency maximisation should create envy");
+        assert!(
+            !envy.envy_free,
+            "pure efficiency maximisation should create envy"
+        );
         let si = fairness::check_sharing_incentive(&a, &speedups, &cluster, 1e-9);
         assert!(!si.sharing_incentive, "user 2 is starved so SI must fail");
     }

@@ -61,7 +61,8 @@ mod tests {
     fn fig1b_max_min_throughputs() {
         // Fig. 1(b): under max-min the VGG user reaches 1.19x and the LSTM user 1.57x
         // (speedups 1.39 and 2.15 on the fast GPU, one device of each type).
-        let cluster = ClusterSpec::homogeneous_counts(&["rtx3070", "rtx3090"], &[1.0, 1.0]).unwrap();
+        let cluster =
+            ClusterSpec::homogeneous_counts(&["rtx3070", "rtx3090"], &[1.0, 1.0]).unwrap();
         let speedups = SpeedupMatrix::from_rows(vec![vec![1.0, 1.39], vec![1.0, 2.15]]).unwrap();
         let a = MaxMin.allocate(&cluster, &speedups).unwrap();
         let eff = a.user_efficiencies(&speedups);

@@ -60,6 +60,28 @@ pub struct SimulationEngine {
     now: f64,
     round: usize,
     records: Vec<RoundRecord>,
+    scratch: RoundScratch,
+}
+
+/// Per-round working buffers, reused across rounds so the hot scheduling loop
+/// stops churning the allocator.  (The LP solver keeps its own reusable state
+/// inside each policy's `oef_lp::SolverContext`.)
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// Reported speedup rows handed to the fair-share evaluator.
+    reported_rows: Vec<oef_core::SpeedupVector>,
+    /// Active-tenant allocation scattered to global tenant indices.
+    global_ideal: Option<Allocation>,
+    /// Per-global-tenant minimum device demand.
+    global_min_demand: Vec<usize>,
+    /// Global tenant id -> active index.
+    index_of: std::collections::HashMap<usize, usize>,
+    /// Jobs that received devices this round.
+    placed_jobs: std::collections::HashSet<oef_cluster::JobId>,
+    /// Per-active-tenant actual throughput.
+    actual: Vec<f64>,
+    /// Per-active-tenant devices held.
+    devices_held: Vec<usize>,
 }
 
 impl SimulationEngine {
@@ -75,6 +97,7 @@ impl SimulationEngine {
             now: 0.0,
             round: 0,
             records: Vec::new(),
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -162,7 +185,12 @@ impl SimulationEngine {
 
     /// Builds the report for the rounds simulated so far.
     pub fn report(&self, policy_name: &str) -> SimulationReport {
-        let jcts: Vec<f64> = self.state.finished_jobs().iter().filter_map(|j| j.jct()).collect();
+        let jcts: Vec<f64> = self
+            .state
+            .finished_jobs()
+            .iter()
+            .filter_map(|j| j.jct())
+            .collect();
         let unfinished = self
             .state
             .tenants()
@@ -194,14 +222,19 @@ impl SimulationEngine {
         let spec = self.state.cluster_spec();
 
         // 1. Reported speedups: honest tenants go through the profiling agent, cheaters
-        //    report their inflated vector directly.
-        let mut reported_rows = Vec::with_capacity(active.len());
+        //    report their inflated vector directly.  The row buffer is reclaimed from
+        //    the previous round (see step 5).
+        let mut reported_rows = std::mem::take(&mut self.scratch.reported_rows);
+        reported_rows.clear();
+        reported_rows.reserve(active.len());
         for &l in active {
             let tenant = self.state.tenant(l);
             let reported = if tenant.is_cheating() {
                 tenant.reported_speedup.clone()
             } else {
-                self.config.profiler.profile(&tenant.true_speedup, l as u64)?
+                self.config
+                    .profiler
+                    .profile(&tenant.true_speedup, l as u64)?
             };
             reported_rows.push(reported);
         }
@@ -215,16 +248,23 @@ impl SimulationEngine {
 
         // 3. Estimated throughput: the promise of the fair-share evaluator, valued with
         //    the tenants' true speedups.
-        let estimated: Vec<f64> =
-            (0..active.len()).map(|i| truth.user(i).dot(ideal.user_row(i))).collect();
+        let estimated: Vec<f64> = (0..active.len())
+            .map(|i| truth.user(i).dot(ideal.user_row(i)))
+            .collect();
 
-        // 4. Placement and job progress.
-        let (actual, devices_held) = if self.config.physical_placement {
-            self.place_and_advance(active, &ideal, &truth)
+        // 4. Placement and job progress.  Results land in the reusable
+        //    scratch buffers instead of fresh per-round vectors.
+        if self.config.physical_placement {
+            self.place_and_advance(active, &ideal, &truth);
         } else {
             self.advance_fluid(active, &estimated);
-            (estimated.clone(), vec![0; active.len()])
-        };
+            self.scratch.actual.clear();
+            self.scratch.actual.extend_from_slice(&estimated);
+            self.scratch.devices_held.clear();
+            self.scratch.devices_held.resize(active.len(), 0);
+        }
+        let actual = &self.scratch.actual;
+        let devices_held = &self.scratch.devices_held;
 
         let tenants = active
             .iter()
@@ -237,7 +277,15 @@ impl SimulationEngine {
             })
             .collect();
 
-        Ok(RoundRecord { round: self.round, time_secs: self.now, solver_time_secs, tenants })
+        // 5. Reclaim the reported-speedup row buffer for the next round.
+        self.scratch.reported_rows = reported.into_rows();
+
+        Ok(RoundRecord {
+            round: self.round,
+            time_secs: self.now,
+            solver_time_secs,
+            tenants,
+        })
     }
 
     /// Fluid-model progress: each tenant's runnable jobs share the tenant's promised
@@ -262,12 +310,9 @@ impl SimulationEngine {
 
     /// Physical placement: round shares to devices, place jobs on hosts, apply
     /// contention and straggler penalties, and advance jobs by what they actually ran.
-    fn place_and_advance(
-        &mut self,
-        active: &[usize],
-        ideal: &Allocation,
-        truth: &SpeedupMatrix,
-    ) -> (Vec<f64>, Vec<usize>) {
+    /// Writes per-active-tenant results into `self.scratch.actual` and
+    /// `self.scratch.devices_held`.
+    fn place_and_advance(&mut self, active: &[usize], ideal: &Allocation, truth: &SpeedupMatrix) {
         let dt = self.config.round_secs;
         let now = self.now + dt;
         let topology = self.state.topology().clone();
@@ -276,45 +321,69 @@ impl SimulationEngine {
 
         // The rounding placer is indexed by *global* tenant id so deviations survive
         // tenants joining and leaving; scatter the active-tenant allocation into a
-        // global-width matrix first.
+        // global-width matrix first.  The global-width buffers persist across rounds
+        // and are only rebuilt when the tenant or GPU-type count changes.
         let num_tenants = self.state.tenants().len();
         let k = topology.num_gpu_types();
-        let mut global_rows = vec![vec![0.0; k]; num_tenants];
+        let global_ideal = match &mut self.scratch.global_ideal {
+            Some(existing)
+                if existing.num_users() == num_tenants && existing.num_gpu_types() == k =>
+            {
+                for l in 0..num_tenants {
+                    existing.user_row_mut(l).fill(0.0);
+                }
+                existing
+            }
+            slot => slot.insert(Allocation::zeros(num_tenants, k)),
+        };
         for (i, &l) in active.iter().enumerate() {
-            global_rows[l].clone_from_slice(ideal.user_row(i));
+            global_ideal
+                .user_row_mut(l)
+                .clone_from_slice(ideal.user_row(i));
         }
-        let global_ideal = Allocation::new(global_rows).expect("scattered allocation is valid");
-        let mut global_min_demand = vec![0usize; num_tenants];
+        self.scratch.global_min_demand.clear();
+        self.scratch.global_min_demand.resize(num_tenants, 0);
         for (i, &l) in active.iter().enumerate() {
-            global_min_demand[l] = min_demand[i];
+            self.scratch.global_min_demand[l] = min_demand[i];
         }
         self.rounding.ensure_capacity(num_tenants, k);
-        let counts = self.rounding.round_shares(&global_ideal, &capacities, &global_min_demand);
+        let counts =
+            self.rounding
+                .round_shares(global_ideal, &capacities, &self.scratch.global_min_demand);
 
         // Device placement for the tenants that received devices.
-        let plan = self.config.placer.place(&topology, &counts, self.state.tenants());
+        let plan = self
+            .config
+            .placer
+            .place(&topology, &counts, self.state.tenants());
 
         // Advance placed jobs and accumulate actual throughput per active tenant.
-        let mut actual = vec![0.0; active.len()];
-        let index_of: std::collections::HashMap<usize, usize> =
-            active.iter().enumerate().map(|(i, &l)| (l, i)).collect();
-        let mut placed_jobs: std::collections::HashSet<oef_cluster::JobId> =
-            std::collections::HashSet::new();
+        self.scratch.actual.clear();
+        self.scratch.actual.resize(active.len(), 0.0);
+        self.scratch.index_of.clear();
+        self.scratch
+            .index_of
+            .extend(active.iter().enumerate().map(|(i, &l)| (l, i)));
+        self.scratch.placed_jobs.clear();
 
         for placement in &plan.placements {
-            let Some(&i) = index_of.get(&placement.tenant) else { continue };
+            let Some(&i) = self.scratch.index_of.get(&placement.tenant) else {
+                continue;
+            };
             let types = placement.gpu_types();
             let speedup = truth.user(i);
             let (rate, affected) = self.config.straggler.effective_rate(speedup, &types);
-            let contention_factor =
-                self.config.contention.factor(placement.num_hosts(), placement.devices.len());
+            let contention_factor = self
+                .config
+                .contention
+                .factor(placement.num_hosts(), placement.devices.len());
             let effective_rate = rate * contention_factor;
-            actual[i] += effective_rate;
+            self.scratch.actual[i] += effective_rate;
             if StragglerModel::is_cross_type(&types) {
                 self.straggler_stats.cross_type_placements += 1;
                 self.straggler_stats.affected_workers += affected as u64;
             }
-            placed_jobs.insert(placement.job);
+            self.scratch.placed_jobs.insert(placement.job);
             let tenant = self.state.tenant_mut(placement.tenant);
             if let Some(job) = tenant.job_mut(placement.job) {
                 job.advance(effective_rate * dt, now);
@@ -322,6 +391,7 @@ impl SimulationEngine {
         }
 
         // Starvation accounting for runnable jobs that received nothing.
+        let placed_jobs = &self.scratch.placed_jobs;
         for tenant in self.state.tenants_mut() {
             for job in &mut tenant.jobs {
                 if matches!(job.state, oef_cluster::JobState::Runnable)
@@ -332,9 +402,10 @@ impl SimulationEngine {
             }
         }
 
-        let devices_held: Vec<usize> =
-            active.iter().map(|&l| counts[l].iter().sum()).collect();
-        (actual, devices_held)
+        self.scratch.devices_held.clear();
+        self.scratch
+            .devices_held
+            .extend(active.iter().map(|&l| counts[l].iter().sum::<usize>()));
     }
 }
 
@@ -363,7 +434,15 @@ mod tests {
             for j in 0..jobs_per_tenant {
                 state.submit_job(
                     id,
-                    Job::new(JobId(0), id, "model", 1 + (j % 2), speedup.clone(), work, 0.0),
+                    Job::new(
+                        JobId(0),
+                        id,
+                        "model",
+                        1 + (j % 2),
+                        speedup.clone(),
+                        work,
+                        0.0,
+                    ),
                 );
             }
         }
@@ -388,9 +467,16 @@ mod tests {
         let mut engine = SimulationEngine::new(state, SimulationConfig::default());
         let report = engine.run(&NonCooperativeOef::default(), 5).unwrap();
         let last = report.rounds.last().unwrap();
-        let eff: Vec<f64> = last.tenants.iter().map(|t| t.estimated_throughput).collect();
+        let eff: Vec<f64> = last
+            .tenants
+            .iter()
+            .map(|t| t.estimated_throughput)
+            .collect();
         for e in &eff {
-            assert!((e - eff[0]).abs() < 1e-6, "estimated throughput not equalised: {eff:?}");
+            assert!(
+                (e - eff[0]).abs() < 1e-6,
+                "estimated throughput not equalised: {eff:?}"
+            );
         }
     }
 
@@ -404,8 +490,14 @@ mod tests {
         assert!(act > 0.0);
         // Rounding moves throughput between rounds but cannot create devices; over a
         // window the actual total stays in the same ballpark as the estimate.
-        assert!(act <= est * 1.35 + 1e-6, "actual {act} unexpectedly above estimate {est}");
-        assert!(act >= est * 0.5, "actual {act} collapsed versus estimate {est}");
+        assert!(
+            act <= est * 1.35 + 1e-6,
+            "actual {act} unexpectedly above estimate {est}"
+        );
+        assert!(
+            act >= est * 0.5,
+            "actual {act} collapsed versus estimate {est}"
+        );
     }
 
     #[test]
@@ -424,7 +516,10 @@ mod tests {
     #[test]
     fn fluid_mode_matches_estimated_exactly() {
         let state = small_state(3, 2, 1e9);
-        let config = SimulationConfig { physical_placement: false, ..Default::default() };
+        let config = SimulationConfig {
+            physical_placement: false,
+            ..Default::default()
+        };
         let mut engine = SimulationEngine::new(state, config);
         let report = engine.run(&MaxMin::default(), 3).unwrap();
         for round in &report.rounds {

@@ -72,7 +72,13 @@ impl JctStats {
     /// Computes statistics from raw JCTs; returns zeros when no job has finished.
     pub fn from_jcts(mut jcts: Vec<f64>) -> Self {
         if jcts.is_empty() {
-            return Self { finished_jobs: 0, mean_secs: 0.0, p50_secs: 0.0, p95_secs: 0.0, max_secs: 0.0 };
+            return Self {
+                finished_jobs: 0,
+                mean_secs: 0.0,
+                p50_secs: 0.0,
+                p95_secs: 0.0,
+                max_secs: 0.0,
+            };
         }
         jcts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let n = jcts.len();
@@ -111,23 +117,41 @@ impl SimulationReport {
     /// Average total estimated throughput over rounds that had at least one active
     /// tenant.
     pub fn avg_total_estimated(&self) -> f64 {
-        average(self.rounds.iter().filter(|r| !r.tenants.is_empty()).map(RoundRecord::total_estimated))
+        average(
+            self.rounds
+                .iter()
+                .filter(|r| !r.tenants.is_empty())
+                .map(RoundRecord::total_estimated),
+        )
     }
 
     /// Average total actual throughput over rounds that had at least one active tenant.
     pub fn avg_total_actual(&self) -> f64 {
-        average(self.rounds.iter().filter(|r| !r.tenants.is_empty()).map(RoundRecord::total_actual))
+        average(
+            self.rounds
+                .iter()
+                .filter(|r| !r.tenants.is_empty())
+                .map(RoundRecord::total_actual),
+        )
     }
 
     /// Average actual throughput of one tenant over the rounds in which it was active.
     pub fn avg_tenant_actual(&self, tenant: usize) -> f64 {
-        average(self.rounds.iter().filter_map(|r| r.tenant(tenant).map(|t| t.actual_throughput)))
+        average(
+            self.rounds
+                .iter()
+                .filter_map(|r| r.tenant(tenant).map(|t| t.actual_throughput)),
+        )
     }
 
     /// Average estimated throughput of one tenant over the rounds in which it was
     /// active.
     pub fn avg_tenant_estimated(&self, tenant: usize) -> f64 {
-        average(self.rounds.iter().filter_map(|r| r.tenant(tenant).map(|t| t.estimated_throughput)))
+        average(
+            self.rounds
+                .iter()
+                .filter_map(|r| r.tenant(tenant).map(|t| t.estimated_throughput)),
+        )
     }
 
     /// Time series `(time, actual_throughput)` of one tenant (Fig. 4 / Fig. 5(b)).
@@ -209,7 +233,12 @@ mod tests {
             round_secs: 300.0,
             rounds: vec![
                 record(0, &[1.0, 1.0], &[1.0, 0.5]),
-                RoundRecord { round: 1, time_secs: 300.0, solver_time_secs: 0.0, tenants: vec![] },
+                RoundRecord {
+                    round: 1,
+                    time_secs: 300.0,
+                    solver_time_secs: 0.0,
+                    tenants: vec![],
+                },
                 record(2, &[3.0, 1.0], &[2.0, 0.5]),
             ],
             straggler: StragglerStats::default(),

@@ -36,7 +36,10 @@ pub struct Scenario {
 impl Scenario {
     /// Starts a scenario on the given topology.
     pub fn new(topology: ClusterTopology) -> Self {
-        Self { topology, tenants: Vec::new() }
+        Self {
+            topology,
+            tenants: Vec::new(),
+        }
     }
 
     /// Starts a scenario on the paper's 24-GPU cluster.
@@ -70,7 +73,10 @@ impl Scenario {
     ///
     /// Panics if no tenant has been added yet.
     pub fn with_weight(mut self, weight: u32) -> Self {
-        self.tenants.last_mut().expect("with_weight requires a tenant").weight = weight;
+        self.tenants
+            .last_mut()
+            .expect("with_weight requires a tenant")
+            .weight = weight;
         self
     }
 
@@ -88,8 +94,9 @@ impl Scenario {
     pub fn build(&self) -> ClusterState {
         let mut state = ClusterState::new(self.topology.clone());
         for spec in &self.tenants {
-            let id = state
-                .add_tenant(Tenant::new(0, spec.name.clone(), spec.speedup.clone()).with_weight(spec.weight));
+            let id = state.add_tenant(
+                Tenant::new(0, spec.name.clone(), spec.speedup.clone()).with_weight(spec.weight),
+            );
             for _ in 0..spec.num_jobs {
                 state.submit_job(
                     id,
@@ -190,13 +197,8 @@ mod tests {
 
     #[test]
     fn scenario_accessors() {
-        let scenario = Scenario::on_paper_cluster().with_tenant(
-            "a",
-            sv(vec![1.0, 1.2, 1.4]),
-            1,
-            1,
-            10.0,
-        );
+        let scenario =
+            Scenario::on_paper_cluster().with_tenant("a", sv(vec![1.0, 1.2, 1.4]), 1, 1, 10.0);
         assert_eq!(scenario.tenants().len(), 1);
         assert_eq!(scenario.topology().total_devices(), 24);
     }

@@ -163,9 +163,15 @@ mod tests {
         assert_eq!(catalog.models().len(), 6);
         assert_eq!(catalog.num_gpu_types(), 3);
         let vgg = catalog.by_name("vgg16").unwrap();
-        assert!((vgg.base_speedup[2] - 1.39).abs() < 1e-12, "Fig. 1(a): VGG 1.39x on 3090");
+        assert!(
+            (vgg.base_speedup[2] - 1.39).abs() < 1e-12,
+            "Fig. 1(a): VGG 1.39x on 3090"
+        );
         let lstm = catalog.by_name("lstm").unwrap();
-        assert!((lstm.base_speedup[2] - 2.15).abs() < 1e-12, "Fig. 1(a): LSTM 2.15x on 3090");
+        assert!(
+            (lstm.base_speedup[2] - 2.15).abs() < 1e-12,
+            "Fig. 1(a): LSTM 2.15x on 3090"
+        );
         assert!(catalog.by_name("nonexistent").is_none());
     }
 
@@ -186,7 +192,10 @@ mod tests {
 
     #[test]
     fn jitter_is_bounded_and_deterministic() {
-        let model = ModelCatalog::paper_catalog().by_name("resnet50").unwrap().clone();
+        let model = ModelCatalog::paper_catalog()
+            .by_name("resnet50")
+            .unwrap()
+            .clone();
         let a = model.speedup_with_jitter(0.1, 42).unwrap();
         let b = model.speedup_with_jitter(0.1, 42).unwrap();
         assert_eq!(a, b);

@@ -69,7 +69,12 @@ impl TraceConfig {
     /// The configuration used for the throughput experiments (§6.3.1): 20 tenants, each
     /// owning jobs of a single type.
     pub fn throughput_experiment() -> Self {
-        Self { num_tenants: 20, jobs_per_tenant: 10, multi_model_fraction: 0.0, ..Self::default() }
+        Self {
+            num_tenants: 20,
+            jobs_per_tenant: 10,
+            multi_model_fraction: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -83,7 +88,10 @@ pub struct PhillyTraceGenerator {
 impl PhillyTraceGenerator {
     /// Creates a generator with the given configuration and the paper's model catalogue.
     pub fn new(config: TraceConfig) -> Self {
-        Self { config, catalog: ModelCatalog::paper_catalog() }
+        Self {
+            config,
+            catalog: ModelCatalog::paper_catalog(),
+        }
     }
 
     /// Configuration in use.
@@ -103,19 +111,25 @@ impl PhillyTraceGenerator {
 
         let mut tenants = Vec::with_capacity(cfg.num_tenants);
         for t in 0..cfg.num_tenants {
-            let primary = self.catalog.pick(cfg.seed.wrapping_add(t as u64 * 7919)).clone();
+            let primary = self
+                .catalog
+                .pick(cfg.seed.wrapping_add(t as u64 * 7919))
+                .clone();
             let mixes_models = rng.gen_bool(cfg.multi_model_fraction.clamp(0.0, 1.0));
             let secondary = if mixes_models {
-                Some(self.catalog.pick(cfg.seed.wrapping_add(t as u64 * 104729 + 13)).clone())
+                Some(
+                    self.catalog
+                        .pick(cfg.seed.wrapping_add(t as u64 * 104729 + 13))
+                        .clone(),
+                )
             } else {
                 None
             };
 
             // Number of jobs: Poisson-ish around jobs_per_tenant (±50%).
-            let job_count = ((cfg.jobs_per_tenant as f64)
-                * rng.gen_range(0.5..1.5))
-            .round()
-            .max(1.0) as usize;
+            let job_count = ((cfg.jobs_per_tenant as f64) * rng.gen_range(0.5..1.5))
+                .round()
+                .max(1.0) as usize;
 
             let mut jobs = Vec::with_capacity(job_count);
             let mut arrival = 0.0f64;
@@ -153,10 +167,17 @@ impl PhillyTraceGenerator {
                 });
             }
 
-            tenants.push(TraceTenant { name: format!("tenant-{t}"), weight: 1, jobs });
+            tenants.push(TraceTenant {
+                name: format!("tenant-{t}"),
+                weight: 1,
+                jobs,
+            });
         }
 
-        Trace { tenants, num_gpu_types: self.catalog.num_gpu_types() }
+        Trace {
+            tenants,
+            num_gpu_types: self.catalog.num_gpu_types(),
+        }
     }
 }
 
@@ -174,11 +195,18 @@ mod tests {
 
     #[test]
     fn respects_tenant_count_and_rough_job_count() {
-        let cfg = TraceConfig { num_tenants: 12, jobs_per_tenant: 8, ..Default::default() };
+        let cfg = TraceConfig {
+            num_tenants: 12,
+            jobs_per_tenant: 8,
+            ..Default::default()
+        };
         let trace = PhillyTraceGenerator::new(cfg).generate();
         assert_eq!(trace.tenants.len(), 12);
         let jobs = trace.num_jobs();
-        assert!(jobs >= 12 * 4 && jobs <= 12 * 12, "job count {jobs} out of range");
+        assert!(
+            (12 * 4..=12 * 12).contains(&jobs),
+            "job count {jobs} out of range"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Trace {
 
     /// Total amount of work in the trace, in slow-GPU seconds.
     pub fn total_work(&self) -> f64 {
-        self.tenants.iter().flat_map(|t| t.jobs.iter().map(|j| j.total_work)).sum()
+        self.tenants
+            .iter()
+            .flat_map(|t| t.jobs.iter().map(|j| j.total_work))
+            .sum()
     }
 
     /// Representative (first-job) speedup vector of each tenant, used when a scheduler

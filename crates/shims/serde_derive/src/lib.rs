@@ -1,0 +1,326 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly the shapes this workspace serializes: structs with named
+//! fields, newtype (single-field tuple) structs, and fieldless enums.  The
+//! input is parsed directly from the token stream (no `syn`), which is enough
+//! because the supported grammar is tiny; unsupported shapes fail the build
+//! with an explicit message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct Name { a: A, b: B }` — serialized as an object.
+    Named { name: String, fields: Vec<String> },
+    /// `struct Name(Inner);` — serialized transparently as the inner value.
+    Newtype { name: String },
+    /// `struct Name;` — serialized as `null`.
+    Unit { name: String },
+    /// `enum Name { A, B }` — serialized as the variant name string.
+    FieldlessEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments).
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(_)) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    // Skip visibility (`pub`, `pub(crate)`, ...).
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type `{name}`)");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            return Shape::Unit { name };
+        }
+        None if kind == "struct" => return Shape::Unit { name },
+        other => panic!(
+            "serde shim derive: expected type body for `{name}`, found `{:?}`",
+            other.map(ToString::to_string)
+        ),
+    };
+
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named {
+            fields: parse_named_fields(body.stream(), &name),
+            name,
+        },
+        ("struct", Delimiter::Parenthesis) => {
+            let arity = tuple_arity(body.stream());
+            if arity != 1 {
+                panic!(
+                    "serde shim derive: tuple struct `{name}` has {arity} fields; \
+                     only single-field newtypes are supported"
+                );
+            }
+            Shape::Newtype { name }
+        }
+        ("enum", Delimiter::Brace) => Shape::FieldlessEnum {
+            variants: parse_variants(body.stream(), &name),
+            name,
+        },
+        _ => panic!("serde shim derive: unsupported shape for `{name}`"),
+    }
+}
+
+/// Collects field names from a named-struct body, skipping attributes,
+/// visibility and type tokens (commas inside `<...>` or delimiter groups do
+/// not split fields).
+fn parse_named_fields(stream: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes.
+        while i + 1 < tokens.len() {
+            match (&tokens[i], &tokens[i + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(_)) if p.as_char() == '#' => i += 2,
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Skip visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde shim derive: expected field name in `{type_name}`, found `{other}`")
+            }
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde shim derive: expected `:` after `{type_name}.{field}`, found `{other}`"
+            ),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream, type_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while i + 1 < tokens.len() {
+            match (&tokens[i], &tokens[i + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(_)) if p.as_char() == '#' => i += 2,
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                panic!("serde shim derive: expected variant name in `{type_name}`, found `{other}`")
+            }
+        };
+        i += 1;
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                TokenTree::Group(_) => panic!(
+                    "serde shim derive: enum `{type_name}` variant `{variant}` carries data; \
+                     only fieldless enums are supported"
+                ),
+                other => {
+                    panic!("serde shim derive: unexpected token `{other}` in enum `{type_name}`")
+                }
+            }
+        }
+        variants.push(variant);
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (shim) for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let mut pushes = String::new();
+            for field in &fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::serialize(&self.{field})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::with_capacity({len});\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}",
+                len = fields.len(),
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Unit { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Null\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::FieldlessEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (shim) for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_shape(input) {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for field in &fields {
+                inits.push_str(&format!(
+                    "{field}: ::serde::Deserialize::deserialize(\
+                     ::serde::get_field(__fields, \"{field}\")?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __fields = __value.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Unit { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(_value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::FieldlessEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __variant = __value.as_str().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected variant string for {name}\"))?;\n\
+                         match __variant {{\n{arms}\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,361 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`], [`from_str`], the [`json!`] macro and a displayable
+//! [`Value`].  Backed by the `serde` shim's [`serde::Value`] tree.
+
+pub use serde::Error;
+
+/// JSON value — re-uses the serde shim's self-describing tree.
+pub type Value = serde::Value;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] (used by [`json!`]).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float (JSON cannot
+/// represent NaN or infinities).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize().write_json(&mut out)?;
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or when the parsed tree does not match
+/// the target type's shape.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::deserialize(&value)
+}
+
+/// Builds a [`Value`] from an object / array / expression literal.
+///
+/// Supports nested objects with literal string keys, nested arrays, `null`,
+/// and arbitrary serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    // --- internal: object entry muncher, accumulating built pairs -------
+    (@object [$($done:expr),*]) => {
+        $crate::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([$($done),*])))
+    };
+    (@object [$($done:expr),*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::Value::Null)] $($rest)*)
+    };
+    (@object [$($done:expr),*] $key:literal : null) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::Value::Null)])
+    };
+    (@object [$($done:expr),*] $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::json!({ $($inner)* }))] $($rest)*)
+    };
+    (@object [$($done:expr),*] $key:literal : { $($inner:tt)* }) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::json!({ $($inner)* }))])
+    };
+    (@object [$($done:expr),*] $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::json!([ $($inner)* ]))] $($rest)*)
+    };
+    (@object [$($done:expr),*] $key:literal : [ $($inner:tt)* ]) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::json!([ $($inner)* ]))])
+    };
+    (@object [$($done:expr),*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::to_value(&$value))] $($rest)*)
+    };
+    (@object [$($done:expr),*] $key:literal : $value:expr) => {
+        $crate::json!(@object [$($done,)* (::std::string::String::from($key), $crate::to_value(&$value))])
+    };
+    // --- internal: array element muncher --------------------------------
+    (@array [$($done:expr),*]) => {
+        $crate::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([$($done),*])))
+    };
+    (@array [$($done:expr),*] null , $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::Value::Null] $($rest)*)
+    };
+    (@array [$($done:expr),*] null) => {
+        $crate::json!(@array [$($done,)* $crate::Value::Null])
+    };
+    (@array [$($done:expr),*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::json!({ $($inner)* })] $($rest)*)
+    };
+    (@array [$($done:expr),*] { $($inner:tt)* }) => {
+        $crate::json!(@array [$($done,)* $crate::json!({ $($inner)* })])
+    };
+    (@array [$($done:expr),*] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::json!([ $($inner)* ])] $($rest)*)
+    };
+    (@array [$($done:expr),*] [ $($inner:tt)* ]) => {
+        $crate::json!(@array [$($done,)* $crate::json!([ $($inner)* ])])
+    };
+    (@array [$($done:expr),*] $value:expr , $($rest:tt)*) => {
+        $crate::json!(@array [$($done,)* $crate::to_value(&$value)] $($rest)*)
+    };
+    (@array [$($done:expr),*] $value:expr) => {
+        $crate::json!(@array [$($done,)* $crate::to_value(&$value)])
+    };
+    // --- public entry points --------------------------------------------
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => { $crate::json!(@object [] $($tt)*) };
+    ([ $($tt:tt)* ]) => { $crate::json!(@array [] $($tt)*) };
+    ($value:expr) => { $crate::to_value(&$value) };
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::custom(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid keyword at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number encoding"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(Error::custom("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::custom("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::custom("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this workspace's data.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we just consumed.
+                    let rest = &self.bytes[self.pos - 1..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::custom("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_containers() {
+        let v = json!({
+            "name": "oef",
+            "count": 3usize,
+            "ratio": 1.5f64,
+            "flags": vec![true, false],
+            "missing": Value::Null,
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::Str("line\n\"quoted\"\tend".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0, -2.5e-8, 1e20, 0.66] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

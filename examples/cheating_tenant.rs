@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &[1.2, 1.4, 2.0],
             1e-6,
         )?;
-        let honest = policy.allocate(&cluster, &truth)?.user_efficiency(0, &truth);
+        let honest = policy
+            .allocate(&cluster, &truth)?
+            .user_efficiency(0, &truth);
         let best_cheating = honest * (1.0 + report.max_relative_gain);
         println!(
             "{:<22} {:>14.3} {:>16.3} {:>10}",

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for policy in &policies {
         let state = Scenario::from_trace(ClusterTopology::paper_cluster(), &trace);
-        let config = SimulationConfig { round_secs: 600.0, ..Default::default() };
+        let config = SimulationConfig {
+            round_secs: 600.0,
+            ..Default::default()
+        };
         let mut engine = SimulationEngine::new(state, config);
         let report = engine.run_until_complete(policy.as_ref(), 6 * 48)?;
         println!(

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weighted = WeightedOef::new(OefMode::NonCooperative);
     let allocation = weighted.allocate_weighted(&cluster, &speedups, &weights)?;
     println!("Weighted non-cooperative OEF (weights {weights:?}):");
-    for (t, name) in ["dev-vgg", "prod-lstm (w=2)", "dev-resnet"].iter().enumerate() {
+    for (t, name) in ["dev-vgg", "prod-lstm (w=2)", "dev-resnet"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "  {:<18} throughput {:>7.3}   shares {:?}",
             name,
@@ -49,8 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let multi = MultiJobOef::new(OefMode::NonCooperative);
     let result = multi.allocate(&cluster, &tenants)?;
     println!("Multi-job-type non-cooperative OEF:");
-    for (t, name) in
-        ["sweeper (vgg+transformer)", "lstm tenant", "resnet tenant"].iter().enumerate()
+    for (t, name) in ["sweeper (vgg+transformer)", "lstm tenant", "resnet tenant"]
+        .iter()
+        .enumerate()
     {
         println!(
             "  {:<28} tenant throughput {:>7.3}",

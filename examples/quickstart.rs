@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(NonCooperativeOef::default()),
     ];
 
-    println!("{:<22} {:>11} {:>12} {:>10}", "policy", "user1(VGG)", "user2(LSTM)", "total");
+    println!(
+        "{:<22} {:>11} {:>12} {:>10}",
+        "policy", "user1(VGG)", "user2(LSTM)", "total"
+    );
     for policy in &policies {
         let allocation = policy.allocate(&cluster, &speedups)?;
         let eff = allocation.user_efficiencies(&speedups);
@@ -37,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eff[1],
             allocation.total_efficiency(&speedups)
         );
-        println!("    allocation matrix: {:?}", allocation.iter().collect::<Vec<_>>());
+        println!(
+            "    allocation matrix: {:?}",
+            allocation.iter().collect::<Vec<_>>()
+        );
     }
 
     println!(

@@ -25,9 +25,14 @@ fn every_policy_survives_a_trace_replay() {
     let trace = PhillyTraceGenerator::new(small_trace_config()).generate();
     for policy in all_policies() {
         let state = Scenario::from_trace(ClusterTopology::paper_cluster(), &trace);
-        let config = SimulationConfig { round_secs: 600.0, ..Default::default() };
+        let config = SimulationConfig {
+            round_secs: 600.0,
+            ..Default::default()
+        };
         let mut engine = SimulationEngine::new(state, config);
-        let report = engine.run(policy.as_ref(), 12).expect("simulation must not fail");
+        let report = engine
+            .run(policy.as_ref(), 12)
+            .expect("simulation must not fail");
         assert_eq!(report.rounds.len(), 12);
         assert!(
             report.avg_total_actual() > 0.0,
@@ -51,9 +56,16 @@ fn oef_beats_baselines_on_throughput_in_cooperative_setting() {
     // least as high as Gandiva_fair's and Gavel's on a skewed tenant mix.
     let catalog = ModelCatalog::paper_catalog();
     let mut scenario = Scenario::on_paper_cluster();
-    for (i, name) in ["vgg16", "lstm", "transformer", "rnn", "densenet121", "resnet50"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "vgg16",
+        "lstm",
+        "transformer",
+        "rnn",
+        "densenet121",
+        "resnet50",
+    ]
+    .iter()
+    .enumerate()
     {
         let speedup = catalog.by_name(name).unwrap().speedup().unwrap();
         scenario = scenario.with_tenant(format!("tenant-{i}"), speedup, 3, 2, 1e12);
@@ -85,7 +97,10 @@ fn strategy_proofness_shows_up_in_the_simulator() {
     let catalog = ModelCatalog::paper_catalog();
     let build = || {
         let mut scenario = Scenario::on_paper_cluster();
-        for (i, name) in ["vgg16", "lstm", "resnet50", "transformer"].iter().enumerate() {
+        for (i, name) in ["vgg16", "lstm", "resnet50", "transformer"]
+            .iter()
+            .enumerate()
+        {
             let speedup = catalog.by_name(name).unwrap().speedup().unwrap();
             scenario = scenario.with_tenant(format!("tenant-{i}"), speedup, 3, 2, 1e12);
         }
@@ -98,7 +113,10 @@ fn strategy_proofness_shows_up_in_the_simulator() {
     let honest = honest_engine.run(&policy, 10).unwrap();
 
     let mut cheating_engine = SimulationEngine::new(build(), SimulationConfig::default());
-    cheating_engine.state_mut().tenant_mut(0).cheat_with_factor(1.6);
+    cheating_engine
+        .state_mut()
+        .tenant_mut(0)
+        .cheat_with_factor(1.6);
     let cheating = cheating_engine.run(&policy, 10).unwrap();
 
     let honest_tput = honest.avg_tenant_estimated(0);
@@ -115,7 +133,10 @@ fn departures_rebalance_throughput() {
     // increases (they split the freed resources).
     let catalog = ModelCatalog::paper_catalog();
     let mut scenario = Scenario::on_paper_cluster();
-    for (i, name) in ["vgg16", "lstm", "resnet50", "transformer"].iter().enumerate() {
+    for (i, name) in ["vgg16", "lstm", "resnet50", "transformer"]
+        .iter()
+        .enumerate()
+    {
         let speedup = catalog.by_name(name).unwrap().speedup().unwrap();
         scenario = scenario.with_tenant(format!("tenant-{i}"), speedup, 3, 2, 1e12);
     }
@@ -131,8 +152,13 @@ fn departures_rebalance_throughput() {
     }
     let report = engine.report(policy.name());
     let after_series = report.tenant_timeseries(0);
-    let after: f64 =
-        after_series.iter().rev().take(4).map(|(_, v)| *v).sum::<f64>() / 4.0;
+    let after: f64 = after_series
+        .iter()
+        .rev()
+        .take(4)
+        .map(|(_, v)| *v)
+        .sum::<f64>()
+        / 4.0;
     // Estimated throughput comparison needs the estimated series; use averages instead:
     // the last-4-round actual average should exceed the first-4-round estimated average
     // is too placement-noisy, so compare estimated directly.

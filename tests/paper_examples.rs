@@ -1,7 +1,9 @@
 //! Integration tests replaying the worked examples of the paper's text end-to-end
 //! through the public facade crate (`oef`).
 
-use oef::core::{fairness, AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix};
+use oef::core::{
+    fairness, AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix,
+};
 use oef::schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
 
 fn two_gpu_cluster() -> ClusterSpec {
@@ -34,13 +36,21 @@ fn section_24_gavel_matches_expression_3_shape() {
     let gavel = Gavel::default().allocate(&cluster, &w).unwrap();
     let gandiva = GandivaFair::default().allocate(&cluster, &w).unwrap();
     let coop = CooperativeOef::default().allocate(&cluster, &w).unwrap();
-    let fair: Vec<f64> =
-        (0..3).map(|l| w.user(l).dot(&cluster.equal_share(3))).collect();
-    let ratios: Vec<f64> =
-        (0..3).map(|l| gavel.user_efficiency(l, &w) / fair[l]).collect();
+    let fair: Vec<f64> = (0..3)
+        .map(|l| w.user(l).dot(&cluster.equal_share(3)))
+        .collect();
+    let ratios: Vec<f64> = (0..3)
+        .map(|l| gavel.user_efficiency(l, &w) / fair[l])
+        .collect();
     for r in &ratios {
-        assert!((r - ratios[0]).abs() < 0.05, "Gavel ratios not equalised: {ratios:?}");
-        assert!(*r >= 1.0 - 1e-6, "Gavel is sharing-incentive by construction");
+        assert!(
+            (r - ratios[0]).abs() < 0.05,
+            "Gavel ratios not equalised: {ratios:?}"
+        );
+        assert!(
+            *r >= 1.0 - 1e-6,
+            "Gavel is sharing-incentive by construction"
+        );
     }
     // Both heterogeneity-aware baselines land within a few percent of each other
     // (4.3-4.45 in total efficiency here) and both stay clearly below the envy-free
@@ -78,9 +88,7 @@ fn section_311_expression_5_pure_efficiency_is_unfair() {
             < 1e-9
     );
     assert!(!fairness::check_envy_freeness(&allocation, &w, 1e-9).envy_free);
-    assert!(
-        !fairness::check_sharing_incentive(&allocation, &w, &cluster, 1e-9).sharing_incentive
-    );
+    assert!(!fairness::check_sharing_incentive(&allocation, &w, &cluster, 1e-9).sharing_incentive);
 }
 
 #[test]
@@ -114,7 +122,8 @@ fn table_1_property_matrix() {
     assert!(!gandiva.envy.envy_free);
     assert!(!gandiva.strategy.strategy_proof);
 
-    let coop = fairness::evaluate_policy(&CooperativeOef::default(), &cluster, &w, &probes).unwrap();
+    let coop =
+        fairness::evaluate_policy(&CooperativeOef::default(), &cluster, &w, &probes).unwrap();
     assert!(coop.envy.envy_free);
     assert!(coop.sharing.sharing_incentive);
     assert!(coop.pareto.pareto_efficient);
@@ -132,8 +141,8 @@ fn table_1_property_matrix() {
 #[test]
 fn theorem_52_adjacent_gpu_types_across_policies_and_instances() {
     // OEF allocations only assign adjacent GPU types to each user (Theorem 5.2).
-    let cluster = ClusterSpec::homogeneous_counts(&["a", "b", "c", "d"], &[3.0, 3.0, 3.0, 3.0])
-        .unwrap();
+    let cluster =
+        ClusterSpec::homogeneous_counts(&["a", "b", "c", "d"], &[3.0, 3.0, 3.0, 3.0]).unwrap();
     let w = SpeedupMatrix::from_rows(vec![
         vec![1.0, 1.1, 1.2, 1.3],
         vec![1.0, 1.4, 1.9, 2.4],

@@ -16,10 +16,7 @@ fn instance() -> impl Strategy<Value = (ClusterSpec, SpeedupMatrix)> {
         let growth = proptest::collection::vec(proptest::collection::vec(1.02f64..2.2, k - 1), n);
         (capacities, growth).prop_map(move |(capacities, growth)| {
             let names: Vec<String> = (0..k).map(|j| format!("type{j}")).collect();
-            let cluster = ClusterSpec::new(
-                names.into_iter().zip(capacities.into_iter()).collect(),
-            )
-            .unwrap();
+            let cluster = ClusterSpec::new(names.into_iter().zip(capacities).collect()).unwrap();
             let rows: Vec<Vec<f64>> = growth
                 .into_iter()
                 .map(|g| {
@@ -89,8 +86,18 @@ proptest! {
         let maxmin = MaxMin::default().allocate(&cluster, &speedups).unwrap();
         let gavel = Gavel::default().allocate(&cluster, &speedups).unwrap();
         let coop_total = coop.total_efficiency(&speedups);
+        // Max-min's equal split is identical across users, hence envy-free, hence a
+        // feasible point of the cooperative program: domination is a theorem.
         prop_assert!(coop_total >= maxmin.total_efficiency(&speedups) - 1e-5);
-        prop_assert!(coop_total >= gavel.total_efficiency(&speedups) - 1e-4);
+        // Gavel's equalised-ratio allocation is NOT envy-free in general, so its total
+        // can exceed the EF-constrained optimum on some instances (the paper's claim
+        // that coop OEF beats Gavel is empirical, over its workloads).  Whenever
+        // Gavel's allocation happens to be envy-free it lies inside the cooperative
+        // feasible region and domination must hold exactly.
+        let gavel_envy = fairness::check_envy_freeness(&gavel, &speedups, 1e-6);
+        if gavel_envy.envy_free {
+            prop_assert!(coop_total >= gavel.total_efficiency(&speedups) - 1e-4);
+        }
         // And it never exceeds the unconstrained optimum.
         prop_assert!(coop_total <= fairness::max_total_efficiency(&cluster, &speedups) + 1e-6);
     }
