@@ -1,0 +1,190 @@
+//! `service_soak` — load-generates against the online scheduling daemon.
+//!
+//! Spawns an in-process `oef-service` daemon on an ephemeral loopback port,
+//! derives a steady-state churn stream (joins, job submissions, periodic
+//! re-profiles, leaves) from a Philly-like trace, and replays it over real
+//! TCP: every round the driver applies that round's churn events and then
+//! ticks.  The run exercises exactly the path the ISSUE's north star cares
+//! about — the warm-started per-round LP hot path under dynamic multi-tenant
+//! conditions — and writes `BENCH_service.json` at the workspace root with
+//! commands/sec, p50/p99 round-solve latency and the warm-start hit rate.
+//!
+//! The trace is *steady-state churny*: tenants join over the first ~50 rounds
+//! and leave near the end, so most rounds re-solve an unchanged LP shape
+//! (warm) while joins/leaves force a cold re-factorization.  The acceptance
+//! bar is a warm-start hit rate above 90%.
+
+use oef_cluster::ClusterTopology;
+use oef_service::{SchedulerService, Server, ServiceClient, ServiceConfig, ServiceLimits};
+use oef_workloads::{ChurnConfig, ChurnEventKind, ChurnTrace, PhillyTraceGenerator, TraceConfig};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Scheduling rounds tenants keep arriving over (the churn warm-up window).
+const ARRIVAL_ROUNDS: usize = 50;
+/// Rounds a tenant lingers past its last arrival — pushes leaves to the end
+/// of the run and sets the overall horizon (~500 rounds).
+const LINGER_ROUNDS: usize = 450;
+/// Seconds per scheduling round (as in the paper).
+const ROUND_SECS: f64 = 300.0;
+
+fn churn_trace(tenants: usize, seed: u64) -> ChurnTrace {
+    let trace = PhillyTraceGenerator::new(TraceConfig {
+        num_tenants: tenants,
+        jobs_per_tenant: 10,
+        duration_secs: ARRIVAL_ROUNDS as f64 * ROUND_SECS,
+        // Heavily over-subscribed so every tenant stays busy (and therefore
+        // schedulable) for the whole horizon: the soak measures the solver
+        // hot path, not job completions.
+        contention: 60.0,
+        cluster_devices: 24,
+        speedup_jitter: 0.05,
+        multi_model_fraction: 0.1,
+        seed,
+    })
+    .generate();
+    ChurnTrace::from_trace(
+        &trace,
+        &ChurnConfig {
+            round_secs: ROUND_SECS,
+            linger_rounds: LINGER_ROUNDS,
+            reprofile_every_rounds: 24,
+            reprofile_jitter: 0.03,
+        },
+    )
+}
+
+fn main() {
+    let mut tenants = 20usize;
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next()) {
+            ("--tenants", Some(v)) => tenants = v.parse().expect("--tenants wants a number"),
+            ("--seed", Some(v)) => seed = v.parse().expect("--seed wants a number"),
+            (other, _) => panic!("unknown flag `{other}` (supported: --tenants N, --seed S)"),
+        }
+    }
+
+    let churn = churn_trace(tenants, seed);
+    println!(
+        "soak: {} tenants, {} churn events over {} rounds",
+        tenants,
+        churn.num_events(),
+        churn.rounds
+    );
+
+    let config = ServiceConfig {
+        policy: "oef-noncooperative".to_string(),
+        round_secs: ROUND_SECS,
+        physical_placement: true,
+        limits: ServiceLimits {
+            max_tenants: tenants + 8,
+            max_jobs_per_tenant: 512,
+            max_hosts: 64,
+            queue_capacity: 256,
+        },
+    };
+    let service =
+        SchedulerService::new(ClusterTopology::paper_cluster(), config).expect("service builds");
+    let server = Server::spawn(service, "127.0.0.1:0").expect("daemon binds loopback");
+    let addr = server.local_addr();
+    println!("soak: daemon on {addr}");
+
+    let mut client = ServiceClient::connect(addr).expect("client connects");
+    let mut handles: HashMap<String, u64> = HashMap::new();
+    let mut commands = 0u64;
+    let mut warm_ticks = 0u64;
+    let mut solved_ticks = 0u64;
+    let started = Instant::now();
+
+    for round in 0..churn.rounds {
+        for event in churn.events_at(round) {
+            match &event.kind {
+                ChurnEventKind::Join { weight, speedup } => {
+                    let handle = client
+                        .join(&event.tenant, *weight, speedup)
+                        .expect("join accepted");
+                    handles.insert(event.tenant.clone(), handle);
+                }
+                ChurnEventKind::Leave => {
+                    let handle = handles.remove(&event.tenant).expect("tenant joined");
+                    client.leave(handle).expect("leave accepted");
+                }
+                ChurnEventKind::UpdateSpeedups { speedup } => {
+                    let handle = handles[&event.tenant];
+                    client
+                        .update_speedups(handle, speedup)
+                        .expect("update accepted");
+                }
+                ChurnEventKind::SubmitJob(job) => {
+                    let handle = handles[&event.tenant];
+                    client
+                        .submit_job(handle, &job.model, job.workers, job.total_work)
+                        .expect("submit accepted");
+                }
+            }
+            commands += 1;
+        }
+        let summary = client.tick().expect("tick succeeds");
+        commands += 1;
+        if !summary.tenants.is_empty() {
+            solved_ticks += 1;
+            if summary.warm_start {
+                warm_ticks += 1;
+            }
+        }
+    }
+
+    let metrics = client.metrics().expect("metrics readable");
+    commands += 1;
+    let elapsed = started.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown acknowledged");
+    server.join();
+
+    let commands_per_sec = commands as f64 / elapsed;
+    let tick_warm_rate = if solved_ticks == 0 {
+        0.0
+    } else {
+        warm_ticks as f64 / solved_ticks as f64
+    };
+    println!(
+        "soak: {commands} commands in {elapsed:.2}s ({commands_per_sec:.0}/s), \
+         {} rounds solved, warm hit rate {:.1}% (tick-level {:.1}%), \
+         solve p50 {:.6}s p99 {:.6}s",
+        metrics.rounds_solved,
+        metrics.warm_hit_rate * 100.0,
+        tick_warm_rate * 100.0,
+        metrics.solve_p50_secs,
+        metrics.solve_p99_secs,
+    );
+
+    let doc = serde_json::json!({
+        "experiment": "service_soak",
+        "policy": "oef-noncooperative",
+        "tenants": tenants,
+        "rounds": churn.rounds,
+        "churn_events": churn.num_events(),
+        "commands": commands,
+        "elapsed_secs": elapsed,
+        "commands_per_sec": commands_per_sec,
+        "rounds_solved": metrics.rounds_solved,
+        "warm_solves": metrics.warm_solves,
+        "cold_solves": metrics.cold_solves,
+        "warm_hit_rate": metrics.warm_hit_rate,
+        "tick_warm_rate": tick_warm_rate,
+        "solve_p50_secs": metrics.solve_p50_secs,
+        "solve_p99_secs": metrics.solve_p99_secs,
+        "solve_last_secs": metrics.solve_last_secs,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, serde_json::to_string(&doc).expect("doc serializes"))
+        .expect("write BENCH_service.json");
+    println!("wrote {path}");
+
+    assert!(
+        metrics.warm_hit_rate > 0.9,
+        "steady-state warm-start hit rate {:.3} fell below 0.9",
+        metrics.warm_hit_rate
+    );
+}

@@ -97,6 +97,66 @@ impl ClusterTopology {
         &self.hosts
     }
 
+    /// Adds a host with `num_gpus` devices of an existing GPU type, returning
+    /// the new host's id.  This is the online-service path for growing the
+    /// cluster without rebuilding the topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`oef_core::OefError::InvalidCluster`] if the GPU type is not
+    /// declared in this topology or the host would have no devices.
+    pub fn add_host(&mut self, gpu_type: GpuType, num_gpus: usize) -> oef_core::Result<usize> {
+        if gpu_type.0 >= self.num_gpu_types() {
+            return Err(oef_core::OefError::InvalidCluster {
+                reason: format!(
+                    "gpu type {} out of range (topology has {} types)",
+                    gpu_type.0,
+                    self.num_gpu_types()
+                ),
+            });
+        }
+        if num_gpus == 0 {
+            return Err(oef_core::OefError::InvalidCluster {
+                reason: "a host must have at least one GPU".to_string(),
+            });
+        }
+        let id = self.hosts.len();
+        self.hosts.push(Host::new(id, gpu_type, num_gpus));
+        Ok(id)
+    }
+
+    /// Removes a host by id, renumbering the remaining hosts to keep ids dense
+    /// (placements are recomputed every round, so renumbering is safe between
+    /// rounds).  Returns the removed host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`oef_core::OefError::InvalidCluster`] if no host has the given
+    /// id, or if removing it would leave a declared GPU type with zero
+    /// capacity (the allocation LP requires positive capacity per type).
+    pub fn remove_host(&mut self, id: usize) -> oef_core::Result<Host> {
+        let position = self.hosts.iter().position(|h| h.id == id).ok_or_else(|| {
+            oef_core::OefError::InvalidCluster {
+                reason: format!("no host with id {id}"),
+            }
+        })?;
+        let gpu_type = self.hosts[position].gpu_type;
+        let remaining = self.capacity_of(gpu_type) - self.hosts[position].num_gpus;
+        if remaining == 0 {
+            return Err(oef_core::OefError::InvalidCluster {
+                reason: format!(
+                    "removing host {id} would leave GPU type {} with zero capacity",
+                    gpu_type.0
+                ),
+            });
+        }
+        let removed = self.hosts.remove(position);
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            host.id = i;
+        }
+        Ok(removed)
+    }
+
     /// Number of distinct GPU types.
     pub fn num_gpu_types(&self) -> usize {
         self.gpu_type_names.len()
@@ -180,5 +240,35 @@ mod tests {
         let json = serde_json::to_string(&topo).unwrap();
         let back: ClusterTopology = serde_json::from_str(&json).unwrap();
         assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn add_and_remove_hosts_incrementally() {
+        let mut topo = ClusterTopology::paper_cluster();
+        let id = topo.add_host(GpuType(1), 4).unwrap();
+        assert_eq!(id, 6);
+        assert_eq!(topo.capacities(), vec![8, 12, 8]);
+
+        let removed = topo.remove_host(2).unwrap();
+        assert_eq!(removed.gpu_type, GpuType(1));
+        assert_eq!(topo.capacities(), vec![8, 8, 8]);
+        // Ids stay dense after removal.
+        for (i, host) in topo.hosts().iter().enumerate() {
+            assert_eq!(host.id, i);
+        }
+    }
+
+    #[test]
+    fn host_mutations_are_validated() {
+        let mut topo = ClusterTopology::uniform(vec!["a".into(), "b".into()], &[1, 1], 4);
+        assert!(topo.add_host(GpuType(2), 4).is_err(), "unknown gpu type");
+        assert!(topo.add_host(GpuType(0), 0).is_err(), "empty host");
+        assert!(topo.remove_host(9).is_err(), "unknown host id");
+        assert!(
+            topo.remove_host(0).is_err(),
+            "sole host of a type cannot be removed"
+        );
+        let extra = topo.add_host(GpuType(0), 2).unwrap();
+        assert!(topo.remove_host(extra).is_ok());
     }
 }

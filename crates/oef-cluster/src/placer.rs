@@ -54,6 +54,15 @@ impl RoundingPlacer {
         self.deviation[tenant][gpu_type]
     }
 
+    /// Drops a tenant's deviation row, shifting later rows down by one —
+    /// the placer-side counterpart of `ClusterState::remove_tenant`, keeping
+    /// rows aligned with the compacted tenant indices.
+    pub fn remove_tenant(&mut self, tenant: usize) {
+        if tenant < self.deviation.len() {
+            self.deviation.remove(tenant);
+        }
+    }
+
     /// Rounds the `ideal` fractional allocation into whole devices.
     ///
     /// * `capacities[j]` — number of physical devices of type `j`.

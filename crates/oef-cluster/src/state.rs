@@ -64,6 +64,70 @@ impl ClusterState {
         id
     }
 
+    /// Removes the tenant at `id`, compacting the indices of every later
+    /// tenant (and of their jobs) down by one, mirroring `Vec::remove`.
+    /// Callers that hand out stable tenant handles should pair this with
+    /// [`oef_core::TenantIndexMap::remove`], which applies the same shift.
+    ///
+    /// Returns the removed tenant, or `None` when the index is out of range.
+    pub fn remove_tenant(&mut self, id: usize) -> Option<Tenant> {
+        if id >= self.tenants.len() {
+            return None;
+        }
+        let removed = self.tenants.remove(id);
+        for (i, tenant) in self.tenants.iter_mut().enumerate().skip(id) {
+            tenant.id = i;
+            for job in &mut tenant.jobs {
+                job.tenant = i;
+            }
+        }
+        Some(removed)
+    }
+
+    /// Adds a host of an existing GPU type to the topology (see
+    /// [`ClusterTopology::add_host`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation failures.
+    pub fn add_host(&mut self, gpu_type: crate::GpuType, num_gpus: usize) -> Result<usize> {
+        self.topology.add_host(gpu_type, num_gpus)
+    }
+
+    /// Removes a host from the topology (see [`ClusterTopology::remove_host`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation failures.
+    pub fn remove_host(&mut self, host: usize) -> Result<crate::Host> {
+        self.topology.remove_host(host)
+    }
+
+    /// Replaces a tenant's speedup profile (both the true profile and the
+    /// reported one — an online service only ever sees what tenants report).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch if the profile does not cover the
+    /// topology's GPU types.
+    pub fn set_speedup_profile(
+        &mut self,
+        tenant: usize,
+        speedup: oef_core::SpeedupVector,
+    ) -> Result<()> {
+        let k = self.topology.num_gpu_types();
+        if speedup.num_gpu_types() != k {
+            return Err(oef_core::OefError::DimensionMismatch {
+                cluster_types: k,
+                speedup_types: speedup.num_gpu_types(),
+            });
+        }
+        let t = &mut self.tenants[tenant];
+        t.true_speedup = speedup.clone();
+        t.reported_speedup = speedup;
+        Ok(())
+    }
+
     /// Adds a job to an existing tenant, assigning it a fresh [`JobId`].
     pub fn submit_job(&mut self, tenant: usize, mut job: Job) -> JobId {
         let id = JobId(self.next_job_id);
@@ -239,6 +303,47 @@ mod tests {
         let truth = state.true_speedups(&[a]).unwrap();
         assert!((reported.speedup(0, 1) - 1.8).abs() < 1e-12);
         assert!((truth.speedup(0, 1) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_tenant_compacts_indices() {
+        let mut state = ClusterState::paper_cluster();
+        for name in ["alice", "bob", "carol"] {
+            let t = state.add_tenant(Tenant::new(0, name, sv(vec![1.0, 1.2, 1.4])));
+            state.submit_job(t, job(1, 0.0));
+        }
+        let removed = state.remove_tenant(1).unwrap();
+        assert_eq!(removed.name, "bob");
+        assert_eq!(state.tenants().len(), 2);
+        assert_eq!(state.tenant(1).name, "carol");
+        assert_eq!(state.tenant(1).id, 1);
+        assert!(state.tenant(1).jobs.iter().all(|j| j.tenant == 1));
+        assert!(state.remove_tenant(5).is_none());
+        // Job ids keep advancing monotonically after a removal.
+        let j = state.submit_job(0, job(1, 0.0));
+        assert_eq!(j, JobId(3));
+    }
+
+    #[test]
+    fn host_mutations_flow_through_state() {
+        let mut state = ClusterState::paper_cluster();
+        let host = state.add_host(crate::GpuType(0), 4).unwrap();
+        assert_eq!(state.topology().capacities(), vec![12, 8, 8]);
+        state.remove_host(host).unwrap();
+        assert_eq!(state.topology().capacities(), vec![8, 8, 8]);
+    }
+
+    #[test]
+    fn set_speedup_profile_updates_both_vectors() {
+        let mut state = ClusterState::paper_cluster();
+        let t = state.add_tenant(Tenant::new(0, "alice", sv(vec![1.0, 1.2, 1.4])));
+        state.tenant_mut(t).cheat_with_factor(2.0);
+        state
+            .set_speedup_profile(t, sv(vec![1.0, 1.6, 2.4]))
+            .unwrap();
+        assert!(!state.tenant(t).is_cheating());
+        assert_eq!(state.tenant(t).true_speedup.speedup(2), 2.4);
+        assert!(state.set_speedup_profile(t, sv(vec![1.0, 2.0])).is_err());
     }
 
     #[test]

@@ -139,6 +139,10 @@ impl AllocationPolicy for CooperativeOef {
             .solve_with(&problem, &self.solver_options)?;
         crate::noncoop::extract_rows(&solution, &vars)
     }
+
+    fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
+        Some(self.context.stats())
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ mod multi_job;
 mod noncoop;
 mod policy;
 mod speedup;
+mod tenant_index;
 mod weighted;
 
 pub use allocation::Allocation;
@@ -62,6 +63,7 @@ pub use multi_job::{MultiJobAllocation, MultiJobOef, TenantWorkload};
 pub use noncoop::NonCooperativeOef;
 pub use policy::{AllocationPolicy, BoxedPolicy};
 pub use speedup::{SpeedupMatrix, SpeedupVector};
+pub use tenant_index::TenantIndexMap;
 pub use weighted::{OefMode, VirtualUserExpansion, WeightedOef};
 
 /// Result alias used throughout the crate.

@@ -136,6 +136,10 @@ impl AllocationPolicy for NonCooperativeOef {
             .solve_with(&problem, &self.solver_options)?;
         extract_rows(&solution, &vars)
     }
+
+    fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
+        Some(self.context.stats())
+    }
 }
 
 /// Reads the per-user allocation rows out of a solution.

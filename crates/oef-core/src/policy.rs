@@ -46,6 +46,18 @@ pub trait AllocationPolicy {
     ) -> Result<Allocation> {
         self.allocate(cluster, speedups)
     }
+
+    /// Warm/cold solve counters of the policy's reusable solver context, when
+    /// it has one.
+    ///
+    /// The LP-backed OEF policies report their [`oef_lp::ContextStats`] here so
+    /// long-running callers (the online service's metrics registry, the bench
+    /// harness) can compute a warm-start hit rate through a `dyn
+    /// AllocationPolicy` without knowing the concrete policy type.  Baselines
+    /// without an LP context return `None`.
+    fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
+        None
+    }
 }
 
 /// Boxed, thread-safe allocation policy, convenient for heterogeneous collections of
@@ -59,6 +71,10 @@ impl<P: AllocationPolicy + ?Sized> AllocationPolicy for &P {
 
     fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
         (**self).allocate(cluster, speedups)
+    }
+
+    fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
+        (**self).solver_stats()
     }
 }
 
@@ -77,6 +93,10 @@ impl<P: AllocationPolicy + ?Sized> AllocationPolicy for Box<P> {
         speedups: &SpeedupMatrix,
     ) -> Result<Allocation> {
         (**self).allocate_mut(cluster, speedups)
+    }
+
+    fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
+        (**self).solver_stats()
     }
 }
 

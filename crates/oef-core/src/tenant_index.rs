@@ -1,0 +1,179 @@
+//! Stable tenant handles over a dense, re-indexed tenant population.
+//!
+//! Batch experiments identify tenants by their position in a fixed vector, but
+//! an online scheduler faces churn: tenants join and leave at arbitrary times,
+//! while the allocation machinery (speedup matrices, allocation rows, the
+//! rounding placer) wants *dense* indices `0..n` with no holes.  This map owns
+//! that translation: external callers hold opaque `u64` handles that stay
+//! valid for a tenant's whole lifetime, while the dense index of a tenant
+//! shifts down whenever an earlier tenant is removed — exactly matching
+//! `Vec::remove` compaction on the underlying tenant vector.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Bidirectional map between stable `u64` tenant handles and dense indices.
+///
+/// ```
+/// use oef_core::TenantIndexMap;
+///
+/// let mut map = TenantIndexMap::new();
+/// let a = map.insert(10);
+/// let b = map.insert(11);
+/// let c = map.insert(12);
+/// assert_eq!((a, b, c), (0, 1, 2));
+///
+/// // Removing handle 11 compacts the dense range: 12 shifts down.
+/// assert_eq!(map.remove(11), Some(1));
+/// assert_eq!(map.index_of(12), Some(1));
+/// assert_eq!(map.index_of(10), Some(0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantIndexMap {
+    /// Handle at each dense index (insertion-compacted order).
+    handles: Vec<u64>,
+    /// Reverse lookup: handle -> dense index.
+    indices: HashMap<u64, usize>,
+}
+
+impl TenantIndexMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a map from the dense-ordered handle list of a snapshot.
+    ///
+    /// Duplicate handles are rejected by returning `None`.
+    pub fn from_handles(handles: Vec<u64>) -> Option<Self> {
+        let mut indices = HashMap::with_capacity(handles.len());
+        for (i, &h) in handles.iter().enumerate() {
+            if indices.insert(h, i).is_some() {
+                return None;
+            }
+        }
+        Some(Self { handles, indices })
+    }
+
+    /// Number of live tenants.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Registers a handle at the next dense index and returns that index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is already registered — handles are expected to be
+    /// drawn from a monotone counter, so a duplicate is a caller bug.
+    pub fn insert(&mut self, handle: u64) -> usize {
+        let index = self.handles.len();
+        let previous = self.indices.insert(handle, index);
+        assert!(previous.is_none(), "tenant handle {handle} inserted twice");
+        self.handles.push(handle);
+        index
+    }
+
+    /// Dense index of a handle, if registered.
+    pub fn index_of(&self, handle: u64) -> Option<usize> {
+        self.indices.get(&handle).copied()
+    }
+
+    /// Handle stored at a dense index.
+    pub fn handle_at(&self, index: usize) -> Option<u64> {
+        self.handles.get(index).copied()
+    }
+
+    /// Handles in dense-index order (for snapshotting).
+    pub fn handles(&self) -> &[u64] {
+        &self.handles
+    }
+
+    /// Removes a handle, returning the dense index it occupied.  Every tenant
+    /// with a larger dense index shifts down by one, mirroring `Vec::remove`
+    /// on the parallel tenant vector.
+    pub fn remove(&mut self, handle: u64) -> Option<usize> {
+        let index = self.indices.remove(&handle)?;
+        self.handles.remove(index);
+        for (i, &h) in self.handles.iter().enumerate().skip(index) {
+            self.indices.insert(h, i);
+        }
+        Some(index)
+    }
+}
+
+impl Serialize for TenantIndexMap {
+    fn serialize(&self) -> serde::Value {
+        self.handles.serialize()
+    }
+}
+
+impl Deserialize for TenantIndexMap {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let handles = Vec::<u64>::deserialize(value)?;
+        Self::from_handles(handles)
+            .ok_or_else(|| serde::Error::custom("duplicate tenant handle in index map"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_assigns_dense_indices() {
+        let mut map = TenantIndexMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.insert(100), 0);
+        assert_eq!(map.insert(200), 1);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.index_of(200), Some(1));
+        assert_eq!(map.handle_at(0), Some(100));
+        assert_eq!(map.index_of(999), None);
+    }
+
+    #[test]
+    fn remove_compacts_later_indices() {
+        let mut map = TenantIndexMap::new();
+        for h in [10, 11, 12, 13] {
+            map.insert(h);
+        }
+        assert_eq!(map.remove(11), Some(1));
+        assert_eq!(map.index_of(10), Some(0));
+        assert_eq!(map.index_of(12), Some(1));
+        assert_eq!(map.index_of(13), Some(2));
+        assert_eq!(map.remove(11), None, "second removal is a no-op");
+        assert_eq!(map.handles(), &[10, 12, 13]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_order() {
+        let mut map = TenantIndexMap::new();
+        for h in [7, 3, 9] {
+            map.insert(h);
+        }
+        let json = serde_json::to_string(&map).unwrap();
+        let back: TenantIndexMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn duplicate_handles_rejected_on_restore() {
+        assert!(TenantIndexMap::from_handles(vec![1, 2, 1]).is_none());
+        let err = serde_json::from_str::<TenantIndexMap>("[1,2,1]");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut map = TenantIndexMap::new();
+        map.insert(5);
+        map.insert(5);
+    }
+}

@@ -221,6 +221,10 @@ impl AllocationPolicy for WeightedOef {
     fn allocate(&self, cluster: &ClusterSpec, speedups: &SpeedupMatrix) -> Result<Allocation> {
         self.allocate_weighted(cluster, speedups, &vec![1; speedups.num_users()])
     }
+
+    fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
+        self.inner_policy().solver_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Operator client for `oef-serviced`.
+//!
+//! ```text
+//! oef-servicectl status   <addr>          # print a status line
+//! oef-servicectl metrics  <addr>          # print the metrics registry as JSON
+//! oef-servicectl tick     <addr>          # run one scheduling round
+//! oef-servicectl snapshot <addr> <file>   # save a state snapshot
+//! oef-servicectl shutdown <addr>          # stop the daemon
+//! oef-servicectl smoke    <addr>          # scripted join/tick/leave session (CI)
+//! ```
+//!
+//! `smoke` drives a short but complete session — two tenants join, submit
+//! jobs, three rounds run, allocations are sanity-checked, one tenant leaves,
+//! the daemon shuts down — and exits non-zero on any deviation.  CI uses it
+//! to prove a freshly built daemon serves the full protocol on a loopback
+//! port and terminates cleanly.
+
+use oef_service::{ClientResult, ServiceClient};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, addr] if cmd == "status" => status(addr),
+        [cmd, addr] if cmd == "metrics" => metrics(addr),
+        [cmd, addr] if cmd == "tick" => tick(addr),
+        [cmd, addr, file] if cmd == "snapshot" => snapshot(addr, file),
+        [cmd, addr] if cmd == "shutdown" => shutdown(addr),
+        [cmd, addr] if cmd == "smoke" => smoke(addr),
+        _ => {
+            eprintln!(
+                "usage: oef-servicectl <status|metrics|tick|shutdown|smoke> <addr>\n\
+                 \x20      oef-servicectl snapshot <addr> <file>"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("oef-servicectl: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn status(addr: &str) -> ClientResult<()> {
+    let report = ServiceClient::connect(addr)?.status()?;
+    println!(
+        "policy={} round={} time={}s tenants={} hosts={} devices={}",
+        report.policy,
+        report.round,
+        report.time_secs,
+        report.tenants,
+        report.hosts,
+        report.total_devices
+    );
+    Ok(())
+}
+
+fn metrics(addr: &str) -> ClientResult<()> {
+    let report = ServiceClient::connect(addr)?.metrics()?;
+    match serde_json::to_string(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => println!("metrics serialization failed: {e}"),
+    }
+    Ok(())
+}
+
+fn tick(addr: &str) -> ClientResult<()> {
+    let round = ServiceClient::connect(addr)?.tick()?;
+    println!(
+        "round={} solver={:.6}s warm={} active_tenants={}",
+        round.round,
+        round.solver_time_secs,
+        round.warm_start,
+        round.tenants.len()
+    );
+    Ok(())
+}
+
+fn snapshot(addr: &str, file: &str) -> ClientResult<()> {
+    let snapshot = ServiceClient::connect(addr)?.snapshot()?;
+    std::fs::write(file, snapshot).map_err(oef_service::ClientError::Io)?;
+    println!("snapshot written to {file}");
+    Ok(())
+}
+
+fn shutdown(addr: &str) -> ClientResult<()> {
+    ServiceClient::connect(addr)?.shutdown()?;
+    println!("daemon acknowledged shutdown");
+    Ok(())
+}
+
+fn check(label: &str, ok: bool) -> ClientResult<()> {
+    if ok {
+        println!("ok: {label}");
+        Ok(())
+    } else {
+        Err(oef_service::ClientError::Protocol(format!(
+            "smoke check failed: {label}"
+        )))
+    }
+}
+
+fn smoke(addr: &str) -> ClientResult<()> {
+    let mut client = ServiceClient::connect(addr)?;
+
+    let before = client.status()?;
+    check("daemon answers status", before.total_devices > 0)?;
+
+    let alice = client.join("smoke-alice", 1, &[1.0, 1.18, 1.39])?;
+    let bob = client.join("smoke-bob", 1, &[1.0, 1.55, 2.15])?;
+    check("handles are distinct", alice != bob)?;
+
+    client.submit_job(alice, "vgg16", 2, 1e9)?;
+    client.submit_job(bob, "lstm", 2, 1e9)?;
+
+    let mut warm_rounds = 0;
+    for i in 0..3 {
+        let round = client.tick()?;
+        check(
+            &format!("round {i} schedules both tenants"),
+            round.tenants.len() == 2,
+        )?;
+        check(
+            &format!("round {i} hands out devices"),
+            round.tenants.iter().map(|t| t.devices_held).sum::<usize>() > 0,
+        )?;
+        if round.warm_start {
+            warm_rounds += 1;
+        }
+    }
+    check("warm starts after the first round", warm_rounds >= 1)?;
+
+    client.leave(alice)?;
+    let round = client.tick()?;
+    check(
+        "departed tenant is no longer scheduled",
+        round.tenants.len() == 1 && round.tenants[0].tenant == bob,
+    )?;
+
+    let metrics = client.metrics()?;
+    check("metrics count the rounds", metrics.rounds_solved >= 4)?;
+
+    client.shutdown()?;
+    println!("ok: daemon acknowledged shutdown");
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! The scheduling daemon binary.
+//!
+//! ```text
+//! oef-serviced [--addr HOST:PORT] [--policy NAME] [--round-secs SECS]
+//!              [--fluid] [--max-tenants N] [--restore FILE]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints one
+//! `oef-serviced listening on <addr>` line to stdout, and serves until a
+//! `Shutdown` command arrives, then exits 0.  With `--restore`, the daemon
+//! resumes from a snapshot file written by `oef-servicectl snapshot` (or the
+//! `Snapshot` wire command) instead of starting empty.
+
+use oef_cluster::ClusterTopology;
+use oef_service::{SchedulerService, Server, ServiceConfig};
+use std::io::Write;
+
+struct Args {
+    addr: String,
+    restore: Option<String>,
+    config: ServiceConfig,
+    /// Config flags seen on the command line; `--restore` rejects these
+    /// instead of silently ignoring them (the snapshot's embedded config
+    /// wins on a restore).
+    config_flags: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7441".to_string(),
+        restore: None,
+        config: ServiceConfig::default(),
+        config_flags: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--policy" => {
+                args.config.policy = value("--policy")?;
+                args.config_flags.push(flag);
+            }
+            "--round-secs" => {
+                args.config.round_secs = value("--round-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --round-secs: {e}"))?;
+                args.config_flags.push(flag);
+            }
+            "--max-tenants" => {
+                args.config.limits.max_tenants = value("--max-tenants")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-tenants: {e}"))?;
+                args.config_flags.push(flag);
+            }
+            "--fluid" => {
+                args.config.physical_placement = false;
+                args.config_flags.push(flag);
+            }
+            "--restore" => args.restore = Some(value("--restore")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: oef-serviced [--addr HOST:PORT] [--policy NAME] \
+                     [--round-secs SECS] [--fluid] [--max-tenants N] [--restore FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.restore.is_some() && !args.config_flags.is_empty() {
+        return Err(format!(
+            "--restore resumes with the snapshot's embedded configuration; \
+             drop the conflicting flag(s) {} (or edit the snapshot's `config` field)",
+            args.config_flags.join(", ")
+        ));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("oef-serviced: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let service = match &args.restore {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot {path}: {e}"))
+            .and_then(|json| {
+                SchedulerService::from_snapshot_json(&json).map_err(|e| e.to_string())
+            }),
+        None => SchedulerService::new(ClusterTopology::paper_cluster(), args.config.clone())
+            .map_err(|e| e.to_string()),
+    };
+    let service = match service {
+        Ok(service) => service,
+        Err(message) => {
+            eprintln!("oef-serviced: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = match Server::spawn(service, args.addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("oef-serviced: cannot bind {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+
+    println!("oef-serviced listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    let service = server.join();
+    println!(
+        "oef-serviced shut down cleanly after {} rounds",
+        service.rounds_run()
+    );
+}

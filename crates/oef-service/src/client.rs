@@ -1,0 +1,298 @@
+//! Blocking wire-protocol client.
+//!
+//! One request in flight per client; correlation ids are checked on every
+//! reply.  The typed convenience methods unwrap the expected response variant
+//! and turn `Response::Error` replies into [`ClientError::Service`], so call
+//! sites read like local function calls.
+
+use crate::command::{
+    Command, ErrorCode, MetricsReport, Reply, Request, Response, RoundSummary, StatusReport,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The daemon broke the wire protocol (bad JSON, wrong id, wrong variant).
+    Protocol(String),
+    /// The daemon rejected the command.
+    Service {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Service { code, message } => {
+                write!(f, "service error ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(value: std::io::Error) -> Self {
+        ClientError::Io(value)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A blocking connection to an `oef-serviced` daemon.
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one command and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport problems, protocol violations, or when the daemon
+    /// replies with [`Response::Error`].
+    pub fn call(&mut self, command: Command) -> ClientResult<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let line = serde_json::to_string(&Request { id, command })
+            .map_err(|e| ClientError::Protocol(format!("request serialization failed: {e}")))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+
+        let mut reply_line = String::new();
+        let read = self.reader.read_line(&mut reply_line)?;
+        if read == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before reply".to_string(),
+            ));
+        }
+        let reply: Reply = serde_json::from_str(reply_line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("malformed reply: {e}")))?;
+        if reply.id != id {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} does not match request id {id}",
+                reply.id
+            )));
+        }
+        match reply.response {
+            Response::Error { code, message } => Err(ClientError::Service { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Registers a tenant, returning its stable handle.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn join(&mut self, name: &str, weight: u32, speedup: &[f64]) -> ClientResult<u64> {
+        match self.call(Command::TenantJoin {
+            name: name.to_string(),
+            weight,
+            speedup: speedup.to_vec(),
+        })? {
+            Response::TenantJoined { tenant } => Ok(tenant),
+            other => Err(unexpected("TenantJoined", &other)),
+        }
+    }
+
+    /// Deregisters a tenant.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn leave(&mut self, tenant: u64) -> ClientResult<()> {
+        match self.call(Command::TenantLeave { tenant })? {
+            Response::TenantLeft { .. } => Ok(()),
+            other => Err(unexpected("TenantLeft", &other)),
+        }
+    }
+
+    /// Replaces a tenant's reported speedup profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn update_speedups(&mut self, tenant: u64, speedup: &[f64]) -> ClientResult<()> {
+        match self.call(Command::UpdateSpeedups {
+            tenant,
+            speedup: speedup.to_vec(),
+        })? {
+            Response::SpeedupsUpdated { .. } => Ok(()),
+            other => Err(unexpected("SpeedupsUpdated", &other)),
+        }
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn submit_job(
+        &mut self,
+        tenant: u64,
+        model: &str,
+        workers: usize,
+        total_work: f64,
+    ) -> ClientResult<u64> {
+        match self.call(Command::SubmitJob {
+            tenant,
+            model: model.to_string(),
+            workers,
+            total_work,
+        })? {
+            Response::JobSubmitted { job, .. } => Ok(job),
+            other => Err(unexpected("JobSubmitted", &other)),
+        }
+    }
+
+    /// Force-finishes a job.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn finish_job(&mut self, tenant: u64, job: u64) -> ClientResult<()> {
+        match self.call(Command::JobFinished { tenant, job })? {
+            Response::JobFinished { .. } => Ok(()),
+            other => Err(unexpected("JobFinished", &other)),
+        }
+    }
+
+    /// Adds a host, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn add_host(&mut self, gpu_type: usize, num_gpus: usize) -> ClientResult<usize> {
+        match self.call(Command::AddHost { gpu_type, num_gpus })? {
+            Response::HostAdded { host } => Ok(host),
+            other => Err(unexpected("HostAdded", &other)),
+        }
+    }
+
+    /// Removes a host.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn remove_host(&mut self, host: usize) -> ClientResult<()> {
+        match self.call(Command::RemoveHost { host })? {
+            Response::HostRemoved { .. } => Ok(()),
+            other => Err(unexpected("HostRemoved", &other)),
+        }
+    }
+
+    /// Runs one scheduling round.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn tick(&mut self) -> ClientResult<RoundSummary> {
+        match self.call(Command::Tick)? {
+            Response::RoundCompleted(summary) => Ok(summary),
+            other => Err(unexpected("RoundCompleted", &other)),
+        }
+    }
+
+    /// Reads the metrics registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn metrics(&mut self) -> ClientResult<MetricsReport> {
+        match self.call(Command::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Takes a snapshot of the full service state.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn snapshot(&mut self) -> ClientResult<String> {
+        match self.call(Command::Snapshot)? {
+            Response::Snapshot { snapshot } => Ok(snapshot),
+            other => Err(unexpected("Snapshot", &other)),
+        }
+    }
+
+    /// Replaces the daemon's state with a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn restore(&mut self, snapshot: &str) -> ClientResult<usize> {
+        match self.call(Command::Restore {
+            snapshot: snapshot.to_string(),
+        })? {
+            Response::Restored { tenants } => Ok(tenants),
+            other => Err(unexpected("Restored", &other)),
+        }
+    }
+
+    /// Probes daemon status.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn status(&mut self) -> ClientResult<StatusReport> {
+        match self.call(Command::Status)? {
+            Response::Status(report) => Ok(report),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`].
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.call(Command::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,377 @@
+//! Wire-level command and response types of the scheduling daemon.
+//!
+//! Every message is one line of JSON (externally tagged enums, as the serde
+//! shim's derive produces them).  A client sends a [`Request`] — an `id` it
+//! chooses plus a [`Command`] — and receives exactly one [`Reply`] echoing the
+//! `id`.  Errors are ordinary replies carrying [`Response::Error`] with a
+//! machine-readable [`ErrorCode`], so a client never has to parse free-form
+//! text to branch.
+
+use serde::{Deserialize, Serialize};
+
+/// A command a tenant (or an operator) sends to the scheduling daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Registers a tenant with its reported speedup profile (one entry per
+    /// GPU type, slowest first, first entry 1.0).  Replies with
+    /// [`Response::TenantJoined`] carrying the stable tenant handle used by
+    /// every other command.
+    TenantJoin {
+        /// Human-readable tenant name.
+        name: String,
+        /// Priority weight (≥ 1).
+        weight: u32,
+        /// Reported speedup profile across GPU types.
+        speedup: Vec<f64>,
+    },
+    /// Deregisters a tenant; its unfinished jobs leave the cluster with it.
+    TenantLeave {
+        /// Tenant handle from [`Response::TenantJoined`].
+        tenant: u64,
+    },
+    /// Replaces a tenant's reported speedup profile.
+    UpdateSpeedups {
+        /// Tenant handle.
+        tenant: u64,
+        /// New speedup profile across GPU types.
+        speedup: Vec<f64>,
+    },
+    /// Submits a job for a tenant; the job becomes runnable at the current
+    /// service time and trains with the tenant's reported profile.
+    SubmitJob {
+        /// Tenant handle.
+        tenant: u64,
+        /// Model name (free-form, for reports).
+        model: String,
+        /// Number of GPU workers the job wants simultaneously.
+        workers: usize,
+        /// Total work in slow-GPU seconds.
+        total_work: f64,
+    },
+    /// Force-finishes a job (tenant-side cancellation / external completion).
+    JobFinished {
+        /// Tenant handle.
+        tenant: u64,
+        /// Job id from [`Response::JobSubmitted`].
+        job: u64,
+    },
+    /// Adds a host with `num_gpus` devices of an existing GPU type.
+    AddHost {
+        /// GPU type index (slowest first, as in the topology).
+        gpu_type: usize,
+        /// Devices on the new host.
+        num_gpus: usize,
+    },
+    /// Drains and removes a host.
+    ///
+    /// Host ids are *dense*, not stable handles: removing a host renumbers
+    /// every later host down by one (the placer indexes by dense id).
+    /// Clients holding host ids from before a removal must re-sync via
+    /// [`Command::Status`] before issuing further host commands.
+    RemoveHost {
+        /// Host id.
+        host: usize,
+    },
+    /// Runs one scheduling round: re-solves the allocation (warm-started),
+    /// places devices and advances jobs by one round.
+    Tick,
+    /// Reads the metrics registry.
+    Metrics,
+    /// Serializes the full service state; the reply carries the snapshot JSON.
+    Snapshot,
+    /// Replaces the full service state with a previously taken snapshot.
+    Restore {
+        /// Snapshot JSON as produced by [`Command::Snapshot`].
+        snapshot: String,
+    },
+    /// Lightweight liveness / state summary probe.
+    Status,
+    /// Stops the daemon after replying.
+    Shutdown,
+}
+
+/// Machine-readable error category of a rejected command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// An admission-control limit (tenants, jobs per tenant, hosts) was hit.
+    QuotaExceeded,
+    /// The tenant handle is not registered.
+    UnknownTenant,
+    /// The job id does not belong to the tenant.
+    UnknownJob,
+    /// The host id does not exist.
+    UnknownHost,
+    /// The command payload failed validation.
+    InvalidArgument,
+    /// The bounded command queue was full (backpressure); retry later.
+    Busy,
+    /// The daemon is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An internal failure (solver error, serialization failure).
+    Internal,
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Per-tenant outcome of one scheduling round, keyed by stable handle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantRoundSummary {
+    /// Stable tenant handle.
+    pub tenant: u64,
+    /// Throughput the fair-share evaluator promised this round.
+    pub estimated_throughput: f64,
+    /// Throughput actually delivered after placement and runtime effects.
+    pub actual_throughput: f64,
+    /// Whole devices held this round.
+    pub devices_held: usize,
+    /// Fractional allocation per GPU type.
+    pub gpu_shares: Vec<f64>,
+}
+
+/// Outcome of a [`Command::Tick`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSummary {
+    /// Round index (0-based, monotone across the daemon's lifetime).
+    pub round: usize,
+    /// Service time at the start of the round, in seconds.
+    pub time_secs: f64,
+    /// Wall-clock time the fair-share evaluator took, in seconds.
+    pub solver_time_secs: f64,
+    /// Whether the LP solve warm-started from the previous round's basis.
+    pub warm_start: bool,
+    /// Per-tenant outcomes (active tenants only).
+    pub tenants: Vec<TenantRoundSummary>,
+}
+
+/// Metrics registry export (see [`Command::Metrics`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Commands accepted and executed (including ticks).
+    pub commands_processed: u64,
+    /// Commands rejected by validation or admission control.
+    pub commands_rejected: u64,
+    /// Scheduling rounds solved since start (empty rounds excluded).
+    pub rounds_solved: u64,
+    /// Jobs completed and pruned from the live state since start.
+    pub jobs_completed: u64,
+    /// LP solves served from a cached basis (policy-wide, includes probes).
+    pub warm_solves: u64,
+    /// LP solves that ran from scratch.
+    pub cold_solves: u64,
+    /// Cold solves that additionally fell back to the dense reference solver.
+    pub dense_fallbacks: u64,
+    /// `warm_solves / (warm_solves + cold_solves)`, 0 when no solve ran.
+    pub warm_hit_rate: f64,
+    /// Median per-round solve latency over the recent-latency window, seconds.
+    pub solve_p50_secs: f64,
+    /// 99th-percentile per-round solve latency over the window, seconds.
+    pub solve_p99_secs: f64,
+    /// Latency of the most recent round's solve, seconds.
+    pub solve_last_secs: f64,
+    /// Commands waiting in the bounded queue when the report was taken.
+    pub queue_depth: usize,
+    /// Tenants currently registered.
+    pub tenants: usize,
+    /// Hosts currently in the topology.
+    pub hosts: usize,
+}
+
+/// State summary returned by [`Command::Status`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// Allocation policy driving the daemon.
+    pub policy: String,
+    /// Rounds completed so far.
+    pub round: usize,
+    /// Current service time in seconds.
+    pub time_secs: f64,
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Hosts in the topology.
+    pub hosts: usize,
+    /// Total GPU devices in the topology.
+    pub total_devices: usize,
+}
+
+/// Reply payload for a [`Command`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Tenant registered; `tenant` is the stable handle for all later calls.
+    TenantJoined {
+        /// Stable tenant handle.
+        tenant: u64,
+    },
+    /// Tenant deregistered.
+    TenantLeft {
+        /// The departed tenant's handle.
+        tenant: u64,
+    },
+    /// Speedup profile replaced.
+    SpeedupsUpdated {
+        /// Tenant handle.
+        tenant: u64,
+    },
+    /// Job accepted.
+    JobSubmitted {
+        /// Tenant handle.
+        tenant: u64,
+        /// Job id for [`Command::JobFinished`].
+        job: u64,
+    },
+    /// Job force-finished.
+    JobFinished {
+        /// Tenant handle.
+        tenant: u64,
+        /// Job id.
+        job: u64,
+    },
+    /// Host added.
+    HostAdded {
+        /// New host id.
+        host: usize,
+    },
+    /// Host removed.
+    HostRemoved {
+        /// Removed host id.
+        host: usize,
+    },
+    /// One scheduling round completed.
+    RoundCompleted(RoundSummary),
+    /// Metrics registry export.
+    Metrics(MetricsReport),
+    /// Snapshot of the full service state.
+    Snapshot {
+        /// Snapshot JSON; feed back via [`Command::Restore`].
+        snapshot: String,
+    },
+    /// State replaced from a snapshot.
+    Restored {
+        /// Tenants in the restored state.
+        tenants: usize,
+    },
+    /// Status probe result.
+    Status(StatusReport),
+    /// The daemon acknowledges shutdown and will exit.
+    ShuttingDown,
+    /// The command was rejected.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One request line on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the [`Reply`].
+    pub id: u64,
+    /// The command to execute.
+    pub command: Command,
+}
+
+/// One reply line on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reply {
+    /// Correlation id of the request this answers.
+    pub id: u64,
+    /// Result payload.
+    pub response: Response,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_round_trip_through_json_lines() {
+        let commands = vec![
+            Command::TenantJoin {
+                name: "alice".into(),
+                weight: 2,
+                speedup: vec![1.0, 1.4, 2.1],
+            },
+            Command::TenantLeave { tenant: 3 },
+            Command::UpdateSpeedups {
+                tenant: 3,
+                speedup: vec![1.0, 1.5, 2.0],
+            },
+            Command::SubmitJob {
+                tenant: 1,
+                model: "vgg16".into(),
+                workers: 4,
+                total_work: 3600.0,
+            },
+            Command::JobFinished { tenant: 1, job: 9 },
+            Command::AddHost {
+                gpu_type: 2,
+                num_gpus: 4,
+            },
+            Command::RemoveHost { host: 5 },
+            Command::Tick,
+            Command::Metrics,
+            Command::Snapshot,
+            Command::Restore {
+                snapshot: "{\"nested\":\"json\"}".into(),
+            },
+            Command::Status,
+            Command::Shutdown,
+        ];
+        for command in commands {
+            let request = Request { id: 7, command };
+            let line = serde_json::to_string(&request).unwrap();
+            assert!(!line.contains('\n'), "wire lines must be single lines");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip_including_errors() {
+        let replies = vec![
+            Reply {
+                id: 1,
+                response: Response::TenantJoined { tenant: 42 },
+            },
+            Reply {
+                id: 2,
+                response: Response::RoundCompleted(RoundSummary {
+                    round: 5,
+                    time_secs: 1500.0,
+                    solver_time_secs: 0.01,
+                    warm_start: true,
+                    tenants: vec![TenantRoundSummary {
+                        tenant: 42,
+                        estimated_throughput: 8.5,
+                        actual_throughput: 8.1,
+                        devices_held: 6,
+                        gpu_shares: vec![0.0, 2.0, 4.0],
+                    }],
+                }),
+            },
+            Reply {
+                id: 3,
+                response: Response::Error {
+                    code: ErrorCode::QuotaExceeded,
+                    message: "tenant limit reached".into(),
+                },
+            },
+        ];
+        for reply in replies {
+            let line = serde_json::to_string(&reply).unwrap();
+            let back: Reply = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn error_codes_serialize_as_strings() {
+        let json = serde_json::to_string(&ErrorCode::Busy).unwrap();
+        assert_eq!(json, "\"Busy\"");
+    }
+}

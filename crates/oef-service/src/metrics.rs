@@ -1,0 +1,132 @@
+//! The daemon's metrics registry.
+//!
+//! Counters are cheap to bump on every command; solve latencies are kept in a
+//! bounded window so the registry's memory stays constant no matter how long
+//! the daemon runs (the engine's own per-round history is not used — see
+//! `SimulationEngine::step`).  Percentiles are computed on demand when a
+//! `Metrics` command exports the registry.
+
+use std::collections::VecDeque;
+
+/// How many recent round-solve latencies the p50/p99 window keeps.
+const LATENCY_WINDOW: usize = 1024;
+
+/// Mutable counters backing the `Metrics` wire report.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    commands_processed: u64,
+    commands_rejected: u64,
+    rounds_solved: u64,
+    jobs_completed: u64,
+    last_solve_secs: f64,
+    solve_latencies: VecDeque<f64>,
+}
+
+impl ServiceMetrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of one command (`accepted == false` for
+    /// validation/admission rejections).
+    pub fn record_command(&mut self, accepted: bool) {
+        if accepted {
+            self.commands_processed += 1;
+        } else {
+            self.commands_rejected += 1;
+        }
+    }
+
+    /// Records one completed scheduling round and its solver latency.
+    pub fn record_round(&mut self, solver_secs: f64) {
+        self.rounds_solved += 1;
+        self.last_solve_secs = solver_secs;
+        if self.solve_latencies.len() == LATENCY_WINDOW {
+            self.solve_latencies.pop_front();
+        }
+        self.solve_latencies.push_back(solver_secs);
+    }
+
+    /// Commands accepted so far.
+    pub fn commands_processed(&self) -> u64 {
+        self.commands_processed
+    }
+
+    /// Commands rejected so far.
+    pub fn commands_rejected(&self) -> u64 {
+        self.commands_rejected
+    }
+
+    /// Rounds solved so far.
+    pub fn rounds_solved(&self) -> u64 {
+        self.rounds_solved
+    }
+
+    /// Records jobs that completed and were pruned from the live state (the
+    /// state keeps only unfinished jobs; this counter is their history).
+    pub fn record_jobs_completed(&mut self, count: u64) {
+        self.jobs_completed += count;
+    }
+
+    /// Jobs completed over the service's lifetime.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Latency of the most recent solve, in seconds.
+    pub fn last_solve_secs(&self) -> f64 {
+        self.last_solve_secs
+    }
+
+    /// Latency percentile over the recent window (`p` in `[0, 1]`); 0 when no
+    /// round has been solved yet.
+    pub fn solve_percentile(&self, p: f64) -> f64 {
+        if self.solve_latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.solve_latencies.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = ServiceMetrics::new();
+        m.record_command(true);
+        m.record_command(true);
+        m.record_command(false);
+        assert_eq!(m.commands_processed(), 2);
+        assert_eq!(m.commands_rejected(), 1);
+    }
+
+    #[test]
+    fn percentiles_over_recorded_rounds() {
+        let mut m = ServiceMetrics::new();
+        assert_eq!(m.solve_percentile(0.5), 0.0);
+        for i in 1..=100 {
+            m.record_round(i as f64 / 1000.0);
+        }
+        assert_eq!(m.rounds_solved(), 100);
+        assert!((m.solve_percentile(0.5) - 0.050).abs() < 2e-3);
+        assert!((m.solve_percentile(0.99) - 0.099).abs() < 2e-3);
+        assert!((m.last_solve_secs() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let mut m = ServiceMetrics::new();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.record_round(i as f64);
+        }
+        assert_eq!(m.solve_latencies.len(), LATENCY_WINDOW);
+        // Only the most recent window is represented.
+        assert!(m.solve_percentile(0.0) >= 100.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Bounded multi-producer command queue with blocking backpressure.
+//!
+//! Connection handler threads are the producers; the single scheduler worker
+//! is the consumer.  The queue is deliberately *bounded*: when tenants submit
+//! commands faster than rounds can be solved, producers block (up to a
+//! deadline) instead of growing an unbounded buffer, and past the deadline
+//! the client receives an explicit `Busy` error — load sheds at the edge, the
+//! scheduler core never sees the overload.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue stayed full for the whole timeout (backpressure overflow).
+    Full,
+    /// The queue was closed (the service is shutting down).
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct QueueInner<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A cloneable handle to a bounded MPSC-style queue.
+pub struct BoundedQueue<T> {
+    inner: Arc<QueueInner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(QueueInner {
+                state: Mutex::new(QueueState {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues without blocking; fails immediately when full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.inner.capacity {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is full for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back with [`PushError::Full`] when the deadline
+    /// passes, or [`PushError::Closed`] when the queue shut down meanwhile.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), (T, PushError)> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err((item, PushError::Closed));
+            }
+            if state.items.len() < self.inner.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err((item, PushError::Full));
+            }
+            let (guard, _) = self
+                .inner
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Dequeues, blocking until an item arrives.  Returns `None` once the
+    /// queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .inner
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: producers fail fast, the consumer drains what is
+    /// left and then sees `None`.
+    pub fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        drop(state);
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::with_capacity(2);
+        assert!(q.is_empty());
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        let (back, err) = q.try_push(3).unwrap_err();
+        assert_eq!((back, err), (3, PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn push_timeout_reports_backpressure() {
+        let q = BoundedQueue::with_capacity(1);
+        q.try_push(1).unwrap();
+        let (_, err) = q.push_timeout(2, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, PushError::Full);
+    }
+
+    #[test]
+    fn blocked_producer_resumes_when_consumer_drains() {
+        let q = BoundedQueue::with_capacity(1);
+        q.try_push(1).unwrap();
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || q.push_timeout(2, Duration::from_secs(5)))
+        };
+        // Give the producer a moment to block, then drain.
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::with_capacity(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2).unwrap_err().1, PushError::Closed);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: BoundedQueue<u32> = BoundedQueue::with_capacity(1);
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,285 @@
+//! Threaded std-TCP front end for the scheduler service.
+//!
+//! Architecture: one non-blocking accept loop, one connection-handler thread
+//! per client, and exactly one worker thread that owns the
+//! [`SchedulerService`] and drains the bounded command queue.  Handlers park
+//! on a per-request response slot while their command waits its turn, so the
+//! core stays single-threaded (no locks around cluster state) while any
+//! number of clients talk to the daemon concurrently.  When the queue is
+//! full, handlers block briefly and then shed load with a `Busy` reply —
+//! the wire-level face of the queue's backpressure.
+
+use crate::command::{Command, ErrorCode, Reply, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::SchedulerService;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection handler blocks on a full queue before replying
+/// `Busy`.
+const ENQUEUE_TIMEOUT: Duration = Duration::from_secs(2);
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// How long [`Server::join`] waits for in-flight reply writes to flush.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// State shared between the listener, the worker and connection handlers.
+struct Shared {
+    /// Set when the daemon stops accepting connections.
+    shutdown: AtomicBool,
+    /// Replies produced (or owed) but not yet flushed to a socket.  The
+    /// process must not exit while this is non-zero, or a client — e.g. the
+    /// one whose `Shutdown` triggered the exit — would lose its reply.
+    pending_replies: AtomicUsize,
+}
+
+/// One-shot response slot a connection handler parks on.
+type Slot = Arc<(Mutex<Option<Response>>, Condvar)>;
+
+struct WorkItem {
+    command: Command,
+    slot: Slot,
+}
+
+fn fill(slot: &Slot, response: Response) {
+    let (lock, condvar) = &**slot;
+    *lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(response);
+    condvar.notify_one();
+}
+
+fn wait(slot: &Slot) -> Response {
+    let (lock, condvar) = &**slot;
+    let mut guard = lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    loop {
+        if let Some(response) = guard.take() {
+            return response;
+        }
+        guard = condvar
+            .wait(guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+/// A running daemon: listener + worker threads around one
+/// [`SchedulerService`].
+pub struct Server {
+    addr: SocketAddr,
+    listener_handle: JoinHandle<()>,
+    worker_handle: JoinHandle<SchedulerService>,
+    queue: BoundedQueue<WorkItem>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn(service: SchedulerService, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let queue = BoundedQueue::with_capacity(service.config().limits.queue_capacity);
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            pending_replies: AtomicUsize::new(0),
+        });
+
+        let worker_handle = {
+            let queue = queue.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(service, &queue, &shared))
+        };
+
+        let listener_handle = {
+            let queue = queue.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &queue, &shared))
+        };
+
+        Ok(Self {
+            addr: local,
+            listener_handle,
+            worker_handle,
+            queue,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a stop without a wire command (signal handling, tests).
+    /// Queued commands are still drained before the worker exits.
+    pub fn request_stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Waits for the daemon to finish (a `Shutdown` command or
+    /// [`Server::request_stop`]) and returns the final service state.
+    ///
+    /// Connection handlers are detached threads, so this additionally waits —
+    /// bounded by a short drain window — until no reply is still being
+    /// written; without that, the process could exit before the `Shutdown`
+    /// reply reaches its client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn join(self) -> SchedulerService {
+        let service = self
+            .worker_handle
+            .join()
+            .expect("scheduler worker thread panicked");
+        self.listener_handle
+            .join()
+            .expect("listener thread panicked");
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while self.shared.pending_replies.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        service
+    }
+}
+
+fn worker_loop(
+    mut service: SchedulerService,
+    queue: &BoundedQueue<WorkItem>,
+    shared: &Arc<Shared>,
+) -> SchedulerService {
+    while let Some(WorkItem { command, slot }) = queue.pop() {
+        let depth = queue.len();
+        // Contain panics from command processing: a poisoned daemon must
+        // fail-stop visibly (structured error, clean shutdown), not leave the
+        // panicking client parked forever on its slot with the queue wedged.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.apply(command, depth)
+        }));
+        let (response, stop) = match outcome {
+            Ok(response) => {
+                let stop = matches!(response, Response::ShuttingDown);
+                (response, stop)
+            }
+            Err(_) => (
+                Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "command processing panicked; daemon is shutting down".to_string(),
+                },
+                true,
+            ),
+        };
+        fill(&slot, response);
+        if stop {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            queue.close();
+            // Refuse what is still queued so no handler blocks forever on an
+            // unfilled slot.
+            while let Some(item) = queue.pop() {
+                fill(
+                    &item.slot,
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "daemon is shutting down".to_string(),
+                    },
+                );
+            }
+            break;
+        }
+    }
+    service
+}
+
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<WorkItem>, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let queue = queue.clone();
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    // A dead client is not a daemon error; drop the
+                    // connection and keep serving the rest.
+                    let _ = serve_connection(stream, &queue, &shared);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    queue: &BoundedQueue<WorkItem>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    // Replies are single small lines; Nagle would add ~40ms of latency to
+    // every request/response round trip.
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // From here until the reply is flushed (or fails), this connection
+        // owes its client a line; `Server::join` drains the counter before
+        // letting the process exit.
+        shared.pending_replies.fetch_add(1, Ordering::SeqCst);
+        let reply = match serde_json::from_str::<Request>(&line) {
+            Err(e) => Reply {
+                id: 0,
+                response: Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    message: format!("malformed request: {e}"),
+                },
+            },
+            Ok(request) => {
+                let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
+                let item = WorkItem {
+                    command: request.command,
+                    slot: Arc::clone(&slot),
+                };
+                let response = match queue.push_timeout(item, ENQUEUE_TIMEOUT) {
+                    Ok(()) => wait(&slot),
+                    Err((_, PushError::Full)) => Response::Error {
+                        code: ErrorCode::Busy,
+                        message: "command queue full, retry later".to_string(),
+                    },
+                    Err((_, PushError::Closed)) => Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "daemon is shutting down".to_string(),
+                    },
+                };
+                Reply {
+                    id: request.id,
+                    response,
+                }
+            }
+        };
+        let written = serde_json::to_string(&reply)
+            .map_err(std::io::Error::other)
+            .and_then(|line| writeln!(writer, "{line}").and_then(|()| writer.flush()));
+        shared.pending_replies.fetch_sub(1, Ordering::SeqCst);
+        written?;
+    }
+    Ok(())
+}

@@ -1,0 +1,1010 @@
+//! The scheduler service core: a single-threaded state machine over
+//! [`Command`]s.
+//!
+//! The core owns the cluster state (through a [`SimulationEngine`], whose
+//! round step it reuses), a boxed [`AllocationPolicy`] whose solver context
+//! warm-starts every `Tick`, the stable-handle tenant index, admission-control
+//! quotas and the metrics registry.  It has no threads and no I/O: the TCP
+//! server feeds it commands one at a time, and tests can drive it directly.
+
+use crate::command::{
+    Command, ErrorCode, MetricsReport, Response, RoundSummary, StatusReport, TenantRoundSummary,
+};
+use crate::metrics::ServiceMetrics;
+use crate::snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
+use oef_cluster::{ClusterState, ClusterTopology, GpuType, Job, JobId, Tenant};
+use oef_core::{BoxedPolicy, SpeedupVector, TenantIndexMap};
+use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
+use oef_sim::{SimulationConfig, SimulationEngine};
+use serde::{Deserialize, Serialize};
+
+/// Admission-control quotas enforced before state is mutated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceLimits {
+    /// Maximum simultaneously registered tenants.
+    pub max_tenants: usize,
+    /// Maximum unfinished jobs a tenant may hold.
+    pub max_jobs_per_tenant: usize,
+    /// Maximum hosts in the topology.
+    pub max_hosts: usize,
+    /// Capacity of the daemon's bounded command queue.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        Self {
+            max_tenants: 64,
+            max_jobs_per_tenant: 256,
+            max_hosts: 64,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Static configuration of a service instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Allocation policy name (see [`policy_from_name`]).
+    pub policy: String,
+    /// Seconds of simulated time one `Tick` advances.
+    pub round_secs: f64,
+    /// Whether ticks run physical placement (rounding, packing, contention)
+    /// or the fluid model.
+    pub physical_placement: bool,
+    /// Admission-control quotas.
+    pub limits: ServiceLimits,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            policy: "oef-noncooperative".to_string(),
+            round_secs: 300.0,
+            physical_placement: true,
+            limits: ServiceLimits::default(),
+        }
+    }
+}
+
+/// Errors constructing or restoring a service (wire-level failures are
+/// [`Response::Error`] instead).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The configured policy name is not registered.
+    UnknownPolicy(String),
+    /// A snapshot could not be parsed or failed validation.
+    BadSnapshot(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownPolicy(name) => write!(f, "unknown policy `{name}`"),
+            ServiceError::BadSnapshot(reason) => write!(f, "bad snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Builds a boxed policy from its wire name.
+///
+/// Names match each policy's `AllocationPolicy::name()`: the OEF mechanisms
+/// (`oef-noncooperative`, `oef-cooperative`) and the baselines (`max-min`,
+/// `gandiva-fair`, `gavel`, `max-efficiency`).
+pub fn policy_from_name(name: &str) -> Option<BoxedPolicy> {
+    match name {
+        "oef-noncooperative" => Some(Box::new(oef_core::NonCooperativeOef::default())),
+        "oef-cooperative" => Some(Box::new(oef_core::CooperativeOef::default())),
+        "max-min" => Some(Box::new(MaxMin::default())),
+        "gandiva-fair" => Some(Box::new(GandivaFair::default())),
+        "gavel" => Some(Box::new(Gavel::default())),
+        "max-efficiency" => Some(Box::new(MaxEfficiency::default())),
+        _ => None,
+    }
+}
+
+/// The single-threaded scheduling service core.
+pub struct SchedulerService {
+    engine: SimulationEngine,
+    policy: BoxedPolicy,
+    config: ServiceConfig,
+    tenants: TenantIndexMap,
+    next_tenant_handle: u64,
+    metrics: ServiceMetrics,
+    shutting_down: bool,
+}
+
+impl std::fmt::Debug for SchedulerService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerService")
+            .field("policy", &self.config.policy)
+            .field("tenants", &self.tenants.len())
+            .field("round", &self.engine.rounds_run())
+            .field("shutting_down", &self.shutting_down)
+            .finish_non_exhaustive()
+    }
+}
+
+type CommandResult = Result<Response, (ErrorCode, String)>;
+
+impl SchedulerService {
+    /// Creates a service over an empty cluster with the given topology.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configured policy name is unknown.
+    pub fn new(topology: ClusterTopology, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let policy = policy_from_name(&config.policy)
+            .ok_or_else(|| ServiceError::UnknownPolicy(config.policy.clone()))?;
+        let engine =
+            SimulationEngine::new(ClusterState::new(topology), Self::engine_config(&config));
+        Ok(Self {
+            engine,
+            policy,
+            config,
+            tenants: TenantIndexMap::new(),
+            next_tenant_handle: 1,
+            metrics: ServiceMetrics::new(),
+            shutting_down: false,
+        })
+    }
+
+    /// Rebuilds a service from a snapshot JSON string (see
+    /// [`Command::Snapshot`]).
+    ///
+    /// The solver context restarts cold — the first tick after a restore pays
+    /// one cold solve, after which warm starting resumes.  Allocations are
+    /// unaffected: cold and warm solves agree within numerical tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed snapshots, version mismatches, unknown policies, or
+    /// a tenant index that disagrees with the cluster state.
+    pub fn from_snapshot_json(snapshot: &str) -> Result<Self, ServiceError> {
+        let snapshot: ServiceSnapshot =
+            serde_json::from_str(snapshot).map_err(|e| ServiceError::BadSnapshot(e.to_string()))?;
+        Self::from_snapshot(snapshot)
+    }
+
+    fn from_snapshot(snapshot: ServiceSnapshot) -> Result<Self, ServiceError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(ServiceError::BadSnapshot(format!(
+                "snapshot version {} (daemon supports {SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        if snapshot.tenant_handles.len() != snapshot.state.tenants().len() {
+            return Err(ServiceError::BadSnapshot(format!(
+                "tenant index has {} handles but state has {} tenants",
+                snapshot.tenant_handles.len(),
+                snapshot.state.tenants().len()
+            )));
+        }
+        if let Some(&max) = snapshot.tenant_handles.handles().iter().max() {
+            if snapshot.next_tenant_handle <= max {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "next_tenant_handle {} does not exceed the largest live handle {max}",
+                    snapshot.next_tenant_handle
+                )));
+            }
+        }
+        Self::validate_state(&snapshot.state).map_err(ServiceError::BadSnapshot)?;
+        let policy = policy_from_name(&snapshot.config.policy)
+            .ok_or_else(|| ServiceError::UnknownPolicy(snapshot.config.policy.clone()))?;
+        let mut engine =
+            SimulationEngine::new(snapshot.state, Self::engine_config(&snapshot.config));
+        engine.restore_clock(snapshot.now_secs, snapshot.round);
+        engine.restore_rounding(snapshot.rounding);
+        Ok(Self {
+            engine,
+            policy,
+            config: snapshot.config,
+            tenants: snapshot.tenant_handles,
+            next_tenant_handle: snapshot.next_tenant_handle,
+            metrics: ServiceMetrics::new(),
+            shutting_down: false,
+        })
+    }
+
+    /// Checks the internal invariants of a deserialized cluster state.
+    /// `Restore` is an ordinary wire command, so a malformed snapshot must be
+    /// refused here rather than panicking the scheduler on the next tick.
+    fn validate_state(state: &ClusterState) -> Result<(), String> {
+        let k = state.topology().num_gpu_types();
+        for (i, tenant) in state.tenants().iter().enumerate() {
+            if tenant.id != i {
+                return Err(format!("tenant at index {i} carries id {}", tenant.id));
+            }
+            if tenant.true_speedup.num_gpu_types() != k
+                || tenant.reported_speedup.num_gpu_types() != k
+            {
+                return Err(format!(
+                    "tenant {i} speedup profile does not cover the {k} GPU types"
+                ));
+            }
+            for job in &tenant.jobs {
+                if job.tenant != i {
+                    return Err(format!(
+                        "job {:?} of tenant {i} carries tenant index {}",
+                        job.id, job.tenant
+                    ));
+                }
+                if job.speedup.num_gpu_types() != k {
+                    return Err(format!(
+                        "job {:?} speedup profile does not cover the {k} GPU types",
+                        job.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn engine_config(config: &ServiceConfig) -> SimulationConfig {
+        SimulationConfig {
+            round_secs: config.round_secs,
+            physical_placement: config.physical_placement,
+            ..SimulationConfig::default()
+        }
+    }
+
+    /// The service's static configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Whether a `Shutdown` command has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
+    }
+
+    /// Read access to the cluster state (tests, reporting).
+    pub fn state(&self) -> &ClusterState {
+        self.engine.state()
+    }
+
+    /// Stable handles of the registered tenants, in dense-index order.
+    pub fn tenant_handles(&self) -> &[u64] {
+        self.tenants.handles()
+    }
+
+    /// Scheduling rounds completed over the service's lifetime.
+    pub fn rounds_run(&self) -> usize {
+        self.engine.rounds_run()
+    }
+
+    /// Executes one command against the state machine.
+    ///
+    /// `queue_depth` is the number of commands still waiting behind this one
+    /// (0 when driving the core directly); it is only observed by `Metrics`.
+    /// Every outcome is a [`Response`] — errors are data, not panics.
+    pub fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
+        let result = self.dispatch(command, queue_depth);
+        self.metrics.record_command(result.is_ok());
+        match result {
+            Ok(response) => response,
+            Err((code, message)) => Response::Error { code, message },
+        }
+    }
+
+    fn dispatch(&mut self, command: Command, queue_depth: usize) -> CommandResult {
+        if self.shutting_down && !matches!(command, Command::Status | Command::Metrics) {
+            return Err((
+                ErrorCode::ShuttingDown,
+                "daemon is shutting down".to_string(),
+            ));
+        }
+        match command {
+            Command::TenantJoin {
+                name,
+                weight,
+                speedup,
+            } => self.tenant_join(name, weight, speedup),
+            Command::TenantLeave { tenant } => self.tenant_leave(tenant),
+            Command::UpdateSpeedups { tenant, speedup } => self.update_speedups(tenant, speedup),
+            Command::SubmitJob {
+                tenant,
+                model,
+                workers,
+                total_work,
+            } => self.submit_job(tenant, model, workers, total_work),
+            Command::JobFinished { tenant, job } => self.job_finished(tenant, job),
+            Command::AddHost { gpu_type, num_gpus } => self.add_host(gpu_type, num_gpus),
+            Command::RemoveHost { host } => self.remove_host(host),
+            Command::Tick => self.tick(),
+            Command::Metrics => Ok(self.metrics_report(queue_depth)),
+            Command::Snapshot => self.snapshot(),
+            Command::Restore { snapshot } => self.restore(&snapshot),
+            Command::Status => Ok(self.status()),
+            Command::Shutdown => {
+                self.shutting_down = true;
+                Ok(Response::ShuttingDown)
+            }
+        }
+    }
+
+    fn parse_speedup(&self, speedup: Vec<f64>) -> Result<SpeedupVector, (ErrorCode, String)> {
+        let k = self.engine.state().topology().num_gpu_types();
+        if speedup.len() != k {
+            return Err((
+                ErrorCode::InvalidArgument,
+                format!(
+                    "speedup has {} entries, topology has {k} GPU types",
+                    speedup.len()
+                ),
+            ));
+        }
+        SpeedupVector::new(speedup).map_err(|e| (ErrorCode::InvalidArgument, e.to_string()))
+    }
+
+    fn lookup_tenant(&self, handle: u64) -> Result<usize, (ErrorCode, String)> {
+        self.tenants.index_of(handle).ok_or_else(|| {
+            (
+                ErrorCode::UnknownTenant,
+                format!("no tenant with handle {handle}"),
+            )
+        })
+    }
+
+    fn tenant_join(&mut self, name: String, weight: u32, speedup: Vec<f64>) -> CommandResult {
+        if self.tenants.len() >= self.config.limits.max_tenants {
+            return Err((
+                ErrorCode::QuotaExceeded,
+                format!("tenant limit {} reached", self.config.limits.max_tenants),
+            ));
+        }
+        if weight == 0 {
+            return Err((
+                ErrorCode::InvalidArgument,
+                "weight must be at least 1".to_string(),
+            ));
+        }
+        let speedup = self.parse_speedup(speedup)?;
+        let handle = self.next_tenant_handle;
+        self.next_tenant_handle += 1;
+        let index = self.tenants.insert(handle);
+        let assigned = self
+            .engine
+            .state_mut()
+            .add_tenant(Tenant::new(index, name, speedup).with_weight(weight));
+        debug_assert_eq!(assigned, index, "tenant index map and state diverged");
+        Ok(Response::TenantJoined { tenant: handle })
+    }
+
+    fn tenant_leave(&mut self, handle: u64) -> CommandResult {
+        let index = self.lookup_tenant(handle)?;
+        self.tenants.remove(handle);
+        // Engine-level removal keeps the rounding placer's deviation rows
+        // aligned with the compacted tenant indices.
+        self.engine.remove_tenant(index);
+        Ok(Response::TenantLeft { tenant: handle })
+    }
+
+    fn update_speedups(&mut self, handle: u64, speedup: Vec<f64>) -> CommandResult {
+        let index = self.lookup_tenant(handle)?;
+        let speedup = self.parse_speedup(speedup)?;
+        self.engine
+            .state_mut()
+            .set_speedup_profile(index, speedup)
+            .map_err(|e| (ErrorCode::InvalidArgument, e.to_string()))?;
+        Ok(Response::SpeedupsUpdated { tenant: handle })
+    }
+
+    fn submit_job(
+        &mut self,
+        handle: u64,
+        model: String,
+        workers: usize,
+        total_work: f64,
+    ) -> CommandResult {
+        let index = self.lookup_tenant(handle)?;
+        if !(total_work > 0.0 && total_work.is_finite()) {
+            return Err((
+                ErrorCode::InvalidArgument,
+                "total_work must be positive and finite".to_string(),
+            ));
+        }
+        if workers == 0 {
+            return Err((
+                ErrorCode::InvalidArgument,
+                "a job needs at least one worker".to_string(),
+            ));
+        }
+        let unfinished = self
+            .engine
+            .state()
+            .tenant(index)
+            .jobs
+            .iter()
+            .filter(|j| !j.is_finished())
+            .count();
+        if unfinished >= self.config.limits.max_jobs_per_tenant {
+            return Err((
+                ErrorCode::QuotaExceeded,
+                format!(
+                    "tenant {handle} already holds {unfinished} unfinished jobs (limit {})",
+                    self.config.limits.max_jobs_per_tenant
+                ),
+            ));
+        }
+        let speedup = self.engine.state().tenant(index).true_speedup.clone();
+        let now = self.engine.now();
+        let job = Job::new(JobId(0), index, model, workers, speedup, total_work, now);
+        let id = self.engine.state_mut().submit_job(index, job);
+        Ok(Response::JobSubmitted {
+            tenant: handle,
+            job: id.0,
+        })
+    }
+
+    fn job_finished(&mut self, handle: u64, job: u64) -> CommandResult {
+        let index = self.lookup_tenant(handle)?;
+        let now = self.engine.now();
+        let tenant = self.engine.state_mut().tenant_mut(index);
+        let Some(job_ref) = tenant.job_mut(JobId(job)) else {
+            return Err((
+                ErrorCode::UnknownJob,
+                format!("tenant {handle} has no job {job}"),
+            ));
+        };
+        let remaining = job_ref.remaining_work;
+        job_ref.advance(remaining + 1.0, now);
+        Ok(Response::JobFinished {
+            tenant: handle,
+            job,
+        })
+    }
+
+    fn add_host(&mut self, gpu_type: usize, num_gpus: usize) -> CommandResult {
+        if self.engine.state().topology().hosts().len() >= self.config.limits.max_hosts {
+            return Err((
+                ErrorCode::QuotaExceeded,
+                format!("host limit {} reached", self.config.limits.max_hosts),
+            ));
+        }
+        let host = self
+            .engine
+            .state_mut()
+            .add_host(GpuType(gpu_type), num_gpus)
+            .map_err(|e| (ErrorCode::InvalidArgument, e.to_string()))?;
+        Ok(Response::HostAdded { host })
+    }
+
+    fn remove_host(&mut self, host: usize) -> CommandResult {
+        if !self
+            .engine
+            .state()
+            .topology()
+            .hosts()
+            .iter()
+            .any(|h| h.id == host)
+        {
+            return Err((ErrorCode::UnknownHost, format!("no host with id {host}")));
+        }
+        self.engine
+            .state_mut()
+            .remove_host(host)
+            .map_err(|e| (ErrorCode::InvalidArgument, e.to_string()))?;
+        Ok(Response::HostRemoved { host })
+    }
+
+    fn tick(&mut self) -> CommandResult {
+        let stats_before = self.policy.solver_stats();
+        let record = self
+            .engine
+            .step(&*self.policy)
+            .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+        let warm_start = match (stats_before, self.policy.solver_stats()) {
+            (Some(before), Some(after)) => after.warm_solves > before.warm_solves,
+            _ => false,
+        };
+        // Empty rounds run no solve; recording their 0.0 would corrupt the
+        // latency percentiles and detach rounds_solved from the solve counters.
+        if !record.tenants.is_empty() {
+            self.metrics.record_round(record.solver_time_secs);
+        }
+        // A long-lived daemon must not accumulate job history without bound:
+        // completed jobs leave the state (counted in the metrics registry),
+        // which keeps per-round scans, snapshots and memory flat.  Scheduling
+        // is unaffected — only runnable/unfinished jobs influence rounds.
+        let mut completed = 0u64;
+        for tenant in self.engine.state_mut().tenants_mut() {
+            let before = tenant.jobs.len();
+            tenant.jobs.retain(|j| !j.is_finished());
+            completed += (before - tenant.jobs.len()) as u64;
+        }
+        self.metrics.record_jobs_completed(completed);
+        let tenants = record
+            .tenants
+            .iter()
+            .map(|t| TenantRoundSummary {
+                tenant: self.tenants.handle_at(t.tenant).unwrap_or(0),
+                estimated_throughput: t.estimated_throughput,
+                actual_throughput: t.actual_throughput,
+                devices_held: t.devices_held,
+                gpu_shares: t.gpu_shares.clone(),
+            })
+            .collect();
+        Ok(Response::RoundCompleted(RoundSummary {
+            round: record.round,
+            time_secs: record.time_secs,
+            solver_time_secs: record.solver_time_secs,
+            warm_start,
+            tenants,
+        }))
+    }
+
+    fn metrics_report(&self, queue_depth: usize) -> Response {
+        let stats = self.policy.solver_stats().unwrap_or_default();
+        let total_solves = stats.warm_solves + stats.cold_solves;
+        Response::Metrics(MetricsReport {
+            commands_processed: self.metrics.commands_processed(),
+            commands_rejected: self.metrics.commands_rejected(),
+            rounds_solved: self.metrics.rounds_solved(),
+            jobs_completed: self.metrics.jobs_completed(),
+            warm_solves: stats.warm_solves,
+            cold_solves: stats.cold_solves,
+            dense_fallbacks: stats.dense_fallbacks,
+            warm_hit_rate: if total_solves == 0 {
+                0.0
+            } else {
+                stats.warm_solves as f64 / total_solves as f64
+            },
+            solve_p50_secs: self.metrics.solve_percentile(0.5),
+            solve_p99_secs: self.metrics.solve_percentile(0.99),
+            solve_last_secs: self.metrics.last_solve_secs(),
+            queue_depth,
+            tenants: self.tenants.len(),
+            hosts: self.engine.state().topology().hosts().len(),
+        })
+    }
+
+    fn snapshot(&self) -> CommandResult {
+        let snapshot = ServiceSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            now_secs: self.engine.now(),
+            round: self.engine.rounds_run(),
+            state: self.engine.state().clone(),
+            rounding: self.engine.rounding().clone(),
+            tenant_handles: self.tenants.clone(),
+            next_tenant_handle: self.next_tenant_handle,
+        };
+        let json = serde_json::to_string(&snapshot)
+            .map_err(|e| (ErrorCode::Internal, format!("snapshot failed: {e}")))?;
+        Ok(Response::Snapshot { snapshot: json })
+    }
+
+    fn restore(&mut self, snapshot: &str) -> CommandResult {
+        let restored = Self::from_snapshot_json(snapshot).map_err(|e| match e {
+            ServiceError::BadSnapshot(m) => (ErrorCode::InvalidArgument, m),
+            ServiceError::UnknownPolicy(m) => {
+                (ErrorCode::InvalidArgument, format!("unknown policy `{m}`"))
+            }
+        })?;
+        let tenants = restored.tenants.len();
+        // The metrics registry describes this process, not the restored
+        // state: keep it running across the restore.
+        let metrics = std::mem::take(&mut self.metrics);
+        // Likewise the command queue was sized when this process spawned and
+        // cannot be resized live: keep the running capacity authoritative so
+        // `config()` reflects actual behavior.  The snapshot's capacity
+        // applies when a daemon *starts* with `--restore`.
+        let queue_capacity = self.config.limits.queue_capacity;
+        *self = restored;
+        self.metrics = metrics;
+        self.config.limits.queue_capacity = queue_capacity;
+        Ok(Response::Restored { tenants })
+    }
+
+    fn status(&self) -> Response {
+        let topology = self.engine.state().topology();
+        Response::Status(StatusReport {
+            policy: self.config.policy.clone(),
+            round: self.engine.rounds_run(),
+            time_secs: self.engine.now(),
+            tenants: self.tenants.len(),
+            hosts: topology.hosts().len(),
+            total_devices: topology.total_devices(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> SchedulerService {
+        SchedulerService::new(ClusterTopology::paper_cluster(), ServiceConfig::default()).unwrap()
+    }
+
+    fn join(service: &mut SchedulerService, name: &str, speedup: Vec<f64>) -> u64 {
+        match service.apply(
+            Command::TenantJoin {
+                name: name.into(),
+                weight: 1,
+                speedup,
+            },
+            0,
+        ) {
+            Response::TenantJoined { tenant } => tenant,
+            other => panic!("join failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_submit_tick_leave_lifecycle() {
+        let mut svc = service();
+        let alice = join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
+        let bob = join(&mut svc, "bob", vec![1.0, 1.6, 2.2]);
+        assert_eq!((alice, bob), (1, 2));
+
+        for tenant in [alice, bob] {
+            let r = svc.apply(
+                Command::SubmitJob {
+                    tenant,
+                    model: "vgg16".into(),
+                    workers: 2,
+                    total_work: 1e9,
+                },
+                0,
+            );
+            assert!(matches!(r, Response::JobSubmitted { .. }), "{r:?}");
+        }
+
+        let Response::RoundCompleted(round) = svc.apply(Command::Tick, 0) else {
+            panic!("tick failed");
+        };
+        assert_eq!(round.round, 0);
+        assert_eq!(round.tenants.len(), 2);
+        assert!(round.tenants.iter().any(|t| t.tenant == alice));
+        assert!(round.total_devices() > 0);
+
+        let r = svc.apply(Command::TenantLeave { tenant: alice }, 0);
+        assert!(matches!(r, Response::TenantLeft { .. }), "{r:?}");
+        let Response::RoundCompleted(round) = svc.apply(Command::Tick, 0) else {
+            panic!("tick failed");
+        };
+        assert_eq!(round.tenants.len(), 1);
+        assert_eq!(round.tenants[0].tenant, bob, "handles survive re-indexing");
+    }
+
+    impl RoundSummary {
+        fn total_devices(&self) -> usize {
+            self.tenants.iter().map(|t| t.devices_held).sum()
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_over_quota() {
+        let config = ServiceConfig {
+            limits: ServiceLimits {
+                max_tenants: 2,
+                max_jobs_per_tenant: 1,
+                max_hosts: 6,
+                queue_capacity: 8,
+            },
+            ..ServiceConfig::default()
+        };
+        let mut svc = SchedulerService::new(ClusterTopology::paper_cluster(), config).unwrap();
+        let a = join(&mut svc, "a", vec![1.0, 1.2, 1.4]);
+        let _b = join(&mut svc, "b", vec![1.0, 1.2, 1.4]);
+        let r = svc.apply(
+            Command::TenantJoin {
+                name: "c".into(),
+                weight: 1,
+                speedup: vec![1.0, 1.2, 1.4],
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::QuotaExceeded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+
+        // Per-tenant job quota.
+        svc.apply(
+            Command::SubmitJob {
+                tenant: a,
+                model: "m".into(),
+                workers: 1,
+                total_work: 100.0,
+            },
+            0,
+        );
+        let r = svc.apply(
+            Command::SubmitJob {
+                tenant: a,
+                model: "m".into(),
+                workers: 1,
+                total_work: 100.0,
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::QuotaExceeded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+
+        // Host quota: paper cluster already has 6 hosts.
+        let r = svc.apply(
+            Command::AddHost {
+                gpu_type: 0,
+                num_gpus: 4,
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::QuotaExceeded,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn validation_and_unknown_handle_errors() {
+        let mut svc = service();
+        let r = svc.apply(
+            Command::TenantJoin {
+                name: "bad".into(),
+                weight: 1,
+                speedup: vec![1.0, 2.0],
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    ..
+                }
+            ),
+            "wrong arity: {r:?}"
+        );
+        let r = svc.apply(Command::TenantLeave { tenant: 99 }, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let r = svc.apply(Command::RemoveHost { host: 77 }, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::UnknownHost,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let t = join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
+        let r = svc.apply(Command::JobFinished { tenant: t, job: 5 }, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::UnknownJob,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn warm_start_kicks_in_on_steady_ticks() {
+        let mut svc = service();
+        for name in ["a", "b", "c"] {
+            let t = join(&mut svc, name, vec![1.0, 1.3, 1.9]);
+            svc.apply(
+                Command::SubmitJob {
+                    tenant: t,
+                    model: "m".into(),
+                    workers: 1,
+                    total_work: 1e9,
+                },
+                0,
+            );
+        }
+        let mut warm = 0;
+        for i in 0..6 {
+            let Response::RoundCompleted(round) = svc.apply(Command::Tick, 0) else {
+                panic!("tick {i} failed");
+            };
+            if round.warm_start {
+                warm += 1;
+            }
+        }
+        assert!(
+            warm >= 5,
+            "expected warm starts on steady ticks, got {warm}/6"
+        );
+
+        let Response::Metrics(m) = svc.apply(Command::Metrics, 3) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(m.rounds_solved, 6);
+        assert!(m.warm_hit_rate > 0.8, "hit rate {}", m.warm_hit_rate);
+        assert_eq!(m.queue_depth, 3);
+        assert!(m.solve_p50_secs > 0.0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_in_process() {
+        let mut svc = service();
+        let t = join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
+        svc.apply(
+            Command::SubmitJob {
+                tenant: t,
+                model: "m".into(),
+                workers: 2,
+                total_work: 1e8,
+            },
+            0,
+        );
+        svc.apply(Command::Tick, 0);
+        let Response::Snapshot { snapshot } = svc.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+
+        let restored = SchedulerService::from_snapshot_json(&snapshot).unwrap();
+        assert_eq!(restored.tenant_handles(), svc.tenant_handles());
+        assert_eq!(restored.state(), svc.state());
+        assert_eq!(restored.config(), svc.config());
+
+        // A fresh service can also swallow the snapshot via the wire command.
+        let mut other = service();
+        let r = other.apply(Command::Restore { snapshot }, 0);
+        assert!(matches!(r, Response::Restored { tenants: 1 }), "{r:?}");
+        assert_eq!(other.state(), svc.state());
+    }
+
+    #[test]
+    fn shutdown_blocks_further_mutations() {
+        let mut svc = service();
+        assert!(matches!(
+            svc.apply(Command::Shutdown, 0),
+            Response::ShuttingDown
+        ));
+        assert!(svc.is_shutting_down());
+        let r = svc.apply(Command::Tick, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // Status stays readable for observability.
+        assert!(matches!(svc.apply(Command::Status, 0), Response::Status(_)));
+    }
+
+    #[test]
+    fn stale_handle_counter_is_rejected_on_restore() {
+        let mut svc = service();
+        join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
+        let Response::Snapshot { snapshot } = svc.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        // Corrupt the counter so the next join would collide with the live
+        // handle 1; the restore must refuse instead of arming a later panic.
+        let corrupted = snapshot.replace("\"next_tenant_handle\":2", "\"next_tenant_handle\":1");
+        assert_ne!(corrupted, snapshot, "fixture must actually corrupt");
+        let err = SchedulerService::from_snapshot_json(&corrupted).unwrap_err();
+        assert!(matches!(err, ServiceError::BadSnapshot(_)), "{err:?}");
+        let r = svc.apply(
+            Command::Restore {
+                snapshot: corrupted,
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_snapshot_state_is_rejected() {
+        let mut svc = service();
+        join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
+        let Response::Snapshot { snapshot } = svc.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        // A tenant whose id disagrees with its position would panic the next
+        // tick if accepted; the restore must refuse it up front.
+        let corrupted = snapshot.replace(
+            "{\"id\":0,\"name\":\"alice\"",
+            "{\"id\":7,\"name\":\"alice\"",
+        );
+        assert_ne!(corrupted, snapshot, "fixture must actually corrupt");
+        let err = SchedulerService::from_snapshot_json(&corrupted).unwrap_err();
+        assert!(matches!(err, ServiceError::BadSnapshot(_)), "{err:?}");
+    }
+
+    #[test]
+    fn empty_rounds_do_not_pollute_solver_metrics() {
+        let mut svc = service();
+        svc.apply(Command::Tick, 0);
+        svc.apply(Command::Tick, 0);
+        let Response::Metrics(m) = svc.apply(Command::Metrics, 0) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(m.rounds_solved, 0, "no-tenant rounds run no solve");
+        assert_eq!(m.solve_p50_secs, 0.0);
+    }
+
+    #[test]
+    fn finished_jobs_are_pruned_and_counted() {
+        let mut svc = service();
+        let t = join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
+        let Response::JobSubmitted { job, .. } = svc.apply(
+            Command::SubmitJob {
+                tenant: t,
+                model: "m".into(),
+                workers: 1,
+                total_work: 100.0,
+            },
+            0,
+        ) else {
+            panic!("submit failed");
+        };
+        svc.apply(Command::JobFinished { tenant: t, job }, 0);
+        assert_eq!(
+            svc.state().tenant(0).jobs.len(),
+            1,
+            "pruning waits for the tick"
+        );
+        svc.apply(Command::Tick, 0);
+        assert_eq!(svc.state().tenant(0).jobs.len(), 0, "finished job pruned");
+        let Response::Metrics(m) = svc.apply(Command::Metrics, 0) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(m.jobs_completed, 1);
+    }
+
+    #[test]
+    fn unknown_policy_is_a_construction_error() {
+        let config = ServiceConfig {
+            policy: "round-robin".into(),
+            ..ServiceConfig::default()
+        };
+        let err = SchedulerService::new(ClusterTopology::paper_cluster(), config).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownPolicy(_)));
+    }
+}

@@ -1,0 +1,71 @@
+//! Durable snapshot of the full service state.
+//!
+//! A snapshot captures everything a restarted daemon needs to resume
+//! mid-trace: the cluster state (topology, tenants, jobs, progress), the
+//! service clock, the stable tenant handles and the handle counter, plus the
+//! configuration the state was produced under.  Solver caches are
+//! deliberately *not* captured — they are per-process working state, and the
+//! first post-restore solve rebuilds them (cold) without changing any
+//! allocation.
+
+use crate::service::ServiceConfig;
+use oef_cluster::{ClusterState, RoundingPlacer};
+use oef_core::TenantIndexMap;
+use serde::{Deserialize, Serialize};
+
+/// Version stamp embedded in every snapshot; bump on breaking layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The serialized form of a [`crate::SchedulerService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Service configuration (policy, round length, quotas).
+    pub config: ServiceConfig,
+    /// Service time at the moment of the snapshot, in seconds.
+    pub now_secs: f64,
+    /// Rounds completed at the moment of the snapshot.
+    pub round: usize,
+    /// Full cluster state: topology, tenants, jobs and their progress.
+    pub state: ClusterState,
+    /// Cumulative rounding deviations of the placer — without them a restart
+    /// would grant different whole devices for the same fractional shares.
+    pub rounding: RoundingPlacer,
+    /// Stable tenant handles in dense-index order.
+    pub tenant_handles: TenantIndexMap,
+    /// Next handle to hand out on a join.
+    pub next_tenant_handle: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_cluster::{ClusterTopology, Tenant};
+    use oef_core::SpeedupVector;
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut state = ClusterState::new(ClusterTopology::paper_cluster());
+        state.add_tenant(Tenant::new(
+            0,
+            "alice",
+            SpeedupVector::new(vec![1.0, 1.2, 1.4]).unwrap(),
+        ));
+        let mut handles = TenantIndexMap::new();
+        handles.insert(17);
+        let snapshot = ServiceSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: ServiceConfig::default(),
+            now_secs: 1500.0,
+            round: 5,
+            state,
+            rounding: RoundingPlacer::new(1, 3),
+            tenant_handles: handles,
+            next_tenant_handle: 18,
+        };
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: ServiceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snapshot);
+    }
+}

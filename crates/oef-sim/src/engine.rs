@@ -122,12 +122,20 @@ impl SimulationEngine {
         &mut self.state
     }
 
-    /// Runs a single scheduling round under `policy`.
+    /// Runs a single scheduling round under `policy` **without** recording it
+    /// in the engine's history.
+    ///
+    /// This is the reusable round step: a long-running caller (the online
+    /// scheduling service) drives it for an unbounded number of rounds and
+    /// keeps its own bounded metrics, so the engine must not accumulate
+    /// per-round records forever.  Batch experiments should call
+    /// [`SimulationEngine::run_round`], which records the round for the final
+    /// [`SimulationReport`].
     ///
     /// # Errors
     ///
     /// Propagates allocation failures from the policy.
-    pub fn run_round<P: AllocationPolicy + ?Sized>(&mut self, policy: &P) -> Result<RoundRecord> {
+    pub fn step<P: AllocationPolicy + ?Sized>(&mut self, policy: &P) -> Result<RoundRecord> {
         self.state.process_arrivals(self.now);
         let active = self.state.active_tenants();
 
@@ -144,8 +152,48 @@ impl SimulationEngine {
 
         self.round += 1;
         self.now += self.config.round_secs;
+        Ok(record)
+    }
+
+    /// Runs a single scheduling round under `policy` and records it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures from the policy.
+    pub fn run_round<P: AllocationPolicy + ?Sized>(&mut self, policy: &P) -> Result<RoundRecord> {
+        let record = self.step(policy)?;
         self.records.push(record.clone());
         Ok(record)
+    }
+
+    /// Restores the simulated clock, used when resuming from a service
+    /// snapshot: the rebuilt engine continues at the round and time the
+    /// snapshot was taken.
+    pub fn restore_clock(&mut self, now: f64, round: usize) {
+        self.now = now;
+        self.round = round;
+    }
+
+    /// The rounding placer's cumulative deviation state.  Part of a complete
+    /// service snapshot: without it a restarted daemon would round the same
+    /// fractional allocation to different whole devices than the original
+    /// process.
+    pub fn rounding(&self) -> &RoundingPlacer {
+        &self.rounding
+    }
+
+    /// Replaces the rounding placer state when resuming from a snapshot.
+    pub fn restore_rounding(&mut self, rounding: RoundingPlacer) {
+        self.rounding = rounding;
+    }
+
+    /// Removes a tenant from the cluster state *and* drops its rounding
+    /// deviation row, keeping both sides aligned on the compacted indices.
+    /// Online callers must use this instead of mutating the state directly.
+    pub fn remove_tenant(&mut self, id: usize) -> Option<oef_cluster::Tenant> {
+        let removed = self.state.remove_tenant(id)?;
+        self.rounding.remove_tenant(id);
+        Some(removed)
     }
 
     /// Runs `rounds` rounds and returns the accumulated report.
@@ -274,6 +322,7 @@ impl SimulationEngine {
                 estimated_throughput: estimated[i],
                 actual_throughput: actual[i],
                 devices_held: devices_held[i],
+                gpu_shares: ideal.user_row(i).to_vec(),
             })
             .collect();
 

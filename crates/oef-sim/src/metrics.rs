@@ -21,6 +21,11 @@ pub struct TenantRound {
     pub actual_throughput: f64,
     /// Number of whole devices the tenant held this round.
     pub devices_held: usize,
+    /// Fractional allocation the fair-share evaluator granted this tenant, one
+    /// share per GPU type (the tenant's row of the allocation matrix).  Lets
+    /// callers compare raw allocations — e.g. the online service's
+    /// snapshot-equivalence check — rather than only derived throughput.
+    pub gpu_shares: Vec<f64>,
 }
 
 /// One scheduling round.
@@ -200,6 +205,7 @@ mod tests {
                     estimated_throughput: *e,
                     actual_throughput: *a,
                     devices_held: 1,
+                    gpu_shares: vec![1.0],
                 })
                 .collect(),
         }

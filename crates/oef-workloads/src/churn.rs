@@ -1,0 +1,265 @@
+//! Live command streams: a batch [`Trace`] replayed as tenant churn.
+//!
+//! The online service consumes *events over time* — tenants joining with a
+//! profile, submitting jobs as they arrive, occasionally re-profiling, and
+//! leaving once their work is done — rather than a scenario built up front.
+//! [`ChurnTrace::from_trace`] derives exactly that stream from a Philly-like
+//! trace: each trace tenant joins one round before its first job arrives,
+//! jobs become `SubmitJob` events at their arrival rounds, every
+//! `reprofile_every_rounds` rounds the tenant re-reports a jittered profile,
+//! and the tenant leaves `linger_rounds` after its last arrival.  The driver
+//! (`service_soak`, tests) walks rounds `0..rounds`, applies the events due
+//! at each round, then ticks.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Job payload of a churn event (the service assigns ids and speedups).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnJob {
+    /// Model name.
+    pub model: String,
+    /// Worker demand.
+    pub workers: usize,
+    /// Total work in slow-GPU seconds.
+    pub total_work: f64,
+}
+
+/// What happens to one tenant at one round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEventKind {
+    /// The tenant registers with the service.
+    Join {
+        /// Priority weight.
+        weight: u32,
+        /// Reported speedup profile.
+        speedup: Vec<f64>,
+    },
+    /// The tenant deregisters.
+    Leave,
+    /// The tenant re-reports its profile.
+    UpdateSpeedups {
+        /// New reported profile.
+        speedup: Vec<f64>,
+    },
+    /// The tenant submits a job.
+    SubmitJob(ChurnJob),
+}
+
+/// One event of the stream: a tenant (by trace name) does something at a
+/// round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Round index the event is due at.
+    pub round: usize,
+    /// Trace tenant name (the driver maps names to service handles).
+    pub tenant: String,
+    /// The event.
+    pub kind: ChurnEventKind,
+}
+
+/// Knobs of the trace-to-stream derivation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Seconds per scheduling round (Philly arrival times are bucketed by
+    /// this).
+    pub round_secs: f64,
+    /// Rounds a tenant lingers after its last job arrival before leaving.
+    pub linger_rounds: usize,
+    /// Every this many rounds after joining, a tenant re-reports a slightly
+    /// jittered profile (0 disables re-profiling).
+    pub reprofile_every_rounds: usize,
+    /// Relative jitter applied on each re-profile.
+    pub reprofile_jitter: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            round_secs: 300.0,
+            linger_rounds: 12,
+            reprofile_every_rounds: 24,
+            reprofile_jitter: 0.03,
+        }
+    }
+}
+
+/// A round-indexed event stream plus its horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnTrace {
+    /// Events sorted by round (stable by construction order within a round:
+    /// joins precede submissions precede profile updates precede leaves).
+    pub events: Vec<ChurnEvent>,
+    /// One past the last round that has an event.
+    pub rounds: usize,
+}
+
+impl ChurnTrace {
+    /// Derives a churn stream from a batch trace.
+    pub fn from_trace(trace: &Trace, config: &ChurnConfig) -> Self {
+        let round_of = |secs: f64| (secs / config.round_secs).floor().max(0.0) as usize;
+        let mut events = Vec::new();
+        for tenant in &trace.tenants {
+            let Some(first) = tenant.jobs.first() else {
+                continue;
+            };
+            let join_round = round_of(first.arrival_time).saturating_sub(1);
+            let profile = first.speedup.as_slice().to_vec();
+            events.push(ChurnEvent {
+                round: join_round,
+                tenant: tenant.name.clone(),
+                kind: ChurnEventKind::Join {
+                    weight: tenant.weight,
+                    speedup: profile.clone(),
+                },
+            });
+
+            let mut last_round = join_round;
+            for job in &tenant.jobs {
+                let round = round_of(job.arrival_time).max(join_round);
+                last_round = last_round.max(round);
+                events.push(ChurnEvent {
+                    round,
+                    tenant: tenant.name.clone(),
+                    kind: ChurnEventKind::SubmitJob(ChurnJob {
+                        model: job.model.clone(),
+                        workers: job.workers,
+                        total_work: job.total_work,
+                    }),
+                });
+            }
+
+            let leave_round = last_round + config.linger_rounds.max(1);
+            if config.reprofile_every_rounds > 0 {
+                let mut round = join_round + config.reprofile_every_rounds;
+                let mut flip = 1.0f64;
+                while round < leave_round {
+                    // Deterministic ±jitter alternation keeps the stream
+                    // reproducible without a second RNG.
+                    let factor = 1.0 + config.reprofile_jitter * flip;
+                    flip = -flip;
+                    let jittered: Vec<f64> = profile
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &s)| if j == 0 { 1.0 } else { (s * factor).max(1.0) })
+                        .collect();
+                    events.push(ChurnEvent {
+                        round,
+                        tenant: tenant.name.clone(),
+                        kind: ChurnEventKind::UpdateSpeedups { speedup: jittered },
+                    });
+                    round += config.reprofile_every_rounds;
+                }
+            }
+            events.push(ChurnEvent {
+                round: leave_round,
+                tenant: tenant.name.clone(),
+                kind: ChurnEventKind::Leave,
+            });
+        }
+        // Stable sort keeps the per-tenant causal order within a round.
+        events.sort_by_key(|e| e.round);
+        let rounds = events.iter().map(|e| e.round + 1).max().unwrap_or(0);
+        Self { events, rounds }
+    }
+
+    /// Events due at `round`, in causal order.
+    pub fn events_at(&self, round: usize) -> impl Iterator<Item = &ChurnEvent> {
+        // Events are sorted by round; a binary search bounds the slice.
+        let start = self.events.partition_point(|e| e.round < round);
+        let end = self.events.partition_point(|e| e.round <= round);
+        self.events[start..end].iter()
+    }
+
+    /// Total number of events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::philly::{PhillyTraceGenerator, TraceConfig};
+
+    fn small_churn() -> ChurnTrace {
+        let trace = PhillyTraceGenerator::new(TraceConfig {
+            num_tenants: 6,
+            jobs_per_tenant: 4,
+            duration_secs: 6.0 * 3600.0,
+            ..TraceConfig::default()
+        })
+        .generate();
+        ChurnTrace::from_trace(&trace, &ChurnConfig::default())
+    }
+
+    #[test]
+    fn every_tenant_joins_before_submitting_and_eventually_leaves() {
+        let churn = small_churn();
+        for name in (0..6).map(|t| format!("tenant-{t}")) {
+            let events: Vec<&ChurnEvent> =
+                churn.events.iter().filter(|e| e.tenant == name).collect();
+            assert!(
+                matches!(
+                    events.first().map(|e| &e.kind),
+                    Some(ChurnEventKind::Join { .. })
+                ),
+                "{name} must join first"
+            );
+            assert!(
+                matches!(events.last().map(|e| &e.kind), Some(ChurnEventKind::Leave)),
+                "{name} must leave last"
+            );
+            let join_round = events[0].round;
+            let leave_round = events.last().unwrap().round;
+            for event in &events {
+                assert!((join_round..=leave_round).contains(&event.round));
+            }
+            assert!(
+                events
+                    .iter()
+                    .filter(|e| matches!(e.kind, ChurnEventKind::SubmitJob(_)))
+                    .count()
+                    >= 1
+            );
+        }
+    }
+
+    #[test]
+    fn events_at_covers_the_whole_stream_in_order() {
+        let churn = small_churn();
+        let mut seen = 0;
+        for round in 0..churn.rounds {
+            for event in churn.events_at(round) {
+                assert_eq!(event.round, round);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, churn.num_events());
+        assert_eq!(churn.events_at(churn.rounds).count(), 0);
+    }
+
+    #[test]
+    fn reprofile_events_keep_valid_profiles() {
+        let churn = small_churn();
+        let mut reprofiles = 0;
+        for event in &churn.events {
+            if let ChurnEventKind::UpdateSpeedups { speedup } = &event.kind {
+                reprofiles += 1;
+                assert_eq!(speedup[0], 1.0, "slowest-GPU entry stays normalised");
+                assert!(speedup.iter().all(|&s| s >= 1.0));
+            }
+        }
+        assert!(reprofiles > 0, "default config produces re-profiles");
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_serializable() {
+        let a = small_churn();
+        let b = small_churn();
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ChurnTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -13,13 +13,17 @@
 //!   and log-normal job durations whose contention level can be tuned to match the
 //!   Philly characteristics the paper cites.
 //! * [`Trace`] / [`TraceJob`] — serialisable trace containers consumed by `oef-sim`.
+//! * [`ChurnTrace`] — a batch trace replayed as a live join/submit/re-profile/leave
+//!   event stream for the online service (`oef-service`).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod models;
 mod philly;
 mod trace;
 
+pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnJob, ChurnTrace};
 pub use models::{DlModel, ModelCatalog, ModelDomain};
 pub use philly::{PhillyTraceGenerator, TraceConfig};
 pub use trace::{Trace, TraceJob, TraceTenant};

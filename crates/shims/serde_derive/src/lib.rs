@@ -1,10 +1,17 @@
 //! Derive macros for the offline `serde` shim.
 //!
 //! Supports exactly the shapes this workspace serializes: structs with named
-//! fields, newtype (single-field tuple) structs, and fieldless enums.  The
-//! input is parsed directly from the token stream (no `syn`), which is enough
-//! because the supported grammar is tiny; unsupported shapes fail the build
-//! with an explicit message rather than silently mis-serializing.
+//! fields, newtype (single-field tuple) structs, and enums whose variants are
+//! fieldless, tuple or struct-like.  The input is parsed directly from the
+//! token stream (no `syn`), which is enough because the supported grammar is
+//! tiny; unsupported shapes fail the build with an explicit message rather
+//! than silently mis-serializing.
+//!
+//! Enum representation follows serde's external tagging: unit variants
+//! serialize as the variant-name string, data variants as a single-key object
+//! `{"Variant": payload}` where the payload is the inner value for newtype
+//! variants, an array for wider tuple variants and an object for struct
+//! variants.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -15,8 +22,27 @@ enum Shape {
     Newtype { name: String },
     /// `struct Name;` — serialized as `null`.
     Unit { name: String },
-    /// `enum Name { A, B }` — serialized as the variant name string.
-    FieldlessEnum { name: String, variants: Vec<String> },
+    /// `enum Name { A, B(X), C { y: Y } }` — externally tagged.
+    Enum {
+        name: String,
+        variants: Vec<VariantDef>,
+    },
+}
+
+/// One enum variant with its payload shape.
+struct VariantDef {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    /// `A` — serialized as the string `"A"`.
+    Unit,
+    /// `B(X, Y)` — serialized as `{"B": payload}` (inner value when arity 1,
+    /// array otherwise).
+    Tuple(usize),
+    /// `C { y: Y }` — serialized as `{"C": {"y": ...}}`.
+    Struct(Vec<String>),
 }
 
 fn parse_shape(input: TokenStream) -> Shape {
@@ -79,7 +105,7 @@ fn parse_shape(input: TokenStream) -> Shape {
             }
             Shape::Newtype { name }
         }
-        ("enum", Delimiter::Brace) => Shape::FieldlessEnum {
+        ("enum", Delimiter::Brace) => Shape::Enum {
             variants: parse_variants(body.stream(), &name),
             name,
         },
@@ -168,7 +194,7 @@ fn tuple_arity(stream: TokenStream) -> usize {
     arity
 }
 
-fn parse_variants(stream: TokenStream, type_name: &str) -> Vec<String> {
+fn parse_variants(stream: TokenStream, type_name: &str) -> Vec<VariantDef> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
@@ -189,19 +215,36 @@ fn parse_variants(stream: TokenStream, type_name: &str) -> Vec<String> {
             }
         };
         i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let arity = tuple_arity(g.stream());
+                if arity == 0 {
+                    panic!(
+                        "serde shim derive: enum `{type_name}` variant `{variant}` has an \
+                         empty tuple payload; write it as a unit variant instead"
+                    );
+                }
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream(), type_name))
+            }
+            _ => VariantKind::Unit,
+        };
         if i < tokens.len() {
             match &tokens[i] {
                 TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
-                TokenTree::Group(_) => panic!(
-                    "serde shim derive: enum `{type_name}` variant `{variant}` carries data; \
-                     only fieldless enums are supported"
-                ),
                 other => {
                     panic!("serde shim derive: unexpected token `{other}` in enum `{type_name}`")
                 }
             }
         }
-        variants.push(variant);
+        variants.push(VariantDef {
+            name: variant,
+            kind,
+        });
     }
     variants
 }
@@ -244,15 +287,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  }}\n\
              }}"
         ),
-        Shape::FieldlessEnum { name, variants } => {
+        Shape::Enum { name, variants } => {
             let arms: String = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .map(|v| serialize_variant_arm(&name, v))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn serialize(&self) -> ::serde::Value {{\n\
-                         ::serde::Value::Str(::std::string::String::from(match self {{\n{arms}}}))\n\
+                         match self {{\n{arms}}}\n\
                      }}\n\
                  }}"
             )
@@ -260,6 +303,51 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     };
     body.parse()
         .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// One `match self` arm of the generated `Serialize` impl for an enum.
+fn serialize_variant_arm(name: &str, variant: &VariantDef) -> String {
+    let v = &variant.name;
+    let tag = format!("::std::string::String::from(\"{v}\")");
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("{name}::{v} => ::serde::Value::Str({tag}),\n")
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+             ({tag}, ::serde::Serialize::serialize(__f0))])),\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let bindings: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = bindings
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{name}::{v}({binds}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                 ({tag}, ::serde::Value::Array(::std::vec::Vec::from([{items}])))])),\n",
+                binds = bindings.join(", "),
+                items = items.join(", "),
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec::Vec::from([\
+                 ({tag}, ::serde::Value::Object(::std::vec::Vec::from([{entries}])))])),\n",
+                binds = fields.join(", "),
+                entries = entries.join(", "),
+            )
+        }
+    }
 }
 
 /// Derives `serde::Deserialize` (shim) for supported shapes.
@@ -301,18 +389,41 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}\n\
              }}"
         ),
-        Shape::FieldlessEnum { name, variants } => {
-            let arms: String = variants
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
                 .iter()
-                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| deserialize_variant_arm(&name, v))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn deserialize(__value: &::serde::Value) -> \
                          ::std::result::Result<Self, ::serde::Error> {{\n\
-                         let __variant = __value.as_str().ok_or_else(|| \
-                             ::serde::Error::custom(\"expected variant string for {name}\"))?;\n\
-                         match __variant {{\n{arms}\
+                         if let ::std::option::Option::Some(__variant) = __value.as_str() {{\n\
+                             return match __variant {{\n{unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"invalid {name} variant string `{{other}}`\"))),\n\
+                             }};\n\
+                         }}\n\
+                         let __fields = __value.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\
+                                 \"expected variant string or single-key object for {name}\"))?;\n\
+                         if __fields.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"expected single-key object for {name}\"));\n\
+                         }}\n\
+                         let (__tag, __payload) = &__fields[0];\n\
+                         match __tag.as_str() {{\n{data_arms}\
                              other => ::std::result::Result::Err(::serde::Error::custom(\
                                  format!(\"unknown {name} variant `{{other}}`\"))),\n\
                          }}\n\
@@ -323,4 +434,52 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     };
     body.parse()
         .expect("serde shim derive: generated Deserialize impl must parse")
+}
+
+/// One tagged-payload `match` arm of the generated `Deserialize` impl for an
+/// enum's data-carrying variant.
+fn deserialize_variant_arm(name: &str, variant: &VariantDef) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => unreachable!("unit variants are handled by the string branch"),
+        VariantKind::Tuple(1) => format!(
+            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+             ::serde::Deserialize::deserialize(__payload)?)),\n"
+        ),
+        VariantKind::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "\"{v}\" => {{\n\
+                     let __items = __payload.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array payload for {name}::{v}\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}::{v}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{v}({items}))\n\
+                 }}\n",
+                items = items.join(", "),
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::get_field(__inner, \"{f}\")?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{v}\" => {{\n\
+                     let __inner = __payload.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object payload for {name}::{v}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                 }}\n"
+            )
+        }
+    }
 }

@@ -358,4 +358,56 @@ mod tests {
         assert!(from_str::<Value>("[1, 2").is_err());
         assert!(from_str::<Value>("1 2").is_err());
     }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    enum WireShape {
+        Idle,
+        Newtype(u64),
+        Pair(u64, f64),
+        Join {
+            name: String,
+            weight: u32,
+            speedup: Vec<f64>,
+        },
+    }
+
+    #[test]
+    fn enum_variants_with_fields_round_trip() {
+        let cases = vec![
+            WireShape::Idle,
+            WireShape::Newtype(42),
+            WireShape::Pair(7, 2.5),
+            WireShape::Join {
+                name: "alice".into(),
+                weight: 3,
+                speedup: vec![1.0, 1.5, 2.0],
+            },
+        ];
+        for case in cases {
+            let text = to_string(&case).unwrap();
+            let back: WireShape = from_str(&text).unwrap();
+            assert_eq!(back, case, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn enum_external_tagging_matches_serde() {
+        assert_eq!(to_string(&WireShape::Idle).unwrap(), "\"Idle\"");
+        assert_eq!(
+            to_string(&WireShape::Newtype(5)).unwrap(),
+            "{\"Newtype\":5}"
+        );
+        assert_eq!(
+            to_string(&WireShape::Pair(1, 0.5)).unwrap(),
+            "{\"Pair\":[1,0.5]}"
+        );
+    }
+
+    #[test]
+    fn enum_deserialize_rejects_bad_payloads() {
+        assert!(from_str::<WireShape>("\"Newtype\"").is_err());
+        assert!(from_str::<WireShape>("{\"Pair\":[1]}").is_err());
+        assert!(from_str::<WireShape>("{\"Nope\":3}").is_err());
+        assert!(from_str::<WireShape>("{\"Newtype\":1,\"Pair\":[1,2.0]}").is_err());
+    }
 }

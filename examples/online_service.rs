@@ -1,0 +1,69 @@
+//! Online scheduling service: a daemon on loopback TCP with churning tenants.
+//!
+//! Demonstrates the middleware face of the workspace: spawn `oef-service`'s
+//! daemon in-process, drive a short dynamic session over real TCP (joins,
+//! job submissions, warm-started scheduling rounds, a mid-trace snapshot,
+//! a departure), and read the metrics registry at the end.
+//!
+//! Run with `cargo run --release --example online_service`.
+
+use oef::cluster::ClusterTopology;
+use oef::service::{SchedulerService, Server, ServiceClient, ServiceConfig};
+
+fn main() {
+    let service = SchedulerService::new(ClusterTopology::paper_cluster(), ServiceConfig::default())
+        .expect("default policy is registered");
+    let server = Server::spawn(service, "127.0.0.1:0").expect("loopback bind");
+    println!("daemon listening on {}", server.local_addr());
+
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    // Three tenants with the paper's model profiles join and submit work.
+    let profiles: [(&str, [f64; 3]); 3] = [
+        ("vgg-user", [1.0, 1.18, 1.39]),
+        ("lstm-user", [1.0, 1.55, 2.15]),
+        ("resnet-user", [1.0, 1.25, 1.55]),
+    ];
+    let mut handles = Vec::new();
+    for (name, profile) in &profiles {
+        let handle = client.join(name, 1, profile).expect("join");
+        client.submit_job(handle, name, 2, 1e8).expect("submit");
+        handles.push(handle);
+    }
+
+    for _ in 0..4 {
+        let round = client.tick().expect("tick");
+        let total: f64 = round.tenants.iter().map(|t| t.actual_throughput).sum();
+        println!(
+            "round {:>2}  solver {:>8.6}s  warm {}  total actual throughput {:.2}",
+            round.round,
+            round.solver_time_secs,
+            if round.warm_start { "yes" } else { "no " },
+            total
+        );
+    }
+
+    // Snapshot mid-trace (a restarted daemon could resume from this string),
+    // then one tenant departs and the allocation adapts.
+    let snapshot = client.snapshot().expect("snapshot");
+    println!("snapshot captured: {} bytes", snapshot.len());
+    client.leave(handles[0]).expect("leave");
+    let round = client.tick().expect("tick after leave");
+    println!(
+        "round {:>2}  {} tenants after departure",
+        round.round,
+        round.tenants.len()
+    );
+
+    let metrics = client.metrics().expect("metrics");
+    println!(
+        "metrics: {} rounds solved, warm hit rate {:.0}%, solve p50 {:.6}s",
+        metrics.rounds_solved,
+        metrics.warm_hit_rate * 100.0,
+        metrics.solve_p50_secs
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join();
+    println!("daemon shut down cleanly");
+}

@@ -18,6 +18,9 @@
 //! * [`workloads`] — DL model speedup profiles and a Philly-like trace generator.
 //! * [`sim`] — a round-based discrete-event simulator that drives any scheduler over
 //!   a trace and collects throughput / JCT / straggler metrics.
+//! * [`service`] — the online middleware face: a multi-tenant scheduling daemon with
+//!   tenant lifecycle, snapshot/restore and a line-delimited JSON wire protocol over
+//!   TCP (`oef-serviced` / `oef-servicectl`).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use oef_cluster as cluster;
 pub use oef_core as core;
 pub use oef_lp as lp;
 pub use oef_schedulers as schedulers;
+pub use oef_service as service;
 pub use oef_sim as sim;
 pub use oef_workloads as workloads;
 
@@ -55,6 +59,7 @@ pub mod prelude {
         SpeedupMatrix, SpeedupVector, WeightedOef,
     };
     pub use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin, Scheduler};
+    pub use oef_service::{SchedulerService, Server, ServiceClient, ServiceConfig};
     pub use oef_sim::{Scenario, SimulationEngine, SimulationReport};
-    pub use oef_workloads::{DlModel, PhillyTraceGenerator, Trace};
+    pub use oef_workloads::{ChurnTrace, DlModel, PhillyTraceGenerator, Trace};
 }
