@@ -50,6 +50,12 @@ fn churn_trace(tenants: usize, seed: u64) -> ChurnTrace {
             linger_rounds: LINGER_ROUNDS,
             reprofile_every_rounds: 24,
             reprofile_jitter: 0.03,
+            // Topology churn: a transient host joins every ~60 rounds and
+            // leaves 40 rounds later, exercising the stable host-handle path
+            // (capacity changes warm-repair the LP instead of re-shaping it).
+            host_churn_every_rounds: 60,
+            host_churn_linger_rounds: 40,
+            host_churn_gpus: 4,
         },
     )
 }
@@ -93,9 +99,12 @@ fn main() {
 
     let mut client = ServiceClient::connect(addr).expect("client connects");
     let mut handles: HashMap<String, u64> = HashMap::new();
+    let mut host_handles: HashMap<String, u64> = HashMap::new();
     let mut commands = 0u64;
     let mut warm_ticks = 0u64;
     let mut solved_ticks = 0u64;
+    let mut host_adds = 0u64;
+    let mut host_removes = 0u64;
     let started = Instant::now();
 
     for round in 0..churn.rounds {
@@ -103,25 +112,39 @@ fn main() {
             match &event.kind {
                 ChurnEventKind::Join { weight, speedup } => {
                     let handle = client
-                        .join(&event.tenant, *weight, speedup)
+                        .join(&event.subject, *weight, speedup)
                         .expect("join accepted");
-                    handles.insert(event.tenant.clone(), handle);
+                    handles.insert(event.subject.clone(), handle);
                 }
                 ChurnEventKind::Leave => {
-                    let handle = handles.remove(&event.tenant).expect("tenant joined");
+                    let handle = handles.remove(&event.subject).expect("tenant joined");
                     client.leave(handle).expect("leave accepted");
                 }
                 ChurnEventKind::UpdateSpeedups { speedup } => {
-                    let handle = handles[&event.tenant];
+                    let handle = handles[&event.subject];
                     client
                         .update_speedups(handle, speedup)
                         .expect("update accepted");
                 }
                 ChurnEventKind::SubmitJob(job) => {
-                    let handle = handles[&event.tenant];
+                    let handle = handles[&event.subject];
                     client
                         .submit_job(handle, &job.model, job.workers, job.total_work)
                         .expect("submit accepted");
+                }
+                ChurnEventKind::AddHost { gpu_type, num_gpus } => {
+                    let handle = client
+                        .add_host(*gpu_type, *num_gpus)
+                        .expect("add-host accepted");
+                    host_handles.insert(event.subject.clone(), handle);
+                    host_adds += 1;
+                }
+                ChurnEventKind::RemoveHost => {
+                    let handle = host_handles
+                        .remove(&event.subject)
+                        .expect("host was added by this stream");
+                    client.remove_host(handle).expect("remove-host accepted");
+                    host_removes += 1;
                 }
             }
             commands += 1;
@@ -151,7 +174,7 @@ fn main() {
     println!(
         "soak: {commands} commands in {elapsed:.2}s ({commands_per_sec:.0}/s), \
          {} rounds solved, warm hit rate {:.1}% (tick-level {:.1}%), \
-         solve p50 {:.6}s p99 {:.6}s",
+         solve p50 {:.6}s p99 {:.6}s, host churn {host_adds} adds / {host_removes} removes",
         metrics.rounds_solved,
         metrics.warm_hit_rate * 100.0,
         tick_warm_rate * 100.0,
@@ -176,6 +199,8 @@ fn main() {
         "solve_p50_secs": metrics.solve_p50_secs,
         "solve_p99_secs": metrics.solve_p99_secs,
         "solve_last_secs": metrics.solve_last_secs,
+        "host_adds": host_adds,
+        "host_removes": host_removes,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, serde_json::to_string(&doc).expect("doc serializes"))

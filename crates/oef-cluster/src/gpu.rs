@@ -1,4 +1,4 @@
-//! GPU types and device identities.
+//! GPU types, host handles and device identities.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -21,18 +21,41 @@ impl fmt::Display for GpuType {
     }
 }
 
+/// Stable generational identity of a host, minted by the topology's
+/// [`oef_core::HandleMap`].
+///
+/// Unlike a dense index, a host handle never renumbers when other hosts are
+/// removed, and a removed host's handle is dead forever — it can never alias
+/// a host added later, even if the underlying slot is recycled.  `0` is never
+/// a valid handle, making it a convenient null on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostHandle(pub u64);
+
+impl HostHandle {
+    /// Raw wire value of the handle.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for HostHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
 /// Identity of a physical GPU device within the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DeviceId {
-    /// Host the device is attached to.
-    pub host: usize,
+    /// Stable handle of the host the device is attached to.
+    pub host: HostHandle,
     /// Slot of the device within its host.
     pub slot: usize,
 }
 
 impl fmt::Display for DeviceId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "host{}/gpu{}", self.host, self.slot)
+        write!(f, "{}/gpu{}", self.host, self.slot)
     }
 }
 
@@ -53,21 +76,38 @@ mod tests {
     fn ordering_follows_indices() {
         assert!(GpuType(0) < GpuType(1));
         assert_eq!(GpuType(2).index(), 2);
-        let a = DeviceId { host: 0, slot: 1 };
-        let b = DeviceId { host: 1, slot: 0 };
+        let a = DeviceId {
+            host: HostHandle(1),
+            slot: 1,
+        };
+        let b = DeviceId {
+            host: HostHandle(2),
+            slot: 0,
+        };
         assert!(a < b);
     }
 
     #[test]
     fn display_forms() {
         assert_eq!(GpuType(1).to_string(), "gpu-type-1");
-        assert_eq!(DeviceId { host: 2, slot: 3 }.to_string(), "host2/gpu3");
+        assert_eq!(HostHandle(4).to_string(), "host4");
+        assert_eq!(
+            DeviceId {
+                host: HostHandle(2),
+                slot: 3
+            }
+            .to_string(),
+            "host2/gpu3"
+        );
     }
 
     #[test]
     fn serde_round_trip() {
         let d = GpuDevice {
-            id: DeviceId { host: 1, slot: 2 },
+            id: DeviceId {
+                host: HostHandle(1),
+                slot: 2,
+            },
             gpu_type: GpuType(1),
         };
         let json = serde_json::to_string(&d).unwrap();

@@ -2,15 +2,22 @@
 //!
 //! The paper's testbed (§6.1.1) places four GPUs of the same type on each host; network
 //! contention and the placement optimisation of §4.3 are defined at host granularity.
+//!
+//! Hosts are identified by stable generational [`HostHandle`]s minted by the
+//! topology's slot-map: adding or removing a host never renumbers the others,
+//! so handles held by clients (or embedded in [`DeviceId`]s) survive topology
+//! churn, and a removed host's handle is dead forever — it can never alias a
+//! host added later.
 
-use crate::gpu::{DeviceId, GpuDevice, GpuType};
+use crate::gpu::{DeviceId, GpuDevice, GpuType, HostHandle};
+use oef_core::HandleMap;
 use serde::{Deserialize, Serialize};
 
 /// A host with a number of identical GPUs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Host {
-    /// Host index within the cluster.
-    pub id: usize,
+    /// Stable handle of the host, stamped by the owning [`ClusterTopology`].
+    pub handle: HostHandle,
     /// GPU type installed in this host.
     pub gpu_type: GpuType,
     /// Number of GPU slots on the host.
@@ -18,10 +25,12 @@ pub struct Host {
 }
 
 impl Host {
-    /// Creates a host with `num_gpus` devices of `gpu_type`.
-    pub fn new(id: usize, gpu_type: GpuType, num_gpus: usize) -> Self {
+    /// Creates a host description with `num_gpus` devices of `gpu_type`.  The
+    /// handle starts as the null handle (0) and is stamped when the host
+    /// enters a [`ClusterTopology`].
+    pub fn new(gpu_type: GpuType, num_gpus: usize) -> Self {
         Self {
-            id,
+            handle: HostHandle(0),
             gpu_type,
             num_gpus,
         }
@@ -31,7 +40,7 @@ impl Host {
     pub fn devices(&self) -> impl Iterator<Item = GpuDevice> + '_ {
         (0..self.num_gpus).map(move |slot| GpuDevice {
             id: DeviceId {
-                host: self.id,
+                host: self.handle,
                 slot,
             },
             gpu_type: self.gpu_type,
@@ -40,19 +49,39 @@ impl Host {
 }
 
 /// Static topology of the cluster: which hosts exist and what they contain.
+///
+/// Hosts live in a generational slot-map, so every host has a stable
+/// [`HostHandle`] for its whole lifetime while iteration (`hosts()`) stays
+/// dense and hole-free for the placement kernels.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClusterTopology {
-    hosts: Vec<Host>,
+    hosts: HandleMap<Host>,
     gpu_type_names: Vec<String>,
 }
 
 impl ClusterTopology {
     /// Builds a topology from explicit hosts and GPU type names (slowest type first).
+    /// Handles are stamped in order: the first host gets handle 1, the next 2, …
     pub fn new(hosts: Vec<Host>, gpu_type_names: Vec<String>) -> Self {
-        Self {
-            hosts,
+        let mut topology = Self {
+            hosts: HandleMap::new(),
             gpu_type_names,
+        };
+        for host in hosts {
+            topology.insert_host(host);
         }
+        topology
+    }
+
+    /// Inserts a host and stamps its stable handle.
+    fn insert_host(&mut self, host: Host) -> HostHandle {
+        let raw = self.hosts.insert(host);
+        let handle = HostHandle(raw);
+        self.hosts
+            .get_mut(raw)
+            .expect("freshly inserted host resolves")
+            .handle = handle;
+        handle
     }
 
     /// The paper's 24-GPU testbed: two hosts of four GPUs for each of RTX 3070, 3080
@@ -64,11 +93,9 @@ impl ClusterTopology {
             "rtx3090".to_string(),
         ];
         let mut hosts = Vec::new();
-        let mut id = 0;
         for t in 0..3 {
             for _ in 0..2 {
-                hosts.push(Host::new(id, GpuType(t), 4));
-                id += 1;
+                hosts.push(Host::new(GpuType(t), 4));
             }
         }
         Self::new(hosts, names)
@@ -82,30 +109,45 @@ impl ClusterTopology {
         gpus_per_host: usize,
     ) -> Self {
         let mut hosts = Vec::new();
-        let mut id = 0;
         for (t, &count) in hosts_per_type.iter().enumerate() {
             for _ in 0..count {
-                hosts.push(Host::new(id, GpuType(t), gpus_per_host));
-                id += 1;
+                hosts.push(Host::new(GpuType(t), gpus_per_host));
             }
         }
         Self::new(hosts, gpu_type_names)
     }
 
-    /// All hosts.
+    /// All hosts, in dense (insertion-compacted) order.
     pub fn hosts(&self) -> &[Host] {
-        &self.hosts
+        self.hosts.values()
+    }
+
+    /// Host behind a stable handle, if it is (still) in the topology.
+    pub fn host(&self, handle: HostHandle) -> Option<&Host> {
+        self.hosts.get(handle.0)
+    }
+
+    /// Whether a handle refers to a live host.
+    pub fn contains_host(&self, handle: HostHandle) -> bool {
+        self.hosts.contains(handle.0)
+    }
+
+    /// Dense index of a live host handle (O(1)); placement kernels use this
+    /// to key per-host scratch without caring about slot gaps.
+    pub fn host_index(&self, handle: HostHandle) -> Option<usize> {
+        self.hosts.index_of(handle.0)
     }
 
     /// Adds a host with `num_gpus` devices of an existing GPU type, returning
-    /// the new host's id.  This is the online-service path for growing the
-    /// cluster without rebuilding the topology.
+    /// the new host's stable handle.  This is the online-service path for
+    /// growing the cluster without rebuilding the topology; no existing
+    /// handle changes.
     ///
     /// # Errors
     ///
     /// Returns [`oef_core::OefError::InvalidCluster`] if the GPU type is not
     /// declared in this topology or the host would have no devices.
-    pub fn add_host(&mut self, gpu_type: GpuType, num_gpus: usize) -> oef_core::Result<usize> {
+    pub fn add_host(&mut self, gpu_type: GpuType, num_gpus: usize) -> oef_core::Result<HostHandle> {
         if gpu_type.0 >= self.num_gpu_types() {
             return Err(oef_core::OefError::InvalidCluster {
                 reason: format!(
@@ -120,41 +162,38 @@ impl ClusterTopology {
                 reason: "a host must have at least one GPU".to_string(),
             });
         }
-        let id = self.hosts.len();
-        self.hosts.push(Host::new(id, gpu_type, num_gpus));
-        Ok(id)
+        Ok(self.insert_host(Host::new(gpu_type, num_gpus)))
     }
 
-    /// Removes a host by id, renumbering the remaining hosts to keep ids dense
-    /// (placements are recomputed every round, so renumbering is safe between
-    /// rounds).  Returns the removed host.
+    /// Removes a host by handle.  Surviving hosts keep their handles — only
+    /// dense indices compact — and the removed handle is dead forever.
+    /// Returns the removed host.
     ///
     /// # Errors
     ///
-    /// Returns [`oef_core::OefError::InvalidCluster`] if no host has the given
-    /// id, or if removing it would leave a declared GPU type with zero
-    /// capacity (the allocation LP requires positive capacity per type).
-    pub fn remove_host(&mut self, id: usize) -> oef_core::Result<Host> {
-        let position = self.hosts.iter().position(|h| h.id == id).ok_or_else(|| {
-            oef_core::OefError::InvalidCluster {
-                reason: format!("no host with id {id}"),
-            }
-        })?;
-        let gpu_type = self.hosts[position].gpu_type;
-        let remaining = self.capacity_of(gpu_type) - self.hosts[position].num_gpus;
+    /// Returns [`oef_core::OefError::InvalidCluster`] if no live host has the
+    /// given handle, or if removing it would leave a declared GPU type with
+    /// zero capacity (the allocation LP requires positive capacity per type).
+    pub fn remove_host(&mut self, handle: HostHandle) -> oef_core::Result<Host> {
+        let Some(host) = self.hosts.get(handle.0) else {
+            return Err(oef_core::OefError::InvalidCluster {
+                reason: format!("no host with handle {}", handle.0),
+            });
+        };
+        let gpu_type = host.gpu_type;
+        let remaining = self.capacity_of(gpu_type) - host.num_gpus;
         if remaining == 0 {
             return Err(oef_core::OefError::InvalidCluster {
                 reason: format!(
-                    "removing host {id} would leave GPU type {} with zero capacity",
-                    gpu_type.0
+                    "removing host {} would leave GPU type {} with zero capacity",
+                    handle.0, gpu_type.0
                 ),
             });
         }
-        let removed = self.hosts.remove(position);
-        for (i, host) in self.hosts.iter_mut().enumerate() {
-            host.id = i;
-        }
-        Ok(removed)
+        Ok(self
+            .hosts
+            .remove(handle.0)
+            .expect("handle was just resolved"))
     }
 
     /// Number of distinct GPU types.
@@ -169,7 +208,7 @@ impl ClusterTopology {
 
     /// Total number of devices of a given type.
     pub fn capacity_of(&self, gpu_type: GpuType) -> usize {
-        self.hosts
+        self.hosts()
             .iter()
             .filter(|h| h.gpu_type == gpu_type)
             .map(|h| h.num_gpus)
@@ -185,7 +224,7 @@ impl ClusterTopology {
 
     /// Total number of GPU devices in the cluster.
     pub fn total_devices(&self) -> usize {
-        self.hosts.iter().map(|h| h.num_gpus).sum()
+        self.hosts().iter().map(|h| h.num_gpus).sum()
     }
 
     /// Converts the topology into the algorithmic [`oef_core::ClusterSpec`] used by the
@@ -207,10 +246,17 @@ mod tests {
 
     #[test]
     fn host_device_enumeration() {
-        let h = Host::new(3, GpuType(1), 4);
+        let mut h = Host::new(GpuType(1), 4);
+        h.handle = HostHandle(3);
         let devices: Vec<_> = h.devices().collect();
         assert_eq!(devices.len(), 4);
-        assert_eq!(devices[2].id, DeviceId { host: 3, slot: 2 });
+        assert_eq!(
+            devices[2].id,
+            DeviceId {
+                host: HostHandle(3),
+                slot: 2
+            }
+        );
         assert_eq!(devices[2].gpu_type, GpuType(1));
     }
 
@@ -224,6 +270,9 @@ mod tests {
         let spec = topo.to_cluster_spec();
         assert_eq!(spec.capacities(), &[8.0, 8.0, 8.0]);
         assert_eq!(spec.gpu_type_name(2), "rtx3090");
+        // Handles are stamped 1..=6 on a fresh topology.
+        let handles: Vec<u64> = topo.hosts().iter().map(|h| h.handle.0).collect();
+        assert_eq!(handles, vec![1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
@@ -236,26 +285,48 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let topo = ClusterTopology::paper_cluster();
+        let mut topo = ClusterTopology::paper_cluster();
+        let extra = topo.add_host(GpuType(0), 4).unwrap();
+        topo.remove_host(extra).unwrap();
         let json = serde_json::to_string(&topo).unwrap();
         let back: ClusterTopology = serde_json::from_str(&json).unwrap();
         assert_eq!(back, topo);
+        // Restored topologies mint the same future handles (restart equivalence).
+        let mut original = topo;
+        let mut restored = back;
+        assert_eq!(
+            original.add_host(GpuType(1), 2).unwrap(),
+            restored.add_host(GpuType(1), 2).unwrap()
+        );
     }
 
     #[test]
-    fn add_and_remove_hosts_incrementally() {
+    fn add_and_remove_hosts_never_renumber() {
         let mut topo = ClusterTopology::paper_cluster();
-        let id = topo.add_host(GpuType(1), 4).unwrap();
-        assert_eq!(id, 6);
+        let added = topo.add_host(GpuType(1), 4).unwrap();
+        assert_eq!(added, HostHandle(7));
         assert_eq!(topo.capacities(), vec![8, 12, 8]);
 
-        let removed = topo.remove_host(2).unwrap();
+        let survivor_handles: Vec<HostHandle> = topo
+            .hosts()
+            .iter()
+            .map(|h| h.handle)
+            .filter(|&h| h != HostHandle(3))
+            .collect();
+        let removed = topo.remove_host(HostHandle(3)).unwrap();
         assert_eq!(removed.gpu_type, GpuType(1));
         assert_eq!(topo.capacities(), vec![8, 8, 8]);
-        // Ids stay dense after removal.
-        for (i, host) in topo.hosts().iter().enumerate() {
-            assert_eq!(host.id, i);
+        // Surviving hosts keep their handles and stay resolvable.
+        for handle in survivor_handles {
+            assert!(topo.contains_host(handle), "{handle} must survive");
+            assert_eq!(topo.host(handle).unwrap().handle, handle);
         }
+        // The removed handle is dead, and a re-added host gets a fresh one.
+        assert!(!topo.contains_host(HostHandle(3)));
+        let fresh = topo.add_host(GpuType(1), 4).unwrap();
+        assert_ne!(fresh, HostHandle(3), "recycled slot, new generation");
+        assert!(topo.host(fresh).is_some());
+        assert!(topo.host(HostHandle(3)).is_none());
     }
 
     #[test]
@@ -263,9 +334,10 @@ mod tests {
         let mut topo = ClusterTopology::uniform(vec!["a".into(), "b".into()], &[1, 1], 4);
         assert!(topo.add_host(GpuType(2), 4).is_err(), "unknown gpu type");
         assert!(topo.add_host(GpuType(0), 0).is_err(), "empty host");
-        assert!(topo.remove_host(9).is_err(), "unknown host id");
+        assert!(topo.remove_host(HostHandle(9)).is_err(), "unknown handle");
+        let first = topo.hosts()[0].handle;
         assert!(
-            topo.remove_host(0).is_err(),
+            topo.remove_host(first).is_err(),
             "sole host of a type cannot be removed"
         );
         let extra = topo.add_host(GpuType(0), 2).unwrap();

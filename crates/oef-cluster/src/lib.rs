@@ -26,7 +26,7 @@ mod straggler;
 mod tenant;
 
 pub use contention::ContentionModel;
-pub use gpu::{DeviceId, GpuDevice, GpuType};
+pub use gpu::{DeviceId, GpuDevice, GpuType, HostHandle};
 pub use host::{ClusterTopology, Host};
 pub use job::{Job, JobId, JobState};
 pub use placer::{DevicePlacer, JobPlacement, PlacementPlan, RoundingPlacer};

@@ -14,7 +14,7 @@
 //!    giving placement priority to jobs with more workers and packing each job onto as
 //!    few hosts as possible to limit network contention.
 
-use crate::gpu::{GpuDevice, GpuType};
+use crate::gpu::{GpuDevice, GpuType, HostHandle};
 use crate::host::ClusterTopology;
 use crate::job::JobId;
 use crate::tenant::Tenant;
@@ -147,7 +147,7 @@ impl JobPlacement {
 
     /// Number of distinct hosts the job spans.
     pub fn num_hosts(&self) -> usize {
-        let mut hosts: Vec<usize> = self.devices.iter().map(|d| d.id.host).collect();
+        let mut hosts: Vec<HostHandle> = self.devices.iter().map(|d| d.id.host).collect();
         hosts.sort_unstable();
         hosts.dedup();
         hosts.len()
@@ -225,12 +225,15 @@ impl DevicePlacer {
         tenants: &[Tenant],
     ) -> PlacementPlan {
         let k = topology.num_gpu_types();
-        // Free devices per host, per type (a host only has one type, but indexing by
-        // type keeps the lookups simple).
-        let mut free: Vec<Vec<GpuDevice>> = vec![Vec::new(); topology.hosts().len()];
-        for host in topology.hosts() {
-            free[host.id] = host.devices().collect();
-        }
+        // Free devices per host, keyed by the host's *dense* index this round.
+        // Devices carry stable host handles; the topology's slot-map maps a
+        // handle back to its dense index in O(1), so the scratch tolerates any
+        // add/remove history (no renumbering, no gaps to size around).
+        let mut free: Vec<Vec<GpuDevice>> = topology
+            .hosts()
+            .iter()
+            .map(|host| host.devices().collect())
+            .collect();
 
         let mut plan = PlacementPlan::default();
 
@@ -308,7 +311,7 @@ impl DevicePlacer {
                     }
                     // Not enough physical devices of that type remain free; put any
                     // partially taken devices back and fall through.
-                    Self::put_back(free, picked);
+                    Self::put_back(free, topology, picked);
                 }
             }
         }
@@ -341,28 +344,33 @@ impl DevicePlacer {
     ) -> Vec<GpuDevice> {
         let mut taken = Vec::new();
         while taken.len() < count {
-            // Host with the most remaining free devices of the wanted type.
+            // Host (by dense index) with the most remaining free devices of
+            // the wanted type.
             let best_host = topology
                 .hosts()
                 .iter()
-                .filter(|h| h.gpu_type == gpu_type)
-                .map(|h| (h.id, free[h.id].len()))
+                .enumerate()
+                .filter(|(_, h)| h.gpu_type == gpu_type)
+                .map(|(i, _)| (i, free[i].len()))
                 .filter(|(_, n)| *n > 0)
                 .max_by_key(|(_, n)| *n);
-            let Some((host_id, _)) = best_host else {
+            let Some((host_index, _)) = best_host else {
                 break;
             };
-            let take_here = (count - taken.len()).min(free[host_id].len());
+            let take_here = (count - taken.len()).min(free[host_index].len());
             for _ in 0..take_here {
-                taken.push(free[host_id].pop().expect("checked non-empty"));
+                taken.push(free[host_index].pop().expect("checked non-empty"));
             }
         }
         taken
     }
 
-    fn put_back(free: &mut [Vec<GpuDevice>], devices: Vec<GpuDevice>) {
+    fn put_back(free: &mut [Vec<GpuDevice>], topology: &ClusterTopology, devices: Vec<GpuDevice>) {
         for d in devices {
-            free[d.id.host].push(d);
+            let index = topology
+                .host_index(d.id.host)
+                .expect("taken device's host is live");
+            free[index].push(d);
         }
     }
 }

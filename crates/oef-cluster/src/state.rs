@@ -84,22 +84,27 @@ impl ClusterState {
         Some(removed)
     }
 
-    /// Adds a host of an existing GPU type to the topology (see
-    /// [`ClusterTopology::add_host`]).
+    /// Adds a host of an existing GPU type to the topology, returning its
+    /// stable handle (see [`ClusterTopology::add_host`]).
     ///
     /// # Errors
     ///
     /// Propagates topology validation failures.
-    pub fn add_host(&mut self, gpu_type: crate::GpuType, num_gpus: usize) -> Result<usize> {
+    pub fn add_host(
+        &mut self,
+        gpu_type: crate::GpuType,
+        num_gpus: usize,
+    ) -> Result<crate::HostHandle> {
         self.topology.add_host(gpu_type, num_gpus)
     }
 
-    /// Removes a host from the topology (see [`ClusterTopology::remove_host`]).
+    /// Removes a host by stable handle; surviving hosts keep theirs (see
+    /// [`ClusterTopology::remove_host`]).
     ///
     /// # Errors
     ///
     /// Propagates topology validation failures.
-    pub fn remove_host(&mut self, host: usize) -> Result<crate::Host> {
+    pub fn remove_host(&mut self, host: crate::HostHandle) -> Result<crate::Host> {
         self.topology.remove_host(host)
     }
 
@@ -331,6 +336,7 @@ mod tests {
         assert_eq!(state.topology().capacities(), vec![12, 8, 8]);
         state.remove_host(host).unwrap();
         assert_eq!(state.topology().capacities(), vec![8, 8, 8]);
+        assert!(state.remove_host(host).is_err(), "handle is dead");
     }
 
     #[test]

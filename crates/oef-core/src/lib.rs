@@ -45,6 +45,7 @@ mod cluster_spec;
 mod coop;
 mod error;
 pub mod fairness;
+mod handle_map;
 mod multi_job;
 mod noncoop;
 mod policy;
@@ -59,6 +60,7 @@ pub use error::OefError;
 pub use fairness::{
     EnvyReport, FairnessSummary, ParetoReport, SharingIncentiveReport, StrategyProofnessReport,
 };
+pub use handle_map::HandleMap;
 pub use multi_job::{MultiJobAllocation, MultiJobOef, TenantWorkload};
 pub use noncoop::NonCooperativeOef;
 pub use policy::{AllocationPolicy, BoxedPolicy};

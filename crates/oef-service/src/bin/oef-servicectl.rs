@@ -43,14 +43,22 @@ fn main() {
 fn status(addr: &str) -> ClientResult<()> {
     let report = ServiceClient::connect(addr)?.status()?;
     println!(
-        "policy={} round={} time={}s tenants={} hosts={} devices={}",
+        "policy={} protocol=v{} round={} time={}s tenants={} jobs={} hosts={} devices={}",
         report.policy,
+        report.protocol,
         report.round,
         report.time_secs,
         report.tenants,
+        report.jobs,
         report.hosts,
         report.total_devices
     );
+    for host in &report.topology {
+        println!(
+            "  host handle={} gpu_type={} gpus={}",
+            host.host, host.gpu_type, host.num_gpus
+        );
+    }
     Ok(())
 }
 
@@ -136,8 +144,56 @@ fn smoke(addr: &str) -> ClientResult<()> {
         round.tenants.len() == 1 && round.tenants[0].tenant == bob,
     )?;
 
+    // Topology churn: host handles are stable across removal, and a removed
+    // handle is dead forever — a re-added host gets a fresh one.
+    let hosts_before = client.status()?.hosts;
+    let added = client.add_host(0, 4)?;
+    let survivors: Vec<u64> = client
+        .status()?
+        .topology
+        .iter()
+        .map(|h| h.host)
+        .filter(|&h| h != added)
+        .collect();
+    check(
+        "added host grows the topology",
+        survivors.len() == hosts_before,
+    )?;
+    client.remove_host(added)?;
+    let after_remove = client.status()?;
+    check(
+        "surviving handles are untouched by the removal",
+        after_remove
+            .topology
+            .iter()
+            .map(|h| h.host)
+            .collect::<Vec<_>>()
+            == survivors,
+    )?;
+    match client.remove_host(added) {
+        Err(oef_service::ClientError::Service {
+            code: oef_service::ErrorCode::UnknownHost,
+            ..
+        }) => {
+            println!("ok: removed handle is dead (UnknownHost)");
+        }
+        other => {
+            return Err(oef_service::ClientError::Protocol(format!(
+                "smoke check failed: dead handle should be UnknownHost, got {other:?}"
+            )))
+        }
+    }
+    let readded = client.add_host(0, 4)?;
+    check("re-added host gets a fresh handle", readded != added)?;
+    client.remove_host(readded)?;
+    let round = client.tick()?;
+    check(
+        "scheduling survives topology churn",
+        round.tenants.len() == 1,
+    )?;
+
     let metrics = client.metrics()?;
-    check("metrics count the rounds", metrics.rounds_solved >= 4)?;
+    check("metrics count the rounds", metrics.rounds_solved >= 5)?;
 
     client.shutdown()?;
     println!("ok: daemon acknowledged shutdown");

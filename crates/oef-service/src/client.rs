@@ -194,25 +194,27 @@ impl ServiceClient {
         }
     }
 
-    /// Adds a host, returning its id.
+    /// Adds a host, returning its stable handle.  The handle stays valid for
+    /// the host's whole lifetime — other hosts joining or leaving never
+    /// renumber it.
     ///
     /// # Errors
     ///
     /// See [`ServiceClient::call`].
-    pub fn add_host(&mut self, gpu_type: usize, num_gpus: usize) -> ClientResult<usize> {
+    pub fn add_host(&mut self, gpu_type: usize, num_gpus: usize) -> ClientResult<u64> {
         match self.call(Command::AddHost { gpu_type, num_gpus })? {
             Response::HostAdded { host } => Ok(host),
             other => Err(unexpected("HostAdded", &other)),
         }
     }
 
-    /// Removes a host.
+    /// Removes a host by stable handle.
     ///
     /// # Errors
     ///
     /// See [`ServiceClient::call`].
-    pub fn remove_host(&mut self, host: usize) -> ClientResult<()> {
-        match self.call(Command::RemoveHost { host })? {
+    pub fn remove_host(&mut self, host: u64) -> ClientResult<()> {
+        match self.call(Command::RemoveHost { handle: host })? {
             Response::HostRemoved { .. } => Ok(()),
             other => Err(unexpected("HostRemoved", &other)),
         }

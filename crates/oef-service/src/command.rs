@@ -9,6 +9,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Wire protocol version.  v2 replaced the dense host ids of v1 with stable
+/// generational host handles: `AddHost` returns a handle that survives any
+/// later topology churn, `RemoveHost` takes one, and a removed host's handle
+/// never aliases a newer host.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// A command a tenant (or an operator) sends to the scheduling daemon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Command {
@@ -55,22 +61,27 @@ pub enum Command {
         /// Job id from [`Response::JobSubmitted`].
         job: u64,
     },
-    /// Adds a host with `num_gpus` devices of an existing GPU type.
+    /// Adds a host with `num_gpus` devices of an existing GPU type.  Replies
+    /// with [`Response::HostAdded`] carrying the host's *stable handle*.
     AddHost {
         /// GPU type index (slowest first, as in the topology).
         gpu_type: usize,
         /// Devices on the new host.
         num_gpus: usize,
     },
-    /// Drains and removes a host.
+    /// Drains and removes a host by stable handle.
     ///
-    /// Host ids are *dense*, not stable handles: removing a host renumbers
-    /// every later host down by one (the placer indexes by dense id).
-    /// Clients holding host ids from before a removal must re-sync via
-    /// [`Command::Status`] before issuing further host commands.
+    /// Since protocol v2, removing a host never renumbers the survivors:
+    /// every other handle a client holds stays valid, and the removed handle
+    /// is dead forever — later `RemoveHost` calls on it return
+    /// [`ErrorCode::UnknownHost`] instead of silently hitting a different
+    /// host.  The payload field is named `handle` (v1 used `host` for a
+    /// dense id) so an un-upgraded v1 client fails loudly with a structured
+    /// parse error instead of silently removing the wrong host.
     RemoveHost {
-        /// Host id.
-        host: usize,
+        /// Stable host handle from [`Response::HostAdded`] or
+        /// [`Command::Status`].
+        handle: u64,
     },
     /// Runs one scheduling round: re-solves the allocation (warm-started),
     /// places devices and advances jobs by one round.
@@ -180,21 +191,40 @@ pub struct MetricsReport {
     pub hosts: usize,
 }
 
+/// One host as reported by [`Command::Status`]: its stable handle plus what
+/// it contains, so operators can reference topology at a glance without a
+/// separate inventory call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostStatusEntry {
+    /// Stable host handle (use with [`Command::RemoveHost`]).
+    pub host: u64,
+    /// GPU type index of the host's devices.
+    pub gpu_type: usize,
+    /// Device count on the host.
+    pub num_gpus: usize,
+}
+
 /// State summary returned by [`Command::Status`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatusReport {
     /// Allocation policy driving the daemon.
     pub policy: String,
+    /// Wire protocol version the daemon speaks ([`PROTOCOL_VERSION`]).
+    pub protocol: u32,
     /// Rounds completed so far.
     pub round: usize,
     /// Current service time in seconds.
     pub time_secs: f64,
     /// Registered tenants.
     pub tenants: usize,
+    /// Unfinished jobs across all tenants.
+    pub jobs: usize,
     /// Hosts in the topology.
     pub hosts: usize,
     /// Total GPU devices in the topology.
     pub total_devices: usize,
+    /// Per-host handles and contents, in topology order.
+    pub topology: Vec<HostStatusEntry>,
 }
 
 /// Reply payload for a [`Command`].
@@ -231,13 +261,13 @@ pub enum Response {
     },
     /// Host added.
     HostAdded {
-        /// New host id.
-        host: usize,
+        /// The new host's stable handle.
+        host: u64,
     },
-    /// Host removed.
+    /// Host removed; the handle is dead from here on.
     HostRemoved {
-        /// Removed host id.
-        host: usize,
+        /// The removed host's handle.
+        host: u64,
     },
     /// One scheduling round completed.
     RoundCompleted(RoundSummary),
@@ -312,7 +342,7 @@ mod tests {
                 gpu_type: 2,
                 num_gpus: 4,
             },
-            Command::RemoveHost { host: 5 },
+            Command::RemoveHost { handle: 5 },
             Command::Tick,
             Command::Metrics,
             Command::Snapshot,
@@ -361,12 +391,53 @@ mod tests {
                     message: "tenant limit reached".into(),
                 },
             },
+            Reply {
+                id: 4,
+                response: Response::Status(StatusReport {
+                    policy: "oef-noncooperative".into(),
+                    protocol: PROTOCOL_VERSION,
+                    round: 9,
+                    time_secs: 2700.0,
+                    tenants: 2,
+                    jobs: 5,
+                    hosts: 2,
+                    total_devices: 8,
+                    topology: vec![
+                        HostStatusEntry {
+                            host: 1,
+                            gpu_type: 0,
+                            num_gpus: 4,
+                        },
+                        HostStatusEntry {
+                            host: (1 << 32) | 2,
+                            gpu_type: 1,
+                            num_gpus: 4,
+                        },
+                    ],
+                }),
+            },
+            Reply {
+                id: 5,
+                response: Response::HostAdded {
+                    host: (3 << 32) | 7,
+                },
+            },
         ];
         for reply in replies {
             let line = serde_json::to_string(&reply).unwrap();
             let back: Reply = serde_json::from_str(&line).unwrap();
             assert_eq!(back, reply);
         }
+    }
+
+    #[test]
+    fn v1_remove_host_shape_is_rejected_not_reinterpreted() {
+        // v1 sent `{"RemoveHost":{"host":<dense id>}}`.  v2 renamed the field
+        // to `handle` precisely so this old shape fails to parse (a loud,
+        // structured error at the wire) instead of being read as a handle and
+        // removing the wrong host.
+        let err = serde_json::from_str::<Command>("{\"RemoveHost\":{\"host\":2}}");
+        assert!(err.is_err(), "v1 request shape must not parse: {err:?}");
     }
 
     #[test]

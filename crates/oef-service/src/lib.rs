@@ -47,8 +47,8 @@ mod snapshot;
 
 pub use client::{ClientError, ClientResult, ServiceClient};
 pub use command::{
-    Command, ErrorCode, MetricsReport, Reply, Request, Response, RoundSummary, StatusReport,
-    TenantRoundSummary,
+    Command, ErrorCode, HostStatusEntry, MetricsReport, Reply, Request, Response, RoundSummary,
+    StatusReport, TenantRoundSummary, PROTOCOL_VERSION,
 };
 pub use metrics::ServiceMetrics;
 pub use queue::{BoundedQueue, PushError};

@@ -8,11 +8,12 @@
 //! server feeds it commands one at a time, and tests can drive it directly.
 
 use crate::command::{
-    Command, ErrorCode, MetricsReport, Response, RoundSummary, StatusReport, TenantRoundSummary,
+    Command, ErrorCode, HostStatusEntry, MetricsReport, Response, RoundSummary, StatusReport,
+    TenantRoundSummary, PROTOCOL_VERSION,
 };
 use crate::metrics::ServiceMetrics;
 use crate::snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
-use oef_cluster::{ClusterState, ClusterTopology, GpuType, Job, JobId, Tenant};
+use oef_cluster::{ClusterState, ClusterTopology, GpuType, HostHandle, Job, JobId, Tenant};
 use oef_core::{BoxedPolicy, SpeedupVector, TenantIndexMap};
 use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
 use oef_sim::{SimulationConfig, SimulationEngine};
@@ -111,7 +112,6 @@ pub struct SchedulerService {
     policy: BoxedPolicy,
     config: ServiceConfig,
     tenants: TenantIndexMap,
-    next_tenant_handle: u64,
     metrics: ServiceMetrics,
     shutting_down: bool,
 }
@@ -145,7 +145,6 @@ impl SchedulerService {
             policy,
             config,
             tenants: TenantIndexMap::new(),
-            next_tenant_handle: 1,
             metrics: ServiceMetrics::new(),
             shutting_down: false,
         })
@@ -160,35 +159,43 @@ impl SchedulerService {
     ///
     /// # Errors
     ///
-    /// Fails on malformed snapshots, version mismatches, unknown policies, or
-    /// a tenant index that disagrees with the cluster state.
+    /// Fails on malformed snapshots, version mismatches (a v1 snapshot is
+    /// refused with a structured error before its incompatible layout is even
+    /// parsed), unknown policies, or identity maps that disagree with the
+    /// cluster state.
     pub fn from_snapshot_json(snapshot: &str) -> Result<Self, ServiceError> {
-        let snapshot: ServiceSnapshot =
+        // Gate on the version *before* parsing the full layout: older
+        // versions have differently shaped fields, and "missing field" parse
+        // errors would mask the real problem.
+        let value: serde::Value =
             serde_json::from_str(snapshot).map_err(|e| ServiceError::BadSnapshot(e.to_string()))?;
+        match value.get("version").and_then(serde::Value::as_u64) {
+            Some(v) if v == u64::from(SNAPSHOT_VERSION) => {}
+            Some(v) => {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "snapshot version {v} is not supported (daemon supports {SNAPSHOT_VERSION}; \
+                     v1 snapshots predate stable host handles and cannot be migrated — take a \
+                     fresh snapshot with a v{SNAPSHOT_VERSION} daemon)"
+                )));
+            }
+            None => {
+                return Err(ServiceError::BadSnapshot(
+                    "snapshot has no numeric `version` field".to_string(),
+                ));
+            }
+        }
+        let snapshot = ServiceSnapshot::deserialize(&value)
+            .map_err(|e| ServiceError::BadSnapshot(e.to_string()))?;
         Self::from_snapshot(snapshot)
     }
 
     fn from_snapshot(snapshot: ServiceSnapshot) -> Result<Self, ServiceError> {
-        if snapshot.version != SNAPSHOT_VERSION {
-            return Err(ServiceError::BadSnapshot(format!(
-                "snapshot version {} (daemon supports {SNAPSHOT_VERSION})",
-                snapshot.version
-            )));
-        }
         if snapshot.tenant_handles.len() != snapshot.state.tenants().len() {
             return Err(ServiceError::BadSnapshot(format!(
                 "tenant index has {} handles but state has {} tenants",
                 snapshot.tenant_handles.len(),
                 snapshot.state.tenants().len()
             )));
-        }
-        if let Some(&max) = snapshot.tenant_handles.handles().iter().max() {
-            if snapshot.next_tenant_handle <= max {
-                return Err(ServiceError::BadSnapshot(format!(
-                    "next_tenant_handle {} does not exceed the largest live handle {max}",
-                    snapshot.next_tenant_handle
-                )));
-            }
         }
         Self::validate_state(&snapshot.state).map_err(ServiceError::BadSnapshot)?;
         let policy = policy_from_name(&snapshot.config.policy)
@@ -202,7 +209,6 @@ impl SchedulerService {
             policy,
             config: snapshot.config,
             tenants: snapshot.tenant_handles,
-            next_tenant_handle: snapshot.next_tenant_handle,
             metrics: ServiceMetrics::new(),
             shutting_down: false,
         })
@@ -211,8 +217,37 @@ impl SchedulerService {
     /// Checks the internal invariants of a deserialized cluster state.
     /// `Restore` is an ordinary wire command, so a malformed snapshot must be
     /// refused here rather than panicking the scheduler on the next tick.
+    ///
+    /// The host handle map's *structural* integrity (no dead or stale
+    /// handles, consistent free list) is already enforced by its own
+    /// deserializer; this checks the cross-field invariants on top.
     fn validate_state(state: &ClusterState) -> Result<(), String> {
         let k = state.topology().num_gpu_types();
+        for (i, host) in state.topology().hosts().iter().enumerate() {
+            if state.topology().host_index(host.handle) != Some(i) {
+                return Err(format!(
+                    "host at index {i} carries handle {} which does not resolve back to it",
+                    host.handle.0
+                ));
+            }
+            if host.gpu_type.0 >= k {
+                return Err(format!(
+                    "host {} has GPU type {} but the topology declares {k} types",
+                    host.handle.0, host.gpu_type.0
+                ));
+            }
+            if host.num_gpus == 0 {
+                return Err(format!("host {} has no devices", host.handle.0));
+            }
+        }
+        for t in 0..k {
+            if state.topology().capacity_of(oef_cluster::GpuType(t)) == 0 {
+                return Err(format!(
+                    "GPU type {t} has zero capacity (the allocation LP needs every declared \
+                     type backed by at least one device)"
+                ));
+            }
+        }
         for (i, tenant) in state.tenants().iter().enumerate() {
             if tenant.id != i {
                 return Err(format!("tenant at index {i} carries id {}", tenant.id));
@@ -312,7 +347,7 @@ impl SchedulerService {
             } => self.submit_job(tenant, model, workers, total_work),
             Command::JobFinished { tenant, job } => self.job_finished(tenant, job),
             Command::AddHost { gpu_type, num_gpus } => self.add_host(gpu_type, num_gpus),
-            Command::RemoveHost { host } => self.remove_host(host),
+            Command::RemoveHost { handle } => self.remove_host(handle),
             Command::Tick => self.tick(),
             Command::Metrics => Ok(self.metrics_report(queue_depth)),
             Command::Snapshot => self.snapshot(),
@@ -362,9 +397,11 @@ impl SchedulerService {
             ));
         }
         let speedup = self.parse_speedup(speedup)?;
-        let handle = self.next_tenant_handle;
-        self.next_tenant_handle += 1;
-        let index = self.tenants.insert(handle);
+        let handle = self.tenants.insert();
+        let index = self
+            .tenants
+            .index_of(handle)
+            .expect("freshly minted handle resolves");
         let assigned = self
             .engine
             .state_mut()
@@ -469,23 +506,23 @@ impl SchedulerService {
             .state_mut()
             .add_host(GpuType(gpu_type), num_gpus)
             .map_err(|e| (ErrorCode::InvalidArgument, e.to_string()))?;
-        Ok(Response::HostAdded { host })
+        Ok(Response::HostAdded { host: host.raw() })
     }
 
-    fn remove_host(&mut self, host: usize) -> CommandResult {
-        if !self
-            .engine
-            .state()
-            .topology()
-            .hosts()
-            .iter()
-            .any(|h| h.id == host)
-        {
-            return Err((ErrorCode::UnknownHost, format!("no host with id {host}")));
+    fn remove_host(&mut self, host: u64) -> CommandResult {
+        let handle = HostHandle(host);
+        if !self.engine.state().topology().contains_host(handle) {
+            return Err((
+                ErrorCode::UnknownHost,
+                format!(
+                    "no host with handle {host} (handles are stable: a removed host's \
+                         handle is never reused)"
+                ),
+            ));
         }
         self.engine
             .state_mut()
-            .remove_host(host)
+            .remove_host(handle)
             .map_err(|e| (ErrorCode::InvalidArgument, e.to_string()))?;
         Ok(Response::HostRemoved { host })
     }
@@ -570,7 +607,6 @@ impl SchedulerService {
             state: self.engine.state().clone(),
             rounding: self.engine.rounding().clone(),
             tenant_handles: self.tenants.clone(),
-            next_tenant_handle: self.next_tenant_handle,
         };
         let json = serde_json::to_string(&snapshot)
             .map_err(|e| (ErrorCode::Internal, format!("snapshot failed: {e}")))?;
@@ -600,14 +636,32 @@ impl SchedulerService {
     }
 
     fn status(&self) -> Response {
-        let topology = self.engine.state().topology();
+        let state = self.engine.state();
+        let topology = state.topology();
+        let jobs = state
+            .tenants()
+            .iter()
+            .flat_map(|t| t.jobs.iter())
+            .filter(|j| !j.is_finished())
+            .count();
         Response::Status(StatusReport {
             policy: self.config.policy.clone(),
+            protocol: PROTOCOL_VERSION,
             round: self.engine.rounds_run(),
             time_secs: self.engine.now(),
             tenants: self.tenants.len(),
+            jobs,
             hosts: topology.hosts().len(),
             total_devices: topology.total_devices(),
+            topology: topology
+                .hosts()
+                .iter()
+                .map(|h| HostStatusEntry {
+                    host: h.handle.raw(),
+                    gpu_type: h.gpu_type.0,
+                    num_gpus: h.num_gpus,
+                })
+                .collect(),
         })
     }
 }
@@ -792,7 +846,7 @@ mod tests {
             ),
             "{r:?}"
         );
-        let r = svc.apply(Command::RemoveHost { host: 77 }, 0);
+        let r = svc.apply(Command::RemoveHost { handle: 77 }, 0);
         assert!(
             matches!(
                 r,
@@ -909,15 +963,17 @@ mod tests {
     }
 
     #[test]
-    fn stale_handle_counter_is_rejected_on_restore() {
+    fn stale_tenant_handle_is_rejected_on_restore() {
         let mut svc = service();
         join(&mut svc, "alice", vec![1.0, 1.2, 1.4]);
         let Response::Snapshot { snapshot } = svc.apply(Command::Snapshot, 0) else {
             panic!("snapshot failed");
         };
-        // Corrupt the counter so the next join would collide with the live
-        // handle 1; the restore must refuse instead of arming a later panic.
-        let corrupted = snapshot.replace("\"next_tenant_handle\":2", "\"next_tenant_handle\":1");
+        // Corrupt the tenant handle map: a dense handle with a bumped
+        // generation references a dead slot; accepting it would let a stale
+        // wire handle alias a future tenant.
+        let stale = (1u64 << 32) | 1;
+        let corrupted = snapshot.replace("\"handles\":[1],", &format!("\"handles\":[{stale}],"));
         assert_ne!(corrupted, snapshot, "fixture must actually corrupt");
         let err = SchedulerService::from_snapshot_json(&corrupted).unwrap_err();
         assert!(matches!(err, ServiceError::BadSnapshot(_)), "{err:?}");
@@ -937,6 +993,85 @@ mod tests {
             ),
             "{r:?}"
         );
+    }
+
+    #[test]
+    fn snapshot_referencing_a_dead_host_is_rejected() {
+        let mut svc = service();
+        let Response::HostAdded { host } = svc.apply(
+            Command::AddHost {
+                gpu_type: 0,
+                num_gpus: 4,
+            },
+            0,
+        ) else {
+            panic!("add host failed");
+        };
+        assert_eq!(host, 7, "paper cluster has hosts 1..=6");
+        let Response::Snapshot { snapshot } = svc.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        // Rewrite host 7's dense entry to a bumped generation: the handle now
+        // points at a slot that never held that generation — a dead host.
+        let stale = (1u64 << 32) | 7;
+        let corrupted = snapshot.replace(
+            "\"handles\":[1,2,3,4,5,6,7]",
+            &format!("\"handles\":[1,2,3,4,5,6,{stale}]"),
+        );
+        assert_ne!(corrupted, snapshot, "fixture must actually corrupt");
+        let err = SchedulerService::from_snapshot_json(&corrupted).unwrap_err();
+        let ServiceError::BadSnapshot(reason) = err else {
+            panic!("expected BadSnapshot");
+        };
+        assert!(reason.contains("dead slot"), "reason: {reason}");
+        let r = svc.apply(
+            Command::Restore {
+                snapshot: corrupted,
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_are_refused_with_a_structured_error() {
+        let mut svc = service();
+        let Response::Snapshot { snapshot } = svc.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        let v1 = snapshot.replace("\"version\":2", "\"version\":1");
+        assert_ne!(v1, snapshot, "fixture must actually downgrade");
+        let err = SchedulerService::from_snapshot_json(&v1).unwrap_err();
+        let ServiceError::BadSnapshot(reason) = err else {
+            panic!("expected BadSnapshot");
+        };
+        assert!(
+            reason.contains("version 1") && reason.contains("supports 2"),
+            "reason must name both versions: {reason}"
+        );
+        // Over the wire it is an ordinary InvalidArgument reply, not a panic.
+        let r = svc.apply(Command::Restore { snapshot: v1 }, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let missing = SchedulerService::from_snapshot_json("{\"config\":{}}").unwrap_err();
+        assert!(matches!(missing, ServiceError::BadSnapshot(_)));
     }
 
     #[test]

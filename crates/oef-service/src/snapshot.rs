@@ -2,19 +2,29 @@
 //!
 //! A snapshot captures everything a restarted daemon needs to resume
 //! mid-trace: the cluster state (topology, tenants, jobs, progress), the
-//! service clock, the stable tenant handles and the handle counter, plus the
-//! configuration the state was produced under.  Solver caches are
-//! deliberately *not* captured — they are per-process working state, and the
-//! first post-restore solve rebuilds them (cold) without changing any
-//! allocation.
+//! service clock, the stable tenant handles, plus the configuration the
+//! state was produced under.  Solver caches are deliberately *not* captured
+//! — they are per-process working state, and the first post-restore solve
+//! rebuilds them (cold) without changing any allocation.
+//!
+//! **Versioning.**  The `version` field gates compatibility: a daemon only
+//! restores snapshots of its own layout version and refuses others with a
+//! structured error (never a panic mid-parse).  v2 (current) stores both
+//! identity maps as full generational slot-maps — the host handle map rides
+//! inside the topology, the tenant one in `tenant_handles` — including slot
+//! generations and free-list order, so a restored daemon rejects exactly the
+//! stale handles the original would have and mints exactly the handles the
+//! original would have minted.  v1 predates stable host handles (hosts were
+//! dense wire indices and tenant handles came from an external counter);
+//! there is no faithful migration, so v1 snapshots are rejected.
 
 use crate::service::ServiceConfig;
 use oef_cluster::{ClusterState, RoundingPlacer};
 use oef_core::TenantIndexMap;
 use serde::{Deserialize, Serialize};
 
-/// Version stamp embedded in every snapshot; bump on breaking layout changes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Layout version stamp embedded in every snapshot; bump on breaking changes.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The serialized form of a [`crate::SchedulerService`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,33 +37,36 @@ pub struct ServiceSnapshot {
     pub now_secs: f64,
     /// Rounds completed at the moment of the snapshot.
     pub round: usize,
-    /// Full cluster state: topology, tenants, jobs and their progress.
+    /// Full cluster state: topology (with the host handle map), tenants,
+    /// jobs and their progress.
     pub state: ClusterState,
     /// Cumulative rounding deviations of the placer — without them a restart
     /// would grant different whole devices for the same fractional shares.
     pub rounding: RoundingPlacer,
-    /// Stable tenant handles in dense-index order.
+    /// Stable tenant handle slot-map (generations and free list included, so
+    /// handle identity survives the restart byte-for-byte).
     pub tenant_handles: TenantIndexMap,
-    /// Next handle to hand out on a join.
-    pub next_tenant_handle: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oef_cluster::{ClusterTopology, Tenant};
+    use oef_cluster::{ClusterTopology, GpuType, Tenant};
     use oef_core::SpeedupVector;
 
     #[test]
     fn snapshot_json_round_trips() {
-        let mut state = ClusterState::new(ClusterTopology::paper_cluster());
+        let mut topology = ClusterTopology::paper_cluster();
+        let extra = topology.add_host(GpuType(2), 4).unwrap();
+        topology.remove_host(extra).unwrap();
+        let mut state = ClusterState::new(topology);
         state.add_tenant(Tenant::new(
             0,
             "alice",
             SpeedupVector::new(vec![1.0, 1.2, 1.4]).unwrap(),
         ));
         let mut handles = TenantIndexMap::new();
-        handles.insert(17);
+        handles.insert();
         let snapshot = ServiceSnapshot {
             version: SNAPSHOT_VERSION,
             config: ServiceConfig::default(),
@@ -62,7 +75,6 @@ mod tests {
             state,
             rounding: RoundingPlacer::new(1, 3),
             tenant_handles: handles,
-            next_tenant_handle: 18,
         };
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: ServiceSnapshot = serde_json::from_str(&json).unwrap();

@@ -1,11 +1,13 @@
 //! End-to-end tests of the daemon over real loopback TCP.
 //!
 //! The headline test drives the acceptance cycle of the online service:
-//! join → tick → snapshot → restart (a brand-new daemon restored from the
-//! snapshot) → tick → leave, and checks every allocation against an
-//! equivalent batch `SimulationEngine` run to 1e-6.
+//! join → tick → topology growth → snapshot → restart (a brand-new daemon
+//! restored from the snapshot) → topology shrink → tick → leave, and checks
+//! every allocation against an equivalent batch `SimulationEngine` run to
+//! 1e-6 — host churn straddles the restart boundary on purpose, proving
+//! host handles (and the deviation state they index) survive a snapshot.
 
-use oef_cluster::{ClusterState, ClusterTopology, Job, JobId, Tenant};
+use oef_cluster::{ClusterState, ClusterTopology, GpuType, Job, JobId, Tenant};
 use oef_core::{NonCooperativeOef, SpeedupVector};
 use oef_service::{
     ClientError, ErrorCode, SchedulerService, Server, ServiceClient, ServiceConfig, ServiceLimits,
@@ -40,20 +42,26 @@ fn batch_engine() -> SimulationEngine {
 
 #[test]
 fn full_cycle_matches_batch_engine_within_1e6() {
-    // --- batch reference: 6 rounds with all three tenants, then 2 rounds
-    // with tenant 1 removed.
+    // --- batch reference: 2 rounds on the base topology, 4 rounds with an
+    // extra host, then that host leaves, tenant 1 leaves, and 2 more rounds.
     let mut engine = batch_engine();
     let policy = NonCooperativeOef::default();
     let mut batch_rounds = Vec::new();
-    for _ in 0..6 {
+    for _ in 0..2 {
         batch_rounds.push(engine.run_round(&policy).unwrap());
     }
+    let batch_host = engine.state_mut().add_host(GpuType(0), 4).unwrap();
+    for _ in 0..4 {
+        batch_rounds.push(engine.run_round(&policy).unwrap());
+    }
+    engine.state_mut().remove_host(batch_host).unwrap();
     engine.remove_tenant(1);
     for _ in 0..2 {
         batch_rounds.push(engine.run_round(&policy).unwrap());
     }
 
-    // --- online service, phase 1: join, submit, 3 ticks, snapshot, shutdown.
+    // --- online service, phase 1: join, submit, 2 ticks, grow the topology,
+    // 2 ticks, snapshot, shutdown.
     let (server, mut client) = spawn_default();
     let mut handles = Vec::new();
     for (t, profile) in PROFILES.iter().enumerate() {
@@ -62,7 +70,16 @@ fn full_cycle_matches_batch_engine_within_1e6() {
         handles.push(handle);
     }
     let mut service_rounds = Vec::new();
-    for _ in 0..3 {
+    for _ in 0..2 {
+        service_rounds.push(client.tick().unwrap());
+    }
+    let host = client.add_host(0, 4).unwrap();
+    assert_eq!(
+        host,
+        batch_host.raw(),
+        "wire and batch mint the same stable handle"
+    );
+    for _ in 0..2 {
         service_rounds.push(client.tick().unwrap());
     }
     let snapshot = client.snapshot().unwrap();
@@ -70,13 +87,17 @@ fn full_cycle_matches_batch_engine_within_1e6() {
     server.join();
 
     // --- "restart": a brand-new daemon restored from the snapshot resumes
-    // mid-trace, then one tenant leaves.
+    // mid-trace.  The host handle minted before the restart is removed
+    // *after* it, then one tenant leaves.
     let restored = SchedulerService::from_snapshot_json(&snapshot).expect("snapshot restores");
     let server = Server::spawn(restored, "127.0.0.1:0").expect("restarted daemon binds");
     let mut client = ServiceClient::connect(server.local_addr()).expect("client reconnects");
-    for _ in 0..3 {
+    for _ in 0..2 {
         service_rounds.push(client.tick().unwrap());
     }
+    client
+        .remove_host(host)
+        .expect("pre-restart host handle stays valid across the snapshot boundary");
     client.leave(handles[1]).unwrap();
     for _ in 0..2 {
         service_rounds.push(client.tick().unwrap());
@@ -117,6 +138,62 @@ fn full_cycle_matches_batch_engine_within_1e6() {
             }
         }
     }
+}
+
+#[test]
+fn remove_host_never_renumbers_survivors() {
+    let (server, mut client) = spawn_default();
+
+    let before = client.status().unwrap();
+    assert_eq!(before.protocol, oef_service::PROTOCOL_VERSION);
+    assert_eq!(before.hosts, 6);
+    assert_eq!(before.total_devices, 24);
+    let base: Vec<u64> = before.topology.iter().map(|h| h.host).collect();
+    assert_eq!(base, vec![1, 2, 3, 4, 5, 6]);
+
+    // Grow by two hosts, then remove the first of them.
+    let h7 = client.add_host(1, 4).unwrap();
+    let h8 = client.add_host(2, 2).unwrap();
+    assert_ne!(h7, h8);
+    client.remove_host(h7).unwrap();
+
+    // Every surviving handle is exactly what the client already held — no
+    // renumbering, no re-sync needed.
+    let after = client.status().unwrap();
+    let survivors: Vec<u64> = after.topology.iter().map(|h| h.host).collect();
+    let mut expected = base.clone();
+    expected.push(h8);
+    assert_eq!(survivors, expected, "survivors keep their handles");
+    assert_eq!(after.total_devices, 24 + 2);
+
+    // The removed handle is dead: UnknownHost, not a silent hit on a
+    // different host.
+    match client.remove_host(h7) {
+        Err(ClientError::Service { code, .. }) => assert_eq!(code, ErrorCode::UnknownHost),
+        other => panic!("expected UnknownHost for dead handle, got {other:?}"),
+    }
+
+    // Re-adding recycles the slot under a fresh generation: the old handle
+    // still resolves to nothing, so it can never alias the newcomer.
+    let h9 = client.add_host(1, 4).unwrap();
+    assert_ne!(h9, h7, "recycled slot must carry a new generation");
+    match client.remove_host(h7) {
+        Err(ClientError::Service { code, .. }) => assert_eq!(code, ErrorCode::UnknownHost),
+        other => panic!("stale handle aliased the re-added host: {other:?}"),
+    }
+    let status = client.status().unwrap();
+    assert!(status.topology.iter().any(|h| h.host == h9));
+    assert!(status.topology.iter().all(|h| h.host != h7));
+
+    // Scheduling still works on the churned topology.
+    let tenant = client.join("alice", 1, &[1.0, 1.2, 1.4]).unwrap();
+    client.submit_job(tenant, "model", 2, 1e8).unwrap();
+    let round = client.tick().unwrap();
+    assert_eq!(round.tenants.len(), 1);
+    assert!(round.tenants[0].devices_held > 0);
+
+    client.shutdown().unwrap();
+    server.join();
 }
 
 #[test]

@@ -7,9 +7,11 @@
 //! trace: each trace tenant joins one round before its first job arrives,
 //! jobs become `SubmitJob` events at their arrival rounds, every
 //! `reprofile_every_rounds` rounds the tenant re-reports a jittered profile,
-//! and the tenant leaves `linger_rounds` after its last arrival.  The driver
-//! (`service_soak`, tests) walks rounds `0..rounds`, applies the events due
-//! at each round, then ticks.
+//! and the tenant leaves `linger_rounds` after its last arrival.  With
+//! `host_churn_every_rounds` set, transient hosts also join and leave on a
+//! fixed cadence so the stream exercises topology churn against the stable
+//! host-handle layer.  The driver (`service_soak`, tests) walks rounds
+//! `0..rounds`, applies the events due at each round, then ticks.
 
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
@@ -44,16 +46,27 @@ pub enum ChurnEventKind {
     },
     /// The tenant submits a job.
     SubmitJob(ChurnJob),
+    /// A host joins the cluster.  The event's `subject` is the host *tag*:
+    /// the driver maps tags to the stable host handles the service mints.
+    AddHost {
+        /// GPU type index (slowest first).
+        gpu_type: usize,
+        /// Devices on the new host.
+        num_gpus: usize,
+    },
+    /// The host tagged by the event's `subject` leaves the cluster.
+    RemoveHost,
 }
 
-/// One event of the stream: a tenant (by trace name) does something at a
-/// round.
+/// One event of the stream: a subject (tenant by trace name, or host by tag)
+/// does something at a round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChurnEvent {
     /// Round index the event is due at.
     pub round: usize,
-    /// Trace tenant name (the driver maps names to service handles).
-    pub tenant: String,
+    /// Trace tenant name for tenant events, host tag for host events (the
+    /// driver maps either to the service handles it receives).
+    pub subject: String,
     /// The event.
     pub kind: ChurnEventKind,
 }
@@ -71,6 +84,16 @@ pub struct ChurnConfig {
     pub reprofile_every_rounds: usize,
     /// Relative jitter applied on each re-profile.
     pub reprofile_jitter: f64,
+    /// Every this many rounds a transient host joins the cluster, cycling
+    /// through the GPU types (0 disables topology churn).  Only hosts the
+    /// stream itself added are ever removed, so the base topology keeps every
+    /// GPU type backed by capacity.
+    pub host_churn_every_rounds: usize,
+    /// Rounds a churned host stays before its `RemoveHost` event (a host
+    /// whose removal would fall past the horizon simply stays).
+    pub host_churn_linger_rounds: usize,
+    /// Devices on each churned host.
+    pub host_churn_gpus: usize,
 }
 
 impl Default for ChurnConfig {
@@ -80,6 +103,9 @@ impl Default for ChurnConfig {
             linger_rounds: 12,
             reprofile_every_rounds: 24,
             reprofile_jitter: 0.03,
+            host_churn_every_rounds: 0,
+            host_churn_linger_rounds: 30,
+            host_churn_gpus: 4,
         }
     }
 }
@@ -107,7 +133,7 @@ impl ChurnTrace {
             let profile = first.speedup.as_slice().to_vec();
             events.push(ChurnEvent {
                 round: join_round,
-                tenant: tenant.name.clone(),
+                subject: tenant.name.clone(),
                 kind: ChurnEventKind::Join {
                     weight: tenant.weight,
                     speedup: profile.clone(),
@@ -120,7 +146,7 @@ impl ChurnTrace {
                 last_round = last_round.max(round);
                 events.push(ChurnEvent {
                     round,
-                    tenant: tenant.name.clone(),
+                    subject: tenant.name.clone(),
                     kind: ChurnEventKind::SubmitJob(ChurnJob {
                         model: job.model.clone(),
                         workers: job.workers,
@@ -145,7 +171,7 @@ impl ChurnTrace {
                         .collect();
                     events.push(ChurnEvent {
                         round,
-                        tenant: tenant.name.clone(),
+                        subject: tenant.name.clone(),
                         kind: ChurnEventKind::UpdateSpeedups { speedup: jittered },
                     });
                     round += config.reprofile_every_rounds;
@@ -153,11 +179,48 @@ impl ChurnTrace {
             }
             events.push(ChurnEvent {
                 round: leave_round,
-                tenant: tenant.name.clone(),
+                subject: tenant.name.clone(),
                 kind: ChurnEventKind::Leave,
             });
         }
-        // Stable sort keeps the per-tenant causal order within a round.
+        // Topology churn: transient hosts join on a fixed cadence (cycling
+        // through the GPU types) and leave after their linger window, so soak
+        // traces exercise host add/remove against live tenants.  Hosts are
+        // only ever removed if the stream added them, leaving the base
+        // topology's capacity untouched.
+        let tenant_horizon = events.iter().map(|e| e.round + 1).max().unwrap_or(0);
+        if config.host_churn_every_rounds > 0 && tenant_horizon > 0 {
+            let num_gpu_types = trace
+                .tenants
+                .iter()
+                .find_map(|t| t.jobs.first())
+                .map(|j| j.speedup.as_slice().len())
+                .unwrap_or(0);
+            let mut add_round = config.host_churn_every_rounds;
+            let mut index = 0usize;
+            while add_round < tenant_horizon && num_gpu_types > 0 {
+                let tag = format!("churn-host-{index}");
+                events.push(ChurnEvent {
+                    round: add_round,
+                    subject: tag.clone(),
+                    kind: ChurnEventKind::AddHost {
+                        gpu_type: index % num_gpu_types,
+                        num_gpus: config.host_churn_gpus.max(1),
+                    },
+                });
+                let remove_round = add_round + config.host_churn_linger_rounds.max(1);
+                if remove_round < tenant_horizon {
+                    events.push(ChurnEvent {
+                        round: remove_round,
+                        subject: tag,
+                        kind: ChurnEventKind::RemoveHost,
+                    });
+                }
+                add_round += config.host_churn_every_rounds;
+                index += 1;
+            }
+        }
+        // Stable sort keeps the per-subject causal order within a round.
         events.sort_by_key(|e| e.round);
         let rounds = events.iter().map(|e| e.round + 1).max().unwrap_or(0);
         Self { events, rounds }
@@ -198,7 +261,7 @@ mod tests {
         let churn = small_churn();
         for name in (0..6).map(|t| format!("tenant-{t}")) {
             let events: Vec<&ChurnEvent> =
-                churn.events.iter().filter(|e| e.tenant == name).collect();
+                churn.events.iter().filter(|e| e.subject == name).collect();
             assert!(
                 matches!(
                     events.first().map(|e| &e.kind),
@@ -261,5 +324,66 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: ChurnTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn default_config_leaves_topology_untouched() {
+        let churn = small_churn();
+        assert!(churn.events.iter().all(|e| !matches!(
+            e.kind,
+            ChurnEventKind::AddHost { .. } | ChurnEventKind::RemoveHost
+        )));
+    }
+
+    #[test]
+    fn host_churn_adds_before_removing_and_cycles_gpu_types() {
+        let trace = PhillyTraceGenerator::new(TraceConfig {
+            num_tenants: 6,
+            jobs_per_tenant: 4,
+            duration_secs: 6.0 * 3600.0,
+            ..TraceConfig::default()
+        })
+        .generate();
+        let churn = ChurnTrace::from_trace(
+            &trace,
+            &ChurnConfig {
+                host_churn_every_rounds: 8,
+                host_churn_linger_rounds: 10,
+                host_churn_gpus: 2,
+                ..ChurnConfig::default()
+            },
+        );
+        let mut adds = 0usize;
+        let mut removes = 0usize;
+        let mut gpu_types = Vec::new();
+        let mut add_round: std::collections::HashMap<&str, usize> = Default::default();
+        for event in &churn.events {
+            match &event.kind {
+                ChurnEventKind::AddHost { gpu_type, num_gpus } => {
+                    adds += 1;
+                    gpu_types.push(*gpu_type);
+                    assert_eq!(*num_gpus, 2);
+                    add_round.insert(event.subject.as_str(), event.round);
+                }
+                ChurnEventKind::RemoveHost => {
+                    removes += 1;
+                    let added = add_round
+                        .get(event.subject.as_str())
+                        .expect("only added hosts are removed");
+                    assert!(event.round > *added, "remove follows its add");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            adds >= 2,
+            "cadence 8 over the horizon produces several adds"
+        );
+        assert!(removes >= 1 && removes <= adds);
+        let k = trace.tenants[0].jobs[0].speedup.as_slice().len();
+        assert!(
+            (0..k).all(|t| gpu_types.contains(&t)) || adds < k,
+            "adds cycle through the GPU types: {gpu_types:?}"
+        );
     }
 }
