@@ -13,11 +13,29 @@
 //! and leave near the end, so most rounds re-solve an unchanged LP shape
 //! (warm) while joins/leaves force a cold re-factorization.  The acceptance
 //! bar is a warm-start hit rate above 90%.
+//!
+//! **`--shards N` mode** instead measures federation scaling and writes
+//! `BENCH_shard.json`: the same churn trace (same total tenant count, same
+//! total cluster capacity — N paper clusters however many shards carve them
+//! up) replayed against 1, 2, …, N shards.  Per-shard tenant counts shrink as
+//! shards grow, which pays twice: the LP's superlinear cost drops on every
+//! shard, and the per-shard solves overlap across cores (`Tick` fans out via
+//! `std::thread::scope`).  Round throughput is `solved rounds / Σ tick
+//! wall-clock`.  The sweep drives the cores *in-process* (both sides speak
+//! [`CommandHandler`], the exact seam the TCP server uses) so the measurement
+//! is the scheduling round itself — solve, placement, job progress, merge —
+//! not the O(tenants) JSON encoding of the reply, which is identical at
+//! every shard count and would otherwise flatten the curve.
 
 use oef_cluster::ClusterTopology;
-use oef_service::{SchedulerService, Server, ServiceClient, ServiceConfig, ServiceLimits};
+use oef_service::{
+    Command, CommandHandler, Response, SchedulerService, Server, ServiceClient, ServiceConfig,
+    ServiceLimits,
+};
+use oef_shard::{placement_from_name, ShardCoordinator};
 use oef_workloads::{ChurnConfig, ChurnEventKind, ChurnTrace, PhillyTraceGenerator, TraceConfig};
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::time::Instant;
 
 /// Scheduling rounds tenants keep arriving over (the churn warm-up window).
@@ -27,8 +45,12 @@ const ARRIVAL_ROUNDS: usize = 50;
 const LINGER_ROUNDS: usize = 450;
 /// Seconds per scheduling round (as in the paper).
 const ROUND_SECS: f64 = 300.0;
+/// Default total tenant count of the `--shards` sweep: large enough that the
+/// single-shard LP sits well past the warm-start sweet spot measured in
+/// `BENCH_solver.json`.
+const SHARD_SWEEP_TENANTS: usize = 96;
 
-fn churn_trace(tenants: usize, seed: u64) -> ChurnTrace {
+fn churn_trace(tenants: usize, seed: u64, cluster_devices: usize) -> ChurnTrace {
     let trace = PhillyTraceGenerator::new(TraceConfig {
         num_tenants: tenants,
         jobs_per_tenant: 10,
@@ -37,7 +59,7 @@ fn churn_trace(tenants: usize, seed: u64) -> ChurnTrace {
         // schedulable) for the whole horizon: the soak measures the solver
         // hot path, not job completions.
         contention: 60.0,
-        cluster_devices: 24,
+        cluster_devices,
         speedup_jitter: 0.05,
         multi_model_fraction: 0.1,
         seed,
@@ -60,19 +82,169 @@ fn churn_trace(tenants: usize, seed: u64) -> ChurnTrace {
     )
 }
 
-fn main() {
-    let mut tenants = 20usize;
-    let mut seed = 7u64;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match (flag.as_str(), args.next()) {
-            ("--tenants", Some(v)) => tenants = v.parse().expect("--tenants wants a number"),
-            ("--seed", Some(v)) => seed = v.parse().expect("--seed wants a number"),
-            (other, _) => panic!("unknown flag `{other}` (supported: --tenants N, --seed S)"),
+fn service_config(tenants: usize, max_hosts: usize) -> ServiceConfig {
+    ServiceConfig {
+        policy: "oef-noncooperative".to_string(),
+        round_secs: ROUND_SECS,
+        physical_placement: true,
+        limits: ServiceLimits {
+            max_tenants: tenants + 8,
+            max_jobs_per_tenant: 512,
+            max_hosts,
+            queue_capacity: 256,
+        },
+    }
+}
+
+/// What one replay of the churn stream measured.
+struct RunStats {
+    commands: u64,
+    elapsed_secs: f64,
+    /// Wall-clock spent inside `Tick` calls only (client-observed).
+    tick_secs: f64,
+    solved_ticks: u64,
+    warm_ticks: u64,
+    host_adds: u64,
+    host_removes: u64,
+    metrics: oef_service::MetricsReport,
+}
+
+impl RunStats {
+    /// Scheduling rounds per second of tick wall-clock.
+    fn round_throughput(&self) -> f64 {
+        if self.tick_secs == 0.0 {
+            0.0
+        } else {
+            self.solved_ticks as f64 / self.tick_secs
+        }
+    }
+}
+
+/// Replays the churn stream through any `Command -> Response` channel: the
+/// TCP client for the classic soak, a [`CommandHandler`] core directly for
+/// the shard sweep.  One loop, so both modes replay the identical workload.
+fn replay(churn: &ChurnTrace, mut apply: impl FnMut(Command) -> Response) -> RunStats {
+    let mut handles: HashMap<String, u64> = HashMap::new();
+    let mut host_handles: HashMap<String, u64> = HashMap::new();
+    let mut stats = RunStats {
+        commands: 0,
+        elapsed_secs: 0.0,
+        tick_secs: 0.0,
+        solved_ticks: 0,
+        warm_ticks: 0,
+        host_adds: 0,
+        host_removes: 0,
+        metrics: Default::default(),
+    };
+    let started = Instant::now();
+
+    for round in 0..churn.rounds {
+        for event in churn.events_at(round) {
+            stats.commands += 1;
+            let response = match &event.kind {
+                ChurnEventKind::Join { weight, speedup } => {
+                    let r = apply(Command::TenantJoin {
+                        name: event.subject.clone(),
+                        weight: *weight,
+                        speedup: speedup.clone(),
+                    });
+                    if let Response::TenantJoined { tenant } = r {
+                        handles.insert(event.subject.clone(), tenant);
+                        continue;
+                    }
+                    r
+                }
+                ChurnEventKind::Leave => {
+                    let handle = handles.remove(&event.subject).expect("tenant joined");
+                    apply(Command::TenantLeave { tenant: handle })
+                }
+                ChurnEventKind::UpdateSpeedups { speedup } => apply(Command::UpdateSpeedups {
+                    tenant: handles[&event.subject],
+                    speedup: speedup.clone(),
+                }),
+                ChurnEventKind::SubmitJob(job) => apply(Command::SubmitJob {
+                    tenant: handles[&event.subject],
+                    model: job.model.clone(),
+                    workers: job.workers,
+                    total_work: job.total_work,
+                }),
+                ChurnEventKind::AddHost { gpu_type, num_gpus } => {
+                    let r = apply(Command::AddHost {
+                        gpu_type: *gpu_type,
+                        num_gpus: *num_gpus,
+                    });
+                    if let Response::HostAdded { host } = r {
+                        host_handles.insert(event.subject.clone(), host);
+                        stats.host_adds += 1;
+                        continue;
+                    }
+                    r
+                }
+                ChurnEventKind::RemoveHost => {
+                    let handle = host_handles
+                        .remove(&event.subject)
+                        .expect("host was added by this stream");
+                    stats.host_removes += 1;
+                    apply(Command::RemoveHost { handle })
+                }
+            };
+            assert!(
+                !matches!(response, Response::Error { .. }),
+                "churn command rejected: {response:?}"
+            );
+        }
+        let tick_started = Instant::now();
+        let response = apply(Command::Tick);
+        stats.tick_secs += tick_started.elapsed().as_secs_f64();
+        stats.commands += 1;
+        let Response::RoundCompleted(summary) = response else {
+            panic!("tick failed: {response:?}");
+        };
+        if !summary.tenants.is_empty() {
+            stats.solved_ticks += 1;
+            if summary.warm_start {
+                stats.warm_ticks += 1;
+            }
         }
     }
 
-    let churn = churn_trace(tenants, seed);
+    let Response::Metrics(metrics) = apply(Command::Metrics) else {
+        panic!("metrics unreadable");
+    };
+    stats.metrics = metrics;
+    stats.commands += 1;
+    stats.elapsed_secs = started.elapsed().as_secs_f64();
+    stats
+}
+
+/// Replays over TCP against whatever daemon listens on `addr` — the driver
+/// is identical for sharded and unsharded daemons, which is the point: the
+/// federation speaks the same protocol.
+fn drive(addr: SocketAddr, churn: &ChurnTrace) -> RunStats {
+    let mut client = ServiceClient::connect(addr).expect("client connects");
+    let stats = replay(churn, |command| match client.call(command) {
+        Ok(response) => response,
+        // The replay loop asserts on service rejections itself; only
+        // transport failures are fatal here.
+        Err(oef_service::ClientError::Service { code, message }) => {
+            Response::Error { code, message }
+        }
+        Err(e) => panic!("transport failure: {e}"),
+    });
+    client.shutdown().expect("shutdown acknowledged");
+    stats
+}
+
+/// Replays directly against a [`CommandHandler`] core — the same seam the
+/// TCP worker drives — so tick timings measure the scheduling round, not the
+/// wire encoding of its reply.
+fn drive_in_process<C: CommandHandler>(core: &mut C, churn: &ChurnTrace) -> RunStats {
+    replay(churn, |command| core.apply(command, 0))
+}
+
+/// Classic single-daemon soak: BENCH_service.json, warm-hit-rate acceptance.
+fn classic_soak(tenants: usize, seed: u64) {
+    let churn = churn_trace(tenants, seed, 24);
     println!(
         "soak: {} tenants, {} churn events over {} rounds",
         tenants,
@@ -80,106 +252,38 @@ fn main() {
         churn.rounds
     );
 
-    let config = ServiceConfig {
-        policy: "oef-noncooperative".to_string(),
-        round_secs: ROUND_SECS,
-        physical_placement: true,
-        limits: ServiceLimits {
-            max_tenants: tenants + 8,
-            max_jobs_per_tenant: 512,
-            max_hosts: 64,
-            queue_capacity: 256,
-        },
-    };
-    let service =
-        SchedulerService::new(ClusterTopology::paper_cluster(), config).expect("service builds");
+    let service = SchedulerService::new(
+        ClusterTopology::paper_cluster(),
+        service_config(tenants, 64),
+    )
+    .expect("service builds");
     let server = Server::spawn(service, "127.0.0.1:0").expect("daemon binds loopback");
     let addr = server.local_addr();
     println!("soak: daemon on {addr}");
 
-    let mut client = ServiceClient::connect(addr).expect("client connects");
-    let mut handles: HashMap<String, u64> = HashMap::new();
-    let mut host_handles: HashMap<String, u64> = HashMap::new();
-    let mut commands = 0u64;
-    let mut warm_ticks = 0u64;
-    let mut solved_ticks = 0u64;
-    let mut host_adds = 0u64;
-    let mut host_removes = 0u64;
-    let started = Instant::now();
-
-    for round in 0..churn.rounds {
-        for event in churn.events_at(round) {
-            match &event.kind {
-                ChurnEventKind::Join { weight, speedup } => {
-                    let handle = client
-                        .join(&event.subject, *weight, speedup)
-                        .expect("join accepted");
-                    handles.insert(event.subject.clone(), handle);
-                }
-                ChurnEventKind::Leave => {
-                    let handle = handles.remove(&event.subject).expect("tenant joined");
-                    client.leave(handle).expect("leave accepted");
-                }
-                ChurnEventKind::UpdateSpeedups { speedup } => {
-                    let handle = handles[&event.subject];
-                    client
-                        .update_speedups(handle, speedup)
-                        .expect("update accepted");
-                }
-                ChurnEventKind::SubmitJob(job) => {
-                    let handle = handles[&event.subject];
-                    client
-                        .submit_job(handle, &job.model, job.workers, job.total_work)
-                        .expect("submit accepted");
-                }
-                ChurnEventKind::AddHost { gpu_type, num_gpus } => {
-                    let handle = client
-                        .add_host(*gpu_type, *num_gpus)
-                        .expect("add-host accepted");
-                    host_handles.insert(event.subject.clone(), handle);
-                    host_adds += 1;
-                }
-                ChurnEventKind::RemoveHost => {
-                    let handle = host_handles
-                        .remove(&event.subject)
-                        .expect("host was added by this stream");
-                    client.remove_host(handle).expect("remove-host accepted");
-                    host_removes += 1;
-                }
-            }
-            commands += 1;
-        }
-        let summary = client.tick().expect("tick succeeds");
-        commands += 1;
-        if !summary.tenants.is_empty() {
-            solved_ticks += 1;
-            if summary.warm_start {
-                warm_ticks += 1;
-            }
-        }
-    }
-
-    let metrics = client.metrics().expect("metrics readable");
-    commands += 1;
-    let elapsed = started.elapsed().as_secs_f64();
-    client.shutdown().expect("shutdown acknowledged");
+    let stats = drive(addr, &churn);
     server.join();
 
-    let commands_per_sec = commands as f64 / elapsed;
-    let tick_warm_rate = if solved_ticks == 0 {
+    let commands_per_sec = stats.commands as f64 / stats.elapsed_secs;
+    let tick_warm_rate = if stats.solved_ticks == 0 {
         0.0
     } else {
-        warm_ticks as f64 / solved_ticks as f64
+        stats.warm_ticks as f64 / stats.solved_ticks as f64
     };
+    let metrics = &stats.metrics;
     println!(
-        "soak: {commands} commands in {elapsed:.2}s ({commands_per_sec:.0}/s), \
+        "soak: {} commands in {:.2}s ({commands_per_sec:.0}/s), \
          {} rounds solved, warm hit rate {:.1}% (tick-level {:.1}%), \
-         solve p50 {:.6}s p99 {:.6}s, host churn {host_adds} adds / {host_removes} removes",
+         solve p50 {:.6}s p99 {:.6}s, host churn {} adds / {} removes",
+        stats.commands,
+        stats.elapsed_secs,
         metrics.rounds_solved,
         metrics.warm_hit_rate * 100.0,
         tick_warm_rate * 100.0,
         metrics.solve_p50_secs,
         metrics.solve_p99_secs,
+        stats.host_adds,
+        stats.host_removes,
     );
 
     let doc = serde_json::json!({
@@ -188,8 +292,8 @@ fn main() {
         "tenants": tenants,
         "rounds": churn.rounds,
         "churn_events": churn.num_events(),
-        "commands": commands,
-        "elapsed_secs": elapsed,
+        "commands": stats.commands,
+        "elapsed_secs": stats.elapsed_secs,
         "commands_per_sec": commands_per_sec,
         "rounds_solved": metrics.rounds_solved,
         "warm_solves": metrics.warm_solves,
@@ -199,8 +303,8 @@ fn main() {
         "solve_p50_secs": metrics.solve_p50_secs,
         "solve_p99_secs": metrics.solve_p99_secs,
         "solve_last_secs": metrics.solve_last_secs,
-        "host_adds": host_adds,
-        "host_removes": host_removes,
+        "host_adds": stats.host_adds,
+        "host_removes": stats.host_removes,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, serde_json::to_string(&doc).expect("doc serializes"))
@@ -212,4 +316,162 @@ fn main() {
         "steady-state warm-start hit rate {:.3} fell below 0.9",
         metrics.warm_hit_rate
     );
+}
+
+/// Per-shard topology for a sweep point: `max_shards` paper clusters in
+/// total, carved into `shards` equal pieces — total capacity is identical at
+/// every sweep point, only the partitioning changes.
+fn shard_topology(max_shards: usize, shards: usize) -> ClusterTopology {
+    let clusters_per_shard = max_shards / shards;
+    ClusterTopology::uniform(
+        vec![
+            "rtx3070".to_string(),
+            "rtx3080".to_string(),
+            "rtx3090".to_string(),
+        ],
+        &[
+            2 * clusters_per_shard,
+            2 * clusters_per_shard,
+            2 * clusters_per_shard,
+        ],
+        4,
+    )
+}
+
+/// Federation scaling sweep: equal total tenants and equal total capacity at
+/// every point; BENCH_shard.json records round throughput per shard count.
+fn shard_sweep(max_shards: usize, tenants: usize, seed: u64) {
+    // Sweep counts that divide the fixed total capacity evenly (powers of
+    // two, plus the requested maximum itself).
+    let mut counts: Vec<usize> = (0..)
+        .map(|p| 1usize << p)
+        .take_while(|&c| c <= max_shards)
+        .filter(|&c| max_shards.is_multiple_of(c))
+        .collect();
+    if counts.last() != Some(&max_shards) {
+        counts.push(max_shards);
+    }
+
+    let total_devices = 24 * max_shards;
+    let churn = churn_trace(tenants, seed, total_devices);
+    println!(
+        "shard sweep: {} tenants over {:?} shard(s), {} devices total, {} churn events, {} rounds",
+        tenants,
+        counts,
+        total_devices,
+        churn.num_events(),
+        churn.rounds
+    );
+
+    let mut results = Vec::new();
+    for &shards in &counts {
+        // The host quota must clear the generated topology (6 hosts per
+        // paper cluster, all of them on one shard at the baseline) plus the
+        // trace's transient churn hosts.
+        let config = service_config(tenants, 6 * max_shards + 8);
+        let stats = if shards == 1 {
+            // The baseline is today's unsharded daemon, not a 1-shard
+            // federation: the comparison includes the router's overhead.
+            let mut service = SchedulerService::new(shard_topology(max_shards, 1), config)
+                .expect("service builds");
+            drive_in_process(&mut service, &churn)
+        } else {
+            let mut coordinator = ShardCoordinator::new(
+                (0..shards)
+                    .map(|_| shard_topology(max_shards, shards))
+                    .collect(),
+                config,
+                placement_from_name("least-loaded").unwrap(),
+            )
+            .expect("coordinator builds");
+            drive_in_process(&mut coordinator, &churn)
+        };
+
+        println!(
+            "  shards={shards}: {} rounds in {:.3}s of ticks -> {:.1} rounds/s, \
+             warm hit {:.1}%, fan-out p50 {:.6}s p99 {:.6}s, {} cmds in {:.2}s",
+            stats.solved_ticks,
+            stats.tick_secs,
+            stats.round_throughput(),
+            stats.metrics.warm_hit_rate * 100.0,
+            stats.metrics.solve_p50_secs,
+            stats.metrics.solve_p99_secs,
+            stats.commands,
+            stats.elapsed_secs,
+        );
+        results.push((shards, stats));
+    }
+
+    let base_throughput = results[0].1.round_throughput();
+    let configs: Vec<serde::Value> = results
+        .iter()
+        .map(|(shards, stats)| {
+            serde_json::json!({
+                "shards": *shards,
+                "rounds_solved": stats.solved_ticks,
+                "tick_secs_total": stats.tick_secs,
+                "round_throughput_per_sec": stats.round_throughput(),
+                "speedup_vs_one_shard": stats.round_throughput() / base_throughput,
+                "warm_hit_rate": stats.metrics.warm_hit_rate,
+                "solve_p50_secs": stats.metrics.solve_p50_secs,
+                "solve_p99_secs": stats.metrics.solve_p99_secs,
+                "commands": stats.commands,
+                "elapsed_secs": stats.elapsed_secs,
+                "host_adds": stats.host_adds,
+                "host_removes": stats.host_removes,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "experiment": "shard_scaling",
+        "policy": "oef-noncooperative",
+        "total_tenants": tenants,
+        "total_devices": total_devices,
+        "rounds": churn.rounds,
+        "churn_events": churn.num_events(),
+        "configs": serde::Value::Array(configs),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(path, serde_json::to_string(&doc).expect("doc serializes"))
+        .expect("write BENCH_shard.json");
+    println!("wrote {path}");
+
+    let (max_cfg, max_stats) = results.last().expect("sweep is non-empty");
+    let speedup = max_stats.round_throughput() / base_throughput;
+    println!("shard sweep: {max_cfg} shards deliver {speedup:.2}x the round throughput of 1 shard");
+    if *max_cfg >= 4 {
+        assert!(
+            speedup >= 2.5,
+            "round-throughput scaling {speedup:.2}x at {max_cfg} shards fell below 2.5x"
+        );
+    }
+}
+
+fn main() {
+    let mut tenants: Option<usize> = None;
+    let mut seed = 7u64;
+    let mut shards: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match (flag.as_str(), args.next()) {
+            ("--tenants", Some(v)) => tenants = Some(v.parse().expect("--tenants wants a number")),
+            ("--seed", Some(v)) => seed = v.parse().expect("--seed wants a number"),
+            ("--shards", Some(v)) => {
+                let n: usize = v.parse().expect("--shards wants a number");
+                assert!(n >= 1, "--shards must be at least 1");
+                shards = Some(n);
+            }
+            (other, _) => {
+                panic!("unknown flag `{other}` (supported: --tenants N, --seed S, --shards N)")
+            }
+        }
+    }
+
+    match shards {
+        // `--shards 1` is a real (single-point) sweep, not the classic soak:
+        // it uses the sweep's topology and tenant defaults and writes
+        // BENCH_shard.json, so its numbers stay comparable to other sweeps.
+        Some(max_shards) => shard_sweep(max_shards, tenants.unwrap_or(SHARD_SWEEP_TENANTS), seed),
+        None => classic_soak(tenants.unwrap_or(20), seed),
+    }
 }

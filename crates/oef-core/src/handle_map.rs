@@ -27,6 +27,12 @@ use serde::{Deserialize, Serialize};
 /// Sentinel for "no slot" in the free list.
 const NIL: u32 = u32::MAX;
 
+/// Generations wrap at this width so the top [`crate::sharded::SHARD_BITS`]
+/// bits of every handle stay zero — reserved for a federation tier's shard
+/// index (see [`crate::sharded`]).  24 bits still means a single slot must be
+/// freed and recycled ~16.7M times before a stale handle could resurrect.
+const GENERATION_MASK: u32 = (1 << crate::sharded::GENERATION_BITS) - 1;
+
 /// One identity slot: its current generation plus either the dense index of
 /// its live value (occupied) or the next slot in the free list (vacant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,7 +166,7 @@ impl<T> HandleMap<T> {
         let slot = self.live_slot(handle)?;
         let dense = self.slots[slot as usize].index as usize;
         let s = &mut self.slots[slot as usize];
-        s.generation = s.generation.wrapping_add(1);
+        s.generation = (s.generation + 1) & GENERATION_MASK;
         s.occupied = false;
         s.index = self.free_head;
         self.free_head = slot;
@@ -295,6 +301,18 @@ impl<T> HandleMap<T> {
                 self.handles.len(),
                 self.values.len()
             ));
+        }
+        // Generations beyond the 24-bit width would spill into the handle
+        // bits reserved for a shard index, so a map carrying one could mint
+        // handles that collide across shards.
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.generation > GENERATION_MASK {
+                return Err(format!(
+                    "handle map: slot {i} generation {} exceeds the {}-bit width",
+                    s.generation,
+                    crate::sharded::GENERATION_BITS
+                ));
+            }
         }
         for (i, &handle) in self.handles.iter().enumerate() {
             let Some((slot, generation)) = self.decode(handle) else {

@@ -49,6 +49,7 @@ mod handle_map;
 mod multi_job;
 mod noncoop;
 mod policy;
+pub mod sharded;
 mod speedup;
 mod tenant_index;
 mod weighted;

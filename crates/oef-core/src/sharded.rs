@@ -1,0 +1,144 @@
+//! Shard-aware handle packing: a shard index in the high bits of a `u64`
+//! handle.
+//!
+//! A single [`HandleMap`](crate::HandleMap) mints handles of the form
+//! `generation << 32 | (slot + 1)`, with generations confined to 24 bits (see
+//! [`GENERATION_BITS`]).  That leaves the top [`SHARD_BITS`] bits of every
+//! handle permanently zero — reserved, since the map was designed, for a
+//! *shard index*: a federation tier can own up to [`MAX_SHARDS`] independent
+//! scheduler shards and tag every handle it hands out with the shard that
+//! minted it, without changing the wire contract (handles stay opaque
+//! `u64`s) and without any coordination between the shards' handle maps.
+//!
+//! Shard 0 is the identity encoding: a handle minted by an unsharded service
+//! is bit-for-bit the same as the same handle routed through shard 0 of a
+//! federation, so existing clients, snapshots and tests stay valid.
+//!
+//! ```
+//! use oef_core::sharded;
+//!
+//! let local = 0x0000_0002_0000_0001; // slot 0, generation 2
+//! let tagged = sharded::encode(3, local);
+//! assert_eq!(sharded::decode(tagged), (3, local));
+//! assert_eq!(sharded::encode(0, local), local, "shard 0 is today's layout");
+//! assert_eq!(sharded::format(tagged), "3:0@2");
+//! ```
+
+/// Bits of a handle reserved for the shard index.
+pub const SHARD_BITS: u32 = 8;
+
+/// Bits available to a slot generation ( [`crate::HandleMap`] wraps its
+/// generations at this width so they can never spill into the shard bits).
+pub const GENERATION_BITS: u32 = 32 - SHARD_BITS;
+
+/// Bit position of the shard index inside a handle.
+pub const SHARD_SHIFT: u32 = 64 - SHARD_BITS;
+
+/// Maximum number of shards addressable by a handle (256).
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Mask selecting the shard-local part of a handle (slot + generation).
+pub const LOCAL_MASK: u64 = (1 << SHARD_SHIFT) - 1;
+
+/// Tags a shard-local handle with its shard index.
+///
+/// Shard 0 is the identity: `encode(0, h) == h` for every handle a
+/// [`crate::HandleMap`] can mint.
+///
+/// # Panics
+///
+/// Panics if `shard >= MAX_SHARDS` or if `local` already carries shard bits
+/// (both indicate a routing-layer bug, never bad external input — external
+/// handles are decoded with [`decode`], which cannot fail).
+pub fn encode(shard: usize, local: u64) -> u64 {
+    assert!(shard < MAX_SHARDS, "shard index {shard} out of range");
+    assert_eq!(
+        local & !LOCAL_MASK,
+        0,
+        "local handle {local:#x} already carries shard bits"
+    );
+    ((shard as u64) << SHARD_SHIFT) | local
+}
+
+/// Splits a wire handle into `(shard index, shard-local handle)`.
+pub fn decode(handle: u64) -> (usize, u64) {
+    ((handle >> SHARD_SHIFT) as usize, handle & LOCAL_MASK)
+}
+
+/// Shard index of a wire handle.
+pub fn shard_of(handle: u64) -> usize {
+    (handle >> SHARD_SHIFT) as usize
+}
+
+/// Shard-local part of a wire handle.
+pub fn local_of(handle: u64) -> u64 {
+    handle & LOCAL_MASK
+}
+
+/// Renders a handle as `shard:slot@generation` — the form operators see in
+/// `oef-servicectl status` instead of an opaque decimal `u64`.
+///
+/// `slot` is the true slot-map index (the wire encoding stores `slot + 1` so
+/// that 0 can be the null handle; this undoes the offset, so the printed
+/// index matches the `slots` array of a snapshot).  The null handle (0)
+/// renders as `"-"`.
+pub fn format(handle: u64) -> String {
+    if handle == 0 {
+        return "-".to_string();
+    }
+    let (shard, local) = decode(handle);
+    let generation = local >> 32;
+    // A nonzero handle with a zero low word was never minted by any map
+    // (the formatter also runs on malformed client-supplied handles inside
+    // error messages, so this must not underflow).
+    match (local & 0xffff_ffff).checked_sub(1) {
+        Some(slot) => format!("{shard}:{slot}@{generation}"),
+        None => format!("{shard}:?@{generation}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_zero_is_identity() {
+        for local in [1u64, 2, (5 << 32) | 7, LOCAL_MASK] {
+            assert_eq!(encode(0, local), local);
+            assert_eq!(decode(local), (0, local));
+        }
+    }
+
+    #[test]
+    fn round_trips_across_the_shard_range() {
+        for shard in [0usize, 1, 7, 128, MAX_SHARDS - 1] {
+            let local = (3u64 << 32) | 42;
+            let tagged = encode(shard, local);
+            assert_eq!(decode(tagged), (shard, local));
+            assert_eq!(shard_of(tagged), shard);
+            assert_eq!(local_of(tagged), local);
+        }
+    }
+
+    #[test]
+    fn formatting_names_shard_slot_and_generation() {
+        assert_eq!(format(0), "-");
+        assert_eq!(format(1), "0:0@0", "the first handle occupies slot 0");
+        assert_eq!(format(encode(2, (4 << 32) | 9)), "2:8@4");
+        // Malformed wire handles (zero low word, nonzero elsewhere) must
+        // render, not underflow — they reach this formatter via error paths.
+        assert_eq!(format((5 << 56) | (1 << 32)), "5:?@1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_shard_index_panics() {
+        encode(MAX_SHARDS, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already carries shard bits")]
+    fn double_tagging_panics() {
+        encode(1, encode(1, 1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the shard-aware handle packing (`oef_core::sharded`).
+//!
+//! The federation tier trusts two facts about the encoding: it round-trips
+//! (decoding a tagged handle recovers exactly the shard and the shard-local
+//! handle that went in), and it never collides across shards (two distinct
+//! `(shard, local)` pairs always produce distinct wire handles).  Both are
+//! exercised over the full shard range and the full space of handles a
+//! [`HandleMap`] can mint, including handles taken from a live churned map.
+
+use oef_core::{sharded, HandleMap};
+use proptest::prelude::*;
+
+/// Strategy space of a shard-local handle: any slot, any 24-bit generation —
+/// exactly what `HandleMap::encode` can produce (plus the null handle).
+fn local_handle(slot: u32, generation: u32) -> u64 {
+    (u64::from(generation & ((1 << sharded::GENERATION_BITS) - 1)) << 32) | u64::from(slot)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_round_trips(
+        shard in 0usize..sharded::MAX_SHARDS,
+        slot in 0u32..=u32::MAX,
+        generation in 0u32..(1 << sharded::GENERATION_BITS),
+    ) {
+        let local = local_handle(slot, generation);
+        let tagged = sharded::encode(shard, local);
+        prop_assert_eq!(sharded::decode(tagged), (shard, local));
+        prop_assert_eq!(sharded::shard_of(tagged), shard);
+        prop_assert_eq!(sharded::local_of(tagged), local);
+        // Shard 0 must be the identity so unsharded handles stay valid.
+        prop_assert_eq!(sharded::encode(0, local), local);
+    }
+
+    #[test]
+    fn distinct_pairs_never_collide(
+        shard_a in 0usize..sharded::MAX_SHARDS,
+        shard_b in 0usize..sharded::MAX_SHARDS,
+        slot_a in 0u32..=u32::MAX,
+        slot_b in 0u32..=u32::MAX,
+        gen_a in 0u32..(1 << sharded::GENERATION_BITS),
+        gen_b in 0u32..(1 << sharded::GENERATION_BITS),
+    ) {
+        let a = (shard_a, local_handle(slot_a, gen_a));
+        let b = (shard_b, local_handle(slot_b, gen_b));
+        let tagged_a = sharded::encode(a.0, a.1);
+        let tagged_b = sharded::encode(b.0, b.1);
+        prop_assert_eq!(a == b, tagged_a == tagged_b,
+            "collision: {:?} and {:?} both encode to {}", a, b, tagged_a);
+    }
+
+    #[test]
+    fn live_map_handles_stay_disjoint_across_shards(
+        removals in collection::vec(0u16..=999, 0..20),
+        shards in 2usize..8,
+    ) {
+        // Mint handles from per-shard maps that each churn independently —
+        // the exact situation the coordinator creates — and check the tagged
+        // handle sets are pairwise disjoint and every tag decodes home.
+        let mut seen = std::collections::HashSet::new();
+        for shard in 0..shards {
+            let mut map: HandleMap<usize> = HandleMap::new();
+            let mut live: Vec<u64> = (0..25).map(|v| map.insert(v)).collect();
+            for &pick in &removals {
+                let victim = live.remove(usize::from(pick) % live.len());
+                map.remove(victim);
+                live.push(map.insert(0));
+            }
+            for &local in map.handles() {
+                let tagged = sharded::encode(shard, local);
+                prop_assert!(seen.insert(tagged),
+                    "handle {tagged} minted by two different shards");
+                prop_assert_eq!(sharded::decode(tagged), (shard, local));
+            }
+        }
+    }
+}

@@ -159,7 +159,7 @@ pub struct RoundSummary {
 }
 
 /// Metrics registry export (see [`Command::Metrics`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
     /// Commands accepted and executed (including ticks).
     pub commands_processed: u64,
@@ -204,6 +204,26 @@ pub struct HostStatusEntry {
     pub num_gpus: usize,
 }
 
+/// One scheduler shard as reported by [`Command::Status`] on a sharded
+/// daemon.  Unsharded daemons report an empty `shards` list; a federation
+/// coordinator reports one entry per shard so operators can see how tenants
+/// and capacity are spread without decoding handles by hand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatusEntry {
+    /// Shard index (the high bits of every handle this shard minted).
+    pub shard: usize,
+    /// Tenants registered on this shard.
+    pub tenants: usize,
+    /// Unfinished jobs on this shard.
+    pub jobs: usize,
+    /// Hosts owned by this shard.
+    pub hosts: usize,
+    /// GPU devices owned by this shard.
+    pub total_devices: usize,
+    /// Rounds this shard has completed.
+    pub round: usize,
+}
+
 /// State summary returned by [`Command::Status`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatusReport {
@@ -211,6 +231,8 @@ pub struct StatusReport {
     pub policy: String,
     /// Wire protocol version the daemon speaks ([`PROTOCOL_VERSION`]).
     pub protocol: u32,
+    /// Seconds this daemon process has been serving.
+    pub uptime_secs: f64,
     /// Rounds completed so far.
     pub round: usize,
     /// Current service time in seconds.
@@ -223,8 +245,11 @@ pub struct StatusReport {
     pub hosts: usize,
     /// Total GPU devices in the topology.
     pub total_devices: usize,
-    /// Per-host handles and contents, in topology order.
+    /// Per-host handles and contents, in topology order (shard-tagged when
+    /// the daemon is sharded).
     pub topology: Vec<HostStatusEntry>,
+    /// Per-shard summaries; empty on an unsharded daemon.
+    pub shards: Vec<ShardStatusEntry>,
 }
 
 /// Reply payload for a [`Command`].
@@ -396,6 +421,7 @@ mod tests {
                 response: Response::Status(StatusReport {
                     policy: "oef-noncooperative".into(),
                     protocol: PROTOCOL_VERSION,
+                    uptime_secs: 12.5,
                     round: 9,
                     time_secs: 2700.0,
                     tenants: 2,
@@ -414,6 +440,14 @@ mod tests {
                             num_gpus: 4,
                         },
                     ],
+                    shards: vec![ShardStatusEntry {
+                        shard: 0,
+                        tenants: 2,
+                        jobs: 5,
+                        hosts: 2,
+                        total_devices: 8,
+                        round: 9,
+                    }],
                 }),
             },
             Reply {

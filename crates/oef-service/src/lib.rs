@@ -14,7 +14,9 @@
 //! * [`BoundedQueue`] — the bounded command queue whose backpressure becomes
 //!   `Busy` replies at the wire.
 //! * [`Server`] / [`ServiceClient`] — threaded std-TCP listener and blocking
-//!   client (`oef-serviced` / `oef-servicectl` binaries).
+//!   client.  The server is generic over [`CommandHandler`], the seam the
+//!   `oef-shard` federation coordinator plugs into; the `oef-serviced` /
+//!   `oef-servicectl` binaries are built from that crate.
 //! * [`ServiceSnapshot`] — JSON snapshot/restore so a restarted daemon
 //!   resumes mid-trace with identical allocations.
 //!
@@ -48,10 +50,10 @@ mod snapshot;
 pub use client::{ClientError, ClientResult, ServiceClient};
 pub use command::{
     Command, ErrorCode, HostStatusEntry, MetricsReport, Reply, Request, Response, RoundSummary,
-    StatusReport, TenantRoundSummary, PROTOCOL_VERSION,
+    ShardStatusEntry, StatusReport, TenantRoundSummary, PROTOCOL_VERSION,
 };
 pub use metrics::ServiceMetrics;
 pub use queue::{BoundedQueue, PushError};
-pub use server::Server;
+pub use server::{CommandHandler, Server};
 pub use service::{policy_from_name, SchedulerService, ServiceConfig, ServiceError, ServiceLimits};
 pub use snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};

@@ -1,12 +1,11 @@
 //! The daemon's metrics registry.
 //!
 //! Counters are cheap to bump on every command; solve latencies are kept in a
-//! bounded window so the registry's memory stays constant no matter how long
-//! the daemon runs (the engine's own per-round history is not used — see
-//! `SimulationEngine::step`).  Percentiles are computed on demand when a
-//! `Metrics` command exports the registry.
-
-use std::collections::VecDeque;
+//! fixed-capacity ring buffer so the registry's memory stays constant no
+//! matter how long the daemon runs (the engine's own per-round history is not
+//! used — see `SimulationEngine::step`).  Percentiles are computed on demand,
+//! on a sorted *copy* of the window, when a `Metrics` command exports the
+//! registry — the hot path only ever overwrites one ring slot.
 
 /// How many recent round-solve latencies the p50/p99 window keeps.
 const LATENCY_WINDOW: usize = 1024;
@@ -19,7 +18,10 @@ pub struct ServiceMetrics {
     rounds_solved: u64,
     jobs_completed: u64,
     last_solve_secs: f64,
-    solve_latencies: VecDeque<f64>,
+    /// Ring of the most recent [`LATENCY_WINDOW`] solve latencies: grows to
+    /// capacity once, then `cursor` overwrites the oldest slot in place.
+    solve_latencies: Vec<f64>,
+    cursor: usize,
 }
 
 impl ServiceMetrics {
@@ -42,10 +44,12 @@ impl ServiceMetrics {
     pub fn record_round(&mut self, solver_secs: f64) {
         self.rounds_solved += 1;
         self.last_solve_secs = solver_secs;
-        if self.solve_latencies.len() == LATENCY_WINDOW {
-            self.solve_latencies.pop_front();
+        if self.solve_latencies.len() < LATENCY_WINDOW {
+            self.solve_latencies.push(solver_secs);
+        } else {
+            self.solve_latencies[self.cursor] = solver_secs;
         }
-        self.solve_latencies.push_back(solver_secs);
+        self.cursor = (self.cursor + 1) % LATENCY_WINDOW;
     }
 
     /// Commands accepted so far.
@@ -80,12 +84,13 @@ impl ServiceMetrics {
     }
 
     /// Latency percentile over the recent window (`p` in `[0, 1]`); 0 when no
-    /// round has been solved yet.
+    /// round has been solved yet.  Ring order is irrelevant: the percentile
+    /// is taken on a sorted copy, never on the live buffer.
     pub fn solve_percentile(&self, p: f64) -> f64 {
         if self.solve_latencies.is_empty() {
             return 0.0;
         }
-        let mut sorted: Vec<f64> = self.solve_latencies.iter().copied().collect();
+        let mut sorted: Vec<f64> = self.solve_latencies.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let rank = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
         sorted[rank]

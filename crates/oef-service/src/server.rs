@@ -1,13 +1,19 @@
 //! Threaded std-TCP front end for the scheduler service.
 //!
 //! Architecture: one non-blocking accept loop, one connection-handler thread
-//! per client, and exactly one worker thread that owns the
-//! [`SchedulerService`] and drains the bounded command queue.  Handlers park
-//! on a per-request response slot while their command waits its turn, so the
-//! core stays single-threaded (no locks around cluster state) while any
-//! number of clients talk to the daemon concurrently.  When the queue is
-//! full, handlers block briefly and then shed load with a `Busy` reply —
-//! the wire-level face of the queue's backpressure.
+//! per client, and exactly one worker thread that owns the command core and
+//! drains the bounded command queue.  Handlers park on a per-request response
+//! slot while their command waits its turn, so the core stays single-threaded
+//! (no locks around cluster state) while any number of clients talk to the
+//! daemon concurrently.  When the queue is full, handlers block briefly and
+//! then shed load with a `Busy` reply — the wire-level face of the queue's
+//! backpressure.
+//!
+//! The server is generic over [`CommandHandler`], the one seam between the
+//! transport and the scheduling state machine: a plain [`SchedulerService`]
+//! serves a single shard, while a federation coordinator (`oef-shard`) fans
+//! the same wire protocol out over many shards — the listener, queue and
+//! worker threading are identical either way.
 
 use crate::command::{Command, ErrorCode, Reply, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
@@ -26,6 +32,23 @@ const ENQUEUE_TIMEOUT: Duration = Duration::from_secs(2);
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// How long [`Server::join`] waits for in-flight reply writes to flush.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A command-processing core the [`Server`] can own: anything that turns one
+/// [`Command`] into one [`Response`] on a single worker thread.
+///
+/// Implementations signal shutdown by returning [`Response::ShuttingDown`];
+/// the server then closes the queue, refuses the backlog and exits its
+/// worker.  `queue_depth` is the number of commands still waiting behind the
+/// one being applied (observability only).
+pub trait CommandHandler: Send + 'static {
+    /// Executes one command against the core.  Every outcome is a
+    /// [`Response`] — errors are data, not panics.
+    fn apply(&mut self, command: Command, queue_depth: usize) -> Response;
+
+    /// Capacity of the bounded command queue the server should place in
+    /// front of this core.
+    fn queue_capacity(&self) -> usize;
+}
 
 /// State shared between the listener, the worker and connection handlers.
 struct Shared {
@@ -68,28 +91,28 @@ fn wait(slot: &Slot) -> Response {
     }
 }
 
-/// A running daemon: listener + worker threads around one
-/// [`SchedulerService`].
-pub struct Server {
+/// A running daemon: listener + worker threads around one [`CommandHandler`]
+/// core (a [`SchedulerService`] by default).
+pub struct Server<C: CommandHandler = SchedulerService> {
     addr: SocketAddr,
     listener_handle: JoinHandle<()>,
-    worker_handle: JoinHandle<SchedulerService>,
+    worker_handle: JoinHandle<C>,
     queue: BoundedQueue<WorkItem>,
     shared: Arc<Shared>,
 }
 
-impl Server {
+impl<C: CommandHandler> Server<C> {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
     /// `service`.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding the listener.
-    pub fn spawn(service: SchedulerService, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+    pub fn spawn(service: C, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let queue = BoundedQueue::with_capacity(service.config().limits.queue_capacity);
+        let queue = BoundedQueue::with_capacity(service.queue_capacity());
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             pending_replies: AtomicUsize::new(0),
@@ -139,7 +162,7 @@ impl Server {
     /// # Panics
     ///
     /// Panics if a server thread panicked.
-    pub fn join(self) -> SchedulerService {
+    pub fn join(self) -> C {
         let service = self
             .worker_handle
             .join()
@@ -155,11 +178,11 @@ impl Server {
     }
 }
 
-fn worker_loop(
-    mut service: SchedulerService,
+fn worker_loop<C: CommandHandler>(
+    mut service: C,
     queue: &BoundedQueue<WorkItem>,
     shared: &Arc<Shared>,
-) -> SchedulerService {
+) -> C {
     while let Some(WorkItem { command, slot }) = queue.pop() {
         let depth = queue.len();
         // Contain panics from command processing: a poisoned daemon must

@@ -12,12 +12,14 @@ use crate::command::{
     TenantRoundSummary, PROTOCOL_VERSION,
 };
 use crate::metrics::ServiceMetrics;
+use crate::server::CommandHandler;
 use crate::snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
 use oef_cluster::{ClusterState, ClusterTopology, GpuType, HostHandle, Job, JobId, Tenant};
 use oef_core::{BoxedPolicy, SpeedupVector, TenantIndexMap};
 use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
 use oef_sim::{SimulationConfig, SimulationEngine};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Admission-control quotas enforced before state is mutated.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,6 +78,9 @@ pub enum ServiceError {
     UnknownPolicy(String),
     /// A snapshot could not be parsed or failed validation.
     BadSnapshot(String),
+    /// The service (or federation) configuration is invalid — no snapshot
+    /// involved.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -83,6 +88,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownPolicy(name) => write!(f, "unknown policy `{name}`"),
             ServiceError::BadSnapshot(reason) => write!(f, "bad snapshot: {reason}"),
+            ServiceError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
 }
@@ -113,6 +119,9 @@ pub struct SchedulerService {
     config: ServiceConfig,
     tenants: TenantIndexMap,
     metrics: ServiceMetrics,
+    /// Process-lifetime clock for `Status.uptime_secs`; survives `Restore`
+    /// (state age and process age are different things).
+    started: Instant,
     shutting_down: bool,
 }
 
@@ -146,6 +155,7 @@ impl SchedulerService {
             config,
             tenants: TenantIndexMap::new(),
             metrics: ServiceMetrics::new(),
+            started: Instant::now(),
             shutting_down: false,
         })
     }
@@ -210,6 +220,7 @@ impl SchedulerService {
             config: snapshot.config,
             tenants: snapshot.tenant_handles,
             metrics: ServiceMetrics::new(),
+            started: Instant::now(),
             shutting_down: false,
         })
     }
@@ -619,11 +630,13 @@ impl SchedulerService {
             ServiceError::UnknownPolicy(m) => {
                 (ErrorCode::InvalidArgument, format!("unknown policy `{m}`"))
             }
+            ServiceError::InvalidConfig(m) => (ErrorCode::InvalidArgument, m),
         })?;
         let tenants = restored.tenants.len();
-        // The metrics registry describes this process, not the restored
-        // state: keep it running across the restore.
+        // The metrics registry and uptime clock describe this process, not
+        // the restored state: keep them running across the restore.
         let metrics = std::mem::take(&mut self.metrics);
+        let started = self.started;
         // Likewise the command queue was sized when this process spawned and
         // cannot be resized live: keep the running capacity authoritative so
         // `config()` reflects actual behavior.  The snapshot's capacity
@@ -631,6 +644,7 @@ impl SchedulerService {
         let queue_capacity = self.config.limits.queue_capacity;
         *self = restored;
         self.metrics = metrics;
+        self.started = started;
         self.config.limits.queue_capacity = queue_capacity;
         Ok(Response::Restored { tenants })
     }
@@ -647,6 +661,7 @@ impl SchedulerService {
         Response::Status(StatusReport {
             policy: self.config.policy.clone(),
             protocol: PROTOCOL_VERSION,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
             round: self.engine.rounds_run(),
             time_secs: self.engine.now(),
             tenants: self.tenants.len(),
@@ -662,7 +677,18 @@ impl SchedulerService {
                     num_gpus: h.num_gpus,
                 })
                 .collect(),
+            shards: Vec::new(),
         })
+    }
+}
+
+impl CommandHandler for SchedulerService {
+    fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
+        SchedulerService::apply(self, command, queue_depth)
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.config.limits.queue_capacity
     }
 }
 

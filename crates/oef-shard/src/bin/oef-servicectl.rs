@@ -1,20 +1,33 @@
 //! Operator client for `oef-serviced`.
 //!
 //! ```text
-//! oef-servicectl status   <addr>          # print a status line
+//! oef-servicectl status   <addr>          # print a status line (per shard when sharded)
 //! oef-servicectl metrics  <addr>          # print the metrics registry as JSON
 //! oef-servicectl tick     <addr>          # run one scheduling round
 //! oef-servicectl snapshot <addr> <file>   # save a state snapshot
 //! oef-servicectl shutdown <addr>          # stop the daemon
 //! oef-servicectl smoke    <addr>          # scripted join/tick/leave session (CI)
+//! oef-servicectl smoke-shard <addr>       # scripted cross-shard session (CI, --shards daemon)
+//! oef-servicectl migrate-snapshot <in> <out>  # wrap a v2 snapshot into a v3 envelope
 //! ```
 //!
 //! `smoke` drives a short but complete session — two tenants join, submit
 //! jobs, three rounds run, allocations are sanity-checked, one tenant leaves,
 //! the daemon shuts down — and exits non-zero on any deviation.  CI uses it
 //! to prove a freshly built daemon serves the full protocol on a loopback
-//! port and terminates cleanly.
+//! port and terminates cleanly.  `smoke-shard` is its federation sibling: it
+//! requires a daemon started with `--shards ≥ 2`, spreads tenants across
+//! shards, and asserts that `Status` aggregates exactly the per-shard
+//! entries.
+//!
+//! `migrate-snapshot` is offline (no daemon involved): it validates a v2
+//! snapshot file and wraps it into a single-shard federated (v3) envelope
+//! that `oef-serviced --restore` will serve as a 1-shard coordinator.
+//!
+//! Handles render as `shard:slot@generation` (e.g. `0:3@1`) — the unsharded
+//! daemon is shard 0.
 
+use oef_core::sharded;
 use oef_service::{ClientResult, ServiceClient};
 
 fn main() {
@@ -26,10 +39,13 @@ fn main() {
         [cmd, addr, file] if cmd == "snapshot" => snapshot(addr, file),
         [cmd, addr] if cmd == "shutdown" => shutdown(addr),
         [cmd, addr] if cmd == "smoke" => smoke(addr),
+        [cmd, addr] if cmd == "smoke-shard" => smoke_shard(addr),
+        [cmd, input, output] if cmd == "migrate-snapshot" => migrate_snapshot(input, output),
         _ => {
             eprintln!(
-                "usage: oef-servicectl <status|metrics|tick|shutdown|smoke> <addr>\n\
-                 \x20      oef-servicectl snapshot <addr> <file>"
+                "usage: oef-servicectl <status|metrics|tick|shutdown|smoke|smoke-shard> <addr>\n\
+                 \x20      oef-servicectl snapshot <addr> <file>\n\
+                 \x20      oef-servicectl migrate-snapshot <v2-file> <v3-file>"
             );
             std::process::exit(2);
         }
@@ -43,9 +59,11 @@ fn main() {
 fn status(addr: &str) -> ClientResult<()> {
     let report = ServiceClient::connect(addr)?.status()?;
     println!(
-        "policy={} protocol=v{} round={} time={}s tenants={} jobs={} hosts={} devices={}",
+        "policy={} protocol=v{} uptime={:.1}s round={} time={}s tenants={} jobs={} hosts={} \
+         devices={}",
         report.policy,
         report.protocol,
+        report.uptime_secs,
         report.round,
         report.time_secs,
         report.tenants,
@@ -53,10 +71,18 @@ fn status(addr: &str) -> ClientResult<()> {
         report.hosts,
         report.total_devices
     );
+    for shard in &report.shards {
+        println!(
+            "  shard {} round={} tenants={} jobs={} hosts={} devices={}",
+            shard.shard, shard.round, shard.tenants, shard.jobs, shard.hosts, shard.total_devices
+        );
+    }
     for host in &report.topology {
         println!(
-            "  host handle={} gpu_type={} gpus={}",
-            host.host, host.gpu_type, host.num_gpus
+            "  host {} gpu_type={} gpus={}",
+            sharded::format(host.host),
+            host.gpu_type,
+            host.num_gpus
         );
     }
     Ok(())
@@ -87,6 +113,20 @@ fn snapshot(addr: &str, file: &str) -> ClientResult<()> {
     let snapshot = ServiceClient::connect(addr)?.snapshot()?;
     std::fs::write(file, snapshot).map_err(oef_service::ClientError::Io)?;
     println!("snapshot written to {file}");
+    Ok(())
+}
+
+fn migrate_snapshot(input: &str, output: &str) -> ClientResult<()> {
+    let v2 = std::fs::read_to_string(input).map_err(oef_service::ClientError::Io)?;
+    let envelope = oef_shard::wrap_v2_snapshot(&v2)
+        .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?;
+    let json = serde_json::to_string(&envelope)
+        .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?;
+    std::fs::write(output, json).map_err(oef_service::ClientError::Io)?;
+    println!(
+        "wrapped v2 snapshot {input} (round {}) into single-shard v3 envelope {output}",
+        envelope.round
+    );
     Ok(())
 }
 
@@ -197,5 +237,97 @@ fn smoke(addr: &str) -> ClientResult<()> {
 
     client.shutdown()?;
     println!("ok: daemon acknowledged shutdown");
+    Ok(())
+}
+
+fn smoke_shard(addr: &str) -> ClientResult<()> {
+    let mut client = ServiceClient::connect(addr)?;
+
+    let before = client.status()?;
+    check(
+        "daemon is sharded (start it with --shards 2)",
+        before.shards.len() >= 2,
+    )?;
+    let shards = before.shards.len();
+
+    // Join enough tenants to span every shard under least-loaded placement.
+    let mut handles = Vec::new();
+    for i in 0..(2 * shards) {
+        let handle = client.join(
+            &format!("shard-smoke-{i}"),
+            1,
+            &[1.0, 1.2 + 0.05 * i as f64, 1.5 + 0.1 * i as f64],
+        )?;
+        client.submit_job(handle, "model", 1, 1e9)?;
+        handles.push(handle);
+    }
+    let spanned: std::collections::HashSet<usize> =
+        handles.iter().map(|&h| sharded::shard_of(h)).collect();
+    check(
+        &format!("tenants span all {shards} shards"),
+        spanned.len() == shards,
+    )?;
+
+    // Cross-shard aggregation: the totals must be exactly the per-shard sums.
+    let status = client.status()?;
+    check(
+        "Status.tenants equals the sum of the shard entries",
+        status.tenants == 2 * shards
+            && status.shards.iter().map(|s| s.tenants).sum::<usize>() == status.tenants,
+    )?;
+    check(
+        "Status.hosts and devices aggregate across shards",
+        status.shards.iter().map(|s| s.hosts).sum::<usize>() == status.hosts
+            && status.shards.iter().map(|s| s.total_devices).sum::<usize>() == status.total_devices,
+    )?;
+    check(
+        "topology handles carry every shard index",
+        status
+            .topology
+            .iter()
+            .map(|h| sharded::shard_of(h.host))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            == shards,
+    )?;
+    check("uptime is reported", status.uptime_secs >= 0.0)?;
+
+    // A parallel round schedules every tenant on every shard.
+    let round = client.tick()?;
+    check(
+        "parallel tick merges all shards' tenants",
+        round.tenants.len() == 2 * shards,
+    )?;
+    check(
+        "every scheduled tenant keys by its wire handle",
+        round.tenants.iter().all(|t| handles.contains(&t.tenant)),
+    )?;
+
+    // Host churn on one shard must not disturb tenants on another: remove a
+    // shard-1 host's worth of capacity, then drive a shard-0 tenant.
+    let added = client.add_host(0, 4)?;
+    let victim_shard = sharded::shard_of(added);
+    let other_tenant = handles
+        .iter()
+        .copied()
+        .find(|&h| sharded::shard_of(h) != victim_shard)
+        .expect("tenants span shards");
+    client.remove_host(added)?;
+    client.update_speedups(other_tenant, &[1.0, 1.3, 1.7])?;
+    let round = client.tick()?;
+    check(
+        "tenant on another shard survives host churn",
+        round.tenants.iter().any(|t| t.tenant == other_tenant),
+    )?;
+
+    let metrics = client.metrics()?;
+    check("federation counts its rounds", metrics.rounds_solved >= 2)?;
+    check(
+        "metrics aggregate tenants across shards",
+        metrics.tenants == 2 * shards,
+    )?;
+
+    client.shutdown()?;
+    println!("ok: sharded daemon acknowledged shutdown");
     Ok(())
 }

@@ -1,0 +1,188 @@
+//! The scheduling daemon binary.
+//!
+//! ```text
+//! oef-serviced [--addr HOST:PORT] [--policy NAME] [--round-secs SECS]
+//!              [--fluid] [--max-tenants N] [--shards N] [--placement NAME]
+//!              [--restore FILE]
+//! ```
+//!
+//! Binds the address (port 0 picks an ephemeral port), prints one
+//! `oef-serviced listening on <addr>` line to stdout, and serves until a
+//! `Shutdown` command arrives, then exits 0.
+//!
+//! With `--shards N` (N ≥ 2) the daemon serves a [`ShardCoordinator`]: N
+//! independent scheduler shards (one paper-cluster topology each), handles
+//! tagged with their shard index, ticks solved in parallel.  `--placement`
+//! picks the tenant/host placement strategy (`least-loaded`, the default, or
+//! `round-robin`).  Admission quotas are **per shard**: `--max-tenants M`
+//! with `--shards N` admits up to N × M tenants federation-wide.  Without
+//! `--shards` the daemon is the classic unsharded service — wire-identical
+//! to shard 0 of a federation.
+//!
+//! With `--restore`, the daemon resumes from a snapshot file written by
+//! `oef-servicectl snapshot` (or the `Snapshot` wire command) instead of
+//! starting empty; the file's `version` field decides the shape (v2 → one
+//! shard, v3 federated envelope → coordinator), so no topology flags apply.
+
+use oef_cluster::ClusterTopology;
+use oef_service::{CommandHandler, SchedulerService, Server, ServiceConfig};
+use oef_shard::{placement_from_name, ShardCoordinator};
+use std::io::Write;
+
+struct Args {
+    addr: String,
+    restore: Option<String>,
+    shards: usize,
+    placement: String,
+    config: ServiceConfig,
+    /// Config flags seen on the command line; `--restore` rejects these
+    /// instead of silently ignoring them (the snapshot's embedded config
+    /// wins on a restore).
+    config_flags: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7441".to_string(),
+        restore: None,
+        shards: 1,
+        placement: "least-loaded".to_string(),
+        config: ServiceConfig::default(),
+        config_flags: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--policy" => {
+                args.config.policy = value("--policy")?;
+                args.config_flags.push(flag);
+            }
+            "--round-secs" => {
+                args.config.round_secs = value("--round-secs")?
+                    .parse()
+                    .map_err(|e| format!("bad --round-secs: {e}"))?;
+                args.config_flags.push(flag);
+            }
+            "--max-tenants" => {
+                args.config.limits.max_tenants = value("--max-tenants")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-tenants: {e}"))?;
+                args.config_flags.push(flag);
+            }
+            "--fluid" => {
+                args.config.physical_placement = false;
+                args.config_flags.push(flag);
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                args.config_flags.push(flag);
+            }
+            "--placement" => {
+                args.placement = value("--placement")?;
+                args.config_flags.push(flag);
+            }
+            "--restore" => args.restore = Some(value("--restore")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: oef-serviced [--addr HOST:PORT] [--policy NAME] \
+                     [--round-secs SECS] [--fluid] [--max-tenants N] [--shards N] \
+                     [--placement least-loaded|round-robin] [--restore FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.restore.is_some() && !args.config_flags.is_empty() {
+        return Err(format!(
+            "--restore resumes with the snapshot's embedded configuration (and shard \
+             count); drop the conflicting flag(s) {} (or edit the snapshot's `config` field)",
+            args.config_flags.join(", ")
+        ));
+    }
+    Ok(args)
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("oef-serviced: {message}");
+    std::process::exit(2);
+}
+
+/// Spawns the server, prints the listening line and blocks until shutdown.
+fn serve<C: CommandHandler>(service: C, addr: &str, rounds_run: fn(&C) -> usize) {
+    let server = match Server::spawn(service, addr) {
+        Ok(server) => server,
+        Err(e) => fail(format!("cannot bind {addr}: {e}")),
+    };
+    println!("oef-serviced listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let service = server.join();
+    println!(
+        "oef-serviced shut down cleanly after {} rounds",
+        rounds_run(&service)
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => fail(message),
+    };
+
+    if let Some(path) = &args.restore {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read snapshot {path}: {e}")));
+        // The snapshot's version field decides the daemon's shape: a v2
+        // snapshot restores the classic unsharded service, a v3 envelope a
+        // full federation.
+        let version = serde_json::from_str::<serde::Value>(&json)
+            .ok()
+            .and_then(|v| v.get("version").and_then(serde::Value::as_u64));
+        match version {
+            Some(3) => {
+                let coordinator =
+                    ShardCoordinator::from_federated_json(&json).unwrap_or_else(|e| fail(e));
+                println!(
+                    "oef-serviced restoring {} shard(s) from {path}",
+                    coordinator.num_shards()
+                );
+                serve(coordinator, &args.addr, ShardCoordinator::rounds_run);
+            }
+            _ => {
+                let service =
+                    SchedulerService::from_snapshot_json(&json).unwrap_or_else(|e| fail(e));
+                serve(service, &args.addr, SchedulerService::rounds_run);
+            }
+        }
+        return;
+    }
+
+    if args.shards > 1 {
+        let placement = placement_from_name(&args.placement).unwrap_or_else(|| {
+            fail(format!(
+                "unknown placement `{}` (supported: least-loaded, round-robin)",
+                args.placement
+            ))
+        });
+        let topologies = (0..args.shards)
+            .map(|_| ClusterTopology::paper_cluster())
+            .collect();
+        let coordinator = ShardCoordinator::new(topologies, args.config.clone(), placement)
+            .unwrap_or_else(|e| fail(e));
+        serve(coordinator, &args.addr, ShardCoordinator::rounds_run);
+    } else {
+        let service = SchedulerService::new(ClusterTopology::paper_cluster(), args.config.clone())
+            .unwrap_or_else(|e| fail(e));
+        serve(service, &args.addr, SchedulerService::rounds_run);
+    }
+}

@@ -1,0 +1,841 @@
+//! The shard coordinator: N independent scheduler shards behind one wire
+//! protocol.
+//!
+//! [`ShardCoordinator`] owns a vector of [`SchedulerService`] shards — each
+//! with its own cluster state, allocation policy and warm-started solver
+//! context — and routes the *unchanged* v2 wire protocol across them:
+//!
+//! * Commands that create identity (`TenantJoin`, `AddHost`) are placed by a
+//!   pluggable [`ShardPlacement`] strategy; the reply's handle is tagged with
+//!   the shard index in its high bits (see [`oef_core::sharded`]).
+//! * Commands that carry a handle are routed by decoding those same bits —
+//!   the coordinator keeps **no** tenant or host table of its own, so routing
+//!   is O(1) and can never drift out of sync with the shards.
+//! * `Tick` fans out to every shard in parallel (`std::thread::scope`) and
+//!   merges the per-shard round summaries; each shard's LP stays small enough
+//!   to sit in the warm-start sweet spot while the solves overlap on separate
+//!   cores.
+//! * `Status` / `Metrics` aggregate across shards; `Snapshot` / `Restore`
+//!   speak the federated v3 envelope (per-shard v2 snapshots + shard map).
+//!
+//! Shard 0 uses the identity handle encoding, so a single-shard coordinator
+//! is wire-indistinguishable from an unsharded daemon.
+
+use crate::placement::{ShardLoad, ShardPlacement};
+use crate::snapshot::{FederatedSnapshot, PlacementState, FEDERATED_SNAPSHOT_VERSION};
+use oef_cluster::ClusterTopology;
+use oef_core::sharded;
+use oef_service::{
+    Command, CommandHandler, ErrorCode, MetricsReport, Response, RoundSummary, ServiceConfig,
+    ServiceError, ServiceMetrics, ShardStatusEntry, StatusReport, TenantRoundSummary,
+    PROTOCOL_VERSION,
+};
+use serde::Deserialize;
+use std::time::Instant;
+
+/// What a parsed v3 envelope yields: the restored shards, the placement
+/// strategy (cursor already restored), the coordinator round counter, and
+/// the per-shard config template.
+type ParsedFederation = (
+    Vec<oef_service::SchedulerService>,
+    Box<dyn ShardPlacement>,
+    usize,
+    ServiceConfig,
+);
+
+/// A federation of scheduler shards speaking the ordinary service protocol.
+pub struct ShardCoordinator {
+    shards: Vec<oef_service::SchedulerService>,
+    placement: Box<dyn ShardPlacement>,
+    /// Per-shard configuration template (every shard runs the same policy and
+    /// limits; quotas apply *per shard*).
+    config: ServiceConfig,
+    /// Coordinator rounds: every `Tick` advances all shards by one round.
+    rounds: usize,
+    /// Coordinator-level registry: command counters plus the latency window
+    /// of the parallel tick fan-out (critical path over the shards).
+    metrics: ServiceMetrics,
+    started: Instant,
+    shutting_down: bool,
+}
+
+impl std::fmt::Debug for ShardCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCoordinator")
+            .field("shards", &self.shards.len())
+            .field("placement", &self.placement.name())
+            .field("rounds", &self.rounds)
+            .field("shutting_down", &self.shutting_down)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardCoordinator {
+    /// Builds a coordinator with one shard per topology, all running the same
+    /// configuration.
+    ///
+    /// Admission quotas (`ServiceLimits`) apply **per shard**: a federation
+    /// of N shards admits up to N × `max_tenants` tenants in total.  With
+    /// least-loaded placement (the default) a join is refused only when
+    /// every shard is full; round-robin consults no load, so its cursor can
+    /// land on a full shard and refuse a join while others still have room.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no topology is given, when more than
+    /// [`sharded::MAX_SHARDS`] are, or when the configured policy is unknown.
+    pub fn new(
+        topologies: Vec<ClusterTopology>,
+        config: ServiceConfig,
+        placement: Box<dyn ShardPlacement>,
+    ) -> Result<Self, ServiceError> {
+        if topologies.is_empty() {
+            return Err(ServiceError::InvalidConfig(
+                "a coordinator needs at least one shard".to_string(),
+            ));
+        }
+        if topologies.len() > sharded::MAX_SHARDS {
+            return Err(ServiceError::InvalidConfig(format!(
+                "{} shards exceed the handle encoding's limit of {}",
+                topologies.len(),
+                sharded::MAX_SHARDS
+            )));
+        }
+        let shards = topologies
+            .into_iter()
+            .map(|t| oef_service::SchedulerService::new(t, config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            shards,
+            placement,
+            config,
+            rounds: 0,
+            metrics: ServiceMetrics::new(),
+            started: Instant::now(),
+            shutting_down: false,
+        })
+    }
+
+    /// Rebuilds a coordinator from a federated (v3) snapshot JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed envelopes, version mismatches (v2 snapshots are
+    /// pointed at `oef-servicectl migrate-snapshot`), unknown placement
+    /// strategies, and any per-shard v2 validation failure.
+    pub fn from_federated_json(snapshot: &str) -> Result<Self, ServiceError> {
+        let (shards, placement, rounds, config) = Self::parse_federated(snapshot)?;
+        Ok(Self {
+            shards,
+            placement,
+            config,
+            rounds,
+            metrics: ServiceMetrics::new(),
+            started: Instant::now(),
+            shutting_down: false,
+        })
+    }
+
+    fn parse_federated(snapshot: &str) -> Result<ParsedFederation, ServiceError> {
+        let value: serde::Value =
+            serde_json::from_str(snapshot).map_err(|e| ServiceError::BadSnapshot(e.to_string()))?;
+        match value.get("version").and_then(serde::Value::as_u64) {
+            Some(v) if v == u64::from(FEDERATED_SNAPSHOT_VERSION) => {}
+            Some(2) => {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "this is a v2 single-shard snapshot; restore it on an unsharded daemon, or \
+                     wrap it into a v{FEDERATED_SNAPSHOT_VERSION} envelope with `oef-servicectl \
+                     migrate-snapshot`"
+                )));
+            }
+            Some(v) => {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "federated snapshot version {v} is not supported (coordinator supports \
+                     {FEDERATED_SNAPSHOT_VERSION})"
+                )));
+            }
+            None => {
+                return Err(ServiceError::BadSnapshot(
+                    "snapshot has no numeric `version` field".to_string(),
+                ));
+            }
+        }
+        let envelope = FederatedSnapshot::deserialize(&value)
+            .map_err(|e| ServiceError::BadSnapshot(e.to_string()))?;
+        if envelope.shards.is_empty() {
+            return Err(ServiceError::BadSnapshot(
+                "federated snapshot holds no shards".to_string(),
+            ));
+        }
+        if envelope.shards.len() > sharded::MAX_SHARDS {
+            return Err(ServiceError::BadSnapshot(format!(
+                "federated snapshot holds {} shards, above the limit of {}",
+                envelope.shards.len(),
+                sharded::MAX_SHARDS
+            )));
+        }
+        let mut placement = crate::placement::placement_from_name(&envelope.placement.strategy)
+            .ok_or_else(|| {
+                ServiceError::BadSnapshot(format!(
+                    "unknown placement strategy `{}`",
+                    envelope.placement.strategy
+                ))
+            })?;
+        placement.restore_cursor(envelope.placement.cursor);
+        // Each shard entry goes through the complete unsharded restore path,
+        // so every v2 validation (identity maps, topology invariants) applies
+        // per shard.
+        let mut shards: Vec<oef_service::SchedulerService> =
+            Vec::with_capacity(envelope.shards.len());
+        for (i, entry) in envelope.shards.iter().enumerate() {
+            let json = serde_json::to_string(entry)
+                .map_err(|e| ServiceError::BadSnapshot(format!("shard {i}: {e}")))?;
+            let shard = oef_service::SchedulerService::from_snapshot_json(&json)
+                .map_err(|e| ServiceError::BadSnapshot(format!("shard {i}: {e}")))?;
+            // Every shard runs the same policy and limits — the invariant the
+            // coordinator's config template stands for.  A coordinator always
+            // snapshots agreeing configs, so disagreement means a hand-edited
+            // envelope; refuse it instead of silently scheduling one shard
+            // under a different policy than `Status` reports.
+            if i > 0 && shard.config() != shards[0].config() {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "shard {i} config differs from shard 0 (all shards of a federation \
+                     share one policy and one set of limits)"
+                )));
+            }
+            shards.push(shard);
+        }
+        let config = shards[0].config().clone();
+        Ok((shards, placement, envelope.round, config))
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to the shards, in shard-index order (tests, reporting).
+    pub fn shards(&self) -> &[oef_service::SchedulerService] {
+        &self.shards
+    }
+
+    /// Coordinator rounds completed (every round ticks all shards once).
+    pub fn rounds_run(&self) -> usize {
+        self.rounds
+    }
+
+    /// Whether a `Shutdown` command has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down
+    }
+
+    /// Executes one command, routing it across the shards.
+    pub fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
+        let response = self.dispatch(command, queue_depth);
+        self.metrics
+            .record_command(!matches!(response, Response::Error { .. }));
+        response
+    }
+
+    fn dispatch(&mut self, command: Command, queue_depth: usize) -> Response {
+        if self.shutting_down && !matches!(command, Command::Status | Command::Metrics) {
+            return Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "daemon is shutting down".to_string(),
+            };
+        }
+        match command {
+            Command::TenantJoin { .. } => {
+                let shard = self.placement.place_tenant(&self.loads());
+                let response = self.shards[shard].apply(command, 0);
+                retag(shard, response)
+            }
+            Command::AddHost { .. } => {
+                let shard = self.placement.place_host(&self.loads());
+                let response = self.shards[shard].apply(command, 0);
+                retag(shard, response)
+            }
+            Command::TenantLeave { tenant } => {
+                self.route_by_handle(tenant, ErrorCode::UnknownTenant, |local| {
+                    Command::TenantLeave { tenant: local }
+                })
+            }
+            Command::UpdateSpeedups { tenant, speedup } => {
+                self.route_by_handle(tenant, ErrorCode::UnknownTenant, move |local| {
+                    Command::UpdateSpeedups {
+                        tenant: local,
+                        speedup,
+                    }
+                })
+            }
+            Command::SubmitJob {
+                tenant,
+                model,
+                workers,
+                total_work,
+            } => self.route_by_handle(tenant, ErrorCode::UnknownTenant, move |local| {
+                Command::SubmitJob {
+                    tenant: local,
+                    model,
+                    workers,
+                    total_work,
+                }
+            }),
+            Command::JobFinished { tenant, job } => {
+                self.route_by_handle(tenant, ErrorCode::UnknownTenant, move |local| {
+                    Command::JobFinished { tenant: local, job }
+                })
+            }
+            Command::RemoveHost { handle } => {
+                self.route_by_handle(handle, ErrorCode::UnknownHost, |local| {
+                    Command::RemoveHost { handle: local }
+                })
+            }
+            Command::Tick => self.tick(),
+            Command::Status => self.status(),
+            Command::Metrics => self.metrics_report(queue_depth),
+            Command::Snapshot => self.snapshot(),
+            Command::Restore { snapshot } => self.restore(&snapshot),
+            Command::Shutdown => {
+                for shard in &mut self.shards {
+                    shard.apply(Command::Shutdown, 0);
+                }
+                self.shutting_down = true;
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Current per-shard loads, indexed by shard.
+    fn loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|s| ShardLoad {
+                tenants: s.tenant_handles().len(),
+                hosts: s.state().topology().hosts().len(),
+                total_devices: s.state().topology().total_devices(),
+            })
+            .collect()
+    }
+
+    /// Routes a handle-carrying command to the shard packed in its high bits.
+    fn route_by_handle(
+        &mut self,
+        handle: u64,
+        unknown: ErrorCode,
+        rebuild: impl FnOnce(u64) -> Command,
+    ) -> Response {
+        let (shard, local) = sharded::decode(handle);
+        if shard >= self.shards.len() {
+            return Response::Error {
+                code: unknown,
+                message: format!(
+                    "handle {} names shard {shard}, but only {} shard(s) exist",
+                    sharded::format(handle),
+                    self.shards.len()
+                ),
+            };
+        }
+        let response = self.shards[shard].apply(rebuild(local), 0);
+        retag(shard, response)
+    }
+
+    /// One federation round: every shard solves its own LP in parallel.
+    fn tick(&mut self) -> Response {
+        let fanout_started = Instant::now();
+        // Fan out only when threads can actually overlap: on a single
+        // hardware thread the spawn/join cost is pure overhead on every
+        // round, while the sharding win that remains — each shard's LP
+        // staying small — needs no parallelism at all.
+        let parallel = self.shards.len() > 1
+            && std::thread::available_parallelism()
+                .map(|p| p.get() > 1)
+                .unwrap_or(false);
+        let responses: Vec<Response> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| scope.spawn(move || shard.apply(Command::Tick, 0)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard tick thread panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .map(|shard| shard.apply(Command::Tick, 0))
+                .collect()
+        };
+
+        let mut merged = RoundSummary {
+            round: self.rounds,
+            time_secs: 0.0,
+            solver_time_secs: 0.0,
+            warm_start: true,
+            tenants: Vec::new(),
+        };
+        let mut solved_any = false;
+        for (shard, response) in responses.into_iter().enumerate() {
+            let summary = match response {
+                Response::RoundCompleted(summary) => summary,
+                Response::Error { code, message } => {
+                    // One shard failing mid-fan-out leaves the others a round
+                    // ahead; surface that loudly instead of pretending the
+                    // federation ticked.
+                    return Response::Error {
+                        code,
+                        message: format!(
+                            "shard {shard} failed its round (other shards may have advanced): \
+                             {message}"
+                        ),
+                    };
+                }
+                other => {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard {shard} tick returned {other:?}"),
+                    }
+                }
+            };
+            merged.time_secs = merged.time_secs.max(summary.time_secs);
+            // The fan-out runs shards concurrently, so the federation's solve
+            // latency is the slowest shard, not the sum.
+            merged.solver_time_secs = merged.solver_time_secs.max(summary.solver_time_secs);
+            if !summary.tenants.is_empty() {
+                solved_any = true;
+                merged.warm_start &= summary.warm_start;
+            }
+            merged
+                .tenants
+                .extend(summary.tenants.into_iter().map(|t| TenantRoundSummary {
+                    tenant: tag(shard, t.tenant),
+                    ..t
+                }));
+        }
+        merged.warm_start &= solved_any;
+        self.rounds += 1;
+        if solved_any {
+            // Wall-clock of the whole fan-out (thread spawn + slowest shard's
+            // solve/placement), which is what round throughput is made of.
+            self.metrics
+                .record_round(fanout_started.elapsed().as_secs_f64());
+        }
+        Response::RoundCompleted(merged)
+    }
+
+    fn status(&mut self) -> Response {
+        let mut aggregate = StatusReport {
+            policy: self.config.policy.clone(),
+            protocol: PROTOCOL_VERSION,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            round: self.rounds,
+            time_secs: 0.0,
+            tenants: 0,
+            jobs: 0,
+            hosts: 0,
+            total_devices: 0,
+            topology: Vec::new(),
+            shards: Vec::new(),
+        };
+        for (shard, service) in self.shards.iter_mut().enumerate() {
+            let Response::Status(report) = service.apply(Command::Status, 0) else {
+                unreachable!("Status is infallible on a shard");
+            };
+            aggregate.time_secs = aggregate.time_secs.max(report.time_secs);
+            aggregate.tenants += report.tenants;
+            aggregate.jobs += report.jobs;
+            aggregate.hosts += report.hosts;
+            aggregate.total_devices += report.total_devices;
+            aggregate
+                .topology
+                .extend(report.topology.into_iter().map(|mut h| {
+                    h.host = tag(shard, h.host);
+                    h
+                }));
+            aggregate.shards.push(ShardStatusEntry {
+                shard,
+                tenants: report.tenants,
+                jobs: report.jobs,
+                hosts: report.hosts,
+                total_devices: report.total_devices,
+                round: report.round,
+            });
+        }
+        Response::Status(aggregate)
+    }
+
+    fn metrics_report(&mut self, queue_depth: usize) -> Response {
+        // Command counters and the round-latency window are coordinator-level
+        // (one entry per federation round, measuring the parallel fan-out);
+        // solver and job counters are summed over the shards.
+        let mut aggregate = MetricsReport {
+            commands_processed: self.metrics.commands_processed(),
+            commands_rejected: self.metrics.commands_rejected(),
+            rounds_solved: self.metrics.rounds_solved(),
+            jobs_completed: 0,
+            warm_solves: 0,
+            cold_solves: 0,
+            dense_fallbacks: 0,
+            warm_hit_rate: 0.0,
+            solve_p50_secs: self.metrics.solve_percentile(0.5),
+            solve_p99_secs: self.metrics.solve_percentile(0.99),
+            solve_last_secs: self.metrics.last_solve_secs(),
+            queue_depth,
+            tenants: 0,
+            hosts: 0,
+        };
+        for service in &mut self.shards {
+            let Response::Metrics(report) = service.apply(Command::Metrics, 0) else {
+                unreachable!("Metrics is infallible on a shard");
+            };
+            aggregate.jobs_completed += report.jobs_completed;
+            aggregate.warm_solves += report.warm_solves;
+            aggregate.cold_solves += report.cold_solves;
+            aggregate.dense_fallbacks += report.dense_fallbacks;
+            aggregate.tenants += report.tenants;
+            aggregate.hosts += report.hosts;
+        }
+        let total_solves = aggregate.warm_solves + aggregate.cold_solves;
+        if total_solves > 0 {
+            aggregate.warm_hit_rate = aggregate.warm_solves as f64 / total_solves as f64;
+        }
+        Response::Metrics(aggregate)
+    }
+
+    fn snapshot(&mut self) -> Response {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (i, service) in self.shards.iter_mut().enumerate() {
+            let json = match service.apply(Command::Snapshot, 0) {
+                Response::Snapshot { snapshot } => snapshot,
+                Response::Error { code, message } => {
+                    return Response::Error {
+                        code,
+                        message: format!("shard {i} snapshot failed: {message}"),
+                    }
+                }
+                other => {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard {i} snapshot returned {other:?}"),
+                    }
+                }
+            };
+            match serde_json::from_str::<serde::Value>(&json) {
+                Ok(value) => shards.push(value),
+                Err(e) => {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("shard {i} snapshot did not re-parse: {e}"),
+                    }
+                }
+            }
+        }
+        let envelope = FederatedSnapshot {
+            version: FEDERATED_SNAPSHOT_VERSION,
+            round: self.rounds,
+            placement: PlacementState {
+                strategy: self.placement.name().to_string(),
+                cursor: self.placement.cursor(),
+            },
+            shards,
+        };
+        match serde_json::to_string(&envelope) {
+            Ok(snapshot) => Response::Snapshot { snapshot },
+            Err(e) => Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("federated snapshot failed: {e}"),
+            },
+        }
+    }
+
+    fn restore(&mut self, snapshot: &str) -> Response {
+        let (shards, placement, rounds, config) = match Self::parse_federated(snapshot) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    message: e.to_string(),
+                }
+            }
+        };
+        let tenants = shards.iter().map(|s| s.tenant_handles().len()).sum();
+        // The coordinator's metrics and uptime describe this process, not the
+        // restored state; the shard count, however, follows the snapshot.
+        // Like the unsharded restore path, the running queue capacity stays
+        // authoritative — the server's bounded queue was sized at spawn and
+        // cannot be resized live.
+        let queue_capacity = self.config.limits.queue_capacity;
+        self.shards = shards;
+        self.placement = placement;
+        self.rounds = rounds;
+        self.config = config;
+        self.config.limits.queue_capacity = queue_capacity;
+        Response::Restored { tenants }
+    }
+}
+
+impl CommandHandler for ShardCoordinator {
+    fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
+        ShardCoordinator::apply(self, command, queue_depth)
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.config.limits.queue_capacity
+    }
+}
+
+/// Tags a shard-local handle for the wire; the null handle stays null.
+fn tag(shard: usize, handle: u64) -> u64 {
+    if handle == 0 {
+        0
+    } else {
+        sharded::encode(shard, handle)
+    }
+}
+
+/// Rewrites every handle a shard reply carries into its shard-tagged wire
+/// form.  Replies without handles (including errors) pass through untouched.
+fn retag(shard: usize, response: Response) -> Response {
+    match response {
+        Response::TenantJoined { tenant } => Response::TenantJoined {
+            tenant: tag(shard, tenant),
+        },
+        Response::TenantLeft { tenant } => Response::TenantLeft {
+            tenant: tag(shard, tenant),
+        },
+        Response::SpeedupsUpdated { tenant } => Response::SpeedupsUpdated {
+            tenant: tag(shard, tenant),
+        },
+        Response::JobSubmitted { tenant, job } => Response::JobSubmitted {
+            tenant: tag(shard, tenant),
+            job,
+        },
+        Response::JobFinished { tenant, job } => Response::JobFinished {
+            tenant: tag(shard, tenant),
+            job,
+        },
+        Response::HostAdded { host } => Response::HostAdded {
+            host: tag(shard, host),
+        },
+        Response::HostRemoved { host } => Response::HostRemoved {
+            host: tag(shard, host),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{placement_from_name, RoundRobin};
+
+    fn coordinator(shards: usize) -> ShardCoordinator {
+        ShardCoordinator::new(
+            (0..shards)
+                .map(|_| ClusterTopology::paper_cluster())
+                .collect(),
+            ServiceConfig::default(),
+            placement_from_name("least-loaded").unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn join(c: &mut ShardCoordinator, name: &str) -> u64 {
+        match c.apply(
+            Command::TenantJoin {
+                name: name.into(),
+                weight: 1,
+                speedup: vec![1.0, 1.2, 1.4],
+            },
+            0,
+        ) {
+            Response::TenantJoined { tenant } => tenant,
+            other => panic!("join failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn least_loaded_spreads_tenants_and_tags_handles() {
+        let mut c = coordinator(3);
+        let handles: Vec<u64> = (0..6).map(|i| join(&mut c, &format!("t{i}"))).collect();
+        let mut per_shard = [0usize; 3];
+        for &h in &handles {
+            per_shard[sharded::shard_of(h)] += 1;
+        }
+        assert_eq!(per_shard, [2, 2, 2], "least-loaded balances the join order");
+        // Handles are unique on the wire even though each shard minted 1, 2.
+        let mut unique = handles.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), handles.len());
+    }
+
+    #[test]
+    fn handle_routing_reaches_the_minting_shard() {
+        let mut c = coordinator(2);
+        let a = join(&mut c, "alice");
+        let b = join(&mut c, "bob");
+        assert_ne!(sharded::shard_of(a), sharded::shard_of(b));
+        let r = c.apply(
+            Command::SubmitJob {
+                tenant: b,
+                model: "m".into(),
+                workers: 1,
+                total_work: 1e6,
+            },
+            0,
+        );
+        assert!(
+            matches!(r, Response::JobSubmitted { tenant, .. } if tenant == b),
+            "{r:?}"
+        );
+        let r = c.apply(Command::TenantLeave { tenant: a }, 0);
+        assert!(matches!(r, Response::TenantLeft { tenant } if tenant == a));
+        // A handle naming a shard that does not exist is UnknownTenant, not a
+        // panic or a mis-route.
+        let bogus = sharded::encode(7, 1);
+        let r = c.apply(Command::TenantLeave { tenant: bogus }, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_tick_merges_all_shards() {
+        let mut c = coordinator(2);
+        let handles: Vec<u64> = (0..4).map(|i| join(&mut c, &format!("t{i}"))).collect();
+        for &h in &handles {
+            c.apply(
+                Command::SubmitJob {
+                    tenant: h,
+                    model: "m".into(),
+                    workers: 1,
+                    total_work: 1e9,
+                },
+                0,
+            );
+        }
+        let Response::RoundCompleted(round) = c.apply(Command::Tick, 0) else {
+            panic!("tick failed");
+        };
+        assert_eq!(round.round, 0);
+        assert_eq!(round.tenants.len(), 4, "both shards' tenants are merged");
+        for t in &round.tenants {
+            assert!(handles.contains(&t.tenant), "summary keys by wire handle");
+            assert!(t.devices_held > 0);
+        }
+        assert_eq!(c.rounds_run(), 1);
+    }
+
+    #[test]
+    fn status_and_metrics_aggregate_across_shards() {
+        let mut c = coordinator(2);
+        let t = join(&mut c, "alice");
+        join(&mut c, "bob");
+        c.apply(
+            Command::SubmitJob {
+                tenant: t,
+                model: "m".into(),
+                workers: 1,
+                total_work: 1e9,
+            },
+            0,
+        );
+        c.apply(Command::Tick, 0);
+        let Response::Status(status) = c.apply(Command::Status, 0) else {
+            panic!("status failed");
+        };
+        assert_eq!(status.tenants, 2);
+        assert_eq!(status.hosts, 12);
+        assert_eq!(status.total_devices, 48);
+        assert_eq!(status.shards.len(), 2);
+        assert_eq!(status.shards.iter().map(|s| s.tenants).sum::<usize>(), 2);
+        assert_eq!(status.round, 1);
+        assert!(status.uptime_secs >= 0.0);
+        // Topology handles carry their shard index.
+        let shard_ids: std::collections::HashSet<usize> = status
+            .topology
+            .iter()
+            .map(|h| sharded::shard_of(h.host))
+            .collect();
+        assert_eq!(shard_ids.len(), 2);
+
+        let Response::Metrics(m) = c.apply(Command::Metrics, 0) else {
+            panic!("metrics failed");
+        };
+        assert_eq!(m.tenants, 2);
+        assert_eq!(m.hosts, 12);
+        assert_eq!(m.rounds_solved, 1);
+        assert!(m.cold_solves >= 1, "first round is a cold solve");
+    }
+
+    #[test]
+    fn round_robin_cursor_survives_the_snapshot() {
+        let mut c = ShardCoordinator::new(
+            vec![
+                ClusterTopology::paper_cluster(),
+                ClusterTopology::paper_cluster(),
+            ],
+            ServiceConfig::default(),
+            Box::<RoundRobin>::default(),
+        )
+        .unwrap();
+        let first = join(&mut c, "a");
+        let Response::Snapshot { snapshot } = c.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        let mut restored = ShardCoordinator::from_federated_json(&snapshot).unwrap();
+        // Both the original and the restored coordinator must place the next
+        // tenant on the *same* shard (the cursor traveled with the envelope).
+        let from_original = join(&mut c, "b");
+        let from_restored = join(&mut restored, "b");
+        assert_eq!(from_original, from_restored);
+        assert_ne!(sharded::shard_of(first), sharded::shard_of(from_original));
+    }
+
+    #[test]
+    fn v2_snapshots_are_pointed_at_the_migration_tool() {
+        let mut single = oef_service::SchedulerService::new(
+            ClusterTopology::paper_cluster(),
+            ServiceConfig::default(),
+        )
+        .unwrap();
+        let Response::Snapshot { snapshot } = single.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        let err = ShardCoordinator::from_federated_json(&snapshot).unwrap_err();
+        let ServiceError::BadSnapshot(reason) = err else {
+            panic!("expected BadSnapshot");
+        };
+        assert!(reason.contains("migrate-snapshot"), "reason: {reason}");
+    }
+
+    #[test]
+    fn shutdown_blocks_mutations_but_not_probes() {
+        let mut c = coordinator(2);
+        assert!(matches!(
+            c.apply(Command::Shutdown, 0),
+            Response::ShuttingDown
+        ));
+        assert!(c.is_shutting_down());
+        let r = c.apply(Command::Tick, 0);
+        assert!(matches!(
+            r,
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }
+        ));
+        assert!(matches!(c.apply(Command::Status, 0), Response::Status(_)));
+    }
+}

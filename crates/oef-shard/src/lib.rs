@@ -1,0 +1,59 @@
+//! # oef-shard — sharded cluster federation for the scheduling middleware
+//!
+//! One `SchedulerService` re-solves a fair-share LP whose cost grows
+//! superlinearly with the tenant count.  This crate scales the middleware
+//! *out* instead of up: a [`ShardCoordinator`] owns N independent scheduler
+//! shards — each with its own cluster state, policy and warm-started solver
+//! context — and speaks the existing v2 wire protocol unchanged on the
+//! front, so clients cannot tell a federation from a single daemon.
+//!
+//! * **Shard-aware handles** — every handle a shard mints is tagged with the
+//!   shard index in its top 8 bits ([`oef_core::sharded`]); routing decodes
+//!   those bits, so the coordinator needs no lookup tables.  Shard 0 is the
+//!   identity encoding: existing handles, snapshots and clients stay valid.
+//! * **Parallel solves** — `Tick` fans out over `std::thread::scope`, so the
+//!   federation's round latency is the slowest shard, not the sum, and each
+//!   shard's tenant count stays in the warm-start sweet spot.
+//! * **Pluggable placement** — [`ShardPlacement`] decides where tenants and
+//!   hosts without a handle land ([`LeastLoaded`], [`RoundRobin`]).
+//! * **Federated snapshots** — v3 envelopes carry one v2 snapshot per shard
+//!   plus the shard map ([`FederatedSnapshot`]); `wrap_v2_snapshot` migrates
+//!   an unsharded snapshot into a single-shard federation.
+//!
+//! The `oef-serviced` / `oef-servicectl` binaries are built from this crate
+//! (the daemon serves either one `SchedulerService` or a coordinator,
+//! depending on `--shards`).
+//!
+//! ```
+//! use oef_cluster::ClusterTopology;
+//! use oef_service::{Server, ServiceClient, ServiceConfig};
+//! use oef_shard::{placement_from_name, ShardCoordinator};
+//!
+//! let coordinator = ShardCoordinator::new(
+//!     vec![ClusterTopology::paper_cluster(), ClusterTopology::paper_cluster()],
+//!     ServiceConfig::default(),
+//!     placement_from_name("least-loaded").unwrap(),
+//! )
+//! .unwrap();
+//! let server = Server::spawn(coordinator, "127.0.0.1:0").unwrap();
+//!
+//! // Same protocol, same client — the federation is transparent.
+//! let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+//! let alice = client.join("alice", 1, &[1.0, 1.2, 1.4]).unwrap();
+//! let bob = client.join("bob", 1, &[1.0, 1.6, 2.2]).unwrap();
+//! assert_ne!(oef_core::sharded::shard_of(alice), oef_core::sharded::shard_of(bob));
+//! client.shutdown().unwrap();
+//! server.join();
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coordinator;
+mod placement;
+mod snapshot;
+
+pub use coordinator::ShardCoordinator;
+pub use placement::{placement_from_name, LeastLoaded, RoundRobin, ShardLoad, ShardPlacement};
+pub use snapshot::{
+    wrap_v2_snapshot, FederatedSnapshot, MigrateError, PlacementState, FEDERATED_SNAPSHOT_VERSION,
+};

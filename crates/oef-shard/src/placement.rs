@@ -1,0 +1,182 @@
+//! Pluggable placement of new tenants and hosts onto shards.
+//!
+//! The coordinator consults a [`ShardPlacement`] strategy exactly twice per
+//! object lifetime — when a `TenantJoin` or `AddHost` command arrives and no
+//! handle exists yet to route by.  Everything afterwards routes by the shard
+//! index packed into the handle, so the strategy never has to remember what
+//! it placed where.
+//!
+//! Strategies must be deterministic functions of `(their own cursor, the
+//! observed shard loads)`: the cursor travels inside the federated snapshot,
+//! which is what lets a restored coordinator place the *next* tenant on the
+//! same shard the original would have (restart equivalence across the shard
+//! boundary).
+
+/// Load summary of one shard, as observed at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Tenants currently registered on the shard.
+    pub tenants: usize,
+    /// Hosts currently owned by the shard.
+    pub hosts: usize,
+    /// GPU devices currently owned by the shard.
+    pub total_devices: usize,
+}
+
+/// A strategy choosing the shard for objects that do not have a handle yet.
+///
+/// `loads` always holds one entry per shard, indexed by shard id, and is
+/// never empty.  Implementations return a shard index `< loads.len()`.
+pub trait ShardPlacement: Send {
+    /// Wire name of the strategy (used in snapshots and `--placement`).
+    fn name(&self) -> &'static str;
+
+    /// Shard for a joining tenant.
+    fn place_tenant(&mut self, loads: &[ShardLoad]) -> usize;
+
+    /// Shard for a new host.
+    fn place_host(&mut self, loads: &[ShardLoad]) -> usize;
+
+    /// Opaque strategy state carried through federated snapshots; stateless
+    /// strategies return 0.
+    fn cursor(&self) -> u64 {
+        0
+    }
+
+    /// Restores the state captured by [`ShardPlacement::cursor`].
+    fn restore_cursor(&mut self, _cursor: u64) {}
+}
+
+/// Least-loaded placement: tenants go to the shard with the fewest tenants,
+/// hosts to the shard with the fewest devices; ties break toward the lowest
+/// shard index.  Stateless, so restart equivalence is free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl ShardPlacement for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn place_tenant(&mut self, loads: &[ShardLoad]) -> usize {
+        min_by_key(loads, |l| l.tenants)
+    }
+
+    fn place_host(&mut self, loads: &[ShardLoad]) -> usize {
+        min_by_key(loads, |l| l.total_devices)
+    }
+}
+
+/// Round-robin placement: a single cursor walks the shards for tenants and
+/// hosts alike, ignoring load.  The cursor is snapshot state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    cursor: u64,
+}
+
+impl RoundRobin {
+    fn next(&mut self, n: usize) -> usize {
+        let shard = (self.cursor % n as u64) as usize;
+        self.cursor += 1;
+        shard
+    }
+}
+
+impl ShardPlacement for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place_tenant(&mut self, loads: &[ShardLoad]) -> usize {
+        self.next(loads.len())
+    }
+
+    fn place_host(&mut self, loads: &[ShardLoad]) -> usize {
+        self.next(loads.len())
+    }
+
+    fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    fn restore_cursor(&mut self, cursor: u64) {
+        self.cursor = cursor;
+    }
+}
+
+/// Builds a boxed placement strategy from its wire name (`least-loaded`,
+/// `round-robin`).
+pub fn placement_from_name(name: &str) -> Option<Box<dyn ShardPlacement>> {
+    match name {
+        "least-loaded" => Some(Box::new(LeastLoaded)),
+        "round-robin" => Some(Box::<RoundRobin>::default()),
+        _ => None,
+    }
+}
+
+fn min_by_key(loads: &[ShardLoad], key: impl Fn(&ShardLoad) -> usize) -> usize {
+    loads
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, l)| (key(l), *i))
+        .map(|(i, _)| i)
+        .expect("coordinator always has at least one shard")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(tenants: usize, hosts: usize, total_devices: usize) -> ShardLoad {
+        ShardLoad {
+            tenants,
+            hosts,
+            total_devices,
+        }
+    }
+
+    #[test]
+    fn least_loaded_picks_emptiest_with_low_index_ties() {
+        let mut p = LeastLoaded;
+        let loads = [load(3, 2, 8), load(1, 2, 8), load(1, 2, 8)];
+        assert_eq!(p.place_tenant(&loads), 1, "tie breaks to the lower index");
+        let loads = [load(0, 2, 8), load(0, 1, 4), load(0, 3, 12)];
+        assert_eq!(p.place_host(&loads), 1, "hosts go where devices are scarce");
+    }
+
+    #[test]
+    fn round_robin_walks_and_restores_its_cursor() {
+        let mut p = RoundRobin::default();
+        let loads = [load(0, 0, 0); 3];
+        assert_eq!(
+            [
+                p.place_tenant(&loads),
+                p.place_tenant(&loads),
+                p.place_host(&loads),
+                p.place_tenant(&loads)
+            ],
+            [0, 1, 2, 0]
+        );
+        let cursor = p.cursor();
+        let mut q = RoundRobin::default();
+        q.restore_cursor(cursor);
+        assert_eq!(
+            q.place_tenant(&loads),
+            p.place_tenant(&loads),
+            "restored cursor continues the identical sequence"
+        );
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(
+            placement_from_name("least-loaded").unwrap().name(),
+            "least-loaded"
+        );
+        assert_eq!(
+            placement_from_name("round-robin").unwrap().name(),
+            "round-robin"
+        );
+        assert!(placement_from_name("random").is_none());
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end tests of the sharded federation.
+//!
+//! The headline test is restart equivalence across the shard boundary: a
+//! federation that snapshots mid-run and restores into a brand-new
+//! coordinator must reproduce an uninterrupted run's allocations to 1e-6 on
+//! every shard — including host churn straddling the snapshot and a tenant
+//! placed *after* the restore (the placement cursor travels with the
+//! envelope).  A second test drives the federation over real loopback TCP
+//! and proves a tenant's handle keeps working while a *different* shard
+//! churns hosts.  A third proves `migrate-snapshot` semantics: a v2 snapshot
+//! wrapped into a v3 envelope serves the same state, same handles, through a
+//! 1-shard coordinator.
+
+use oef_cluster::ClusterTopology;
+use oef_core::sharded;
+use oef_service::{Command, Response, RoundSummary, Server, ServiceClient, ServiceConfig};
+use oef_shard::{placement_from_name, wrap_v2_snapshot, ShardCoordinator};
+
+fn coordinator(shards: usize) -> ShardCoordinator {
+    ShardCoordinator::new(
+        (0..shards)
+            .map(|_| ClusterTopology::paper_cluster())
+            .collect(),
+        ServiceConfig::default(),
+        placement_from_name("least-loaded").unwrap(),
+    )
+    .unwrap()
+}
+
+fn join(c: &mut ShardCoordinator, name: &str, speedup: &[f64]) -> u64 {
+    match c.apply(
+        Command::TenantJoin {
+            name: name.into(),
+            weight: 1,
+            speedup: speedup.to_vec(),
+        },
+        0,
+    ) {
+        Response::TenantJoined { tenant } => tenant,
+        other => panic!("join failed: {other:?}"),
+    }
+}
+
+fn submit(c: &mut ShardCoordinator, tenant: u64) {
+    let r = c.apply(
+        Command::SubmitJob {
+            tenant,
+            model: "model".into(),
+            workers: 2,
+            total_work: 1e9,
+        },
+        0,
+    );
+    assert!(matches!(r, Response::JobSubmitted { .. }), "{r:?}");
+}
+
+fn tick(c: &mut ShardCoordinator) -> RoundSummary {
+    match c.apply(Command::Tick, 0) {
+        Response::RoundCompleted(summary) => summary,
+        other => panic!("tick failed: {other:?}"),
+    }
+}
+
+fn assert_rounds_match(a: &[RoundSummary], b: &[RoundSummary]) {
+    assert_eq!(a.len(), b.len());
+    for (round, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.round, y.round, "round index at {round}");
+        assert_eq!(
+            x.tenants.len(),
+            y.tenants.len(),
+            "active tenants at round {round}"
+        );
+        for (s, t) in x.tenants.iter().zip(&y.tenants) {
+            assert_eq!(s.tenant, t.tenant, "wire handle at round {round}");
+            assert!(
+                (s.estimated_throughput - t.estimated_throughput).abs() < 1e-6,
+                "round {round}: estimated {} vs {}",
+                s.estimated_throughput,
+                t.estimated_throughput
+            );
+            assert!(
+                (s.actual_throughput - t.actual_throughput).abs() < 1e-6,
+                "round {round}: actual {} vs {}",
+                s.actual_throughput,
+                t.actual_throughput
+            );
+            assert_eq!(s.devices_held, t.devices_held, "devices at round {round}");
+            for (u, v) in s.gpu_shares.iter().zip(&t.gpu_shares) {
+                assert!((u - v).abs() < 1e-6, "round {round}: share {u} vs {v}");
+            }
+        }
+    }
+}
+
+/// The first half of the scripted session, shared by both runs: 4 tenants
+/// spread over 2 shards, 3 rounds, a host added, 2 more rounds.
+fn first_half(c: &mut ShardCoordinator) -> (Vec<u64>, u64, Vec<RoundSummary>) {
+    let profiles: [&[f64]; 4] = [
+        &[1.0, 1.18, 1.39],
+        &[1.0, 1.55, 2.15],
+        &[1.0, 1.25, 1.55],
+        &[1.0, 1.40, 1.90],
+    ];
+    let mut handles = Vec::new();
+    for (i, profile) in profiles.iter().enumerate() {
+        let h = join(c, &format!("tenant-{i}"), profile);
+        submit(c, h);
+        handles.push(h);
+    }
+    let mut rounds = Vec::new();
+    for _ in 0..3 {
+        rounds.push(tick(c));
+    }
+    let host = match c.apply(
+        Command::AddHost {
+            gpu_type: 0,
+            num_gpus: 4,
+        },
+        0,
+    ) {
+        Response::HostAdded { host } => host,
+        other => panic!("add host failed: {other:?}"),
+    };
+    for _ in 0..2 {
+        rounds.push(tick(c));
+    }
+    (handles, host, rounds)
+}
+
+/// The second half: the pre-snapshot host is removed, a fifth tenant joins
+/// (exercising post-restore placement), and 3 more rounds run.
+fn second_half(c: &mut ShardCoordinator, host: u64) -> (u64, Vec<RoundSummary>) {
+    let r = c.apply(Command::RemoveHost { handle: host }, 0);
+    assert!(
+        matches!(r, Response::HostRemoved { .. }),
+        "host handle minted before the snapshot must stay valid after it: {r:?}"
+    );
+    let late = join(c, "late-tenant", &[1.0, 1.30, 1.70]);
+    submit(c, late);
+    let mut rounds = Vec::new();
+    for _ in 0..3 {
+        rounds.push(tick(c));
+    }
+    (late, rounds)
+}
+
+#[test]
+fn federated_restore_matches_uninterrupted_run_within_1e6() {
+    // --- reference: one coordinator runs the whole script uninterrupted.
+    let mut uninterrupted = coordinator(2);
+    let (handles, host, mut expected) = first_half(&mut uninterrupted);
+    let (expected_late, tail) = second_half(&mut uninterrupted, host);
+    expected.extend(tail);
+    assert!(
+        handles
+            .iter()
+            .map(|&h| sharded::shard_of(h))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            == 2,
+        "script must actually span both shards"
+    );
+
+    // --- interrupted: same script, but snapshot after the first half and
+    // resume in a brand-new coordinator.
+    let mut original = coordinator(2);
+    let (_, host_b, mut observed) = first_half(&mut original);
+    assert_eq!(host_b, host, "federations mint identical handles");
+    let Response::Snapshot { snapshot } = original.apply(Command::Snapshot, 0) else {
+        panic!("snapshot failed");
+    };
+    drop(original);
+    let mut restored = ShardCoordinator::from_federated_json(&snapshot).unwrap();
+    assert_eq!(restored.num_shards(), 2);
+    assert_eq!(restored.rounds_run(), 5);
+    let (observed_late, tail) = second_half(&mut restored, host_b);
+    observed.extend(tail);
+
+    assert_eq!(
+        observed_late, expected_late,
+        "post-restore tenant lands on the same shard with the same handle"
+    );
+    assert_rounds_match(&expected, &observed);
+
+    // Per-shard states agree exactly, not just through round summaries.
+    let mut twin = coordinator(2);
+    let (_, twin_host, _) = first_half(&mut twin);
+    second_half(&mut twin, twin_host);
+    for (shard, (a, b)) in twin.shards().iter().zip(restored.shards()).enumerate() {
+        assert_eq!(
+            a.tenant_handles(),
+            b.tenant_handles(),
+            "shard {shard} tenant identity"
+        );
+        assert_eq!(a.state(), b.state(), "shard {shard} cluster state");
+    }
+}
+
+#[test]
+fn tenant_handle_survives_other_shards_host_churn_over_tcp() {
+    let server = Server::spawn(coordinator(2), "127.0.0.1:0").expect("daemon binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("client connects");
+
+    // Two tenants: least-loaded puts them on different shards.
+    let alice = client.join("alice", 1, &[1.0, 1.18, 1.39]).unwrap();
+    let bob = client.join("bob", 1, &[1.0, 1.55, 2.15]).unwrap();
+    client.submit_job(alice, "vgg16", 2, 1e9).unwrap();
+    client.submit_job(bob, "lstm", 2, 1e9).unwrap();
+    assert_ne!(sharded::shard_of(alice), sharded::shard_of(bob));
+
+    let round = client.tick().unwrap();
+    assert_eq!(round.tenants.len(), 2);
+
+    // Churn hosts on bob's shard only: add capacity, tick, remove it again.
+    let bob_shard = sharded::shard_of(bob);
+    let added = loop {
+        // Least-loaded host placement fills the smaller shard first; keep
+        // adding until one lands on bob's shard (first add already does, as
+        // both shards start equal and ties break low — force it instead).
+        let h = client.add_host(0, 4).unwrap();
+        if sharded::shard_of(h) == bob_shard {
+            break h;
+        }
+        client.tick().unwrap();
+    };
+    client.tick().unwrap();
+    client.remove_host(added).unwrap();
+
+    // Alice's handle — minted by the *other* shard — still works for every
+    // handle-carrying command.
+    client.update_speedups(alice, &[1.0, 1.20, 1.45]).unwrap();
+    let job = client.submit_job(alice, "resnet", 1, 1e6).unwrap();
+    client.finish_job(alice, job).unwrap();
+    let round = client.tick().unwrap();
+    assert!(
+        round.tenants.iter().any(|t| t.tenant == alice),
+        "alice still scheduled after shard {bob_shard} churned"
+    );
+
+    // And bob's shard state is consistent too.
+    let status = client.status().unwrap();
+    assert_eq!(status.tenants, 2);
+    assert_eq!(
+        status.shards.iter().map(|s| s.tenants).sum::<usize>(),
+        2,
+        "per-shard entries stay in sync with the aggregate"
+    );
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn migrated_v2_snapshot_serves_identical_state_through_one_shard() {
+    // Build an unsharded daemon with some state and snapshot it (v2).
+    let mut single = oef_service::SchedulerService::new(
+        ClusterTopology::paper_cluster(),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let Response::TenantJoined { tenant } = single.apply(
+        Command::TenantJoin {
+            name: "alice".into(),
+            weight: 1,
+            speedup: vec![1.0, 1.2, 1.4],
+        },
+        0,
+    ) else {
+        panic!("join failed");
+    };
+    single.apply(
+        Command::SubmitJob {
+            tenant,
+            model: "m".into(),
+            workers: 2,
+            total_work: 1e9,
+        },
+        0,
+    );
+    single.apply(Command::Tick, 0);
+    let Response::Snapshot { snapshot: v2 } = single.apply(Command::Snapshot, 0) else {
+        panic!("snapshot failed");
+    };
+
+    // Wrap into a v3 envelope and restore it as a 1-shard federation.
+    let envelope = wrap_v2_snapshot(&v2).unwrap();
+    let json = serde_json::to_string(&envelope).unwrap();
+    let mut federated = ShardCoordinator::from_federated_json(&json).unwrap();
+    assert_eq!(federated.num_shards(), 1);
+    assert_eq!(federated.rounds_run(), 1);
+
+    // Shard 0 is the identity encoding: the v2 tenant handle works verbatim,
+    // and both daemons produce the same next round.
+    let Response::RoundCompleted(single_round) = single.apply(Command::Tick, 0) else {
+        panic!("tick failed");
+    };
+    let Response::RoundCompleted(fed_round) = federated.apply(Command::Tick, 0) else {
+        panic!("tick failed");
+    };
+    assert_rounds_match(
+        std::slice::from_ref(&single_round),
+        std::slice::from_ref(&fed_round),
+    );
+    assert_eq!(fed_round.tenants[0].tenant, tenant);
+
+    let r = federated.apply(Command::TenantLeave { tenant }, 0);
+    assert!(matches!(r, Response::TenantLeft { .. }), "{r:?}");
+}

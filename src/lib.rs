@@ -21,6 +21,9 @@
 //! * [`service`] — the online middleware face: a multi-tenant scheduling daemon with
 //!   tenant lifecycle, snapshot/restore and a line-delimited JSON wire protocol over
 //!   TCP (`oef-serviced` / `oef-servicectl`).
+//! * [`shard`] — sharded cluster federation: a coordinator routing that same wire
+//!   protocol across N scheduler shards with shard-aware handles, parallel per-shard
+//!   solves and federated (v3) snapshots.
 //!
 //! # Quickstart
 //!
@@ -48,6 +51,7 @@ pub use oef_core as core;
 pub use oef_lp as lp;
 pub use oef_schedulers as schedulers;
 pub use oef_service as service;
+pub use oef_shard as shard;
 pub use oef_sim as sim;
 pub use oef_workloads as workloads;
 
