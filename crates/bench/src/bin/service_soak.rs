@@ -26,6 +26,16 @@
 //! is the scheduling round itself — solve, placement, job progress, merge —
 //! not the O(tenants) JSON encoding of the reply, which is identical at
 //! every shard count and would otherwise flatten the curve.
+//!
+//! **`--rebalance` mode** measures the online rebalancer and writes
+//! `BENCH_rebalance.json`: a zipf-skewed churn trace (`ChurnConfig::skew`,
+//! head tenants carrying most of the job budget) replayed twice against the
+//! same federation — once untouched, once with a `Rebalance` pass every
+//! `REBALANCE_EVERY_ROUNDS` rounds.  Least-loaded placement keeps
+//! *registered*-tenant counts even, so the imbalance the skew strands is job
+//! load; the report tracks per-shard job/tenant spread, the slowest shard's
+//! solve EWMA (the parallel tick's critical path on multicore hardware) and
+//! the round throughput of both modes.
 
 use oef_cluster::ClusterTopology;
 use oef_service::{
@@ -50,7 +60,7 @@ const ROUND_SECS: f64 = 300.0;
 /// `BENCH_solver.json`.
 const SHARD_SWEEP_TENANTS: usize = 96;
 
-fn churn_trace(tenants: usize, seed: u64, cluster_devices: usize) -> ChurnTrace {
+fn churn_trace(tenants: usize, seed: u64, cluster_devices: usize, skew: f64) -> ChurnTrace {
     let trace = PhillyTraceGenerator::new(TraceConfig {
         num_tenants: tenants,
         jobs_per_tenant: 10,
@@ -72,6 +82,7 @@ fn churn_trace(tenants: usize, seed: u64, cluster_devices: usize) -> ChurnTrace 
             linger_rounds: LINGER_ROUNDS,
             reprofile_every_rounds: 24,
             reprofile_jitter: 0.03,
+            skew,
             // Topology churn: a transient host joins every ~60 rounds and
             // leaves 40 rounds later, exercising the stable host-handle path
             // (capacity changes warm-repair the LP instead of re-shaping it).
@@ -244,7 +255,7 @@ fn drive_in_process<C: CommandHandler>(core: &mut C, churn: &ChurnTrace) -> RunS
 
 /// Classic single-daemon soak: BENCH_service.json, warm-hit-rate acceptance.
 fn classic_soak(tenants: usize, seed: u64) {
-    let churn = churn_trace(tenants, seed, 24);
+    let churn = churn_trace(tenants, seed, 24, 0.0);
     println!(
         "soak: {} tenants, {} churn events over {} rounds",
         tenants,
@@ -353,7 +364,7 @@ fn shard_sweep(max_shards: usize, tenants: usize, seed: u64) {
     }
 
     let total_devices = 24 * max_shards;
-    let churn = churn_trace(tenants, seed, total_devices);
+    let churn = churn_trace(tenants, seed, total_devices, 0.0);
     println!(
         "shard sweep: {} tenants over {:?} shard(s), {} devices total, {} churn events, {} rounds",
         tenants,
@@ -447,12 +458,225 @@ fn shard_sweep(max_shards: usize, tenants: usize, seed: u64) {
     }
 }
 
+/// Rebalance bookkeeping collected alongside one federated replay.  The
+/// headline imbalance signal is the *job* spread: under a zipf-skewed trace
+/// the head tenants carry most of the jobs, so least-loaded placement keeps
+/// registered-tenant counts even while job load (placement cost, active
+/// tenants, solve work) piles onto whichever shards drew the head tenants.
+#[derive(Default)]
+struct BalanceTrack {
+    /// Tenants migrated by periodic `Rebalance` passes.
+    migrations: u64,
+    /// Sum over sampled rounds of the per-shard job-count spread (max − min).
+    job_spread_sum: f64,
+    /// Largest sampled job spread.
+    job_spread_max: usize,
+    /// Sum over sampled rounds of the tenant-count spread.
+    tenant_spread_sum: f64,
+    /// Largest sampled tenant spread.
+    tenant_spread_max: usize,
+    /// Sum over sampled rounds of the *slowest shard's* solve-latency EWMA —
+    /// the parallel tick's critical path, i.e. what round latency becomes
+    /// once shards overlap on separate cores.
+    critical_solve_sum: f64,
+    /// Sampled rounds.
+    samples: u64,
+}
+
+impl BalanceTrack {
+    fn avg_job_spread(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.job_spread_sum / self.samples as f64
+        }
+    }
+
+    fn avg_tenant_spread(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.tenant_spread_sum / self.samples as f64
+        }
+    }
+
+    fn avg_critical_solve(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.critical_solve_sum / self.samples as f64
+        }
+    }
+}
+
+/// Replays the churn against a federation, optionally running a `Rebalance`
+/// pass every `rebalance_every` ticks (0 disables), and samples the per-shard
+/// job/tenant spread and solve EWMA each round.  The probes (and the
+/// rebalance passes themselves) execute inside `replay`'s timed window, so
+/// their measured cost is subtracted from `tick_secs` afterwards —
+/// `round_throughput` compares *scheduling rounds* in both modes.  (The
+/// migrations' indirect cost — the cold re-solve each one forces — stays in,
+/// as it should: it is a real per-round price of moving a tenant.)
+fn drive_federation(
+    core: &mut ShardCoordinator,
+    churn: &ChurnTrace,
+    rebalance_every: usize,
+) -> (RunStats, BalanceTrack) {
+    let mut track = BalanceTrack::default();
+    let mut ticks = 0usize;
+    let mut probe_secs = 0.0f64;
+    let mut stats = replay(churn, |command| {
+        if matches!(command, Command::Tick) {
+            // The probes below run inside the window `replay` times as
+            // tick_secs; measure them so their cost can be subtracted and
+            // round throughput keeps meaning "scheduling rounds per second"
+            // in both modes.
+            let probe_started = Instant::now();
+            ticks += 1;
+            if rebalance_every > 0 && ticks.is_multiple_of(rebalance_every) {
+                match core.apply(Command::Rebalance, 0) {
+                    Response::Rebalanced(report) => track.migrations += report.moves.len() as u64,
+                    other => panic!("rebalance pass failed: {other:?}"),
+                }
+            }
+            let Response::Status(status) = core.apply(Command::Status, 0) else {
+                panic!("status unreadable");
+            };
+            let jobs_max = status.shards.iter().map(|s| s.jobs).max().unwrap_or(0);
+            let jobs_min = status.shards.iter().map(|s| s.jobs).min().unwrap_or(0);
+            track.job_spread_sum += (jobs_max - jobs_min) as f64;
+            track.job_spread_max = track.job_spread_max.max(jobs_max - jobs_min);
+            let tenants_max = status.shards.iter().map(|s| s.tenants).max().unwrap_or(0);
+            let tenants_min = status.shards.iter().map(|s| s.tenants).min().unwrap_or(0);
+            track.tenant_spread_sum += (tenants_max - tenants_min) as f64;
+            track.tenant_spread_max = track.tenant_spread_max.max(tenants_max - tenants_min);
+            track.critical_solve_sum += status
+                .shards
+                .iter()
+                .map(|s| s.solve_ewma_secs)
+                .fold(0.0, f64::max);
+            track.samples += 1;
+            probe_secs += probe_started.elapsed().as_secs_f64();
+        }
+        core.apply(command, 0)
+    });
+    stats.tick_secs = (stats.tick_secs - probe_secs).max(0.0);
+    (stats, track)
+}
+
+/// Rebalance-on vs rebalance-off under a skewed churn trace: same federation
+/// shape, same workload, the only difference is a `Rebalance` pass every
+/// `REBALANCE_EVERY_ROUNDS`.  Writes `BENCH_rebalance.json`.
+fn rebalance_compare(shards: usize, tenants: usize, seed: u64) {
+    const SKEW: f64 = 1.0;
+    const REBALANCE_EVERY_ROUNDS: usize = 25;
+    assert!(shards >= 2, "--rebalance needs at least 2 shards");
+    let total_devices = 24 * shards;
+    let churn = churn_trace(tenants, seed, total_devices, SKEW);
+    println!(
+        "rebalance compare: {} tenants (skew {SKEW}) over {} shards, {} churn events, {} rounds, \
+         rebalance every {REBALANCE_EVERY_ROUNDS} rounds",
+        tenants,
+        shards,
+        churn.num_events(),
+        churn.rounds
+    );
+
+    let mut modes = Vec::new();
+    for &rebalance_every in &[0usize, REBALANCE_EVERY_ROUNDS] {
+        let config = service_config(tenants, 6 * shards + 8);
+        let mut coordinator = ShardCoordinator::new(
+            (0..shards)
+                .map(|_| shard_topology(shards, shards))
+                .collect(),
+            config,
+            placement_from_name("least-loaded").unwrap(),
+        )
+        .expect("coordinator builds");
+        let (stats, track) = drive_federation(&mut coordinator, &churn, rebalance_every);
+        println!(
+            "  rebalance={}: {:.1} rounds/s, warm hit {:.1}%, job spread avg {:.1} / max {}, \
+             tenant spread avg {:.2} / max {}, critical-path solve avg {:.6}s, {} migration(s)",
+            if rebalance_every > 0 { "on" } else { "off" },
+            stats.round_throughput(),
+            stats.metrics.warm_hit_rate * 100.0,
+            track.avg_job_spread(),
+            track.job_spread_max,
+            track.avg_tenant_spread(),
+            track.tenant_spread_max,
+            track.avg_critical_solve(),
+            track.migrations,
+        );
+        modes.push((rebalance_every, stats, track));
+    }
+
+    let (_, off_stats, off_track) = &modes[0];
+    let (_, on_stats, on_track) = &modes[1];
+    let doc = serde_json::json!({
+        "experiment": "rebalance_compare",
+        "policy": "oef-noncooperative",
+        "rebalance_policy": "threshold",
+        "shards": shards,
+        "tenants": tenants,
+        "skew": SKEW,
+        "rounds": churn.rounds,
+        "rebalance_every_rounds": REBALANCE_EVERY_ROUNDS,
+        "off": {
+            "round_throughput_per_sec": off_stats.round_throughput(),
+            "warm_hit_rate": off_stats.metrics.warm_hit_rate,
+            "avg_job_spread": off_track.avg_job_spread(),
+            "max_job_spread": off_track.job_spread_max,
+            "avg_tenant_spread": off_track.avg_tenant_spread(),
+            "max_tenant_spread": off_track.tenant_spread_max,
+            "avg_critical_solve_secs": off_track.avg_critical_solve(),
+            "rounds_solved": off_stats.solved_ticks,
+            "tick_secs_total": off_stats.tick_secs,
+        },
+        "on": {
+            "round_throughput_per_sec": on_stats.round_throughput(),
+            "warm_hit_rate": on_stats.metrics.warm_hit_rate,
+            "avg_job_spread": on_track.avg_job_spread(),
+            "max_job_spread": on_track.job_spread_max,
+            "avg_tenant_spread": on_track.avg_tenant_spread(),
+            "max_tenant_spread": on_track.tenant_spread_max,
+            "avg_critical_solve_secs": on_track.avg_critical_solve(),
+            "migrations": on_track.migrations,
+            "rounds_solved": on_stats.solved_ticks,
+            "tick_secs_total": on_stats.tick_secs,
+            "throughput_vs_off": on_stats.round_throughput() / off_stats.round_throughput(),
+            "critical_solve_vs_off": if off_track.avg_critical_solve() == 0.0 { 1.0 } else {
+                on_track.avg_critical_solve() / off_track.avg_critical_solve()
+            },
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rebalance.json");
+    std::fs::write(path, serde_json::to_string(&doc).expect("doc serializes"))
+        .expect("write BENCH_rebalance.json");
+    println!("wrote {path}");
+
+    assert!(
+        on_track.migrations > 0,
+        "a skewed trace must trigger migrations"
+    );
+    assert!(
+        on_track.avg_job_spread() < off_track.avg_job_spread(),
+        "rebalancing should shrink the average job spread: on {:.2} vs off {:.2}",
+        on_track.avg_job_spread(),
+        off_track.avg_job_spread()
+    );
+}
+
 fn main() {
     let mut tenants: Option<usize> = None;
     let mut seed = 7u64;
     let mut shards: Option<usize> = None;
+    let mut rebalance = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
+        if flag == "--rebalance" {
+            rebalance = true;
+            continue;
+        }
         match (flag.as_str(), args.next()) {
             ("--tenants", Some(v)) => tenants = Some(v.parse().expect("--tenants wants a number")),
             ("--seed", Some(v)) => seed = v.parse().expect("--seed wants a number"),
@@ -462,16 +686,26 @@ fn main() {
                 shards = Some(n);
             }
             (other, _) => {
-                panic!("unknown flag `{other}` (supported: --tenants N, --seed S, --shards N)")
+                panic!(
+                    "unknown flag `{other}` (supported: --tenants N, --seed S, --shards N, \
+                     --rebalance)"
+                )
             }
         }
     }
 
-    match shards {
+    match (rebalance, shards) {
+        (true, shards) => rebalance_compare(
+            shards.unwrap_or(4),
+            tenants.unwrap_or(SHARD_SWEEP_TENANTS),
+            seed,
+        ),
         // `--shards 1` is a real (single-point) sweep, not the classic soak:
         // it uses the sweep's topology and tenant defaults and writes
         // BENCH_shard.json, so its numbers stay comparable to other sweeps.
-        Some(max_shards) => shard_sweep(max_shards, tenants.unwrap_or(SHARD_SWEEP_TENANTS), seed),
-        None => classic_soak(tenants.unwrap_or(20), seed),
+        (false, Some(max_shards)) => {
+            shard_sweep(max_shards, tenants.unwrap_or(SHARD_SWEEP_TENANTS), seed)
+        }
+        (false, None) => classic_soak(tenants.unwrap_or(20), seed),
     }
 }

@@ -63,6 +63,22 @@ impl RoundingPlacer {
         }
     }
 
+    /// A tenant's full deviation row, if the table has grown to cover it.
+    /// Cross-shard migration reads this to carry the tenant's rounding debt
+    /// to its new shard — without it the target shard would re-round the
+    /// same fractional shares to different whole devices.
+    pub fn row(&self, tenant: usize) -> Option<&[f64]> {
+        self.deviation.get(tenant).map(Vec::as_slice)
+    }
+
+    /// Replaces a tenant's deviation row, growing the table as needed (the
+    /// install side of a migration).
+    pub fn set_row(&mut self, tenant: usize, row: &[f64]) {
+        self.ensure_capacity(tenant + 1, row.len());
+        self.deviation[tenant].clear();
+        self.deviation[tenant].extend_from_slice(row);
+    }
+
     /// Rounds the `ideal` fractional allocation into whole devices.
     ///
     /// * `capacities[j]` — number of physical devices of type `j`.

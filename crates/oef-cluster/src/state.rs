@@ -133,6 +133,15 @@ impl ClusterState {
         Ok(())
     }
 
+    /// Raises the job-id counter so no future [`ClusterState::submit_job`]
+    /// mints an id below `min_next`.  A tenant migrating in from another
+    /// shard keeps its job ids (clients hold them), and those ids were minted
+    /// by a *different* state's counter — without the bump, this state could
+    /// later hand the same tenant a duplicate id.
+    pub fn reserve_job_ids(&mut self, min_next: u64) {
+        self.next_job_id = self.next_job_id.max(min_next);
+    }
+
     /// Adds a job to an existing tenant, assigning it a fresh [`JobId`].
     pub fn submit_job(&mut self, tenant: usize, mut job: Job) -> JobId {
         let id = JobId(self.next_job_id);

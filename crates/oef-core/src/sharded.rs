@@ -97,6 +97,101 @@ pub fn format(handle: u64) -> String {
     }
 }
 
+/// Parses an operator-facing handle: either a plain decimal `u64` or the
+/// `shard:slot@generation` form that [`format`] prints (so a handle copied
+/// out of `oef-servicectl status` can be pasted straight back into
+/// `oef-servicectl migrate`).  Returns `None` on malformed input or on a
+/// shard/generation outside the bit layout.
+pub fn parse(text: &str) -> Option<u64> {
+    if let Ok(raw) = text.parse::<u64>() {
+        return Some(raw);
+    }
+    let (shard_text, rest) = text.split_once(':')?;
+    let (slot_text, generation_text) = rest.split_once('@')?;
+    let shard: usize = shard_text.parse().ok()?;
+    let slot: u64 = slot_text.parse().ok()?;
+    let generation: u64 = generation_text.parse().ok()?;
+    if shard >= MAX_SHARDS || generation >= (1 << GENERATION_BITS) || slot >= u64::from(u32::MAX) {
+        return None;
+    }
+    Some(encode(shard, (generation << 32) | (slot + 1)))
+}
+
+/// Non-mutating chain walk: follows the table from `handle` to the end of
+/// its forwarding chain, returning `(end, hops)`.  `Err(handle)` when more
+/// hops than entries exist — only possible for a cyclic (corrupted) table.
+/// The single source of truth for chain traversal: resolution, depth
+/// reporting and snapshot validation all build on it.
+fn chase(table: &std::collections::HashMap<u64, u64>, handle: u64) -> Result<(u64, usize), u64> {
+    let mut current = handle;
+    let mut hops = 0usize;
+    while let Some(&next) = table.get(&current) {
+        hops += 1;
+        if hops > table.len() {
+            return Err(handle);
+        }
+        current = next;
+    }
+    Ok((current, hops))
+}
+
+/// Follows a handle-forwarding table (old handle → newer handle) to the end
+/// of its chain and **compresses the path**: every entry visited is rewritten
+/// to point directly at the final handle, so the next lookup of any handle on
+/// the chain is a single hop.
+///
+/// Tables built by migration can never cycle — an entry's target is always a
+/// freshly minted handle, and a [`crate::HandleMap`] never re-issues one — but
+/// since the chase runs on client-supplied input it still guards against a
+/// corrupted table instead of spinning.
+///
+/// # Panics
+///
+/// Panics if the table contains a cycle (only possible through memory
+/// corruption or a hand-built table; never through migration — restores
+/// refuse cyclic tables up front via [`validate_acyclic`]).
+pub fn resolve_forwarded(table: &mut std::collections::HashMap<u64, u64>, handle: u64) -> u64 {
+    let (end, _) = chase(table, handle)
+        .unwrap_or_else(|start| panic!("forwarding table contains a cycle at handle {start:#x}"));
+    // Path compression: everything on the chain now points at the end.
+    let mut walk = handle;
+    while walk != end {
+        let next = table[&walk];
+        table.insert(walk, end);
+        walk = next;
+    }
+    end
+}
+
+/// Longest forwarding chain in a table (0 when empty).  An operator-facing
+/// health signal: after lookups compress their paths this hovers at 1, so a
+/// growing depth means handles are being re-migrated without being used.
+/// A corrupted (cyclic) table reports its entry count instead of spinning.
+pub fn forwarding_depth(table: &std::collections::HashMap<u64, u64>) -> usize {
+    table
+        .keys()
+        .map(|&start| match chase(table, start) {
+            Ok((_, hops)) => hops,
+            Err(_) => table.len(),
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Checks that no chain in the table cycles, returning the first handle
+/// whose chain does.  Restore paths call this so a corrupted snapshot is
+/// refused with a structured error instead of panicking a later lookup.
+///
+/// # Errors
+///
+/// `Err(handle)` names a chain start from which the walk never terminates.
+pub fn validate_acyclic(table: &std::collections::HashMap<u64, u64>) -> Result<(), u64> {
+    for &start in table.keys() {
+        chase(table, start).map_err(|_| start)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +223,45 @@ mod tests {
         // Malformed wire handles (zero low word, nonzero elsewhere) must
         // render, not underflow — they reach this formatter via error paths.
         assert_eq!(format((5 << 56) | (1 << 32)), "5:?@1");
+    }
+
+    #[test]
+    fn parse_accepts_decimal_and_formatted_handles() {
+        assert_eq!(parse("42"), Some(42));
+        let tagged = encode(2, (4 << 32) | 9);
+        assert_eq!(parse(&format(tagged)), Some(tagged));
+        assert_eq!(parse("0:0@0"), Some(1), "slot 0 is handle 1");
+        assert_eq!(parse("not-a-handle"), None);
+        assert_eq!(parse("300:0@0"), None, "shard beyond MAX_SHARDS");
+        assert_eq!(parse("1:2"), None, "missing generation");
+    }
+
+    #[test]
+    fn resolve_forwarded_chases_and_compresses() {
+        let mut table = std::collections::HashMap::new();
+        table.insert(1u64, 5u64);
+        table.insert(5, 9);
+        table.insert(9, 13);
+        assert_eq!(forwarding_depth(&table), 3);
+        assert_eq!(resolve_forwarded(&mut table, 1), 13);
+        // The chase compressed every hop to point at the end.
+        assert_eq!(table[&1], 13);
+        assert_eq!(table[&5], 13);
+        assert_eq!(forwarding_depth(&table), 1);
+        // Handles outside the table resolve to themselves.
+        assert_eq!(resolve_forwarded(&mut table, 77), 77);
+        assert_eq!(validate_acyclic(&table), Ok(()));
+        table.insert(13, 5);
+        assert!(validate_acyclic(&table).is_err(), "cycle must be reported");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn corrupted_cyclic_table_panics_instead_of_spinning() {
+        let mut table = std::collections::HashMap::new();
+        table.insert(1u64, 2u64);
+        table.insert(2, 1);
+        resolve_forwarded(&mut table, 1);
     }
 
     #[test]

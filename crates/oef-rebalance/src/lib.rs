@@ -1,0 +1,43 @@
+//! # oef-rebalance — live cross-shard tenant migration and online rebalancing
+//!
+//! PR 4's federation places whole tenants once and never moves them, so
+//! uneven churn slowly strands load on hot shards: long-lived tenants pile up
+//! wherever they happened to land, per-shard LPs grow past the warm-start
+//! sweet spot, and the parallel tick's critical path — the *slowest* shard —
+//! dominates round throughput.  This crate closes that gap with two pieces:
+//!
+//! * [`TenantMigrator`] — moves one tenant's **complete** state between two
+//!   scheduler shards: speedup profiles, unfinished jobs (ids and progress
+//!   preserved), quota usage, and the rounding placer's cumulative deviation
+//!   row, so the tenant's allocations continue bit-for-bit as if it had
+//!   always lived on the target shard.  A refused install (target full) rolls
+//!   the tenant back onto its source shard — a migration can fail, but it can
+//!   never lose a tenant.
+//! * [`Rebalancer`] — watches per-shard load ([`ShardObservation`]: tenants,
+//!   unfinished jobs, solve-latency EWMA), scores imbalance with configurable
+//!   [`LoadWeights`], and plans migrations against a pluggable
+//!   [`RebalancePolicy`] ([`ThresholdPolicy`] stops once the load spread is
+//!   within its threshold; [`GreedyTopK`] always flattens with up to k
+//!   moves).  Plans are pure data ([`MigrationPlan`]) — the coordinator in
+//!   `oef-shard` executes them and owns the handle-forwarding table that
+//!   keeps every pre-migration handle working.
+//!
+//! Everything here is deterministic: planning is a pure function of the
+//! observations and the config, ties break toward the lowest shard index and
+//! the smallest handle, so a federation and its restored snapshot plan the
+//! same moves.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod load;
+mod migrator;
+mod policy;
+mod rebalancer;
+
+pub use load::{shard_score, tenant_score, LoadWeights, ShardObservation, TenantObservation};
+pub use migrator::{MigrateFailure, TenantMigrator};
+pub use policy::{
+    rebalance_policy_from_name, GreedyTopK, MigrationPlan, PlannedMove, RebalancePolicy,
+    ThresholdPolicy,
+};
+pub use rebalancer::{Rebalancer, RebalancerConfig};

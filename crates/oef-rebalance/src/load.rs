@@ -1,0 +1,153 @@
+//! Shard load observations and the scoring that turns them into one number.
+//!
+//! The rebalancer never touches live scheduler state: the coordinator samples
+//! each shard into a [`ShardObservation`] and planning runs on the sample.
+//! Scores are deliberately simple — a weighted sum of tenants, unfinished
+//! jobs and the shard's solve-latency EWMA — because the quantity that
+//! actually throttles a federation is the slowest shard's LP, whose cost
+//! grows superlinearly in its *tenant* count; jobs and latency refine the
+//! picture without changing its shape.
+
+use oef_core::sharded;
+use oef_service::SchedulerService;
+use serde::{Deserialize, Serialize};
+
+/// One tenant as seen by the rebalancer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantObservation {
+    /// The tenant's live wire handle (shard-tagged).
+    pub handle: u64,
+    /// Unfinished jobs the tenant holds.
+    pub jobs: usize,
+}
+
+/// One shard's load at observation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardObservation {
+    /// Shard index.
+    pub shard: usize,
+    /// Live tenants on the shard, in dense order.
+    pub tenants: Vec<TenantObservation>,
+    /// Exponentially weighted moving average of the shard's per-round solve
+    /// latency, in seconds (0 before the shard's first solved round).
+    pub solve_ewma_secs: f64,
+}
+
+impl ShardObservation {
+    /// Samples one scheduler shard.  `solve_ewma_secs` comes from the
+    /// coordinator (the shard itself does not know how its solves compare
+    /// across the federation's fan-out).
+    pub fn from_service(shard: usize, service: &SchedulerService, solve_ewma_secs: f64) -> Self {
+        let state = service.state();
+        let tenants = service
+            .tenant_handles()
+            .iter()
+            .enumerate()
+            .map(|(index, &local)| TenantObservation {
+                handle: sharded::encode(shard, local),
+                jobs: state
+                    .tenant(index)
+                    .jobs
+                    .iter()
+                    .filter(|j| !j.is_finished())
+                    .count(),
+            })
+            .collect();
+        Self {
+            shard,
+            tenants,
+            solve_ewma_secs,
+        }
+    }
+
+    /// Total unfinished jobs on the shard.
+    pub fn jobs(&self) -> usize {
+        self.tenants.iter().map(|t| t.jobs).sum()
+    }
+}
+
+/// Weights combining the three load signals into one score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadWeights {
+    /// Score per registered tenant (the LP-cost driver).
+    pub tenant: f64,
+    /// Score per unfinished job (placement and progress cost).
+    pub job: f64,
+    /// Score per second of solve-latency EWMA.  Defaults to 0 so planning
+    /// stays deterministic across machines; raise it when latency — not
+    /// object counts — is the imbalance an operator cares about.
+    pub latency: f64,
+}
+
+impl Default for LoadWeights {
+    fn default() -> Self {
+        Self {
+            tenant: 1.0,
+            job: 0.25,
+            latency: 0.0,
+        }
+    }
+}
+
+/// One shard's load score under the given weights.
+pub fn shard_score(observation: &ShardObservation, weights: &LoadWeights) -> f64 {
+    observation.tenants.len() as f64 * weights.tenant
+        + observation.jobs() as f64 * weights.job
+        + observation.solve_ewma_secs * weights.latency
+}
+
+/// The score one tenant contributes to its shard (what moving it shifts).
+/// Latency is a shard-level signal and cannot be attributed to one tenant,
+/// so it does not appear here.
+pub fn tenant_score(tenant: &TenantObservation, weights: &LoadWeights) -> f64 {
+    weights.tenant + tenant.jobs as f64 * weights.job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_cluster::ClusterTopology;
+    use oef_service::{Command, Response, ServiceConfig};
+
+    #[test]
+    fn observations_sample_tenants_jobs_and_tag_handles() {
+        let mut service =
+            SchedulerService::new(ClusterTopology::paper_cluster(), ServiceConfig::default())
+                .unwrap();
+        let Response::TenantJoined { tenant } = service.apply(
+            Command::TenantJoin {
+                name: "alice".into(),
+                weight: 1,
+                speedup: vec![1.0, 1.2, 1.4],
+            },
+            0,
+        ) else {
+            panic!("join failed");
+        };
+        for _ in 0..2 {
+            service.apply(
+                Command::SubmitJob {
+                    tenant,
+                    model: "m".into(),
+                    workers: 1,
+                    total_work: 1e9,
+                },
+                0,
+            );
+        }
+        let obs = ShardObservation::from_service(3, &service, 0.5);
+        assert_eq!(obs.shard, 3);
+        assert_eq!(obs.tenants.len(), 1);
+        assert_eq!(obs.jobs(), 2);
+        assert_eq!(sharded::decode(obs.tenants[0].handle), (3, tenant));
+
+        let weights = LoadWeights::default();
+        assert!((shard_score(&obs, &weights) - 1.5).abs() < 1e-12);
+        assert!((tenant_score(&obs.tenants[0], &weights) - 1.5).abs() < 1e-12);
+        let latency_aware = LoadWeights {
+            latency: 2.0,
+            ..weights
+        };
+        assert!((shard_score(&obs, &latency_aware) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! The tenant migrator: extract-from-source, install-into-target, roll back
+//! on refusal.
+//!
+//! Migration composes the two seams `oef-service` exposes —
+//! [`SchedulerService::extract_tenant`] and
+//! [`SchedulerService::install_tenant`] — into an operation that is atomic
+//! with respect to the command stream (the coordinator is single-threaded per
+//! command) and **never loses a tenant**: if the target shard refuses the
+//! install (quota, profile arity), the extract is reinstalled on the source
+//! shard.  The reinstall necessarily mints a fresh handle — the old one died
+//! at extraction — so the failure variant reports it and the caller keeps the
+//! client's handle working by adding a forwarding entry, exactly as it would
+//! for a success.
+
+use oef_service::{CommandError, ErrorCode, SchedulerService};
+
+/// Why a migration did not land on the target shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrateFailure {
+    /// The target refused the tenant; it is back on the source shard under
+    /// `reinstalled` (a fresh shard-local handle — map the old handle to it).
+    Rejected {
+        /// Machine-readable category from the refusing shard.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+        /// The tenant's fresh handle on the *source* shard.
+        reinstalled: u64,
+    },
+    /// Both the install and the rollback failed — the tenant's state is
+    /// gone.  Unreachable through the wire (a freshly extracted tenant always
+    /// fits back into the slot it vacated); kept as data rather than a panic
+    /// so a daemon survives even a logic bug here.
+    Lost {
+        /// What failed.
+        message: String,
+    },
+}
+
+impl MigrateFailure {
+    /// The wire error this failure should surface as.
+    pub fn to_command_error(&self) -> CommandError {
+        match self {
+            MigrateFailure::Rejected { code, message, .. } => (*code, message.clone()),
+            MigrateFailure::Lost { message } => (ErrorCode::Internal, message.clone()),
+        }
+    }
+}
+
+impl std::fmt::Display for MigrateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateFailure::Rejected { code, message, .. } => {
+                write!(f, "target shard refused the tenant ({code}): {message}")
+            }
+            MigrateFailure::Lost { message } => {
+                write!(f, "tenant state lost mid-migration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrateFailure {}
+
+/// Moves tenants between scheduler shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantMigrator;
+
+impl TenantMigrator {
+    /// Moves the tenant behind `local_handle` from `shards[from]` to
+    /// `shards[to]`, returning the fresh shard-local handle the target
+    /// minted.
+    ///
+    /// # Errors
+    ///
+    /// * `Rejected` with the source shard's error when the handle is unknown
+    ///   (`reinstalled` is 0 — nothing was extracted).
+    /// * `Rejected` with the target's refusal when the install fails; the
+    ///   tenant is back on the source under the reported fresh handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from == to` or either index is out of bounds — routing
+    /// bugs, never wire input (the coordinator validates shard indices).
+    pub fn migrate(
+        shards: &mut [SchedulerService],
+        from: usize,
+        to: usize,
+        local_handle: u64,
+    ) -> Result<u64, MigrateFailure> {
+        assert!(from < shards.len() && to < shards.len(), "shard bounds");
+        assert_ne!(from, to, "migration source and target must differ");
+        let extract = shards[from]
+            .extract_tenant(local_handle)
+            .map_err(|(code, message)| MigrateFailure::Rejected {
+                code,
+                message,
+                reinstalled: 0,
+            })?;
+        match shards[to].install_tenant(extract.clone()) {
+            Ok(new_local) => Ok(new_local),
+            Err((code, message)) => match shards[from].install_tenant(extract) {
+                Ok(reinstalled) => Err(MigrateFailure::Rejected {
+                    code,
+                    message,
+                    reinstalled,
+                }),
+                Err((_, rollback)) => Err(MigrateFailure::Lost {
+                    message: format!(
+                        "install on shard {to} failed ({message}), rollback onto shard {from} \
+                         also failed ({rollback})"
+                    ),
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oef_cluster::ClusterTopology;
+    use oef_service::{Command, Response, ServiceConfig, ServiceLimits};
+
+    fn shard(max_tenants: usize) -> SchedulerService {
+        SchedulerService::new(
+            ClusterTopology::paper_cluster(),
+            ServiceConfig {
+                limits: ServiceLimits {
+                    max_tenants,
+                    ..ServiceLimits::default()
+                },
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn join(service: &mut SchedulerService, name: &str) -> u64 {
+        match service.apply(
+            Command::TenantJoin {
+                name: name.into(),
+                weight: 1,
+                speedup: vec![1.0, 1.2, 1.4],
+            },
+            0,
+        ) {
+            Response::TenantJoined { tenant } => tenant,
+            other => panic!("join failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migrate_moves_the_tenant_and_mints_on_the_target() {
+        let mut shards = vec![shard(8), shard(8)];
+        let alice = join(&mut shards[0], "alice");
+        let new_local = TenantMigrator::migrate(&mut shards, 0, 1, alice).unwrap();
+        assert_eq!(shards[0].tenant_handles().len(), 0);
+        assert_eq!(shards[1].tenant_handles(), &[new_local]);
+        assert_eq!(shards[1].state().tenant(0).name, "alice");
+        // The old local handle is dead on the source.
+        let err = shards[0].extract_tenant(alice).unwrap_err();
+        assert_eq!(err.0, ErrorCode::UnknownTenant);
+    }
+
+    #[test]
+    fn refused_install_rolls_the_tenant_back() {
+        let mut shards = vec![shard(8), shard(0)];
+        let alice = join(&mut shards[0], "alice");
+        let failure = TenantMigrator::migrate(&mut shards, 0, 1, alice).unwrap_err();
+        let MigrateFailure::Rejected {
+            code, reinstalled, ..
+        } = failure
+        else {
+            panic!("expected Rejected, got {failure:?}");
+        };
+        assert_eq!(code, ErrorCode::QuotaExceeded);
+        assert_ne!(reinstalled, 0);
+        assert_ne!(reinstalled, alice, "rollback re-mints the handle");
+        assert_eq!(shards[0].tenant_handles(), &[reinstalled]);
+        assert_eq!(shards[0].state().tenant(0).name, "alice");
+        assert_eq!(shards[1].tenant_handles().len(), 0);
+    }
+
+    #[test]
+    fn unknown_handle_fails_without_touching_either_shard() {
+        let mut shards = vec![shard(8), shard(8)];
+        join(&mut shards[0], "alice");
+        let failure = TenantMigrator::migrate(&mut shards, 0, 1, 999).unwrap_err();
+        assert!(matches!(
+            failure,
+            MigrateFailure::Rejected {
+                code: ErrorCode::UnknownTenant,
+                reinstalled: 0,
+                ..
+            }
+        ));
+        assert_eq!(shards[0].tenant_handles().len(), 1);
+        assert_eq!(shards[1].tenant_handles().len(), 0);
+    }
+}

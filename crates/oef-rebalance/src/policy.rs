@@ -1,0 +1,334 @@
+//! Rebalance planning: pure policies turning load observations into a
+//! [`MigrationPlan`].
+//!
+//! A policy simulates its own moves on a scratch copy of the scores, so a
+//! plan's `imbalance_after` is exactly what executing it will produce (moves
+//! only shift load, they never create or destroy it).  Every move in a plan
+//! is *strictly improving* — it narrows the gap between the shards it
+//! touches — which both bounds plan length and prevents oscillation: a
+//! rebalance pass over a balanced federation plans nothing.
+
+use crate::load::{shard_score, tenant_score, LoadWeights, ShardObservation};
+
+/// One planned tenant move (by live wire handle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedMove {
+    /// The tenant's current wire handle.
+    pub tenant: u64,
+    /// Source shard.
+    pub from: usize,
+    /// Target shard.
+    pub to: usize,
+}
+
+/// What a policy decided: the moves plus the score spread before and after
+/// (simulated; execution reproduces it exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// Moves in execution order.
+    pub moves: Vec<PlannedMove>,
+    /// Score spread (max − min over shards) before any move.
+    pub imbalance_before: f64,
+    /// Score spread after all planned moves.
+    pub imbalance_after: f64,
+}
+
+impl MigrationPlan {
+    /// A plan that moves nothing.
+    pub fn empty(imbalance: f64) -> Self {
+        Self {
+            moves: Vec::new(),
+            imbalance_before: imbalance,
+            imbalance_after: imbalance,
+        }
+    }
+}
+
+/// A strategy planning migrations from observed shard load.
+///
+/// `threshold` is the score spread considered balanced and `max_moves` caps
+/// the plan length; policies are free to interpret or ignore the threshold
+/// (greedy top-k does), but must respect the cap.
+pub trait RebalancePolicy: Send {
+    /// Wire name of the policy (used in snapshots and configs).
+    fn name(&self) -> &'static str;
+
+    /// Plans migrations over the observed loads.
+    fn plan(
+        &self,
+        observations: &[ShardObservation],
+        weights: &LoadWeights,
+        threshold: f64,
+        max_moves: usize,
+    ) -> MigrationPlan;
+}
+
+/// Mutable planning scratch shared by the built-in policies: per-shard
+/// scores plus the movable tenants (handle, score) per shard.
+struct Scratch {
+    scores: Vec<f64>,
+    tenants: Vec<Vec<(u64, f64)>>,
+}
+
+impl Scratch {
+    fn new(observations: &[ShardObservation], weights: &LoadWeights) -> Self {
+        Self {
+            scores: observations
+                .iter()
+                .map(|o| shard_score(o, weights))
+                .collect(),
+            tenants: observations
+                .iter()
+                .map(|o| {
+                    o.tenants
+                        .iter()
+                        .map(|t| (t.handle, tenant_score(t, weights)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    fn spread(&self) -> f64 {
+        let max = self.scores.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.scores.iter().cloned().fold(f64::MAX, f64::min);
+        if self.scores.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Most- and least-loaded shard, ties toward the lowest index.
+    fn extremes(&self) -> (usize, usize) {
+        let mut max_i = 0;
+        let mut min_i = 0;
+        for (i, &s) in self.scores.iter().enumerate() {
+            if s > self.scores[max_i] {
+                max_i = i;
+            }
+            if s < self.scores[min_i] {
+                min_i = i;
+            }
+        }
+        (max_i, min_i)
+    }
+
+    /// Executes one simulated move and records it.
+    fn apply(&mut self, moves: &mut Vec<PlannedMove>, from: usize, to: usize, pick: usize) {
+        let (handle, score) = self.tenants[from].remove(pick);
+        self.scores[from] -= score;
+        self.scores[to] += score;
+        self.tenants[to].push((handle, score));
+        moves.push(PlannedMove {
+            tenant: handle,
+            from,
+            to,
+        });
+    }
+}
+
+/// Index of the tenant on `from` whose move best levels the pairwise gap:
+/// the score closest to `gap / 2`, subject to strict improvement
+/// (`0 < score < gap`).  Ties break toward the smallest handle so planning
+/// is deterministic.  `None` when no tenant improves the gap.
+fn best_leveling_pick(scratch: &Scratch, from: usize, gap: f64) -> Option<usize> {
+    scratch.tenants[from]
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, score))| *score > 0.0 && *score < gap)
+        .min_by(|(_, (ha, sa)), (_, (hb, sb))| {
+            (gap - 2.0 * sa)
+                .abs()
+                .partial_cmp(&(gap - 2.0 * sb).abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ha.cmp(hb))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Index of the heaviest strictly-improving tenant on `from` (ties toward
+/// the smallest handle).
+fn heaviest_improving_pick(scratch: &Scratch, from: usize, gap: f64) -> Option<usize> {
+    scratch.tenants[from]
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, score))| *score > 0.0 && *score < gap)
+        .max_by(|(_, (ha, sa)), (_, (hb, sb))| {
+            sa.partial_cmp(sb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(hb.cmp(ha))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Moves tenants from the most- to the least-loaded shard until the score
+/// spread falls within `threshold` (or nothing improves).  Each move picks
+/// the tenant whose score best levels the pair — large tenants jump whole
+/// gaps, small ones fine-tune.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThresholdPolicy;
+
+impl RebalancePolicy for ThresholdPolicy {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn plan(
+        &self,
+        observations: &[ShardObservation],
+        weights: &LoadWeights,
+        threshold: f64,
+        max_moves: usize,
+    ) -> MigrationPlan {
+        let mut scratch = Scratch::new(observations, weights);
+        let imbalance_before = scratch.spread();
+        let mut moves = Vec::new();
+        while moves.len() < max_moves {
+            let (from, to) = scratch.extremes();
+            let gap = scratch.scores[from] - scratch.scores[to];
+            if gap <= threshold {
+                break;
+            }
+            let Some(pick) = best_leveling_pick(&scratch, from, gap) else {
+                break;
+            };
+            scratch.apply(&mut moves, from, to, pick);
+        }
+        MigrationPlan {
+            imbalance_after: scratch.spread(),
+            imbalance_before,
+            moves,
+        }
+    }
+}
+
+/// Always flattens: up to `max_moves` moves, each shifting the *heaviest*
+/// improvable tenant from the most- to the least-loaded shard, regardless of
+/// any threshold.  Useful when an operator wants one decisive pass rather
+/// than convergence-to-within-epsilon.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyTopK;
+
+impl RebalancePolicy for GreedyTopK {
+    fn name(&self) -> &'static str {
+        "greedy-top-k"
+    }
+
+    fn plan(
+        &self,
+        observations: &[ShardObservation],
+        weights: &LoadWeights,
+        _threshold: f64,
+        max_moves: usize,
+    ) -> MigrationPlan {
+        let mut scratch = Scratch::new(observations, weights);
+        let imbalance_before = scratch.spread();
+        let mut moves = Vec::new();
+        while moves.len() < max_moves {
+            let (from, to) = scratch.extremes();
+            let gap = scratch.scores[from] - scratch.scores[to];
+            let Some(pick) = heaviest_improving_pick(&scratch, from, gap) else {
+                break;
+            };
+            scratch.apply(&mut moves, from, to, pick);
+        }
+        MigrationPlan {
+            imbalance_after: scratch.spread(),
+            imbalance_before,
+            moves,
+        }
+    }
+}
+
+/// Builds a boxed policy from its wire name (`threshold`, `greedy-top-k`).
+pub fn rebalance_policy_from_name(name: &str) -> Option<Box<dyn RebalancePolicy>> {
+    match name {
+        "threshold" => Some(Box::new(ThresholdPolicy)),
+        "greedy-top-k" => Some(Box::new(GreedyTopK)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::TenantObservation;
+
+    fn obs(shard: usize, tenant_jobs: &[usize]) -> ShardObservation {
+        ShardObservation {
+            shard,
+            tenants: tenant_jobs
+                .iter()
+                .enumerate()
+                .map(|(i, &jobs)| TenantObservation {
+                    handle: ((shard as u64) << 56) | (i as u64 + 1),
+                    jobs,
+                })
+                .collect(),
+            solve_ewma_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn threshold_policy_converges_within_threshold() {
+        // Shard 0 holds 6 one-job tenants (score 7.5), shard 1 none.
+        let observations = [obs(0, &[1, 1, 1, 1, 1, 1]), obs(1, &[])];
+        let plan = ThresholdPolicy.plan(&observations, &LoadWeights::default(), 2.0, 16);
+        assert!(plan.imbalance_before > 7.0);
+        assert!(
+            plan.imbalance_after <= 2.0,
+            "spread {} should be within the threshold",
+            plan.imbalance_after
+        );
+        assert!(
+            plan.moves.iter().all(|m| m.from == 0 && m.to == 1),
+            "{:?}",
+            plan.moves
+        );
+        // Balanced input plans nothing.
+        let balanced = [obs(0, &[1, 1]), obs(1, &[1, 1])];
+        let plan = ThresholdPolicy.plan(&balanced, &LoadWeights::default(), 2.0, 16);
+        assert!(plan.moves.is_empty());
+        assert_eq!(plan.imbalance_before, plan.imbalance_after);
+    }
+
+    #[test]
+    fn threshold_policy_respects_the_move_cap() {
+        let observations = [obs(0, &[1; 10]), obs(1, &[])];
+        let plan = ThresholdPolicy.plan(&observations, &LoadWeights::default(), 0.5, 2);
+        assert_eq!(plan.moves.len(), 2);
+        assert!(plan.imbalance_after < plan.imbalance_before);
+    }
+
+    #[test]
+    fn greedy_top_k_moves_the_heaviest_tenants_first() {
+        // One heavy tenant (8 jobs → score 3.0) among light ones.
+        let observations = [obs(0, &[8, 1, 1]), obs(1, &[1])];
+        let plan = GreedyTopK.plan(&observations, &LoadWeights::default(), 999.0, 1);
+        assert_eq!(plan.moves.len(), 1, "threshold is ignored");
+        let heavy = observations[0].tenants[0].handle;
+        assert_eq!(plan.moves[0].tenant, heavy);
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let observations = [obs(0, &[2, 2, 1, 1, 3]), obs(1, &[1]), obs(2, &[])];
+        let a = ThresholdPolicy.plan(&observations, &LoadWeights::default(), 1.0, 8);
+        let b = ThresholdPolicy.plan(&observations, &LoadWeights::default(), 1.0, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(
+            rebalance_policy_from_name("threshold").unwrap().name(),
+            "threshold"
+        );
+        assert_eq!(
+            rebalance_policy_from_name("greedy-top-k").unwrap().name(),
+            "greedy-top-k"
+        );
+        assert!(rebalance_policy_from_name("random").is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! The online rebalancer: configuration plus the policy it drives.
+//!
+//! A [`Rebalancer`] is the long-lived piece the coordinator owns.  Its
+//! [`RebalancerConfig`] is durable state — it rides inside the federated (v4)
+//! snapshot envelope, so a restored federation plans the same moves the
+//! original would have — while the boxed policy is rebuilt from the config's
+//! wire name on construction and restore.
+
+use crate::load::{shard_score, LoadWeights, ShardObservation};
+use crate::policy::{rebalance_policy_from_name, MigrationPlan, RebalancePolicy};
+use serde::{Deserialize, Serialize};
+
+/// Durable rebalancer configuration (part of the v4 snapshot envelope).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalancerConfig {
+    /// Policy wire name (see [`rebalance_policy_from_name`]).
+    pub policy: String,
+    /// Score spread (most- minus least-loaded shard) considered balanced.
+    /// With default weights a unit of score is one job-less tenant, so the
+    /// default of 2.0 reads "within two tenants of even".
+    pub threshold: f64,
+    /// Maximum migrations one `Rebalance` pass may execute.
+    pub max_moves: usize,
+    /// Weights combining tenants, jobs and solve latency into the score.
+    pub weights: LoadWeights,
+}
+
+impl Default for RebalancerConfig {
+    fn default() -> Self {
+        Self {
+            policy: "threshold".to_string(),
+            threshold: 2.0,
+            max_moves: 4,
+            weights: LoadWeights::default(),
+        }
+    }
+}
+
+/// The planning half of cross-shard rebalancing: owns the config and the
+/// policy; the coordinator owns execution (and the forwarding table).
+pub struct Rebalancer {
+    config: RebalancerConfig,
+    policy: Box<dyn RebalancePolicy>,
+}
+
+impl std::fmt::Debug for Rebalancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rebalancer")
+            .field("policy", &self.policy.name())
+            .field("threshold", &self.config.threshold)
+            .field("max_moves", &self.config.max_moves)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Rebalancer {
+    /// Builds a rebalancer from its durable configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown policy name when it does not resolve.
+    pub fn new(config: RebalancerConfig) -> Result<Self, String> {
+        let policy = rebalance_policy_from_name(&config.policy)
+            .ok_or_else(|| format!("unknown rebalance policy `{}`", config.policy))?;
+        Ok(Self { config, policy })
+    }
+
+    /// The durable configuration.
+    pub fn config(&self) -> &RebalancerConfig {
+        &self.config
+    }
+
+    /// The active policy's wire name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current score spread over the observed shards.
+    pub fn imbalance(&self, observations: &[ShardObservation]) -> f64 {
+        let scores: Vec<f64> = observations
+            .iter()
+            .map(|o| shard_score(o, &self.config.weights))
+            .collect();
+        match (
+            scores.iter().cloned().fold(f64::MIN, f64::max),
+            scores.iter().cloned().fold(f64::MAX, f64::min),
+        ) {
+            (max, min) if !scores.is_empty() => max - min,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether the observed spread is within the configured threshold.
+    pub fn is_balanced(&self, observations: &[ShardObservation]) -> bool {
+        self.imbalance(observations) <= self.config.threshold
+    }
+
+    /// Plans one rebalancing pass.
+    pub fn plan(&self, observations: &[ShardObservation]) -> MigrationPlan {
+        self.policy.plan(
+            observations,
+            &self.config.weights,
+            self.config.threshold,
+            self.config.max_moves,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::TenantObservation;
+
+    fn obs(shard: usize, tenants: usize) -> ShardObservation {
+        ShardObservation {
+            shard,
+            tenants: (0..tenants)
+                .map(|i| TenantObservation {
+                    handle: ((shard as u64) << 56) | (i as u64 + 1),
+                    jobs: 1,
+                })
+                .collect(),
+            solve_ewma_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = RebalancerConfig {
+            policy: "greedy-top-k".into(),
+            threshold: 1.5,
+            max_moves: 8,
+            weights: LoadWeights {
+                tenant: 1.0,
+                job: 0.5,
+                latency: 10.0,
+            },
+        };
+        let json = serde_json::to_string(&config).unwrap();
+        let back: RebalancerConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn rebalancer_plans_within_its_config() {
+        let rebalancer = Rebalancer::new(RebalancerConfig::default()).unwrap();
+        let observations = [obs(0, 8), obs(1, 0)];
+        assert!(!rebalancer.is_balanced(&observations));
+        let plan = rebalancer.plan(&observations);
+        assert!(!plan.moves.is_empty());
+        assert!(plan.moves.len() <= rebalancer.config().max_moves);
+        assert!(plan.imbalance_after < plan.imbalance_before);
+        assert!(rebalancer.is_balanced(&[obs(0, 2), obs(1, 1)]));
+    }
+
+    #[test]
+    fn unknown_policy_is_a_construction_error() {
+        let err = Rebalancer::new(RebalancerConfig {
+            policy: "chaotic".into(),
+            ..RebalancerConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("chaotic"));
+    }
+}

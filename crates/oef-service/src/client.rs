@@ -6,7 +6,8 @@
 //! sites read like local function calls.
 
 use crate::command::{
-    Command, ErrorCode, MetricsReport, Reply, Request, Response, RoundSummary, StatusReport,
+    Command, ErrorCode, MetricsReport, RebalanceReport, Reply, Request, Response, RoundSummary,
+    StatusReport,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -217,6 +218,32 @@ impl ServiceClient {
         match self.call(Command::RemoveHost { handle: host })? {
             Response::HostRemoved { .. } => Ok(()),
             other => Err(unexpected("HostRemoved", &other)),
+        }
+    }
+
+    /// Moves a tenant to another shard, returning its re-minted handle.  The
+    /// old handle keeps working (the coordinator forwards it).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`]; unsharded daemons reject the command.
+    pub fn migrate_tenant(&mut self, tenant: u64, shard: usize) -> ClientResult<u64> {
+        match self.call(Command::MigrateTenant { tenant, shard })? {
+            Response::TenantMigrated { tenant, .. } => Ok(tenant),
+            other => Err(unexpected("TenantMigrated", &other)),
+        }
+    }
+
+    /// Runs one rebalancing pass, returning the plan the coordinator
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceClient::call`]; unsharded daemons reject the command.
+    pub fn rebalance(&mut self) -> ClientResult<RebalanceReport> {
+        match self.call(Command::Rebalance)? {
+            Response::Rebalanced(report) => Ok(report),
+            other => Err(unexpected("Rebalanced", &other)),
         }
     }
 

@@ -83,6 +83,22 @@ pub enum Command {
         /// [`Command::Status`].
         handle: u64,
     },
+    /// Moves a tenant — its profile, unfinished jobs, quota usage and
+    /// rounding-deviation state — onto another shard of a federation.  The
+    /// reply carries the tenant's re-minted handle; the old handle keeps
+    /// working forever through the coordinator's forwarding table.  An
+    /// unsharded daemon rejects this with [`ErrorCode::InvalidArgument`].
+    MigrateTenant {
+        /// Tenant handle (any handle ever issued for the tenant).
+        tenant: u64,
+        /// Target shard index.
+        shard: usize,
+    },
+    /// Runs one rebalancing pass: the coordinator scores per-shard load,
+    /// plans migrations against its configured policy, executes them and
+    /// replies with the plan it executed ([`Response::Rebalanced`]).  An
+    /// unsharded daemon rejects this with [`ErrorCode::InvalidArgument`].
+    Rebalance,
     /// Runs one scheduling round: re-solves the allocation (warm-started),
     /// places devices and advances jobs by one round.
     Tick,
@@ -189,6 +205,8 @@ pub struct MetricsReport {
     pub tenants: usize,
     /// Hosts currently in the topology.
     pub hosts: usize,
+    /// Tenants moved between shards since start (0 on an unsharded daemon).
+    pub tenants_migrated: u64,
 }
 
 /// One host as reported by [`Command::Status`]: its stable handle plus what
@@ -222,6 +240,39 @@ pub struct ShardStatusEntry {
     pub total_devices: usize,
     /// Rounds this shard has completed.
     pub round: usize,
+    /// Exponentially weighted moving average of the shard's per-round solve
+    /// latency, in seconds — the load signal the rebalancer watches alongside
+    /// tenant and job counts.
+    pub solve_ewma_secs: f64,
+}
+
+/// One executed tenant move inside a [`RebalanceReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutedMigration {
+    /// The handle the tenant held before the move (still usable: it forwards).
+    pub previous: u64,
+    /// The handle minted on the target shard.
+    pub tenant: u64,
+    /// Source shard.
+    pub from: usize,
+    /// Target shard.
+    pub to: usize,
+}
+
+/// Outcome of a [`Command::Rebalance`] pass: the plan the coordinator
+/// actually executed, plus the load imbalance it observed before and after.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// Rebalance policy that produced the plan.
+    pub policy: String,
+    /// Load-score spread (most-loaded minus least-loaded shard) before.
+    pub imbalance_before: f64,
+    /// Load-score spread after the executed moves.
+    pub imbalance_after: f64,
+    /// The spread the policy tries to stay within.
+    pub threshold: f64,
+    /// Executed moves, in order.
+    pub moves: Vec<ExecutedMigration>,
 }
 
 /// State summary returned by [`Command::Status`].
@@ -250,6 +301,13 @@ pub struct StatusReport {
     pub topology: Vec<HostStatusEntry>,
     /// Per-shard summaries; empty on an unsharded daemon.
     pub shards: Vec<ShardStatusEntry>,
+    /// Entries in the coordinator's handle-forwarding table (0 unsharded):
+    /// one per handle that was re-minted by a migration and not yet retired
+    /// by its tenant leaving.
+    pub forwarding_entries: usize,
+    /// Longest forwarding chain (lookups compress paths, so this hovers at
+    /// 1; 0 when no tenant ever migrated).
+    pub forwarding_depth: usize,
 }
 
 /// Reply payload for a [`Command`].
@@ -294,6 +352,24 @@ pub enum Response {
         /// The removed host's handle.
         host: u64,
     },
+    /// Tenant moved to another shard; `tenant` is the re-minted handle.  The
+    /// `previous` handle stays usable forever (the coordinator forwards it),
+    /// but new callers should prefer the fresh one — it routes in one hop.
+    TenantMigrated {
+        /// The tenant's new handle, minted by the target shard.
+        tenant: u64,
+        /// The handle the move retired: the tenant's *live* handle at the
+        /// moment of migration.  When the caller addressed the tenant
+        /// through an older alias, this is what that alias resolved to, not
+        /// the alias itself (every older alias keeps forwarding regardless).
+        previous: u64,
+        /// Source shard.
+        from: usize,
+        /// Target shard.
+        to: usize,
+    },
+    /// One rebalancing pass completed (possibly with zero moves).
+    Rebalanced(RebalanceReport),
     /// One scheduling round completed.
     RoundCompleted(RoundSummary),
     /// Metrics registry export.
@@ -368,6 +444,11 @@ mod tests {
                 num_gpus: 4,
             },
             Command::RemoveHost { handle: 5 },
+            Command::MigrateTenant {
+                tenant: (2u64 << 56) | 3,
+                shard: 1,
+            },
+            Command::Rebalance,
             Command::Tick,
             Command::Metrics,
             Command::Snapshot,
@@ -447,7 +528,10 @@ mod tests {
                         hosts: 2,
                         total_devices: 8,
                         round: 9,
+                        solve_ewma_secs: 0.0021,
                     }],
+                    forwarding_entries: 1,
+                    forwarding_depth: 1,
                 }),
             },
             Reply {
@@ -455,6 +539,30 @@ mod tests {
                 response: Response::HostAdded {
                     host: (3 << 32) | 7,
                 },
+            },
+            Reply {
+                id: 6,
+                response: Response::TenantMigrated {
+                    tenant: (1u64 << 56) | 2,
+                    previous: 3,
+                    from: 0,
+                    to: 1,
+                },
+            },
+            Reply {
+                id: 7,
+                response: Response::Rebalanced(RebalanceReport {
+                    policy: "threshold".into(),
+                    imbalance_before: 4.0,
+                    imbalance_after: 1.0,
+                    threshold: 2.0,
+                    moves: vec![ExecutedMigration {
+                        previous: 3,
+                        tenant: (1u64 << 56) | 2,
+                        from: 0,
+                        to: 1,
+                    }],
+                }),
             },
         ];
         for reply in replies {

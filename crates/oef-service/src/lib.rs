@@ -49,11 +49,15 @@ mod snapshot;
 
 pub use client::{ClientError, ClientResult, ServiceClient};
 pub use command::{
-    Command, ErrorCode, HostStatusEntry, MetricsReport, Reply, Request, Response, RoundSummary,
-    ShardStatusEntry, StatusReport, TenantRoundSummary, PROTOCOL_VERSION,
+    Command, ErrorCode, ExecutedMigration, HostStatusEntry, MetricsReport, RebalanceReport, Reply,
+    Request, Response, RoundSummary, ShardStatusEntry, StatusReport, TenantRoundSummary,
+    PROTOCOL_VERSION,
 };
 pub use metrics::ServiceMetrics;
 pub use queue::{BoundedQueue, PushError};
 pub use server::{CommandHandler, Server};
-pub use service::{policy_from_name, SchedulerService, ServiceConfig, ServiceError, ServiceLimits};
+pub use service::{
+    policy_from_name, CommandError, SchedulerService, ServiceConfig, ServiceError, ServiceLimits,
+    TenantExtract,
+};
 pub use snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};

@@ -112,6 +112,29 @@ pub fn policy_from_name(name: &str) -> Option<BoxedPolicy> {
     }
 }
 
+/// A tenant's complete portable state, as pulled out of one scheduler shard
+/// by [`SchedulerService::extract_tenant`] and pushed into another by
+/// [`SchedulerService::install_tenant`].
+///
+/// "Complete" is what makes cross-shard migration allocation-preserving: the
+/// tenant rides with its speedup profiles (true and reported), its unfinished
+/// jobs *with their ids and progress*, its weight/departure flags, and the
+/// rounding placer's cumulative deviation row — the long-run fairness debt
+/// that decides which whole devices the tenant gets next round.  Quota usage
+/// is implicit (the job list) and re-checked by the installing shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantExtract {
+    /// The tenant with all of its jobs (ids preserved — clients hold them).
+    pub tenant: oef_cluster::Tenant,
+    /// Cumulative rounding deviation per GPU type, from the source shard's
+    /// placer.
+    pub deviation: Vec<f64>,
+}
+
+/// Wire-mappable command failure: the error code plus a human-readable
+/// message, exactly what [`Response::Error`] carries.
+pub type CommandError = (ErrorCode, String);
+
 /// The single-threaded scheduling service core.
 pub struct SchedulerService {
     engine: SimulationEngine,
@@ -359,6 +382,12 @@ impl SchedulerService {
             Command::JobFinished { tenant, job } => self.job_finished(tenant, job),
             Command::AddHost { gpu_type, num_gpus } => self.add_host(gpu_type, num_gpus),
             Command::RemoveHost { handle } => self.remove_host(handle),
+            Command::MigrateTenant { .. } | Command::Rebalance => Err((
+                ErrorCode::InvalidArgument,
+                "this daemon is not sharded; tenant migration needs a federation \
+                 (start with --shards N)"
+                    .to_string(),
+            )),
             Command::Tick => self.tick(),
             Command::Metrics => Ok(self.metrics_report(queue_depth)),
             Command::Snapshot => self.snapshot(),
@@ -428,6 +457,92 @@ impl SchedulerService {
         // aligned with the compacted tenant indices.
         self.engine.remove_tenant(index);
         Ok(Response::TenantLeft { tenant: handle })
+    }
+
+    /// Whether admission control would accept one more tenant right now.
+    /// Migration planners pre-check this so a move is only attempted when the
+    /// target shard has room.
+    pub fn has_tenant_capacity(&self) -> bool {
+        self.tenants.len() < self.config.limits.max_tenants
+    }
+
+    /// Pulls a tenant's complete state out of this shard: the tenant (with
+    /// its unfinished jobs) leaves the cluster state, its handle dies, and
+    /// its rounding-deviation row is captured for the move.  The extract side
+    /// of a cross-shard migration.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownTenant`] when the handle is not registered.
+    pub fn extract_tenant(&mut self, handle: u64) -> Result<TenantExtract, CommandError> {
+        let index = self.lookup_tenant(handle)?;
+        let k = self.engine.state().topology().num_gpu_types();
+        let mut deviation = self
+            .engine
+            .rounding()
+            .row(index)
+            .map(<[f64]>::to_vec)
+            .unwrap_or_default();
+        // The placer's table grows lazily; a tenant that never saw a physical
+        // round carries an implicit all-zero row.
+        deviation.resize(k, 0.0);
+        self.tenants.remove(handle);
+        let tenant = self
+            .engine
+            .remove_tenant(index)
+            .expect("a live handle resolves to a live tenant");
+        Ok(TenantExtract { tenant, deviation })
+    }
+
+    /// Installs a tenant extracted from another shard, minting a fresh handle
+    /// for it here.  Admission control applies (the move is refused, not
+    /// forced, when this shard is full); the tenant's job ids are preserved
+    /// and the shard's job-id counter is raised past them so future ids can
+    /// never collide; the deviation row lands in this shard's placer.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::QuotaExceeded`] when the tenant limit is reached,
+    /// [`ErrorCode::InvalidArgument`] when the extract's profiles do not
+    /// cover this shard's GPU types.
+    pub fn install_tenant(&mut self, extract: TenantExtract) -> Result<u64, CommandError> {
+        if !self.has_tenant_capacity() {
+            return Err((
+                ErrorCode::QuotaExceeded,
+                format!("tenant limit {} reached", self.config.limits.max_tenants),
+            ));
+        }
+        let k = self.engine.state().topology().num_gpu_types();
+        if extract.tenant.true_speedup.num_gpu_types() != k
+            || extract.tenant.reported_speedup.num_gpu_types() != k
+            || extract.deviation.len() != k
+            || extract
+                .tenant
+                .jobs
+                .iter()
+                .any(|j| j.speedup.num_gpu_types() != k)
+        {
+            return Err((
+                ErrorCode::InvalidArgument,
+                format!(
+                    "migrated tenant `{}` does not cover this shard's {k} GPU types",
+                    extract.tenant.name
+                ),
+            ));
+        }
+        let max_job_id = extract.tenant.jobs.iter().map(|j| j.id.0).max();
+        let handle = self.tenants.insert();
+        let index = self
+            .tenants
+            .index_of(handle)
+            .expect("freshly minted handle resolves");
+        let assigned = self.engine.state_mut().add_tenant(extract.tenant);
+        debug_assert_eq!(assigned, index, "tenant index map and state diverged");
+        if let Some(max) = max_job_id {
+            self.engine.state_mut().reserve_job_ids(max + 1);
+        }
+        self.engine.install_deviation_row(index, &extract.deviation);
+        Ok(handle)
     }
 
     fn update_speedups(&mut self, handle: u64, speedup: Vec<f64>) -> CommandResult {
@@ -606,6 +721,7 @@ impl SchedulerService {
             queue_depth,
             tenants: self.tenants.len(),
             hosts: self.engine.state().topology().hosts().len(),
+            tenants_migrated: 0,
         })
     }
 
@@ -678,6 +794,8 @@ impl SchedulerService {
                 })
                 .collect(),
             shards: Vec::new(),
+            forwarding_entries: 0,
+            forwarding_depth: 0,
         })
     }
 }
@@ -1157,6 +1275,121 @@ mod tests {
             panic!("metrics failed");
         };
         assert_eq!(m.jobs_completed, 1);
+    }
+
+    #[test]
+    fn extract_install_round_trips_tenant_state() {
+        let mut src = service();
+        let mut dst = service();
+        let alice = join(&mut src, "alice", vec![1.0, 1.2, 1.4]);
+        let bob = join(&mut src, "bob", vec![1.0, 1.5, 2.0]);
+        for tenant in [alice, bob] {
+            src.apply(
+                Command::SubmitJob {
+                    tenant,
+                    model: "m".into(),
+                    workers: 2,
+                    total_work: 1e9,
+                },
+                0,
+            );
+        }
+        // A few physical rounds accrue non-trivial rounding deviations.
+        for _ in 0..3 {
+            src.apply(Command::Tick, 0);
+        }
+        let job_before: Vec<_> = src.state().tenant(0).jobs.clone();
+
+        let extract = src.extract_tenant(alice).unwrap();
+        assert_eq!(extract.tenant.name, "alice");
+        assert_eq!(extract.tenant.jobs, job_before, "jobs ride with progress");
+        assert_eq!(extract.deviation.len(), 3);
+        assert!(
+            extract.deviation.iter().any(|d| d.abs() > 1e-12),
+            "physical rounds should leave a deviation trail: {:?}",
+            extract.deviation
+        );
+        // The source forgot the tenant entirely.
+        assert_eq!(src.tenant_handles().len(), 1);
+        let r = src.apply(Command::TenantLeave { tenant: alice }, 0);
+        assert!(matches!(
+            r,
+            Response::Error {
+                code: ErrorCode::UnknownTenant,
+                ..
+            }
+        ));
+
+        let new_handle = dst.install_tenant(extract.clone()).unwrap();
+        assert_eq!(dst.tenant_handles(), &[new_handle]);
+        assert_eq!(dst.state().tenant(0).name, "alice");
+        assert_eq!(dst.state().tenant(0).jobs.len(), job_before.len());
+        assert_eq!(
+            dst.state().tenant(0).jobs[0].id,
+            job_before[0].id,
+            "job ids are preserved across the move"
+        );
+        // The old job id still resolves on the new shard.
+        let r = dst.apply(
+            Command::JobFinished {
+                tenant: new_handle,
+                job: job_before[0].id.0,
+            },
+            0,
+        );
+        assert!(matches!(r, Response::JobFinished { .. }), "{r:?}");
+        // Fresh job ids mint above the migrated ones.
+        let Response::JobSubmitted { job, .. } = dst.apply(
+            Command::SubmitJob {
+                tenant: new_handle,
+                model: "m".into(),
+                workers: 1,
+                total_work: 100.0,
+            },
+            0,
+        ) else {
+            panic!("submit failed");
+        };
+        assert!(
+            job > job_before.iter().map(|j| j.id.0).max().unwrap(),
+            "job-id counter must be reserved past migrated ids"
+        );
+
+        // Quota applies on install.
+        let config = ServiceConfig {
+            limits: ServiceLimits {
+                max_tenants: 0,
+                ..ServiceLimits::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let mut full = SchedulerService::new(ClusterTopology::paper_cluster(), config).unwrap();
+        let err = full.install_tenant(extract).unwrap_err();
+        assert_eq!(err.0, ErrorCode::QuotaExceeded);
+    }
+
+    #[test]
+    fn migration_commands_are_rejected_unsharded() {
+        let mut svc = service();
+        for command in [
+            Command::MigrateTenant {
+                tenant: 1,
+                shard: 1,
+            },
+            Command::Rebalance,
+        ] {
+            let r = svc.apply(command, 0);
+            assert!(
+                matches!(
+                    r,
+                    Response::Error {
+                        code: ErrorCode::InvalidArgument,
+                        ..
+                    }
+                ),
+                "{r:?}"
+            );
+        }
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! oef-servicectl status   <addr>          # print a status line (per shard when sharded)
+//! oef-servicectl status --shards <addr>   # per-shard load + forwarding-table view
 //! oef-servicectl metrics  <addr>          # print the metrics registry as JSON
 //! oef-servicectl tick     <addr>          # run one scheduling round
+//! oef-servicectl migrate <addr> <tenant> <shard>  # move a tenant to another shard
+//! oef-servicectl rebalance <addr>         # run one rebalancing pass, print the plan
 //! oef-servicectl snapshot <addr> <file>   # save a state snapshot
 //! oef-servicectl shutdown <addr>          # stop the daemon
 //! oef-servicectl smoke    <addr>          # scripted join/tick/leave session (CI)
 //! oef-servicectl smoke-shard <addr>       # scripted cross-shard session (CI, --shards daemon)
-//! oef-servicectl migrate-snapshot <in> <out>  # wrap a v2 snapshot into a v3 envelope
+//! oef-servicectl migrate-snapshot <in> <out>  # wrap v2 / upgrade v3 into a v4 envelope
 //! ```
 //!
 //! `smoke` drives a short but complete session — two tenants join, submit
@@ -17,12 +20,19 @@
 //! to prove a freshly built daemon serves the full protocol on a loopback
 //! port and terminates cleanly.  `smoke-shard` is its federation sibling: it
 //! requires a daemon started with `--shards ≥ 2`, spreads tenants across
-//! shards, and asserts that `Status` aggregates exactly the per-shard
-//! entries.
+//! shards, asserts that `Status` aggregates exactly the per-shard entries,
+//! migrates a tenant over the wire and re-verifies its old handle across a
+//! snapshot/restore.
+//!
+//! `migrate <tenant>` accepts either the raw decimal handle or the
+//! `shard:slot@generation` form that `status` prints, so handles can be
+//! copied straight between the two commands.
 //!
 //! `migrate-snapshot` is offline (no daemon involved): it validates a v2
-//! snapshot file and wraps it into a single-shard federated (v3) envelope
-//! that `oef-serviced --restore` will serve as a 1-shard coordinator.
+//! snapshot file and wraps it into a single-shard federated (v4) envelope —
+//! or, given a v3 envelope from a PR-4-era federation, upgrades it in place
+//! (empty forwarding table, default rebalancer) — that `oef-serviced
+//! --restore` will serve as a coordinator.
 //!
 //! Handles render as `shard:slot@generation` (e.g. `0:3@1`) — the unsharded
 //! daemon is shard 0.
@@ -34,8 +44,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.as_slice() {
         [cmd, addr] if cmd == "status" => status(addr),
+        [cmd, flag, addr] if cmd == "status" && flag == "--shards" => status_shards(addr),
         [cmd, addr] if cmd == "metrics" => metrics(addr),
         [cmd, addr] if cmd == "tick" => tick(addr),
+        [cmd, addr, tenant, shard] if cmd == "migrate" => migrate(addr, tenant, shard),
+        [cmd, addr] if cmd == "rebalance" => rebalance(addr),
         [cmd, addr, file] if cmd == "snapshot" => snapshot(addr, file),
         [cmd, addr] if cmd == "shutdown" => shutdown(addr),
         [cmd, addr] if cmd == "smoke" => smoke(addr),
@@ -43,9 +56,12 @@ fn main() {
         [cmd, input, output] if cmd == "migrate-snapshot" => migrate_snapshot(input, output),
         _ => {
             eprintln!(
-                "usage: oef-servicectl <status|metrics|tick|shutdown|smoke|smoke-shard> <addr>\n\
+                "usage: oef-servicectl <status|metrics|tick|rebalance|shutdown|smoke|smoke-shard> \
+                 <addr>\n\
+                 \x20      oef-servicectl status --shards <addr>\n\
+                 \x20      oef-servicectl migrate <addr> <tenant-handle> <shard>\n\
                  \x20      oef-servicectl snapshot <addr> <file>\n\
-                 \x20      oef-servicectl migrate-snapshot <v2-file> <v3-file>"
+                 \x20      oef-servicectl migrate-snapshot <v2-or-v3-file> <v4-file>"
             );
             std::process::exit(2);
         }
@@ -60,7 +76,7 @@ fn status(addr: &str) -> ClientResult<()> {
     let report = ServiceClient::connect(addr)?.status()?;
     println!(
         "policy={} protocol=v{} uptime={:.1}s round={} time={}s tenants={} jobs={} hosts={} \
-         devices={}",
+         devices={} forwarding={}",
         report.policy,
         report.protocol,
         report.uptime_secs,
@@ -69,7 +85,8 @@ fn status(addr: &str) -> ClientResult<()> {
         report.tenants,
         report.jobs,
         report.hosts,
-        report.total_devices
+        report.total_devices,
+        report.forwarding_entries,
     );
     for shard in &report.shards {
         println!(
@@ -83,6 +100,83 @@ fn status(addr: &str) -> ClientResult<()> {
             sharded::format(host.host),
             host.gpu_type,
             host.num_gpus
+        );
+    }
+    Ok(())
+}
+
+/// The per-shard load view: what the rebalancer sees, plus the forwarding
+/// table's health.
+fn status_shards(addr: &str) -> ClientResult<()> {
+    let report = ServiceClient::connect(addr)?.status()?;
+    if report.shards.is_empty() {
+        println!("daemon is unsharded (single scheduler, shard 0)");
+        return Ok(());
+    }
+    println!(
+        "{} shard(s), round {}, forwarding table: {} entr{} (depth {})",
+        report.shards.len(),
+        report.round,
+        report.forwarding_entries,
+        if report.forwarding_entries == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        report.forwarding_depth,
+    );
+    for shard in &report.shards {
+        println!(
+            "  shard {}: tenants={} jobs={} hosts={} devices={} solve_ewma={:.6}s",
+            shard.shard,
+            shard.tenants,
+            shard.jobs,
+            shard.hosts,
+            shard.total_devices,
+            shard.solve_ewma_secs,
+        );
+    }
+    Ok(())
+}
+
+fn migrate(addr: &str, tenant: &str, shard: &str) -> ClientResult<()> {
+    let handle = sharded::parse(tenant).ok_or_else(|| {
+        oef_service::ClientError::Protocol(format!(
+            "`{tenant}` is not a handle (use the decimal value or the shard:slot@gen form \
+             that `status` prints)"
+        ))
+    })?;
+    let target: usize = shard
+        .parse()
+        .map_err(|e| oef_service::ClientError::Protocol(format!("bad shard index: {e}")))?;
+    let fresh = ServiceClient::connect(addr)?.migrate_tenant(handle, target)?;
+    println!(
+        "tenant {} migrated to shard {target}; new handle {} ({}) — the old handle keeps \
+         working via forwarding",
+        sharded::format(handle),
+        fresh,
+        sharded::format(fresh),
+    );
+    Ok(())
+}
+
+fn rebalance(addr: &str) -> ClientResult<()> {
+    let report = ServiceClient::connect(addr)?.rebalance()?;
+    println!(
+        "policy={} imbalance {:.2} -> {:.2} (threshold {:.2}), {} move(s)",
+        report.policy,
+        report.imbalance_before,
+        report.imbalance_after,
+        report.threshold,
+        report.moves.len(),
+    );
+    for m in &report.moves {
+        println!(
+            "  moved {} from shard {} to shard {} (now {})",
+            sharded::format(m.previous),
+            m.from,
+            m.to,
+            sharded::format(m.tenant),
         );
     }
     Ok(())
@@ -117,15 +211,34 @@ fn snapshot(addr: &str, file: &str) -> ClientResult<()> {
 }
 
 fn migrate_snapshot(input: &str, output: &str) -> ClientResult<()> {
-    let v2 = std::fs::read_to_string(input).map_err(oef_service::ClientError::Io)?;
-    let envelope = oef_shard::wrap_v2_snapshot(&v2)
-        .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?;
+    let source = std::fs::read_to_string(input).map_err(oef_service::ClientError::Io)?;
+    // Dispatch on the input's version: v2 snapshots wrap into a single-shard
+    // envelope, v3 envelopes upgrade in place.  Anything else (v1 included)
+    // flows through the v2 wrapper, whose validation produces the same
+    // structured refusals the daemon would.
+    let version = serde_json::from_str::<serde::Value>(&source)
+        .ok()
+        .and_then(|v| v.get("version").and_then(serde::Value::as_u64));
+    let (envelope, what) = match version {
+        Some(3) => (
+            oef_shard::upgrade_v3_snapshot(&source)
+                .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?,
+            "upgraded v3 envelope",
+        ),
+        _ => (
+            oef_shard::wrap_v2_snapshot(&source)
+                .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?,
+            "wrapped v2 snapshot",
+        ),
+    };
     let json = serde_json::to_string(&envelope)
         .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?;
     std::fs::write(output, json).map_err(oef_service::ClientError::Io)?;
     println!(
-        "wrapped v2 snapshot {input} (round {}) into single-shard v3 envelope {output}",
-        envelope.round
+        "{what} {input} (round {}, {} shard(s)) into v{} envelope {output}",
+        envelope.round,
+        envelope.shards.len(),
+        oef_shard::FEDERATED_SNAPSHOT_VERSION,
     );
     Ok(())
 }
@@ -325,6 +438,46 @@ fn smoke_shard(addr: &str) -> ClientResult<()> {
     check(
         "metrics aggregate tenants across shards",
         metrics.tenants == 2 * shards,
+    )?;
+
+    // Live migration over the wire: move one tenant to another shard, then
+    // prove its old handle still answers — before and after a
+    // snapshot/restore round trip (the forwarding table is durable state).
+    let mover = handles[0];
+    let target = (sharded::shard_of(mover) + 1) % shards;
+    let fresh = client.migrate_tenant(mover, target)?;
+    check(
+        "migration re-mints the handle on the target shard",
+        fresh != mover && sharded::shard_of(fresh) == target,
+    )?;
+    client.update_speedups(mover, &[1.0, 1.25, 1.60])?;
+    println!("ok: pre-migration handle still answers");
+    let job = client.submit_job(mover, "forwarded", 1, 1e8)?;
+    let round = client.tick()?;
+    check(
+        "migrated tenant is scheduled under its new handle",
+        round.tenants.iter().any(|t| t.tenant == fresh),
+    )?;
+    let status = client.status()?;
+    check(
+        "forwarding table reports the migration",
+        status.forwarding_entries >= 1 && status.forwarding_depth >= 1,
+    )?;
+    let metrics = client.metrics()?;
+    check("metrics count the migration", metrics.tenants_migrated >= 1)?;
+
+    let snapshot = client.snapshot()?;
+    let restored = client.restore(&snapshot)?;
+    check("restore keeps every tenant", restored == 2 * shards)?;
+    client.finish_job(mover, job)?;
+    println!("ok: pre-migration handle and job id survive snapshot/restore");
+
+    // One rebalance pass must answer (usually with zero moves here — the
+    // smoke population is balanced).
+    let report = client.rebalance()?;
+    check(
+        "rebalance replies within its threshold",
+        report.imbalance_after <= report.threshold || !report.moves.is_empty(),
     )?;
 
     client.shutdown()?;

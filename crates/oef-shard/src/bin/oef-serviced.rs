@@ -22,7 +22,9 @@
 //! With `--restore`, the daemon resumes from a snapshot file written by
 //! `oef-servicectl snapshot` (or the `Snapshot` wire command) instead of
 //! starting empty; the file's `version` field decides the shape (v2 → one
-//! shard, v3 federated envelope → coordinator), so no topology flags apply.
+//! unsharded daemon, v4 federated envelope → coordinator; a v3 envelope is
+//! refused with a pointer at `oef-servicectl migrate-snapshot`), so no
+//! topology flags apply.
 
 use oef_cluster::ClusterTopology;
 use oef_service::{CommandHandler, SchedulerService, Server, ServiceConfig};
@@ -143,13 +145,19 @@ fn main() {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(format!("cannot read snapshot {path}: {e}")));
         // The snapshot's version field decides the daemon's shape: a v2
-        // snapshot restores the classic unsharded service, a v3 envelope a
+        // snapshot restores the classic unsharded service, a v4 envelope a
         // full federation.
         let version = serde_json::from_str::<serde::Value>(&json)
             .ok()
             .and_then(|v| v.get("version").and_then(serde::Value::as_u64));
         match version {
             Some(3) => {
+                fail(format!(
+                    "{path} is a v3 federated envelope (predates handle forwarding); upgrade \
+                     it first with `oef-servicectl migrate-snapshot {path} <v4-file>`"
+                ));
+            }
+            Some(4) => {
                 let coordinator =
                     ShardCoordinator::from_federated_json(&json).unwrap_or_else(|e| fail(e));
                 println!(

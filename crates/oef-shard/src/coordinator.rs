@@ -10,38 +10,57 @@
 //!   the shard index in its high bits (see [`oef_core::sharded`]).
 //! * Commands that carry a handle are routed by decoding those same bits —
 //!   the coordinator keeps **no** tenant or host table of its own, so routing
-//!   is O(1) and can never drift out of sync with the shards.
+//!   is O(1) and can never drift out of sync with the shards.  The one
+//!   exception is the **forwarding table**: when a tenant migrates, its old
+//!   handle maps to the re-minted one (chains compress on lookup), so every
+//!   handle a client ever held keeps working across any number of moves.
+//! * `MigrateTenant` moves one tenant's complete state — profile, jobs,
+//!   rounding-deviation row — to another shard via
+//!   [`oef_rebalance::TenantMigrator`]; `Rebalance` runs one pass of the
+//!   online [`oef_rebalance::Rebalancer`] over the observed per-shard load
+//!   (tenants, jobs, solve-latency EWMA) and executes the plan it returns.
 //! * `Tick` fans out to every shard in parallel (`std::thread::scope`) and
 //!   merges the per-shard round summaries; each shard's LP stays small enough
 //!   to sit in the warm-start sweet spot while the solves overlap on separate
 //!   cores.
 //! * `Status` / `Metrics` aggregate across shards; `Snapshot` / `Restore`
-//!   speak the federated v3 envelope (per-shard v2 snapshots + shard map).
+//!   speak the federated v4 envelope (per-shard v2 snapshots + placement
+//!   cursor + forwarding table + rebalancer config).
 //!
 //! Shard 0 uses the identity handle encoding, so a single-shard coordinator
 //! is wire-indistinguishable from an unsharded daemon.
 
 use crate::placement::{ShardLoad, ShardPlacement};
-use crate::snapshot::{FederatedSnapshot, PlacementState, FEDERATED_SNAPSHOT_VERSION};
+use crate::snapshot::{
+    FederatedSnapshot, ForwardingEntry, PlacementState, FEDERATED_SNAPSHOT_VERSION,
+};
 use oef_cluster::ClusterTopology;
 use oef_core::sharded;
+use oef_rebalance::{
+    MigrateFailure, Rebalancer, RebalancerConfig, ShardObservation, TenantMigrator,
+};
 use oef_service::{
-    Command, CommandHandler, ErrorCode, MetricsReport, Response, RoundSummary, ServiceConfig,
-    ServiceError, ServiceMetrics, ShardStatusEntry, StatusReport, TenantRoundSummary,
-    PROTOCOL_VERSION,
+    Command, CommandHandler, ErrorCode, ExecutedMigration, MetricsReport, RebalanceReport,
+    Response, RoundSummary, ServiceConfig, ServiceError, ServiceMetrics, ShardStatusEntry,
+    StatusReport, TenantRoundSummary, PROTOCOL_VERSION,
 };
 use serde::Deserialize;
+use std::collections::HashMap;
 use std::time::Instant;
 
-/// What a parsed v3 envelope yields: the restored shards, the placement
-/// strategy (cursor already restored), the coordinator round counter, and
-/// the per-shard config template.
-type ParsedFederation = (
-    Vec<oef_service::SchedulerService>,
-    Box<dyn ShardPlacement>,
-    usize,
-    ServiceConfig,
-);
+/// What a parsed v4 envelope yields: everything a coordinator restores.
+struct ParsedFederation {
+    shards: Vec<oef_service::SchedulerService>,
+    placement: Box<dyn ShardPlacement>,
+    rounds: usize,
+    config: ServiceConfig,
+    forwarding: HashMap<u64, u64>,
+    rebalancer: Rebalancer,
+}
+
+/// Smoothing factor of the per-shard solve-latency EWMA (weight of the
+/// newest observation).
+const EWMA_ALPHA: f64 = 0.3;
 
 /// A federation of scheduler shards speaking the ordinary service protocol.
 pub struct ShardCoordinator {
@@ -52,6 +71,18 @@ pub struct ShardCoordinator {
     config: ServiceConfig,
     /// Coordinator rounds: every `Tick` advances all shards by one round.
     rounds: usize,
+    /// Old wire handle → newer wire handle, one entry per migration whose
+    /// tenant has not left yet.  Lookups chase and compress chains
+    /// ([`sharded::resolve_forwarded`]); entries are durable (snapshot state)
+    /// because clients hold the old handles durably.
+    forwarding: HashMap<u64, u64>,
+    /// The online rebalancer (its config is snapshot state).
+    rebalancer: Rebalancer,
+    /// Per-shard EWMA of round solve latency — the load signal shards cannot
+    /// compute themselves (it is only meaningful relative to the fan-out).
+    solve_ewma: Vec<f64>,
+    /// Tenants moved between shards over this process's lifetime.
+    migrated: u64,
     /// Coordinator-level registry: command counters plus the latency window
     /// of the parallel tick fan-out (critical path over the shards).
     metrics: ServiceMetrics,
@@ -105,31 +136,50 @@ impl ShardCoordinator {
             .into_iter()
             .map(|t| oef_service::SchedulerService::new(t, config.clone()))
             .collect::<Result<Vec<_>, _>>()?;
+        let solve_ewma = vec![0.0; shards.len()];
         Ok(Self {
             shards,
             placement,
             config,
             rounds: 0,
+            forwarding: HashMap::new(),
+            rebalancer: Rebalancer::new(RebalancerConfig::default())
+                .expect("default rebalance policy resolves"),
+            solve_ewma,
+            migrated: 0,
             metrics: ServiceMetrics::new(),
             started: Instant::now(),
             shutting_down: false,
         })
     }
 
-    /// Rebuilds a coordinator from a federated (v3) snapshot JSON string.
+    /// Replaces the rebalancer (builder style) — e.g. to run `greedy-top-k`
+    /// or a tighter threshold than the default configuration.
+    pub fn with_rebalancer(mut self, rebalancer: Rebalancer) -> Self {
+        self.rebalancer = rebalancer;
+        self
+    }
+
+    /// Rebuilds a coordinator from a federated (v4) snapshot JSON string.
     ///
     /// # Errors
     ///
-    /// Fails on malformed envelopes, version mismatches (v2 snapshots are
-    /// pointed at `oef-servicectl migrate-snapshot`), unknown placement
-    /// strategies, and any per-shard v2 validation failure.
+    /// Fails on malformed envelopes, version mismatches (v2 and v3 snapshots
+    /// are pointed at `oef-servicectl migrate-snapshot`), unknown placement
+    /// strategies or rebalance policies, corrupted forwarding tables, and
+    /// any per-shard v2 validation failure.
     pub fn from_federated_json(snapshot: &str) -> Result<Self, ServiceError> {
-        let (shards, placement, rounds, config) = Self::parse_federated(snapshot)?;
+        let parsed = Self::parse_federated(snapshot)?;
+        let solve_ewma = vec![0.0; parsed.shards.len()];
         Ok(Self {
-            shards,
-            placement,
-            config,
-            rounds,
+            shards: parsed.shards,
+            placement: parsed.placement,
+            config: parsed.config,
+            rounds: parsed.rounds,
+            forwarding: parsed.forwarding,
+            rebalancer: parsed.rebalancer,
+            solve_ewma,
+            migrated: 0,
             metrics: ServiceMetrics::new(),
             started: Instant::now(),
             shutting_down: false,
@@ -146,6 +196,12 @@ impl ShardCoordinator {
                     "this is a v2 single-shard snapshot; restore it on an unsharded daemon, or \
                      wrap it into a v{FEDERATED_SNAPSHOT_VERSION} envelope with `oef-servicectl \
                      migrate-snapshot`"
+                )));
+            }
+            Some(3) => {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "this is a v3 federated envelope (predates handle forwarding); upgrade it \
+                     to v{FEDERATED_SNAPSHOT_VERSION} with `oef-servicectl migrate-snapshot`"
                 )));
             }
             Some(v) => {
@@ -206,7 +262,32 @@ impl ShardCoordinator {
             shards.push(shard);
         }
         let config = shards[0].config().clone();
-        Ok((shards, placement, envelope.round, config))
+        // Forwarding table: refuse duplicates and cycles up front — a
+        // corrupted table would otherwise panic some later lookup.
+        let mut forwarding = HashMap::with_capacity(envelope.forwarding.len());
+        for entry in &envelope.forwarding {
+            if forwarding.insert(entry.from, entry.to).is_some() {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "forwarding table maps handle {} twice",
+                    sharded::format(entry.from)
+                )));
+            }
+        }
+        if let Err(start) = sharded::validate_acyclic(&forwarding) {
+            return Err(ServiceError::BadSnapshot(format!(
+                "forwarding table contains a cycle reachable from handle {}",
+                sharded::format(start)
+            )));
+        }
+        let rebalancer = Rebalancer::new(envelope.rebalancer).map_err(ServiceError::BadSnapshot)?;
+        Ok(ParsedFederation {
+            shards,
+            placement,
+            rounds: envelope.round,
+            config,
+            forwarding,
+            rebalancer,
+        })
     }
 
     /// Number of shards.
@@ -227,6 +308,33 @@ impl ShardCoordinator {
     /// Whether a `Shutdown` command has been accepted.
     pub fn is_shutting_down(&self) -> bool {
         self.shutting_down
+    }
+
+    /// Resolves a (possibly migrated-away) handle to the live handle it
+    /// forwards to, compressing the chain it walked.  Handles that never
+    /// migrated resolve to themselves.
+    pub fn resolve_handle(&mut self, handle: u64) -> u64 {
+        sharded::resolve_forwarded(&mut self.forwarding, handle)
+    }
+
+    /// Entries in the forwarding table.
+    pub fn forwarding_entries(&self) -> usize {
+        self.forwarding.len()
+    }
+
+    /// Longest forwarding chain (lookups compress, so this hovers at 1).
+    pub fn forwarding_depth(&self) -> usize {
+        sharded::forwarding_depth(&self.forwarding)
+    }
+
+    /// The rebalancer's durable configuration.
+    pub fn rebalancer_config(&self) -> &RebalancerConfig {
+        self.rebalancer.config()
+    }
+
+    /// Tenants moved between shards over this process's lifetime.
+    pub fn tenants_migrated(&self) -> u64 {
+        self.migrated
     }
 
     /// Executes one command, routing it across the shards.
@@ -256,9 +364,17 @@ impl ShardCoordinator {
                 retag(shard, response)
             }
             Command::TenantLeave { tenant } => {
-                self.route_by_handle(tenant, ErrorCode::UnknownTenant, |local| {
+                let resolved = self.resolve_handle(tenant);
+                let response = self.route_resolved(resolved, ErrorCode::UnknownTenant, |local| {
                     Command::TenantLeave { tenant: local }
-                })
+                });
+                if matches!(response, Response::TenantLeft { .. }) {
+                    // Every alias of the departed tenant is now permanently
+                    // dead; dropping the edges keeps the table from growing
+                    // without bound over a federation's lifetime.
+                    self.purge_forwarding(resolved);
+                }
+                response
             }
             Command::UpdateSpeedups { tenant, speedup } => {
                 self.route_by_handle(tenant, ErrorCode::UnknownTenant, move |local| {
@@ -286,11 +402,16 @@ impl ShardCoordinator {
                     Command::JobFinished { tenant: local, job }
                 })
             }
+            // Hosts never migrate, so host handles bypass the forwarding
+            // table — they live in a different handle map than tenants, and
+            // a host handle may equal a retired tenant handle bit-for-bit.
             Command::RemoveHost { handle } => {
-                self.route_by_handle(handle, ErrorCode::UnknownHost, |local| {
+                self.route_resolved(handle, ErrorCode::UnknownHost, |local| {
                     Command::RemoveHost { handle: local }
                 })
             }
+            Command::MigrateTenant { tenant, shard } => self.migrate_tenant(tenant, shard),
+            Command::Rebalance => self.rebalance(),
             Command::Tick => self.tick(),
             Command::Status => self.status(),
             Command::Metrics => self.metrics_report(queue_depth),
@@ -318,26 +439,180 @@ impl ShardCoordinator {
             .collect()
     }
 
-    /// Routes a handle-carrying command to the shard packed in its high bits.
+    /// Routes a handle-carrying command: the handle is first chased through
+    /// the forwarding table (so handles retired by migrations keep working),
+    /// then dispatched to the shard packed in the live handle's high bits.
+    /// Replies carry the *live* handle — clients learn the one-hop route.
     fn route_by_handle(
         &mut self,
         handle: u64,
         unknown: ErrorCode,
         rebuild: impl FnOnce(u64) -> Command,
     ) -> Response {
-        let (shard, local) = sharded::decode(handle);
+        let resolved = self.resolve_handle(handle);
+        self.route_resolved(resolved, unknown, rebuild)
+    }
+
+    /// The post-resolution half of [`ShardCoordinator::route_by_handle`].
+    fn route_resolved(
+        &mut self,
+        resolved: u64,
+        unknown: ErrorCode,
+        rebuild: impl FnOnce(u64) -> Command,
+    ) -> Response {
+        let (shard, local) = sharded::decode(resolved);
         if shard >= self.shards.len() {
             return Response::Error {
                 code: unknown,
                 message: format!(
                     "handle {} names shard {shard}, but only {} shard(s) exist",
-                    sharded::format(handle),
+                    sharded::format(resolved),
                     self.shards.len()
                 ),
             };
         }
         let response = self.shards[shard].apply(rebuild(local), 0);
         retag(shard, response)
+    }
+
+    /// Drops every forwarding edge that ends at `departed` (all chains are
+    /// compressed first so edges ending at an intermediate alias are caught
+    /// too).
+    fn purge_forwarding(&mut self, departed: u64) {
+        let keys: Vec<u64> = self.forwarding.keys().copied().collect();
+        for key in keys {
+            sharded::resolve_forwarded(&mut self.forwarding, key);
+        }
+        self.forwarding.retain(|_, target| *target != departed);
+    }
+
+    /// Moves a tenant to `target`, re-minting its handle there and recording
+    /// a forwarding edge so the old handle (and every older alias) keeps
+    /// routing.
+    fn migrate_tenant(&mut self, handle: u64, target: usize) -> Response {
+        if target >= self.shards.len() {
+            return Response::Error {
+                code: ErrorCode::InvalidArgument,
+                message: format!(
+                    "target shard {target} does not exist ({} shard(s))",
+                    self.shards.len()
+                ),
+            };
+        }
+        let resolved = self.resolve_handle(handle);
+        let (source, local) = sharded::decode(resolved);
+        if source >= self.shards.len() {
+            return Response::Error {
+                code: ErrorCode::UnknownTenant,
+                message: format!(
+                    "handle {} names shard {source}, but only {} shard(s) exist",
+                    sharded::format(resolved),
+                    self.shards.len()
+                ),
+            };
+        }
+        if source == target {
+            return Response::Error {
+                code: ErrorCode::InvalidArgument,
+                message: format!(
+                    "tenant {} already lives on shard {target}",
+                    sharded::format(resolved)
+                ),
+            };
+        }
+        match TenantMigrator::migrate(&mut self.shards, source, target, local) {
+            Ok(new_local) => {
+                let fresh = sharded::encode(target, new_local);
+                self.forwarding.insert(resolved, fresh);
+                self.migrated += 1;
+                Response::TenantMigrated {
+                    tenant: fresh,
+                    previous: resolved,
+                    from: source,
+                    to: target,
+                }
+            }
+            Err(failure) => {
+                // A refused install rolled the tenant back under a fresh
+                // handle on the source shard; forward the retired handle to
+                // it so the client's handle survives even a failed move.
+                if let MigrateFailure::Rejected { reinstalled, .. } = &failure {
+                    if *reinstalled != 0 {
+                        self.forwarding
+                            .insert(resolved, sharded::encode(source, *reinstalled));
+                    }
+                }
+                let (code, message) = failure.to_command_error();
+                Response::Error { code, message }
+            }
+        }
+    }
+
+    /// Current per-shard load observations for the rebalancer.
+    fn observe(&self) -> Vec<ShardObservation> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, service)| {
+                ShardObservation::from_service(shard, service, self.solve_ewma[shard])
+            })
+            .collect()
+    }
+
+    /// One rebalancing pass: observe → plan → execute → report.
+    fn rebalance(&mut self) -> Response {
+        let observations = self.observe();
+        let imbalance_before = self.rebalancer.imbalance(&observations);
+        let plan = self.rebalancer.plan(&observations);
+        let mut moves = Vec::with_capacity(plan.moves.len());
+        for planned in plan.moves {
+            // The planner scores load, not quota: a planned target may be at
+            // its tenant limit (admission would refuse the install).  Skip
+            // such moves — a partially executed pass is still an improvement
+            // and the next pass re-plans from the new state — instead of
+            // aborting with an error every pass until an operator intervenes.
+            if !self.shards[planned.to].has_tenant_capacity() {
+                continue;
+            }
+            match self.migrate_tenant(planned.tenant, planned.to) {
+                Response::TenantMigrated {
+                    tenant,
+                    previous,
+                    from,
+                    to,
+                } => moves.push(ExecutedMigration {
+                    previous,
+                    tenant,
+                    from,
+                    to,
+                }),
+                Response::Error { code, message } => {
+                    // Surface a partial pass loudly; the moves already made
+                    // stand (each was individually consistent).
+                    return Response::Error {
+                        code,
+                        message: format!(
+                            "rebalance aborted after {} of its planned moves: {message}",
+                            moves.len()
+                        ),
+                    };
+                }
+                other => {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("migration returned {other:?}"),
+                    };
+                }
+            }
+        }
+        let imbalance_after = self.rebalancer.imbalance(&self.observe());
+        Response::Rebalanced(RebalanceReport {
+            policy: self.rebalancer.policy_name().to_string(),
+            imbalance_before,
+            imbalance_after,
+            threshold: self.rebalancer.config().threshold,
+            moves,
+        })
     }
 
     /// One federation round: every shard solves its own LP in parallel.
@@ -379,6 +654,19 @@ impl ShardCoordinator {
         };
         let mut solved_any = false;
         for (shard, response) in responses.into_iter().enumerate() {
+            if let Response::RoundCompleted(summary) = &response {
+                // Per-shard solve-latency EWMA: the load signal the
+                // rebalancer watches.  Empty rounds ran no solve and must
+                // not drag a busy shard's average toward zero.
+                if !summary.tenants.is_empty() {
+                    let previous = self.solve_ewma[shard];
+                    self.solve_ewma[shard] = if previous == 0.0 {
+                        summary.solver_time_secs
+                    } else {
+                        (1.0 - EWMA_ALPHA) * previous + EWMA_ALPHA * summary.solver_time_secs
+                    };
+                }
+            }
             let summary = match response {
                 Response::RoundCompleted(summary) => summary,
                 Response::Error { code, message } => {
@@ -439,6 +727,8 @@ impl ShardCoordinator {
             total_devices: 0,
             topology: Vec::new(),
             shards: Vec::new(),
+            forwarding_entries: self.forwarding.len(),
+            forwarding_depth: sharded::forwarding_depth(&self.forwarding),
         };
         for (shard, service) in self.shards.iter_mut().enumerate() {
             let Response::Status(report) = service.apply(Command::Status, 0) else {
@@ -462,6 +752,7 @@ impl ShardCoordinator {
                 hosts: report.hosts,
                 total_devices: report.total_devices,
                 round: report.round,
+                solve_ewma_secs: self.solve_ewma[shard],
             });
         }
         Response::Status(aggregate)
@@ -486,6 +777,7 @@ impl ShardCoordinator {
             queue_depth,
             tenants: 0,
             hosts: 0,
+            tenants_migrated: self.migrated,
         };
         for service in &mut self.shards {
             let Response::Metrics(report) = service.apply(Command::Metrics, 0) else {
@@ -533,6 +825,14 @@ impl ShardCoordinator {
                 }
             }
         }
+        // Canonical encoding: the table is a hash map in memory, a sorted
+        // array on disk, so identical federations write identical envelopes.
+        let mut forwarding: Vec<ForwardingEntry> = self
+            .forwarding
+            .iter()
+            .map(|(&from, &to)| ForwardingEntry { from, to })
+            .collect();
+        forwarding.sort_by_key(|entry| entry.from);
         let envelope = FederatedSnapshot {
             version: FEDERATED_SNAPSHOT_VERSION,
             round: self.rounds,
@@ -540,6 +840,8 @@ impl ShardCoordinator {
                 strategy: self.placement.name().to_string(),
                 cursor: self.placement.cursor(),
             },
+            forwarding,
+            rebalancer: self.rebalancer.config().clone(),
             shards,
         };
         match serde_json::to_string(&envelope) {
@@ -552,7 +854,7 @@ impl ShardCoordinator {
     }
 
     fn restore(&mut self, snapshot: &str) -> Response {
-        let (shards, placement, rounds, config) = match Self::parse_federated(snapshot) {
+        let parsed = match Self::parse_federated(snapshot) {
             Ok(parsed) => parsed,
             Err(e) => {
                 return Response::Error {
@@ -561,17 +863,22 @@ impl ShardCoordinator {
                 }
             }
         };
-        let tenants = shards.iter().map(|s| s.tenant_handles().len()).sum();
-        // The coordinator's metrics and uptime describe this process, not the
-        // restored state; the shard count, however, follows the snapshot.
-        // Like the unsharded restore path, the running queue capacity stays
+        let tenants = parsed.shards.iter().map(|s| s.tenant_handles().len()).sum();
+        // The coordinator's metrics, migration counter and uptime describe
+        // this process, not the restored state; the shard count, forwarding
+        // table and rebalancer config follow the snapshot.  Like the
+        // unsharded restore path, the running queue capacity stays
         // authoritative — the server's bounded queue was sized at spawn and
-        // cannot be resized live.
+        // cannot be resized live.  The solve EWMA restarts cold (it is a
+        // live load signal, not durable state).
         let queue_capacity = self.config.limits.queue_capacity;
-        self.shards = shards;
-        self.placement = placement;
-        self.rounds = rounds;
-        self.config = config;
+        self.solve_ewma = vec![0.0; parsed.shards.len()];
+        self.shards = parsed.shards;
+        self.placement = parsed.placement;
+        self.rounds = parsed.rounds;
+        self.config = parsed.config;
+        self.forwarding = parsed.forwarding;
+        self.rebalancer = parsed.rebalancer;
         self.config.limits.queue_capacity = queue_capacity;
         Response::Restored { tenants }
     }
@@ -814,6 +1121,326 @@ mod tests {
             panic!("snapshot failed");
         };
         let err = ShardCoordinator::from_federated_json(&snapshot).unwrap_err();
+        let ServiceError::BadSnapshot(reason) = err else {
+            panic!("expected BadSnapshot");
+        };
+        assert!(reason.contains("migrate-snapshot"), "reason: {reason}");
+    }
+
+    fn submit(c: &mut ShardCoordinator, tenant: u64) -> u64 {
+        match c.apply(
+            Command::SubmitJob {
+                tenant,
+                model: "m".into(),
+                workers: 1,
+                total_work: 1e9,
+            },
+            0,
+        ) {
+            Response::JobSubmitted { job, .. } => job,
+            other => panic!("submit failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn migrate_reminta_handle_and_forwards_the_old_one() {
+        let mut c = coordinator(2);
+        let alice = join(&mut c, "alice");
+        let bob = join(&mut c, "bob");
+        let job = submit(&mut c, alice);
+        let source = sharded::shard_of(alice);
+        let target = 1 - source;
+
+        let Response::TenantMigrated {
+            tenant: fresh,
+            previous,
+            from,
+            to,
+        } = c.apply(
+            Command::MigrateTenant {
+                tenant: alice,
+                shard: target,
+            },
+            0,
+        )
+        else {
+            panic!("migrate failed");
+        };
+        assert_eq!((previous, from, to), (alice, source, target));
+        assert_eq!(sharded::shard_of(fresh), target);
+        assert_eq!(c.forwarding_entries(), 1);
+        assert_eq!(c.tenants_migrated(), 1);
+
+        // The old handle still works for every handle-carrying command, and
+        // replies teach the caller the live handle.
+        let r = c.apply(
+            Command::UpdateSpeedups {
+                tenant: alice,
+                speedup: vec![1.0, 1.3, 1.5],
+            },
+            0,
+        );
+        assert!(
+            matches!(r, Response::SpeedupsUpdated { tenant } if tenant == fresh),
+            "{r:?}"
+        );
+        // The pre-migration job id still resolves through the old handle.
+        let r = c.apply(Command::JobFinished { tenant: alice, job }, 0);
+        assert!(
+            matches!(r, Response::JobFinished { tenant, .. } if tenant == fresh),
+            "{r:?}"
+        );
+
+        // A second hop: migrate back; the chain compresses on lookup.
+        let Response::TenantMigrated { tenant: back, .. } = c.apply(
+            Command::MigrateTenant {
+                tenant: alice,
+                shard: source,
+            },
+            0,
+        ) else {
+            panic!("second migrate failed");
+        };
+        assert_eq!(c.forwarding_entries(), 2);
+        assert_eq!(c.resolve_handle(alice), back);
+        assert_eq!(c.forwarding_depth(), 1, "lookup compressed the chain");
+
+        // Status surfaces the table; bob is untouched.
+        let Response::Status(status) = c.apply(Command::Status, 0) else {
+            panic!("status failed");
+        };
+        assert_eq!(status.forwarding_entries, 2);
+        assert_eq!(status.tenants, 2);
+
+        // Leaving through the *oldest* alias retires the whole chain.
+        let r = c.apply(Command::TenantLeave { tenant: alice }, 0);
+        assert!(matches!(r, Response::TenantLeft { .. }), "{r:?}");
+        assert_eq!(c.forwarding_entries(), 0, "leave purges dead aliases");
+        let r = c.apply(Command::TenantLeave { tenant: alice }, 0);
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let r = c.apply(Command::TenantLeave { tenant: bob }, 0);
+        assert!(matches!(r, Response::TenantLeft { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn migrate_rejects_bad_shards_and_self_moves() {
+        let mut c = coordinator(2);
+        let alice = join(&mut c, "alice");
+        let r = c.apply(
+            Command::MigrateTenant {
+                tenant: alice,
+                shard: 7,
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        let r = c.apply(
+            Command::MigrateTenant {
+                tenant: alice,
+                shard: sharded::shard_of(alice),
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::InvalidArgument,
+                    ..
+                }
+            ),
+            "self-move: {r:?}"
+        );
+        let r = c.apply(
+            Command::MigrateTenant {
+                tenant: 999,
+                shard: 1,
+            },
+            0,
+        );
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::UnknownTenant,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        assert_eq!(c.forwarding_entries(), 0);
+    }
+
+    #[test]
+    fn host_handles_bypass_tenant_forwarding() {
+        let mut c = coordinator(2);
+        let alice = join(&mut c, "alice");
+        assert_eq!(alice, 1, "first tenant handle is 1 on shard 0");
+        let r = c.apply(
+            Command::MigrateTenant {
+                tenant: alice,
+                shard: 1,
+            },
+            0,
+        );
+        assert!(matches!(r, Response::TenantMigrated { .. }), "{r:?}");
+        // The forwarding table now maps the *tenant* handle 1.  Host handle 1
+        // (shard 0's first paper-cluster host) is a different object that
+        // happens to share the bits — removing it must hit the host, not
+        // chase the tenant alias onto the wrong shard.
+        let r = c.apply(Command::RemoveHost { handle: 1 }, 0);
+        assert!(
+            matches!(r, Response::HostRemoved { host: 1 }),
+            "host handle must not resolve through tenant forwarding: {r:?}"
+        );
+    }
+
+    #[test]
+    fn rebalance_flattens_a_skewed_federation() {
+        let mut c = coordinator(2);
+        let handles: Vec<u64> = (0..6).map(|i| join(&mut c, &format!("t{i}"))).collect();
+        // Drain shard 0: the tenants that landed there leave, stranding all
+        // remaining load on shard 1 — exactly the imbalance uneven churn
+        // produces under least-loaded placement.
+        for &h in handles.iter().filter(|&&h| sharded::shard_of(h) == 0) {
+            c.apply(Command::TenantLeave { tenant: h }, 0);
+        }
+        let Response::Rebalanced(report) = c.apply(Command::Rebalance, 0) else {
+            panic!("rebalance failed");
+        };
+        assert_eq!(report.policy, "threshold");
+        assert!(report.imbalance_before > report.threshold);
+        assert!(
+            report.imbalance_after <= report.threshold,
+            "spread {} should be within {}",
+            report.imbalance_after,
+            report.threshold
+        );
+        assert!(!report.moves.is_empty());
+        for m in &report.moves {
+            assert_eq!((m.from, m.to), (1, 0));
+            // Moved tenants' old handles forward to their new ones.
+            assert_eq!(c.resolve_handle(m.previous), m.tenant);
+        }
+        // A second pass plans nothing — no oscillation.
+        let Response::Rebalanced(again) = c.apply(Command::Rebalance, 0) else {
+            panic!("rebalance failed");
+        };
+        assert!(again.moves.is_empty(), "{again:?}");
+    }
+
+    #[test]
+    fn rebalance_skips_full_targets_instead_of_aborting() {
+        use oef_service::ServiceLimits;
+        let mut c = ShardCoordinator::new(
+            vec![
+                ClusterTopology::paper_cluster(),
+                ClusterTopology::paper_cluster(),
+            ],
+            ServiceConfig {
+                limits: ServiceLimits {
+                    max_tenants: 3,
+                    ..ServiceLimits::default()
+                },
+                ..ServiceConfig::default()
+            },
+            placement_from_name("least-loaded").unwrap(),
+        )
+        .unwrap();
+        // Both shards at their tenant quota; shard 1 heavily job-loaded, so
+        // the weighted spread exceeds the threshold but every planned move
+        // targets a full shard.
+        let handles: Vec<u64> = (0..6).map(|i| join(&mut c, &format!("t{i}"))).collect();
+        for &h in handles.iter().filter(|&&h| sharded::shard_of(h) == 1) {
+            for _ in 0..5 {
+                submit(&mut c, h);
+            }
+        }
+        let Response::Rebalanced(report) = c.apply(Command::Rebalance, 0) else {
+            panic!("a quota-blocked pass must still reply Rebalanced");
+        };
+        assert!(report.imbalance_before > report.threshold, "{report:?}");
+        assert!(report.moves.is_empty(), "{report:?}");
+        assert_eq!(c.tenants_migrated(), 0);
+    }
+
+    #[test]
+    fn forwarding_and_rebalancer_survive_the_snapshot() {
+        let mut c = coordinator(2);
+        let alice = join(&mut c, "alice");
+        join(&mut c, "bob");
+        let job = submit(&mut c, alice);
+        let target = 1 - sharded::shard_of(alice);
+        let Response::TenantMigrated { tenant: fresh, .. } = c.apply(
+            Command::MigrateTenant {
+                tenant: alice,
+                shard: target,
+            },
+            0,
+        ) else {
+            panic!("migrate failed");
+        };
+        let Response::Snapshot { snapshot } = c.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        let mut restored = ShardCoordinator::from_federated_json(&snapshot).unwrap();
+        assert_eq!(restored.forwarding_entries(), 1);
+        assert_eq!(restored.resolve_handle(alice), fresh);
+        assert_eq!(
+            restored.rebalancer_config(),
+            c.rebalancer_config(),
+            "rebalancer config rides in the envelope"
+        );
+        // The pre-migration handle and job id keep working after restore.
+        let r = restored.apply(Command::JobFinished { tenant: alice, job }, 0);
+        assert!(
+            matches!(r, Response::JobFinished { tenant, .. } if tenant == fresh),
+            "{r:?}"
+        );
+
+        // A corrupted (cyclic) forwarding table is refused, not chased.
+        let cyclic = snapshot.replace(
+            &format!("\"forwarding\":[{{\"from\":{alice},\"to\":{fresh}}}]"),
+            &format!(
+                "\"forwarding\":[{{\"from\":{alice},\"to\":{fresh}}},\
+                 {{\"from\":{fresh},\"to\":{alice}}}]"
+            ),
+        );
+        assert_ne!(cyclic, snapshot, "fixture must actually corrupt");
+        let err = ShardCoordinator::from_federated_json(&cyclic).unwrap_err();
+        let ServiceError::BadSnapshot(reason) = err else {
+            panic!("expected BadSnapshot");
+        };
+        assert!(reason.contains("cycle"), "reason: {reason}");
+    }
+
+    #[test]
+    fn v3_snapshots_are_pointed_at_the_migration_tool() {
+        let mut c = coordinator(2);
+        let Response::Snapshot { snapshot } = c.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        let v3 = snapshot.replace("\"version\":4", "\"version\":3");
+        assert_ne!(v3, snapshot, "fixture must actually downgrade");
+        let err = ShardCoordinator::from_federated_json(&v3).unwrap_err();
         let ServiceError::BadSnapshot(reason) = err else {
             panic!("expected BadSnapshot");
         };

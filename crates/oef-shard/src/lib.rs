@@ -16,9 +16,18 @@
 //!   shard's tenant count stays in the warm-start sweet spot.
 //! * **Pluggable placement** — [`ShardPlacement`] decides where tenants and
 //!   hosts without a handle land ([`LeastLoaded`], [`RoundRobin`]).
-//! * **Federated snapshots** — v3 envelopes carry one v2 snapshot per shard
-//!   plus the shard map ([`FederatedSnapshot`]); `wrap_v2_snapshot` migrates
-//!   an unsharded snapshot into a single-shard federation.
+//! * **Live migration + rebalancing** — `MigrateTenant` moves a tenant's
+//!   complete state (profile, jobs, rounding deviations) to another shard
+//!   via [`oef_rebalance::TenantMigrator`], re-minting its handle there; a
+//!   persistent **forwarding table** (old handle → live handle, compressed
+//!   on lookup) keeps every handle a client ever held working across any
+//!   number of moves.  `Rebalance` runs the online
+//!   [`oef_rebalance::Rebalancer`] over per-shard load and executes the plan.
+//! * **Federated snapshots** — v4 envelopes carry one v2 snapshot per shard
+//!   plus the router's own state: placement cursor, forwarding table,
+//!   rebalancer config ([`FederatedSnapshot`]).  [`wrap_v2_snapshot`]
+//!   migrates an unsharded snapshot into a single-shard federation;
+//!   [`upgrade_v3_snapshot`] lifts a PR-4-era envelope to v4.
 //!
 //! The `oef-serviced` / `oef-servicectl` binaries are built from this crate
 //! (the daemon serves either one `SchedulerService` or a coordinator,
@@ -55,5 +64,6 @@ mod snapshot;
 pub use coordinator::ShardCoordinator;
 pub use placement::{placement_from_name, LeastLoaded, RoundRobin, ShardLoad, ShardPlacement};
 pub use snapshot::{
-    wrap_v2_snapshot, FederatedSnapshot, MigrateError, PlacementState, FEDERATED_SNAPSHOT_VERSION,
+    upgrade_v3_snapshot, wrap_v2_snapshot, FederatedSnapshot, ForwardingEntry, MigrateError,
+    PlacementState, FEDERATED_SNAPSHOT_VERSION,
 };

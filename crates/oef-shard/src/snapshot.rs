@@ -1,26 +1,32 @@
-//! Federated (v3) snapshots: an envelope of per-shard v2 snapshots plus the
-//! shard map.
+//! Federated (v4) snapshots: per-shard v2 snapshots plus everything the
+//! router itself owns.
 //!
 //! A sharded daemon is N independent schedulers behind one router, so its
 //! durable state is exactly N independent v2 [`oef_service::ServiceSnapshot`]s
 //! — each shard's snapshot is bit-for-bit what that shard would have written
-//! as an unsharded daemon — plus the little state the router itself owns: the
-//! shard count (implicit in the array), the coordinator round counter and the
-//! placement strategy's cursor.  Restoring the envelope therefore reproduces
-//! not only every shard's allocations but also where the *next* tenant will
-//! be placed, which is what restart equivalence means across a shard
-//! boundary.
+//! as an unsharded daemon — plus the router's own state: the coordinator
+//! round counter, the placement strategy's cursor, the **handle-forwarding
+//! table** (old handle → live handle, one entry per migration not yet retired
+//! by its tenant leaving) and the **rebalancer configuration**.  Restoring
+//! the envelope therefore reproduces not only every shard's allocations but
+//! also where the next tenant lands, which old handles still route, and what
+//! the next `Rebalance` pass plans — restart equivalence across a migration
+//! straddling the snapshot boundary.
 //!
-//! v2 snapshots remain the format of unsharded daemons; `oef-servicectl
-//! migrate-snapshot` wraps one into a single-shard v3 envelope (see
-//! [`wrap_v2_snapshot`]), closing the old "versioning is reject-only" gap
-//! without widening the unsharded daemon's restore surface.
+//! **Version history.**  v2 is a single-shard [`oef_service::ServiceSnapshot`]
+//! (still the format of unsharded daemons); v3 was PR 4's envelope without
+//! forwarding or rebalancer state; v4 is this envelope.  `oef-servicectl
+//! migrate-snapshot` wraps a v2 snapshot into a single-shard v4 envelope
+//! ([`wrap_v2_snapshot`]) and upgrades a v3 envelope in place
+//! ([`upgrade_v3_snapshot`] — the forwarding table starts empty, the
+//! rebalancer at its defaults, which is exactly the state a v3 federation was
+//! in).  v1 remains unmigratable and is refused with a structured error.
 
+use oef_rebalance::RebalancerConfig;
 use serde::{Deserialize, Serialize};
 
-/// Version stamp of the federated envelope.  v2 is a single-shard
-/// [`oef_service::ServiceSnapshot`]; v3 is this envelope.
-pub const FEDERATED_SNAPSHOT_VERSION: u32 = 3;
+/// Version stamp of the federated envelope.
+pub const FEDERATED_SNAPSHOT_VERSION: u32 = 4;
 
 /// Serialized state of the placement strategy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +35,17 @@ pub struct PlacementState {
     pub strategy: String,
     /// Opaque strategy cursor (0 for stateless strategies).
     pub cursor: u64,
+}
+
+/// One handle-forwarding edge: a handle retired by a migration and the
+/// handle that replaced it (itself possibly retired by a later migration —
+/// lookups chase the chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingEntry {
+    /// The retired handle a client may still hold.
+    pub from: u64,
+    /// The handle it forwards to.
+    pub to: u64,
 }
 
 /// The serialized form of a `ShardCoordinator`.
@@ -40,31 +57,37 @@ pub struct FederatedSnapshot {
     pub round: usize,
     /// Placement strategy and its cursor.
     pub placement: PlacementState,
+    /// Handle-forwarding table, sorted by `from` for a canonical encoding.
+    pub forwarding: Vec<ForwardingEntry>,
+    /// Rebalancer configuration (policy, threshold, move cap, load weights).
+    pub rebalancer: RebalancerConfig,
     /// One v2 snapshot object per shard, in shard-index order.  Kept as raw
     /// JSON values so each entry round-trips through the unsharded restore
     /// path (and its full validation) unchanged.
     pub shards: Vec<serde::Value>,
 }
 
-/// Errors wrapping a v2 snapshot into a v3 envelope.
+/// Errors wrapping or upgrading snapshots into a v4 envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MigrateError {
-    /// The input was not a valid v2 snapshot.
+    /// The input was not a valid snapshot of the expected version.
     BadSnapshot(String),
 }
 
 impl std::fmt::Display for MigrateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MigrateError::BadSnapshot(reason) => write!(f, "bad v2 snapshot: {reason}"),
+            MigrateError::BadSnapshot(reason) => write!(f, "bad snapshot: {reason}"),
         }
     }
 }
 
 impl std::error::Error for MigrateError {}
 
-/// Wraps a v2 service snapshot into a single-shard v3 envelope (shard 0, so
-/// every handle in the snapshot keeps its exact wire value).
+/// Wraps a v2 service snapshot into a single-shard v4 envelope (shard 0, so
+/// every handle in the snapshot keeps its exact wire value).  The forwarding
+/// table starts empty — an unsharded daemon never migrated anything — and
+/// the rebalancer at its defaults.
 ///
 /// The input is fully validated by the unsharded restore path first — a
 /// corrupt v2 snapshot is refused here, not at some later daemon start.
@@ -90,7 +113,70 @@ pub fn wrap_v2_snapshot(v2_json: &str) -> Result<FederatedSnapshot, MigrateError
             strategy: "least-loaded".to_string(),
             cursor: 0,
         },
+        forwarding: Vec::new(),
+        rebalancer: RebalancerConfig::default(),
         shards: vec![value],
+    })
+}
+
+/// Upgrades a v3 federated envelope (PR 4's layout: no forwarding table, no
+/// rebalancer state) to v4.  A v3 federation never migrated a tenant, so the
+/// faithful upgrade is an empty forwarding table plus the default rebalancer
+/// configuration; round, placement cursor and every per-shard snapshot pass
+/// through unchanged (each re-validated through the full v2 restore path).
+///
+/// # Errors
+///
+/// Fails when the input does not parse, is not version 3, or any shard entry
+/// fails v2 validation.
+pub fn upgrade_v3_snapshot(v3_json: &str) -> Result<FederatedSnapshot, MigrateError> {
+    let value: serde::Value =
+        serde_json::from_str(v3_json).map_err(|e| MigrateError::BadSnapshot(e.to_string()))?;
+    match value.get("version").and_then(serde::Value::as_u64) {
+        Some(3) => {}
+        Some(v) => {
+            return Err(MigrateError::BadSnapshot(format!(
+                "expected a v3 federated envelope, found version {v}"
+            )));
+        }
+        None => {
+            return Err(MigrateError::BadSnapshot(
+                "snapshot has no numeric `version` field".to_string(),
+            ));
+        }
+    }
+    let round = value
+        .get("round")
+        .and_then(serde::Value::as_u64)
+        .ok_or_else(|| MigrateError::BadSnapshot("no numeric `round` field".to_string()))?;
+    let placement = value
+        .get("placement")
+        .ok_or_else(|| MigrateError::BadSnapshot("no `placement` field".to_string()))
+        .and_then(|p| {
+            PlacementState::deserialize(p).map_err(|e| MigrateError::BadSnapshot(e.to_string()))
+        })?;
+    let shards = value
+        .get("shards")
+        .and_then(serde::Value::as_array)
+        .ok_or_else(|| MigrateError::BadSnapshot("no `shards` array".to_string()))?;
+    if shards.is_empty() {
+        return Err(MigrateError::BadSnapshot(
+            "v3 envelope holds no shards".to_string(),
+        ));
+    }
+    for (i, entry) in shards.iter().enumerate() {
+        let json = serde_json::to_string(entry)
+            .map_err(|e| MigrateError::BadSnapshot(format!("shard {i}: {e}")))?;
+        oef_service::SchedulerService::from_snapshot_json(&json)
+            .map_err(|e| MigrateError::BadSnapshot(format!("shard {i}: {e}")))?;
+    }
+    Ok(FederatedSnapshot {
+        version: FEDERATED_SNAPSHOT_VERSION,
+        round: round as usize,
+        placement,
+        forwarding: Vec::new(),
+        rebalancer: RebalancerConfig::default(),
+        shards: shards.to_vec(),
     })
 }
 
@@ -119,9 +205,22 @@ mod tests {
         }
     }
 
+    /// A v3 envelope as PR 4 wrote it: no forwarding, no rebalancer.
+    fn v3_envelope() -> String {
+        format!(
+            "{{\"version\":3,\"round\":1,\"placement\":{{\"strategy\":\"round-robin\",\
+             \"cursor\":5}},\"shards\":[{}]}}",
+            v2_snapshot()
+        )
+    }
+
     #[test]
     fn envelope_round_trips_through_json() {
-        let wrapped = wrap_v2_snapshot(&v2_snapshot()).unwrap();
+        let mut wrapped = wrap_v2_snapshot(&v2_snapshot()).unwrap();
+        wrapped.forwarding.push(ForwardingEntry {
+            from: (1u64 << 56) | 1,
+            to: 2,
+        });
         assert_eq!(wrapped.version, FEDERATED_SNAPSHOT_VERSION);
         assert_eq!(wrapped.round, 1);
         assert_eq!(wrapped.shards.len(), 1);
@@ -131,13 +230,38 @@ mod tests {
     }
 
     #[test]
+    fn v3_envelopes_upgrade_preserving_round_and_cursor() {
+        let upgraded = upgrade_v3_snapshot(&v3_envelope()).unwrap();
+        assert_eq!(upgraded.version, FEDERATED_SNAPSHOT_VERSION);
+        assert_eq!(upgraded.round, 1);
+        assert_eq!(upgraded.placement.strategy, "round-robin");
+        assert_eq!(upgraded.placement.cursor, 5);
+        assert!(upgraded.forwarding.is_empty(), "v3 never migrated");
+        assert_eq!(upgraded.rebalancer, RebalancerConfig::default());
+        assert_eq!(upgraded.shards.len(), 1);
+    }
+
+    #[test]
+    fn v3_upgrade_refuses_wrong_versions_and_corrupt_shards() {
+        // A v2 snapshot is not a v3 envelope.
+        let err = upgrade_v3_snapshot(&v2_snapshot()).unwrap_err();
+        assert!(matches!(err, MigrateError::BadSnapshot(_)));
+        // A corrupt shard entry fails the per-shard v2 validation.
+        let corrupt = v3_envelope().replace("\"version\":2", "\"version\":7");
+        assert!(matches!(
+            upgrade_v3_snapshot(&corrupt).unwrap_err(),
+            MigrateError::BadSnapshot(_)
+        ));
+    }
+
+    #[test]
     fn corrupt_v2_input_is_refused() {
         let err = wrap_v2_snapshot("{\"version\":2}").unwrap_err();
         assert!(matches!(err, MigrateError::BadSnapshot(_)));
         let err = wrap_v2_snapshot("not json").unwrap_err();
         assert!(matches!(err, MigrateError::BadSnapshot(_)));
         // v1 snapshots stay dead: the wrapper refuses them the same way the
-        // unsharded daemon does, instead of laundering them into a v3 shell.
+        // unsharded daemon does, instead of laundering them into a v4 shell.
         let v1 = v2_snapshot().replace("\"version\":2", "\"version\":1");
         assert!(matches!(
             wrap_v2_snapshot(&v1).unwrap_err(),

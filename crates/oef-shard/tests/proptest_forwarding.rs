@@ -1,0 +1,144 @@
+//! Property tests for handle forwarding under arbitrary migration sequences.
+//!
+//! The forwarding table is what lets every handle a client ever held keep
+//! working across any number of tenant moves, so its invariants are the
+//! load-bearing ones of the whole migration design:
+//!
+//! * **No cycles, ever** — resolution terminates, because a forwarding edge
+//!   always points at a freshly minted handle and handle maps never re-issue
+//!   one.
+//! * **Every alias resolves to the live handle** — after an arbitrary
+//!   interleaving of migrations, *every* handle ever issued for a tenant
+//!   routes a real command to that tenant (verified through the actual wire
+//!   dispatch, not just table lookups).
+//! * **Chains compress** — after a lookup the walked chain is depth 1, so
+//!   long-lived clients never pay more than one extra hop.
+
+use oef_core::sharded;
+use oef_service::{Command, Response, ServiceConfig};
+use oef_shard::{placement_from_name, ShardCoordinator};
+use proptest::prelude::*;
+
+fn coordinator(shards: usize) -> ShardCoordinator {
+    ShardCoordinator::new(
+        (0..shards)
+            .map(|_| oef_cluster::ClusterTopology::paper_cluster())
+            .collect(),
+        ServiceConfig::default(),
+        placement_from_name("least-loaded").unwrap(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_migrations_never_cycle_and_every_alias_resolves(
+        shards in 2usize..5,
+        tenants in 1usize..6,
+        moves in proptest::collection::vec((0u16..=999, 0u16..=999), 1..40),
+    ) {
+        let mut c = coordinator(shards);
+        // aliases[t] is every wire handle ever issued for tenant t, oldest
+        // first; live[t] is the current one.
+        let mut aliases: Vec<Vec<u64>> = Vec::new();
+        let mut live: Vec<u64> = Vec::new();
+        for t in 0..tenants {
+            let Response::TenantJoined { tenant } = c.apply(
+                Command::TenantJoin {
+                    name: format!("t{t}"),
+                    weight: 1,
+                    speedup: vec![1.0, 1.2, 1.4],
+                },
+                0,
+            ) else {
+                panic!("join failed");
+            };
+            aliases.push(vec![tenant]);
+            live.push(tenant);
+        }
+
+        for (pick_tenant, pick_shard) in moves {
+            let t = usize::from(pick_tenant) % tenants;
+            let target = usize::from(pick_shard) % shards;
+            // Drive the migration through an arbitrary historical alias —
+            // clients do not know (or care) how often a tenant has moved.
+            let alias = aliases[t][usize::from(pick_shard) % aliases[t].len()];
+            let response = c.apply(
+                Command::MigrateTenant { tenant: alias, shard: target },
+                0,
+            );
+            match response {
+                Response::TenantMigrated { tenant, previous, to, .. } => {
+                    prop_assert_eq!(previous, live[t], "the live handle is what retires");
+                    prop_assert_eq!(to, target);
+                    prop_assert_eq!(sharded::shard_of(tenant), target);
+                    prop_assert!(
+                        !aliases.iter().any(|a| a.contains(&tenant)),
+                        "re-minted handle must be globally fresh"
+                    );
+                    aliases[t].push(tenant);
+                    live[t] = tenant;
+                }
+                Response::Error { .. } => {
+                    // Self-move (tenant already on `target`): a no-op by design.
+                    prop_assert_eq!(sharded::shard_of(live[t]), target);
+                }
+                other => panic!("unexpected migrate response: {other:?}"),
+            }
+
+            // Invariant: resolution terminates (no cycle) and lands on the
+            // live handle, for every alias ever issued.
+            for (t, tenant_aliases) in aliases.iter().enumerate() {
+                for &alias in tenant_aliases {
+                    prop_assert_eq!(
+                        c.resolve_handle(alias),
+                        live[t],
+                        "alias {} of tenant {} resolves to its live handle",
+                        sharded::format(alias),
+                        t
+                    );
+                }
+            }
+            // Invariant: the lookups above compressed every chain.
+            prop_assert!(c.forwarding_depth() <= 1, "depth {}", c.forwarding_depth());
+        }
+
+        // End-to-end: every alias still routes a real command to its tenant.
+        for (t, tenant_aliases) in aliases.iter().enumerate() {
+            for &alias in tenant_aliases {
+                let response = c.apply(
+                    Command::UpdateSpeedups {
+                        tenant: alias,
+                        speedup: vec![1.0, 1.3, 1.6],
+                    },
+                    0,
+                );
+                prop_assert!(
+                    matches!(response, Response::SpeedupsUpdated { tenant } if tenant == live[t]),
+                    "alias {} of tenant {t} must route: {response:?}",
+                    sharded::format(alias)
+                );
+            }
+        }
+
+        // A leave through the oldest alias retires the tenant's whole chain.
+        let oldest = aliases[0][0];
+        let response = c.apply(Command::TenantLeave { tenant: oldest }, 0);
+        prop_assert!(matches!(response, Response::TenantLeft { .. }), "{response:?}");
+        for &alias in &aliases[0] {
+            let response = c.apply(
+                Command::UpdateSpeedups { tenant: alias, speedup: vec![1.0, 1.3, 1.6] },
+                0,
+            );
+            prop_assert!(
+                matches!(
+                    response,
+                    Response::Error { code: oef_service::ErrorCode::UnknownTenant, .. }
+                ),
+                "departed alias must be dead: {response:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! End-to-end tests of live cross-shard migration and the online rebalancer.
+//!
+//! The headline test proves migration is **allocation-preserving**: a tenant
+//! pair that migrates across shards mid-run (with a v4 snapshot/restore
+//! straddling the migration sequence) produces round summaries identical to
+//! an unsharded twin that never moved, to 1e-6 — which can only hold if the
+//! complete tenant state, *including the rounding placer's deviation rows*,
+//! survives every move.  A second test drives a zipf-skewed churn trace over
+//! a 4-shard federation with periodic `Rebalance` passes, asserts the
+//! rebalancer converges shard load within its threshold, then verifies over
+//! real loopback TCP that every pre-migration handle (tenant and job paths)
+//! still resolves — before and after a wire snapshot/restore round trip.
+
+use oef_cluster::ClusterTopology;
+use oef_core::sharded;
+use oef_service::{
+    Command, ErrorCode, Response, RoundSummary, SchedulerService, Server, ServiceClient,
+    ServiceConfig,
+};
+use oef_shard::{placement_from_name, ShardCoordinator};
+use oef_workloads::{ChurnConfig, ChurnEventKind, ChurnTrace, PhillyTraceGenerator, TraceConfig};
+use std::collections::HashMap;
+
+fn coordinator(shards: usize) -> ShardCoordinator {
+    ShardCoordinator::new(
+        (0..shards)
+            .map(|_| ClusterTopology::paper_cluster())
+            .collect(),
+        ServiceConfig::default(),
+        placement_from_name("least-loaded").unwrap(),
+    )
+    .unwrap()
+}
+
+/// Compares two round sequences on everything allocation-shaped, ignoring
+/// handles (the runs mint different ones) and the warm-start flag (a
+/// migration forces one cold solve, which changes timing, never values).
+fn assert_allocations_match(label: &str, expected: &[RoundSummary], observed: &[RoundSummary]) {
+    assert_eq!(expected.len(), observed.len(), "{label}: round counts");
+    for (round, (e, o)) in expected.iter().zip(observed).enumerate() {
+        assert_eq!(e.round, o.round, "{label}: round index at {round}");
+        assert_eq!(
+            e.tenants.len(),
+            o.tenants.len(),
+            "{label}: active tenants at round {round}"
+        );
+        for (i, (s, t)) in e.tenants.iter().zip(&o.tenants).enumerate() {
+            assert!(
+                (s.estimated_throughput - t.estimated_throughput).abs() < 1e-6,
+                "{label}: round {round} tenant {i} estimated {} vs {}",
+                s.estimated_throughput,
+                t.estimated_throughput
+            );
+            assert!(
+                (s.actual_throughput - t.actual_throughput).abs() < 1e-6,
+                "{label}: round {round} tenant {i} actual {} vs {}",
+                s.actual_throughput,
+                t.actual_throughput
+            );
+            assert_eq!(
+                s.devices_held, t.devices_held,
+                "{label}: round {round} tenant {i} devices"
+            );
+            for (u, v) in s.gpu_shares.iter().zip(&t.gpu_shares) {
+                assert!(
+                    (u - v).abs() < 1e-6,
+                    "{label}: round {round} tenant {i} share {u} vs {v}"
+                );
+            }
+        }
+    }
+}
+
+fn tick<C: oef_service::CommandHandler>(core: &mut C) -> RoundSummary {
+    match core.apply(Command::Tick, 0) {
+        Response::RoundCompleted(summary) => summary,
+        other => panic!("tick failed: {other:?}"),
+    }
+}
+
+fn join<C: oef_service::CommandHandler>(core: &mut C, name: &str, speedup: &[f64]) -> u64 {
+    match core.apply(
+        Command::TenantJoin {
+            name: name.into(),
+            weight: 1,
+            speedup: speedup.to_vec(),
+        },
+        0,
+    ) {
+        Response::TenantJoined { tenant } => tenant,
+        other => panic!("join failed: {other:?}"),
+    }
+}
+
+fn submit<C: oef_service::CommandHandler>(core: &mut C, tenant: u64, workers: usize) -> u64 {
+    match core.apply(
+        Command::SubmitJob {
+            tenant,
+            model: "model".into(),
+            workers,
+            total_work: 1e9,
+        },
+        0,
+    ) {
+        Response::JobSubmitted { job, .. } => job,
+        other => panic!("submit failed: {other:?}"),
+    }
+}
+
+fn migrate(c: &mut ShardCoordinator, tenant: u64, shard: usize) -> u64 {
+    match c.apply(Command::MigrateTenant { tenant, shard }, 0) {
+        Response::TenantMigrated { tenant, .. } => tenant,
+        other => panic!("migrate failed: {other:?}"),
+    }
+}
+
+/// Migration is allocation-preserving: the federation's tenants — co-located
+/// by migration, then moved wholesale to the other shard mid-run, with a v4
+/// snapshot/restore straddling the second move — match an unsharded twin
+/// that never migrated, round for round, to 1e-6.  The profiles are chosen
+/// so the LP's fractional shares force the rounding placer to carry real
+/// deviation state; dropping it in the move would break the comparison.
+#[test]
+fn migrated_tenants_match_an_unmigrated_twin_to_1e6() {
+    let profiles: [&[f64]; 2] = [&[1.0, 1.18, 1.39], &[1.0, 1.55, 2.15]];
+
+    // --- twin: one unsharded scheduler runs the whole script in place.
+    let mut twin =
+        SchedulerService::new(ClusterTopology::paper_cluster(), ServiceConfig::default()).unwrap();
+    let twin_a = join(&mut twin, "alice", profiles[0]);
+    let twin_b = join(&mut twin, "bob", profiles[1]);
+    submit(&mut twin, twin_a, 2);
+    submit(&mut twin, twin_b, 3);
+    submit(&mut twin, twin_b, 1);
+    let mut expected = Vec::new();
+    for _ in 0..8 {
+        expected.push(tick(&mut twin));
+    }
+
+    // --- federation: same tenants, but their lives span three migrations.
+    let mut fed = coordinator(2);
+    let a = join(&mut fed, "alice", profiles[0]);
+    let b = join(&mut fed, "bob", profiles[1]);
+    assert_ne!(
+        sharded::shard_of(a),
+        sharded::shard_of(b),
+        "least-loaded spreads the pair"
+    );
+    // Co-locate bob with alice (twin layout: both on one scheduler, alice
+    // dense index 0, bob index 1) before any state accrues.
+    let home = sharded::shard_of(a);
+    let away = 1 - home;
+    migrate(&mut fed, b, home);
+    // All later commands use the ORIGINAL handles — the forwarding table is
+    // part of what is under test.
+    submit(&mut fed, a, 2);
+    submit(&mut fed, b, 3);
+    submit(&mut fed, b, 1);
+    let mut observed = Vec::new();
+    for _ in 0..4 {
+        observed.push(tick(&mut fed));
+    }
+
+    // Mid-run: move the whole population to the other shard (alice first so
+    // the dense order matches the twin), with a snapshot straddling the
+    // sequence — alice moves before it, bob after the restore.
+    migrate(&mut fed, a, away);
+    let Response::Snapshot { snapshot } = fed.apply(Command::Snapshot, 0) else {
+        panic!("snapshot failed");
+    };
+    // The uninterrupted original finishes the script...
+    let mut uninterrupted = Vec::new();
+    {
+        migrate(&mut fed, b, away);
+        for _ in 0..4 {
+            uninterrupted.push(tick(&mut fed));
+        }
+    }
+    // ...and so does a coordinator restored from the mid-migration snapshot.
+    let mut restored = ShardCoordinator::from_federated_json(&snapshot).unwrap();
+    migrate(&mut restored, b, away);
+    let mut resumed = observed.clone();
+    for _ in 0..4 {
+        resumed.push(tick(&mut restored));
+    }
+    observed.extend(uninterrupted);
+
+    assert_allocations_match("uninterrupted federation vs twin", &expected, &observed);
+    assert_allocations_match("restored federation vs twin", &expected, &resumed);
+
+    // The original handles still route in both federations — three
+    // migrations and one restore later.
+    for (label, c) in [("original", &mut fed), ("restored", &mut restored)] {
+        for &handle in &[a, b] {
+            let r = c.apply(
+                Command::UpdateSpeedups {
+                    tenant: handle,
+                    speedup: vec![1.0, 1.3, 1.7],
+                },
+                0,
+            );
+            assert!(
+                matches!(r, Response::SpeedupsUpdated { .. }),
+                "{label}: pre-migration handle must still route: {r:?}"
+            );
+        }
+    }
+    // And both federations agree on where everything lives now.
+    assert_eq!(fed.resolve_handle(a), restored.resolve_handle(a));
+    assert_eq!(fed.resolve_handle(b), restored.resolve_handle(b));
+}
+
+/// A small skewed churn stream: head tenants carry most of the job budget,
+/// so shards drift imbalanced in job load while least-loaded placement keeps
+/// registered counts even.
+fn skewed_churn(tenants: usize) -> ChurnTrace {
+    let trace = PhillyTraceGenerator::new(TraceConfig {
+        num_tenants: tenants,
+        jobs_per_tenant: 8,
+        duration_secs: 20.0 * 300.0,
+        contention: 60.0,
+        cluster_devices: 96,
+        speedup_jitter: 0.05,
+        multi_model_fraction: 0.1,
+        seed: 11,
+    })
+    .generate();
+    ChurnTrace::from_trace(
+        &trace,
+        &ChurnConfig {
+            round_secs: 300.0,
+            linger_rounds: 60,
+            reprofile_every_rounds: 0,
+            reprofile_jitter: 0.0,
+            skew: 1.0,
+            host_churn_every_rounds: 0,
+            host_churn_linger_rounds: 0,
+            host_churn_gpus: 0,
+        },
+    )
+}
+
+/// The acceptance scenario: a skewed churn trace over 4 shards, periodic
+/// rebalance passes converging shard load within the configured threshold,
+/// and — over real TCP — every pre-migration handle still resolving (tenant
+/// and job paths), across a wire snapshot/restore.
+#[test]
+fn rebalancer_converges_and_old_handles_survive_over_tcp() {
+    let shards = 4;
+    let mut c = coordinator(shards);
+    let churn = skewed_churn(24);
+
+    // Replay the stream in-process up to (but not including) the leave wave,
+    // rebalancing every 10 rounds.  Track every handle each tenant ever had
+    // and one pre-migration job id per tenant.
+    let mut handles: HashMap<String, u64> = HashMap::new();
+    let mut all_handles: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut first_job: HashMap<String, (u64, u64)> = HashMap::new();
+    let mut converged_passes = 0usize;
+    let mut migrations = 0usize;
+    let horizon = 35.min(churn.rounds);
+    for round in 0..horizon {
+        for event in churn.events_at(round) {
+            match &event.kind {
+                ChurnEventKind::Join { weight, speedup } => {
+                    let Response::TenantJoined { tenant } = c.apply(
+                        Command::TenantJoin {
+                            name: event.subject.clone(),
+                            weight: *weight,
+                            speedup: speedup.clone(),
+                        },
+                        0,
+                    ) else {
+                        panic!("join failed");
+                    };
+                    handles.insert(event.subject.clone(), tenant);
+                    all_handles
+                        .entry(event.subject.clone())
+                        .or_default()
+                        .push(tenant);
+                }
+                ChurnEventKind::SubmitJob(job) => {
+                    let handle = handles[&event.subject];
+                    let Response::JobSubmitted { job, .. } = c.apply(
+                        Command::SubmitJob {
+                            tenant: handle,
+                            model: job.model.clone(),
+                            workers: job.workers,
+                            total_work: job.total_work,
+                        },
+                        0,
+                    ) else {
+                        panic!("submit failed");
+                    };
+                    // Remember the first (pre-any-migration) job id per
+                    // tenant, keyed by the handle held at submission time.
+                    first_job
+                        .entry(event.subject.clone())
+                        .or_insert((handle, job));
+                }
+                ChurnEventKind::Leave => {
+                    // The horizon stops before leaves, but guard anyway.
+                    let handle = handles.remove(&event.subject).expect("joined");
+                    c.apply(Command::TenantLeave { tenant: handle }, 0);
+                }
+                ChurnEventKind::UpdateSpeedups { speedup } => {
+                    c.apply(
+                        Command::UpdateSpeedups {
+                            tenant: handles[&event.subject],
+                            speedup: speedup.clone(),
+                        },
+                        0,
+                    );
+                }
+                ChurnEventKind::AddHost { .. } | ChurnEventKind::RemoveHost => {}
+            }
+        }
+        let summary = tick(&mut c);
+        assert_eq!(summary.round, round);
+        if round > 0 && round % 10 == 0 {
+            let Response::Rebalanced(report) = c.apply(Command::Rebalance, 0) else {
+                panic!("rebalance failed");
+            };
+            migrations += report.moves.len();
+            if report.imbalance_after <= report.threshold {
+                converged_passes += 1;
+            }
+            // Learn the re-minted handles so the alias lists stay complete.
+            for m in &report.moves {
+                for (name, live) in handles.iter_mut() {
+                    if *live == m.previous {
+                        *live = m.tenant;
+                        all_handles.get_mut(name).unwrap().push(m.tenant);
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        migrations > 0,
+        "the skewed trace must actually trigger migrations"
+    );
+    assert!(
+        converged_passes > 0,
+        "at least one pass must converge within the threshold"
+    );
+    // Convergence holds right now, by the rebalancer's own metric: a fresh
+    // pass has nothing to do.
+    let Response::Rebalanced(report) = c.apply(Command::Rebalance, 0) else {
+        panic!("rebalance failed");
+    };
+    assert!(
+        report.imbalance_after <= report.threshold,
+        "federation must end within the threshold: {report:?}"
+    );
+    assert!(c.forwarding_entries() > 0);
+
+    // --- wire phase: serve the federation and verify every handle ever
+    // issued still answers over TCP.
+    let server = Server::spawn(c, "127.0.0.1:0").expect("daemon binds");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("client connects");
+
+    let verify = |client: &mut ServiceClient,
+                  all_handles: &HashMap<String, Vec<u64>>,
+                  first_job: &HashMap<String, (u64, u64)>| {
+        for (name, aliases) in all_handles {
+            for &alias in aliases {
+                client
+                    .update_speedups(alias, &[1.0, 1.25, 1.6])
+                    .unwrap_or_else(|e| panic!("alias {alias} of {name} must route: {e}"));
+            }
+        }
+        // Job paths: the job id minted before any migration, addressed
+        // through the handle held at submission time.
+        let (handle, job) = first_job
+            .values()
+            .next()
+            .expect("at least one job was submitted");
+        match client.call(Command::JobFinished {
+            tenant: *handle,
+            job: *job,
+        }) {
+            Ok(Response::JobFinished { .. }) => {}
+            // The job may have legitimately finished and been pruned by a
+            // later tick; UnknownJob through a *routable* handle is fine —
+            // only UnknownTenant would mean the handle broke.
+            Err(oef_service::ClientError::Service {
+                code: ErrorCode::UnknownJob,
+                ..
+            }) => {}
+            other => panic!("pre-migration job path must resolve: {other:?}"),
+        }
+    };
+    verify(&mut client, &all_handles, &first_job);
+
+    let status = client.status().expect("status");
+    assert_eq!(status.shards.len(), shards);
+    assert!(status.forwarding_entries > 0, "{status:?}");
+
+    // Snapshot/restore over the wire: the forwarding table is durable.
+    let snapshot = client.snapshot().expect("snapshot");
+    let restored = client.restore(&snapshot).expect("restore");
+    assert_eq!(restored, handles.len());
+    verify(&mut client, &all_handles, &first_job);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}

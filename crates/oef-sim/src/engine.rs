@@ -76,8 +76,10 @@ struct RoundScratch {
     global_min_demand: Vec<usize>,
     /// Global tenant id -> active index.
     index_of: std::collections::HashMap<usize, usize>,
-    /// Jobs that received devices this round.
-    placed_jobs: std::collections::HashSet<oef_cluster::JobId>,
+    /// Jobs that received devices this round, keyed by `(tenant, job)` —
+    /// job ids are only unique *per tenant* once tenants can migrate in
+    /// from another shard with the ids they were minted there.
+    placed_jobs: std::collections::HashSet<(usize, oef_cluster::JobId)>,
     /// Per-active-tenant actual throughput.
     actual: Vec<f64>,
     /// Per-active-tenant devices held.
@@ -185,6 +187,13 @@ impl SimulationEngine {
     /// Replaces the rounding placer state when resuming from a snapshot.
     pub fn restore_rounding(&mut self, rounding: RoundingPlacer) {
         self.rounding = rounding;
+    }
+
+    /// Installs one tenant's cumulative rounding-deviation row (the receiving
+    /// side of a cross-shard migration): the row the tenant accumulated on
+    /// its source shard replaces whatever this placer holds at `tenant`.
+    pub fn install_deviation_row(&mut self, tenant: usize, row: &[f64]) {
+        self.rounding.set_row(tenant, row);
     }
 
     /// Removes a tenant from the cluster state *and* drops its rounding
@@ -432,7 +441,9 @@ impl SimulationEngine {
                 self.straggler_stats.cross_type_placements += 1;
                 self.straggler_stats.affected_workers += affected as u64;
             }
-            self.scratch.placed_jobs.insert(placement.job);
+            self.scratch
+                .placed_jobs
+                .insert((placement.tenant, placement.job));
             let tenant = self.state.tenant_mut(placement.tenant);
             if let Some(job) = tenant.job_mut(placement.job) {
                 job.advance(effective_rate * dt, now);
@@ -442,9 +453,10 @@ impl SimulationEngine {
         // Starvation accounting for runnable jobs that received nothing.
         let placed_jobs = &self.scratch.placed_jobs;
         for tenant in self.state.tenants_mut() {
+            let id = tenant.id;
             for job in &mut tenant.jobs {
                 if matches!(job.state, oef_cluster::JobState::Runnable)
-                    && !placed_jobs.contains(&job.id)
+                    && !placed_jobs.contains(&(id, job.id))
                 {
                     job.starvation_time += dt;
                 }

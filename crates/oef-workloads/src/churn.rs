@@ -84,6 +84,16 @@ pub struct ChurnConfig {
     pub reprofile_every_rounds: usize,
     /// Relative jitter applied on each re-profile.
     pub reprofile_jitter: f64,
+    /// Zipf-ish skew of per-tenant job weight (0 disables, leaving every
+    /// tenant its trace-given jobs).  With skew `s`, the tenant at rank `r`
+    /// (trace order) carries weight `(r + 1)^-s` of the total job budget:
+    /// a few head tenants hold most of the jobs and stay active (and
+    /// registered) for the whole horizon, while tail tenants run one small
+    /// job and leave early.  Under least-loaded placement — which balances
+    /// *registered* counts at join time and never looks again — that is
+    /// exactly the uneven churn that strands load on whichever shards the
+    /// head tenants landed on, which is what the rebalancer exists to fix.
+    pub skew: f64,
     /// Every this many rounds a transient host joins the cluster, cycling
     /// through the GPU types (0 disables topology churn).  Only hosts the
     /// stream itself added are ever removed, so the base topology keeps every
@@ -103,6 +113,7 @@ impl Default for ChurnConfig {
             linger_rounds: 12,
             reprofile_every_rounds: 24,
             reprofile_jitter: 0.03,
+            skew: 0.0,
             host_churn_every_rounds: 0,
             host_churn_linger_rounds: 30,
             host_churn_gpus: 4,
@@ -125,7 +136,40 @@ impl ChurnTrace {
     pub fn from_trace(trace: &Trace, config: &ChurnConfig) -> Self {
         let round_of = |secs: f64| (secs / config.round_secs).floor().max(0.0) as usize;
         let mut events = Vec::new();
-        for tenant in &trace.tenants {
+        // Per-tenant job multiplicity.  Without skew every tenant submits
+        // exactly its trace jobs; with skew the total job budget is
+        // redistributed zipf-ishly by tenant rank — head tenants replay
+        // their job list several times over, tail tenants keep only the
+        // first job or two (and therefore leave early).
+        let job_counts: Vec<usize> = if config.skew > 0.0 {
+            let total_jobs: usize = trace.tenants.iter().map(|t| t.jobs.len()).sum();
+            let weights: Vec<f64> = trace
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(rank, t)| {
+                    if t.jobs.is_empty() {
+                        0.0
+                    } else {
+                        1.0 / ((rank + 1) as f64).powf(config.skew)
+                    }
+                })
+                .collect();
+            let weight_sum: f64 = weights.iter().sum();
+            weights
+                .iter()
+                .map(|&w| {
+                    if w == 0.0 || weight_sum == 0.0 {
+                        0
+                    } else {
+                        ((total_jobs as f64 * w / weight_sum).round() as usize).max(1)
+                    }
+                })
+                .collect()
+        } else {
+            trace.tenants.iter().map(|t| t.jobs.len()).collect()
+        };
+        for (rank, tenant) in trace.tenants.iter().enumerate() {
             let Some(first) = tenant.jobs.first() else {
                 continue;
             };
@@ -141,7 +185,12 @@ impl ChurnTrace {
             });
 
             let mut last_round = join_round;
-            for job in &tenant.jobs {
+            // Cycling the tenant's own job list keeps arrival rounds, model
+            // mix and sizes realistic while hitting the (possibly skewed)
+            // job count: a head tenant re-submits its recurring jobs, a tail
+            // tenant keeps only its earliest ones.
+            for i in 0..job_counts[rank] {
+                let job = &tenant.jobs[i % tenant.jobs.len()];
                 let round = round_of(job.arrival_time).max(join_round);
                 last_round = last_round.max(round);
                 events.push(ChurnEvent {
@@ -324,6 +373,75 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: ChurnTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a);
+    }
+
+    #[test]
+    fn skew_redistributes_jobs_toward_head_tenants() {
+        let trace = PhillyTraceGenerator::new(TraceConfig {
+            num_tenants: 8,
+            jobs_per_tenant: 6,
+            duration_secs: 6.0 * 3600.0,
+            ..TraceConfig::default()
+        })
+        .generate();
+        let uniform = ChurnTrace::from_trace(&trace, &ChurnConfig::default());
+        let skewed = ChurnTrace::from_trace(
+            &trace,
+            &ChurnConfig {
+                skew: 1.2,
+                ..ChurnConfig::default()
+            },
+        );
+        let jobs_of = |churn: &ChurnTrace, name: &str| {
+            churn
+                .events
+                .iter()
+                .filter(|e| e.subject == name && matches!(e.kind, ChurnEventKind::SubmitJob(_)))
+                .count()
+        };
+        let head = jobs_of(&skewed, "tenant-0");
+        let tail = jobs_of(&skewed, "tenant-7");
+        assert!(
+            head > jobs_of(&uniform, "tenant-0"),
+            "head tenant gains jobs: {head}"
+        );
+        assert!(tail >= 1, "every tenant keeps at least one job");
+        assert!(
+            head >= 4 * tail,
+            "zipf weight must concentrate jobs: head {head} vs tail {tail}"
+        );
+        // The total budget is approximately preserved (rounding aside).
+        let total_uniform: usize = (0..8)
+            .map(|t| jobs_of(&uniform, &format!("tenant-{t}")))
+            .sum();
+        let total_skewed: usize = (0..8)
+            .map(|t| jobs_of(&skewed, &format!("tenant-{t}")))
+            .sum();
+        assert!(
+            (total_skewed as i64 - total_uniform as i64).unsigned_abs() as usize
+                <= trace.tenants.len(),
+            "budget drifted: {total_uniform} -> {total_skewed}"
+        );
+        // Tail tenants leave earlier than in the uniform stream (their last
+        // arrival moved up), which is what lets shards drift imbalanced.
+        let leave_of = |churn: &ChurnTrace, name: &str| {
+            churn
+                .events
+                .iter()
+                .find(|e| e.subject == name && matches!(e.kind, ChurnEventKind::Leave))
+                .map(|e| e.round)
+                .unwrap()
+        };
+        assert!(leave_of(&skewed, "tenant-7") <= leave_of(&uniform, "tenant-7"));
+        // Zero skew is bit-for-bit the original derivation.
+        let zero = ChurnTrace::from_trace(
+            &trace,
+            &ChurnConfig {
+                skew: 0.0,
+                ..ChurnConfig::default()
+            },
+        );
+        assert_eq!(zero, uniform);
     }
 
     #[test]

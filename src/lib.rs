@@ -23,7 +23,9 @@
 //!   TCP (`oef-serviced` / `oef-servicectl`).
 //! * [`shard`] — sharded cluster federation: a coordinator routing that same wire
 //!   protocol across N scheduler shards with shard-aware handles, parallel per-shard
-//!   solves and federated (v3) snapshots.
+//!   solves, handle forwarding across migrations and federated (v4) snapshots.
+//! * [`rebalance`] — live cross-shard tenant migration and the online rebalancer
+//!   that keeps long-lived federations balanced as tenants churn unevenly.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 pub use oef_cluster as cluster;
 pub use oef_core as core;
 pub use oef_lp as lp;
+pub use oef_rebalance as rebalance;
 pub use oef_schedulers as schedulers;
 pub use oef_service as service;
 pub use oef_shard as shard;
