@@ -1,0 +1,127 @@
+//! Crash-atomic file writes: temp file, fsync, rename.
+//!
+//! A snapshot written with a bare `fs::write` can be left truncated by a
+//! crash mid-write — and a truncated snapshot is worse than a stale one,
+//! because recovery trusts it.  The pattern here guarantees the final path
+//! only ever holds either the old content or the complete new content:
+//! write to a sibling temp file, `fsync` it, then `rename` over the target
+//! (atomic on POSIX), and best-effort fsync the parent directory so the
+//! rename itself is durable.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Write `bytes` to `path` atomically (temp file + fsync + rename).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut pending = PendingFile::begin(path)?;
+    pending.write_all(bytes)?;
+    pending.commit()
+}
+
+/// A two-phase atomic write: [`PendingFile::begin`] + writes stage content
+/// in a temp file, [`PendingFile::commit`] fsyncs and renames it into
+/// place.  Dropping a `PendingFile` without committing abandons the temp
+/// file — exactly the on-disk state a crash mid-write would leave, which
+/// is what the fault-injection harness exploits.
+#[derive(Debug)]
+pub struct PendingFile {
+    file: Option<File>,
+    tmp: PathBuf,
+    target: PathBuf,
+}
+
+impl PendingFile {
+    /// Start an atomic write targeting `path`.
+    pub fn begin(path: &Path) -> io::Result<Self> {
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(file_name);
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = path.with_file_name(tmp_name);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        Ok(PendingFile {
+            file: Some(file),
+            tmp,
+            target: path.to_path_buf(),
+        })
+    }
+
+    /// Append `bytes` to the staged content.
+    pub fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("pending file already committed")
+            .write_all(bytes)
+    }
+
+    /// Fsync the staged file and rename it over the target.
+    pub fn commit(mut self) -> io::Result<()> {
+        let file = self.file.take().expect("pending file already committed");
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.target)?;
+        // Make the rename itself durable.  Directory fsync is best-effort:
+        // some filesystems refuse to open directories for writing.
+        if let Some(parent) = self.target.parent() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PendingFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oef-atomic-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = scratch("replace");
+        let path = dir.join("snapshot.json");
+        atomic_write(&path, b"old").unwrap();
+        atomic_write(&path, b"new content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new content");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn abandoned_pending_file_leaves_target_untouched() {
+        let dir = scratch("abandon");
+        let path = dir.join("snapshot.json");
+        atomic_write(&path, b"committed").unwrap();
+        let mut pending = PendingFile::begin(&path).unwrap();
+        pending.write_all(b"half-writ").unwrap();
+        drop(pending); // simulated crash mid-write
+        assert_eq!(std::fs::read(&path).unwrap(), b"committed");
+        // And the temp file is cleaned up on drop (a real crash would leave
+        // it; recovery ignores dot-files either way).
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("snapshot.json")]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//!
+//! The workspace is offline-only, so the checksum is hand-rolled rather than
+//! pulled from a crate.  This is the ubiquitous zlib/gzip/ethernet CRC: any
+//! external tool that speaks standard CRC32 can validate a journal segment.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+fn update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        state = TABLE[((state ^ byte as u32) & 0xff) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// CRC32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    !update(!0, data)
+}
+
+/// CRC32 of the concatenation `a ++ b` without materialising it.
+pub(crate) fn crc32_pair(a: &[u8], b: &[u8]) -> u32 {
+    !update(update(!0, a), b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn pair_equals_concatenation() {
+        let a = b"hello, ";
+        let b = b"journal";
+        let mut joined = a.to_vec();
+        joined.extend_from_slice(b);
+        assert_eq!(crc32_pair(a, b), crc32(&joined));
+        assert_eq!(crc32_pair(b"", b"journal"), crc32(b"journal"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"some record payload".to_vec();
+        let clean = crc32(&data);
+        data[4] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,110 @@
+//! Scripted fault injection for crash-recovery tests.
+//!
+//! A crash is only interesting at the moments where durability invariants
+//! are easiest to break.  [`CrashPoint`] names those moments; a
+//! [`FaultPlan`] arms exactly one of them to fire on its n-th occurrence;
+//! the journal's host checks [`FaultInjector::should_crash`] at each point
+//! and, when told to, stops dead — leaving the files exactly as a real
+//! crash would.
+
+/// The moments mid-pipeline where a scripted crash can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the command is appended to the journal: the command is lost
+    /// entirely, as if the daemon died between dequeue and append.
+    PreAppend,
+    /// After the record is durable but before the command is applied: replay
+    /// must reproduce the apply.
+    PostAppendPreApply,
+    /// After a compaction's snapshot has been renamed into place but before
+    /// stale segments are deleted: recovery must skip the stale records.
+    MidCompaction,
+    /// While the snapshot temp file is being written, before the rename: the
+    /// old snapshot must stay authoritative and the full tail must replay.
+    MidSnapshotWrite,
+}
+
+/// Arms one [`CrashPoint`] to fire on its `after`-th occurrence (1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Which pipeline moment to crash at.
+    pub point: CrashPoint,
+    /// Fire on the n-th time the point is reached (1 = first).
+    pub after: u64,
+}
+
+/// Counts occurrences of each crash point and reports when the armed one
+/// should fire.  A disarmed injector ([`FaultInjector::none`]) is free:
+/// every check is a branch on a `None`.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: Option<FaultPlan>,
+    hits: u64,
+    fired: bool,
+}
+
+impl FaultInjector {
+    /// An injector that never fires — the production configuration.
+    pub fn none() -> Self {
+        FaultInjector::default()
+    }
+
+    /// An injector armed with `plan`.
+    pub fn armed(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan: Some(plan),
+            hits: 0,
+            fired: false,
+        }
+    }
+
+    /// Record that execution reached `point`; returns true exactly once,
+    /// when the armed point's occurrence count reaches the plan.
+    pub fn should_crash(&mut self, point: CrashPoint) -> bool {
+        let Some(plan) = self.plan else {
+            return false;
+        };
+        if self.fired || plan.point != point {
+            return false;
+        }
+        self.hits += 1;
+        if self.hits >= plan.after {
+            self.fired = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the armed fault has already fired.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_on_the_nth_hit() {
+        let mut injector = FaultInjector::armed(FaultPlan {
+            point: CrashPoint::PreAppend,
+            after: 3,
+        });
+        assert!(!injector.should_crash(CrashPoint::PreAppend));
+        assert!(!injector.should_crash(CrashPoint::PostAppendPreApply));
+        assert!(!injector.should_crash(CrashPoint::PreAppend));
+        assert!(injector.should_crash(CrashPoint::PreAppend));
+        assert!(injector.has_fired());
+        assert!(!injector.should_crash(CrashPoint::PreAppend));
+    }
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let mut injector = FaultInjector::none();
+        for _ in 0..100 {
+            assert!(!injector.should_crash(CrashPoint::MidSnapshotWrite));
+        }
+    }
+}

@@ -1,0 +1,911 @@
+//! The journal proper: rolling per-lane segment files of framed records,
+//! group-commit fsync batching, gap-aware recovery and compaction.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32_pair;
+
+/// `"OEFJ"` — identifies a journal segment file.
+const SEGMENT_MAGIC: [u8; 4] = *b"OEFJ";
+/// On-disk format version of segment files.
+const SEGMENT_FORMAT: u32 = 1;
+/// Segment header: magic + format version + lane index + reserved word.
+const SEGMENT_HEADER_LEN: usize = 16;
+/// Record frame ahead of the payload: length + CRC + sequence number.
+const RECORD_HEADER_LEN: usize = 16;
+/// Sanity bound on a single record: a corrupt length prefix must not make
+/// recovery try to allocate gigabytes.
+const MAX_RECORD_LEN: u32 = 64 << 20;
+/// A lane's write buffer is flushed to the OS once it grows past this, even
+/// inside an open group-commit window, bounding memory when `fsync_every`
+/// is large or zero.
+const WRITE_BUFFER_FLUSH: usize = 256 << 10;
+
+/// Tuning knobs for a [`Journal`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// Number of lanes (the daemon uses one per shard).  Records in
+    /// different lanes live in different segment files; sequence numbers
+    /// stay global so replay has a total order.
+    pub lanes: u32,
+    /// Group-commit batch: write out and fsync after every n-th append
+    /// (appends inside the window stay in a process-local buffer, so a
+    /// batch costs one `write` plus one fsync per lane).  `1` is fully
+    /// synchronous, `0` never fsyncs explicitly (the OS decides) — at most
+    /// `fsync_every` acknowledged commands can be lost by a crash.
+    pub fsync_every: u64,
+    /// Records per segment before rolling to a new file.
+    pub segment_records: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            lanes: 1,
+            fsync_every: 1,
+            segment_records: 1024,
+        }
+    }
+}
+
+/// One record read back from the journal during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Global sequence number (contiguous across lanes).
+    pub seq: u64,
+    /// Lane the record was appended to.
+    pub lane: u32,
+    /// The payload exactly as appended.
+    pub payload: Vec<u8>,
+}
+
+/// What [`Journal::open`] found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid records with `seq > base_seq`, returned for replay.
+    pub replayed: usize,
+    /// Valid records at or below the snapshot base, skipped (left behind by
+    /// an interrupted compaction).
+    pub stale_skipped: usize,
+    /// Bytes truncated off torn or corrupt segment tails.
+    pub torn_bytes: u64,
+    /// Valid records dropped because an earlier sequence number was missing
+    /// (a group-commit crash lost part of a batch in another lane).
+    pub gap_dropped: usize,
+}
+
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    first_seq: u64,
+    last_seq: u64,
+    records: u64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    index: u32,
+    dir: PathBuf,
+    segments: Vec<Segment>,
+    /// Append handle to the last segment, if one is open.
+    file: Option<File>,
+    /// Encoded frames not yet handed to the OS.  Group commit batches the
+    /// `write(2)` calls as well as the fsync: appends land here and the
+    /// whole batch is written out when the window closes (or the buffer
+    /// outgrows [`WRITE_BUFFER_FLUSH`]).
+    buf: Vec<u8>,
+    dirty: bool,
+}
+
+/// A record scanned off disk, with enough position info to truncate at it.
+struct Scanned {
+    seq: u64,
+    lane: u32,
+    payload: Vec<u8>,
+    segment: usize,
+    /// Byte offset of the record's frame within its segment file.
+    offset: u64,
+}
+
+impl Lane {
+    fn new(index: u32, dir: PathBuf) -> Self {
+        Lane {
+            index,
+            dir,
+            segments: Vec::new(),
+            file: None,
+            buf: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    fn segment_path(&self, first_seq: u64) -> PathBuf {
+        self.dir.join(format!("seg-{first_seq:020}.oefj"))
+    }
+
+    fn roll(&mut self, first_seq: u64) -> io::Result<()> {
+        self.close_active()?;
+        let path = self.segment_path(first_seq);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN];
+        header[0..4].copy_from_slice(&SEGMENT_MAGIC);
+        header[4..8].copy_from_slice(&SEGMENT_FORMAT.to_le_bytes());
+        header[8..12].copy_from_slice(&self.index.to_le_bytes());
+        file.write_all(&header)?;
+        self.segments.push(Segment {
+            path,
+            first_seq,
+            last_seq: first_seq,
+            records: 0,
+        });
+        self.file = Some(file);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Write any buffered frames through to the active segment file.
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file
+                .as_mut()
+                .expect("buffered frames imply an open segment")
+                .write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush, fsync and drop the active append handle (a rolled-away
+    /// segment must be durable before the next one starts taking records).
+    fn close_active(&mut self) -> io::Result<()> {
+        self.flush()?;
+        if let Some(file) = self.file.take() {
+            if self.dirty {
+                file.sync_data()?;
+                self.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, seq: u64, payload: &[u8], segment_records: u64) -> io::Result<()> {
+        let needs_roll = match (self.file.as_ref(), self.segments.last()) {
+            (Some(_), Some(segment)) => segment.records >= segment_records,
+            _ => true,
+        };
+        if needs_roll {
+            self.roll(seq)?;
+        }
+        encode_record_into(&mut self.buf, seq, payload);
+        if self.buf.len() >= WRITE_BUFFER_FLUSH {
+            self.flush()?;
+        }
+        let segment = self.segments.last_mut().expect("roll pushed a segment");
+        segment.last_seq = seq;
+        segment.records += 1;
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.flush()?;
+        if self.dirty {
+            if let Some(file) = self.file.as_mut() {
+                file.sync_data()?;
+            }
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+fn encode_record_into(frame: &mut Vec<u8>, seq: u64, payload: &[u8]) {
+    let seq_bytes = seq.to_le_bytes();
+    let crc = crc32_pair(&seq_bytes, payload);
+    frame.reserve(RECORD_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&seq_bytes);
+    frame.extend_from_slice(payload);
+}
+
+#[cfg(test)]
+fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    encode_record_into(&mut frame, seq, payload);
+    frame
+}
+
+/// An append-only, checksummed, multi-lane command journal.
+///
+/// See the crate docs for the format; the daemon-facing contract is:
+/// [`Journal::append`] makes a payload durable (subject to the group-commit
+/// window), [`Journal::open`] gives back every payload that survived, in
+/// global order, having truncated anything torn and cut anything past a
+/// sequence gap.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    lanes: Vec<Lane>,
+    next_seq: u64,
+    fsync_every: u64,
+    segment_records: u64,
+    appended_since_sync: u64,
+}
+
+impl Journal {
+    /// Create a fresh journal in `dir` (created if missing).  Fails if the
+    /// directory already contains journal lanes — recovery must go through
+    /// [`Journal::open`] so torn tails are repaired, not appended over.
+    pub fn create(dir: &Path, config: JournalConfig) -> io::Result<Journal> {
+        std::fs::create_dir_all(dir)?;
+        if existing_lane_dirs(dir)?.next().is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "journal directory {} already holds lanes; open it instead of creating over it",
+                    dir.display()
+                ),
+            ));
+        }
+        let mut lanes = Vec::new();
+        for index in 0..config.lanes.max(1) {
+            let lane_dir = dir.join(format!("lane-{index:02}"));
+            std::fs::create_dir_all(&lane_dir)?;
+            lanes.push(Lane::new(index, lane_dir));
+        }
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            lanes,
+            next_seq: 1,
+            fsync_every: config.fsync_every,
+            segment_records: config.segment_records.max(1),
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Open an existing journal and recover its contents.
+    ///
+    /// `base_seq` is the sequence number the latest snapshot covers (0 for
+    /// genesis): records at or below it are skipped as stale, records above
+    /// it are returned in sequence order for replay.  Torn or corrupt tails
+    /// are physically truncated; a sequence gap above `base_seq` cuts the
+    /// replay there and truncates every lane past the cut, so the journal
+    /// is left consistent with what was returned.
+    pub fn open(
+        dir: &Path,
+        base_seq: u64,
+        config: JournalConfig,
+    ) -> io::Result<(Journal, Vec<JournalRecord>, RecoveryReport)> {
+        std::fs::create_dir_all(dir)?;
+        let mut report = RecoveryReport::default();
+        let mut lanes = Vec::new();
+        let mut found: Vec<u32> = existing_lane_dirs(dir)?.collect::<io::Result<Vec<_>>>()?;
+        found.sort_unstable();
+        let lane_count = found
+            .iter()
+            .copied()
+            .max()
+            .map(|max| max + 1)
+            .unwrap_or(0)
+            .max(config.lanes.max(1));
+        let mut scanned: Vec<Scanned> = Vec::new();
+        for index in 0..lane_count {
+            let lane_dir = dir.join(format!("lane-{index:02}"));
+            std::fs::create_dir_all(&lane_dir)?;
+            let mut lane = Lane::new(index, lane_dir);
+            scan_lane(&mut lane, &mut scanned, &mut report)?;
+            lanes.push(lane);
+        }
+
+        // Merge lanes into one total order and cut at the first gap above
+        // the snapshot base.  Stale records (<= base) never cut: compaction
+        // may have been interrupted after the snapshot landed.
+        scanned.sort_by_key(|r| r.seq);
+        let mut expected = base_seq + 1;
+        let mut cut_at: Option<usize> = None;
+        for (i, record) in scanned.iter().enumerate() {
+            if record.seq <= base_seq {
+                continue;
+            }
+            if record.seq == expected {
+                expected += 1;
+            } else {
+                cut_at = Some(i);
+                break;
+            }
+        }
+        let cut_seq = expected - 1;
+        if let Some(first_dropped) = cut_at {
+            report.gap_dropped = scanned[first_dropped..].len();
+            truncate_past(&mut lanes, &scanned, cut_seq, &mut report)?;
+            scanned.truncate(first_dropped);
+        }
+
+        let mut records = Vec::new();
+        for record in scanned {
+            if record.seq <= base_seq {
+                report.stale_skipped += 1;
+            } else {
+                records.push(JournalRecord {
+                    seq: record.seq,
+                    lane: record.lane,
+                    payload: record.payload,
+                });
+            }
+        }
+        report.replayed = records.len();
+
+        // Reopen each lane's last surviving segment for append.
+        for lane in &mut lanes {
+            if let Some(segment) = lane.segments.last() {
+                lane.file = Some(OpenOptions::new().append(true).open(&segment.path)?);
+            }
+        }
+        let next_seq = records.last().map(|r| r.seq).unwrap_or(base_seq) + 1;
+        Ok((
+            Journal {
+                dir: dir.to_path_buf(),
+                lanes,
+                next_seq,
+                fsync_every: config.fsync_every,
+                segment_records: config.segment_records.max(1),
+                appended_since_sync: 0,
+            },
+            records,
+            report,
+        ))
+    }
+
+    /// Append `payload` to `lane` (wrapped modulo the lane count); returns
+    /// the record's global sequence number.  Honors the group-commit
+    /// setting: every `fsync_every`-th append syncs all dirty lanes.
+    pub fn append(&mut self, lane: u32, payload: &[u8]) -> io::Result<u64> {
+        debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
+        let seq = self.next_seq;
+        let lane_count = self.lanes.len() as u32;
+        let segment_records = self.segment_records;
+        self.lanes[(lane % lane_count) as usize].append(seq, payload, segment_records)?;
+        self.next_seq += 1;
+        self.appended_since_sync += 1;
+        if self.fsync_every > 0 && self.appended_since_sync >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(seq)
+    }
+
+    /// Fsync every dirty lane, closing the group-commit window.
+    pub fn sync(&mut self) -> io::Result<()> {
+        for lane in &mut self.lanes {
+            lane.sync()?;
+        }
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Delete every segment whose records are all covered by a snapshot at
+    /// `covered_seq`.  Returns the number of segments removed.
+    pub fn compact(&mut self, covered_seq: u64) -> io::Result<usize> {
+        let mut removed = 0;
+        for lane in &mut self.lanes {
+            // If the lane's active segment is fully covered, close it so it
+            // can be deleted; the next append rolls a fresh segment.
+            if lane
+                .segments
+                .last()
+                .is_some_and(|s| s.records > 0 && s.last_seq <= covered_seq)
+            {
+                lane.close_active()?;
+            }
+            let mut keep = Vec::new();
+            for segment in lane.segments.drain(..) {
+                if segment.records > 0 && segment.last_seq <= covered_seq {
+                    std::fs::remove_file(&segment.path)?;
+                    removed += 1;
+                } else {
+                    keep.push(segment);
+                }
+            }
+            lane.segments = keep;
+        }
+        Ok(removed)
+    }
+
+    /// The sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// Number of live segment files across all lanes.
+    pub fn segment_count(&self) -> usize {
+        self.lanes.iter().map(|l| l.segments.len()).sum()
+    }
+
+    /// The directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Journal {
+    /// Best-effort flush of buffered frames on a clean drop, so
+    /// `fsync_every: 0` keeps its "the OS decides durability" meaning: a
+    /// graceful exit hands everything to the page cache.  A real crash
+    /// loses the open group-commit window either way.
+    fn drop(&mut self) {
+        for lane in &mut self.lanes {
+            let _ = lane.flush();
+        }
+    }
+}
+
+/// Iterate the `lane-NN` subdirectories of `dir`, yielding lane indices.
+fn existing_lane_dirs(dir: &Path) -> io::Result<impl Iterator<Item = io::Result<u32>>> {
+    let entries = std::fs::read_dir(dir)?;
+    Ok(entries.filter_map(|entry| {
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) => return Some(Err(e)),
+        };
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        name.strip_prefix("lane-")
+            .and_then(|rest| rest.parse::<u32>().ok())
+            .map(Ok)
+    }))
+}
+
+/// Scan one lane's segments in order, validating every record.  The first
+/// invalid byte truncates the segment there and drops any later segments in
+/// the lane (a valid segment cannot follow a torn one: segments are only
+/// rolled after a clean close).
+fn scan_lane(
+    lane: &mut Lane,
+    out: &mut Vec<Scanned>,
+    report: &mut RecoveryReport,
+) -> io::Result<()> {
+    let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&lane.dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(first_seq) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".oefj"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            seg_files.push((first_seq, entry.path()));
+        }
+    }
+    seg_files.sort_by_key(|(first_seq, _)| *first_seq);
+
+    let mut torn = false;
+    for (seg_index, (first_seq, path)) in seg_files.into_iter().enumerate() {
+        if torn {
+            report.torn_bytes += std::fs::metadata(&path)?.len();
+            std::fs::remove_file(&path)?;
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let valid_up_to = scan_segment(&bytes, lane.index, seg_index, out);
+        if (valid_up_to as u64) < bytes.len() as u64 {
+            report.torn_bytes += bytes.len() as u64 - valid_up_to as u64;
+            torn = true;
+            if valid_up_to < SEGMENT_HEADER_LEN {
+                // Not even a valid header: the file is unusable, drop it.
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(valid_up_to as u64)?;
+            file.sync_data()?;
+        }
+        let kept: Vec<&Scanned> = out
+            .iter()
+            .filter(|r| r.lane == lane.index && r.segment == seg_index)
+            .collect();
+        if kept.is_empty() && valid_up_to < SEGMENT_HEADER_LEN {
+            continue; // file was removed above
+        }
+        lane.segments.push(Segment {
+            path,
+            first_seq: kept.first().map(|r| r.seq).unwrap_or(first_seq),
+            last_seq: kept.last().map(|r| r.seq).unwrap_or(first_seq),
+            records: kept.len() as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Validate `bytes` as a segment for `lane`, pushing valid records onto
+/// `out`.  Returns the byte offset up to which the file is valid.
+fn scan_segment(bytes: &[u8], lane: u32, segment: usize, out: &mut Vec<Scanned>) -> usize {
+    if bytes.len() < SEGMENT_HEADER_LEN
+        || bytes[0..4] != SEGMENT_MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != SEGMENT_FORMAT
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != lane
+    {
+        return 0;
+    }
+    let mut offset = SEGMENT_HEADER_LEN;
+    let mut last_seq = 0u64;
+    while offset < bytes.len() {
+        let Some(frame) = bytes.get(offset..offset + RECORD_HEADER_LEN) else {
+            break; // torn mid-frame
+        };
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break; // corrupt length prefix
+        }
+        let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let seq_bytes: [u8; 8] = frame[8..16].try_into().unwrap();
+        let seq = u64::from_le_bytes(seq_bytes);
+        let Some(payload) =
+            bytes.get(offset + RECORD_HEADER_LEN..offset + RECORD_HEADER_LEN + len as usize)
+        else {
+            break; // torn mid-payload
+        };
+        if crc32_pair(&seq_bytes, payload) != crc {
+            break; // bit rot or torn-then-overwritten tail
+        }
+        if last_seq != 0 && seq <= last_seq {
+            break; // sequence must increase within a segment
+        }
+        out.push(Scanned {
+            seq,
+            lane,
+            payload: payload.to_vec(),
+            segment,
+            offset: offset as u64,
+        });
+        last_seq = seq;
+        offset += RECORD_HEADER_LEN + len as usize;
+    }
+    offset
+}
+
+/// Physically drop every record with `seq > cut_seq`: truncate each lane's
+/// segment at the first such record and remove later segments in the lane.
+fn truncate_past(
+    lanes: &mut [Lane],
+    scanned: &[Scanned],
+    cut_seq: u64,
+    report: &mut RecoveryReport,
+) -> io::Result<()> {
+    for lane in lanes.iter_mut() {
+        // Sequence numbers increase with file order inside a lane, so the
+        // first dropped record marks the truncation point.
+        let Some(first_dropped) = scanned
+            .iter()
+            .find(|r| r.lane == lane.index && r.seq > cut_seq)
+        else {
+            continue;
+        };
+        let mut keep = Vec::new();
+        for (seg_index, segment) in lane.segments.drain(..).enumerate() {
+            if seg_index < first_dropped.segment {
+                keep.push(segment);
+            } else if seg_index == first_dropped.segment {
+                report.torn_bytes += std::fs::metadata(&segment.path)?
+                    .len()
+                    .saturating_sub(first_dropped.offset);
+                if first_dropped.offset <= SEGMENT_HEADER_LEN as u64 {
+                    std::fs::remove_file(&segment.path)?;
+                    continue;
+                }
+                let file = OpenOptions::new().write(true).open(&segment.path)?;
+                file.set_len(first_dropped.offset)?;
+                file.sync_data()?;
+                let kept: Vec<&Scanned> = scanned
+                    .iter()
+                    .filter(|r| r.lane == lane.index && r.segment == seg_index && r.seq <= cut_seq)
+                    .collect();
+                keep.push(Segment {
+                    first_seq: kept.first().map(|r| r.seq).unwrap_or(segment.first_seq),
+                    last_seq: kept.last().map(|r| r.seq).unwrap_or(segment.first_seq),
+                    records: kept.len() as u64,
+                    path: segment.path,
+                });
+            } else {
+                report.torn_bytes += std::fs::metadata(&segment.path)?.len();
+                std::fs::remove_file(&segment.path)?;
+            }
+        }
+        lane.segments = keep;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("oef-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(lanes: u32) -> JournalConfig {
+        JournalConfig {
+            lanes,
+            fsync_every: 1,
+            segment_records: 4,
+        }
+    }
+
+    fn payload(i: u64) -> Vec<u8> {
+        format!("{{\"cmd\":{i}}}").into_bytes()
+    }
+
+    /// Path of the only segment file in a single-lane journal.
+    fn only_segment(dir: &Path) -> PathBuf {
+        let lane = dir.join("lane-00");
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(&lane)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segs.sort();
+        assert_eq!(segs.len(), 1, "expected a single segment in {lane:?}");
+        segs.remove(0)
+    }
+
+    #[test]
+    fn roundtrip_across_lanes_preserves_global_order() {
+        let dir = scratch("roundtrip");
+        let mut journal = Journal::create(&dir, config(3)).unwrap();
+        for i in 0..10u64 {
+            let seq = journal.append((i % 3) as u32, &payload(i)).unwrap();
+            assert_eq!(seq, i + 1);
+        }
+        drop(journal);
+        let (journal, records, report) = Journal::open(&dir, 0, config(3)).unwrap();
+        assert_eq!(records.len(), 10);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.seq, i as u64 + 1);
+            assert_eq!(record.lane, (i % 3) as u32);
+            assert_eq!(record.payload, payload(i as u64));
+        }
+        assert_eq!(
+            report,
+            RecoveryReport {
+                replayed: 10,
+                ..RecoveryReport::default()
+            }
+        );
+        assert_eq!(journal.next_seq(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_skips_records_covered_by_the_snapshot_base() {
+        let dir = scratch("base");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        for i in 0..6u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        drop(journal);
+        let (journal, records, report) = Journal::open(&dir, 4, config(1)).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert_eq!(report.stale_skipped, 4);
+        assert_eq!(journal.next_seq(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_cut_at_the_last_valid_record() {
+        let dir = scratch("torn-prefix");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        for i in 0..3u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        drop(journal);
+        let seg = only_segment(&dir);
+        // Append 2 bytes of a would-be length prefix: a torn final record.
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let clean_len = bytes.len() as u64;
+        bytes.extend_from_slice(&[0x0b, 0x00]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (mut journal, records, report) = Journal::open(&dir, 0, config(1)).unwrap();
+        assert_eq!(records.len(), 3, "all complete records survive");
+        assert_eq!(report.torn_bytes, 2);
+        assert_eq!(
+            std::fs::metadata(&seg).unwrap().len(),
+            clean_len,
+            "the torn bytes are physically truncated"
+        );
+        // The journal is immediately appendable again.
+        let seq = journal.append(0, b"after").unwrap();
+        assert_eq!(seq, 4);
+        drop(journal);
+        let (_, records, _) = Journal::open(&dir, 0, config(1)).unwrap();
+        assert_eq!(records.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_final_record_is_truncated() {
+        let dir = scratch("torn-payload");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        journal.append(0, &payload(0)).unwrap();
+        let full = encode_record(2, &payload(1));
+        drop(journal);
+        let seg = only_segment(&dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let clean_len = bytes.len();
+        // A complete frame header but only half the payload: torn mid-write.
+        bytes.extend_from_slice(&full[..full.len() - 5]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (_, records, report) = Journal::open(&dir, 0, config(1)).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(report.torn_bytes, (full.len() - 5) as u64);
+        assert_eq!(std::fs::metadata(&seg).unwrap().len() as usize, clean_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_failure_cuts_the_tail_including_later_valid_bytes() {
+        let dir = scratch("bitrot");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        for i in 0..3u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        drop(journal);
+        let seg = only_segment(&dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        // Flip one payload bit in the middle record: it and everything after
+        // it must go (a checksum failure means the tail cannot be trusted).
+        let record_len = encode_record(1, &payload(0)).len();
+        let middle_payload = SEGMENT_HEADER_LEN + record_len + RECORD_HEADER_LEN + 2;
+        bytes[middle_payload] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (_, records, report) = Journal::open(&dir, 0, config(1)).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(report.torn_bytes, (2 * record_len) as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequence_gap_across_lanes_cuts_replay_and_truncates_other_lanes() {
+        let dir = scratch("gap");
+        // fsync_every=0 models the group-commit window where a crash can
+        // lose lane A's tail while lane B's later records hit disk.
+        let mut journal = Journal::create(
+            &dir,
+            JournalConfig {
+                lanes: 2,
+                fsync_every: 0,
+                segment_records: 100,
+            },
+        )
+        .unwrap();
+        journal.append(0, &payload(0)).unwrap(); // seq 1, lane 0
+        journal.append(1, &payload(1)).unwrap(); // seq 2, lane 1
+        journal.append(0, &payload(2)).unwrap(); // seq 3, lane 0
+        journal.append(1, &payload(3)).unwrap(); // seq 4, lane 1
+        journal.sync().unwrap();
+        drop(journal);
+
+        // "Crash": lane 0 loses seq 3 (its last record), lane 1 kept seq 4.
+        let lane0 = dir.join("lane-00");
+        let seg0: PathBuf = std::fs::read_dir(&lane0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .next()
+            .unwrap();
+        let bytes = std::fs::read(&seg0).unwrap();
+        let record_len = encode_record(1, &payload(0)).len() as u64;
+        let file = OpenOptions::new().write(true).open(&seg0).unwrap();
+        file.set_len(bytes.len() as u64 - record_len).unwrap();
+        drop(file);
+
+        let (journal, records, report) = Journal::open(&dir, 0, config(2)).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "seq 4 must not replay past the hole at seq 3"
+        );
+        assert_eq!(report.gap_dropped, 1);
+        assert_eq!(journal.next_seq(), 3);
+        drop(journal);
+        // The cut is physical: a second open sees a clean journal.
+        let (_, records, report) = Journal::open(&dir, 0, config(2)).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(report.gap_dropped, 0);
+        assert_eq!(report.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_deletes_covered_segments_and_recovery_skips_stale_tails() {
+        let dir = scratch("compact");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        for i in 0..10u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        // Segments hold 4 records: [1..4], [5..8], [9..10].
+        assert_eq!(journal.segment_count(), 3);
+        let removed = journal.compact(8).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(journal.segment_count(), 1);
+        // Appends continue seamlessly after compaction.
+        let seq = journal.append(0, &payload(10)).unwrap();
+        assert_eq!(seq, 11);
+        drop(journal);
+        let (_, records, report) = Journal::open(&dir, 8, config(1)).unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![9, 10, 11]
+        );
+        assert_eq!(report.stale_skipped, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_compaction_leaves_stale_records_that_replay_skips() {
+        let dir = scratch("stale");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        for i in 0..6u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        drop(journal);
+        // A snapshot covering seq 5 landed, but the crash hit before
+        // compact() — all 6 records are still on disk.
+        let (mut journal, records, report) = Journal::open(&dir, 5, config(1)).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![6]);
+        assert_eq!(report.stale_skipped, 5);
+        // The re-run compaction finishes the job.
+        let removed = journal.compact(5).unwrap();
+        assert_eq!(removed, 1, "the fully-covered first segment goes");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_a_directory_with_existing_lanes() {
+        let dir = scratch("refuse");
+        let journal = Journal::create(&dir, config(1)).unwrap();
+        drop(journal);
+        let err = Journal::create(&dir, config(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_are_recoverable_after_sync() {
+        let dir = scratch("group");
+        let mut journal = Journal::create(
+            &dir,
+            JournalConfig {
+                lanes: 1,
+                fsync_every: 8,
+                segment_records: 1024,
+            },
+        )
+        .unwrap();
+        for i in 0..20u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        journal.sync().unwrap();
+        drop(journal);
+        let (_, records, _) = Journal::open(&dir, 0, config(1)).unwrap();
+        assert_eq!(records.len(), 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! # oef-journal — write-ahead command journal for the scheduling middleware
+//!
+//! The scheduler daemon is proven deterministic (restart equivalence to 1e-6
+//! across snapshots), which makes command logging a complete durability
+//! story: persist the *inputs* and any crash becomes "restore the latest
+//! snapshot, replay the journal tail".  This crate is the journal itself —
+//! it knows nothing about schedulers, only about getting opaque payloads
+//! onto disk and back off again intact:
+//!
+//! * **Framed, checksummed records** — every record is
+//!   `u32 len | u32 crc32 | u64 seq | payload`, where the CRC covers the
+//!   sequence number and payload.  A torn tail (partial length prefix,
+//!   partial record, bit-flipped payload) is detected on open and cleanly
+//!   truncated at the last valid record instead of aborting recovery.
+//! * **Per-lane segments** — records are routed to lanes (one per shard in
+//!   the daemon) and appended to rolling segment files
+//!   (`lane-NN/seg-<first_seq>.oefj`).  Sequence numbers are global and
+//!   monotone, so replay merges lanes back into a single total order; a
+//!   group-commit crash that leaves seq *k* missing while *k+1* survived in
+//!   another lane is cut at *k−1* — replay never applies past a gap.
+//! * **Group commit** — `fsync_every = n` batches fsyncs across appends
+//!   (1 = synchronous, 0 = leave flushing to the OS), trading a bounded
+//!   window of acknowledged-but-unsynced commands for hot-path throughput.
+//! * **Compaction** — once a snapshot covers sequence *s*,
+//!   [`Journal::compact`] deletes every segment whose records are all ≤ *s*;
+//!   recovery skips stale records a crashed compaction left behind.
+//! * **Fault injection** — [`CrashPoint`]/[`FaultInjector`] let a test
+//!   harness script crashes at the nasty moments (pre-append,
+//!   post-append-pre-apply, mid-compaction, mid-snapshot-write), and
+//!   [`atomic_write`]/[`PendingFile`] make snapshot writes themselves
+//!   crash-atomic (temp file, fsync, rename).
+//!
+//! ```
+//! use oef_journal::{Journal, JournalConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("oef-journal-doc-{}", std::process::id()));
+//! let mut journal = Journal::create(&dir, JournalConfig::default()).unwrap();
+//! let seq = journal.append(0, b"{\"Tick\":null}").unwrap();
+//! journal.sync().unwrap();
+//!
+//! // A reopen replays everything after the snapshot base (0 = from genesis).
+//! drop(journal);
+//! let (_, records, report) = Journal::open(&dir, 0, JournalConfig::default()).unwrap();
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(records[0].seq, seq);
+//! assert_eq!(report.torn_bytes, 0);
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic;
+mod crc;
+mod fault;
+mod journal;
+
+pub use atomic::{atomic_write, PendingFile};
+pub use crc::crc32;
+pub use fault::{CrashPoint, FaultInjector, FaultPlan};
+pub use journal::{Journal, JournalConfig, JournalRecord, RecoveryReport};

@@ -1,7 +1,7 @@
 //! The online rebalancer: configuration plus the policy it drives.
 //!
 //! A [`Rebalancer`] is the long-lived piece the coordinator owns.  Its
-//! [`RebalancerConfig`] is durable state — it rides inside the federated (v4)
+//! [`RebalancerConfig`] is durable state — it rides inside the federated (v5)
 //! snapshot envelope, so a restored federation plans the same moves the
 //! original would have — while the boxed policy is rebuilt from the config's
 //! wire name on construction and restore.
@@ -10,7 +10,7 @@ use crate::load::{shard_score, LoadWeights, ShardObservation};
 use crate::policy::{rebalance_policy_from_name, MigrationPlan, RebalancePolicy};
 use serde::{Deserialize, Serialize};
 
-/// Durable rebalancer configuration (part of the v4 snapshot envelope).
+/// Durable rebalancer configuration (part of the v5 snapshot envelope).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RebalancerConfig {
     /// Policy wire name (see [`rebalance_policy_from_name`]).

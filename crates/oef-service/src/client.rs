@@ -4,6 +4,12 @@
 //! reply.  The typed convenience methods unwrap the expected response variant
 //! and turn `Response::Error` replies into [`ClientError::Service`], so call
 //! sites read like local function calls.
+//!
+//! The client is defensive by default ([`ClientConfig`]): connects and reads
+//! time out instead of hanging on a wedged daemon, and `Busy` replies — the
+//! daemon's backpressure signal, sent *instead of* enqueuing the command —
+//! are retried with bounded exponential backoff before surfacing, since a
+//! rejected command was provably never applied and is safe to resend.
 
 use crate::command::{
     Command, ErrorCode, MetricsReport, RebalanceReport, Reply, Request, Response, RoundSummary,
@@ -11,6 +17,7 @@ use crate::command::{
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure talking to the daemon.
 #[derive(Debug)]
@@ -58,37 +65,127 @@ impl From<std::io::Error> for ClientError {
 /// Result alias for client calls.
 pub type ClientResult<T> = Result<T, ClientError>;
 
+/// Robustness knobs of a [`ServiceClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Give up connecting after this long (`None` = the OS default, which
+    /// can be minutes).
+    pub connect_timeout: Option<Duration>,
+    /// Give up waiting for a reply after this long (`None` = wait forever).
+    /// Generous by default: a `Tick` legitimately takes solver time.
+    pub read_timeout: Option<Duration>,
+    /// How many times a `Busy` reply is retried before surfacing.  `Busy`
+    /// means the daemon refused to even enqueue the command, so a resend can
+    /// never double-apply it.
+    pub busy_retries: u32,
+    /// Backoff before the first `Busy` retry; doubles on each subsequent one.
+    pub busy_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            busy_retries: 4,
+            busy_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
 /// A blocking connection to an `oef-serviced` daemon.
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    config: ClientConfig,
 }
 
 impl ServiceClient {
-    /// Connects to a daemon.
+    /// Connects to a daemon with the default [`ClientConfig`] (bounded
+    /// connect/read timeouts, `Busy` retried with backoff).
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects to a daemon with explicit robustness knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; with a connect timeout set, every resolved
+    /// address timing out (or failing) yields the last error.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> ClientResult<Self> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                // `connect_timeout` takes a single resolved address: try each
+                // resolution like `TcpStream::connect` would.
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            "address resolved to nothing",
+                        )
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
             next_id: 1,
+            config,
         })
     }
 
-    /// Sends one command and waits for its reply.
+    /// Sends one command and waits for its reply.  A `Busy` reply — load
+    /// shedding by a daemon whose bounded queue stayed full, sent *instead
+    /// of* enqueuing the command — is retried up to
+    /// [`ClientConfig::busy_retries`] times with exponential backoff before
+    /// surfacing; every other error surfaces immediately.
     ///
     /// # Errors
     ///
     /// Fails on transport problems, protocol violations, or when the daemon
     /// replies with [`Response::Error`].
     pub fn call(&mut self, command: Command) -> ClientResult<Response> {
+        let mut backoff = self.config.busy_backoff;
+        let mut retries_left = self.config.busy_retries;
+        loop {
+            match self.call_once(command.clone()) {
+                Err(ClientError::Service {
+                    code: ErrorCode::Busy,
+                    ..
+                }) if retries_left > 0 => {
+                    retries_left -= 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// One request/reply exchange, no retry policy.
+    fn call_once(&mut self, command: Command) -> ClientResult<Response> {
         let id = self.next_id;
         self.next_id += 1;
         let line = serde_json::to_string(&Request { id, command })

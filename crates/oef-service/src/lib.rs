@@ -47,7 +47,7 @@ mod server;
 mod service;
 mod snapshot;
 
-pub use client::{ClientError, ClientResult, ServiceClient};
+pub use client::{ClientConfig, ClientError, ClientResult, ServiceClient};
 pub use command::{
     Command, ErrorCode, ExecutedMigration, HostStatusEntry, MetricsReport, RebalanceReport, Reply,
     Request, Response, RoundSummary, ShardStatusEntry, StatusReport, TenantRoundSummary,

@@ -48,6 +48,13 @@ pub trait CommandHandler: Send + 'static {
     /// Capacity of the bounded command queue the server should place in
     /// front of this core.
     fn queue_capacity(&self) -> usize;
+
+    /// Called exactly once on the worker thread after the last command has
+    /// been applied, on every exit path (`Shutdown` command or
+    /// [`Server::request_stop`]).  Durable cores flush and checkpoint here —
+    /// a clean shutdown must never need journal-tail replay.  The default
+    /// does nothing.
+    fn on_shutdown(&mut self) {}
 }
 
 /// State shared between the listener, the worker and connection handlers.
@@ -222,6 +229,9 @@ fn worker_loop<C: CommandHandler>(
             break;
         }
     }
+    // Both exit paths land here with the queue drained: flush whatever the
+    // core keeps durable before the process can exit.
+    service.on_shutdown();
     service
 }
 

@@ -725,6 +725,22 @@ impl SchedulerService {
         })
     }
 
+    /// The v2 snapshot JSON, independent of the command dispatch and its
+    /// shutting-down gate: durable wrappers checkpoint *after* a `Shutdown`
+    /// has been accepted, when the wire `Snapshot` command is already
+    /// refused.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures, as a message.
+    pub fn snapshot_json(&self) -> Result<String, String> {
+        match self.snapshot() {
+            Ok(Response::Snapshot { snapshot }) => Ok(snapshot),
+            Ok(other) => Err(format!("snapshot returned {other:?}")),
+            Err((_, message)) => Err(message),
+        }
+    }
+
     fn snapshot(&self) -> CommandResult {
         let snapshot = ServiceSnapshot {
             version: SNAPSHOT_VERSION,

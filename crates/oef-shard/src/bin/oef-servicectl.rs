@@ -11,7 +11,9 @@
 //! oef-servicectl shutdown <addr>          # stop the daemon
 //! oef-servicectl smoke    <addr>          # scripted join/tick/leave session (CI)
 //! oef-servicectl smoke-shard <addr>       # scripted cross-shard session (CI, --shards daemon)
-//! oef-servicectl migrate-snapshot <in> <out>  # wrap v2 / upgrade v3 into a v4 envelope
+//! oef-servicectl smoke-crash-prepare <addr> <file>  # build state, record it (CI crash test)
+//! oef-servicectl smoke-crash-verify  <addr> <file>  # check a recovered daemon against the record
+//! oef-servicectl migrate-snapshot <in> <out>  # wrap v2 / upgrade v3 or v4 into a v5 envelope
 //! ```
 //!
 //! `smoke` drives a short but complete session — two tenants join, submit
@@ -28,11 +30,22 @@
 //! `shard:slot@generation` form that `status` prints, so handles can be
 //! copied straight between the two commands.
 //!
+//! `smoke-crash-prepare` / `smoke-crash-verify` bracket the CI crash-
+//! recovery test: prepare drives a journaled daemon to a known state (two
+//! tenants, jobs, three rounds) and records handles, job ids and the last
+//! round's allocations in `<file>`; CI then `kill -9`s the daemon, restarts
+//! it from its `--journal-dir`, and verify checks the recovered daemon over
+//! the wire — same round and tenant count, a fresh tick reproducing the
+//! recorded `gpu_shares` and `estimated_throughput` to 1e-6, and every
+//! pre-crash handle and job id still resolving.
+//!
 //! `migrate-snapshot` is offline (no daemon involved): it validates a v2
-//! snapshot file and wraps it into a single-shard federated (v4) envelope —
-//! or, given a v3 envelope from a PR-4-era federation, upgrades it in place
-//! (empty forwarding table, default rebalancer) — that `oef-serviced
-//! --restore` will serve as a coordinator.
+//! snapshot file and wraps it into a single-shard federated (v5) envelope —
+//! or, given a v3/v4 envelope from a PR-4/PR-5-era federation, upgrades it
+//! in place (journal epoch zero; v3 also gets an empty forwarding table and
+//! default rebalancer) — that `oef-serviced --restore` will serve as a
+//! coordinator.  Snapshot files are written atomically (temp file + fsync +
+//! rename), so a crash mid-write never leaves a torn snapshot behind.
 //!
 //! Handles render as `shard:slot@generation` (e.g. `0:3@1`) — the unsharded
 //! daemon is shard 0.
@@ -53,6 +66,8 @@ fn main() {
         [cmd, addr] if cmd == "shutdown" => shutdown(addr),
         [cmd, addr] if cmd == "smoke" => smoke(addr),
         [cmd, addr] if cmd == "smoke-shard" => smoke_shard(addr),
+        [cmd, addr, file] if cmd == "smoke-crash-prepare" => smoke_crash_prepare(addr, file),
+        [cmd, addr, file] if cmd == "smoke-crash-verify" => smoke_crash_verify(addr, file),
         [cmd, input, output] if cmd == "migrate-snapshot" => migrate_snapshot(input, output),
         _ => {
             eprintln!(
@@ -61,7 +76,9 @@ fn main() {
                  \x20      oef-servicectl status --shards <addr>\n\
                  \x20      oef-servicectl migrate <addr> <tenant-handle> <shard>\n\
                  \x20      oef-servicectl snapshot <addr> <file>\n\
-                 \x20      oef-servicectl migrate-snapshot <v2-or-v3-file> <v4-file>"
+                 \x20      oef-servicectl smoke-crash-prepare <addr> <file>\n\
+                 \x20      oef-servicectl smoke-crash-verify <addr> <file>\n\
+                 \x20      oef-servicectl migrate-snapshot <v2-v3-or-v4-file> <v5-file>"
             );
             std::process::exit(2);
         }
@@ -205,7 +222,10 @@ fn tick(addr: &str) -> ClientResult<()> {
 
 fn snapshot(addr: &str, file: &str) -> ClientResult<()> {
     let snapshot = ServiceClient::connect(addr)?.snapshot()?;
-    std::fs::write(file, snapshot).map_err(oef_service::ClientError::Io)?;
+    // Atomic: an interrupted write must never leave a torn half-snapshot
+    // where an operator expects a restorable file.
+    oef_journal::atomic_write(std::path::Path::new(file), snapshot.as_bytes())
+        .map_err(oef_service::ClientError::Io)?;
     println!("snapshot written to {file}");
     Ok(())
 }
@@ -213,9 +233,9 @@ fn snapshot(addr: &str, file: &str) -> ClientResult<()> {
 fn migrate_snapshot(input: &str, output: &str) -> ClientResult<()> {
     let source = std::fs::read_to_string(input).map_err(oef_service::ClientError::Io)?;
     // Dispatch on the input's version: v2 snapshots wrap into a single-shard
-    // envelope, v3 envelopes upgrade in place.  Anything else (v1 included)
-    // flows through the v2 wrapper, whose validation produces the same
-    // structured refusals the daemon would.
+    // envelope, v3 and v4 envelopes upgrade in place.  Anything else (v1
+    // included) flows through the v2 wrapper, whose validation produces the
+    // same structured refusals the daemon would.
     let version = serde_json::from_str::<serde::Value>(&source)
         .ok()
         .and_then(|v| v.get("version").and_then(serde::Value::as_u64));
@@ -225,6 +245,11 @@ fn migrate_snapshot(input: &str, output: &str) -> ClientResult<()> {
                 .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?,
             "upgraded v3 envelope",
         ),
+        Some(4) => (
+            oef_shard::upgrade_v4_snapshot(&source)
+                .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?,
+            "upgraded v4 envelope",
+        ),
         _ => (
             oef_shard::wrap_v2_snapshot(&source)
                 .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?,
@@ -233,7 +258,8 @@ fn migrate_snapshot(input: &str, output: &str) -> ClientResult<()> {
     };
     let json = serde_json::to_string(&envelope)
         .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?;
-    std::fs::write(output, json).map_err(oef_service::ClientError::Io)?;
+    oef_journal::atomic_write(std::path::Path::new(output), json.as_bytes())
+        .map_err(oef_service::ClientError::Io)?;
     println!(
         "{what} {input} (round {}, {} shard(s)) into v{} envelope {output}",
         envelope.round,
@@ -482,5 +508,151 @@ fn smoke_shard(addr: &str) -> ClientResult<()> {
 
     client.shutdown()?;
     println!("ok: sharded daemon acknowledged shutdown");
+    Ok(())
+}
+
+/// What `smoke-crash-prepare` records and `smoke-crash-verify` checks: the
+/// exact state CI expects the recovered daemon to reproduce.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CrashRecord {
+    /// Rounds run before the crash.
+    round: usize,
+    /// One entry per pre-crash tenant.
+    tenants: Vec<RecordedTenant>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RecordedTenant {
+    /// Wire handle minted before the crash; must still resolve after.
+    handle: u64,
+    /// A job submitted before the crash; must still be finishable after.
+    job: u64,
+    /// Fractional allocation of the last pre-crash round.
+    gpu_shares: Vec<f64>,
+    /// Promised throughput of the last pre-crash round.
+    estimated_throughput: f64,
+}
+
+/// Tolerance for allocation comparisons: the recovered daemon replays the
+/// same commands against the same snapshot, so only float formatting noise
+/// is admissible.
+const CRASH_EPSILON: f64 = 1e-6;
+
+fn smoke_crash_prepare(addr: &str, file: &str) -> ClientResult<()> {
+    let mut client = ServiceClient::connect(addr)?;
+
+    let alice = client.join("crash-alice", 1, &[1.0, 1.18, 1.39])?;
+    let bob = client.join("crash-bob", 2, &[1.0, 1.55, 2.15])?;
+    let alice_job = client.submit_job(alice, "vgg16", 2, 1e9)?;
+    let bob_job = client.submit_job(bob, "lstm", 2, 1e9)?;
+
+    let mut last = None;
+    for i in 0..3 {
+        let round = client.tick()?;
+        check(
+            &format!("round {i} schedules both tenants"),
+            round.tenants.len() == 2,
+        )?;
+        last = Some(round);
+    }
+    let last = last.expect("three rounds ran");
+
+    let recorded = |handle: u64, job: u64| -> ClientResult<RecordedTenant> {
+        let t = last
+            .tenants
+            .iter()
+            .find(|t| t.tenant == handle)
+            .ok_or_else(|| {
+                oef_service::ClientError::Protocol(format!(
+                    "tenant {} missing from the last pre-crash round",
+                    sharded::format(handle)
+                ))
+            })?;
+        Ok(RecordedTenant {
+            handle,
+            job,
+            gpu_shares: t.gpu_shares.clone(),
+            estimated_throughput: t.estimated_throughput,
+        })
+    };
+    let record = CrashRecord {
+        round: client.status()?.round,
+        tenants: vec![recorded(alice, alice_job)?, recorded(bob, bob_job)?],
+    };
+    let json = serde_json::to_string(&record)
+        .map_err(|e| oef_service::ClientError::Protocol(e.to_string()))?;
+    oef_journal::atomic_write(std::path::Path::new(file), json.as_bytes())
+        .map_err(oef_service::ClientError::Io)?;
+    println!(
+        "ok: recorded {} tenant(s) at round {} into {file} — kill the daemon now",
+        record.tenants.len(),
+        record.round
+    );
+    Ok(())
+}
+
+fn smoke_crash_verify(addr: &str, file: &str) -> ClientResult<()> {
+    let source = std::fs::read_to_string(file).map_err(oef_service::ClientError::Io)?;
+    let record: CrashRecord = serde_json::from_str(&source)
+        .map_err(|e| oef_service::ClientError::Protocol(format!("bad record {file}: {e}")))?;
+    let mut client = ServiceClient::connect(addr)?;
+
+    let status = client.status()?;
+    check(
+        "recovered daemon is at the pre-crash round",
+        status.round == record.round,
+    )?;
+    check(
+        "recovered daemon holds every pre-crash tenant",
+        status.tenants == record.tenants.len(),
+    )?;
+
+    // A fresh round against recovered state must reproduce the pre-crash
+    // allocation: same tenants, same jobs, same profiles → the LP sees the
+    // same inputs.  (`devices_held` is excluded on purpose — it tracks
+    // rounding deviations that legitimately alternate between consecutive
+    // rounds.)
+    let round = client.tick()?;
+    for tenant in &record.tenants {
+        let t = round
+            .tenants
+            .iter()
+            .find(|t| t.tenant == tenant.handle)
+            .ok_or_else(|| {
+                oef_service::ClientError::Protocol(format!(
+                    "smoke check failed: pre-crash handle {} is not scheduled after recovery",
+                    sharded::format(tenant.handle)
+                ))
+            })?;
+        check(
+            &format!(
+                "tenant {} gpu_shares match to {CRASH_EPSILON}",
+                sharded::format(tenant.handle)
+            ),
+            t.gpu_shares.len() == tenant.gpu_shares.len()
+                && t.gpu_shares
+                    .iter()
+                    .zip(&tenant.gpu_shares)
+                    .all(|(a, b)| (a - b).abs() <= CRASH_EPSILON),
+        )?;
+        check(
+            &format!(
+                "tenant {} estimated_throughput matches to {CRASH_EPSILON}",
+                sharded::format(tenant.handle)
+            ),
+            (t.estimated_throughput - tenant.estimated_throughput).abs() <= CRASH_EPSILON,
+        )?;
+    }
+
+    // Every pre-crash handle and job id must still resolve.
+    for tenant in &record.tenants {
+        client.update_speedups(tenant.handle, &[1.0, 1.3, 1.7])?;
+        client.finish_job(tenant.handle, tenant.job)?;
+    }
+    println!(
+        "ok: recovered daemon reproduced round {} and resolved {} pre-crash handle(s)",
+        record.round,
+        record.tenants.len()
+    );
     Ok(())
 }

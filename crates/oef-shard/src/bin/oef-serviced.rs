@@ -4,6 +4,7 @@
 //! oef-serviced [--addr HOST:PORT] [--policy NAME] [--round-secs SECS]
 //!              [--fluid] [--max-tenants N] [--shards N] [--placement NAME]
 //!              [--restore FILE]
+//!              [--journal-dir DIR] [--fsync-every N] [--compact-every N]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints one
@@ -22,24 +23,42 @@
 //! With `--restore`, the daemon resumes from a snapshot file written by
 //! `oef-servicectl snapshot` (or the `Snapshot` wire command) instead of
 //! starting empty; the file's `version` field decides the shape (v2 → one
-//! unsharded daemon, v4 federated envelope → coordinator; a v3 envelope is
-//! refused with a pointer at `oef-servicectl migrate-snapshot`), so no
+//! unsharded daemon, v5 federated envelope → coordinator; v3/v4 envelopes
+//! are refused with a pointer at `oef-servicectl migrate-snapshot`), so no
 //! topology flags apply.
+//!
+//! With `--journal-dir DIR` the daemon is **durable**: every mutating
+//! command is written to an append-only, checksummed journal *before* it is
+//! applied, and `DIR/snapshot.json` is atomically checkpointed every
+//! `--compact-every` commands (journal segments the checkpoint covers are
+//! deleted).  If `DIR` already holds a journal the daemon *recovers* —
+//! snapshot restore plus deterministic replay of the journal tail, torn or
+//! corrupt tails truncated at the last valid record — and no config flags
+//! apply (the checkpoint's embedded config wins).  `--fsync-every N` group-
+//! commits: fsync after every N-th append (1 = synchronous, the default;
+//! larger batches trade a bounded window of acknowledged-but-unsynced
+//! commands for throughput).  A journaled daemon always serves a
+//! coordinator (`--shards` defaults to 1; the v5 envelope is the journaled
+//! checkpoint format), and a clean shutdown checkpoints on exit so restart
+//! never needs tail replay.
 
 use oef_cluster::ClusterTopology;
 use oef_service::{CommandHandler, SchedulerService, Server, ServiceConfig};
-use oef_shard::{placement_from_name, ShardCoordinator};
+use oef_shard::{placement_from_name, JournalOptions, Journaled, ShardCoordinator};
 use std::io::Write;
+use std::path::Path;
 
 struct Args {
     addr: String,
     restore: Option<String>,
+    journal_dir: Option<String>,
+    journal: JournalOptions,
     shards: usize,
     placement: String,
     config: ServiceConfig,
-    /// Config flags seen on the command line; `--restore` rejects these
-    /// instead of silently ignoring them (the snapshot's embedded config
-    /// wins on a restore).
+    /// Config flags seen on the command line; `--restore` and journal
+    /// recovery reject these instead of silently ignoring them (the
+    /// snapshot's embedded config wins on a restore).
     config_flags: Vec<String>,
 }
 
@@ -47,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7441".to_string(),
         restore: None,
+        journal_dir: None,
+        journal: JournalOptions::default(),
         shards: 1,
         placement: "least-loaded".to_string(),
         config: ServiceConfig::default(),
@@ -94,16 +115,38 @@ fn parse_args() -> Result<Args, String> {
                 args.config_flags.push(flag);
             }
             "--restore" => args.restore = Some(value("--restore")?),
+            "--journal-dir" => args.journal_dir = Some(value("--journal-dir")?),
+            "--fsync-every" => {
+                args.journal.fsync_every = value("--fsync-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --fsync-every: {e}"))?;
+            }
+            "--compact-every" => {
+                args.journal.compact_every = value("--compact-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --compact-every: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: oef-serviced [--addr HOST:PORT] [--policy NAME] \
                      [--round-secs SECS] [--fluid] [--max-tenants N] [--shards N] \
-                     [--placement least-loaded|round-robin] [--restore FILE]"
+                     [--placement least-loaded|round-robin] [--restore FILE] \
+                     [--journal-dir DIR] [--fsync-every N] [--compact-every N]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.journal_dir.is_none()
+        && args.journal.fsync_every != JournalOptions::default().fsync_every
+    {
+        return Err("--fsync-every needs --journal-dir".to_string());
+    }
+    if args.journal_dir.is_none()
+        && args.journal.compact_every != JournalOptions::default().compact_every
+    {
+        return Err("--compact-every needs --journal-dir".to_string());
     }
     if args.restore.is_some() && !args.config_flags.is_empty() {
         return Err(format!(
@@ -135,29 +178,130 @@ fn serve<C: CommandHandler>(service: C, addr: &str, rounds_run: fn(&C) -> usize)
     );
 }
 
+/// Builds the coordinator a fresh journal starts from: restored from a
+/// snapshot file if `--restore` was given, empty with the flag topology
+/// otherwise.
+fn journal_seed(args: &Args) -> ShardCoordinator {
+    if let Some(path) = &args.restore {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read snapshot {path}: {e}")));
+        match snapshot_version(&json) {
+            Some(3) | Some(4) => fail(format!(
+                "{path} is an old federated envelope; upgrade it first with \
+                 `oef-servicectl migrate-snapshot {path} <v5-file>`"
+            )),
+            Some(5) => ShardCoordinator::from_federated_json(&json).unwrap_or_else(|e| fail(e)),
+            // A v2 (unsharded) snapshot journals as a single-shard
+            // federation — wire-identical, and the v5 envelope is the only
+            // checkpoint format the journal writes.
+            _ => {
+                let envelope = oef_shard::wrap_v2_snapshot(&json)
+                    .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+                let json = serde_json::to_string(&envelope)
+                    .unwrap_or_else(|e| fail(format!("cannot serialize envelope: {e}")));
+                ShardCoordinator::from_federated_json(&json).unwrap_or_else(|e| fail(e))
+            }
+        }
+    } else {
+        let placement = placement_from_name(&args.placement).unwrap_or_else(|| {
+            fail(format!(
+                "unknown placement `{}` (supported: least-loaded, round-robin)",
+                args.placement
+            ))
+        });
+        let topologies = (0..args.shards)
+            .map(|_| ClusterTopology::paper_cluster())
+            .collect();
+        ShardCoordinator::new(topologies, args.config.clone(), placement)
+            .unwrap_or_else(|e| fail(e))
+    }
+}
+
+fn snapshot_version(json: &str) -> Option<u64> {
+    serde_json::from_str::<serde::Value>(json)
+        .ok()
+        .and_then(|v| v.get("version").and_then(serde::Value::as_u64))
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => fail(message),
     };
 
+    if let Some(dir) = &args.journal_dir {
+        let dir = Path::new(dir);
+        let journaled = if dir.join("snapshot.json").exists() {
+            // Existing journal: the checkpoint + tail are authoritative;
+            // flags that would contradict them are refused, not ignored.
+            if let Some(path) = &args.restore {
+                fail(format!(
+                    "{} already holds a journal; refusing --restore {path} (recover from \
+                     the journal, or point --journal-dir at a fresh directory)",
+                    dir.display()
+                ));
+            }
+            if !args.config_flags.is_empty() {
+                fail(format!(
+                    "{} already holds a journal whose checkpoint embeds the configuration; \
+                     drop the conflicting flag(s) {}",
+                    dir.display(),
+                    args.config_flags.join(", ")
+                ));
+            }
+            let (journaled, summary) = Journaled::recover(dir, args.journal)
+                .unwrap_or_else(|e| fail(format!("cannot recover from {}: {e}", dir.display())));
+            println!(
+                "oef-serviced recovered {} shard(s) from {}: snapshot at seq {}, {} command(s) \
+                 replayed, {} stale skipped, {} torn byte(s) truncated, {} dropped past a gap, \
+                 {} round(s)",
+                journaled.coordinator().num_shards(),
+                dir.display(),
+                summary.base_seq,
+                summary.replayed,
+                summary.stale_skipped,
+                summary.torn_bytes,
+                summary.gap_dropped,
+                summary.rounds,
+            );
+            journaled
+        } else {
+            let coordinator = journal_seed(&args);
+            println!(
+                "oef-serviced journaling {} shard(s) into {} (fsync every {}, checkpoint every {})",
+                coordinator.num_shards(),
+                dir.display(),
+                args.journal.fsync_every,
+                args.journal.compact_every,
+            );
+            Journaled::create(coordinator, dir, args.journal).unwrap_or_else(|e| {
+                fail(format!("cannot create journal in {}: {e}", dir.display()))
+            })
+        };
+        serve(journaled, &args.addr, Journaled::rounds_run);
+        return;
+    }
+
     if let Some(path) = &args.restore {
         let json = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(format!("cannot read snapshot {path}: {e}")));
         // The snapshot's version field decides the daemon's shape: a v2
-        // snapshot restores the classic unsharded service, a v4 envelope a
+        // snapshot restores the classic unsharded service, a v5 envelope a
         // full federation.
-        let version = serde_json::from_str::<serde::Value>(&json)
-            .ok()
-            .and_then(|v| v.get("version").and_then(serde::Value::as_u64));
-        match version {
+        match snapshot_version(&json) {
             Some(3) => {
                 fail(format!(
                     "{path} is a v3 federated envelope (predates handle forwarding); upgrade \
-                     it first with `oef-servicectl migrate-snapshot {path} <v4-file>`"
+                     it first with `oef-servicectl migrate-snapshot {path} <v5-file>`"
                 ));
             }
             Some(4) => {
+                fail(format!(
+                    "{path} is a v4 federated envelope (predates the command journal); upgrade \
+                     it first with `oef-servicectl migrate-snapshot {path} <v5-file>`"
+                ));
+            }
+            Some(5) => {
                 let coordinator =
                     ShardCoordinator::from_federated_json(&json).unwrap_or_else(|e| fail(e));
                 println!(

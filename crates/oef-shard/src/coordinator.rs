@@ -24,8 +24,9 @@
 //!   to sit in the warm-start sweet spot while the solves overlap on separate
 //!   cores.
 //! * `Status` / `Metrics` aggregate across shards; `Snapshot` / `Restore`
-//!   speak the federated v4 envelope (per-shard v2 snapshots + placement
-//!   cursor + forwarding table + rebalancer config).
+//!   speak the federated v5 envelope (per-shard v2 snapshots + placement
+//!   cursor + forwarding table + rebalancer config + the journal sequence
+//!   number the snapshot covers).
 //!
 //! Shard 0 uses the identity handle encoding, so a single-shard coordinator
 //! is wire-indistinguishable from an unsharded daemon.
@@ -48,7 +49,7 @@ use serde::Deserialize;
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// What a parsed v4 envelope yields: everything a coordinator restores.
+/// What a parsed v5 envelope yields: everything a coordinator restores.
 struct ParsedFederation {
     shards: Vec<oef_service::SchedulerService>,
     placement: Box<dyn ShardPlacement>,
@@ -56,6 +57,7 @@ struct ParsedFederation {
     config: ServiceConfig,
     forwarding: HashMap<u64, u64>,
     rebalancer: Rebalancer,
+    journal_seq: u64,
 }
 
 /// Smoothing factor of the per-shard solve-latency EWMA (weight of the
@@ -78,6 +80,18 @@ pub struct ShardCoordinator {
     forwarding: HashMap<u64, u64>,
     /// The online rebalancer (its config is snapshot state).
     rebalancer: Rebalancer,
+    /// Migrations the last `Rebalance` pass *attempted* (tenant wire handle,
+    /// target shard), in execution order — including refused attempts, which
+    /// still mutate (a rejected install re-mints the tenant on its source
+    /// shard and inserts a rollback forwarding edge).  A write-ahead journal
+    /// drains this trail ([`ShardCoordinator::drain_rebalance_trail`]) and
+    /// logs each attempt as a `MigrateTenant`, because the *plan* is not
+    /// replayable: it reads the solve-latency EWMA, a wall-clock signal.
+    rebalance_trail: Vec<(u64, usize)>,
+    /// Sequence number of the last journaled command applied (0 without a
+    /// journal); rides in the v5 envelope so replay starts where the
+    /// snapshot ends.
+    journal_seq: u64,
     /// Per-shard EWMA of round solve latency — the load signal shards cannot
     /// compute themselves (it is only meaningful relative to the fan-out).
     solve_ewma: Vec<f64>,
@@ -150,6 +164,8 @@ impl ShardCoordinator {
             metrics: ServiceMetrics::new(),
             started: Instant::now(),
             shutting_down: false,
+            rebalance_trail: Vec::new(),
+            journal_seq: 0,
         })
     }
 
@@ -160,12 +176,12 @@ impl ShardCoordinator {
         self
     }
 
-    /// Rebuilds a coordinator from a federated (v4) snapshot JSON string.
+    /// Rebuilds a coordinator from a federated (v5) snapshot JSON string.
     ///
     /// # Errors
     ///
-    /// Fails on malformed envelopes, version mismatches (v2 and v3 snapshots
-    /// are pointed at `oef-servicectl migrate-snapshot`), unknown placement
+    /// Fails on malformed envelopes, version mismatches (v2, v3 and v4
+    /// snapshots are pointed at `oef-servicectl migrate-snapshot`), unknown placement
     /// strategies or rebalance policies, corrupted forwarding tables, and
     /// any per-shard v2 validation failure.
     pub fn from_federated_json(snapshot: &str) -> Result<Self, ServiceError> {
@@ -183,6 +199,8 @@ impl ShardCoordinator {
             metrics: ServiceMetrics::new(),
             started: Instant::now(),
             shutting_down: false,
+            rebalance_trail: Vec::new(),
+            journal_seq: parsed.journal_seq,
         })
     }
 
@@ -202,6 +220,12 @@ impl ShardCoordinator {
                 return Err(ServiceError::BadSnapshot(format!(
                     "this is a v3 federated envelope (predates handle forwarding); upgrade it \
                      to v{FEDERATED_SNAPSHOT_VERSION} with `oef-servicectl migrate-snapshot`"
+                )));
+            }
+            Some(4) => {
+                return Err(ServiceError::BadSnapshot(format!(
+                    "this is a v4 federated envelope (predates the command journal); upgrade \
+                     it to v{FEDERATED_SNAPSHOT_VERSION} with `oef-servicectl migrate-snapshot`"
                 )));
             }
             Some(v) => {
@@ -287,6 +311,7 @@ impl ShardCoordinator {
             config,
             forwarding,
             rebalancer,
+            journal_seq: envelope.journal_seq,
         })
     }
 
@@ -335,6 +360,26 @@ impl ShardCoordinator {
     /// Tenants moved between shards over this process's lifetime.
     pub fn tenants_migrated(&self) -> u64 {
         self.migrated
+    }
+
+    /// Sequence number of the last journaled command applied (0 without a
+    /// journal).
+    pub fn journal_seq(&self) -> u64 {
+        self.journal_seq
+    }
+
+    /// Records that every command up to journal sequence `seq` is applied;
+    /// the next snapshot embeds it so replay resumes at `seq + 1`.
+    pub fn set_journal_seq(&mut self, seq: u64) {
+        self.journal_seq = seq;
+    }
+
+    /// Takes the migrations the last `Rebalance` pass attempted (tenant wire
+    /// handle, target shard), in execution order.  A journaling wrapper logs
+    /// these as `MigrateTenant` commands — replaying the *moves* sidesteps
+    /// the planner's dependence on wall-clock solve latencies.
+    pub fn drain_rebalance_trail(&mut self) -> Vec<(u64, usize)> {
+        std::mem::take(&mut self.rebalance_trail)
     }
 
     /// Executes one command, routing it across the shards.
@@ -561,6 +606,7 @@ impl ShardCoordinator {
 
     /// One rebalancing pass: observe → plan → execute → report.
     fn rebalance(&mut self) -> Response {
+        self.rebalance_trail.clear();
         let observations = self.observe();
         let imbalance_before = self.rebalancer.imbalance(&observations);
         let plan = self.rebalancer.plan(&observations);
@@ -574,6 +620,10 @@ impl ShardCoordinator {
             if !self.shards[planned.to].has_tenant_capacity() {
                 continue;
             }
+            // Trail every *attempted* move, success or failure: even a
+            // refused install mutates (rollback re-mint + forwarding edge),
+            // so a journal must replay the attempt to reproduce the state.
+            self.rebalance_trail.push((planned.tenant, planned.to));
             match self.migrate_tenant(planned.tenant, planned.to) {
                 Response::TenantMigrated {
                     tenant,
@@ -797,33 +847,23 @@ impl ShardCoordinator {
         Response::Metrics(aggregate)
     }
 
-    fn snapshot(&mut self) -> Response {
+    /// The federated snapshot JSON, independent of the command dispatch and
+    /// its shutting-down gate: the journal wrapper checkpoints *after* a
+    /// `Shutdown` has been accepted, when the wire `Snapshot` command is
+    /// already refused.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures, as a message.
+    pub fn snapshot_json(&self) -> Result<String, String> {
         let mut shards = Vec::with_capacity(self.shards.len());
-        for (i, service) in self.shards.iter_mut().enumerate() {
-            let json = match service.apply(Command::Snapshot, 0) {
-                Response::Snapshot { snapshot } => snapshot,
-                Response::Error { code, message } => {
-                    return Response::Error {
-                        code,
-                        message: format!("shard {i} snapshot failed: {message}"),
-                    }
-                }
-                other => {
-                    return Response::Error {
-                        code: ErrorCode::Internal,
-                        message: format!("shard {i} snapshot returned {other:?}"),
-                    }
-                }
-            };
-            match serde_json::from_str::<serde::Value>(&json) {
-                Ok(value) => shards.push(value),
-                Err(e) => {
-                    return Response::Error {
-                        code: ErrorCode::Internal,
-                        message: format!("shard {i} snapshot did not re-parse: {e}"),
-                    }
-                }
-            }
+        for (i, service) in self.shards.iter().enumerate() {
+            let json = service
+                .snapshot_json()
+                .map_err(|e| format!("shard {i} snapshot failed: {e}"))?;
+            let value = serde_json::from_str::<serde::Value>(&json)
+                .map_err(|e| format!("shard {i} snapshot did not re-parse: {e}"))?;
+            shards.push(value);
         }
         // Canonical encoding: the table is a hash map in memory, a sorted
         // array on disk, so identical federations write identical envelopes.
@@ -836,6 +876,7 @@ impl ShardCoordinator {
         let envelope = FederatedSnapshot {
             version: FEDERATED_SNAPSHOT_VERSION,
             round: self.rounds,
+            journal_seq: self.journal_seq,
             placement: PlacementState {
                 strategy: self.placement.name().to_string(),
                 cursor: self.placement.cursor(),
@@ -844,11 +885,15 @@ impl ShardCoordinator {
             rebalancer: self.rebalancer.config().clone(),
             shards,
         };
-        match serde_json::to_string(&envelope) {
+        serde_json::to_string(&envelope).map_err(|e| format!("federated snapshot failed: {e}"))
+    }
+
+    fn snapshot(&mut self) -> Response {
+        match self.snapshot_json() {
             Ok(snapshot) => Response::Snapshot { snapshot },
-            Err(e) => Response::Error {
+            Err(message) => Response::Error {
                 code: ErrorCode::Internal,
-                message: format!("federated snapshot failed: {e}"),
+                message,
             },
         }
     }
@@ -879,6 +924,7 @@ impl ShardCoordinator {
         self.config = parsed.config;
         self.forwarding = parsed.forwarding;
         self.rebalancer = parsed.rebalancer;
+        self.journal_seq = parsed.journal_seq;
         self.config.limits.queue_capacity = queue_capacity;
         Response::Restored { tenants }
     }
@@ -1438,13 +1484,86 @@ mod tests {
         let Response::Snapshot { snapshot } = c.apply(Command::Snapshot, 0) else {
             panic!("snapshot failed");
         };
-        let v3 = snapshot.replace("\"version\":4", "\"version\":3");
+        let v3 = snapshot.replace("\"version\":5", "\"version\":3");
         assert_ne!(v3, snapshot, "fixture must actually downgrade");
         let err = ShardCoordinator::from_federated_json(&v3).unwrap_err();
         let ServiceError::BadSnapshot(reason) = err else {
             panic!("expected BadSnapshot");
         };
         assert!(reason.contains("migrate-snapshot"), "reason: {reason}");
+    }
+
+    #[test]
+    fn v4_snapshots_are_pointed_at_the_migration_tool() {
+        let mut c = coordinator(2);
+        let Response::Snapshot { snapshot } = c.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        let v4 = snapshot
+            .replace("\"version\":5", "\"version\":4")
+            .replace(",\"journal_seq\":0", "");
+        assert_ne!(v4, snapshot, "fixture must actually downgrade");
+        let err = ShardCoordinator::from_federated_json(&v4).unwrap_err();
+        let ServiceError::BadSnapshot(reason) = err else {
+            panic!("expected BadSnapshot");
+        };
+        assert!(reason.contains("migrate-snapshot"), "reason: {reason}");
+        assert!(reason.contains("journal"), "reason: {reason}");
+    }
+
+    #[test]
+    fn rebalance_trail_records_attempted_moves() {
+        let mut c = coordinator(2);
+        let handles: Vec<u64> = (0..6).map(|i| join(&mut c, &format!("t{i}"))).collect();
+        for &h in handles.iter().filter(|&&h| sharded::shard_of(h) == 0) {
+            c.apply(Command::TenantLeave { tenant: h }, 0);
+        }
+        let Response::Rebalanced(report) = c.apply(Command::Rebalance, 0) else {
+            panic!("rebalance failed");
+        };
+        assert!(!report.moves.is_empty());
+        let trail = c.drain_rebalance_trail();
+        assert_eq!(
+            trail,
+            report
+                .moves
+                .iter()
+                .map(|m| (m.previous, m.to))
+                .collect::<Vec<_>>(),
+            "trail lists each attempt by its pre-move wire handle"
+        );
+        assert!(
+            c.drain_rebalance_trail().is_empty(),
+            "draining is destructive"
+        );
+        // Replaying the trail as MigrateTenant commands on a twin reproduces
+        // the exact same moves — the journal's recovery path.
+        let mut twin = coordinator(2);
+        let twin_handles: Vec<u64> = (0..6).map(|i| join(&mut twin, &format!("t{i}"))).collect();
+        assert_eq!(twin_handles, handles);
+        for &h in twin_handles.iter().filter(|&&h| sharded::shard_of(h) == 0) {
+            twin.apply(Command::TenantLeave { tenant: h }, 0);
+        }
+        for &(tenant, shard) in &trail {
+            let r = twin.apply(Command::MigrateTenant { tenant, shard }, 0);
+            assert!(matches!(r, Response::TenantMigrated { .. }), "{r:?}");
+        }
+        for (a, b) in c.shards().iter().zip(twin.shards()) {
+            assert_eq!(a.tenant_handles(), b.tenant_handles());
+        }
+    }
+
+    #[test]
+    fn journal_seq_rides_in_the_snapshot() {
+        let mut c = coordinator(2);
+        join(&mut c, "alice");
+        c.set_journal_seq(41);
+        let Response::Snapshot { snapshot } = c.apply(Command::Snapshot, 0) else {
+            panic!("snapshot failed");
+        };
+        assert!(snapshot.contains("\"journal_seq\":41"), "{snapshot}");
+        let restored = ShardCoordinator::from_federated_json(&snapshot).unwrap();
+        assert_eq!(restored.journal_seq(), 41);
     }
 
     #[test]

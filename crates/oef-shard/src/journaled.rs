@@ -1,0 +1,453 @@
+//! Write-ahead journaling around a [`ShardCoordinator`].
+//!
+//! [`Journaled`] wraps a coordinator with an `oef-journal` command log and a
+//! periodically-checkpointed snapshot, turning the daemon's proven
+//! determinism into a durability story: every mutating command is appended
+//! (and group-committed) *before* it is applied, so a crash at any moment
+//! recovers by restoring `snapshot.json` and replaying the journal tail —
+//! [`Journaled::recover`] reproduces the pre-crash state exactly, because
+//! replaying the same commands against the same snapshot is the same
+//! computation.
+//!
+//! Three commands need care:
+//!
+//! * **Read-only commands** (`Status`, `Metrics`, `Snapshot`) are never
+//!   journaled — they mutate nothing.
+//! * **`Rebalance`** is journaled *by its effects*: the pass plans from the
+//!   per-shard solve-latency EWMA, a wall-clock signal that replay cannot
+//!   reproduce, so instead of logging `Rebalance` the wrapper drains the
+//!   coordinator's trail of attempted moves and logs each as a
+//!   `MigrateTenant` (attempts, not successes: even a refused move mutates —
+//!   it re-mints the tenant on its source shard and adds a rollback
+//!   forwarding edge).  This is the one apply-before-journal exception; the
+//!   worker is single-threaded, so no later command can overtake the trail.
+//! * **Commands refused while shutting down** are not journaled at all — a
+//!   recovered coordinator is *not* shutting down, so replaying them would
+//!   apply commands the live daemon refused.
+//!
+//! Every `--compact-every` journaled commands the wrapper **checkpoints**:
+//! syncs the journal, writes the federated snapshot atomically (temp file +
+//! fsync + rename, via [`oef_journal::PendingFile`]) and deletes every
+//! journal segment the snapshot covers.  The v5 envelope records the journal
+//! sequence number it covers, so replay starts exactly where the snapshot
+//! ends; segments a crashed compaction failed to delete are skipped as stale
+//! on recovery and removed by the next checkpoint.  [`CrashPoint`]s can be
+//! armed ([`Journaled::with_faults`]) to stop the pipeline dead at the nasty
+//! moments — the crash-recovery e2e suite drives every one of them.
+
+use crate::coordinator::ShardCoordinator;
+use oef_core::sharded;
+use oef_journal::{
+    CrashPoint, FaultInjector, FaultPlan, Journal, JournalConfig, PendingFile, RecoveryReport,
+};
+use oef_service::{Command, CommandHandler, ErrorCode, Response};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name of the checkpoint snapshot inside the journal directory.
+const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// Durability knobs of a [`Journaled`] coordinator.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalOptions {
+    /// Group-commit batch: fsync the journal after every n-th append
+    /// (1 = synchronous, 0 = never explicitly; see `oef-journal`).
+    pub fsync_every: u64,
+    /// Checkpoint (snapshot + compact the journal) after this many journaled
+    /// commands (0 = only on shutdown).
+    pub compact_every: u64,
+    /// Records per journal segment file before rolling.
+    pub segment_records: u64,
+}
+
+impl Default for JournalOptions {
+    fn default() -> Self {
+        JournalOptions {
+            fsync_every: 1,
+            compact_every: 4096,
+            segment_records: 1024,
+        }
+    }
+}
+
+/// What [`Journaled::recover`] did, for operator logs.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverySummary {
+    /// Journal sequence number the snapshot covered (replay started after it).
+    pub base_seq: u64,
+    /// Commands replayed from the journal tail.
+    pub replayed: usize,
+    /// Stale records skipped (left behind by an interrupted compaction).
+    pub stale_skipped: usize,
+    /// Bytes truncated off torn or corrupt segment tails.
+    pub torn_bytes: u64,
+    /// Records dropped past a group-commit sequence gap.
+    pub gap_dropped: usize,
+    /// Coordinator rounds after replay.
+    pub rounds: usize,
+}
+
+impl RecoverySummary {
+    fn new(base_seq: u64, report: RecoveryReport, rounds: usize) -> Self {
+        RecoverySummary {
+            base_seq,
+            replayed: report.replayed,
+            stale_skipped: report.stale_skipped,
+            torn_bytes: report.torn_bytes,
+            gap_dropped: report.gap_dropped,
+            rounds,
+        }
+    }
+}
+
+/// An armed [`CrashPoint`] fired: the harness must treat the process as
+/// dead — drop the [`Journaled`] without further writes and recover.
+#[derive(Debug)]
+pub struct Crashed;
+
+/// A [`ShardCoordinator`] behind a write-ahead journal.  Implements
+/// [`CommandHandler`], so `Server::spawn(journaled, addr)` serves the same
+/// wire protocol with durability.
+#[derive(Debug)]
+pub struct Journaled {
+    inner: ShardCoordinator,
+    journal: Journal,
+    snapshot_path: PathBuf,
+    compact_every: u64,
+    since_compact: u64,
+    faults: FaultInjector,
+}
+
+impl Journaled {
+    /// Starts journaling `inner` in a fresh directory: writes the initial
+    /// checkpoint snapshot (atomically) and creates the journal lanes, one
+    /// per shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` already holds a journal (recover instead — creating
+    /// over history could silently drop it) or on any I/O failure.
+    pub fn create(
+        mut inner: ShardCoordinator,
+        dir: &Path,
+        options: JournalOptions,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already exists; recover from it instead of creating over it",
+                    snapshot_path.display()
+                ),
+            ));
+        }
+        // This journal's sequence numbers start at 1, whatever any restored
+        // envelope claimed about a previous journal's epoch.
+        inner.set_journal_seq(0);
+        let journal = Journal::create(dir, journal_config(&inner, options))?;
+        let mut journaled = Journaled {
+            inner,
+            journal,
+            snapshot_path,
+            compact_every: options.compact_every,
+            since_compact: 0,
+            faults: FaultInjector::none(),
+        };
+        let snapshot = journaled.snapshot_json()?;
+        oef_journal::atomic_write(&journaled.snapshot_path, snapshot.as_bytes())?;
+        Ok(journaled)
+    }
+
+    /// Recovers a journaled coordinator from `dir`: restores
+    /// `snapshot.json`, opens the journal (repairing torn tails), and
+    /// replays every surviving command after the snapshot's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot is missing or invalid, or on I/O failures.
+    /// A damaged journal *tail* is not an error — it is truncated at the
+    /// last valid record, exactly what a crash mid-append leaves behind.
+    pub fn recover(dir: &Path, options: JournalOptions) -> io::Result<(Self, RecoverySummary)> {
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let snapshot = std::fs::read_to_string(&snapshot_path)?;
+        let mut inner = ShardCoordinator::from_federated_json(&snapshot).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", snapshot_path.display()),
+            )
+        })?;
+        let base_seq = inner.journal_seq();
+        let (journal, records, report) =
+            Journal::open(dir, base_seq, journal_config(&inner, options))?;
+        for record in &records {
+            let command: Command =
+                serde_json::from_str(std::str::from_utf8(&record.payload).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal record {} is not UTF-8: {e}", record.seq),
+                    )
+                })?)
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal record {} is not a command: {e}", record.seq),
+                    )
+                })?;
+            // Replay applies commands, not their outcomes: a command the live
+            // daemon refused is refused again here, identically (state and
+            // command are both identical), so errors are expected data.
+            inner.apply(command, 0);
+            inner.set_journal_seq(record.seq);
+        }
+        let summary = RecoverySummary::new(base_seq, report, inner.rounds_run());
+        Ok((
+            Journaled {
+                inner,
+                journal,
+                snapshot_path,
+                compact_every: options.compact_every,
+                since_compact: 0,
+                faults: FaultInjector::none(),
+            },
+            summary,
+        ))
+    }
+
+    /// Arms a scripted crash (test harness; see [`CrashPoint`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultInjector::armed(plan);
+        self
+    }
+
+    /// The wrapped coordinator.
+    pub fn coordinator(&self) -> &ShardCoordinator {
+        &self.inner
+    }
+
+    /// Coordinator rounds completed.
+    pub fn rounds_run(&self) -> usize {
+        self.inner.rounds_run()
+    }
+
+    /// Live journal segment files (tests observe compaction through this).
+    pub fn segment_count(&self) -> usize {
+        self.journal.segment_count()
+    }
+
+    /// Executes one command with full crash-injection plumbing.  An armed
+    /// fault firing returns `Err(Crashed)`: the files are now exactly as a
+    /// real crash at that point would leave them, and the caller must stop
+    /// using this value.
+    ///
+    /// # Errors
+    ///
+    /// Only [`Crashed`] — journal I/O failures refuse the command with a
+    /// structured [`Response::Error`] *without* applying it (write-ahead
+    /// means no un-journaled mutation is ever visible).
+    pub fn try_apply(&mut self, command: Command, queue_depth: usize) -> Result<Response, Crashed> {
+        match command {
+            // Read-only: nothing to journal.
+            Command::Status | Command::Metrics | Command::Snapshot => {
+                Ok(self.inner.apply(command, queue_depth))
+            }
+            // The rebalance plan reads wall-clock solve latencies, so the
+            // *plan* is not replayable; journal the executed trail instead
+            // (apply-then-journal is safe on the single worker thread).
+            Command::Rebalance => {
+                let response = self.inner.apply(command, queue_depth);
+                for (tenant, shard) in self.inner.drain_rebalance_trail() {
+                    let journaled = self.journal_command(&Command::MigrateTenant { tenant, shard });
+                    match journaled {
+                        Ok(seq) => self.inner.set_journal_seq(seq),
+                        Err(e) => {
+                            // The moves already executed; losing their
+                            // journal entries would make recovery diverge.
+                            // Surface loudly — the reply reaches the caller,
+                            // and the next checkpoint re-covers the state.
+                            return Ok(Response::Error {
+                                code: ErrorCode::Internal,
+                                message: format!(
+                                    "rebalance executed but journaling its moves failed: {e}; \
+                                     state is ahead of the journal until the next checkpoint"
+                                ),
+                            });
+                        }
+                    }
+                }
+                self.maybe_checkpoint()?;
+                Ok(response)
+            }
+            Command::Shutdown => {
+                let response = self.inner.apply(command, queue_depth);
+                // The queue drains and `on_shutdown` checkpoints after it;
+                // sync eagerly anyway so even a kill between here and there
+                // loses nothing.
+                let _ = self.journal.sync();
+                Ok(response)
+            }
+            command => {
+                // A shutting-down coordinator refuses mutations; those
+                // refusals must not be journaled (a recovered coordinator is
+                // not shutting down and would apply them on replay).
+                if self.inner.is_shutting_down() {
+                    return Ok(self.inner.apply(command, queue_depth));
+                }
+                if self.faults.should_crash(CrashPoint::PreAppend) {
+                    return Err(Crashed);
+                }
+                let seq = match self.journal_command(&command) {
+                    Ok(seq) => seq,
+                    Err(e) => {
+                        // Write-ahead: if the append failed, the command must
+                        // not be applied.
+                        return Ok(Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!("journal append failed, command refused: {e}"),
+                        });
+                    }
+                };
+                if self.faults.should_crash(CrashPoint::PostAppendPreApply) {
+                    let _ = self.journal.sync();
+                    return Err(Crashed);
+                }
+                let response = self.inner.apply(command, queue_depth);
+                self.inner.set_journal_seq(seq);
+                self.maybe_checkpoint()?;
+                Ok(response)
+            }
+        }
+    }
+
+    /// Serializes and appends one command, routing it to the lane of the
+    /// shard its handle names (lane 0 for commands placed later or global
+    /// ones).
+    fn journal_command(&mut self, command: &Command) -> io::Result<u64> {
+        let payload = serde_json::to_string(command)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.journal.append(lane_of(command), payload.as_bytes())
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), Crashed> {
+        self.since_compact += 1;
+        if self.compact_every > 0 && self.since_compact >= self.compact_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints now: syncs the journal, writes the snapshot atomically,
+    /// compacts the journal down to segments the snapshot does not cover.
+    ///
+    /// I/O failures are logged and swallowed — a failed checkpoint only
+    /// means recovery replays a longer tail; durability is never lost.
+    ///
+    /// # Errors
+    ///
+    /// Only [`Crashed`], from an armed [`CrashPoint::MidSnapshotWrite`] or
+    /// [`CrashPoint::MidCompaction`].
+    pub fn checkpoint(&mut self) -> Result<(), Crashed> {
+        self.since_compact = 0;
+        if let Err(e) = self.try_checkpoint() {
+            match e {
+                CheckpointError::Crashed => return Err(Crashed),
+                CheckpointError::Io(e) => {
+                    eprintln!("oef-serviced: checkpoint failed ({e}); journal keeps the full tail");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn try_checkpoint(&mut self) -> Result<(), CheckpointError> {
+        // The snapshot claims to cover `journal_seq`; everything up to it
+        // must be durable before the claim is.
+        self.journal.sync()?;
+        let snapshot = self.snapshot_json()?;
+        let mut pending = PendingFile::begin(&self.snapshot_path)?;
+        pending.write_all(snapshot.as_bytes())?;
+        if self.faults.should_crash(CrashPoint::MidSnapshotWrite) {
+            // Dropping `pending` abandons the temp file: the previous
+            // snapshot stays authoritative, the full tail replays.
+            return Err(CheckpointError::Crashed);
+        }
+        pending.commit()?;
+        if self.faults.should_crash(CrashPoint::MidCompaction) {
+            // The new snapshot landed but stale segments survive; recovery
+            // skips their records and the next checkpoint deletes them.
+            return Err(CheckpointError::Crashed);
+        }
+        self.journal.compact(self.inner.journal_seq())?;
+        Ok(())
+    }
+
+    fn snapshot_json(&mut self) -> io::Result<String> {
+        // The direct path, not `apply(Command::Snapshot)`: the shutdown
+        // checkpoint runs after the coordinator started refusing commands,
+        // and checkpoints must not inflate the command metrics either.
+        self.inner.snapshot_json().map_err(io::Error::other)
+    }
+}
+
+enum CheckpointError {
+    Crashed,
+    Io(io::Error),
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(value: io::Error) -> Self {
+        CheckpointError::Io(value)
+    }
+}
+
+impl CommandHandler for Journaled {
+    fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
+        match self.try_apply(command, queue_depth) {
+            Ok(response) => response,
+            // Unreachable in production (faults are only armed by tests that
+            // drive `try_apply` directly), but a structured reply beats a
+            // panic if a harness ever serves an armed instance.
+            Err(Crashed) => Response::Error {
+                code: ErrorCode::Internal,
+                message: "injected crash point fired".to_string(),
+            },
+        }
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.inner.queue_capacity()
+    }
+
+    fn on_shutdown(&mut self) {
+        // Clean shutdown never needs tail replay: flush the journal and
+        // checkpoint so the snapshot covers everything.
+        let _ = self.journal.sync();
+        let _ = self.checkpoint();
+    }
+}
+
+fn journal_config(inner: &ShardCoordinator, options: JournalOptions) -> JournalConfig {
+    JournalConfig {
+        lanes: inner.num_shards() as u32,
+        fsync_every: options.fsync_every,
+        segment_records: options.segment_records,
+    }
+}
+
+/// Journal lane of a command: the shard its handle names, lane 0 for
+/// commands without one (their shard is decided at apply time).  Lanes are
+/// storage partitioning only — the global sequence number keeps replay
+/// totally ordered.
+fn lane_of(command: &Command) -> u32 {
+    let handle = match command {
+        Command::TenantLeave { tenant }
+        | Command::UpdateSpeedups { tenant, .. }
+        | Command::SubmitJob { tenant, .. }
+        | Command::JobFinished { tenant, .. }
+        | Command::MigrateTenant { tenant, .. } => *tenant,
+        Command::RemoveHost { handle } => *handle,
+        _ => return 0,
+    };
+    sharded::shard_of(handle) as u32
+}

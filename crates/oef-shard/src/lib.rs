@@ -23,11 +23,20 @@
 //!   on lookup) keeps every handle a client ever held working across any
 //!   number of moves.  `Rebalance` runs the online
 //!   [`oef_rebalance::Rebalancer`] over per-shard load and executes the plan.
-//! * **Federated snapshots** — v4 envelopes carry one v2 snapshot per shard
+//! * **Federated snapshots** — v5 envelopes carry one v2 snapshot per shard
 //!   plus the router's own state: placement cursor, forwarding table,
-//!   rebalancer config ([`FederatedSnapshot`]).  [`wrap_v2_snapshot`]
-//!   migrates an unsharded snapshot into a single-shard federation;
-//!   [`upgrade_v3_snapshot`] lifts a PR-4-era envelope to v4.
+//!   rebalancer config, journal epoch ([`FederatedSnapshot`]).
+//!   [`wrap_v2_snapshot`] migrates an unsharded snapshot into a single-shard
+//!   federation; [`upgrade_v3_snapshot`] / [`upgrade_v4_snapshot`] lift
+//!   PR-4- and PR-5-era envelopes to v5.
+//! * **Write-ahead journal + crash recovery** — [`Journaled`] wraps the
+//!   coordinator with an `oef-journal` command log: mutating commands are
+//!   appended (group-committed per [`JournalOptions`]) before they apply,
+//!   checkpoints atomically rewrite `snapshot.json` and compact the log, and
+//!   [`Journaled::recover`] restores snapshot + deterministic tail replay
+//!   after a crash — torn tails are detected by checksum and cleanly
+//!   truncated.  Scripted [`oef_journal::CrashPoint`]s drive the
+//!   fault-injection e2e suite.
 //!
 //! The `oef-serviced` / `oef-servicectl` binaries are built from this crate
 //! (the daemon serves either one `SchedulerService` or a coordinator,
@@ -58,12 +67,14 @@
 #![warn(missing_docs)]
 
 mod coordinator;
+mod journaled;
 mod placement;
 mod snapshot;
 
 pub use coordinator::ShardCoordinator;
+pub use journaled::{Crashed, JournalOptions, Journaled, RecoverySummary};
 pub use placement::{placement_from_name, LeastLoaded, RoundRobin, ShardLoad, ShardPlacement};
 pub use snapshot::{
-    upgrade_v3_snapshot, wrap_v2_snapshot, FederatedSnapshot, ForwardingEntry, MigrateError,
-    PlacementState, FEDERATED_SNAPSHOT_VERSION,
+    upgrade_v3_snapshot, upgrade_v4_snapshot, wrap_v2_snapshot, FederatedSnapshot, ForwardingEntry,
+    MigrateError, PlacementState, FEDERATED_SNAPSHOT_VERSION,
 };

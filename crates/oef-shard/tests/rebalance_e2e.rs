@@ -1,7 +1,7 @@
 //! End-to-end tests of live cross-shard migration and the online rebalancer.
 //!
 //! The headline test proves migration is **allocation-preserving**: a tenant
-//! pair that migrates across shards mid-run (with a v4 snapshot/restore
+//! pair that migrates across shards mid-run (with a federated snapshot/restore
 //! straddling the migration sequence) produces round summaries identical to
 //! an unsharded twin that never moved, to 1e-6 — which can only hold if the
 //! complete tenant state, *including the rounding placer's deviation rows*,
@@ -115,7 +115,7 @@ fn migrate(c: &mut ShardCoordinator, tenant: u64, shard: usize) -> u64 {
 }
 
 /// Migration is allocation-preserving: the federation's tenants — co-located
-/// by migration, then moved wholesale to the other shard mid-run, with a v4
+/// by migration, then moved wholesale to the other shard mid-run, with a federated
 /// snapshot/restore straddling the second move — match an unsharded twin
 /// that never migrated, round for round, to 1e-6.  The profiles are chosen
 /// so the LP's fractional shares force the rounding placer to carry real

@@ -23,9 +23,13 @@
 //!   TCP (`oef-serviced` / `oef-servicectl`).
 //! * [`shard`] — sharded cluster federation: a coordinator routing that same wire
 //!   protocol across N scheduler shards with shard-aware handles, parallel per-shard
-//!   solves, handle forwarding across migrations and federated (v4) snapshots.
+//!   solves, handle forwarding across migrations and federated (v5) snapshots.
 //! * [`rebalance`] — live cross-shard tenant migration and the online rebalancer
 //!   that keeps long-lived federations balanced as tenants churn unevenly.
+//! * [`journal`] — the write-ahead command journal behind `oef-serviced
+//!   --journal-dir`: checksummed per-lane segment files with group-commit fsync
+//!   batching, crash-atomic snapshot writes, torn-tail repair and deterministic
+//!   replay (plus the fault-injection hooks the crash-recovery tests script).
 //!
 //! # Quickstart
 //!
@@ -50,6 +54,7 @@
 
 pub use oef_cluster as cluster;
 pub use oef_core as core;
+pub use oef_journal as journal;
 pub use oef_lp as lp;
 pub use oef_rebalance as rebalance;
 pub use oef_schedulers as schedulers;
