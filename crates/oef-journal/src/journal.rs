@@ -97,6 +97,9 @@ struct Lane {
     /// outgrows [`WRITE_BUFFER_FLUSH`]).
     buf: Vec<u8>,
     dirty: bool,
+    /// `sync_data` calls this lane has issued (group commits + segment
+    /// rolls) — summed into [`JournalStats::fsyncs`].
+    fsyncs: u64,
 }
 
 /// A record scanned off disk, with enough position info to truncate at it.
@@ -118,6 +121,7 @@ impl Lane {
             file: None,
             buf: Vec::new(),
             dirty: false,
+            fsyncs: 0,
         }
     }
 
@@ -167,6 +171,7 @@ impl Lane {
         if let Some(file) = self.file.take() {
             if self.dirty {
                 file.sync_data()?;
+                self.fsyncs += 1;
                 self.dirty = false;
             }
         }
@@ -197,6 +202,7 @@ impl Lane {
         if self.dirty {
             if let Some(file) = self.file.as_mut() {
                 file.sync_data()?;
+                self.fsyncs += 1;
             }
             self.dirty = false;
         }
@@ -236,6 +242,25 @@ pub struct Journal {
     fsync_every: u64,
     segment_records: u64,
     appended_since_sync: u64,
+    appends: u64,
+    appended_bytes: u64,
+    truncated_bytes_on_recovery: u64,
+}
+
+/// Lifetime I/O counters of one journal instance, for the daemon's metrics
+/// surfaces.  Appends and fsyncs count this process's work; the truncation
+/// figure is what recovery repaired when the journal was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended by this instance.
+    pub appends: u64,
+    /// Bytes appended, frame headers included.
+    pub appended_bytes: u64,
+    /// `fsync` calls across all lanes (group commits and segment rolls).
+    pub fsyncs: u64,
+    /// Bytes truncated off torn or corrupt tails when this journal was
+    /// opened (0 for a freshly created journal).
+    pub truncated_bytes_on_recovery: u64,
 }
 
 impl Journal {
@@ -266,6 +291,9 @@ impl Journal {
             fsync_every: config.fsync_every,
             segment_records: config.segment_records.max(1),
             appended_since_sync: 0,
+            appends: 0,
+            appended_bytes: 0,
+            truncated_bytes_on_recovery: 0,
         })
     }
 
@@ -356,6 +384,9 @@ impl Journal {
                 fsync_every: config.fsync_every,
                 segment_records: config.segment_records.max(1),
                 appended_since_sync: 0,
+                appends: 0,
+                appended_bytes: 0,
+                truncated_bytes_on_recovery: report.torn_bytes,
             },
             records,
             report,
@@ -372,6 +403,8 @@ impl Journal {
         let segment_records = self.segment_records;
         self.lanes[(lane % lane_count) as usize].append(seq, payload, segment_records)?;
         self.next_seq += 1;
+        self.appends += 1;
+        self.appended_bytes += (RECORD_HEADER_LEN + payload.len()) as u64;
         self.appended_since_sync += 1;
         if self.fsync_every > 0 && self.appended_since_sync >= self.fsync_every {
             self.sync()?;
@@ -386,6 +419,16 @@ impl Journal {
         }
         self.appended_since_sync = 0;
         Ok(())
+    }
+
+    /// Lifetime I/O counters of this journal instance.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appends: self.appends,
+            appended_bytes: self.appended_bytes,
+            fsyncs: self.lanes.iter().map(|l| l.fsyncs).sum(),
+            truncated_bytes_on_recovery: self.truncated_bytes_on_recovery,
+        }
     }
 
     /// Delete every segment whose records are all covered by a snapshot at
@@ -685,6 +728,37 @@ mod tests {
             }
         );
         assert_eq!(journal.next_seq(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_count_appends_fsyncs_and_recovery_truncation() {
+        let dir = scratch("stats");
+        let mut journal = Journal::create(&dir, config(1)).unwrap();
+        assert_eq!(journal.stats(), JournalStats::default());
+        for i in 0..3u64 {
+            journal.append(0, &payload(i)).unwrap();
+        }
+        let stats = journal.stats();
+        assert_eq!(stats.appends, 3);
+        let expected_bytes: u64 = (0..3u64)
+            .map(|i| (RECORD_HEADER_LEN + payload(i).len()) as u64)
+            .sum();
+        assert_eq!(stats.appended_bytes, expected_bytes);
+        // fsync_every = 1: one fsync per append.
+        assert_eq!(stats.fsyncs, 3);
+        assert_eq!(stats.truncated_bytes_on_recovery, 0);
+        drop(journal);
+
+        // Tear the tail; the reopened journal reports what recovery cut.
+        let seg = only_segment(&dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[0x0b, 0x00]);
+        std::fs::write(&seg, &bytes).unwrap();
+        let (journal, _, _) = Journal::open(&dir, 0, config(1)).unwrap();
+        let stats = journal.stats();
+        assert_eq!(stats.appends, 0, "appends count this instance's work");
+        assert_eq!(stats.truncated_bytes_on_recovery, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -57,4 +57,4 @@ mod journal;
 pub use atomic::{atomic_write, PendingFile};
 pub use crc::crc32;
 pub use fault::{CrashPoint, FaultInjector, FaultPlan};
-pub use journal::{Journal, JournalConfig, JournalRecord, RecoveryReport};
+pub use journal::{Journal, JournalConfig, JournalRecord, JournalStats, RecoveryReport};

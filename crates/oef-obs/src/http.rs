@@ -1,0 +1,242 @@
+//! Minimal hand-rolled HTTP/1.1 responder for `/metrics` and `/healthz`.
+//!
+//! Same no-external-crates discipline as `crates/shims/`: a nonblocking
+//! std-TCP accept loop (the `Server` idiom from `oef-service`), one short
+//! handler thread per connection, every response `Connection: close`.  The
+//! listener lives entirely outside the daemon's command path — a scrape
+//! renders a [`Registry`] snapshot from atomics and never takes a lock the
+//! scheduling worker holds.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection read timeout: a stalled scraper must not pin a handler
+/// thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Upper bound on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running metrics endpoint serving `GET /metrics` and `GET /healthz`.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    handle: JoinHandle<()>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts serving
+    /// scrapes of `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn(registry: Registry, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || accept_loop(&listener, &registry, &shutdown))
+        };
+        Ok(Self {
+            addr: local,
+            handle,
+            shutdown,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and waits for it to exit.  In-flight scrape
+    /// handlers are detached threads and finish (or time out) on their own.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &Registry, shutdown: &Arc<AtomicBool>) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    // A dead scraper is not a daemon error.
+                    let _ = serve_connection(stream, &registry);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let head = read_request_head(&mut stream)?;
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore any query string: `/metrics?x=1` still scrapes.
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                // The Prometheus text exposition content type.
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render(),
+            ),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the request head (we never read a
+/// body — all supported requests are GETs).
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_REQUEST_BYTES {
+            return Err(std::io::Error::other("request head too large"));
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// One blocking HTTP GET against the server; returns (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+        )
+        .expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a head/body split");
+        let status = head.lines().next().expect("status line").to_string();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_errors() {
+        let registry = Registry::new();
+        let counter = registry.counter("oef_http_test_total", "Test.", &[]);
+        counter.add(5);
+        let server = MetricsServer::spawn(registry, "127.0.0.1:0").expect("spawn");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("oef_http_test_total 5\n"));
+        crate::parse(&body).expect("exposition must parse strictly");
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        // Non-GET methods are refused.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .expect("write");
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status");
+        assert!(status.contains("405"), "{status}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn scrapes_are_consistent_under_concurrent_observation() {
+        let registry = Registry::new();
+        let hist = registry.histogram("oef_busy_seconds", "Busy.", &[], &[0.001, 0.01, 0.1]);
+        let server = MetricsServer::spawn(registry, "127.0.0.1:0").expect("spawn");
+        let addr = server.local_addr();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let observer = {
+            let stop = Arc::clone(&stop);
+            let hist = hist.clone();
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    hist.observe(0.005);
+                    n += 1;
+                }
+                n
+            })
+        };
+        // Every scrape taken mid-storm must still satisfy the histogram
+        // invariants the strict parser enforces.
+        for _ in 0..20 {
+            let (status, body) = get(addr, "/metrics");
+            assert!(status.contains("200"), "{status}");
+            crate::parse(&body).expect("mid-storm scrape must stay well-formed");
+        }
+        stop.store(true, Ordering::SeqCst);
+        let observed = observer.join().expect("observer thread");
+        assert!(observed > 0);
+        let (_, body) = get(addr, "/metrics");
+        let exposition = crate::parse(&body).expect("final scrape");
+        assert_eq!(
+            exposition.value("oef_busy_seconds_count", &[]),
+            Some(observed as f64)
+        );
+        server.stop();
+    }
+}

@@ -1,0 +1,615 @@
+//! Strict parser for the Prometheus text exposition format — the in-repo
+//! stand-in for `promtool check metrics` that tests and the CI smoke step
+//! run against everything the encoder produces.
+//!
+//! "Strict" means structural problems are errors, not warnings: samples
+//! without a preceding `# TYPE`, malformed label syntax, duplicate series,
+//! negative or non-finite counters, and histograms whose buckets are
+//! non-cumulative, lack `+Inf`, or disagree with their `_count` all fail the
+//! parse with a line number.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A parse or validation failure, with the 1-based line it was found on
+/// (line 0 for whole-exposition invariant failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 = exposition-wide invariant).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Declared family type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Free-moving gauge.
+    Gauge,
+    /// Bucketed histogram (`_bucket`/`_sum`/`_count`).
+    Histogram,
+    /// Explicitly untyped.
+    Untyped,
+}
+
+/// One sample line: fully-suffixed name, label set, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The sample name as written (histograms: `<family>_bucket` etc.).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Parsed value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One metric family: `# TYPE` metadata plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Family (base) name.
+    pub name: String,
+    /// `# HELP` text, if present.
+    pub help: Option<String>,
+    /// Declared kind.
+    pub kind: MetricKind,
+    /// All samples attributed to the family.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed, validated exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Families in source order.
+    pub families: Vec<MetricFamily>,
+}
+
+impl Exposition {
+    /// Looks up a family by base name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// The value of the sample `name{labels ⊇ labels}` (labels are matched
+    /// as a subset so callers can ignore incidental labels).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.families
+            .iter()
+            .flat_map(|f| &f.samples)
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .map(|s| s.value)
+    }
+}
+
+/// Parses and validates `text`.
+///
+/// # Errors
+///
+/// Returns the first structural problem found, with its line number.
+pub fn parse(text: &str) -> Result<Exposition, ParseError> {
+    let mut families: Vec<FamilyAcc> = Vec::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+                if !valid_metric_name(name) {
+                    return Err(err(format!("invalid metric name `{name}` in HELP")));
+                }
+                let family = family_entry(&mut families, name);
+                if family.help.is_some() {
+                    return Err(err(format!("duplicate HELP for `{name}`")));
+                }
+                family.help = Some(unescape_help(help));
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if parts.next().is_some() {
+                    return Err(err(format!("trailing tokens after TYPE for `{name}`")));
+                }
+                if !valid_metric_name(name) {
+                    return Err(err(format!("invalid metric name `{name}` in TYPE")));
+                }
+                let kind = match kind {
+                    "counter" => MetricKind::Counter,
+                    "gauge" => MetricKind::Gauge,
+                    "histogram" => MetricKind::Histogram,
+                    "untyped" => MetricKind::Untyped,
+                    other => return Err(err(format!("unknown metric type `{other}`"))),
+                };
+                let family = family_entry(&mut families, name);
+                if !family.samples.is_empty() {
+                    return Err(err(format!("TYPE for `{name}` after its samples")));
+                }
+                if family.kind != MetricKind::Untyped || family.name_had_type {
+                    return Err(err(format!("duplicate TYPE for `{name}`")));
+                }
+                family.kind = kind;
+                family.name_had_type = true;
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        let sample = parse_sample(line).map_err(&err)?;
+        let family_name = families
+            .iter()
+            .rev()
+            .find(|f| {
+                f.name_had_type
+                    && (sample.name == f.name
+                        || (f.kind == MetricKind::Histogram
+                            && [
+                                format!("{}_bucket", f.name),
+                                format!("{}_sum", f.name),
+                                format!("{}_count", f.name),
+                            ]
+                            .contains(&sample.name)))
+            })
+            .map(|f| f.name.clone())
+            .ok_or_else(|| err(format!("sample `{}` has no preceding # TYPE", sample.name)))?;
+
+        let mut key = sample.name.clone();
+        for (k, v) in &sample.labels {
+            key.push_str(&format!("\u{1}{k}\u{2}{v}"));
+        }
+        if !seen_series.insert(key) {
+            return Err(err(format!(
+                "duplicate sample `{}` with identical labels",
+                sample.name
+            )));
+        }
+        let family = family_entry(&mut families, &family_name);
+        if family.kind == MetricKind::Counter && (sample.value.is_nan() || sample.value < 0.0) {
+            return Err(err(format!(
+                "counter `{}` has negative or NaN value {}",
+                sample.name, sample.value
+            )));
+        }
+        family.samples.push(sample);
+    }
+
+    for family in &families {
+        if family.kind == MetricKind::Histogram {
+            validate_histogram(family)?;
+        }
+    }
+
+    Ok(Exposition {
+        families: families
+            .into_iter()
+            .map(|f| MetricFamily {
+                name: f.name,
+                help: f.help,
+                kind: f.kind,
+                samples: f.samples,
+            })
+            .collect(),
+    })
+}
+
+/// Mutable family accumulator (tracks whether TYPE was explicit).
+struct FamilyAcc {
+    name: String,
+    help: Option<String>,
+    kind: MetricKind,
+    name_had_type: bool,
+    samples: Vec<Sample>,
+}
+
+fn family_entry<'a>(families: &'a mut Vec<FamilyAcc>, name: &str) -> &'a mut FamilyAcc {
+    if let Some(i) = families.iter().position(|f| f.name == name) {
+        return &mut families[i];
+    }
+    families.push(FamilyAcc {
+        name: name.to_string(),
+        help: None,
+        kind: MetricKind::Untyped,
+        name_had_type: false,
+        samples: Vec::new(),
+    });
+    families.last_mut().expect("family was just pushed")
+}
+
+/// One histogram label-group accumulated during validation: `(le, value)`
+/// buckets plus its `_sum` / `_count` samples.
+struct HistogramGroup {
+    labels: Vec<(String, String)>,
+    buckets: Vec<(f64, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+fn validate_histogram(family: &FamilyAcc) -> Result<(), ParseError> {
+    let invariant = |message: String| ParseError { line: 0, message };
+    // Group bucket/sum/count samples by their non-`le` label sets.
+    let mut groups: Vec<HistogramGroup> = Vec::new();
+    let bucket_name = format!("{}_bucket", family.name);
+    let sum_name = format!("{}_sum", family.name);
+    let count_name = format!("{}_count", family.name);
+    for sample in &family.samples {
+        let mut labels = sample.labels.clone();
+        labels.retain(|(k, _)| k != "le");
+        let group = match groups.iter_mut().find(|g| g.labels == labels) {
+            Some(group) => group,
+            None => {
+                groups.push(HistogramGroup {
+                    labels,
+                    buckets: Vec::new(),
+                    sum: None,
+                    count: None,
+                });
+                groups.last_mut().expect("group was just pushed")
+            }
+        };
+        if sample.name == bucket_name {
+            let le = sample.label("le").ok_or_else(|| {
+                invariant(format!("`{bucket_name}` sample without an `le` label"))
+            })?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| invariant(format!("`{bucket_name}` has unparsable le=\"{le}\"")))?
+            };
+            group.buckets.push((bound, sample.value));
+        } else if sample.name == sum_name {
+            group.sum = Some(sample.value);
+        } else if sample.name == count_name {
+            group.count = Some(sample.value);
+        } else {
+            return Err(invariant(format!(
+                "histogram `{}` has stray sample `{}`",
+                family.name, sample.name
+            )));
+        }
+    }
+    if groups.is_empty() {
+        return Err(invariant(format!(
+            "histogram `{}` has no samples",
+            family.name
+        )));
+    }
+    for mut group in groups {
+        let whos = if group.labels.is_empty() {
+            family.name.clone()
+        } else {
+            let rendered: Vec<String> = group
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{}{{{}}}", family.name, rendered.join(","))
+        };
+        group
+            .buckets
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let Some(&(last_bound, inf_count)) = group.buckets.last() else {
+            return Err(invariant(format!("histogram `{whos}` has no buckets")));
+        };
+        if last_bound != f64::INFINITY {
+            return Err(invariant(format!(
+                "histogram `{whos}` is missing its `+Inf` bucket"
+            )));
+        }
+        for window in group.buckets.windows(2) {
+            if window[1].1 < window[0].1 {
+                return Err(invariant(format!(
+                    "histogram `{whos}` buckets are not cumulative (le=\"{}\" {} > le=\"{}\" {})",
+                    crate::registry::fmt_value(window[0].0),
+                    window[0].1,
+                    crate::registry::fmt_value(window[1].0),
+                    window[1].1,
+                )));
+            }
+        }
+        let count = group
+            .count
+            .ok_or_else(|| invariant(format!("histogram `{whos}` is missing `_count`")))?;
+        group
+            .sum
+            .ok_or_else(|| invariant(format!("histogram `{whos}` is missing `_sum`")))?;
+        if count != inf_count {
+            return Err(invariant(format!(
+                "histogram `{whos}`: `_count` {count} disagrees with `+Inf` bucket {inf_count}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let bytes = line.as_bytes();
+    let name_end = bytes
+        .iter()
+        .position(|b| *b == b'{' || b.is_ascii_whitespace())
+        .unwrap_or(bytes.len());
+    let name = &line[..name_end];
+    if !valid_metric_name(name) {
+        return Err(format!("invalid sample name `{name}`"));
+    }
+    let mut rest = &line[name_end..];
+    let mut labels = Vec::new();
+    if let Some(inner) = rest.strip_prefix('{') {
+        let (parsed, after) = parse_labels(inner)?;
+        labels = parsed;
+        rest = after;
+    }
+    let value_str = rest.trim();
+    if value_str.is_empty() {
+        return Err(format!("sample `{name}` has no value"));
+    }
+    if value_str.split_whitespace().count() != 1 {
+        return Err(format!(
+            "sample `{name}` has trailing tokens after its value (timestamps are not accepted)"
+        ));
+    }
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("sample `{name}` has unparsable value `{other}`"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parses `name="value",...}` (the leading `{` already consumed); returns
+/// the labels and the remainder after the closing brace.
+/// Parsed label pairs plus the remainder of the line after the closing brace.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+fn parse_labels(mut rest: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without `=`".to_string())?;
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("invalid label name `{name}`"));
+        }
+        rest = &rest[eq + 1..];
+        let inner = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{name}` value is not quoted"))?;
+        let (value, after) = parse_quoted(inner, name)?;
+        if labels.iter().any(|(k, _)| k == name) {
+            return Err(format!("duplicate label `{name}`"));
+        }
+        labels.push((name.to_string(), value));
+        rest = after.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.starts_with('}') {
+            return Err(format!("expected `,` or `}}` after label `{name}`"));
+        }
+    }
+}
+
+/// Parses an escaped label value up to its closing quote.
+fn parse_quoted<'a>(rest: &'a str, label: &str) -> Result<(String, &'a str), String> {
+    let mut value = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((value, &rest[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, 'n')) => value.push('\n'),
+                Some((_, other)) => {
+                    return Err(format!("invalid escape `\\{other}` in label `{label}`"))
+                }
+                None => return Err(format!("unterminated escape in label `{label}`")),
+            },
+            other => value.push(other),
+        }
+    }
+    Err(format!("unterminated value for label `{label}`"))
+}
+
+fn unescape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_exposition_parses_to_zero_families() {
+        let exposition = parse("").expect("empty input is valid");
+        assert!(exposition.families.is_empty());
+        assert!(parse("\n\n")
+            .expect("blank lines are valid")
+            .families
+            .is_empty());
+    }
+
+    #[test]
+    fn round_trips_the_encoder() {
+        let registry = crate::Registry::new();
+        let c = registry.counter("oef_cmds_total", "Commands.", &[("shard", "0")]);
+        c.add(41);
+        let h = registry.histogram(
+            "oef_solve_seconds",
+            "Solve.",
+            &[("shard", "0")],
+            &[0.01, 0.1],
+        );
+        h.observe(0.02);
+        registry
+            .gauge_family("oef_tenant_allocation", "Alloc.", &[])
+            .replace(vec![(vec![("tenant".into(), "a\"b\\c\nd".into())], 2.25)]);
+        let exposition = parse(&registry.render()).expect("encoder output must parse");
+        assert_eq!(
+            exposition.value("oef_cmds_total", &[("shard", "0")]),
+            Some(41.0)
+        );
+        assert_eq!(
+            exposition.value("oef_solve_seconds_bucket", &[("le", "+Inf")]),
+            Some(1.0)
+        );
+        // Escaped label values round-trip back to the raw string.
+        assert_eq!(
+            exposition.value("oef_tenant_allocation", &[("tenant", "a\"b\\c\nd")]),
+            Some(2.25)
+        );
+        assert_eq!(
+            exposition.family("oef_solve_seconds").map(|f| f.kind),
+            Some(MetricKind::Histogram)
+        );
+    }
+
+    #[test]
+    fn sample_without_type_is_rejected() {
+        let err = parse("oef_orphan 1\n").expect_err("untyped sample");
+        assert!(err.message.contains("no preceding # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let header = "# TYPE oef_x gauge\n";
+        for bad in [
+            "oef_x{tenant=\"a} 1\n",                // unterminated value
+            "oef_x{tenant=a} 1\n",                  // unquoted value
+            "oef_x{tenant=\"a\\q\"} 1\n",           // invalid escape
+            "oef_x{tenant=\"a\" 1\n",               // missing closing brace
+            "oef_x one\n",                          // non-numeric value
+            "oef_x 1 1700000000\n",                 // timestamps not accepted
+            "oef_x{tenant=\"a\",tenant=\"b\"} 1\n", // duplicate label
+        ] {
+            let text = format!("{header}{bad}");
+            assert!(parse(&text).is_err(), "should reject: {bad:?}");
+        }
+        assert!(parse("# TYPE oef_x widget\n").is_err(), "unknown type");
+    }
+
+    #[test]
+    fn duplicate_series_are_rejected() {
+        let text = "# TYPE oef_x gauge\noef_x{a=\"1\"} 1\noef_x{a=\"1\"} 2\n";
+        assert!(parse(text).is_err());
+        // Same name, different labels is fine.
+        let text = "# TYPE oef_x gauge\noef_x{a=\"1\"} 1\noef_x{a=\"2\"} 2\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn negative_counters_are_rejected() {
+        assert!(parse("# TYPE oef_c counter\noef_c -1\n").is_err());
+        assert!(parse("# TYPE oef_c counter\noef_c NaN\n").is_err());
+        assert!(parse("# TYPE oef_g gauge\noef_g -1\n").is_ok());
+    }
+
+    #[test]
+    fn histogram_invariants_are_enforced() {
+        // Missing +Inf bucket.
+        let text = "# TYPE oef_h histogram\n\
+                    oef_h_bucket{le=\"1\"} 1\noef_h_sum 0.5\noef_h_count 1\n";
+        assert!(parse(text).unwrap_err().message.contains("+Inf"));
+        // Non-cumulative buckets.
+        let text = "# TYPE oef_h histogram\n\
+                    oef_h_bucket{le=\"1\"} 3\noef_h_bucket{le=\"2\"} 2\n\
+                    oef_h_bucket{le=\"+Inf\"} 3\noef_h_sum 1\noef_h_count 3\n";
+        assert!(parse(text).unwrap_err().message.contains("not cumulative"));
+        // Count disagrees with +Inf.
+        let text = "# TYPE oef_h histogram\n\
+                    oef_h_bucket{le=\"+Inf\"} 3\noef_h_sum 1\noef_h_count 4\n";
+        assert!(parse(text).unwrap_err().message.contains("disagrees"));
+        // Missing _sum.
+        let text = "# TYPE oef_h histogram\n\
+                    oef_h_bucket{le=\"+Inf\"} 1\noef_h_count 1\n";
+        assert!(parse(text).unwrap_err().message.contains("_sum"));
+        // A well-formed histogram with two label groups passes.
+        let text = "# TYPE oef_h histogram\n\
+                    oef_h_bucket{shard=\"0\",le=\"1\"} 1\n\
+                    oef_h_bucket{shard=\"0\",le=\"+Inf\"} 2\n\
+                    oef_h_sum{shard=\"0\"} 3.5\noef_h_count{shard=\"0\"} 2\n\
+                    oef_h_bucket{shard=\"1\",le=\"1\"} 0\n\
+                    oef_h_bucket{shard=\"1\",le=\"+Inf\"} 0\n\
+                    oef_h_sum{shard=\"1\"} 0\noef_h_count{shard=\"1\"} 0\n";
+        let exposition = parse(text).expect("valid histogram");
+        assert_eq!(exposition.families.len(), 1);
+        assert_eq!(
+            exposition.value("oef_h_bucket", &[("shard", "0"), ("le", "+Inf")]),
+            Some(2.0)
+        );
+    }
+}

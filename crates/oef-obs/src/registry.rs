@@ -1,0 +1,655 @@
+//! Lock-cheap metric primitives and the registry that renders them.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`], [`GaugeFamily`]) are
+//! `Arc`-backed atomics: the thread that owns the scheduling hot path bumps
+//! them with plain atomic stores, while the scrape thread renders a
+//! [`Registry`] snapshot without ever blocking the workers.  The only mutex
+//! in the crate guards family *registration* and the per-tick wholesale
+//! replacement of a [`GaugeFamily`]'s label sets — neither is on the command
+//! path.
+//!
+//! Rendering follows the Prometheus text exposition format v0.0.4: one
+//! `# HELP` and `# TYPE` line per family, escaped label values, and the
+//! `_bucket`/`_sum`/`_count` triplet (with a `+Inf` bucket) for histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fully-qualified label set (`name`, `value`) pairs in render order.
+pub type Labels = Vec<(String, String)>;
+
+/// Log-spaced latency buckets (10µs … 10s) suitable for LP solve times.
+pub const DEFAULT_LATENCY_BUCKETS: &[f64] = &[
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+];
+
+/// A monotonically increasing integer counter.
+///
+/// Cloning shares the underlying cell; a handle registered in a [`Registry`]
+/// and the handle the worker bumps are the same counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero, not yet attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the count — for mirroring an externally maintained
+    /// monotone total (e.g. solver or journal statistics) into the registry.
+    /// The caller is responsible for only ever mirroring non-decreasing
+    /// values.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: an `f64` that can go up and down (stored as IEEE-754 bits).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`, not yet attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: per-bucket atomic counts plus an atomic
+/// bit-packed sum, so `observe` is a handful of relaxed atomics and scraping
+/// never locks the observer out.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Finite upper bounds, strictly increasing; the `+Inf` bucket is
+    /// implicit at `buckets[bounds.len()]`.
+    bounds: Vec<f64>,
+    /// Non-cumulative per-bucket counts (`bounds.len() + 1` slots).
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given finite upper bounds (sorted and
+    /// de-duplicated; non-finite bounds are dropped — `+Inf` is implicit).
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            core: Arc::new(HistogramCore {
+                bounds,
+                buckets,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let core = &*self.core;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        // CAS-add the observation into the bit-packed sum: observers race
+        // only with each other (scrapes just read), so the loop is short.
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.core.bounds
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`) by nearest rank with linear
+    /// interpolation inside the containing bucket; observations that landed
+    /// in the `+Inf` bucket report the largest finite bound (the Prometheus
+    /// `histogram_quantile` convention).  Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let (cumulative, _, count) = self.snapshot();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let bounds = &self.core.bounds;
+        let mut before = 0u64;
+        for (i, cum) in cumulative.iter().enumerate() {
+            if *cum >= target {
+                if i == bounds.len() {
+                    return bounds.last().copied().unwrap_or(0.0);
+                }
+                let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let in_bucket = (cum - before) as f64;
+                let frac = (target - before) as f64 / in_bucket;
+                return lower + (bounds[i] - lower) * frac;
+            }
+            before = *cum;
+        }
+        bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Cumulative bucket counts (incl. `+Inf` last), sum, count.  The three
+    /// reads are not a single atomic snapshot; a scrape racing an `observe`
+    /// may see the bucket bump without the sum (or vice versa), which the
+    /// exposition format tolerates.
+    fn snapshot(&self) -> (Vec<u64>, f64, u64) {
+        let mut cumulative = Vec::with_capacity(self.core.buckets.len());
+        let mut total = 0u64;
+        for bucket in &self.core.buckets {
+            total += bucket.load(Ordering::Relaxed);
+            cumulative.push(total);
+        }
+        (cumulative, self.sum(), total)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_LATENCY_BUCKETS)
+    }
+}
+
+/// A gauge family whose label sets change over time (e.g. one series per
+/// live tenant): the sampler replaces the entire set each tick, so series
+/// for departed tenants disappear instead of going stale.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeFamily {
+    series: Arc<Mutex<Vec<(Labels, f64)>>>,
+}
+
+impl GaugeFamily {
+    /// Creates an empty family, not yet attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces every series in the family.
+    pub fn replace(&self, series: Vec<(Labels, f64)>) {
+        *lock(&self.series) = series;
+    }
+
+    /// Current series (label set, value) pairs.
+    pub fn snapshot(&self) -> Vec<(Labels, f64)> {
+        lock(&self.series).clone()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+enum Series {
+    Counter(Labels, Counter),
+    Gauge(Labels, Gauge),
+    Histogram(Labels, Histogram),
+    GaugeSet(Labels, GaugeFamily),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    series: Vec<Series>,
+}
+
+/// The set of metric families one `/metrics` endpoint serves.  Cloning is
+/// shallow: every clone renders the same families, so the HTTP listener and
+/// the instrumented cores share one registry without further plumbing.
+#[derive(Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<Vec<Family>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-registers) `counter` under `name{labels}`.
+    /// Re-registering the same name + label set replaces the handle — that
+    /// makes attach idempotent across `Restore`, which rebuilds cores with
+    /// fresh handles.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) {
+        self.register(name, help, "counter", labels, |l| {
+            Series::Counter(l, counter.clone())
+        });
+    }
+
+    /// Creates and registers a counter in one step.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let counter = Counter::new();
+        self.register_counter(name, help, labels, &counter);
+        counter
+    }
+
+    /// Registers (or re-registers) `gauge` under `name{labels}`.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.register(name, help, "gauge", labels, |l| {
+            Series::Gauge(l, gauge.clone())
+        });
+    }
+
+    /// Creates and registers a gauge in one step.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let gauge = Gauge::new();
+        self.register_gauge(name, help, labels, &gauge);
+        gauge
+    }
+
+    /// Registers (or re-registers) `histogram` under `name{labels}`.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: &Histogram,
+    ) {
+        self.register(name, help, "histogram", labels, |l| {
+            Series::Histogram(l, histogram.clone())
+        });
+    }
+
+    /// Creates and registers a histogram over `bounds` in one step.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        let histogram = Histogram::new(bounds);
+        self.register_histogram(name, help, labels, &histogram);
+        histogram
+    }
+
+    /// Creates and registers a dynamic-label gauge family partition.
+    ///
+    /// `labels` is the partition key: it identifies this handle within the
+    /// family (so several owners — e.g. shards — can each hold their own
+    /// partition of one family) and is prepended to the labels of every
+    /// series supplied via [`GaugeFamily::replace`].
+    pub fn gauge_family(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> GaugeFamily {
+        let family = GaugeFamily::new();
+        let handle = family.clone();
+        self.register(name, help, "gauge", labels, move |base| {
+            Series::GaugeSet(base, handle)
+        });
+        family
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce(Labels) -> Series,
+    ) {
+        assert!(valid_metric_name(name), "invalid metric name `{name}`");
+        for (label, _) in labels {
+            assert!(valid_label_name(label), "invalid label name `{label}`");
+        }
+        let labels: Labels = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        let mut families = lock(&self.families);
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                assert_eq!(
+                    family.kind, kind,
+                    "metric `{name}` re-registered with a different type"
+                );
+                family
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("family was just pushed")
+            }
+        };
+        let series = make(labels);
+        let same_identity = |existing: &Series| match (existing, &series) {
+            (Series::Counter(a, _), Series::Counter(b, _))
+            | (Series::Gauge(a, _), Series::Gauge(b, _))
+            | (Series::Histogram(a, _), Series::Histogram(b, _))
+            | (Series::GaugeSet(a, _), Series::GaugeSet(b, _)) => a == b,
+            _ => false,
+        };
+        match family.series.iter_mut().find(|s| same_identity(s)) {
+            Some(slot) => *slot = series,
+            None => family.series.push(series),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for family in lock(&self.families).iter() {
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} {}\n",
+                family.name,
+                escape_help(&family.help),
+                family.name,
+                family.kind
+            ));
+            for series in &family.series {
+                match series {
+                    Series::Counter(labels, counter) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(labels),
+                            counter.value()
+                        ));
+                    }
+                    Series::Gauge(labels, gauge) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(labels),
+                            fmt_value(gauge.value())
+                        ));
+                    }
+                    Series::GaugeSet(base, set) => {
+                        for (labels, value) in set.snapshot() {
+                            let mut merged = base.clone();
+                            merged.extend(labels);
+                            out.push_str(&format!(
+                                "{}{} {}\n",
+                                family.name,
+                                render_labels(&merged),
+                                fmt_value(value)
+                            ));
+                        }
+                    }
+                    Series::Histogram(labels, histogram) => {
+                        render_histogram(&mut out, &family.name, labels, histogram);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &Labels, histogram: &Histogram) {
+    let (cumulative, sum, count) = histogram.snapshot();
+    let mut with_le = |le: &str, value: u64| {
+        let mut labels = labels.clone();
+        labels.push(("le".to_string(), le.to_string()));
+        out.push_str(&format!(
+            "{name}_bucket{} {value}\n",
+            render_labels(&labels)
+        ));
+    };
+    for (bound, cum) in histogram.bounds().iter().zip(&cumulative) {
+        with_le(&fmt_value(*bound), *cum);
+    }
+    with_le("+Inf", count);
+    out.push_str(&format!(
+        "{name}_sum{} {}\n{name}_count{} {count}\n",
+        render_labels(labels),
+        fmt_value(sum),
+        render_labels(labels),
+    ));
+}
+
+fn render_labels(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
+/// Escapes a label value per the exposition format: backslash, double quote
+/// and line feed.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes HELP text (backslash and line feed only; quotes stay literal).
+pub fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Formats a sample value: special IEEE values use the exposition spellings.
+pub fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name != "le"
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let registry = Registry::new();
+        let c = registry.counter("oef_test_total", "A test counter.", &[("shard", "0")]);
+        c.add(3);
+        let g = registry.gauge("oef_depth", "A depth.", &[]);
+        g.set(2.5);
+        let text = registry.render();
+        assert!(text.contains("# HELP oef_test_total A test counter.\n"));
+        assert!(text.contains("# TYPE oef_test_total counter\n"));
+        assert!(text.contains("oef_test_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("# TYPE oef_depth gauge\n"));
+        assert!(text.contains("oef_depth 2.5\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_with_inf() {
+        let registry = Registry::new();
+        let h = registry.histogram("oef_lat_seconds", "Latency.", &[], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = registry.render();
+        assert!(text.contains("oef_lat_seconds_bucket{le=\"0.1\"} 1\n"));
+        assert!(text.contains("oef_lat_seconds_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("oef_lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("oef_lat_seconds_count 3\n"));
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("oef_lat_seconds_sum"))
+            .expect("sum line");
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((sum - 5.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(DEFAULT_LATENCY_BUCKETS);
+        for i in 1..=100 {
+            h.observe(i as f64 / 1000.0);
+        }
+        assert!((h.quantile(0.5) - 0.050).abs() < 2e-3);
+        assert!((h.quantile(0.99) - 0.099).abs() < 2e-3);
+        assert_eq!(h.count(), 100);
+        // Everything past the largest bound reports the largest finite bound.
+        let h = Histogram::new(&[1.0]);
+        h.observe(50.0);
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        // Empty histogram quantiles are zero.
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn gauge_family_replacement_drops_departed_series() {
+        let registry = Registry::new();
+        let family = registry.gauge_family("oef_tenant_allocation", "Per-tenant allocation.", &[]);
+        family.replace(vec![
+            (vec![("tenant".into(), "alice".into())], 1.0),
+            (vec![("tenant".into(), "bob".into())], 2.0),
+        ]);
+        assert!(registry
+            .render()
+            .contains("oef_tenant_allocation{tenant=\"bob\"} 2\n"));
+        family.replace(vec![(vec![("tenant".into(), "alice".into())], 1.5)]);
+        let text = registry.render();
+        assert!(text.contains("oef_tenant_allocation{tenant=\"alice\"} 1.5\n"));
+        assert!(!text.contains("bob"));
+    }
+
+    #[test]
+    fn gauge_family_partitions_by_base_labels() {
+        let registry = Registry::new();
+        let shard0 = registry.gauge_family("oef_alloc", "Allocation.", &[("shard", "0")]);
+        let shard1 = registry.gauge_family("oef_alloc", "Allocation.", &[("shard", "1")]);
+        shard0.replace(vec![(vec![("tenant".into(), "1".into())], 1.0)]);
+        shard1.replace(vec![(vec![("tenant".into(), "2".into())], 2.0)]);
+        let text = registry.render();
+        // Each shard owns its partition: neither replace() clobbers the other,
+        // the partition key prefixes every series, and the family header
+        // appears exactly once.
+        assert!(text.contains("oef_alloc{shard=\"0\",tenant=\"1\"} 1\n"));
+        assert!(text.contains("oef_alloc{shard=\"1\",tenant=\"2\"} 2\n"));
+        assert_eq!(text.matches("# TYPE oef_alloc").count(), 1);
+        // Re-registering the same partition replaces the handle.
+        let again = registry.gauge_family("oef_alloc", "Allocation.", &[("shard", "0")]);
+        again.replace(vec![(vec![("tenant".into(), "3".into())], 5.0)]);
+        let text = registry.render();
+        assert!(text.contains("oef_alloc{shard=\"0\",tenant=\"3\"} 5\n"));
+        assert!(!text.contains("tenant=\"1\""));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .gauge_family("oef_esc", "Escapes \\ and\nnewlines.", &[])
+            .replace(vec![(vec![("tenant".into(), "a\\b\"c\nd".into())], 1.0)]);
+        let text = registry.render();
+        assert!(text.contains("# HELP oef_esc Escapes \\\\ and\\nnewlines.\n"));
+        assert!(text.contains("oef_esc{tenant=\"a\\\\b\\\"c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn reregistration_replaces_the_handle() {
+        let registry = Registry::new();
+        let first = registry.counter("oef_x_total", "x", &[]);
+        first.add(7);
+        let second = Counter::new();
+        second.add(2);
+        registry.register_counter("oef_x_total", "x", &[], &second);
+        let text = registry.render();
+        assert!(text.contains("oef_x_total 2\n"));
+        assert_eq!(text.matches("# TYPE oef_x_total").count(), 1);
+    }
+
+    #[test]
+    fn special_values_render_with_exposition_spellings() {
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+        assert_eq!(fmt_value(0.25), "0.25");
+    }
+}

@@ -207,6 +207,20 @@ pub struct MetricsReport {
     pub hosts: usize,
     /// Tenants moved between shards since start (0 on an unsharded daemon).
     pub tenants_migrated: u64,
+    /// Seconds since the daemon started (parity with `Status`).
+    pub uptime_secs: f64,
+    /// Per-shard EWMA of recent solve latencies, seconds (parity with
+    /// `Status --shards`; empty on an unsharded daemon).
+    pub solve_ewma_secs: Vec<f64>,
+    /// Journal records appended since start (0 when not journaled).
+    pub journal_appends: u64,
+    /// Journal fsync batches issued since start (0 when not journaled).
+    pub journal_fsyncs: u64,
+    /// Journal bytes appended (headers + payloads; 0 when not journaled).
+    pub journal_appended_bytes: u64,
+    /// Torn/corrupt bytes truncated from the journal tail during the most
+    /// recent recovery (0 when not journaled or cleanly started).
+    pub journal_truncated_bytes_on_recovery: u64,
 }
 
 /// One host as reported by [`Command::Status`]: its stable handle plus what
@@ -548,6 +562,32 @@ mod tests {
                     from: 0,
                     to: 1,
                 },
+            },
+            Reply {
+                id: 8,
+                response: Response::Metrics(MetricsReport {
+                    commands_processed: 100,
+                    commands_rejected: 3,
+                    rounds_solved: 40,
+                    jobs_completed: 17,
+                    warm_solves: 39,
+                    cold_solves: 1,
+                    dense_fallbacks: 0,
+                    warm_hit_rate: 0.975,
+                    solve_p50_secs: 0.012,
+                    solve_p99_secs: 0.050,
+                    solve_last_secs: 0.011,
+                    queue_depth: 2,
+                    tenants: 4,
+                    hosts: 3,
+                    tenants_migrated: 1,
+                    uptime_secs: 88.25,
+                    solve_ewma_secs: vec![0.012, 0.009],
+                    journal_appends: 120,
+                    journal_fsyncs: 30,
+                    journal_appended_bytes: 40960,
+                    journal_truncated_bytes_on_recovery: 12,
+                }),
             },
             Reply {
                 id: 7,

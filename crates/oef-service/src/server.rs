@@ -55,6 +55,12 @@ pub trait CommandHandler: Send + 'static {
     /// a clean shutdown must never need journal-tail replay.  The default
     /// does nothing.
     fn on_shutdown(&mut self) {}
+
+    /// Hooks the handler's metric cells into a shared Prometheus exposition
+    /// registry, called once before the daemon starts serving when a
+    /// `/metrics` listener is configured.  The default registers nothing —
+    /// handlers stay valid without observability.
+    fn attach_observability(&mut self, _registry: &oef_obs::Registry) {}
 }
 
 /// State shared between the listener, the worker and connection handlers.

@@ -16,8 +16,9 @@ use crate::server::CommandHandler;
 use crate::snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
 use oef_cluster::{ClusterState, ClusterTopology, GpuType, HostHandle, Job, JobId, Tenant};
 use oef_core::{BoxedPolicy, SpeedupVector, TenantIndexMap};
+use oef_obs::{Counter, Gauge, GaugeFamily, Registry};
 use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
-use oef_sim::{SimulationConfig, SimulationEngine};
+use oef_sim::{RoundRecord, SimulationConfig, SimulationEngine};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -135,6 +136,32 @@ pub struct TenantExtract {
 /// message, exactly what [`Response::Error`] carries.
 pub type CommandError = (ErrorCode, String);
 
+/// Tolerance on the sharing-incentive ratio, matching the fairness checkers
+/// in `oef-core`.
+const FAIRNESS_TOLERANCE: f64 = 1e-6;
+
+/// Front-door exposition cells describing the daemon process as a whole,
+/// owned by whichever core sits directly behind the command queue.
+struct FrontObs {
+    queue_depth: Gauge,
+    uptime: Gauge,
+}
+
+/// Per-shard exposition cells (`{shard="N"}`): solver-cache counters mirrored
+/// from the policy, population gauges, and the fairness-SLO series sampled
+/// from each solved round.
+struct ShardObs {
+    warm_solves: Counter,
+    cold_solves: Counter,
+    dense_fallbacks: Counter,
+    tenants: Gauge,
+    hosts: Gauge,
+    max_envy: Gauge,
+    sharing_incentive: Gauge,
+    allocation: GaugeFamily,
+    entitlement: GaugeFamily,
+}
+
 /// The single-threaded scheduling service core.
 pub struct SchedulerService {
     engine: SimulationEngine,
@@ -142,6 +169,12 @@ pub struct SchedulerService {
     config: ServiceConfig,
     tenants: TenantIndexMap,
     metrics: ServiceMetrics,
+    /// Exposition cells, present once attached to a registry (`None` keeps
+    /// headless instances — tests, benches, embedded cores — free of any
+    /// sampling work).  Like `metrics` they describe this process, not the
+    /// cluster state, and survive `Restore`.
+    front_obs: Option<FrontObs>,
+    shard_obs: Option<ShardObs>,
     /// Process-lifetime clock for `Status.uptime_secs`; survives `Restore`
     /// (state age and process age are different things).
     started: Instant,
@@ -178,6 +211,8 @@ impl SchedulerService {
             config,
             tenants: TenantIndexMap::new(),
             metrics: ServiceMetrics::new(),
+            front_obs: None,
+            shard_obs: None,
             started: Instant::now(),
             shutting_down: false,
         })
@@ -243,6 +278,8 @@ impl SchedulerService {
             config: snapshot.config,
             tenants: snapshot.tenant_handles,
             metrics: ServiceMetrics::new(),
+            front_obs: None,
+            shard_obs: None,
             started: Instant::now(),
             shutting_down: false,
         })
@@ -344,6 +381,156 @@ impl SchedulerService {
         self.engine.rounds_run()
     }
 
+    /// Hooks this core's metric cells into `registry`: the front-door series
+    /// (command throughput/rejections, queue depth, uptime) plus its own
+    /// solve and fairness series as shard 0.
+    ///
+    /// This is the unsharded daemon's attach; a federation coordinator owns
+    /// the front door itself and attaches each shard via
+    /// [`Self::attach_shard_observability`].
+    pub fn attach_observability(&mut self, registry: &Registry) {
+        self.metrics.register_front(registry);
+        self.front_obs = Some(FrontObs {
+            queue_depth: registry.gauge(
+                "oef_queue_depth",
+                "Commands waiting in the daemon's bounded queue.",
+                &[],
+            ),
+            uptime: registry.gauge(
+                "oef_uptime_seconds",
+                "Seconds since the daemon process started.",
+                &[],
+            ),
+        });
+        self.attach_shard_observability(registry, 0);
+    }
+
+    /// Registers this core's per-shard series under `{shard="N"}` and seeds
+    /// the population gauges.  Idempotent: re-attaching (e.g. after a
+    /// `Restore` rebuilt a shard) replaces the registry's handles with the
+    /// new cells instead of duplicating series.
+    pub fn attach_shard_observability(&mut self, registry: &Registry, shard: usize) {
+        self.metrics.register_shard(registry, shard);
+        let shard = shard.to_string();
+        let labels = [("shard", shard.as_str())];
+        let obs = ShardObs {
+            warm_solves: registry.counter(
+                "oef_warm_solves_total",
+                "LP solves served from a cached basis.",
+                &labels,
+            ),
+            cold_solves: registry.counter(
+                "oef_cold_solves_total",
+                "LP solves run from scratch.",
+                &labels,
+            ),
+            dense_fallbacks: registry.counter(
+                "oef_dense_fallbacks_total",
+                "Cold solves that additionally fell back to the dense reference solver.",
+                &labels,
+            ),
+            tenants: registry.gauge("oef_tenants", "Registered tenants.", &labels),
+            hosts: registry.gauge("oef_hosts", "Hosts in the topology.", &labels),
+            max_envy: registry.gauge(
+                "oef_max_envy",
+                "Largest pairwise envy in the last solved round's allocation (0 = envy-free).",
+                &labels,
+            ),
+            sharing_incentive: registry.gauge(
+                "oef_sharing_incentive",
+                "1 when every tenant in the last solved round met its weighted entitlement \
+                 (within tolerance), else 0.",
+                &labels,
+            ),
+            allocation: registry.gauge_family(
+                "oef_tenant_allocation",
+                "Throughput a tenant derives from its own allocation, under its reported \
+                 speedups.",
+                &labels,
+            ),
+            entitlement: registry.gauge_family(
+                "oef_tenant_entitlement",
+                "Throughput the tenant's weight-proportional share of the cluster would yield \
+                 under its reported speedups.",
+                &labels,
+            ),
+        };
+        obs.tenants.set(self.tenants.len() as f64);
+        obs.hosts
+            .set(self.engine.state().topology().hosts().len() as f64);
+        self.shard_obs = Some(obs);
+    }
+
+    /// Refreshes the cheap exposition gauges after a command: queue depth,
+    /// uptime, population, and the solver-cache counter mirrors.  A handful
+    /// of atomic stores — and nothing at all while unattached.
+    fn refresh_obs(&self, queue_depth: usize) {
+        if let Some(front) = &self.front_obs {
+            front.queue_depth.set(queue_depth as f64);
+            front.uptime.set(self.started.elapsed().as_secs_f64());
+        }
+        if let Some(obs) = &self.shard_obs {
+            obs.tenants.set(self.tenants.len() as f64);
+            obs.hosts
+                .set(self.engine.state().topology().hosts().len() as f64);
+            if let Some(stats) = self.policy.solver_stats() {
+                obs.warm_solves.set(stats.warm_solves);
+                obs.cold_solves.set(stats.cold_solves);
+                obs.dense_fallbacks.set(stats.dense_fallbacks);
+            }
+        }
+    }
+
+    /// Samples the fairness-SLO series from one solved round: what each
+    /// tenant's allocation is worth to it versus its weight-proportional
+    /// entitlement, the largest pairwise envy (both under *reported*
+    /// speedups, matching `oef-core`'s checkers), and whether every tenant
+    /// met its entitlement (the sharing-incentive indicator).
+    ///
+    /// O(n²·k) over the fluid allocation rows the round already produced —
+    /// negligible next to the LP solve that produced them.
+    fn sample_fairness_obs(&self, record: &RoundRecord) {
+        let Some(obs) = &self.shard_obs else {
+            return;
+        };
+        let state = self.engine.state();
+        let topology = state.topology();
+        let capacities: Vec<f64> = (0..topology.num_gpu_types())
+            .map(|t| topology.capacity_of(GpuType(t)) as f64)
+            .collect();
+        let total_weight: f64 = record
+            .tenants
+            .iter()
+            .map(|t| f64::from(state.tenants()[t.tenant].weight))
+            .sum();
+        let mut allocation = Vec::with_capacity(record.tenants.len());
+        let mut entitlement = Vec::with_capacity(record.tenants.len());
+        let mut max_envy: f64 = 0.0;
+        let mut incentive_met = true;
+        for t in &record.tenants {
+            let tenant = &state.tenants()[t.tenant];
+            let speedup = &tenant.reported_speedup;
+            let achieved = speedup.dot(&t.gpu_shares);
+            let entitled =
+                speedup.dot(&capacities) * f64::from(tenant.weight) / total_weight.max(1.0);
+            let handle = self.tenants.handle_at(t.tenant).unwrap_or(0);
+            let series = |v| (vec![("tenant".to_string(), handle.to_string())], v);
+            allocation.push(series(achieved));
+            entitlement.push(series(entitled));
+            if entitled > 0.0 && achieved / entitled < 1.0 - FAIRNESS_TOLERANCE {
+                incentive_met = false;
+            }
+            for other in &record.tenants {
+                max_envy = max_envy.max(speedup.dot(&other.gpu_shares) - achieved);
+            }
+        }
+        obs.allocation.replace(allocation);
+        obs.entitlement.replace(entitlement);
+        obs.max_envy.set(max_envy);
+        obs.sharing_incentive
+            .set(f64::from(u8::from(incentive_met)));
+    }
+
     /// Executes one command against the state machine.
     ///
     /// `queue_depth` is the number of commands still waiting behind this one
@@ -352,6 +539,7 @@ impl SchedulerService {
     pub fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
         let result = self.dispatch(command, queue_depth);
         self.metrics.record_command(result.is_ok());
+        self.refresh_obs(queue_depth);
         match result {
             Ok(response) => response,
             Err((code, message)) => Response::Error { code, message },
@@ -667,6 +855,7 @@ impl SchedulerService {
         // latency percentiles and detach rounds_solved from the solve counters.
         if !record.tenants.is_empty() {
             self.metrics.record_round(record.solver_time_secs);
+            self.sample_fairness_obs(&record);
         }
         // A long-lived daemon must not accumulate job history without bound:
         // completed jobs leave the state (counted in the metrics registry),
@@ -722,6 +911,12 @@ impl SchedulerService {
             tenants: self.tenants.len(),
             hosts: self.engine.state().topology().hosts().len(),
             tenants_migrated: 0,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            solve_ewma_secs: Vec::new(),
+            journal_appends: 0,
+            journal_fsyncs: 0,
+            journal_appended_bytes: 0,
+            journal_truncated_bytes_on_recovery: 0,
         })
     }
 
@@ -768,6 +963,8 @@ impl SchedulerService {
         // The metrics registry and uptime clock describe this process, not
         // the restored state: keep them running across the restore.
         let metrics = std::mem::take(&mut self.metrics);
+        let front_obs = self.front_obs.take();
+        let shard_obs = self.shard_obs.take();
         let started = self.started;
         // Likewise the command queue was sized when this process spawned and
         // cannot be resized live: keep the running capacity authoritative so
@@ -776,6 +973,8 @@ impl SchedulerService {
         let queue_capacity = self.config.limits.queue_capacity;
         *self = restored;
         self.metrics = metrics;
+        self.front_obs = front_obs;
+        self.shard_obs = shard_obs;
         self.started = started;
         self.config.limits.queue_capacity = queue_capacity;
         Ok(Response::Restored { tenants })
@@ -823,6 +1022,10 @@ impl CommandHandler for SchedulerService {
 
     fn queue_capacity(&self) -> usize {
         self.config.limits.queue_capacity
+    }
+
+    fn attach_observability(&mut self, registry: &Registry) {
+        SchedulerService::attach_observability(self, registry);
     }
 }
 

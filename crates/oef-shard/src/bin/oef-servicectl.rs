@@ -4,6 +4,7 @@
 //! oef-servicectl status   <addr>          # print a status line (per shard when sharded)
 //! oef-servicectl status --shards <addr>   # per-shard load + forwarding-table view
 //! oef-servicectl metrics  <addr>          # print the metrics registry as JSON
+//! oef-servicectl check-metrics <addr>     # validate a /metrics exposition endpoint (CI)
 //! oef-servicectl tick     <addr>          # run one scheduling round
 //! oef-servicectl migrate <addr> <tenant> <shard>  # move a tenant to another shard
 //! oef-servicectl rebalance <addr>         # run one rebalancing pass, print the plan
@@ -25,6 +26,14 @@
 //! shards, asserts that `Status` aggregates exactly the per-shard entries,
 //! migrates a tenant over the wire and re-verifies its old handle across a
 //! snapshot/restore.
+//!
+//! `check-metrics` targets the daemon's *metrics* listener (the
+//! `--metrics-addr` port, not the command port): it fetches `/healthz` and
+//! `/metrics` over raw HTTP, runs the strict in-repo exposition parser over
+//! the body, and asserts the core series families are present — command
+//! counters, queue depth, uptime, the per-shard solve-latency histogram
+//! (with a cumulative `+Inf` bucket) and the per-tenant fairness-SLO
+//! families.  CI uses it as a promtool stand-in.
 //!
 //! `migrate <tenant>` accepts either the raw decimal handle or the
 //! `shard:slot@generation` form that `status` prints, so handles can be
@@ -59,6 +68,7 @@ fn main() {
         [cmd, addr] if cmd == "status" => status(addr),
         [cmd, flag, addr] if cmd == "status" && flag == "--shards" => status_shards(addr),
         [cmd, addr] if cmd == "metrics" => metrics(addr),
+        [cmd, addr] if cmd == "check-metrics" => check_metrics(addr),
         [cmd, addr] if cmd == "tick" => tick(addr),
         [cmd, addr, tenant, shard] if cmd == "migrate" => migrate(addr, tenant, shard),
         [cmd, addr] if cmd == "rebalance" => rebalance(addr),
@@ -74,6 +84,7 @@ fn main() {
                 "usage: oef-servicectl <status|metrics|tick|rebalance|shutdown|smoke|smoke-shard> \
                  <addr>\n\
                  \x20      oef-servicectl status --shards <addr>\n\
+                 \x20      oef-servicectl check-metrics <metrics-addr>\n\
                  \x20      oef-servicectl migrate <addr> <tenant-handle> <shard>\n\
                  \x20      oef-servicectl snapshot <addr> <file>\n\
                  \x20      oef-servicectl smoke-crash-prepare <addr> <file>\n\
@@ -205,6 +216,116 @@ fn metrics(addr: &str) -> ClientResult<()> {
         Ok(json) => println!("{json}"),
         Err(e) => println!("metrics serialization failed: {e}"),
     }
+    Ok(())
+}
+
+/// One raw HTTP/1.1 GET against the daemon's metrics listener.  Returns the
+/// status code, the header block and the body.  Deliberately primitive — the
+/// responder always answers `Connection: close`, so read-to-EOF is the
+/// complete framing story.
+fn http_get(addr: &str, path: &str) -> ClientResult<(u16, String, String)> {
+    use std::io::{Read, Write};
+    let protocol = |message: String| oef_service::ClientError::Protocol(message);
+    let mut stream = std::net::TcpStream::connect(addr).map_err(oef_service::ClientError::Io)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(oef_service::ClientError::Io)?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(oef_service::ClientError::Io)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| protocol(format!("GET {path}: no header/body separator in response")))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| protocol(format!("GET {path}: bad status line `{status_line}`")))?;
+    Ok((code, head.to_string(), body.to_string()))
+}
+
+/// Validates the `--metrics-addr` endpoint like CI would with promtool:
+/// health, content type, strict exposition grammar, and the presence of the
+/// core series families.
+fn check_metrics(addr: &str) -> ClientResult<()> {
+    use oef_obs::MetricKind;
+    let protocol = |message: String| oef_service::ClientError::Protocol(message);
+
+    let (code, _, body) = http_get(addr, "/healthz")?;
+    check("/healthz answers 200", code == 200)?;
+    check("/healthz body is `ok`", body == "ok\n")?;
+
+    let (code, head, body) = http_get(addr, "/metrics")?;
+    check("/metrics answers 200", code == 200)?;
+    check(
+        "/metrics declares exposition format 0.0.4",
+        head.to_ascii_lowercase().contains("text/plain") && head.contains("version=0.0.4"),
+    )?;
+    let exposition =
+        oef_obs::parse(&body).map_err(|e| protocol(format!("invalid exposition: {e}")))?;
+    check("exposition is non-empty", !exposition.families.is_empty())?;
+
+    let family = |name: &str, kind: MetricKind| -> ClientResult<()> {
+        let f = exposition
+            .family(name)
+            .ok_or_else(|| protocol(format!("check failed: family `{name}` is missing")))?;
+        check(&format!("{name} is declared {kind:?}"), f.kind == kind)
+    };
+    family("oef_commands_processed_total", MetricKind::Counter)?;
+    family("oef_commands_rejected_total", MetricKind::Counter)?;
+    family("oef_queue_depth", MetricKind::Gauge)?;
+    family("oef_uptime_seconds", MetricKind::Gauge)?;
+    family("oef_solve_duration_seconds", MetricKind::Histogram)?;
+    family("oef_warm_solves_total", MetricKind::Counter)?;
+    family("oef_cold_solves_total", MetricKind::Counter)?;
+    family("oef_tenant_allocation", MetricKind::Gauge)?;
+    family("oef_tenant_entitlement", MetricKind::Gauge)?;
+    family("oef_max_envy", MetricKind::Gauge)?;
+    family("oef_sharing_incentive", MetricKind::Gauge)?;
+
+    // The solve histogram must expose a complete per-shard series: a
+    // cumulative +Inf bucket carrying the shard label, plus _sum/_count.
+    let solve = exposition
+        .family("oef_solve_duration_seconds")
+        .expect("presence checked above");
+    check(
+        "solve histogram has a per-shard +Inf bucket",
+        solve.samples.iter().any(|s| {
+            s.name == "oef_solve_duration_seconds_bucket"
+                && s.label("le") == Some("+Inf")
+                && s.label("shard").is_some()
+        }),
+    )?;
+    check(
+        "solve histogram has _sum and _count",
+        solve
+            .samples
+            .iter()
+            .any(|s| s.name == "oef_solve_duration_seconds_sum")
+            && solve
+                .samples
+                .iter()
+                .any(|s| s.name == "oef_solve_duration_seconds_count"),
+    )?;
+    check(
+        "uptime advances",
+        exposition
+            .value("oef_uptime_seconds", &[])
+            .is_some_and(|v| v >= 0.0),
+    )?;
+    println!(
+        "ok: {} families, {} samples — exposition is valid",
+        exposition.families.len(),
+        exposition
+            .families
+            .iter()
+            .map(|f| f.samples.len())
+            .sum::<usize>(),
+    );
     Ok(())
 }
 

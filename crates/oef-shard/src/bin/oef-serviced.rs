@@ -1,15 +1,22 @@
 //! The scheduling daemon binary.
 //!
 //! ```text
-//! oef-serviced [--addr HOST:PORT] [--policy NAME] [--round-secs SECS]
-//!              [--fluid] [--max-tenants N] [--shards N] [--placement NAME]
-//!              [--restore FILE]
+//! oef-serviced [--addr HOST:PORT] [--metrics-addr HOST:PORT] [--policy NAME]
+//!              [--round-secs SECS] [--fluid] [--max-tenants N] [--shards N]
+//!              [--placement NAME] [--restore FILE]
 //!              [--journal-dir DIR] [--fsync-every N] [--compact-every N]
 //! ```
 //!
 //! Binds the address (port 0 picks an ephemeral port), prints one
 //! `oef-serviced listening on <addr>` line to stdout, and serves until a
 //! `Shutdown` command arrives, then exits 0.
+//!
+//! With `--metrics-addr` the daemon also serves `GET /metrics` (Prometheus
+//! text exposition: per-shard solve-latency histograms, solver-cache and
+//! journal counters, per-tenant fairness-SLO series) and `GET /healthz` on a
+//! separate listener, printing one `oef-serviced metrics listening on
+//! <addr>` line.  Scrapes read the same atomic cells the worker thread
+//! updates — they never queue behind (or block) commands.
 //!
 //! With `--shards N` (N ≥ 2) the daemon serves a [`ShardCoordinator`]: N
 //! independent scheduler shards (one paper-cluster topology each), handles
@@ -50,6 +57,7 @@ use std::path::Path;
 
 struct Args {
     addr: String,
+    metrics_addr: Option<String>,
     restore: Option<String>,
     journal_dir: Option<String>,
     journal: JournalOptions,
@@ -65,6 +73,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7441".to_string(),
+        metrics_addr: None,
         restore: None,
         journal_dir: None,
         journal: JournalOptions::default(),
@@ -81,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")?),
             "--policy" => {
                 args.config.policy = value("--policy")?;
                 args.config_flags.push(flag);
@@ -128,9 +138,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: oef-serviced [--addr HOST:PORT] [--policy NAME] \
-                     [--round-secs SECS] [--fluid] [--max-tenants N] [--shards N] \
-                     [--placement least-loaded|round-robin] [--restore FILE] \
+                    "usage: oef-serviced [--addr HOST:PORT] [--metrics-addr HOST:PORT] \
+                     [--policy NAME] [--round-secs SECS] [--fluid] [--max-tenants N] \
+                     [--shards N] [--placement least-loaded|round-robin] [--restore FILE] \
                      [--journal-dir DIR] [--fsync-every N] [--compact-every N]"
                 );
                 std::process::exit(0);
@@ -163,15 +173,35 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(2);
 }
 
-/// Spawns the server, prints the listening line and blocks until shutdown.
-fn serve<C: CommandHandler>(service: C, addr: &str, rounds_run: fn(&C) -> usize) {
+/// Spawns the server (and, with `--metrics-addr`, the Prometheus exposition
+/// listener), prints the listening line(s) and blocks until shutdown.
+fn serve<C: CommandHandler>(
+    mut service: C,
+    addr: &str,
+    metrics_addr: Option<&str>,
+    rounds_run: fn(&C) -> usize,
+) {
+    let metrics_server = metrics_addr.map(|maddr| {
+        let registry = oef_obs::Registry::new();
+        service.attach_observability(&registry);
+        match oef_obs::MetricsServer::spawn(registry, maddr) {
+            Ok(server) => server,
+            Err(e) => fail(format!("cannot bind metrics listener {maddr}: {e}")),
+        }
+    });
     let server = match Server::spawn(service, addr) {
         Ok(server) => server,
         Err(e) => fail(format!("cannot bind {addr}: {e}")),
     };
     println!("oef-serviced listening on {}", server.local_addr());
+    if let Some(metrics) = &metrics_server {
+        println!("oef-serviced metrics listening on {}", metrics.local_addr());
+    }
     let _ = std::io::stdout().flush();
     let service = server.join();
+    if let Some(metrics) = metrics_server {
+        metrics.stop();
+    }
     println!(
         "oef-serviced shut down cleanly after {} rounds",
         rounds_run(&service)
@@ -278,7 +308,12 @@ fn main() {
                 fail(format!("cannot create journal in {}: {e}", dir.display()))
             })
         };
-        serve(journaled, &args.addr, Journaled::rounds_run);
+        serve(
+            journaled,
+            &args.addr,
+            args.metrics_addr.as_deref(),
+            Journaled::rounds_run,
+        );
         return;
     }
 
@@ -308,12 +343,22 @@ fn main() {
                     "oef-serviced restoring {} shard(s) from {path}",
                     coordinator.num_shards()
                 );
-                serve(coordinator, &args.addr, ShardCoordinator::rounds_run);
+                serve(
+                    coordinator,
+                    &args.addr,
+                    args.metrics_addr.as_deref(),
+                    ShardCoordinator::rounds_run,
+                );
             }
             _ => {
                 let service =
                     SchedulerService::from_snapshot_json(&json).unwrap_or_else(|e| fail(e));
-                serve(service, &args.addr, SchedulerService::rounds_run);
+                serve(
+                    service,
+                    &args.addr,
+                    args.metrics_addr.as_deref(),
+                    SchedulerService::rounds_run,
+                );
             }
         }
         return;
@@ -331,10 +376,20 @@ fn main() {
             .collect();
         let coordinator = ShardCoordinator::new(topologies, args.config.clone(), placement)
             .unwrap_or_else(|e| fail(e));
-        serve(coordinator, &args.addr, ShardCoordinator::rounds_run);
+        serve(
+            coordinator,
+            &args.addr,
+            args.metrics_addr.as_deref(),
+            ShardCoordinator::rounds_run,
+        );
     } else {
         let service = SchedulerService::new(ClusterTopology::paper_cluster(), args.config.clone())
             .unwrap_or_else(|e| fail(e));
-        serve(service, &args.addr, SchedulerService::rounds_run);
+        serve(
+            service,
+            &args.addr,
+            args.metrics_addr.as_deref(),
+            SchedulerService::rounds_run,
+        );
     }
 }

@@ -37,6 +37,7 @@ use crate::snapshot::{
 };
 use oef_cluster::ClusterTopology;
 use oef_core::sharded;
+use oef_obs::{Counter, Gauge, GaugeFamily, Registry};
 use oef_rebalance::{
     MigrateFailure, Rebalancer, RebalancerConfig, ShardObservation, TenantMigrator,
 };
@@ -63,6 +64,20 @@ struct ParsedFederation {
 /// Smoothing factor of the per-shard solve-latency EWMA (weight of the
 /// newest observation).
 const EWMA_ALPHA: f64 = 0.3;
+
+/// Coordinator-level exposition cells: front-door gauges plus federation
+/// topology series.  The registry handle lets `Restore` re-attach shards it
+/// rebuilt.
+struct CoordObs {
+    registry: Registry,
+    queue_depth: Gauge,
+    uptime: Gauge,
+    shards: Gauge,
+    forwarding_entries: Gauge,
+    forwarding_depth: Gauge,
+    migrated: Counter,
+    solve_ewma: GaugeFamily,
+}
 
 /// A federation of scheduler shards speaking the ordinary service protocol.
 pub struct ShardCoordinator {
@@ -100,6 +115,9 @@ pub struct ShardCoordinator {
     /// Coordinator-level registry: command counters plus the latency window
     /// of the parallel tick fan-out (critical path over the shards).
     metrics: ServiceMetrics,
+    /// Exposition cells, present once attached to a registry.  Like
+    /// `metrics` they describe this process and survive `Restore`.
+    obs: Option<CoordObs>,
     started: Instant,
     shutting_down: bool,
 }
@@ -162,6 +180,7 @@ impl ShardCoordinator {
             solve_ewma,
             migrated: 0,
             metrics: ServiceMetrics::new(),
+            obs: None,
             started: Instant::now(),
             shutting_down: false,
             rebalance_trail: Vec::new(),
@@ -197,6 +216,7 @@ impl ShardCoordinator {
             solve_ewma,
             migrated: 0,
             metrics: ServiceMetrics::new(),
+            obs: None,
             started: Instant::now(),
             shutting_down: false,
             rebalance_trail: Vec::new(),
@@ -382,11 +402,96 @@ impl ShardCoordinator {
         std::mem::take(&mut self.rebalance_trail)
     }
 
+    /// Hooks the federation's metric cells into `registry`: the front-door
+    /// series and the fan-out histogram at the coordinator, every shard's
+    /// solve/fairness series under its `{shard="N"}` label, and the
+    /// federation topology gauges (shards, forwarding table, migrations,
+    /// solve EWMA).
+    pub fn attach_observability(&mut self, registry: &Registry) {
+        self.metrics.register_front(registry);
+        self.metrics.register_fanout(registry);
+        for (shard, service) in self.shards.iter_mut().enumerate() {
+            service.attach_shard_observability(registry, shard);
+        }
+        let obs = CoordObs {
+            registry: registry.clone(),
+            queue_depth: registry.gauge(
+                "oef_queue_depth",
+                "Commands waiting in the daemon's bounded queue.",
+                &[],
+            ),
+            uptime: registry.gauge(
+                "oef_uptime_seconds",
+                "Seconds since the daemon process started.",
+                &[],
+            ),
+            shards: registry.gauge("oef_shards", "Scheduler shards in the federation.", &[]),
+            forwarding_entries: registry.gauge(
+                "oef_forwarding_entries",
+                "Live aliases in the migration forwarding table.",
+                &[],
+            ),
+            forwarding_depth: registry.gauge(
+                "oef_forwarding_depth",
+                "Longest alias chain a handle lookup may chase.",
+                &[],
+            ),
+            migrated: registry.counter(
+                "oef_tenants_migrated_total",
+                "Tenants moved between shards.",
+                &[],
+            ),
+            solve_ewma: registry.gauge_family(
+                "oef_solve_ewma_seconds",
+                "Per-shard EWMA of round solve latency (the rebalancer's load signal).",
+                &[],
+            ),
+        };
+        self.obs = Some(obs);
+        self.refresh_topology_obs();
+    }
+
+    /// Refreshes the federation topology gauges.  `forwarding_depth` walks
+    /// the whole table, so this only runs after commands that can move
+    /// tenants or reshape the federation — not on the per-command hot path.
+    fn refresh_topology_obs(&self) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        obs.shards.set(self.shards.len() as f64);
+        obs.forwarding_entries.set(self.forwarding.len() as f64);
+        obs.forwarding_depth
+            .set(sharded::forwarding_depth(&self.forwarding) as f64);
+        obs.migrated.set(self.migrated);
+        obs.solve_ewma.replace(
+            self.solve_ewma
+                .iter()
+                .enumerate()
+                .map(|(shard, ewma)| (vec![("shard".to_string(), shard.to_string())], *ewma))
+                .collect(),
+        );
+    }
+
     /// Executes one command, routing it across the shards.
     pub fn apply(&mut self, command: Command, queue_depth: usize) -> Response {
+        let reshapes = matches!(
+            command,
+            Command::Tick
+                | Command::MigrateTenant { .. }
+                | Command::Rebalance
+                | Command::TenantLeave { .. }
+                | Command::Restore { .. }
+        );
         let response = self.dispatch(command, queue_depth);
         self.metrics
             .record_command(!matches!(response, Response::Error { .. }));
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set(queue_depth as f64);
+            obs.uptime.set(self.started.elapsed().as_secs_f64());
+            if reshapes {
+                self.refresh_topology_obs();
+            }
+        }
         response
     }
 
@@ -828,6 +933,12 @@ impl ShardCoordinator {
             tenants: 0,
             hosts: 0,
             tenants_migrated: self.migrated,
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            solve_ewma_secs: self.solve_ewma.clone(),
+            journal_appends: 0,
+            journal_fsyncs: 0,
+            journal_appended_bytes: 0,
+            journal_truncated_bytes_on_recovery: 0,
         };
         for service in &mut self.shards {
             let Response::Metrics(report) = service.apply(Command::Metrics, 0) else {
@@ -926,6 +1037,15 @@ impl ShardCoordinator {
         self.rebalancer = parsed.rebalancer;
         self.journal_seq = parsed.journal_seq;
         self.config.limits.queue_capacity = queue_capacity;
+        // Restore rebuilt every shard with fresh metric cells; re-attach
+        // them so the exposition endpoint reads the live shards again (the
+        // registry replaces the stale handles in place).
+        if let Some(obs) = &self.obs {
+            let registry = obs.registry.clone();
+            for (shard, service) in self.shards.iter_mut().enumerate() {
+                service.attach_shard_observability(&registry, shard);
+            }
+        }
         Response::Restored { tenants }
     }
 }
@@ -937,6 +1057,10 @@ impl CommandHandler for ShardCoordinator {
 
     fn queue_capacity(&self) -> usize {
         self.config.limits.queue_capacity
+    }
+
+    fn attach_observability(&mut self, registry: &Registry) {
+        ShardCoordinator::attach_observability(self, registry);
     }
 }
 

@@ -40,6 +40,7 @@ use oef_core::sharded;
 use oef_journal::{
     CrashPoint, FaultInjector, FaultPlan, Journal, JournalConfig, PendingFile, RecoveryReport,
 };
+use oef_obs::{Counter, Gauge, Registry};
 use oef_service::{Command, CommandHandler, ErrorCode, Response};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -105,6 +106,18 @@ impl RecoverySummary {
 #[derive(Debug)]
 pub struct Crashed;
 
+/// Journal exposition cells, mirroring [`Journal::stats`] after each
+/// command (the journal keeps plain integers; these are the `Arc`-backed
+/// cells the `/metrics` listener reads).
+#[derive(Debug)]
+struct JournalObs {
+    appends: Counter,
+    fsyncs: Counter,
+    appended_bytes: Counter,
+    truncated_bytes: Gauge,
+    replayed: Gauge,
+}
+
 /// A [`ShardCoordinator`] behind a write-ahead journal.  Implements
 /// [`CommandHandler`], so `Server::spawn(journaled, addr)` serves the same
 /// wire protocol with durability.
@@ -116,6 +129,10 @@ pub struct Journaled {
     compact_every: u64,
     since_compact: u64,
     faults: FaultInjector,
+    /// Commands replayed from the journal tail when this instance was
+    /// recovered (0 for a freshly created journal).
+    replayed_on_recovery: u64,
+    obs: Option<JournalObs>,
 }
 
 impl Journaled {
@@ -154,6 +171,8 @@ impl Journaled {
             compact_every: options.compact_every,
             since_compact: 0,
             faults: FaultInjector::none(),
+            replayed_on_recovery: 0,
+            obs: None,
         };
         let snapshot = journaled.snapshot_json()?;
         oef_journal::atomic_write(&journaled.snapshot_path, snapshot.as_bytes())?;
@@ -210,6 +229,8 @@ impl Journaled {
                 compact_every: options.compact_every,
                 since_compact: 0,
                 faults: FaultInjector::none(),
+                replayed_on_recovery: report.replayed as u64,
+                obs: None,
             },
             summary,
         ))
@@ -247,10 +268,30 @@ impl Journaled {
     /// structured [`Response::Error`] *without* applying it (write-ahead
     /// means no un-journaled mutation is ever visible).
     pub fn try_apply(&mut self, command: Command, queue_depth: usize) -> Result<Response, Crashed> {
+        let result = self.try_apply_inner(command, queue_depth);
+        self.refresh_journal_obs();
+        result
+    }
+
+    fn try_apply_inner(
+        &mut self,
+        command: Command,
+        queue_depth: usize,
+    ) -> Result<Response, Crashed> {
         match command {
-            // Read-only: nothing to journal.
+            // Read-only: nothing to journal.  `Metrics` is the coordinator's
+            // report plus this wrapper's journal counters — the journal is
+            // invisible to the inner coordinator.
             Command::Status | Command::Metrics | Command::Snapshot => {
-                Ok(self.inner.apply(command, queue_depth))
+                let mut response = self.inner.apply(command, queue_depth);
+                if let Response::Metrics(report) = &mut response {
+                    let stats = self.journal.stats();
+                    report.journal_appends = stats.appends;
+                    report.journal_fsyncs = stats.fsyncs;
+                    report.journal_appended_bytes = stats.appended_bytes;
+                    report.journal_truncated_bytes_on_recovery = stats.truncated_bytes_on_recovery;
+                }
+                Ok(response)
             }
             // The rebalance plan reads wall-clock solve latencies, so the
             // *plan* is not replayable; journal the executed trail instead
@@ -388,6 +429,22 @@ impl Journaled {
         // and checkpoints must not inflate the command metrics either.
         self.inner.snapshot_json().map_err(io::Error::other)
     }
+
+    /// Mirrors the journal's plain integer counters into the exposition
+    /// cells.  A handful of atomic stores after each command — and nothing
+    /// at all while unattached.
+    fn refresh_journal_obs(&self) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let stats = self.journal.stats();
+        obs.appends.set(stats.appends);
+        obs.fsyncs.set(stats.fsyncs);
+        obs.appended_bytes.set(stats.appended_bytes);
+        obs.truncated_bytes
+            .set(stats.truncated_bytes_on_recovery as f64);
+        obs.replayed.set(self.replayed_on_recovery as f64);
+    }
 }
 
 enum CheckpointError {
@@ -424,6 +481,38 @@ impl CommandHandler for Journaled {
         // checkpoint so the snapshot covers everything.
         let _ = self.journal.sync();
         let _ = self.checkpoint();
+    }
+
+    fn attach_observability(&mut self, registry: &Registry) {
+        self.inner.attach_observability(registry);
+        self.obs = Some(JournalObs {
+            appends: registry.counter(
+                "oef_journal_appends_total",
+                "Commands appended to the write-ahead journal.",
+                &[],
+            ),
+            fsyncs: registry.counter(
+                "oef_journal_fsyncs_total",
+                "fsync calls issued by the journal (group commits and segment rolls).",
+                &[],
+            ),
+            appended_bytes: registry.counter(
+                "oef_journal_appended_bytes_total",
+                "Bytes appended to the journal, frame headers included.",
+                &[],
+            ),
+            truncated_bytes: registry.gauge(
+                "oef_journal_truncated_bytes_on_recovery",
+                "Bytes recovery truncated off torn or corrupt journal tails at open.",
+                &[],
+            ),
+            replayed: registry.gauge(
+                "oef_journal_replayed_records",
+                "Commands replayed from the journal tail when this process recovered.",
+                &[],
+            ),
+        });
+        self.refresh_journal_obs();
     }
 }
 

@@ -1,0 +1,190 @@
+//! End-to-end observability tests: the Prometheus exposition endpoint under
+//! concurrent load.
+//!
+//! The design claim under test is that scrapes live entirely off the command
+//! hot path: the metrics listener reads atomic cells the worker thread
+//! updates, so a scrape never queues behind a command and a command never
+//! waits on a scrape.  The tests here hammer `/metrics` over real TCP while
+//! a client drives joins, jobs, rounds and a live migration through the
+//! command port, and require that *every* scrape — whatever instant it
+//! lands at — parses under the strict in-repo exposition grammar and shows
+//! monotone counters.
+
+use oef_cluster::ClusterTopology;
+use oef_obs::{MetricsServer, Registry};
+use oef_service::{Server, ServiceClient, ServiceConfig};
+use oef_shard::{placement_from_name, ShardCoordinator};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn coordinator(shards: usize) -> ShardCoordinator {
+    ShardCoordinator::new(
+        (0..shards)
+            .map(|_| ClusterTopology::paper_cluster())
+            .collect(),
+        ServiceConfig::default(),
+        placement_from_name("least-loaded").unwrap(),
+    )
+    .unwrap()
+}
+
+/// One blocking HTTP/1.1 GET.  The responder closes the connection after
+/// each reply, so read-to-EOF is the complete framing story.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("metrics port accepts");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body separator");
+    (head.to_string(), body.to_string())
+}
+
+/// Total LP solves visible in a scrape: the sum of the per-shard histogram
+/// `_count` samples.
+fn total_solves(exposition: &oef_obs::Exposition) -> f64 {
+    exposition
+        .family("oef_solve_duration_seconds")
+        .map(|f| {
+            f.samples
+                .iter()
+                .filter(|s| s.name == "oef_solve_duration_seconds_count")
+                .map(|s| s.value)
+                .sum()
+        })
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn concurrent_scrapes_stay_valid_while_commands_run() {
+    let registry = Registry::new();
+    let mut coordinator = coordinator(2);
+    coordinator.attach_observability(&registry);
+    let metrics = MetricsServer::spawn(registry, "127.0.0.1:0").expect("metrics port binds");
+    let maddr = metrics.local_addr();
+    let server = Server::spawn(coordinator, "127.0.0.1:0").expect("daemon binds");
+    let addr = server.local_addr();
+
+    // The scraper: a tight loop of GET + strict parse, racing the command
+    // stream.  Any malformed exposition — a torn family, a duplicate
+    // series, a non-cumulative bucket — panics here and fails the test
+    // through the join below.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0usize;
+            let mut last_solves = 0.0f64;
+            while !stop.load(Ordering::Relaxed) {
+                let (head, body) = http_get(maddr, "/metrics");
+                assert!(head.starts_with("HTTP/1.1 200"), "scrape failed: {head}");
+                let exposition = oef_obs::parse(&body)
+                    .unwrap_or_else(|e| panic!("scrape {scrapes} is invalid: {e}\n{body}"));
+                let solves = total_solves(&exposition);
+                assert!(
+                    solves >= last_solves,
+                    "solve count went backwards: {last_solves} -> {solves}"
+                );
+                last_solves = solves;
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    // The command stream: four tenants across two shards, jobs, twenty
+    // rounds, one live migration, more rounds.
+    let mut client = ServiceClient::connect(addr).expect("client connects");
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let handle = client
+            .join(&format!("obs-{i}"), 1, &[1.0, 1.2 + 0.1 * i as f64, 1.7])
+            .unwrap();
+        client.submit_job(handle, "model", 1, 1e9).unwrap();
+        handles.push(handle);
+    }
+    for _ in 0..20 {
+        client.tick().unwrap();
+    }
+    let mover = handles[0];
+    let target = (oef_core::sharded::shard_of(mover) + 1) % 2;
+    client.migrate_tenant(mover, target).unwrap();
+    for _ in 0..5 {
+        client.tick().unwrap();
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("every concurrent scrape was valid");
+    assert!(scrapes > 0, "the scraper never got a scrape in");
+
+    // A final quiescent scrape must account for everything the client did.
+    let (_, body) = http_get(maddr, "/metrics");
+    let exposition = oef_obs::parse(&body).expect("final scrape parses");
+    assert_eq!(total_solves(&exposition), 50.0, "25 rounds x 2 shards");
+    assert!(
+        exposition
+            .value("oef_commands_processed_total", &[])
+            .is_some_and(|v| v >= 34.0),
+        "4 joins + 4 submits + 25 ticks + 1 migration all counted"
+    );
+    assert_eq!(
+        exposition.value("oef_tenants_migrated_total", &[]),
+        Some(1.0)
+    );
+    let allocation = exposition
+        .family("oef_tenant_allocation")
+        .expect("fairness family present");
+    assert_eq!(
+        allocation.samples.len(),
+        4,
+        "every tenant has exactly one allocation series across the shard partitions"
+    );
+    for shard in ["0", "1"] {
+        assert!(
+            exposition
+                .value("oef_max_envy", &[("shard", shard)])
+                .is_some(),
+            "shard {shard} reports envy"
+        );
+        assert!(
+            exposition
+                .value("oef_sharing_incentive", &[("shard", shard)])
+                .is_some_and(|v| v == 0.0 || v == 1.0),
+            "sharing incentive is an indicator"
+        );
+    }
+
+    client.shutdown().unwrap();
+    server.join();
+    metrics.stop();
+}
+
+#[test]
+fn healthz_answers_while_the_command_port_is_busy() {
+    let registry = Registry::new();
+    let mut coordinator = coordinator(1);
+    coordinator.attach_observability(&registry);
+    let metrics = MetricsServer::spawn(registry, "127.0.0.1:0").expect("metrics port binds");
+    let maddr = metrics.local_addr();
+    let server = Server::spawn(coordinator, "127.0.0.1:0").expect("daemon binds");
+
+    let mut client = ServiceClient::connect(server.local_addr()).expect("client connects");
+    let handle = client.join("healthz", 1, &[1.0, 1.2, 1.5]).unwrap();
+    client.submit_job(handle, "model", 1, 1e9).unwrap();
+    for _ in 0..5 {
+        client.tick().unwrap();
+        let (head, body) = http_get(maddr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(body, "ok\n");
+    }
+
+    client.shutdown().unwrap();
+    server.join();
+    metrics.stop();
+}

@@ -30,6 +30,10 @@
 //!   --journal-dir`: checksummed per-lane segment files with group-commit fsync
 //!   batching, crash-atomic snapshot writes, torn-tail repair and deterministic
 //!   replay (plus the fault-injection hooks the crash-recovery tests script).
+//! * [`obs`] — observability: a lock-cheap metric registry (counters, gauges,
+//!   fixed-bucket histograms, partitioned gauge families), a Prometheus text
+//!   exposition renderer with a strict in-repo parser, and the std-TCP
+//!   `/metrics` + `/healthz` listener behind `oef-serviced --metrics-addr`.
 //!
 //! # Quickstart
 //!
@@ -56,6 +60,7 @@ pub use oef_cluster as cluster;
 pub use oef_core as core;
 pub use oef_journal as journal;
 pub use oef_lp as lp;
+pub use oef_obs as obs;
 pub use oef_rebalance as rebalance;
 pub use oef_schedulers as schedulers;
 pub use oef_service as service;
