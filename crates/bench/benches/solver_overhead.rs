@@ -9,17 +9,22 @@
 //! The cold-vs-warm groups measure the per-round LP hot path on a steady-state
 //! round sequence (same tenants, slightly jittered speedup reports every round):
 //!
-//! * `solver_cold_dense`   — the dense two-phase reference, one full solve per round;
-//! * `solver_cold_revised` — the revised simplex without basis reuse;
-//! * `solver_warm_context` — one [`oef_lp::SolverContext`] reused across rounds.
+//! * `solver_cold_dense`   — the dense two-phase reference, one full solve per round
+//!   (swept through 500 tenants; O(m³) makes it hopeless beyond);
+//! * `solver_cold_revised` — the sparse-LU revised simplex without basis reuse
+//!   (the correctness oracle at 1000+ tenants);
+//! * `solver_warm_context` — one [`oef_lp::SolverContext`] reused across rounds;
+//! * `solver_churn_resolve_pair` — a tenant leave + re-solve plus a re-join +
+//!   re-solve against the live program, served as journaled basis repairs.
 //!
-//! Every warm solve is checked against the dense reference objective (1e-6),
-//! and the measured means are written to `BENCH_solver.json` at the workspace
-//! root so future changes can track the speedup trajectory.
+//! Every warm solve is checked against the oracle objective (1e-6), and the
+//! measured means are written to `BENCH_solver.json` at the workspace root so
+//! future changes can track the speedup trajectory.  `OEF_BENCH_SMOKE=1`
+//! runs only the small-n correctness gates (the CI smoke step).
 
 use criterion::{BenchmarkId, Criterion};
 use oef_core::{AllocationPolicy, ClusterSpec, CooperativeOef, NonCooperativeOef, SpeedupMatrix};
-use oef_lp::{ConstraintOp, Problem, Sense, SolverContext};
+use oef_lp::{ConstraintOp, LinearExpr, Problem, Sense, SolverContext, Variable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,37 +133,99 @@ fn round_sequence(num_users: usize, seed: u64) -> (ClusterSpec, Vec<Problem>) {
     (cluster, problems)
 }
 
-/// One measured point of the cold-vs-warm comparison.
-struct TrajectoryPoint {
-    n: usize,
-    cold_dense_secs: f64,
-    cold_revised_secs: f64,
-    warm_secs: f64,
+/// Removes the trailing tenant block (its `k` variables plus its
+/// equal-efficiency row) from a live non-cooperative program via the
+/// journaled churn primitive.  `n_live` is the tenant count *before* the
+/// leave; the layout invariants (`var = l*k + j`, `eq_row(l) = k + l - 1`)
+/// are the same append-only discipline the `oef-core` policies keep.
+fn churn_leave(p: &mut Problem, n_live: usize, k: usize) {
+    let u = n_live - 1;
+    let vars: Vec<Variable> = (u * k..(u + 1) * k)
+        .map(|i| p.variable(i).expect("trailing block in range"))
+        .collect();
+    p.remove_tenant_rows(&vars, &[k + u - 1]);
 }
 
-fn bench_cold_vs_warm(c: &mut Criterion, points: &mut Vec<TrajectoryPoint>) {
-    // 500 tenants produce multi-second dense solves; keep samples minimal
-    // there so the sweep stays tractable.
-    let sizes: &[(usize, usize)] = &[(4, 10), (20, 10), (100, 5), (500, 2)];
+/// Appends tenant `u` back: `k` fresh variables, the equal-efficiency row
+/// tying it to tenant 0, objective coefficients, and capacity-row terms.
+fn churn_join(p: &mut Problem, u: usize, k: usize, speedups: &SpeedupMatrix) {
+    let v0: Vec<Variable> = (0..k).map(|j| p.variable(j).expect("tenant 0")).collect();
+    let row0: Vec<f64> = (0..k).map(|j| speedups.speedup(0, j)).collect();
+    let row_u: Vec<f64> = (0..k).map(|j| speedups.speedup(u, j)).collect();
+    let (vars, _) = p.add_tenant_rows(&format!("x_{u}"), k, |new_vars| {
+        let mut expr = LinearExpr::new();
+        for j in 0..k {
+            expr.add_term(v0[j], row0[j]);
+        }
+        for j in 0..k {
+            expr.add_term(new_vars[j], -row_u[j]);
+        }
+        vec![(expr, ConstraintOp::Eq, 0.0)]
+    });
+    for j in 0..k {
+        p.set_objective_coefficient(vars[j], row_u[j]);
+        p.update_constraint_coefficient(j, vars[j], 1.0);
+    }
+}
 
-    for &(n, samples) in sizes {
+/// One measured point of the cold-vs-warm comparison.  `cold_dense_secs` is
+/// `None` at the sizes where the O(m³) dense reference is too slow to sweep
+/// (the revised cold path is the oracle there instead).
+struct TrajectoryPoint {
+    n: usize,
+    cold_dense_secs: Option<f64>,
+    cold_revised_secs: f64,
+    warm_secs: f64,
+    churn_resolve_secs: f64,
+}
+
+/// `(tenants, samples, dense_oracle)` sweep schedule.  Dense solves are
+/// O(m³): fine through 500 tenants, hopeless at 1000+, where the revised
+/// cold path takes over as the correctness oracle.
+fn sweep_sizes(smoke: bool) -> &'static [(usize, usize, bool)] {
+    if smoke {
+        &[(4, 2, true), (20, 2, true), (60, 2, true)]
+    } else {
+        &[
+            (4, 10, true),
+            (20, 10, true),
+            (100, 5, true),
+            (500, 2, true),
+            (1000, 2, false),
+            (2000, 2, false),
+        ]
+    }
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion, points: &mut Vec<TrajectoryPoint>, smoke: bool) {
+    for &(n, samples, dense_oracle) in sweep_sizes(smoke) {
+        let (cluster, base) = instance(n, 42 + n as u64);
         let (_, problems) = round_sequence(n, 42 + n as u64);
 
-        // Correctness gate: the warm-started context must reproduce the dense
-        // reference objective on every round of the sequence.  Warm starts
-        // are allowed to fall back cold occasionally (that is the safety
-        // valve), but the steady state must serve most rounds warm.
+        // The per-round oracle: the dense reference where tractable, a fresh
+        // revised cold solve beyond that.  Either way the warm path must
+        // reproduce it to 1e-6 on every round.
+        let oracle = |p: &Problem| -> f64 {
+            if dense_oracle {
+                p.solve().unwrap().objective_value()
+            } else {
+                SolverContext::new().solve(p).unwrap().objective_value()
+            }
+        };
+
+        // Correctness gate: the warm-started context must reproduce the
+        // oracle objective on every round of the sequence.  Warm starts are
+        // allowed to fall back cold occasionally (that is the safety valve),
+        // but the steady state must serve most rounds warm.
         let mut ctx = SolverContext::new();
         let mut warm_rounds = 0usize;
         for (round, p) in problems.iter().enumerate() {
             let warm = ctx.solve(p).unwrap();
-            let dense = p.solve().unwrap();
+            let reference = oracle(p);
             assert!(
-                (warm.objective_value() - dense.objective_value()).abs()
-                    < 1e-6 * (1.0 + dense.objective_value().abs()),
-                "n={n} round {round}: warm {} vs dense {}",
+                (warm.objective_value() - reference).abs() < 1e-6 * (1.0 + reference.abs()),
+                "n={n} round {round}: warm {} vs oracle {reference}",
                 warm.objective_value(),
-                dense.objective_value()
             );
             if round > 0 && warm.stats().warm_start {
                 warm_rounds += 1;
@@ -170,12 +237,42 @@ fn bench_cold_vs_warm(c: &mut Criterion, points: &mut Vec<TrajectoryPoint>) {
             ROUND_SEQUENCE - 1
         );
 
-        let mut group = c.benchmark_group("solver_cold_dense");
-        group.sample_size(samples);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| problems[0].solve().unwrap())
-        });
-        group.finish();
+        // Churn gate: a tenant leave and a re-join must both re-solve to the
+        // oracle objective, served as basis repairs, not cold solves.
+        {
+            let mut p = build_noncoop_problem(&cluster, &base);
+            let mut ctx = SolverContext::new();
+            ctx.solve(&p).unwrap();
+            churn_leave(&mut p, n, NUM_GPU_TYPES);
+            let after_leave = ctx.solve(&p).unwrap().objective_value();
+            let leave_ref = oracle(&p);
+            assert!(
+                (after_leave - leave_ref).abs() < 1e-6 * (1.0 + leave_ref.abs()),
+                "n={n}: post-leave warm {after_leave} vs oracle {leave_ref}"
+            );
+            churn_join(&mut p, n - 1, NUM_GPU_TYPES, &base);
+            let after_join = ctx.solve(&p).unwrap().objective_value();
+            let join_ref = oracle(&p);
+            assert!(
+                (after_join - join_ref).abs() < 1e-6 * (1.0 + join_ref.abs()),
+                "n={n}: post-join warm {after_join} vs oracle {join_ref}"
+            );
+            assert!(
+                ctx.stats().churn_repairs >= 1,
+                "n={n}: churn edits were not served by basis repair \
+                 (churn_repairs=0, cold_solves={})",
+                ctx.stats().cold_solves
+            );
+        }
+
+        if dense_oracle {
+            let mut group = c.benchmark_group("solver_cold_dense");
+            group.sample_size(samples);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| problems[0].solve().unwrap())
+            });
+            group.finish();
+        }
 
         let mut group = c.benchmark_group("solver_cold_revised");
         group.sample_size(samples);
@@ -199,6 +296,25 @@ fn bench_cold_vs_warm(c: &mut Criterion, points: &mut Vec<TrajectoryPoint>) {
         });
         group.finish();
 
+        // Churn-delta re-solve: each iteration is one leave + re-solve plus
+        // one re-join + re-solve on the live program, so the reported mean
+        // halves into a per-edit figure.  Sublinearity in n is the claim:
+        // the edit repairs a basis instead of rebuilding the program.
+        let mut group = c.benchmark_group("solver_churn_resolve_pair");
+        group.sample_size(samples);
+        let mut p = build_noncoop_problem(&cluster, &base);
+        let mut ctx = SolverContext::new();
+        ctx.solve(&p).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                churn_leave(&mut p, n, NUM_GPU_TYPES);
+                ctx.solve(&p).unwrap();
+                churn_join(&mut p, n - 1, NUM_GPU_TYPES, &base);
+                ctx.solve(&p).unwrap()
+            })
+        });
+        group.finish();
+
         let find = |label: &str| {
             c.measurements()
                 .iter()
@@ -209,9 +325,10 @@ fn bench_cold_vs_warm(c: &mut Criterion, points: &mut Vec<TrajectoryPoint>) {
         };
         points.push(TrajectoryPoint {
             n,
-            cold_dense_secs: find("solver_cold_dense"),
+            cold_dense_secs: dense_oracle.then(|| find("solver_cold_dense")),
             cold_revised_secs: find("solver_cold_revised"),
             warm_secs: find("solver_warm_context"),
+            churn_resolve_secs: find("solver_churn_resolve_pair") / 2.0,
         });
     }
 }
@@ -227,7 +344,8 @@ fn emit_trajectory(points: &[TrajectoryPoint]) {
                 "cold_dense_secs": p.cold_dense_secs,
                 "cold_revised_secs": p.cold_revised_secs,
                 "warm_secs": p.warm_secs,
-                "speedup_warm_vs_cold_dense": p.cold_dense_secs / p.warm_secs,
+                "churn_resolve_secs": p.churn_resolve_secs,
+                "speedup_warm_vs_cold_dense": p.cold_dense_secs.map(|d| d / p.warm_secs),
                 "speedup_warm_vs_cold_revised": p.cold_revised_secs / p.warm_secs,
             })
         })
@@ -245,10 +363,18 @@ fn emit_trajectory(points: &[TrajectoryPoint]) {
 }
 
 fn main() {
+    // `OEF_BENCH_SMOKE=1` (CI) trims the sweep to small sizes and skips the
+    // trajectory write: the correctness gates — warm-vs-oracle objectives,
+    // churn repairs — still run and fail the step on any divergence.
+    let smoke = std::env::var_os("OEF_BENCH_SMOKE").is_some();
     let mut criterion = Criterion::default().configure_from_args();
-    bench_noncoop(&mut criterion);
-    bench_coop(&mut criterion);
+    if !smoke {
+        bench_noncoop(&mut criterion);
+        bench_coop(&mut criterion);
+    }
     let mut points = Vec::new();
-    bench_cold_vs_warm(&mut criterion, &mut points);
-    emit_trajectory(&points);
+    bench_cold_vs_warm(&mut criterion, &mut points, smoke);
+    if !smoke {
+        emit_trajectory(&points);
+    }
 }

@@ -7,9 +7,78 @@
 
 use crate::error::OefError;
 use crate::policy::AllocationPolicy;
+use crate::program_cache::ProgramCell;
 use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
 use oef_lp::{ConstraintOp, ContextCell, Problem, Sense, SimplexOptions};
 use serde::{Deserialize, Serialize};
+
+/// Incrementally maintained LP of problem (10).
+///
+/// Unlike the non-cooperative program, the envy rows pair every ordered
+/// `(l, i)` — a joining tenant inserts rows throughout the row space — so
+/// only the *unchanged-shape* case is maintained in place (the O(n²k) rebuild
+/// and the cold solve it forces are avoided round over round); churn rebuilds.
+#[derive(Debug)]
+struct CoopProgram {
+    problem: Problem,
+    n: usize,
+    k: usize,
+}
+
+impl CoopProgram {
+    fn var(&self, tenant: usize, gpu: usize) -> oef_lp::Variable {
+        self.problem
+            .variable(tenant * self.k + gpu)
+            .expect("tenant-major layout invariant")
+    }
+
+    /// Row index of the envy constraint `W_l · x_l ≥ W_l · x_i` (`l != i`),
+    /// in the l-major order `build_problem` emits.
+    fn envy_row(&self, l: usize, i: usize) -> usize {
+        self.k + l * (self.n - 1) + if i < l { i } else { i - 1 }
+    }
+}
+
+/// Syncs the cached cooperative program: in-place data refresh when `(n, k)`
+/// is unchanged, full rebuild otherwise.
+fn sync_coop_program(
+    slot: &mut Option<CoopProgram>,
+    cluster: &ClusterSpec,
+    speedups: &SpeedupMatrix,
+) {
+    let n = speedups.num_users();
+    let k = cluster.num_gpu_types();
+    if !matches!(slot, Some(p) if p.n == n && p.k == k) {
+        let (problem, _) = CooperativeOef::build_problem(cluster, speedups);
+        *slot = Some(CoopProgram { problem, n, k });
+        return;
+    }
+    let prog = slot.as_mut().expect("checked above");
+    for l in 0..n {
+        for j in 0..k {
+            prog.problem
+                .update_objective_coefficient(prog.var(l, j), speedups.speedup(l, j));
+        }
+    }
+    for j in 0..k {
+        prog.problem.update_rhs(j, cluster.capacity(j));
+    }
+    for l in 0..n {
+        for i in 0..n {
+            if i == l {
+                continue;
+            }
+            let row = prog.envy_row(l, i);
+            for j in 0..k {
+                let w = speedups.speedup(l, j);
+                prog.problem
+                    .update_constraint_coefficient(row, prog.var(l, j), w);
+                prog.problem
+                    .update_constraint_coefficient(row, prog.var(i, j), -w);
+            }
+        }
+    }
+}
 
 /// The cooperative OEF fair-share evaluator.
 ///
@@ -31,6 +100,9 @@ pub struct CooperativeOef {
     /// re-solve) starts from round `N`'s optimal basis whenever the LP shape
     /// is unchanged.
     context: ContextCell,
+    /// Round-over-round program cache (see [`CoopProgram`]): skips the
+    /// O(n²k) rebuild when the shape is unchanged.
+    program: ProgramCell<CoopProgram>,
 }
 
 impl Default for CooperativeOef {
@@ -46,6 +118,7 @@ impl CooperativeOef {
         Self {
             solver_options,
             context,
+            program: ProgramCell::default(),
         }
     }
 
@@ -115,11 +188,15 @@ impl AllocationPolicy for CooperativeOef {
             return Err(OefError::NoUsers);
         }
 
-        let (problem, vars) = Self::build_problem(cluster, speedups);
+        let mut slot = self.program.lock();
+        sync_coop_program(&mut slot, cluster, speedups);
+        let prog = slot.as_ref().expect("synced");
         // `solve_with` re-syncs from the public field, so mutations of
         // `self.solver_options` (or a serde round trip) stay authoritative.
-        let solution = self.context.solve_with(&problem, &self.solver_options)?;
-        crate::noncoop::extract_rows(&solution, &vars)
+        let solution = self
+            .context
+            .solve_with(&prog.problem, &self.solver_options)?;
+        extract_coop(&solution, prog)
     }
 
     fn allocate_mut(
@@ -131,18 +208,32 @@ impl AllocationPolicy for CooperativeOef {
         if speedups.num_users() == 0 {
             return Err(OefError::NoUsers);
         }
-        let (problem, vars) = Self::build_problem(cluster, speedups);
-        // Exclusive access: skip the cell's mutex entirely.
+        // Exclusive access: skip both cells' mutexes entirely.
+        let slot = self.program.get_mut();
+        sync_coop_program(slot, cluster, speedups);
+        let prog = slot.as_ref().expect("synced");
         let solution = self
             .context
             .get_mut()
-            .solve_with(&problem, &self.solver_options)?;
-        crate::noncoop::extract_rows(&solution, &vars)
+            .solve_with(&prog.problem, &self.solver_options)?;
+        extract_coop(&solution, prog)
     }
 
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         Some(self.context.stats())
     }
+}
+
+/// Reads the allocation out of the cached program's solution.
+fn extract_coop(solution: &oef_lp::Solution, prog: &CoopProgram) -> Result<Allocation> {
+    let rows: Vec<Vec<f64>> = (0..prog.n)
+        .map(|l| {
+            (0..prog.k)
+                .map(|j| solution.value(prog.var(l, j)))
+                .collect()
+        })
+        .collect();
+    Allocation::new(rows)
 }
 
 #[cfg(test)]

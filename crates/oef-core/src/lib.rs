@@ -49,6 +49,7 @@ mod handle_map;
 mod multi_job;
 mod noncoop;
 mod policy;
+mod program_cache;
 pub mod sharded;
 mod speedup;
 mod tenant_index;

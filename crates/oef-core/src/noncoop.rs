@@ -9,9 +9,118 @@
 
 use crate::error::OefError;
 use crate::policy::AllocationPolicy;
+use crate::program_cache::ProgramCell;
 use crate::{Allocation, ClusterSpec, Result, SpeedupMatrix};
-use oef_lp::{ConstraintOp, ContextCell, Problem, Sense, SimplexOptions};
+use oef_lp::{ConstraintOp, ContextCell, LinearExpr, Problem, Sense, SimplexOptions};
 use serde::{Deserialize, Serialize};
+
+/// Incrementally maintained LP of problem (9).
+///
+/// The program's *structure* depends only on `(n, k)` — variables sit in
+/// tenant-major `k`-blocks, rows are `k` capacity rows followed by the `n-1`
+/// equal-throughput rows in tenant order — and every data coefficient is
+/// rewritten from the fresh `(cluster, speedups)` on each allocate.  Tenant
+/// churn therefore normalises to "append joins, drop trailing blocks":
+/// which tenant actually left is irrelevant to the structure, and keeping the
+/// edits journaled ([`Problem::add_tenant_rows`] /
+/// [`Problem::remove_tenant_rows`]) lets the solver context repair its basis
+/// across the join/leave instead of cold-solving.
+#[derive(Debug)]
+pub(crate) struct TenantMajorProgram {
+    problem: Problem,
+    n: usize,
+    k: usize,
+}
+
+impl TenantMajorProgram {
+    fn var(&self, tenant: usize, gpu: usize) -> oef_lp::Variable {
+        self.problem
+            .variable(tenant * self.k + gpu)
+            .expect("tenant-major layout invariant")
+    }
+
+    /// Row index of tenant `l >= 1`'s equal-throughput constraint.  The
+    /// layout is append-only (removals only ever drop the trailing tenant),
+    /// so the position is arithmetic, never tracked.
+    fn eq_row(&self, tenant: usize) -> usize {
+        self.k + tenant - 1
+    }
+}
+
+/// Brings the cached program in sync with this round's `(cluster, speedups)`:
+/// structural churn first (journaled), then an in-place rewrite of every data
+/// coefficient.  Rebuilds from scratch only when the GPU-type axis changed or
+/// nothing is cached yet.
+fn sync_noncoop_program(
+    slot: &mut Option<TenantMajorProgram>,
+    cluster: &ClusterSpec,
+    speedups: &SpeedupMatrix,
+) {
+    let n = speedups.num_users();
+    let k = cluster.num_gpu_types();
+    let structure_ok = matches!(slot, Some(p) if p.k == k && p.n >= 1);
+    if !structure_ok {
+        let (problem, _) = NonCooperativeOef::build_problem(cluster, speedups);
+        *slot = Some(TenantMajorProgram { problem, n, k });
+    }
+    let prog = slot.as_mut().expect("just populated");
+
+    // Tenant leave(s): drop trailing tenant blocks down to n (never below 1;
+    // callers reject n == 0 before reaching here).
+    while prog.n > n.max(1) {
+        let u = prog.n - 1;
+        let vars: Vec<_> = (0..k).map(|j| prog.var(u, j)).collect();
+        let eq = prog.eq_row(u);
+        prog.problem.remove_tenant_rows(&vars, &[eq]);
+        prog.n -= 1;
+    }
+
+    // Tenant join(s): append a k-block of variables plus one equal-throughput
+    // row per new tenant, and extend the capacity rows with the new columns.
+    while prog.n < n {
+        let u = prog.n;
+        let user0: Vec<_> = (0..k).map(|j| prog.var(0, j)).collect();
+        prog.problem.add_tenant_rows(&format!("x_{u}"), k, |vars| {
+            let mut expr = LinearExpr::new();
+            for (j, &v0) in user0.iter().enumerate() {
+                expr.add_term(v0, speedups.speedup(0, j));
+            }
+            for (j, &v) in vars.iter().enumerate() {
+                expr.add_term(v, -speedups.speedup(u, j));
+            }
+            vec![(expr, ConstraintOp::Eq, 0.0)]
+        });
+        prog.n += 1;
+        for j in 0..k {
+            prog.problem
+                .update_constraint_coefficient(j, prog.var(u, j), 1.0);
+        }
+    }
+
+    // Data refresh (shape-preserving): objective (9a), capacities (9b), and
+    // both sides of every equal-throughput row (9c).
+    for l in 0..n {
+        for j in 0..k {
+            prog.problem
+                .update_objective_coefficient(prog.var(l, j), speedups.speedup(l, j));
+        }
+    }
+    for j in 0..k {
+        prog.problem.update_rhs(j, cluster.capacity(j));
+    }
+    for l in 1..n {
+        let row = prog.eq_row(l);
+        for j in 0..k {
+            prog.problem
+                .update_constraint_coefficient(row, prog.var(0, j), speedups.speedup(0, j));
+            prog.problem.update_constraint_coefficient(
+                row,
+                prog.var(l, j),
+                -speedups.speedup(l, j),
+            );
+        }
+    }
+}
 
 /// The non-cooperative OEF fair-share evaluator.
 ///
@@ -33,6 +142,10 @@ pub struct NonCooperativeOef {
     /// re-solve) starts from round `N`'s optimal basis whenever the LP shape
     /// is unchanged.
     context: ContextCell,
+    /// Incrementally maintained LP: one long-lived [`Problem`] updated in
+    /// place each round, so tenant churn is a journaled edit (basis repair)
+    /// instead of a from-scratch rebuild (cold solve).
+    program: ProgramCell<TenantMajorProgram>,
 }
 
 impl Default for NonCooperativeOef {
@@ -48,6 +161,7 @@ impl NonCooperativeOef {
         Self {
             solver_options,
             context,
+            program: ProgramCell::default(),
         }
     }
 
@@ -112,11 +226,15 @@ impl AllocationPolicy for NonCooperativeOef {
             return Err(OefError::NoUsers);
         }
 
-        let (problem, vars) = Self::build_problem(cluster, speedups);
+        let mut slot = self.program.lock();
+        sync_noncoop_program(&mut slot, cluster, speedups);
+        let prog = slot.as_ref().expect("synced");
         // `solve_with` re-syncs from the public field, so mutations of
         // `self.solver_options` (or a serde round trip) stay authoritative.
-        let solution = self.context.solve_with(&problem, &self.solver_options)?;
-        extract_rows(&solution, &vars)
+        let solution = self
+            .context
+            .solve_with(&prog.problem, &self.solver_options)?;
+        extract_tenant_major(&solution, prog)
     }
 
     fn allocate_mut(
@@ -128,13 +246,15 @@ impl AllocationPolicy for NonCooperativeOef {
         if speedups.num_users() == 0 {
             return Err(OefError::NoUsers);
         }
-        let (problem, vars) = Self::build_problem(cluster, speedups);
-        // Exclusive access: skip the cell's mutex entirely.
+        // Exclusive access: skip both cells' mutexes entirely.
+        let slot = self.program.get_mut();
+        sync_noncoop_program(slot, cluster, speedups);
+        let prog = slot.as_ref().expect("synced");
         let solution = self
             .context
             .get_mut()
-            .solve_with(&problem, &self.solver_options)?;
-        extract_rows(&solution, &vars)
+            .solve_with(&prog.problem, &self.solver_options)?;
+        extract_tenant_major(&solution, prog)
     }
 
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
@@ -142,14 +262,17 @@ impl AllocationPolicy for NonCooperativeOef {
     }
 }
 
-/// Reads the per-user allocation rows out of a solution.
-pub(crate) fn extract_rows(
+/// Reads the allocation out of a tenant-major-layout program's solution.
+fn extract_tenant_major(
     solution: &oef_lp::Solution,
-    vars: &[Vec<oef_lp::Variable>],
+    prog: &TenantMajorProgram,
 ) -> Result<Allocation> {
-    let rows: Vec<Vec<f64>> = vars
-        .iter()
-        .map(|row| row.iter().map(|v| solution.value(*v)).collect())
+    let rows: Vec<Vec<f64>> = (0..prog.n)
+        .map(|l| {
+            (0..prog.k)
+                .map(|j| solution.value(prog.var(l, j)))
+                .collect()
+        })
         .collect();
     Allocation::new(rows)
 }

@@ -1,0 +1,106 @@
+//! Interior-mutable cache cell for a policy's incrementally-maintained LP.
+//!
+//! The OEF policies rebuild their allocation program from `(cluster,
+//! speedups)` on every round.  With the sparse-LU solver that rebuild — not
+//! the solve — becomes the dominant cost at scale, and it also severs the
+//! churn lineage ([`oef_lp::Problem::churn_instance`]) that lets a
+//! [`oef_lp::SolverContext`] repair its basis across a tenant join/leave.
+//! [`ProgramCell`] gives a policy somewhere to keep one long-lived
+//! [`oef_lp::Problem`] (plus whatever layout bookkeeping it needs) behind the
+//! same `&self` discipline as [`oef_lp::ContextCell`].
+//!
+//! Like `ContextCell`, a `ProgramCell` is *working state*, not identity:
+//! clones start empty, all cells compare equal, and it serializes as `null`.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// A `Mutex<Option<T>>` with cache semantics (see the module docs).
+#[derive(Debug)]
+pub(crate) struct ProgramCell<T> {
+    inner: Mutex<Option<T>>,
+}
+
+// Hand-written so the cached program type itself need not be `Default` (an
+// empty cell is the default, whatever `T` is).
+impl<T> Default for ProgramCell<T> {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(None),
+        }
+    }
+}
+
+impl<T> ProgramCell<T> {
+    /// Locks the cell; a poisoning panic mid-update may leave a half-synced
+    /// program behind, so poisoned state is cleared rather than reused.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Option<T>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
+        }
+    }
+
+    /// Direct access when uniquely owned (the `allocate_mut` fast path).
+    pub(crate) fn get_mut(&mut self) -> &mut Option<T> {
+        match self.inner.get_mut() {
+            Ok(slot) => slot,
+            Err(poisoned) => {
+                let slot = poisoned.into_inner();
+                *slot = None;
+                slot
+            }
+        }
+    }
+}
+
+impl<T> Clone for ProgramCell<T> {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl<T> PartialEq for ProgramCell<T> {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl<T> serde::Serialize for ProgramCell<T> {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl<T> serde::Deserialize for ProgramCell<T> {
+    fn deserialize(_value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_starts_empty_and_cells_compare_equal() {
+        let cell: ProgramCell<u32> = ProgramCell::default();
+        *cell.lock() = Some(7);
+        let clone = cell.clone();
+        assert!(clone.lock().is_none());
+        assert_eq!(cell, clone);
+    }
+
+    #[test]
+    fn serializes_as_null_and_deserializes_empty() {
+        let cell: ProgramCell<u32> = ProgramCell::default();
+        *cell.lock() = Some(3);
+        assert_eq!(serde::Serialize::serialize(&cell), serde::Value::Null);
+        let back: ProgramCell<u32> =
+            serde::Deserialize::deserialize(&serde::Value::Null).expect("null round trip");
+        assert!(back.lock().is_none());
+    }
+}

@@ -1,0 +1,615 @@
+//! Sparse LU factorization of a simplex basis with eta-file updates.
+//!
+//! The revised simplex needs `B⁻¹` only through its action on vectors:
+//! `ftran` (solve `B u = a`, pricing directions and `x_B = B⁻¹ b`) and
+//! `btran` (solve `Bᵀ y = c_B`, duals and single rows of `B⁻¹`).  Instead of
+//! maintaining a dense `m × m` inverse — quadratic memory, `O(m²)` per pivot
+//! and `O(m³)` per refactorization — this module keeps:
+//!
+//! * a **sparse LU factorization** of the basis matrix, computed left-looking
+//!   (Gilbert–Peierls): each basis column is solved against the
+//!   already-computed `L` with a heap-ordered sparse triangular solve, then a
+//!   partial pivot is chosen by magnitude.  Columns are processed
+//!   fewest-nonzeros-first, which keeps the (near-triangular, slack-heavy)
+//!   bases produced by the OEF programs almost fill-free;
+//! * an **eta file** (product form of the inverse): a simplex pivot replaces
+//!   one basis column, so `B_new = B_old · E` where `E` is the identity with
+//!   one column swapped for the pivot direction `u = B⁻¹ a_q`.  A pivot
+//!   appends one sparse eta vector — `O(nnz(u))` — and both solves apply the
+//!   eta stack after/before the triangular solves.
+//!
+//! The factorization is rebuilt ("refactorized") only when the eta file grows
+//! past a bound ([`BasisFactor::should_refactorize`]) or the caller detects
+//! numerical drift; see `revised.rs` for the drift residual test.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Row/position index sentinel for "not assigned yet".
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Absolute pivot magnitude below which a basis column is declared
+/// (numerically) singular and the factorization is abandoned.
+const SINGULAR_TOL: f64 = 1e-11;
+
+/// `L` entries smaller than this are dropped: they cannot influence solves
+/// above round-off but would bloat the factor.
+const DROP_TOL: f64 = 1e-300;
+
+/// One product-form update: the basis column at position `pos` was replaced
+/// by a column whose direction `u = B⁻¹ a_q` had pivot element `pivot` and
+/// off-pivot nonzeros `entries`.
+#[derive(Debug, Clone)]
+struct Eta {
+    pos: u32,
+    pivot: f64,
+    /// Off-pivot nonzeros of `u`, in basis-position space.
+    entries: Vec<(u32, f64)>,
+}
+
+/// Monotone counters describing how much factorization work a
+/// [`BasisFactor`] has done over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FactorCounters {
+    /// Sparse LU (re)factorizations performed.
+    pub refactorizations: u64,
+    /// Pivots applied as eta-file appends.
+    pub eta_pivots: u64,
+}
+
+/// Sparse LU factors plus the eta file, with reusable workspace.
+#[derive(Debug, Default)]
+pub(crate) struct BasisFactor {
+    m: usize,
+    /// Per LU position: below-diagonal `L` entries `(original row, multiplier)`.
+    lcols: Vec<Vec<(u32, f64)>>,
+    /// Per LU position `k`: above-diagonal `U[t, k]` entries with `t < k`.
+    ucols: Vec<Vec<(u32, f64)>>,
+    /// `U` diagonal per position.
+    udiag: Vec<f64>,
+    /// Position → original constraint row chosen as pivot.
+    pivot_row_of_pos: Vec<u32>,
+    /// Original constraint row → position (inverse permutation).
+    pos_of_row: Vec<u32>,
+    /// Position → basis position (which column of `B` the position factors).
+    col_of_pos: Vec<u32>,
+    /// Product-form updates since the last refactorization, oldest first.
+    etas: Vec<Eta>,
+    /// Total nonzeros across the eta file (refactorization heuristic).
+    eta_nnz: usize,
+    /// Nonzeros in `L` + `U` after the last refactorization.
+    lu_nnz: usize,
+    /// Eta-count bound that triggers refactorization.
+    pub(crate) max_etas: usize,
+    // --- reusable workspace ---
+    work: Vec<f64>,
+    zpos: Vec<f64>,
+    cwork: Vec<f64>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<u32>>,
+    stamp: Vec<u32>,
+    stamp_epoch: u32,
+    colorder: Vec<u32>,
+    counters: FactorCounters,
+}
+
+/// Default bound on the eta-file length before a refactorization is forced.
+pub(crate) const DEFAULT_MAX_ETAS: usize = 64;
+
+impl BasisFactor {
+    /// Lifetime counters (monotone; never reset).
+    pub(crate) fn counters(&self) -> FactorCounters {
+        self.counters
+    }
+
+    /// Number of eta vectors accumulated since the last refactorization.
+    #[cfg(test)]
+    pub(crate) fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Whether the eta file has grown past its bound — the caller should
+    /// refactorize before the next solve with this factor.  The bound is both
+    /// a count (`max_etas`) and a mass test: once the eta nonzeros outweigh
+    /// the LU factors themselves, applying the stack costs more than
+    /// refactorizing away.
+    pub(crate) fn should_refactorize(&self) -> bool {
+        let max_etas = if self.max_etas == 0 {
+            DEFAULT_MAX_ETAS
+        } else {
+            self.max_etas
+        };
+        self.etas.len() >= max_etas || self.eta_nnz > 2 * (self.lu_nnz + self.m)
+    }
+
+    /// Sparse LU factorization of the basis described by `basis` over the
+    /// standard-form `columns` (sparse by column).  Returns `false` when the
+    /// basis is structurally or numerically singular; the factor is then
+    /// unusable and the caller must fall back.
+    pub(crate) fn refactorize(&mut self, columns: &[Vec<(usize, f64)>], basis: &[usize]) -> bool {
+        let m = basis.len();
+        self.m = m;
+        self.etas.clear();
+        self.eta_nnz = 0;
+        self.lcols.resize_with(m, Vec::new);
+        self.ucols.resize_with(m, Vec::new);
+        self.udiag.resize(m, 0.0);
+        self.pivot_row_of_pos.clear();
+        self.pivot_row_of_pos.resize(m, UNASSIGNED);
+        self.pos_of_row.clear();
+        self.pos_of_row.resize(m, UNASSIGNED);
+        self.col_of_pos.clear();
+        self.col_of_pos.resize(m, 0);
+        self.work.clear();
+        self.work.resize(m, 0.0);
+        self.stamp.clear();
+        self.stamp.resize(m, 0);
+        self.stamp_epoch = 0;
+        self.heap.clear();
+        self.counters.refactorizations += 1;
+
+        for &col in basis {
+            if col >= columns.len() {
+                return false;
+            }
+        }
+
+        // Fewest-nonzeros-first column order: slack/artificial singletons
+        // factor first without fill, an approximate Markowitz ordering that
+        // keeps the bump (the genuinely coupled structural columns) small.
+        self.colorder.clear();
+        self.colorder.extend(0..m as u32);
+        self.colorder
+            .sort_by_key(|&j| columns[basis[j as usize]].len());
+
+        self.lu_nnz = 0;
+        for k in 0..m {
+            let bcol = self.colorder[k];
+            self.col_of_pos[k] = bcol;
+            if !self.factor_column(columns, basis[bcol as usize], k) {
+                // Leave the factor marked unusable for good measure.
+                self.pivot_row_of_pos[k] = UNASSIGNED;
+                return false;
+            }
+            self.lu_nnz += self.lcols[k].len() + self.ucols[k].len() + 1;
+        }
+        true
+    }
+
+    /// Factors one basis column into LU position `k`: sparse lower-triangular
+    /// solve against the first `k` positions, then partial pivoting by
+    /// magnitude among still-unassigned rows.
+    fn factor_column(&mut self, columns: &[Vec<(usize, f64)>], col: usize, k: usize) -> bool {
+        self.touched.clear();
+        self.heap.clear();
+        self.stamp_epoch = self.stamp_epoch.wrapping_add(1);
+        if self.stamp_epoch == 0 {
+            // Wrapped: clear stale marks so no position looks freshly stamped.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp_epoch = 1;
+        }
+        let epoch = self.stamp_epoch;
+
+        for &(row, val) in &columns[col] {
+            if val == 0.0 {
+                continue;
+            }
+            if self.work[row] == 0.0 {
+                self.touched.push(row as u32);
+            }
+            self.work[row] += val;
+            let pos = self.pos_of_row[row];
+            if pos != UNASSIGNED && self.stamp[pos as usize] != epoch {
+                self.heap.push(Reverse(pos));
+            }
+        }
+
+        // Topological application of earlier L columns: positions come off
+        // the heap in increasing order, and fill can only push positions
+        // larger than the one being applied (an L column's rows were
+        // unassigned when it was built, so they pivot later).
+        let ucol = &mut self.ucols[k];
+        ucol.clear();
+        while let Some(Reverse(t)) = self.heap.pop() {
+            let t = t as usize;
+            if self.stamp[t] == epoch {
+                continue;
+            }
+            self.stamp[t] = epoch;
+            let pr = self.pivot_row_of_pos[t] as usize;
+            let xt = self.work[pr];
+            if xt == 0.0 {
+                continue;
+            }
+            ucol.push((t as u32, xt));
+            for ei in 0..self.lcols[t].len() {
+                let (r, lval) = self.lcols[t][ei];
+                let r = r as usize;
+                if self.work[r] == 0.0 {
+                    self.touched.push(r as u32);
+                }
+                self.work[r] -= lval * xt;
+                let pos = self.pos_of_row[r];
+                if pos != UNASSIGNED && self.stamp[pos as usize] != epoch {
+                    self.heap.push(Reverse(pos));
+                }
+            }
+        }
+
+        // Partial pivoting: largest magnitude among unassigned rows.
+        let mut pivot_row = UNASSIGNED;
+        let mut pivot_abs = 0.0f64;
+        for &r in &self.touched {
+            if self.pos_of_row[r as usize] == UNASSIGNED {
+                let a = self.work[r as usize].abs();
+                if a > pivot_abs {
+                    pivot_abs = a;
+                    pivot_row = r;
+                }
+            }
+        }
+        if pivot_abs < SINGULAR_TOL {
+            for &r in &self.touched {
+                self.work[r as usize] = 0.0;
+            }
+            return false;
+        }
+
+        let pr = pivot_row as usize;
+        let pivot = self.work[pr];
+        self.udiag[k] = pivot;
+        self.pivot_row_of_pos[k] = pivot_row;
+        self.pos_of_row[pr] = k as u32;
+        let lcol = &mut self.lcols[k];
+        lcol.clear();
+        for &r in &self.touched {
+            let r = r as usize;
+            let v = self.work[r];
+            self.work[r] = 0.0;
+            if r != pr && self.pos_of_row[r] == UNASSIGNED && v.abs() > DROP_TOL {
+                lcol.push((r as u32, v / pivot));
+            }
+        }
+        true
+    }
+
+    /// FTRAN: solves `B u = rhs` (`rhs` indexed by constraint row) and writes
+    /// `u` into `out`, indexed by **basis position** (parallel to the basis
+    /// array / `x_B`).
+    pub(crate) fn ftran(&mut self, rhs: &[f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        debug_assert_eq!(rhs.len(), m);
+        self.work.clear();
+        self.work.extend_from_slice(rhs);
+
+        // L solve, ascending positions (unit diagonal).
+        for t in 0..m {
+            let v = self.work[self.pivot_row_of_pos[t] as usize];
+            if v != 0.0 {
+                for &(r, lval) in &self.lcols[t] {
+                    self.work[r as usize] -= lval * v;
+                }
+            }
+        }
+        // U solve, descending positions (right-looking column form).
+        self.zpos.clear();
+        self.zpos.resize(m, 0.0);
+        for k in (0..m).rev() {
+            let v = self.work[self.pivot_row_of_pos[k] as usize];
+            if v == 0.0 {
+                continue;
+            }
+            let z = v / self.udiag[k];
+            self.zpos[k] = z;
+            for &(t, uval) in &self.ucols[k] {
+                self.work[self.pivot_row_of_pos[t as usize] as usize] -= uval * z;
+            }
+        }
+        // Undo the column permutation into basis-position space.
+        out.clear();
+        out.resize(m, 0.0);
+        for k in 0..m {
+            out[self.col_of_pos[k] as usize] = self.zpos[k];
+        }
+        // Product-form updates, oldest first.
+        for eta in &self.etas {
+            let pos = eta.pos as usize;
+            let vr = out[pos] / eta.pivot;
+            out[pos] = vr;
+            if vr != 0.0 {
+                for &(i, ui) in &eta.entries {
+                    out[i as usize] -= ui * vr;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: solves `Bᵀ y = c` (`c` indexed by basis position) and writes
+    /// `y` into `out`, indexed by **constraint row**.
+    pub(crate) fn btran(&mut self, c: &[f64], out: &mut Vec<f64>) {
+        let m = self.m;
+        debug_assert_eq!(c.len(), m);
+        self.cwork.clear();
+        self.cwork.extend_from_slice(c);
+        // Transposed product-form updates, newest first.
+        for eta in self.etas.iter().rev() {
+            let pos = eta.pos as usize;
+            let mut acc = self.cwork[pos];
+            for &(i, ui) in &eta.entries {
+                acc -= ui * self.cwork[i as usize];
+            }
+            self.cwork[pos] = acc / eta.pivot;
+        }
+        // Column permutation into LU position space.
+        self.zpos.clear();
+        self.zpos.resize(m, 0.0);
+        for k in 0..m {
+            self.zpos[k] = self.cwork[self.col_of_pos[k] as usize];
+        }
+        // Uᵀ solve, ascending positions.
+        for k in 0..m {
+            let mut acc = self.zpos[k];
+            for &(t, uval) in &self.ucols[k] {
+                acc -= uval * self.zpos[t as usize];
+            }
+            self.zpos[k] = acc / self.udiag[k];
+        }
+        // Lᵀ solve, descending positions, straight into row space.
+        out.clear();
+        out.resize(m, 0.0);
+        for k in 0..m {
+            out[self.pivot_row_of_pos[k] as usize] = self.zpos[k];
+        }
+        for t in (0..m).rev() {
+            if self.lcols[t].is_empty() {
+                continue;
+            }
+            let pr = self.pivot_row_of_pos[t] as usize;
+            let mut acc = out[pr];
+            for &(r, lval) in &self.lcols[t] {
+                acc -= lval * out[r as usize];
+            }
+            out[pr] = acc;
+        }
+    }
+
+    /// BTRAN of the unit vector for basis position `pos`: the corresponding
+    /// row of `B⁻¹`, used by the dual ratio test and artificial drive-out.
+    pub(crate) fn btran_unit(&mut self, pos: usize, unit: &mut Vec<f64>, out: &mut Vec<f64>) {
+        unit.clear();
+        unit.resize(self.m, 0.0);
+        unit[pos] = 1.0;
+        // Move `unit` out to appease the borrow checker (btran reads it while
+        // writing `out`), then put the buffer back for reuse.
+        let u = std::mem::take(unit);
+        self.btran(&u, out);
+        *unit = u;
+    }
+
+    /// Records a pivot at basis position `pos` with direction `u = B⁻¹ a_q`
+    /// (basis-position space) as an eta-file append.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the pivot element is nonzero; callers ratio-test
+    /// against a tolerance before pivoting.
+    pub(crate) fn push_eta(&mut self, pos: usize, u: &[f64]) {
+        debug_assert!(u[pos] != 0.0, "eta pivot must be nonzero");
+        let mut entries = Vec::with_capacity(8);
+        for (i, &v) in u.iter().enumerate() {
+            if i != pos && v != 0.0 {
+                entries.push((i as u32, v));
+            }
+        }
+        self.eta_nnz += entries.len() + 1;
+        self.etas.push(Eta {
+            pos: pos as u32,
+            pivot: u[pos],
+            entries,
+        });
+        self.counters.eta_pivots += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference solve of `M z = rhs` via Gaussian elimination.
+    fn dense_solve(m: usize, mat: &[f64], rhs: &[f64]) -> Vec<f64> {
+        let mut a = mat.to_vec();
+        let mut b = rhs.to_vec();
+        for p in 0..m {
+            let mut best = p;
+            for r in p + 1..m {
+                if a[r * m + p].abs() > a[best * m + p].abs() {
+                    best = r;
+                }
+            }
+            assert!(a[best * m + p].abs() > 1e-12, "singular test matrix");
+            if best != p {
+                for c in 0..m {
+                    a.swap(p * m + c, best * m + c);
+                }
+                b.swap(p, best);
+            }
+            let inv = 1.0 / a[p * m + p];
+            for r in 0..m {
+                if r != p {
+                    let f = a[r * m + p] * inv;
+                    if f != 0.0 {
+                        for c in p..m {
+                            a[r * m + c] -= f * a[p * m + c];
+                        }
+                        b[r] -= f * b[p];
+                    }
+                }
+            }
+        }
+        (0..m).map(|i| b[i] / a[i * m + i]).collect()
+    }
+
+    /// Builds sparse columns + dense matrix for a deterministic test basis.
+    fn test_basis(m: usize, seed: u64) -> (Vec<Vec<(usize, f64)>>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut cols = vec![Vec::new(); m];
+        let mut dense = vec![0.0; m * m];
+        for (j, col) in cols.iter_mut().enumerate() {
+            // Strong diagonal plus a couple of off-diagonal entries.
+            let d = 1.0 + next();
+            col.push((j, d));
+            dense[j * m + j] = d;
+            for _ in 0..2 {
+                let r = (next() * m as f64) as usize % m;
+                if r != j && !col.iter().any(|&(rr, _)| rr == r) {
+                    let v = next() - 0.5;
+                    if v.abs() > 1e-3 {
+                        col.push((r, v));
+                        dense[r * m + j] = v;
+                    }
+                }
+            }
+        }
+        (cols, dense)
+    }
+
+    #[test]
+    fn ftran_matches_dense_solve() {
+        for seed in 1..6u64 {
+            let m = 17;
+            let (cols, dense) = test_basis(m, seed);
+            let basis: Vec<usize> = (0..m).collect();
+            let mut f = BasisFactor::default();
+            assert!(f.refactorize(&cols, &basis));
+            let rhs: Vec<f64> = (0..m)
+                .map(|i| (i as f64 * 0.37 + seed as f64).sin())
+                .collect();
+            let mut out = Vec::new();
+            f.ftran(&rhs, &mut out);
+            let want = dense_solve(m, &dense, &rhs);
+            for (a, b) in out.iter().zip(want.iter()) {
+                assert!((a - b).abs() < 1e-9, "ftran mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_matches_dense_transpose_solve() {
+        for seed in 1..6u64 {
+            let m = 13;
+            let (cols, dense) = test_basis(m, seed);
+            // Transpose the dense matrix for the reference solve.
+            let mut denset = vec![0.0; m * m];
+            for r in 0..m {
+                for c in 0..m {
+                    denset[c * m + r] = dense[r * m + c];
+                }
+            }
+            let basis: Vec<usize> = (0..m).collect();
+            let mut f = BasisFactor::default();
+            assert!(f.refactorize(&cols, &basis));
+            let c: Vec<f64> = (0..m)
+                .map(|i| (i as f64 * 0.61 + seed as f64).cos())
+                .collect();
+            let mut out = Vec::new();
+            f.btran(&c, &mut out);
+            let want = dense_solve(m, &denset, &c);
+            for (a, b) in out.iter().zip(want.iter()) {
+                assert!((a - b).abs() < 1e-9, "btran mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eta_updates_track_column_replacement() {
+        let m = 11;
+        let (mut cols, _) = test_basis(m, 3);
+        let basis: Vec<usize> = (0..m).collect();
+        let mut f = BasisFactor::default();
+        assert!(f.refactorize(&cols, &basis));
+
+        // Replace basis position 4 by a new column a_q via an eta update, and
+        // compare against refactorizing the updated basis from scratch.
+        let new_col = vec![(2usize, 0.7), (4usize, 1.9), (8usize, -0.3)];
+        let mut rhs = vec![0.0; m];
+        for &(r, v) in &new_col {
+            rhs[r] = v;
+        }
+        let mut u = Vec::new();
+        f.ftran(&rhs, &mut u);
+        assert!(u[4].abs() > 1e-9);
+        f.push_eta(4, &u);
+        assert_eq!(f.eta_count(), 1);
+
+        cols.push(new_col);
+        let mut basis2 = basis.clone();
+        basis2[4] = m; // the appended column
+        let mut fresh = BasisFactor::default();
+        assert!(fresh.refactorize(&cols, &basis2));
+
+        let probe: Vec<f64> = (0..m).map(|i| (i as f64 * 1.3).sin()).collect();
+        let mut via_eta = Vec::new();
+        let mut via_fresh = Vec::new();
+        f.ftran(&probe, &mut via_eta);
+        fresh.ftran(&probe, &mut via_fresh);
+        for (a, b) in via_eta.iter().zip(via_fresh.iter()) {
+            assert!((a - b).abs() < 1e-9, "eta ftran mismatch: {a} vs {b}");
+        }
+        let mut yb_eta = Vec::new();
+        let mut yb_fresh = Vec::new();
+        f.btran(&probe, &mut yb_eta);
+        fresh.btran(&probe, &mut yb_fresh);
+        for (a, b) in yb_eta.iter().zip(yb_fresh.iter()) {
+            assert!((a - b).abs() < 1e-9, "eta btran mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected() {
+        let m = 4;
+        let mut cols = vec![Vec::new(); m];
+        // Two identical columns → structurally singular.
+        cols[0] = vec![(0, 1.0), (1, 2.0)];
+        cols[1] = vec![(0, 1.0), (1, 2.0)];
+        cols[2] = vec![(2, 1.0)];
+        cols[3] = vec![(3, 1.0)];
+        let basis: Vec<usize> = (0..m).collect();
+        let mut f = BasisFactor::default();
+        assert!(!f.refactorize(&cols, &basis));
+    }
+
+    #[test]
+    fn refactorize_bound_trips_on_eta_growth() {
+        let m = 6;
+        let (cols, _) = test_basis(m, 7);
+        let basis: Vec<usize> = (0..m).collect();
+        let mut f = BasisFactor {
+            max_etas: 4,
+            ..Default::default()
+        };
+        assert!(f.refactorize(&cols, &basis));
+        assert!(!f.should_refactorize());
+        let mut rhs = vec![0.0; m];
+        let mut u = Vec::new();
+        for i in 0..4 {
+            rhs.iter_mut().for_each(|v| *v = 0.0);
+            rhs[i] = 1.0;
+            rhs[(i + 1) % m] = 0.5;
+            f.ftran(&rhs, &mut u);
+            let pos = (0..m)
+                .max_by(|&a, &b| u[a].abs().total_cmp(&u[b].abs()))
+                .unwrap();
+            f.push_eta(pos, &u);
+        }
+        assert!(f.should_refactorize(), "4 etas with max_etas=4 must trip");
+        assert!(f.refactorize(&cols, &basis));
+        assert_eq!(f.eta_count(), 0, "refactorization resets the eta file");
+        assert!(!f.should_refactorize());
+    }
+}

@@ -38,8 +38,13 @@
 //!   every call.  This is the reference oracle: simple, battle-tested by the
 //!   property suite, with no state between calls.
 //! * **Warm / revised** — [`SolverContext::solve`] (and the interior-mutable
-//!   [`ContextCell`] the OEF policies embed) runs the revised simplex with a
-//!   reusable basis inverse and caches the optimal basis between calls.
+//!   [`ContextCell`] the OEF policies embed) runs the revised simplex over a
+//!   sparse LU factorization of the basis with eta-file (product-form)
+//!   updates, and caches the optimal basis between calls.  B⁻¹ is never
+//!   formed: every application is a pair of sparse triangular solves against
+//!   L and U plus a short stack of eta transforms, so a pivot costs an
+//!   eta append instead of an O(m²) inverse update (see the `factor` module
+//!   docs, and `crates/oef-lp/README.md` for the full design).
 //!
 //! A context solve picks its path per call:
 //!
@@ -50,22 +55,37 @@
 //!    if the data perturbation moved the vertex, and finish with primal
 //!    phase 2.  An unchanged problem re-solves in zero pivots; a per-round
 //!    jittered problem typically needs a handful.
-//! 2. On shape change, a singular or unrepairable basis, or an exhausted
-//!    pivot budget, it falls back to a **cold** two-phase revised solve.
-//! 3. If even that hits the iteration limit (numerical trouble), the context
+//! 2. If the shape changed but the problem's churn journal
+//!    ([`Problem::churn_epoch`]) reaches back to the cached basis — a tenant
+//!    joined or left via [`Problem::add_tenant_rows`] /
+//!    [`Problem::remove_tenant_rows`] — the context **repairs across the
+//!    churn**: it remaps every cached basic column through the old→new index
+//!    maps, patches removed rows with their slack or artificial column, and
+//!    proceeds as a warm solve.  One tenant's churn costs a basis repair,
+//!    not a cold solve.
+//! 3. On an unbridgeable shape change, a singular or unrepairable basis, or
+//!    an exhausted pivot budget, it falls back to a **cold** two-phase
+//!    revised solve.
+//! 4. If even that hits the iteration limit (numerical trouble), the context
 //!    defers to the dense reference solver, so `SolverContext::solve` never
 //!    answers worse than `Problem::solve_with`.
+//!
+//! Mid-solve, the factorization refreshes itself ("refactorization") when the
+//! eta file grows past its bound or a periodic residual check detects
+//! numerical drift; [`ContextStats`] counts refactorizations, eta pivots,
+//! repairs and fallbacks so callers can watch the machinery work.
 //!
 //! Mutate a problem between rounds with [`Problem::update_rhs`],
 //! [`Problem::update_objective_coefficient`] and
 //! [`Problem::update_constraint_coefficient`] — these keep the shape (and
 //! therefore warm-startability) intact, with the one caveat that flipping the
-//! sign of a right-hand side changes the effective operator and forces a cold
-//! solve.
+//! sign of a right-hand side changes the effective operator and forces a
+//! repair-or-cold solve.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+mod factor;
 mod problem;
 mod revised;
 mod simplex;

@@ -9,6 +9,14 @@ use crate::simplex::{self, SimplexOptions};
 use crate::solution::Solution;
 use crate::Result;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mints per-process-unique problem lineage ids (see [`Problem::churn_instance`]).
+static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+/// Journal entries older than this are trimmed; a basis cached before the
+/// trimmed horizon simply cold-solves, so the cap only bounds memory.
+const JOURNAL_CAP: usize = 4096;
 
 /// Optimisation direction of a [`Problem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -105,15 +113,58 @@ pub struct Constraint {
     pub name: Option<String>,
 }
 
+/// One shape-changing edit in a problem's churn journal.
+///
+/// `Remove*` indices are recorded in the coordinate space *at removal time*
+/// (exactly the order they were applied), which lets
+/// [`Problem::churn_maps_since`] replay the journal forward without any other
+/// bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+enum ChurnOp {
+    AddVars {
+        count: usize,
+    },
+    AddRows {
+        count: usize,
+    },
+    /// Sorted descending; applied back-to-front.
+    RemoveVars {
+        indices: Vec<usize>,
+    },
+    /// Sorted descending; applied back-to-front.
+    RemoveRows {
+        indices: Vec<usize>,
+    },
+}
+
+/// Old→new index map across journaled churn: `map[old] == None` means the
+/// entity was removed.
+pub(crate) type ChurnMap = Vec<Option<usize>>;
+
 /// A linear program over non-negative variables.
 ///
 /// See the [crate-level documentation](crate) for a worked example.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// # Churn deltas
+///
+/// Shape-changing edits — adding variables or constraints, and the batched
+/// [`Problem::add_tenant_rows`] / [`Problem::remove_tenant_rows`] — are
+/// recorded in an internal *churn journal*.  A [`crate::SolverContext`] whose
+/// cached basis came from an earlier epoch of the **same** problem lineage
+/// uses the journal to remap its basis onto the new shape, so one tenant
+/// joining or leaving costs a short basis repair instead of a cold solve.
+/// The journal never affects semantics; it only widens warm-startability.
+#[derive(Debug, Clone)]
 pub struct Problem {
     sense: Sense,
     variable_names: Vec<String>,
     objective: Vec<f64>,
     constraints: Vec<Constraint>,
+    /// Lineage id: clones share it, deserialized/new problems mint fresh ones.
+    instance: u64,
+    /// Shape edits since `journal_base_epoch`, newest last.
+    journal: Vec<ChurnOp>,
+    journal_base_epoch: u64,
 }
 
 impl Problem {
@@ -124,7 +175,101 @@ impl Problem {
             variable_names: Vec::new(),
             objective: Vec::new(),
             constraints: Vec::new(),
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            journal: Vec::new(),
+            journal_base_epoch: 0,
         }
+    }
+
+    fn record(&mut self, op: ChurnOp) {
+        self.journal.push(op);
+        if self.journal.len() > JOURNAL_CAP {
+            let drop = self.journal.len() - JOURNAL_CAP;
+            self.journal.drain(..drop);
+            self.journal_base_epoch += drop as u64;
+        }
+    }
+
+    /// Per-process-unique id of this problem's edit lineage.  Clones keep the
+    /// id (their journals share a common prefix); deserialized problems mint
+    /// a fresh one, because the journal does not survive the wire.
+    pub fn churn_instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// Number of shape edits applied over this problem's lifetime.  Together
+    /// with [`Problem::churn_instance`] this identifies a point in the edit
+    /// history that a cached basis can be repaired from.
+    pub fn churn_epoch(&self) -> u64 {
+        self.journal_base_epoch + self.journal.len() as u64
+    }
+
+    /// Old→new index maps (variables, rows) bridging the shape edits since
+    /// `epoch`.  `None` when the journal no longer reaches back that far (the
+    /// entries were trimmed, or `epoch` is from a diverged clone's future).
+    /// `map[old] == None` means the entity was removed.
+    pub(crate) fn churn_maps_since(&self, epoch: u64) -> Option<(ChurnMap, ChurnMap)> {
+        if epoch < self.journal_base_epoch || epoch > self.churn_epoch() {
+            return None;
+        }
+        let replay = &self.journal[(epoch - self.journal_base_epoch) as usize..];
+
+        // Reconstruct the counts at `epoch` by undoing the replay suffix.
+        let mut old_n = self.variable_names.len();
+        let mut old_m = self.constraints.len();
+        for op in replay.iter().rev() {
+            match op {
+                ChurnOp::AddVars { count } => old_n = old_n.checked_sub(*count)?,
+                ChurnOp::AddRows { count } => old_m = old_m.checked_sub(*count)?,
+                ChurnOp::RemoveVars { indices } => old_n += indices.len(),
+                ChurnOp::RemoveRows { indices } => old_m += indices.len(),
+            }
+        }
+
+        // Forward replay: `alive_*[current_pos] = old index` (MAX = born later).
+        let mut alive_vars: Vec<usize> = (0..old_n).collect();
+        let mut alive_rows: Vec<usize> = (0..old_m).collect();
+        for op in replay {
+            match op {
+                ChurnOp::AddVars { count } => {
+                    let len = alive_vars.len();
+                    alive_vars.resize(len + count, usize::MAX);
+                }
+                ChurnOp::AddRows { count } => {
+                    let len = alive_rows.len();
+                    alive_rows.resize(len + count, usize::MAX);
+                }
+                ChurnOp::RemoveVars { indices } => {
+                    for &i in indices {
+                        if i >= alive_vars.len() {
+                            return None;
+                        }
+                        alive_vars.remove(i);
+                    }
+                }
+                ChurnOp::RemoveRows { indices } => {
+                    for &i in indices {
+                        if i >= alive_rows.len() {
+                            return None;
+                        }
+                        alive_rows.remove(i);
+                    }
+                }
+            }
+        }
+        let mut var_map = vec![None; old_n];
+        for (cur, &old) in alive_vars.iter().enumerate() {
+            if old != usize::MAX {
+                var_map[old] = Some(cur);
+            }
+        }
+        let mut row_map = vec![None; old_m];
+        for (cur, &old) in alive_rows.iter().enumerate() {
+            if old != usize::MAX {
+                row_map[old] = Some(cur);
+            }
+        }
+        Some((var_map, row_map))
     }
 
     /// Adds a non-negative decision variable with objective coefficient zero.
@@ -132,14 +277,21 @@ impl Problem {
         let idx = self.variable_names.len();
         self.variable_names.push(name.into());
         self.objective.push(0.0);
+        self.record(ChurnOp::AddVars { count: 1 });
         Variable(idx)
     }
 
     /// Adds `count` variables named `prefix_0 .. prefix_{count-1}` and returns their handles.
     pub fn add_variables(&mut self, prefix: &str, count: usize) -> Vec<Variable> {
-        (0..count)
-            .map(|i| self.add_variable(format!("{prefix}_{i}")))
-            .collect()
+        let start = self.variable_names.len();
+        for i in 0..count {
+            self.variable_names.push(format!("{prefix}_{i}"));
+            self.objective.push(0.0);
+        }
+        if count > 0 {
+            self.record(ChurnOp::AddVars { count });
+        }
+        (start..start + count).map(Variable).collect()
     }
 
     /// Sets the objective coefficient of `variable`.
@@ -171,8 +323,9 @@ impl Problem {
     ///
     /// Note that flipping the *sign* of a right-hand side changes the
     /// standard-form layout (rows are normalised to non-negative right-hand
-    /// sides), so it also changes [`Problem::shape_signature`] and forces the
-    /// next context solve to run cold.
+    /// sides), so it also changes [`Problem::shape_signature`]; the next
+    /// context solve then either repairs the basis across the layout change
+    /// (same lineage, see [`Problem::churn_instance`]) or runs cold.
     ///
     /// # Panics
     ///
@@ -256,7 +409,119 @@ impl Problem {
             rhs,
             name,
         });
+        self.record(ChurnOp::AddRows { count: 1 });
         self.constraints.len() - 1
+    }
+
+    /// Batched churn edit: adds `var_count` variables named
+    /// `{var_prefix}_0 ..`, then the constraint rows produced by `rows` (which
+    /// receives the fresh handles).  Returns the new handles and row indices.
+    ///
+    /// This is the *tenant join* primitive: because the edit is journaled, a
+    /// [`crate::SolverContext`] holding a basis from before the join repairs
+    /// it across the shape change instead of cold-solving.
+    pub fn add_tenant_rows<F>(
+        &mut self,
+        var_prefix: &str,
+        var_count: usize,
+        rows: F,
+    ) -> (Vec<Variable>, Vec<usize>)
+    where
+        F: FnOnce(&[Variable]) -> Vec<(LinearExpr, ConstraintOp, f64)>,
+    {
+        let vars = self.add_variables(var_prefix, var_count);
+        let new_rows = rows(&vars);
+        let start = self.constraints.len();
+        let count = new_rows.len();
+        for (expr, op, rhs) in new_rows {
+            self.constraints.push(Constraint {
+                expr,
+                op,
+                rhs,
+                name: None,
+            });
+        }
+        if count > 0 {
+            self.record(ChurnOp::AddRows { count });
+        }
+        (vars, (start..start + count).collect())
+    }
+
+    /// Batched churn edit: removes the given variables and constraint rows in
+    /// one journaled step — the *tenant leave* primitive, the inverse of
+    /// [`Problem::add_tenant_rows`].
+    ///
+    /// Remaining [`Variable`] handles with indices above a removed variable
+    /// are invalidated (indices shift down); callers that keep handles across
+    /// churn should rebuild them from their own tenant bookkeeping, exactly
+    /// like the OEF policies do.  Removed variables also disappear from every
+    /// surviving constraint row.  Duplicate or out-of-range indices are
+    /// ignored.
+    pub fn remove_tenant_rows(&mut self, variables: &[Variable], constraints: &[usize]) {
+        // Rows first, back to front, journaling the applied order.
+        let mut rows: Vec<usize> = constraints
+            .iter()
+            .copied()
+            .filter(|&i| i < self.constraints.len())
+            .collect();
+        rows.sort_unstable_by(|a, b| b.cmp(a));
+        rows.dedup();
+        if !rows.is_empty() {
+            for &i in &rows {
+                self.constraints.remove(i);
+            }
+            self.record(ChurnOp::RemoveRows { indices: rows });
+        }
+
+        let mut vars: Vec<usize> = variables
+            .iter()
+            .map(|v| v.0)
+            .filter(|&i| i < self.variable_names.len())
+            .collect();
+        vars.sort_unstable_by(|a, b| b.cmp(a));
+        vars.dedup();
+        if vars.is_empty() {
+            return;
+        }
+        for &i in &vars {
+            self.variable_names.remove(i);
+            self.objective.remove(i);
+        }
+        // Old variable index -> new index (or MAX for removed), then rewrite
+        // every constraint row once.
+        let old_n = self.variable_names.len() + vars.len();
+        let mut shift = vec![0usize; old_n];
+        for &i in &vars {
+            shift[i] = usize::MAX;
+        }
+        let mut next = 0usize;
+        for slot in shift.iter_mut() {
+            if *slot != usize::MAX {
+                *slot = next;
+                next += 1;
+            }
+        }
+        for c in &mut self.constraints {
+            c.expr.terms.retain_mut(|(v, _)| {
+                let mapped = shift.get(v.0).copied().unwrap_or(usize::MAX);
+                if mapped == usize::MAX {
+                    false
+                } else {
+                    v.0 = mapped;
+                    true
+                }
+            });
+        }
+        self.record(ChurnOp::RemoveVars { indices: vars });
+    }
+
+    /// Handle for the variable at `index`, when it exists.
+    ///
+    /// Useful for callers that maintain an arithmetic layout over the
+    /// variable space (e.g. tenant-major blocks) across churn edits, where
+    /// stored handles are invalidated by removals but positions are not.
+    pub fn variable(&self, index: usize) -> Option<Variable> {
+        (index < self.variable_names.len()).then_some(Variable(index))
     }
 
     /// Number of decision variables.
@@ -349,6 +614,46 @@ impl Problem {
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution> {
         self.validate()?;
         simplex::solve(self, options)
+    }
+}
+
+/// Hand-written (rather than derived) to keep the wire format exactly the
+/// pre-churn-journal `{sense, variable_names, objective, constraints}`: the
+/// journal and lineage id are process-local warm-start hints, meaningless on
+/// another process's clock, so they are not serialized.
+impl Serialize for Problem {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("sense".to_string(), self.sense.serialize()),
+            (
+                "variable_names".to_string(),
+                self.variable_names.serialize(),
+            ),
+            ("objective".to_string(), self.objective.serialize()),
+            ("constraints".to_string(), self.constraints.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Problem {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for Problem"))?;
+        Ok(Self {
+            sense: Sense::deserialize(serde::get_field(fields, "sense")?)?,
+            variable_names: Vec::<String>::deserialize(serde::get_field(
+                fields,
+                "variable_names",
+            )?)?,
+            objective: Vec::<f64>::deserialize(serde::get_field(fields, "objective")?)?,
+            constraints: Vec::<Constraint>::deserialize(serde::get_field(fields, "constraints")?)?,
+            // A deserialized problem starts a fresh lineage: its journal did
+            // not travel with it, so no cached basis can claim kinship.
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
+            journal: Vec::new(),
+            journal_base_epoch: 0,
+        })
     }
 }
 
@@ -449,5 +754,81 @@ mod tests {
         let back: Problem = serde_json::from_str(&json).unwrap();
         assert_eq!(back.num_variables(), 1);
         assert_eq!(back.constraints()[0].rhs, 5.0);
+    }
+
+    #[test]
+    fn churn_maps_bridge_a_join_and_a_leave() {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars = p.add_variables("x", 3);
+        for v in &vars {
+            p.set_objective_coefficient(*v, 1.0);
+            p.add_constraint(&[(*v, 1.0)], ConstraintOp::Le, 2.0);
+        }
+        let epoch = p.churn_epoch();
+
+        // One tenant joins (two vars, one row), then the middle original
+        // variable and its row leave.
+        let (joined, _) = p.add_tenant_rows("y", 2, |vs| {
+            let expr: LinearExpr = vs.iter().map(|v| (*v, 1.0)).collect();
+            vec![(expr, ConstraintOp::Le, 1.0)]
+        });
+        p.remove_tenant_rows(&[vars[1]], &[1]);
+
+        let (var_map, row_map) = p
+            .churn_maps_since(epoch)
+            .expect("journal reaches the cached epoch");
+        // Old vars: x0, x1, x2 — x1 removed, x2 shifts down one.
+        assert_eq!(var_map[0], Some(0));
+        assert_eq!(var_map[1], None);
+        assert_eq!(var_map[2], Some(1));
+        // Old rows: three Le rows — row 1 removed, row 2 shifts down one.
+        assert_eq!(row_map[0], Some(0));
+        assert_eq!(row_map[1], None);
+        assert_eq!(row_map[2], Some(1));
+        // The joined block survives at the tail of the new index space —
+        // shifted down one, which is exactly why stored handles (like
+        // `joined`) are documented as invalidated across a removal.
+        assert_eq!(p.num_variables(), 4);
+        assert_eq!(joined[0], Variable(3));
+        assert_eq!(p.variable_name(p.variable(2).unwrap()), "y_0");
+        // An epoch from before the tracked history (same instance, future
+        // epoch) yields no bridge.
+        assert!(p.churn_maps_since(p.churn_epoch() + 1).is_none());
+    }
+
+    #[test]
+    fn churn_journal_trims_and_forgets_ancient_epochs() {
+        let mut p = Problem::new(Sense::Maximize);
+        p.add_variable("x");
+        let epoch = p.churn_epoch();
+        assert!(p.churn_maps_since(epoch).is_some());
+        // Push the journal far past its cap: the oldest entries are trimmed,
+        // so the original epoch is no longer bridgeable — a context holding
+        // that basis must fall back to a cold solve, not a wrong repair.
+        for _ in 0..5000 {
+            p.add_variable("pad");
+        }
+        assert!(p.churn_maps_since(epoch).is_none());
+        assert!(p.churn_maps_since(p.churn_epoch()).is_some());
+    }
+
+    #[test]
+    fn remove_tenant_rows_rewrites_surviving_rows() {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars = p.add_variables("x", 3);
+        p.add_constraint(
+            &[(vars[0], 1.0), (vars[1], 2.0), (vars[2], 3.0)],
+            ConstraintOp::Le,
+            4.0,
+        );
+        p.remove_tenant_rows(&[vars[1]], &[]);
+        // The removed variable's term disappears; the survivor's handle is
+        // re-pointed at the shifted index.
+        let terms: Vec<_> = p.constraints()[0].expr.terms().collect();
+        assert_eq!(terms.len(), 2);
+        assert_eq!(terms[0], (Variable(0), 1.0));
+        assert_eq!(terms[1], (Variable(1), 3.0));
+        assert_eq!(p.num_variables(), 2);
+        assert_eq!(p.variable_name(Variable(1)), "x_2");
     }
 }

@@ -47,6 +47,12 @@ pub struct SolverStats {
     /// Whether the solve started from a cached basis (always `false` for the
     /// dense reference solver; see [`crate::SolverContext`]).
     pub warm_start: bool,
+    /// Sparse LU refactorizations performed during this solve (always 0 for
+    /// the dense reference solver, at least 1 for any revised solve).
+    pub refactorizations: usize,
+    /// Pivots applied as eta-file updates during this solve (0 for the dense
+    /// reference solver, which carries a fully pivoted tableau instead).
+    pub eta_pivots: usize,
 }
 
 /// The standard-form tableau plus bookkeeping.
@@ -132,6 +138,8 @@ pub(crate) fn solve(problem: &Problem, options: &SimplexOptions) -> Result<Solut
         rows: tableau.rows,
         columns: tableau.cols,
         warm_start: false,
+        refactorizations: 0,
+        eta_pivots: 0,
     };
     Ok(Solution::new(values, objective_value, stats))
 }

@@ -1,0 +1,198 @@
+//! Property-based agreement tests across *churn-delta* sequences: random
+//! tenant joins ([`Problem::add_tenant_rows`]) and leaves
+//! ([`Problem::remove_tenant_rows`]) interleaved with coefficient
+//! perturbations, solved after every edit through one shared
+//! [`SolverContext`].
+//!
+//! Three solutions must agree (objectives within 1e-6) at every step:
+//!
+//! 1. the context solve, which may serve the step warm by remapping the
+//!    cached basis across the journaled shape edit;
+//! 2. the dense two-phase reference on the *churned* problem — same
+//!    `Problem` value, no cache, catches solver bugs;
+//! 3. the dense reference on a problem rebuilt from scratch out of the
+//!    abstract model — catches *edit* bugs, where `remove_tenant_rows`
+//!    leaves a stale term or shifts an index wrong and both solvers above
+//!    faithfully solve the corrupted program.
+
+use oef_lp::{ConstraintOp, LinearExpr, Problem, Sense, SolverContext, Variable};
+use proptest::prelude::*;
+
+/// One tenant block: `k` objective coefficients plus a budget row
+/// `sum_j x[t][j] <= budget`.
+#[derive(Debug, Clone)]
+struct TenantBlock {
+    coeffs: Vec<f64>,
+    budget: f64,
+}
+
+/// The abstract program: shared capacity rows `sum_t x[t][j] <= cap[j]`
+/// (always rows `0..k`), one budget row per tenant.  Feasible (x = 0) and
+/// bounded (budgets cap every variable) by construction, so every step must
+/// solve to optimality.
+#[derive(Debug, Clone)]
+struct Model {
+    caps: Vec<f64>,
+    tenants: Vec<TenantBlock>,
+}
+
+#[derive(Debug, Clone)]
+enum ChurnStep {
+    /// A tenant joins with the given coefficients and budget.
+    Join(TenantBlock),
+    /// Tenant `index % len` leaves (skipped when only one tenant remains).
+    Leave(usize),
+    /// Scale one tenant's objective coefficients — a non-shape edit riding
+    /// between the shape edits, as speedup refreshes do in the policies.
+    Scale(usize, f64),
+}
+
+fn tenant(k: usize) -> impl Strategy<Value = TenantBlock> {
+    (proptest::collection::vec(0.1..5.0f64, k), 0.5..4.0f64)
+        .prop_map(|(coeffs, budget)| TenantBlock { coeffs, budget })
+}
+
+fn model(k: usize) -> impl Strategy<Value = Model> {
+    (
+        proptest::collection::vec(2.0..8.0f64, k),
+        proptest::collection::vec(tenant(k), 2..=4),
+    )
+        .prop_map(|(caps, tenants)| Model { caps, tenants })
+}
+
+fn churn_steps(k: usize, steps: usize) -> impl Strategy<Value = Vec<ChurnStep>> {
+    proptest::collection::vec(
+        (0usize..4, tenant(k), 0usize..8, 0.5..1.8f64).prop_map(|(kind, block, index, factor)| {
+            match kind {
+                0 | 1 => ChurnStep::Join(block),
+                2 => ChurnStep::Leave(index),
+                _ => ChurnStep::Scale(index, factor),
+            }
+        }),
+        steps,
+    )
+}
+
+/// Tenant `slot`'s variable handles under the tenant-major layout: every
+/// block holds exactly `k` variables, so positions are arithmetic even
+/// though stored handles are invalidated by removals.
+fn block_vars(p: &Problem, slot: usize, k: usize) -> Vec<Variable> {
+    (slot * k..(slot + 1) * k)
+        .map(|i| p.variable(i).expect("block variable in range"))
+        .collect()
+}
+
+/// Appends one tenant block to the live problem: `k` fresh variables, their
+/// budget row, and their terms in the capacity rows `0..k`.
+fn join(p: &mut Problem, block: &TenantBlock) -> usize {
+    let budget = block.budget;
+    let (vars, rows) = p.add_tenant_rows("t", block.coeffs.len(), |vars| {
+        let mut expr = LinearExpr::new();
+        for v in vars {
+            expr.add_term(*v, 1.0);
+        }
+        vec![(expr, ConstraintOp::Le, budget)]
+    });
+    for (j, v) in vars.iter().enumerate() {
+        p.set_objective_coefficient(*v, block.coeffs[j]);
+        p.update_constraint_coefficient(j, *v, 1.0);
+    }
+    rows[0]
+}
+
+/// Builds the live problem plus the per-tenant budget-row bookkeeping.
+fn build(model: &Model) -> (Problem, Vec<usize>) {
+    let mut p = Problem::new(Sense::Maximize);
+    // Capacity rows first (empty; join() fills in each tenant's terms), so
+    // they keep indices 0..k across all churn.
+    for cap in &model.caps {
+        p.add_constraint(&[], ConstraintOp::Le, *cap);
+    }
+    let rows = model.tenants.iter().map(|t| join(&mut p, t)).collect();
+    (p, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn context_agrees_with_dense_across_churn_sequences(
+        model in (2usize..=3).prop_flat_map(model),
+        steps in (2usize..=3).prop_flat_map(|k| churn_steps(k, 6)),
+    ) {
+        let k = model.caps.len();
+        let mut model = model;
+        let (mut p, mut tenant_rows) = build(&model);
+        let mut ctx = SolverContext::new();
+
+        for (step_idx, step) in std::iter::once(None).chain(steps.iter().map(Some)).enumerate() {
+            match step {
+                None => {}
+                Some(ChurnStep::Join(block)) => {
+                    // Steps are drawn for a fixed arity; resize the block to
+                    // this model's k so narrower draws still exercise joins.
+                    let mut block = block.clone();
+                    block.coeffs.resize(k, 1.0);
+                    tenant_rows.push(join(&mut p, &block));
+                    model.tenants.push(block);
+                }
+                // A departure that would empty the cluster degrades to a
+                // no-op step — the step still solves, keeping the counter
+                // accounting below exact.
+                Some(ChurnStep::Leave(index)) if model.tenants.len() > 1 => {
+                    let slot = index % model.tenants.len();
+                    let vars = block_vars(&p, slot, k);
+                    let row = tenant_rows[slot];
+                    p.remove_tenant_rows(&vars, &[row]);
+                    model.tenants.remove(slot);
+                    tenant_rows.remove(slot);
+                    for r in tenant_rows.iter_mut() {
+                        if *r > row {
+                            *r -= 1;
+                        }
+                    }
+                }
+                Some(ChurnStep::Leave(_)) => {}
+                Some(ChurnStep::Scale(index, factor)) => {
+                    let slot = index % model.tenants.len();
+                    let vars = block_vars(&p, slot, k);
+                    for (j, v) in vars.iter().enumerate() {
+                        model.tenants[slot].coeffs[j] *= factor;
+                        p.update_objective_coefficient(*v, model.tenants[slot].coeffs[j]);
+                    }
+                }
+            }
+
+            let warm = ctx.solve(&p).map_err(|e| {
+                TestCaseError::fail(format!("step {step_idx}: context solve failed: {e:?}"))
+            })?;
+            let dense = p.solve().map_err(|e| {
+                TestCaseError::fail(format!("step {step_idx}: dense solve failed: {e:?}"))
+            })?;
+            let (rebuilt, _) = build(&model);
+            let oracle = rebuilt.solve().map_err(|e| {
+                TestCaseError::fail(format!("step {step_idx}: rebuilt solve failed: {e:?}"))
+            })?;
+
+            let scale = 1.0 + oracle.objective_value().abs();
+            prop_assert!(
+                (warm.objective_value() - dense.objective_value()).abs() < 1e-6 * scale,
+                "step {step_idx}: context {} vs dense-on-churned {}",
+                warm.objective_value(),
+                dense.objective_value()
+            );
+            prop_assert!(
+                (dense.objective_value() - oracle.objective_value()).abs() < 1e-6 * scale,
+                "step {step_idx}: churn edits corrupted the program — churned {} vs rebuilt {}",
+                dense.objective_value(),
+                oracle.objective_value()
+            );
+        }
+
+        // Counter sanity: every solve is accounted warm or cold, and churn
+        // repairs never exceed the warm total they are a subset of.
+        let stats = ctx.stats();
+        prop_assert_eq!(stats.warm_solves + stats.cold_solves, 1 + steps.len() as u64);
+        prop_assert!(stats.churn_repairs <= stats.warm_solves);
+    }
+}

@@ -48,6 +48,6 @@ mod registry;
 pub use http::MetricsServer;
 pub use parse::{parse, Exposition, MetricFamily, MetricKind, ParseError, Sample};
 pub use registry::{
-    escape_help, escape_label_value, fmt_value, Counter, Gauge, GaugeFamily, Histogram, Labels,
-    Registry, DEFAULT_LATENCY_BUCKETS,
+    escape_help, escape_label_value, fmt_value, AgeGauge, Counter, Gauge, GaugeFamily, Histogram,
+    Labels, Registry, DEFAULT_LATENCY_BUCKETS,
 };

@@ -14,6 +14,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A fully-qualified label set (`name`, `value`) pairs in render order.
 pub type Labels = Vec<(String, String)>;
@@ -213,6 +214,52 @@ impl Default for Histogram {
     }
 }
 
+/// A freshness gauge: the producer stamps it ([`AgeGauge::touch`]) whenever
+/// it does its periodic work, and every scrape renders *seconds since the
+/// last stamp* — computed at render time, so the value keeps climbing while
+/// the producer is stalled.  A plain [`Gauge`] holding "age at sample time"
+/// cannot do this: a dead sampler freezes the gauge at whatever small value
+/// it last wrote, which is exactly the failure the gauge exists to expose.
+///
+/// A fresh handle counts from its creation, so a worker that never produces
+/// a single sample is just as visible as one that died mid-flight.
+#[derive(Clone, Debug)]
+pub struct AgeGauge {
+    anchor: Arc<Instant>,
+    /// Seconds after `anchor` of the most recent `touch`, as `f64` bits.
+    stamp_bits: Arc<AtomicU64>,
+}
+
+impl AgeGauge {
+    /// Creates a gauge stamped "now", not yet attached to any registry.
+    pub fn new() -> Self {
+        Self {
+            anchor: Arc::new(Instant::now()),
+            stamp_bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Marks the producer as alive right now.
+    pub fn touch(&self) {
+        self.stamp_bits.store(
+            self.anchor.elapsed().as_secs_f64().to_bits(),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Seconds since the most recent [`Self::touch`] (or creation).
+    pub fn age_seconds(&self) -> f64 {
+        let stamp = f64::from_bits(self.stamp_bits.load(Ordering::Relaxed));
+        (self.anchor.elapsed().as_secs_f64() - stamp).max(0.0)
+    }
+}
+
+impl Default for AgeGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A gauge family whose label sets change over time (e.g. one series per
 /// live tenant): the sampler replaces the entire set each tick, so series
 /// for departed tenants disappear instead of going stale.
@@ -247,6 +294,7 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 enum Series {
     Counter(Labels, Counter),
     Gauge(Labels, Gauge),
+    Age(Labels, AgeGauge),
     Histogram(Labels, Histogram),
     GaugeSet(Labels, GaugeFamily),
 }
@@ -307,6 +355,25 @@ impl Registry {
         let gauge = Gauge::new();
         self.register_gauge(name, help, labels, &gauge);
         gauge
+    }
+
+    /// Registers (or re-registers) `age` under `name{labels}` — rendered as
+    /// a gauge whose value is recomputed at scrape time (see [`AgeGauge`]).
+    pub fn register_age_gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        age: &AgeGauge,
+    ) {
+        self.register(name, help, "gauge", labels, |l| Series::Age(l, age.clone()));
+    }
+
+    /// Creates and registers an [`AgeGauge`] in one step.
+    pub fn age_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> AgeGauge {
+        let age = AgeGauge::new();
+        self.register_age_gauge(name, help, labels, &age);
+        age
     }
 
     /// Registers (or re-registers) `histogram` under `name{labels}`.
@@ -389,6 +456,7 @@ impl Registry {
         let same_identity = |existing: &Series| match (existing, &series) {
             (Series::Counter(a, _), Series::Counter(b, _))
             | (Series::Gauge(a, _), Series::Gauge(b, _))
+            | (Series::Age(a, _), Series::Age(b, _))
             | (Series::Histogram(a, _), Series::Histogram(b, _))
             | (Series::GaugeSet(a, _), Series::GaugeSet(b, _)) => a == b,
             _ => false,
@@ -426,6 +494,14 @@ impl Registry {
                             family.name,
                             render_labels(labels),
                             fmt_value(gauge.value())
+                        ));
+                    }
+                    Series::Age(labels, age) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(labels),
+                            fmt_value(age.age_seconds())
                         ));
                     }
                     Series::GaugeSet(base, set) => {
@@ -580,6 +656,27 @@ mod tests {
         assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
         // Empty histogram quantiles are zero.
         assert_eq!(Histogram::new(&[1.0]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn age_gauge_climbs_until_touched_and_renders_at_scrape_time() {
+        let registry = Registry::new();
+        let age = registry.age_gauge("oef_sample_age_seconds", "Sample age.", &[("shard", "0")]);
+        // Freshly created: age is near zero but non-negative.
+        assert!(age.age_seconds() >= 0.0);
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let grown = age.age_seconds();
+        assert!(grown >= 0.010, "age must climb while untouched: {grown}");
+        age.touch();
+        assert!(age.age_seconds() < grown, "touch must reset the age");
+        // The rendered value is the render-time age, not a stored sample.
+        let text = registry.render();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("oef_sample_age_seconds{"))
+            .expect("age series");
+        let value: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((0.0..10.0).contains(&value), "unexpected age {value}");
     }
 
     #[test]

@@ -191,6 +191,14 @@ pub struct MetricsReport {
     pub cold_solves: u64,
     /// Cold solves that additionally fell back to the dense reference solver.
     pub dense_fallbacks: u64,
+    /// Warm solves that needed dual-simplex repair pivots before phase 2.
+    pub basis_repairs: u64,
+    /// Warm solves served by remapping a cached basis across tenant churn.
+    pub churn_repairs: u64,
+    /// Sparse LU refactorizations (eta-file resets) across all solves.
+    pub refactorizations: u64,
+    /// Simplex pivots applied as eta-file updates rather than refactorizing.
+    pub eta_pivots: u64,
     /// `warm_solves / (warm_solves + cold_solves)`, 0 when no solve ran.
     pub warm_hit_rate: f64,
     /// Median per-round solve latency over the recent-latency window, seconds.
@@ -573,6 +581,10 @@ mod tests {
                     warm_solves: 39,
                     cold_solves: 1,
                     dense_fallbacks: 0,
+                    basis_repairs: 5,
+                    churn_repairs: 2,
+                    refactorizations: 6,
+                    eta_pivots: 310,
                     warm_hit_rate: 0.975,
                     solve_p50_secs: 0.012,
                     solve_p99_secs: 0.050,

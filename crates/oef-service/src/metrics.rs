@@ -117,21 +117,28 @@ impl ServiceMetrics {
         );
     }
 
-    /// Registers the per-shard solve series (`{shard=\"N\"}`): the
-    /// solve-latency histogram, last-solve gauge, and round/job counters.
-    pub fn register_shard(&self, registry: &Registry, shard: usize) {
+    /// Registers the per-shard solve series: the solve-latency histogram and
+    /// last-solve gauge carry `{shard, policy, program}` (so dashboards can
+    /// split cooperative from non-cooperative programs without joins), the
+    /// round/job counters carry `{shard}` alone.
+    pub fn register_shard(&self, registry: &Registry, shard: usize, policy: &str, program: &str) {
         let shard = shard.to_string();
+        let solve_labels = [
+            ("shard", shard.as_str()),
+            ("policy", policy),
+            ("program", program),
+        ];
         let labels = [("shard", shard.as_str())];
         registry.register_histogram(
             "oef_solve_duration_seconds",
             "LP solve wall-clock time per scheduling round.",
-            &labels,
+            &solve_labels,
             &self.solve_hist,
         );
         registry.register_gauge(
             "oef_solve_last_seconds",
             "Latency of the most recent solve.",
-            &labels,
+            &solve_labels,
             &self.last_solve,
         );
         registry.register_counter(
@@ -208,7 +215,7 @@ mod tests {
         let registry = Registry::new();
         let mut m = ServiceMetrics::new();
         m.register_front(&registry);
-        m.register_shard(&registry, 3);
+        m.register_shard(&registry, 3, "oef-cooperative", "cooperative");
         m.record_command(true);
         m.record_round(0.02);
         m.record_jobs_completed(4);
@@ -225,9 +232,19 @@ mod tests {
             exposition.value("oef_jobs_completed_total", &[("shard", "3")]),
             Some(4.0)
         );
+        // The solve series carry the policy/program split.
+        let solve_labels = [
+            ("shard", "3"),
+            ("policy", "oef-cooperative"),
+            ("program", "cooperative"),
+        ];
         assert_eq!(
-            exposition.value("oef_solve_duration_seconds_count", &[("shard", "3")]),
+            exposition.value("oef_solve_duration_seconds_count", &solve_labels),
             Some(1.0)
+        );
+        assert_eq!(
+            exposition.value("oef_solve_last_seconds", &solve_labels),
+            Some(0.02)
         );
     }
 }

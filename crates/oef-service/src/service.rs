@@ -16,7 +16,7 @@ use crate::server::CommandHandler;
 use crate::snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
 use oef_cluster::{ClusterState, ClusterTopology, GpuType, HostHandle, Job, JobId, Tenant};
 use oef_core::{BoxedPolicy, SpeedupVector, TenantIndexMap};
-use oef_obs::{Counter, Gauge, GaugeFamily, Registry};
+use oef_obs::{AgeGauge, Counter, Gauge, GaugeFamily, Registry};
 use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
 use oef_sim::{RoundRecord, SimulationConfig, SimulationEngine};
 use serde::{Deserialize, Serialize};
@@ -113,6 +113,18 @@ pub fn policy_from_name(name: &str) -> Option<BoxedPolicy> {
     }
 }
 
+/// The LP program family a policy solves — the `program` label on the solve
+/// series, so dashboards can compare the envy-constrained cooperative program
+/// against the equal-efficiency non-cooperative one across shards that run
+/// different policies.  Baselines that solve no OEF program report `none`.
+pub fn program_of_policy(name: &str) -> &'static str {
+    match name {
+        "oef-cooperative" => "cooperative",
+        "oef-noncooperative" => "non-cooperative",
+        _ => "none",
+    }
+}
+
 /// A tenant's complete portable state, as pulled out of one scheduler shard
 /// by [`SchedulerService::extract_tenant`] and pushed into another by
 /// [`SchedulerService::install_tenant`].
@@ -154,10 +166,16 @@ struct ShardObs {
     warm_solves: Counter,
     cold_solves: Counter,
     dense_fallbacks: Counter,
+    basis_repairs: Counter,
+    churn_repairs: Counter,
+    refactorizations: Counter,
+    drift_refactorizations: Counter,
+    eta_pivots: Counter,
     tenants: Gauge,
     hosts: Gauge,
     max_envy: Gauge,
     sharing_incentive: Gauge,
+    fairness_sample_age: AgeGauge,
     allocation: GaugeFamily,
     entitlement: GaugeFamily,
 }
@@ -410,7 +428,12 @@ impl SchedulerService {
     /// `Restore` rebuilt a shard) replaces the registry's handles with the
     /// new cells instead of duplicating series.
     pub fn attach_shard_observability(&mut self, registry: &Registry, shard: usize) {
-        self.metrics.register_shard(registry, shard);
+        self.metrics.register_shard(
+            registry,
+            shard,
+            &self.config.policy,
+            program_of_policy(&self.config.policy),
+        );
         let shard = shard.to_string();
         let labels = [("shard", shard.as_str())];
         let obs = ShardObs {
@@ -429,6 +452,31 @@ impl SchedulerService {
                 "Cold solves that additionally fell back to the dense reference solver.",
                 &labels,
             ),
+            basis_repairs: registry.counter(
+                "oef_basis_repairs_total",
+                "Warm solves that needed dual-simplex repair pivots before phase 2.",
+                &labels,
+            ),
+            churn_repairs: registry.counter(
+                "oef_churn_repairs_total",
+                "Warm solves served by remapping a cached basis across tenant churn.",
+                &labels,
+            ),
+            refactorizations: registry.counter(
+                "oef_refactorizations_total",
+                "Sparse LU refactorizations (eta-file resets) across all solves.",
+                &labels,
+            ),
+            drift_refactorizations: registry.counter(
+                "oef_drift_refactorizations_total",
+                "Refactorizations forced by numerical drift rather than eta growth.",
+                &labels,
+            ),
+            eta_pivots: registry.counter(
+                "oef_eta_pivots_total",
+                "Simplex pivots applied as eta-file updates to the sparse LU factors.",
+                &labels,
+            ),
             tenants: registry.gauge("oef_tenants", "Registered tenants.", &labels),
             hosts: registry.gauge("oef_hosts", "Hosts in the topology.", &labels),
             max_envy: registry.gauge(
@@ -440,6 +488,12 @@ impl SchedulerService {
                 "oef_sharing_incentive",
                 "1 when every tenant in the last solved round met its weighted entitlement \
                  (within tolerance), else 0.",
+                &labels,
+            ),
+            fairness_sample_age: registry.age_gauge(
+                "oef_fairness_sample_age_seconds",
+                "Seconds since the fairness-SLO series were last sampled from a solved \
+                 round; climbs while the tick worker is stalled.",
                 &labels,
             ),
             allocation: registry.gauge_family(
@@ -477,6 +531,11 @@ impl SchedulerService {
                 obs.warm_solves.set(stats.warm_solves);
                 obs.cold_solves.set(stats.cold_solves);
                 obs.dense_fallbacks.set(stats.dense_fallbacks);
+                obs.basis_repairs.set(stats.basis_repairs);
+                obs.churn_repairs.set(stats.churn_repairs);
+                obs.refactorizations.set(stats.refactorizations);
+                obs.drift_refactorizations.set(stats.drift_refactorizations);
+                obs.eta_pivots.set(stats.eta_pivots);
             }
         }
     }
@@ -529,6 +588,7 @@ impl SchedulerService {
         obs.max_envy.set(max_envy);
         obs.sharing_incentive
             .set(f64::from(u8::from(incentive_met)));
+        obs.fairness_sample_age.touch();
     }
 
     /// Executes one command against the state machine.
@@ -899,6 +959,10 @@ impl SchedulerService {
             warm_solves: stats.warm_solves,
             cold_solves: stats.cold_solves,
             dense_fallbacks: stats.dense_fallbacks,
+            basis_repairs: stats.basis_repairs,
+            churn_repairs: stats.churn_repairs,
+            refactorizations: stats.refactorizations,
+            eta_pivots: stats.eta_pivots,
             warm_hit_rate: if total_solves == 0 {
                 0.0
             } else {

@@ -282,22 +282,30 @@ fn check_metrics(addr: &str) -> ClientResult<()> {
     family("oef_solve_duration_seconds", MetricKind::Histogram)?;
     family("oef_warm_solves_total", MetricKind::Counter)?;
     family("oef_cold_solves_total", MetricKind::Counter)?;
+    family("oef_basis_repairs_total", MetricKind::Counter)?;
+    family("oef_churn_repairs_total", MetricKind::Counter)?;
+    family("oef_refactorizations_total", MetricKind::Counter)?;
+    family("oef_eta_pivots_total", MetricKind::Counter)?;
     family("oef_tenant_allocation", MetricKind::Gauge)?;
     family("oef_tenant_entitlement", MetricKind::Gauge)?;
     family("oef_max_envy", MetricKind::Gauge)?;
     family("oef_sharing_incentive", MetricKind::Gauge)?;
+    family("oef_fairness_sample_age_seconds", MetricKind::Gauge)?;
 
     // The solve histogram must expose a complete per-shard series: a
-    // cumulative +Inf bucket carrying the shard label, plus _sum/_count.
+    // cumulative +Inf bucket carrying the shard/policy/program labels, plus
+    // _sum/_count.
     let solve = exposition
         .family("oef_solve_duration_seconds")
         .expect("presence checked above");
     check(
-        "solve histogram has a per-shard +Inf bucket",
+        "solve histogram has a per-shard +Inf bucket with policy/program labels",
         solve.samples.iter().any(|s| {
             s.name == "oef_solve_duration_seconds_bucket"
                 && s.label("le") == Some("+Inf")
                 && s.label("shard").is_some()
+                && s.label("policy").is_some()
+                && s.label("program").is_some()
         }),
     )?;
     check(

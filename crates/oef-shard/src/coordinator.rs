@@ -925,6 +925,10 @@ impl ShardCoordinator {
             warm_solves: 0,
             cold_solves: 0,
             dense_fallbacks: 0,
+            basis_repairs: 0,
+            churn_repairs: 0,
+            refactorizations: 0,
+            eta_pivots: 0,
             warm_hit_rate: 0.0,
             solve_p50_secs: self.metrics.solve_percentile(0.5),
             solve_p99_secs: self.metrics.solve_percentile(0.99),
@@ -948,6 +952,10 @@ impl ShardCoordinator {
             aggregate.warm_solves += report.warm_solves;
             aggregate.cold_solves += report.cold_solves;
             aggregate.dense_fallbacks += report.dense_fallbacks;
+            aggregate.basis_repairs += report.basis_repairs;
+            aggregate.churn_repairs += report.churn_repairs;
+            aggregate.refactorizations += report.refactorizations;
+            aggregate.eta_pivots += report.eta_pivots;
             aggregate.tenants += report.tenants;
             aggregate.hosts += report.hosts;
         }

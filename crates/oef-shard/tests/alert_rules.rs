@@ -1,0 +1,91 @@
+//! Keeps `docs/prometheus-alerts.yml` honest: every `oef_*` metric the
+//! example alert rules reference must exist in the exposition a live daemon
+//! actually renders.  Without this, a series rename silently turns the
+//! shipped alerts into no-ops — rules on missing metrics never fire.
+
+use oef_cluster::ClusterTopology;
+use oef_obs::Registry;
+use oef_service::{Command, Response, ServiceConfig};
+use oef_shard::{placement_from_name, ShardCoordinator};
+use std::collections::BTreeSet;
+
+/// Every maximal `oef_[a-z0-9_]*` token in the rules file, wherever it
+/// appears — exprs, summaries, descriptions all count as references an
+/// operator will try to query.
+fn referenced_metrics(rules: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let bytes = rules.as_bytes();
+    let mut i = 0;
+    while let Some(offset) = rules[i..].find("oef_") {
+        let start = i + offset;
+        let end = bytes[start..]
+            .iter()
+            .position(|b| !(b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'_'))
+            .map_or(rules.len(), |len| start + len);
+        names.insert(rules[start..end].to_string());
+        i = end;
+    }
+    names
+}
+
+#[test]
+fn alert_rules_reference_only_live_metrics() {
+    let rules = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/prometheus-alerts.yml"
+    ))
+    .expect("docs/prometheus-alerts.yml is readable");
+    let referenced = referenced_metrics(&rules);
+    assert!(
+        referenced.contains("oef_sharing_incentive") && referenced.contains("oef_max_envy"),
+        "the fairness SLO rules are the point of the file"
+    );
+
+    // A two-shard daemon with a few solved rounds renders the full series
+    // set the rules may draw on.
+    let registry = Registry::new();
+    let mut coordinator = ShardCoordinator::new(
+        vec![
+            ClusterTopology::paper_cluster(),
+            ClusterTopology::paper_cluster(),
+        ],
+        ServiceConfig::default(),
+        placement_from_name("least-loaded").unwrap(),
+    )
+    .unwrap();
+    coordinator.attach_observability(&registry);
+    for i in 0..4 {
+        let response = coordinator.apply(
+            Command::TenantJoin {
+                name: format!("alerts-{i}"),
+                weight: 1,
+                speedup: vec![1.0, 1.2 + 0.1 * f64::from(i), 1.7],
+            },
+            0,
+        );
+        assert!(matches!(response, Response::TenantJoined { .. }));
+    }
+    for _ in 0..3 {
+        assert!(matches!(
+            coordinator.apply(Command::Tick, 0),
+            Response::RoundCompleted(_)
+        ));
+    }
+
+    // The strict in-repo parser is the referee: the exposition must be
+    // grammatical, and every referenced metric must resolve to a family
+    // (histogram rules may reference the `_bucket`/`_sum`/`_count` samples).
+    let exposition = oef_obs::parse(&registry.render()).expect("exposition parses");
+    let resolves = |name: &str| {
+        exposition.family(name).is_some()
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| exposition.family(base).is_some())
+            })
+    };
+    let missing: Vec<&String> = referenced.iter().filter(|name| !resolves(name)).collect();
+    assert!(
+        missing.is_empty(),
+        "alert rules reference metrics the daemon does not expose: {missing:?}"
+    );
+}

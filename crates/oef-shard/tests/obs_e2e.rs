@@ -158,7 +158,26 @@ fn concurrent_scrapes_stay_valid_while_commands_run() {
                 .is_some_and(|v| v == 0.0 || v == 1.0),
             "sharing incentive is an indicator"
         );
+        // Rounds just ran: the freshness gauge must be present and small.
+        assert!(
+            exposition
+                .value("oef_fairness_sample_age_seconds", &[("shard", shard)])
+                .is_some_and(|v| (0.0..60.0).contains(&v)),
+            "shard {shard} reports a fresh fairness sample"
+        );
     }
+    // The solve histogram splits by policy and program alongside the shard.
+    let solve = exposition
+        .family("oef_solve_duration_seconds")
+        .expect("solve family present");
+    assert!(
+        solve.samples.iter().any(|s| {
+            s.name == "oef_solve_duration_seconds_count"
+                && s.label("policy") == Some("oef-noncooperative")
+                && s.label("program") == Some("non-cooperative")
+        }),
+        "solve series carry policy/program labels"
+    );
 
     client.shutdown().unwrap();
     server.join();
