@@ -49,6 +49,15 @@
 //! feature, identical whether or not anyone scrapes, and priced by the
 //! per-tick numbers in `BENCH_service.json`, not by this comparison.)
 //!
+//! **`--trace` mode** measures end-to-end command tracing's overhead and
+//! appends a `trace_overhead` section to `BENCH_obs.json`: the classic
+//! churn trace replayed twice over TCP — once untraced, once with the
+//! daemon sampling 1-in-64 commands into the slow-trace ring and the client
+//! stamping 1-in-64 sampled wire contexts (the `--trace-sample 64`
+//! deployment).  The acceptance bar is ≤5% command throughput overhead:
+//! span recording is thread-local and the ring is only locked for the
+//! sampled minority, so tracing must be nearly free for the unsampled bulk.
+//!
 //! **`--rebalance` mode** measures the online rebalancer and writes
 //! `BENCH_rebalance.json`: a zipf-skewed churn trace (`ChurnConfig::skew`,
 //! head tenants carrying most of the job budget) replayed twice against the
@@ -1046,6 +1055,183 @@ fn scrape_compare(tenants: usize, seed: u64) {
     );
 }
 
+/// Traced vs untraced over TCP: the same churn trace, the same daemon shape,
+/// the only difference is command tracing at the production sampling rate —
+/// the daemon runs a 1-in-64 tracer with the slow-trace ring attached and
+/// the client stamps a 1-in-64 sampled context onto its requests, i.e.
+/// exactly `oef-serviced --trace-sample 64` driven by a tracing client.
+/// Like the scrape comparison, a single replay sits below the noise floor of
+/// a wall-clock ratio, so each rep sums `LOOPS` replays per mode —
+/// *interleaved*, alternating which mode goes first — and the reported
+/// overhead is the median paired ratio.  Appends a `trace_overhead` section
+/// to `BENCH_obs.json`, preserving whatever `--scrape` wrote there.
+fn trace_compare(tenants: usize, seed: u64) {
+    const REPS: usize = 5;
+    const LOOPS: usize = 16;
+    /// The production sampling rate the ≤5% bar is set against (CI's smoke
+    /// step separately runs the `--trace-sample 1` firehose, which is a
+    /// debugging mode and is not priced here).
+    const SAMPLE_EVERY: u64 = 64;
+    let churn = churn_trace(tenants, seed, 24, 0.0);
+    println!(
+        "trace compare: {} tenants, {} churn events over {} rounds, \
+         1-in-{SAMPLE_EVERY} sampling, {REPS} reps x {LOOPS} interleaved replays",
+        tenants,
+        churn.num_events(),
+        churn.rounds
+    );
+
+    let service = || {
+        SchedulerService::new(
+            ClusterTopology::paper_cluster(),
+            service_config(tenants, 64),
+        )
+        .expect("service builds")
+    };
+    let add = |total: Option<RunStats>, s: RunStats| match total {
+        None => s,
+        Some(mut t) => {
+            t.commands += s.commands;
+            t.elapsed_secs += s.elapsed_secs;
+            t.tick_secs += s.tick_secs;
+            t.solved_ticks += s.solved_ticks;
+            t.warm_ticks += s.warm_ticks;
+            t.metrics = s.metrics;
+            t
+        }
+    };
+
+    // One replay: when `trace`, the daemon gets a 1-in-SAMPLE_EVERY tracer
+    // and the client mints its own 1-in-SAMPLE_EVERY sampled contexts —
+    // both sides of the deployment pay their share inside the timed window.
+    let run = |trace: bool| {
+        let (server, tracer) = if trace {
+            let tracer = oef_trace::Tracer::new(SAMPLE_EVERY);
+            let server = Server::spawn_traced(service(), "127.0.0.1:0", Some(tracer.clone()))
+                .expect("daemon binds");
+            (server, Some(tracer))
+        } else {
+            let server = Server::spawn(service(), "127.0.0.1:0").expect("daemon binds");
+            (server, None)
+        };
+        let mut client = ServiceClient::connect(server.local_addr()).expect("client connects");
+        client.set_tracer(trace.then(|| oef_trace::Tracer::new(SAMPLE_EVERY)));
+        let stats = replay(&churn, |command| match client.call(command) {
+            Ok(response) => response,
+            Err(oef_service::ClientError::Service { code, message }) => {
+                Response::Error { code, message }
+            }
+            Err(e) => panic!("transport failure: {e}"),
+        });
+        client.shutdown().expect("shutdown acknowledged");
+        server.join();
+        let sampled = tracer.map(|t| t.ring().pushed()).unwrap_or(0);
+        (stats, sampled)
+    };
+    let run_off = || run(false).0;
+    let run_on = || run(true);
+
+    let mut reps: Vec<(RunStats, RunStats, u64)> = Vec::new();
+    for _ in 0..REPS {
+        let mut off_rep: Option<RunStats> = None;
+        let mut on_rep: Option<RunStats> = None;
+        let mut rep_traces = 0u64;
+        for pass in 0..LOOPS {
+            // Alternate which mode runs first (see `scrape_compare`).
+            if pass % 2 == 0 {
+                off_rep = Some(add(off_rep, run_off()));
+                let (stats, traces) = run_on();
+                on_rep = Some(add(on_rep, stats));
+                rep_traces += traces;
+            } else {
+                let (stats, traces) = run_on();
+                on_rep = Some(add(on_rep, stats));
+                rep_traces += traces;
+                off_rep = Some(add(off_rep, run_off()));
+            }
+        }
+        assert!(
+            rep_traces > 0,
+            "the traced replays never recorded a trace — sampling is broken"
+        );
+        reps.push((
+            off_rep.expect("at least one off replay"),
+            on_rep.expect("at least one on replay"),
+            rep_traces,
+        ));
+    }
+
+    let mut scored: Vec<(f64, usize)> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, (off, on, _))| {
+            let off_cps = off.commands as f64 / off.elapsed_secs;
+            let on_cps = on.commands as f64 / on.elapsed_secs;
+            ((off_cps / on_cps - 1.0) * 100.0, i)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("overheads are finite"));
+    let (overhead_pct, median_rep) = scored[scored.len() / 2];
+    let (off_stats, on_stats, traces) = reps.swap_remove(median_rep);
+    let off_cps = off_stats.commands as f64 / off_stats.elapsed_secs;
+    let on_cps = on_stats.commands as f64 / on_stats.elapsed_secs;
+    println!(
+        "  trace=off: {} commands in {:.2}s ({off_cps:.0}/s)",
+        off_stats.commands, off_stats.elapsed_secs,
+    );
+    println!(
+        "  trace=on:  {} commands in {:.2}s ({on_cps:.0}/s), {traces} trace(s) \
+         sampled -> overhead {overhead_pct:.1}%",
+        on_stats.commands, on_stats.elapsed_secs,
+    );
+
+    let section = serde_json::json!({
+        "experiment": "trace_overhead",
+        "policy": "oef-noncooperative",
+        "sample_every": SAMPLE_EVERY,
+        "tenants": tenants,
+        "rounds": churn.rounds,
+        "churn_events": churn.num_events(),
+        "off": {
+            "commands": off_stats.commands,
+            "elapsed_secs": off_stats.elapsed_secs,
+            "commands_per_sec": off_cps,
+        },
+        "on": {
+            "commands": on_stats.commands,
+            "elapsed_secs": on_stats.elapsed_secs,
+            "commands_per_sec": on_cps,
+            "sampled_traces": traces,
+        },
+        "overhead_pct": overhead_pct,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    // `--scrape` owns the rest of BENCH_obs.json; graft the trace section
+    // into whatever it last wrote instead of clobbering it.
+    let merged = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+    {
+        Some(serde::Value::Object(mut entries)) => {
+            entries.retain(|(key, _)| key != "trace_overhead");
+            entries.push(("trace_overhead".to_string(), section));
+            serde::Value::Object(entries)
+        }
+        _ => serde_json::json!({ "trace_overhead": section }),
+    };
+    std::fs::write(
+        path,
+        serde_json::to_string(&merged).expect("doc serializes"),
+    )
+    .expect("write BENCH_obs.json");
+    println!("wrote {path} (trace_overhead section)");
+
+    assert!(
+        overhead_pct <= 5.0,
+        "1-in-{SAMPLE_EVERY} tracing cost {overhead_pct:.1}% command throughput (bar: 5%)"
+    );
+}
+
 fn main() {
     let mut tenants: Option<usize> = None;
     let mut seed = 7u64;
@@ -1053,6 +1239,7 @@ fn main() {
     let mut rebalance = false;
     let mut journal = false;
     let mut scrape = false;
+    let mut trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--rebalance" {
@@ -1067,6 +1254,10 @@ fn main() {
             scrape = true;
             continue;
         }
+        if flag == "--trace" {
+            trace = true;
+            continue;
+        }
         match (flag.as_str(), args.next()) {
             ("--tenants", Some(v)) => tenants = Some(v.parse().expect("--tenants wants a number")),
             ("--seed", Some(v)) => seed = v.parse().expect("--seed wants a number"),
@@ -1078,7 +1269,7 @@ fn main() {
             (other, _) => {
                 panic!(
                     "unknown flag `{other}` (supported: --tenants N, --seed S, --shards N, \
-                     --rebalance, --journal, --scrape)"
+                     --rebalance, --journal, --scrape, --trace)"
                 )
             }
         }
@@ -1086,6 +1277,10 @@ fn main() {
 
     if scrape {
         scrape_compare(tenants.unwrap_or(20), seed);
+        return;
+    }
+    if trace {
+        trace_compare(tenants.unwrap_or(20), seed);
         return;
     }
     if journal {

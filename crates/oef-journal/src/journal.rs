@@ -397,6 +397,10 @@ impl Journal {
     /// the record's global sequence number.  Honors the group-commit
     /// setting: every `fsync_every`-th append syncs all dirty lanes.
     pub fn append(&mut self, lane: u32, payload: &[u8]) -> io::Result<u64> {
+        // Inert unless the current command is being recorded by a sampled
+        // trace; the group-commit sync below contributes its own nested
+        // `journal_sync` span.
+        let _span = oef_trace::span("journal_append");
         debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
         let seq = self.next_seq;
         let lane_count = self.lanes.len() as u32;
@@ -414,6 +418,7 @@ impl Journal {
 
     /// Fsync every dirty lane, closing the group-commit window.
     pub fn sync(&mut self) -> io::Result<()> {
+        let _span = oef_trace::span("journal_sync");
         for lane in &mut self.lanes {
             lane.sync()?;
         }

@@ -1,13 +1,17 @@
-//! Minimal hand-rolled HTTP/1.1 responder for `/metrics` and `/healthz`.
+//! Minimal hand-rolled HTTP/1.1 responder for `/metrics`, `/healthz` and
+//! `/traces`.
 //!
 //! Same no-external-crates discipline as `crates/shims/`: a nonblocking
 //! std-TCP accept loop (the `Server` idiom from `oef-service`), one short
 //! handler thread per connection, every response `Connection: close`.  The
 //! listener lives entirely outside the daemon's command path — a scrape
-//! renders a [`Registry`] snapshot from atomics and never takes a lock the
-//! scheduling worker holds.
+//! renders a [`Registry`] snapshot from atomics, `/traces` reads the
+//! slow-trace ring (touched only by sampled commands), and `/healthz`
+//! assembles its JSON body from a handful of registry reads; none of them
+//! takes a lock the scheduling worker holds.
 
-use crate::registry::Registry;
+use crate::registry::{fmt_value, Registry};
+use oef_trace::TraceRing;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -23,7 +27,8 @@ const READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Upper bound on the request head we are willing to buffer.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
-/// A running metrics endpoint serving `GET /metrics` and `GET /healthz`.
+/// A running metrics endpoint serving `GET /metrics`, `GET /healthz` and —
+/// when a trace ring is attached — `GET /traces`.
 pub struct MetricsServer {
     addr: SocketAddr,
     handle: JoinHandle<()>,
@@ -32,19 +37,37 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Binds `addr` (port 0 picks an ephemeral port) and starts serving
-    /// scrapes of `registry`.
+    /// scrapes of `registry`.  `/traces` answers 404; use
+    /// [`Self::spawn_with_traces`] to attach a slow-trace ring.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding the listener.
     pub fn spawn(registry: Registry, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::spawn_with_traces(registry, addr, None)
+    }
+
+    /// Like [`Self::spawn`], but also serves the slow-trace ring as
+    /// `GET /traces` (JSON: the top-K slowest plus most recent sampled
+    /// traces).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn_with_traces(
+        registry: Registry,
+        addr: impl ToSocketAddrs,
+        traces: Option<TraceRing>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let handle = {
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || accept_loop(&listener, &registry, &shutdown))
+            std::thread::spawn(move || {
+                accept_loop(&listener, &registry, traces.as_ref(), &shutdown)
+            })
         };
         Ok(Self {
             addr: local,
@@ -66,7 +89,12 @@ impl MetricsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, registry: &Registry, shutdown: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Registry,
+    traces: Option<&TraceRing>,
+    shutdown: &Arc<AtomicBool>,
+) {
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -74,9 +102,10 @@ fn accept_loop(listener: &TcpListener, registry: &Registry, shutdown: &Arc<Atomi
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let registry = registry.clone();
+                let traces = traces.cloned();
                 std::thread::spawn(move || {
                     // A dead scraper is not a daemon error.
-                    let _ = serve_connection(stream, &registry);
+                    let _ = serve_connection(stream, &registry, traces.as_ref());
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -87,7 +116,11 @@ fn accept_loop(listener: &TcpListener, registry: &Registry, shutdown: &Arc<Atomi
     }
 }
 
-fn serve_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    traces: Option<&TraceRing>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_nodelay(true)?;
     let head = read_request_head(&mut stream)?;
@@ -111,7 +144,15 @@ fn serve_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Resu
                 "text/plain; version=0.0.4; charset=utf-8",
                 registry.render(),
             ),
-            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            "/healthz" => ("200 OK", "application/json", healthz_json(registry)),
+            "/traces" => match traces {
+                Some(ring) => ("200 OK", "application/json", ring.to_json()),
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    "tracing not enabled\n".to_string(),
+                ),
+            },
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
     };
@@ -121,6 +162,33 @@ fn serve_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Resu
         body.len(),
     )?;
     stream.flush()
+}
+
+/// The `/healthz` JSON body: liveness plus the handful of freshness signals
+/// an external prober needs without paying for a full `/metrics` scrape.
+/// Fields whose backing series is not registered (no shards, no journal)
+/// render as `null`.
+fn healthz_json(registry: &Registry) -> String {
+    // One value per family; where a family has per-shard partitions, take
+    // the *max* (for ages, the stalest shard is the honest answer; uptime
+    // and seq are daemon-wide anyway).
+    let max_value = |name: &str| {
+        registry
+            .values(name)
+            .into_iter()
+            .map(|(_, v)| v)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    };
+    let field = |v: Option<f64>| v.map_or("null".to_string(), fmt_value);
+    format!(
+        "{{\"status\":\"ok\",\"uptime_secs\":{},\"shards\":{},\"journal_seq\":{},\"last_solve_age_secs\":{}}}\n",
+        field(max_value("oef_uptime_seconds")),
+        field(max_value("oef_shards")),
+        field(max_value("oef_journal_seq")),
+        field(max_value("oef_fairness_sample_age_seconds")),
+    )
 }
 
 /// Reads until the blank line ending the request head (we never read a
@@ -181,9 +249,16 @@ mod tests {
 
         let (status, body) = get(addr, "/healthz");
         assert!(status.contains("200"), "{status}");
-        assert_eq!(body, "ok\n");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        // No uptime/shards/journal series registered in this test registry.
+        assert!(body.contains("\"uptime_secs\":null"), "{body}");
+        assert!(body.contains("\"journal_seq\":null"), "{body}");
 
         let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        // Without an attached ring, /traces is absent.
+        let (status, _) = get(addr, "/traces");
         assert!(status.contains("404"), "{status}");
 
         // Non-GET methods are refused.
@@ -198,6 +273,48 @@ mod tests {
         reader.read_line(&mut status).expect("status");
         assert!(status.contains("405"), "{status}");
 
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_reads_registered_signals() {
+        let registry = Registry::new();
+        registry
+            .gauge("oef_uptime_seconds", "Uptime.", &[])
+            .set(42.5);
+        registry.gauge("oef_shards", "Shards.", &[]).set(4.0);
+        registry.gauge("oef_journal_seq", "Seq.", &[]).set(17.0);
+        registry
+            .age_gauge("oef_fairness_sample_age_seconds", "Age.", &[("shard", "0")])
+            .touch();
+        let server = MetricsServer::spawn(registry, "127.0.0.1:0").expect("spawn");
+        let (status, body) = get(server.local_addr(), "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"uptime_secs\":42.5"), "{body}");
+        assert!(body.contains("\"shards\":4"), "{body}");
+        assert!(body.contains("\"journal_seq\":17"), "{body}");
+        assert!(!body.contains("\"last_solve_age_secs\":null"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn traces_endpoint_serves_the_ring() {
+        use oef_trace::Tracer;
+        let tracer = Tracer::new(1);
+        tracer.begin(None, "Tick", Some(1_000)).expect("sampled");
+        let pending = tracer.take().unwrap();
+        tracer.finish(pending, None);
+        let server = MetricsServer::spawn_with_traces(
+            Registry::new(),
+            "127.0.0.1:0",
+            Some(tracer.ring().clone()),
+        )
+        .expect("spawn");
+        let (status, body) = get(server.local_addr(), "/traces");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"pushed\":1"), "{body}");
+        assert!(body.contains("\"root\":\"Tick\""), "{body}");
+        assert!(body.contains("\"queue_wait\""), "{body}");
         server.stop();
     }
 

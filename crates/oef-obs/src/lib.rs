@@ -46,7 +46,7 @@ mod parse;
 mod registry;
 
 pub use http::MetricsServer;
-pub use parse::{parse, Exposition, MetricFamily, MetricKind, ParseError, Sample};
+pub use parse::{parse, Exemplar, Exposition, MetricFamily, MetricKind, ParseError, Sample};
 pub use registry::{
     escape_help, escape_label_value, fmt_value, AgeGauge, Counter, Gauge, GaugeFamily, Histogram,
     Labels, Registry, DEFAULT_LATENCY_BUCKETS,

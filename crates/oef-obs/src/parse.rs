@@ -46,6 +46,29 @@ pub enum MetricKind {
     Untyped,
 }
 
+/// An OpenMetrics exemplar attached to a sample
+/// (`... <value> # {trace_id="..."} <exemplar value> [timestamp]`).
+/// Only histogram `_bucket` samples may carry one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Exemplar label pairs in source order (typically just `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's observed value.
+    pub value: f64,
+    /// Optional unix timestamp (seconds).
+    pub timestamp: Option<f64>,
+}
+
+impl Exemplar {
+    /// The value of exemplar label `name`, if present.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// One sample line: fully-suffixed name, label set, value.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
@@ -55,6 +78,8 @@ pub struct Sample {
     pub labels: Vec<(String, String)>,
     /// Parsed value.
     pub value: f64,
+    /// Attached exemplar, if the line carried one.
+    pub exemplar: Option<Exemplar>,
 }
 
 impl Sample {
@@ -195,6 +220,15 @@ pub fn parse(text: &str) -> Result<Exposition, ParseError> {
             )));
         }
         let family = family_entry(&mut families, &family_name);
+        if sample.exemplar.is_some()
+            && !(family.kind == MetricKind::Histogram
+                && sample.name == format!("{family_name}_bucket"))
+        {
+            return Err(err(format!(
+                "exemplar on `{}`: exemplars are only allowed on histogram `_bucket` samples",
+                sample.name
+            )));
+        }
         if family.kind == MetricKind::Counter && (sample.value.is_nan() || sample.value < 0.0) {
             return Err(err(format!(
                 "counter `{}` has negative or NaN value {}",
@@ -370,7 +404,15 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
         labels = parsed;
         rest = after;
     }
-    let value_str = rest.trim();
+    // An exemplar starts at the first `#` after the sample's own labels —
+    // safe to split on because the label block (where `#` could appear
+    // inside a quoted value) has already been consumed, and a bare value
+    // never contains `#`.
+    let (value_part, exemplar_part) = match rest.find('#') {
+        Some(i) => (&rest[..i], Some(&rest[i + 1..])),
+        None => (rest, None),
+    };
+    let value_str = value_part.trim();
     if value_str.is_empty() {
         return Err(format!("sample `{name}` has no value"));
     }
@@ -379,18 +421,62 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
             "sample `{name}` has trailing tokens after its value (timestamps are not accepted)"
         ));
     }
-    let value = match value_str {
-        "+Inf" => f64::INFINITY,
-        "-Inf" => f64::NEG_INFINITY,
-        "NaN" => f64::NAN,
-        other => other
-            .parse::<f64>()
-            .map_err(|_| format!("sample `{name}` has unparsable value `{other}`"))?,
+    let value = parse_value(value_str)
+        .ok_or_else(|| format!("sample `{name}` has unparsable value `{value_str}`"))?;
+    let exemplar = match exemplar_part {
+        Some(part) => Some(parse_exemplar(part, name)?),
+        None => None,
     };
     Ok(Sample {
         name: name.to_string(),
         labels,
         value,
+        exemplar,
+    })
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// Parses the OpenMetrics exemplar tail of a sample line (everything after
+/// the `#`): `{labels} value [timestamp]`.
+fn parse_exemplar(part: &str, sample: &str) -> Result<Exemplar, String> {
+    let part = part.trim_start();
+    let inner = part
+        .strip_prefix('{')
+        .ok_or_else(|| format!("exemplar on `{sample}` does not start with a `{{label}}` block"))?;
+    let (labels, after) = parse_labels(inner)?;
+    if labels.is_empty() {
+        return Err(format!("exemplar on `{sample}` has an empty label set"));
+    }
+    let mut tokens = after.split_whitespace();
+    let value = tokens
+        .next()
+        .and_then(parse_value)
+        .ok_or_else(|| format!("exemplar on `{sample}` has no parsable value"))?;
+    let timestamp = match tokens.next() {
+        Some(token) => Some(
+            token
+                .parse::<f64>()
+                .map_err(|_| format!("exemplar on `{sample}` has unparsable timestamp"))?,
+        ),
+        None => None,
+    };
+    if tokens.next().is_some() {
+        return Err(format!(
+            "exemplar on `{sample}` has trailing tokens after its timestamp"
+        ));
+    }
+    Ok(Exemplar {
+        labels,
+        value,
+        timestamp,
     })
 }
 
@@ -560,6 +646,95 @@ mod tests {
             assert!(parse(&text).is_err(), "should reject: {bad:?}");
         }
         assert!(parse("# TYPE oef_x widget\n").is_err(), "unknown type");
+    }
+
+    #[test]
+    fn exemplars_parse_on_histogram_buckets() {
+        let text = "# TYPE oef_h histogram\n\
+                    oef_h_bucket{le=\"1\"} 1 # {trace_id=\"00ff\"} 0.5 1700000000.25\n\
+                    oef_h_bucket{le=\"+Inf\"} 2 # {trace_id=\"0a01\"} 3\n\
+                    oef_h_sum 3.5\noef_h_count 2\n";
+        let exposition = parse(text).expect("exemplars on buckets are valid");
+        let family = exposition.family("oef_h").unwrap();
+        let bucket = &family.samples[0];
+        let exemplar = bucket.exemplar.as_ref().expect("first bucket exemplar");
+        assert_eq!(exemplar.label("trace_id"), Some("00ff"));
+        assert_eq!(exemplar.value, 0.5);
+        assert_eq!(exemplar.timestamp, Some(1700000000.25));
+        let inf = family.samples[1].exemplar.as_ref().expect("inf exemplar");
+        assert_eq!(inf.timestamp, None, "timestamp is optional");
+        assert!(family.samples[2].exemplar.is_none());
+    }
+
+    #[test]
+    fn exemplars_round_trip_the_encoder() {
+        let registry = crate::Registry::new();
+        let h = registry.histogram(
+            "oef_solve_seconds",
+            "Solve.",
+            &[("shard", "0")],
+            &[0.01, 0.1],
+        );
+        h.observe(0.02);
+        h.observe_with_exemplar(0.05, "000000000000beef");
+        let text = registry.render();
+        let exposition = parse(&text).expect("exemplar output must parse strictly");
+        let family = exposition.family("oef_solve_seconds").unwrap();
+        let with_exemplar: Vec<_> = family
+            .samples
+            .iter()
+            .filter(|s| s.exemplar.is_some())
+            .collect();
+        assert_eq!(with_exemplar.len(), 1, "one bucket pinned an exemplar");
+        let exemplar = with_exemplar[0].exemplar.as_ref().unwrap();
+        assert_eq!(exemplar.label("trace_id"), Some("000000000000beef"));
+        assert_eq!(exemplar.value, 0.05);
+        assert!(exemplar.timestamp.is_some());
+    }
+
+    #[test]
+    fn exemplars_off_histogram_buckets_are_rejected() {
+        // Gauge with an exemplar.
+        let text = "# TYPE oef_g gauge\noef_g 1 # {trace_id=\"aa\"} 1\n";
+        let err = parse(text).expect_err("gauge exemplar");
+        assert!(err.message.contains("only allowed on histogram"), "{err}");
+        // Counter with an exemplar.
+        let text = "# TYPE oef_c counter\noef_c 1 # {trace_id=\"aa\"} 1\n";
+        assert!(parse(text).is_err());
+        // Histogram `_sum`/`_count` with an exemplar.
+        for bad in [
+            "oef_h_sum 1 # {trace_id=\"aa\"} 1\n",
+            "oef_h_count 1 # {trace_id=\"aa\"} 1\n",
+        ] {
+            let text = format!("# TYPE oef_h histogram\noef_h_bucket{{le=\"+Inf\"}} 1\n{bad}");
+            assert!(parse(&text).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_exemplars_are_rejected() {
+        let header = "# TYPE oef_h histogram\n";
+        let tail = "oef_h_sum 1\noef_h_count 1\n";
+        for bad in [
+            // No label block.
+            "oef_h_bucket{le=\"+Inf\"} 1 # 0.5\n",
+            // Empty label set.
+            "oef_h_bucket{le=\"+Inf\"} 1 # {} 0.5\n",
+            // Missing value.
+            "oef_h_bucket{le=\"+Inf\"} 1 # {trace_id=\"aa\"}\n",
+            // Unparsable timestamp.
+            "oef_h_bucket{le=\"+Inf\"} 1 # {trace_id=\"aa\"} 0.5 soon\n",
+            // Trailing junk after the timestamp.
+            "oef_h_bucket{le=\"+Inf\"} 1 # {trace_id=\"aa\"} 0.5 1700000000 x\n",
+        ] {
+            let text = format!("{header}{bad}{tail}");
+            assert!(parse(&text).is_err(), "should reject: {bad:?}");
+        }
+        // A label value containing " # " must not be mistaken for an
+        // exemplar separator.
+        let text = "# TYPE oef_g gauge\noef_g{note=\"a # b\"} 1\n";
+        let exposition = parse(text).expect("hash inside a quoted label value");
+        assert_eq!(exposition.value("oef_g", &[("note", "a # b")]), Some(1.0));
     }
 
     #[test]

@@ -104,6 +104,21 @@ struct HistogramCore {
     buckets: Vec<AtomicU64>,
     sum_bits: AtomicU64,
     count: AtomicU64,
+    /// Most recent exemplar per bucket (`bounds.len() + 1` slots).  Behind a
+    /// mutex, but written only by [`Histogram::observe_with_exemplar`] —
+    /// i.e. only for *sampled* (1-in-N) observations, never on the plain
+    /// `observe` hot path — and read at scrape time.
+    exemplars: Mutex<Vec<Option<BucketExemplar>>>,
+}
+
+/// The exemplar attached to one histogram bucket: which trace produced a
+/// recent observation that landed there (OpenMetrics
+/// `# {trace_id="..."} value ts` syntax).
+#[derive(Debug, Clone, PartialEq)]
+struct BucketExemplar {
+    trace_id: String,
+    value: f64,
+    unix_secs: f64,
 }
 
 impl Histogram {
@@ -113,13 +128,15 @@ impl Histogram {
         let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
         bounds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         bounds.dedup();
-        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Vec<AtomicU64> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = Mutex::new(vec![None; buckets.len()]);
         Self {
             core: Arc::new(HistogramCore {
                 bounds,
                 buckets,
                 sum_bits: AtomicU64::new(0f64.to_bits()),
                 count: AtomicU64::new(0),
+                exemplars,
             }),
         }
     }
@@ -149,6 +166,30 @@ impl Histogram {
                 Err(seen) => current = seen,
             }
         }
+    }
+
+    /// Records one observation and pins it as the exemplar of the bucket it
+    /// lands in, linking the bucket to `trace_id` in the rendered exposition
+    /// (`# {trace_id="..."} value ts`).  Meant for *sampled* observations
+    /// only — it takes the exemplar mutex, which plain [`Self::observe`]
+    /// never does.
+    pub fn observe_with_exemplar(&self, v: f64, trace_id: &str) {
+        self.observe(v);
+        let core = &*self.core;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(core.bounds.len());
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        lock(&core.exemplars)[idx] = Some(BucketExemplar {
+            trace_id: trace_id.to_string(),
+            value: v,
+            unix_secs,
+        });
     }
 
     /// Total number of observations.
@@ -277,6 +318,37 @@ impl GaugeFamily {
     /// Replaces every series in the family.
     pub fn replace(&self, series: Vec<(Labels, f64)>) {
         *lock(&self.series) = series;
+    }
+
+    /// Sets (or inserts) the single series with exactly `labels` — the
+    /// incremental alternative to [`Self::replace`] for samplers that know
+    /// which few series actually changed this tick.
+    pub fn update(&self, labels: Labels, value: f64) {
+        let mut series = lock(&self.series);
+        match series.iter_mut().find(|(l, _)| *l == labels) {
+            Some(slot) => slot.1 = value,
+            None => series.push((labels, value)),
+        }
+    }
+
+    /// Drops the series with exactly `labels` (a departed tenant's series
+    /// disappears from the next scrape immediately).  Returns whether a
+    /// series was removed.
+    pub fn remove(&self, labels: &[(String, String)]) -> bool {
+        let mut series = lock(&self.series);
+        let before = series.len();
+        series.retain(|(l, _)| l != labels);
+        series.len() != before
+    }
+
+    /// Number of live series.
+    pub fn len(&self) -> usize {
+        lock(&self.series).len()
+    }
+
+    /// Whether the family currently has no series.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Current series (label set, value) pairs.
@@ -467,6 +539,37 @@ impl Registry {
         }
     }
 
+    /// Current values of every series in the family `name`, with their full
+    /// label sets — the read side the `/healthz` JSON body uses to surface a
+    /// handful of gauges without a full scrape.  Histograms contribute
+    /// nothing (they have no single value); [`AgeGauge`] series report their
+    /// read-time age.
+    pub fn values(&self, name: &str) -> Vec<(Labels, f64)> {
+        let families = lock(&self.families);
+        let Some(family) = families.iter().find(|f| f.name == name) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for series in &family.series {
+            match series {
+                Series::Counter(labels, counter) => {
+                    out.push((labels.clone(), counter.value() as f64));
+                }
+                Series::Gauge(labels, gauge) => out.push((labels.clone(), gauge.value())),
+                Series::Age(labels, age) => out.push((labels.clone(), age.age_seconds())),
+                Series::GaugeSet(base, set) => {
+                    for (labels, value) in set.snapshot() {
+                        let mut merged = base.clone();
+                        merged.extend(labels);
+                        out.push((merged, value));
+                    }
+                }
+                Series::Histogram(..) => {}
+            }
+        }
+        out
+    }
+
     /// Renders the registry in the Prometheus text exposition format.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -528,18 +631,25 @@ impl Registry {
 
 fn render_histogram(out: &mut String, name: &str, labels: &Labels, histogram: &Histogram) {
     let (cumulative, sum, count) = histogram.snapshot();
-    let mut with_le = |le: &str, value: u64| {
+    let exemplars = lock(&histogram.core.exemplars).clone();
+    let mut with_le = |le: &str, value: u64, exemplar: Option<&BucketExemplar>| {
         let mut labels = labels.clone();
         labels.push(("le".to_string(), le.to_string()));
-        out.push_str(&format!(
-            "{name}_bucket{} {value}\n",
-            render_labels(&labels)
-        ));
+        out.push_str(&format!("{name}_bucket{} {value}", render_labels(&labels)));
+        if let Some(e) = exemplar {
+            out.push_str(&format!(
+                " # {{trace_id=\"{}\"}} {} {}",
+                escape_label_value(&e.trace_id),
+                fmt_value(e.value),
+                fmt_value(e.unix_secs),
+            ));
+        }
+        out.push('\n');
     };
-    for (bound, cum) in histogram.bounds().iter().zip(&cumulative) {
-        with_le(&fmt_value(*bound), *cum);
+    for (i, (bound, cum)) in histogram.bounds().iter().zip(&cumulative).enumerate() {
+        with_le(&fmt_value(*bound), *cum, exemplars[i].as_ref());
     }
-    with_le("+Inf", count);
+    with_le("+Inf", count, exemplars.last().and_then(|e| e.as_ref()));
     out.push_str(&format!(
         "{name}_sum{} {}\n{name}_count{} {count}\n",
         render_labels(labels),
@@ -740,6 +850,73 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("oef_x_total 2\n"));
         assert_eq!(text.matches("# TYPE oef_x_total").count(), 1);
+    }
+
+    #[test]
+    fn exemplars_render_on_their_bucket_line() {
+        let registry = Registry::new();
+        let h = registry.histogram(
+            "oef_lat_seconds",
+            "Latency.",
+            &[("shard", "0")],
+            &[0.1, 1.0],
+        );
+        h.observe(0.05);
+        h.observe_with_exemplar(0.5, "00000000000000ff");
+        let text = registry.render();
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"1\""))
+            .expect("le=1 bucket");
+        assert!(
+            line.contains("# {trace_id=\"00000000000000ff\"} 0.5 "),
+            "{line}"
+        );
+        // The untouched buckets carry no exemplar.
+        let line = text.lines().find(|l| l.contains("le=\"0.1\"")).unwrap();
+        assert!(!line.contains('#'), "{line}");
+        // A later exemplar in the same bucket replaces the pinned one.
+        h.observe_with_exemplar(0.7, "0000000000000a01");
+        let text = registry.render();
+        assert!(text.contains("trace_id=\"0000000000000a01\"} 0.7"));
+        assert!(!text.contains("00000000000000ff"));
+    }
+
+    #[test]
+    fn gauge_family_update_and_remove_are_incremental() {
+        let family = GaugeFamily::new();
+        let alice: Labels = vec![("tenant".into(), "alice".into())];
+        let bob: Labels = vec![("tenant".into(), "bob".into())];
+        family.update(alice.clone(), 1.0);
+        family.update(bob.clone(), 2.0);
+        assert_eq!(family.len(), 2);
+        family.update(alice.clone(), 1.5);
+        assert_eq!(family.len(), 2, "update in place, no duplicate series");
+        assert!(family.remove(&bob));
+        assert!(!family.remove(&bob), "second remove is a no-op");
+        assert_eq!(family.snapshot(), vec![(alice, 1.5)]);
+        assert!(!family.is_empty());
+    }
+
+    #[test]
+    fn registry_values_read_current_series() {
+        let registry = Registry::new();
+        registry
+            .gauge("oef_uptime_seconds", "Uptime.", &[])
+            .set(12.5);
+        registry.counter("oef_cmds_total", "Commands.", &[]).add(3);
+        registry
+            .gauge_family("oef_alloc", "Alloc.", &[("shard", "0")])
+            .update(vec![("tenant".into(), "a".into())], 2.0);
+        registry.histogram("oef_h", "H.", &[], &[1.0]).observe(0.5);
+        assert_eq!(registry.values("oef_uptime_seconds"), vec![(vec![], 12.5)]);
+        assert_eq!(registry.values("oef_cmds_total"), vec![(vec![], 3.0)]);
+        let alloc = registry.values("oef_alloc");
+        assert_eq!(alloc.len(), 1);
+        assert_eq!(alloc[0].0.len(), 2, "partition labels merge in");
+        assert_eq!(alloc[0].1, 2.0);
+        assert!(registry.values("oef_h").is_empty(), "histograms skipped");
+        assert!(registry.values("oef_missing").is_empty());
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use crate::command::{
     Command, ErrorCode, MetricsReport, RebalanceReport, Reply, Request, Response, RoundSummary,
-    StatusReport,
+    StatusReport, WireTraceContext,
 };
+use oef_trace::Tracer;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -99,6 +100,8 @@ pub struct ServiceClient {
     writer: TcpStream,
     next_id: u64,
     config: ClientConfig,
+    tracer: Option<Tracer>,
+    last_trace_id: Option<String>,
 }
 
 impl ServiceClient {
@@ -153,7 +156,24 @@ impl ServiceClient {
             writer,
             next_id: 1,
             config,
+            tracer: None,
+            last_trace_id: None,
         })
+    }
+
+    /// Enables client-side trace origination: every subsequent request the
+    /// tracer samples (1-in-N) carries a wire [`WireTraceContext`] with
+    /// `sampled = true`, forcing the daemon to record it regardless of the
+    /// daemon's own sampling rate.  Pass `None` to stop originating traces.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
+    }
+
+    /// The daemon-side trace id echoed on the most recent reply (recorded
+    /// trace when the command was sampled, else the id this client minted),
+    /// as 16 lowercase hex digits.  `None` until a traced reply arrives.
+    pub fn last_trace_id(&self) -> Option<&str> {
+        self.last_trace_id.as_deref()
     }
 
     /// Sends one command and waits for its reply.  A `Busy` reply — load
@@ -188,7 +208,13 @@ impl ServiceClient {
     fn call_once(&mut self, command: Command) -> ClientResult<Response> {
         let id = self.next_id;
         self.next_id += 1;
-        let line = serde_json::to_string(&Request { id, command })
+        let mut request = Request::new(id, command);
+        request.trace = self
+            .tracer
+            .as_ref()
+            .and_then(Tracer::sample_context)
+            .map(WireTraceContext::from_context);
+        let line = serde_json::to_string(&request)
             .map_err(|e| ClientError::Protocol(format!("request serialization failed: {e}")))?;
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
@@ -207,6 +233,9 @@ impl ServiceClient {
                 "reply id {} does not match request id {id}",
                 reply.id
             )));
+        }
+        if reply.trace_id.is_some() {
+            self.last_trace_id = reply.trace_id;
         }
         match reply.response {
             Response::Error { code, message } => Err(ClientError::Service { code, message }),

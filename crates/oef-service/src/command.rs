@@ -15,6 +15,49 @@ use serde::{Deserialize, Serialize};
 /// never aliases a newer host.
 pub const PROTOCOL_VERSION: u32 = 2;
 
+/// Wire protocol minor revision.  v2.1 added the *optional* `trace` field on
+/// [`Request`] and the optional `trace_id` echo on [`Reply`]; both are
+/// strictly additive — a request without `trace` is a byte-for-byte v2.0
+/// request, a v2.0 peer ignores the unknown fields — so minor revisions
+/// never gate interop.
+pub const PROTOCOL_MINOR: u32 = 1;
+
+/// Trace context a request optionally carries (protocol v2.1): the client's
+/// trace id, its span, and whether it asks the daemon to record the command.
+/// Ids are 16-lowercase-hex-digit strings on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTraceContext {
+    /// Trace id, 16 lowercase hex digits.
+    pub trace_id: String,
+    /// The caller's span id, hex ("0" = the caller is the root).
+    pub parent_span: String,
+    /// Whether the daemon should record this command regardless of its own
+    /// 1-in-N sampling.
+    pub sampled: bool,
+}
+
+impl WireTraceContext {
+    /// Converts the wire form to the in-process context.  Unparsable hex ids
+    /// degrade to id 0 (the daemon then mints a fresh id) rather than
+    /// rejecting the command — tracing must never fail a request.
+    pub fn to_context(&self) -> oef_trace::TraceContext {
+        oef_trace::TraceContext {
+            trace_id: oef_trace::parse_id(&self.trace_id).unwrap_or(0),
+            parent_span: oef_trace::parse_id(&self.parent_span).unwrap_or(0),
+            sampled: self.sampled,
+        }
+    }
+
+    /// The wire form of an in-process context.
+    pub fn from_context(ctx: oef_trace::TraceContext) -> Self {
+        Self {
+            trace_id: oef_trace::format_id(ctx.trace_id),
+            parent_span: oef_trace::format_id(ctx.parent_span),
+            sampled: ctx.sampled,
+        }
+    }
+}
+
 /// A command a tenant (or an operator) sends to the scheduling daemon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Command {
@@ -115,6 +158,30 @@ pub enum Command {
     Status,
     /// Stops the daemon after replying.
     Shutdown,
+}
+
+impl Command {
+    /// The command's variant name — used as the root span label when the
+    /// command is traced, and in structured log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::TenantJoin { .. } => "TenantJoin",
+            Command::TenantLeave { .. } => "TenantLeave",
+            Command::UpdateSpeedups { .. } => "UpdateSpeedups",
+            Command::SubmitJob { .. } => "SubmitJob",
+            Command::JobFinished { .. } => "JobFinished",
+            Command::AddHost { .. } => "AddHost",
+            Command::RemoveHost { .. } => "RemoveHost",
+            Command::MigrateTenant { .. } => "MigrateTenant",
+            Command::Rebalance => "Rebalance",
+            Command::Tick => "Tick",
+            Command::Metrics => "Metrics",
+            Command::Snapshot => "Snapshot",
+            Command::Restore { .. } => "Restore",
+            Command::Status => "Status",
+            Command::Shutdown => "Shutdown",
+        }
+    }
 }
 
 /// Machine-readable error category of a rejected command.
@@ -420,21 +487,121 @@ pub enum Response {
 }
 
 /// One request line on the wire.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) because the
+/// `trace` field is *optional on the wire*: a `None` trace is omitted
+/// entirely (not sent as `null`), and a missing field deserializes to
+/// `None`.  That is what makes v2.1 backward- and forward-compatible — the
+/// derive in the serde shim requires every named field to be present.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the [`Reply`].
     pub id: u64,
     /// The command to execute.
     pub command: Command,
+    /// Optional trace context (protocol v2.1); absent = untraced v2.0
+    /// request.
+    pub trace: Option<WireTraceContext>,
+}
+
+impl Request {
+    /// An untraced request (the v2.0 wire shape).
+    pub fn new(id: u64, command: Command) -> Self {
+        Self {
+            id,
+            command,
+            trace: None,
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn serialize(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.serialize()),
+            ("command".to_string(), self.command.serialize()),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.serialize()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Request: expected an object"))?;
+        let id = u64::deserialize(serde::get_field(fields, "id")?)?;
+        let command = Command::deserialize(serde::get_field(fields, "command")?)?;
+        let trace = match value.get("trace") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(WireTraceContext::deserialize(v)?),
+        };
+        Ok(Self { id, command, trace })
+    }
 }
 
 /// One reply line on the wire.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Hand-written serde for the same reason as [`Request`]: the `trace_id`
+/// echo is omitted when absent, and tolerated as missing, so v2.0 and v2.1
+/// peers interoperate in both directions.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reply {
     /// Correlation id of the request this answers.
     pub id: u64,
     /// Result payload.
     pub response: Response,
+    /// The trace id this command was recorded under (16 lowercase hex
+    /// digits), echoed so the client can fetch the trace from `/traces`.
+    /// Present when the daemon recorded the command or the request carried
+    /// a trace context; absent on an untraced exchange (v2.0 shape).
+    pub trace_id: Option<String>,
+}
+
+impl Reply {
+    /// An untraced reply (the v2.0 wire shape).
+    pub fn new(id: u64, response: Response) -> Self {
+        Self {
+            id,
+            response,
+            trace_id: None,
+        }
+    }
+}
+
+impl Serialize for Reply {
+    fn serialize(&self) -> serde::Value {
+        let mut fields = vec![
+            ("id".to_string(), self.id.serialize()),
+            ("response".to_string(), self.response.serialize()),
+        ];
+        if let Some(trace_id) = &self.trace_id {
+            fields.push(("trace_id".to_string(), trace_id.serialize()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Reply {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("Reply: expected an object"))?;
+        let id = u64::deserialize(serde::get_field(fields, "id")?)?;
+        let response = Response::deserialize(serde::get_field(fields, "response")?)?;
+        let trace_id = match value.get("trace_id") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(String::deserialize(v)?),
+        };
+        Ok(Self {
+            id,
+            response,
+            trace_id,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -481,24 +648,64 @@ mod tests {
             Command::Shutdown,
         ];
         for command in commands {
-            let request = Request { id: 7, command };
+            let request = Request::new(7, command);
             let line = serde_json::to_string(&request).unwrap();
             assert!(!line.contains('\n'), "wire lines must be single lines");
+            assert!(
+                !line.contains("trace"),
+                "untraced requests are byte-compatible v2.0: {line}"
+            );
             let back: Request = serde_json::from_str(&line).unwrap();
             assert_eq!(back, request);
         }
     }
 
     #[test]
+    fn trace_context_rides_the_optional_field() {
+        let mut request = Request::new(9, Command::Tick);
+        request.trace = Some(WireTraceContext::from_context(
+            oef_trace::TraceContext::sampled_root(0xbeef),
+        ));
+        let line = serde_json::to_string(&request).unwrap();
+        assert!(line.contains("\"trace\""), "{line}");
+        assert!(line.contains("000000000000beef"), "{line}");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, request);
+        let ctx = back.trace.unwrap().to_context();
+        assert_eq!(ctx.trace_id, 0xbeef);
+        assert_eq!(ctx.parent_span, 0);
+        assert!(ctx.sampled);
+
+        // A v2.0 request (no trace field) still parses, to trace = None.
+        let v2: Request = serde_json::from_str("{\"id\":1,\"command\":\"Tick\"}").unwrap();
+        assert_eq!(v2.trace, None);
+        // ...and a v2.0 reply (no trace_id) parses to trace_id = None.
+        let v2: Reply = serde_json::from_str("{\"id\":1,\"response\":\"ShuttingDown\"}").unwrap();
+        assert_eq!(v2.trace_id, None);
+
+        // The reply echo round-trips.
+        let mut reply = Reply::new(9, Response::ShuttingDown);
+        reply.trace_id = Some("000000000000beef".to_string());
+        let line = serde_json::to_string(&reply).unwrap();
+        let back: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, reply);
+
+        // Unparsable hex degrades to id 0, never an error.
+        let wire = WireTraceContext {
+            trace_id: "not-hex".into(),
+            parent_span: "0".into(),
+            sampled: false,
+        };
+        assert_eq!(wire.to_context().trace_id, 0);
+    }
+
+    #[test]
     fn replies_round_trip_including_errors() {
         let replies = vec![
-            Reply {
-                id: 1,
-                response: Response::TenantJoined { tenant: 42 },
-            },
-            Reply {
-                id: 2,
-                response: Response::RoundCompleted(RoundSummary {
+            Reply::new(1, Response::TenantJoined { tenant: 42 }),
+            Reply::new(
+                2,
+                Response::RoundCompleted(RoundSummary {
                     round: 5,
                     time_secs: 1500.0,
                     solver_time_secs: 0.01,
@@ -511,17 +718,17 @@ mod tests {
                         gpu_shares: vec![0.0, 2.0, 4.0],
                     }],
                 }),
-            },
-            Reply {
-                id: 3,
-                response: Response::Error {
+            ),
+            Reply::new(
+                3,
+                Response::Error {
                     code: ErrorCode::QuotaExceeded,
                     message: "tenant limit reached".into(),
                 },
-            },
-            Reply {
-                id: 4,
-                response: Response::Status(StatusReport {
+            ),
+            Reply::new(
+                4,
+                Response::Status(StatusReport {
                     policy: "oef-noncooperative".into(),
                     protocol: PROTOCOL_VERSION,
                     uptime_secs: 12.5,
@@ -555,25 +762,25 @@ mod tests {
                     forwarding_entries: 1,
                     forwarding_depth: 1,
                 }),
-            },
-            Reply {
-                id: 5,
-                response: Response::HostAdded {
+            ),
+            Reply::new(
+                5,
+                Response::HostAdded {
                     host: (3 << 32) | 7,
                 },
-            },
-            Reply {
-                id: 6,
-                response: Response::TenantMigrated {
+            ),
+            Reply::new(
+                6,
+                Response::TenantMigrated {
                     tenant: (1u64 << 56) | 2,
                     previous: 3,
                     from: 0,
                     to: 1,
                 },
-            },
-            Reply {
-                id: 8,
-                response: Response::Metrics(MetricsReport {
+            ),
+            Reply::new(
+                8,
+                Response::Metrics(MetricsReport {
                     commands_processed: 100,
                     commands_rejected: 3,
                     rounds_solved: 40,
@@ -600,10 +807,10 @@ mod tests {
                     journal_appended_bytes: 40960,
                     journal_truncated_bytes_on_recovery: 12,
                 }),
-            },
-            Reply {
-                id: 7,
-                response: Response::Rebalanced(RebalanceReport {
+            ),
+            Reply::new(
+                7,
+                Response::Rebalanced(RebalanceReport {
                     policy: "threshold".into(),
                     imbalance_before: 4.0,
                     imbalance_after: 1.0,
@@ -615,7 +822,7 @@ mod tests {
                         to: 1,
                     }],
                 }),
-            },
+            ),
         ];
         for reply in replies {
             let line = serde_json::to_string(&reply).unwrap();

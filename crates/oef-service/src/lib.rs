@@ -51,7 +51,7 @@ pub use client::{ClientConfig, ClientError, ClientResult, ServiceClient};
 pub use command::{
     Command, ErrorCode, ExecutedMigration, HostStatusEntry, MetricsReport, RebalanceReport, Reply,
     Request, Response, RoundSummary, ShardStatusEntry, StatusReport, TenantRoundSummary,
-    PROTOCOL_VERSION,
+    WireTraceContext, PROTOCOL_MINOR, PROTOCOL_VERSION,
 };
 pub use metrics::ServiceMetrics;
 pub use queue::{BoundedQueue, PushError};

@@ -53,11 +53,19 @@ impl ServiceMetrics {
         }
     }
 
-    /// Records one completed scheduling round and its solver latency.
+    /// Records one completed scheduling round and its solver latency.  When
+    /// the round ran under a sampled trace, the observation is pinned to its
+    /// histogram bucket as an OpenMetrics exemplar so dashboards can jump
+    /// from a latency spike straight to the trace that caused it.
     pub fn record_round(&mut self, solver_secs: f64) {
         self.rounds_solved.inc();
         self.last_solve.set(solver_secs);
-        self.solve_hist.observe(solver_secs);
+        match oef_trace::current_trace_id() {
+            Some(id) => self
+                .solve_hist
+                .observe_with_exemplar(solver_secs, &oef_trace::format_id(id)),
+            None => self.solve_hist.observe(solver_secs),
+        }
     }
 
     /// Commands accepted so far.

@@ -15,9 +15,10 @@
 //! the same wire protocol out over many shards — the listener, queue and
 //! worker threading are identical either way.
 
-use crate::command::{Command, ErrorCode, Reply, Request, Response};
+use crate::command::{Command, ErrorCode, Reply, Request, Response, WireTraceContext};
 use crate::queue::{BoundedQueue, PushError};
 use crate::service::SchedulerService;
+use oef_trace::{PendingTrace, TraceContext, Tracer};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -73,30 +74,41 @@ struct Shared {
     pending_replies: AtomicUsize,
 }
 
+/// What the worker hands back through a slot: the response plus — when the
+/// command was sampled — the recorded trace, lifted off the worker thread so
+/// the connection handler can append the `reply_write` span and finish it
+/// into the ring.
+type SlotValue = (Response, Option<PendingTrace>);
+
 /// One-shot response slot a connection handler parks on.
-type Slot = Arc<(Mutex<Option<Response>>, Condvar)>;
+type Slot = Arc<(Mutex<Option<SlotValue>>, Condvar)>;
 
 struct WorkItem {
     command: Command,
+    /// Trace context the request carried, if any (protocol v2.1).
+    trace: Option<TraceContext>,
+    /// When the command entered the queue — the worker turns the gap to its
+    /// pop into the `queue_wait` span.
+    enqueued: Instant,
     slot: Slot,
 }
 
-fn fill(slot: &Slot, response: Response) {
+fn fill(slot: &Slot, value: SlotValue) {
     let (lock, condvar) = &**slot;
     *lock
         .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(response);
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
     condvar.notify_one();
 }
 
-fn wait(slot: &Slot) -> Response {
+fn wait(slot: &Slot) -> SlotValue {
     let (lock, condvar) = &**slot;
     let mut guard = lock
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     loop {
-        if let Some(response) = guard.take() {
-            return response;
+        if let Some(value) = guard.take() {
+            return value;
         }
         guard = condvar
             .wait(guard)
@@ -116,12 +128,28 @@ pub struct Server<C: CommandHandler = SchedulerService> {
 
 impl<C: CommandHandler> Server<C> {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service`.
+    /// `service`, untraced.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding the listener.
     pub fn spawn(service: C, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::spawn_traced(service, addr, None)
+    }
+
+    /// Like [`Self::spawn`], with command tracing: sampled commands (the
+    /// tracer's 1-in-N, plus any the client flags) are recorded as span
+    /// trees into the tracer's ring.  `None` disables tracing entirely — the
+    /// hot path then does no per-command tracing work at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn_traced(
+        service: C,
+        addr: impl ToSocketAddrs,
+        tracer: Option<Tracer>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -134,13 +162,14 @@ impl<C: CommandHandler> Server<C> {
         let worker_handle = {
             let queue = queue.clone();
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(service, &queue, &shared))
+            let tracer = tracer.clone();
+            std::thread::spawn(move || worker_loop(service, &queue, &shared, tracer.as_ref()))
         };
 
         let listener_handle = {
             let queue = queue.clone();
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &queue, &shared))
+            std::thread::spawn(move || accept_loop(&listener, &queue, &shared, tracer))
         };
 
         Ok(Self {
@@ -195,15 +224,39 @@ fn worker_loop<C: CommandHandler>(
     mut service: C,
     queue: &BoundedQueue<WorkItem>,
     shared: &Arc<Shared>,
+    tracer: Option<&Tracer>,
 ) -> C {
-    while let Some(WorkItem { command, slot }) = queue.pop() {
+    while let Some(WorkItem {
+        command,
+        trace,
+        enqueued,
+        slot,
+    }) = queue.pop()
+    {
         let depth = queue.len();
+        // Sampling decision + recorder install (a no-op returning None when
+        // tracing is off or the command is unsampled).  The recorder is
+        // thread-local, so the span sites inside `apply` — journal append,
+        // solve, … — need no handle threaded through `CommandHandler`.
+        let recording = tracer.and_then(|t| {
+            t.begin(
+                trace,
+                command.name(),
+                Some(enqueued.elapsed().as_nanos() as u64),
+            )
+        });
         // Contain panics from command processing: a poisoned daemon must
         // fail-stop visibly (structured error, clean shutdown), not leave the
         // panicking client parked forever on its slot with the queue wedged.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             service.apply(command, depth)
         }));
+        // Lift the recorder off this thread whether apply returned or
+        // panicked — a leaked recorder would mis-attribute the next command.
+        let pending = match (recording, tracer) {
+            (Some(_), Some(t)) => t.take(),
+            _ => None,
+        };
         let (response, stop) = match outcome {
             Ok(response) => {
                 let stop = matches!(response, Response::ShuttingDown);
@@ -217,7 +270,7 @@ fn worker_loop<C: CommandHandler>(
                 true,
             ),
         };
-        fill(&slot, response);
+        fill(&slot, (response, pending));
         if stop {
             shared.shutdown.store(true, Ordering::SeqCst);
             queue.close();
@@ -226,10 +279,13 @@ fn worker_loop<C: CommandHandler>(
             while let Some(item) = queue.pop() {
                 fill(
                     &item.slot,
-                    Response::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "daemon is shutting down".to_string(),
-                    },
+                    (
+                        Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "daemon is shutting down".to_string(),
+                        },
+                        None,
+                    ),
                 );
             }
             break;
@@ -241,7 +297,12 @@ fn worker_loop<C: CommandHandler>(
     service
 }
 
-fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<WorkItem>, shared: &Arc<Shared>) {
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &BoundedQueue<WorkItem>,
+    shared: &Arc<Shared>,
+    tracer: Option<Tracer>,
+) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
@@ -250,10 +311,11 @@ fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<WorkItem>, shared: &
             Ok((stream, _peer)) => {
                 let queue = queue.clone();
                 let shared = Arc::clone(shared);
+                let tracer = tracer.clone();
                 std::thread::spawn(move || {
                     // A dead client is not a daemon error; drop the
                     // connection and keep serving the rest.
-                    let _ = serve_connection(stream, &queue, &shared);
+                    let _ = serve_connection(stream, &queue, &shared, tracer.as_ref());
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -268,6 +330,7 @@ fn serve_connection(
     stream: TcpStream,
     queue: &BoundedQueue<WorkItem>,
     shared: &Arc<Shared>,
+    tracer: Option<&Tracer>,
 ) -> std::io::Result<()> {
     // Replies are single small lines; Nagle would add ~40ms of latency to
     // every request/response round trip.
@@ -283,40 +346,60 @@ fn serve_connection(
         // owes its client a line; `Server::join` drains the counter before
         // letting the process exit.
         shared.pending_replies.fetch_add(1, Ordering::SeqCst);
-        let reply = match serde_json::from_str::<Request>(&line) {
-            Err(e) => Reply {
-                id: 0,
-                response: Response::Error {
-                    code: ErrorCode::InvalidArgument,
-                    message: format!("malformed request: {e}"),
-                },
-            },
+        let (reply, pending) = match serde_json::from_str::<Request>(&line) {
+            Err(e) => (
+                Reply::new(
+                    0,
+                    Response::Error {
+                        code: ErrorCode::InvalidArgument,
+                        message: format!("malformed request: {e}"),
+                    },
+                ),
+                None,
+            ),
             Ok(request) => {
                 let slot: Slot = Arc::new((Mutex::new(None), Condvar::new()));
                 let item = WorkItem {
                     command: request.command,
+                    trace: request.trace.as_ref().map(WireTraceContext::to_context),
+                    enqueued: Instant::now(),
                     slot: Arc::clone(&slot),
                 };
-                let response = match queue.push_timeout(item, ENQUEUE_TIMEOUT) {
+                let (response, pending) = match queue.push_timeout(item, ENQUEUE_TIMEOUT) {
                     Ok(()) => wait(&slot),
-                    Err((_, PushError::Full)) => Response::Error {
-                        code: ErrorCode::Busy,
-                        message: "command queue full, retry later".to_string(),
-                    },
-                    Err((_, PushError::Closed)) => Response::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "daemon is shutting down".to_string(),
-                    },
+                    Err((_, PushError::Full)) => (
+                        Response::Error {
+                            code: ErrorCode::Busy,
+                            message: "command queue full, retry later".to_string(),
+                        },
+                        None,
+                    ),
+                    Err((_, PushError::Closed)) => (
+                        Response::Error {
+                            code: ErrorCode::ShuttingDown,
+                            message: "daemon is shutting down".to_string(),
+                        },
+                        None,
+                    ),
                 };
-                Reply {
-                    id: request.id,
-                    response,
-                }
+                // The reply carries the daemon-side trace id: the recorded
+                // one when this command was sampled, else the caller's own id
+                // echoed back (so a sampled *client* can still correlate).
+                let mut reply = Reply::new(request.id, response);
+                reply.trace_id = pending
+                    .as_ref()
+                    .map(|p| oef_trace::format_id(p.trace_id()))
+                    .or_else(|| request.trace.map(|t| t.trace_id));
+                (reply, pending)
             }
         };
+        let write_started = Instant::now();
         let written = serde_json::to_string(&reply)
             .map_err(std::io::Error::other)
             .and_then(|line| writeln!(writer, "{line}").and_then(|()| writer.flush()));
+        if let (Some(tracer), Some(pending)) = (tracer, pending) {
+            tracer.finish(pending, Some(write_started.elapsed().as_nanos() as u64));
+        }
         shared.pending_replies.fetch_sub(1, Ordering::SeqCst);
         written?;
     }

@@ -20,6 +20,7 @@ use oef_obs::{AgeGauge, Counter, Gauge, GaugeFamily, Registry};
 use oef_schedulers::{GandivaFair, Gavel, MaxEfficiency, MaxMin};
 use oef_sim::{RoundRecord, SimulationConfig, SimulationEngine};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Admission-control quotas enforced before state is mutated.
@@ -178,6 +179,11 @@ struct ShardObs {
     fairness_sample_age: AgeGauge,
     allocation: GaugeFamily,
     entitlement: GaugeFamily,
+    /// Last `(allocation, entitlement)` published per tenant handle, so each
+    /// round only touches the series that actually moved (epsilon-gated)
+    /// instead of rewriting both whole families — O(changed), not O(n), per
+    /// tick at steady state.
+    fairness_last: HashMap<u64, (f64, f64)>,
 }
 
 /// The single-threaded scheduling service core.
@@ -508,6 +514,7 @@ impl SchedulerService {
                  under its reported speedups.",
                 &labels,
             ),
+            fairness_last: HashMap::new(),
         };
         obs.tenants.set(self.tenants.len() as f64);
         obs.hosts
@@ -547,9 +554,13 @@ impl SchedulerService {
     /// met its entitlement (the sharing-incentive indicator).
     ///
     /// O(n²·k) over the fluid allocation rows the round already produced —
-    /// negligible next to the LP solve that produced them.
-    fn sample_fairness_obs(&self, record: &RoundRecord) {
-        let Some(obs) = &self.shard_obs else {
+    /// negligible next to the LP solve that produced them.  Gauge-family
+    /// writes, by contrast, are incremental: a tenant's series is only
+    /// touched when its value moved beyond a relative epsilon, and departed
+    /// tenants are evicted from the families the round they disappear — no
+    /// full O(n) family rewrite per tick.
+    fn sample_fairness_obs(&mut self, record: &RoundRecord) {
+        let Some(obs) = &mut self.shard_obs else {
             return;
         };
         let state = self.engine.state();
@@ -562,8 +573,7 @@ impl SchedulerService {
             .iter()
             .map(|t| f64::from(state.tenants()[t.tenant].weight))
             .sum();
-        let mut allocation = Vec::with_capacity(record.tenants.len());
-        let mut entitlement = Vec::with_capacity(record.tenants.len());
+        let mut present: Vec<u64> = Vec::with_capacity(record.tenants.len());
         let mut max_envy: f64 = 0.0;
         let mut incentive_met = true;
         for t in &record.tenants {
@@ -573,9 +583,18 @@ impl SchedulerService {
             let entitled =
                 speedup.dot(&capacities) * f64::from(tenant.weight) / total_weight.max(1.0);
             let handle = self.tenants.handle_at(t.tenant).unwrap_or(0);
-            let series = |v| (vec![("tenant".to_string(), handle.to_string())], v);
-            allocation.push(series(achieved));
-            entitlement.push(series(entitled));
+            present.push(handle);
+            let moved = |old: f64, new: f64| (new - old).abs() > 1e-9 * old.abs().max(1.0);
+            let publish = match obs.fairness_last.get(&handle) {
+                Some(&(a, e)) => moved(a, achieved) || moved(e, entitled),
+                None => true,
+            };
+            if publish {
+                let labels = || vec![("tenant".to_string(), handle.to_string())];
+                obs.allocation.update(labels(), achieved);
+                obs.entitlement.update(labels(), entitled);
+                obs.fairness_last.insert(handle, (achieved, entitled));
+            }
             if entitled > 0.0 && achieved / entitled < 1.0 - FAIRNESS_TOLERANCE {
                 incentive_met = false;
             }
@@ -583,8 +602,18 @@ impl SchedulerService {
                 max_envy = max_envy.max(speedup.dot(&other.gpu_shares) - achieved);
             }
         }
-        obs.allocation.replace(allocation);
-        obs.entitlement.replace(entitlement);
+        // Evict series of tenants that left: stale per-tenant gauges would
+        // otherwise report a departed tenant's last allocation forever.
+        let (families, cache) = ((&obs.allocation, &obs.entitlement), &mut obs.fairness_last);
+        cache.retain(|handle, _| {
+            if present.contains(handle) {
+                return true;
+            }
+            let labels = vec![("tenant".to_string(), handle.to_string())];
+            families.0.remove(&labels);
+            families.1.remove(&labels);
+            false
+        });
         obs.max_envy.set(max_envy);
         obs.sharing_incentive
             .set(f64::from(u8::from(incentive_met)));
@@ -903,14 +932,30 @@ impl SchedulerService {
 
     fn tick(&mut self) -> CommandResult {
         let stats_before = self.policy.solver_stats();
-        let record = self
-            .engine
-            .step(&*self.policy)
-            .map_err(|e| (ErrorCode::Internal, e.to_string()))?;
+        let record = {
+            let _solve = oef_trace::span("solve");
+            self.engine
+                .step(&*self.policy)
+                .map_err(|e| (ErrorCode::Internal, e.to_string()))?
+        };
         let warm_start = match (stats_before, self.policy.solver_stats()) {
             (Some(before), Some(after)) => after.warm_solves > before.warm_solves,
             _ => false,
         };
+        // Solver-effort counters on the active trace (no-ops when this tick
+        // is not being recorded): how much LU work the solve cost.
+        if let (Some(before), Some(after)) = (stats_before, self.policy.solver_stats()) {
+            oef_trace::count(
+                "eta_pivot",
+                after.eta_pivots.saturating_sub(before.eta_pivots),
+            );
+            oef_trace::count(
+                "refactorize",
+                after
+                    .refactorizations
+                    .saturating_sub(before.refactorizations),
+            );
+        }
         // Empty rounds run no solve; recording their 0.0 would corrupt the
         // latency percentiles and detach rounds_solved from the solve counters.
         if !record.tenants.is_empty() {

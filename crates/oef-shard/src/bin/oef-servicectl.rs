@@ -5,6 +5,9 @@
 //! oef-servicectl status --shards <addr>   # per-shard load + forwarding-table view
 //! oef-servicectl metrics  <addr>          # print the metrics registry as JSON
 //! oef-servicectl check-metrics <addr>     # validate a /metrics exposition endpoint (CI)
+//! oef-servicectl trace <addr>             # print the slowest sampled traces (metrics port)
+//! oef-servicectl trace <addr> --slowest N # top-N slowest traces
+//! oef-servicectl trace <addr> --id X      # one trace by hex id
 //! oef-servicectl tick     <addr>          # run one scheduling round
 //! oef-servicectl migrate <addr> <tenant> <shard>  # move a tenant to another shard
 //! oef-servicectl rebalance <addr>         # run one rebalancing pass, print the plan
@@ -69,6 +72,15 @@ fn main() {
         [cmd, flag, addr] if cmd == "status" && flag == "--shards" => status_shards(addr),
         [cmd, addr] if cmd == "metrics" => metrics(addr),
         [cmd, addr] if cmd == "check-metrics" => check_metrics(addr),
+        [cmd, addr] if cmd == "trace" => trace(addr, 5, None),
+        [cmd, addr, flag, n] if cmd == "trace" && flag == "--slowest" => match n.parse::<usize>() {
+            Ok(n) => trace(addr, n, None),
+            Err(e) => {
+                eprintln!("oef-servicectl: bad --slowest: {e}");
+                std::process::exit(2);
+            }
+        },
+        [cmd, addr, flag, id] if cmd == "trace" && flag == "--id" => trace(addr, 0, Some(id)),
         [cmd, addr] if cmd == "tick" => tick(addr),
         [cmd, addr, tenant, shard] if cmd == "migrate" => migrate(addr, tenant, shard),
         [cmd, addr] if cmd == "rebalance" => rebalance(addr),
@@ -85,6 +97,7 @@ fn main() {
                  <addr>\n\
                  \x20      oef-servicectl status --shards <addr>\n\
                  \x20      oef-servicectl check-metrics <metrics-addr>\n\
+                 \x20      oef-servicectl trace <metrics-addr> [--slowest N | --id HEX]\n\
                  \x20      oef-servicectl migrate <addr> <tenant-handle> <shard>\n\
                  \x20      oef-servicectl snapshot <addr> <file>\n\
                  \x20      oef-servicectl smoke-crash-prepare <addr> <file>\n\
@@ -248,6 +261,108 @@ fn http_get(addr: &str, path: &str) -> ClientResult<(u16, String, String)> {
     Ok((code, head.to_string(), body.to_string()))
 }
 
+/// Reads `GET /traces` off the metrics listener and prints sampled span
+/// trees: the top `slowest` traces, or one trace picked by hex id.
+fn trace(addr: &str, slowest: usize, id: Option<&str>) -> ClientResult<()> {
+    let protocol = |message: String| oef_service::ClientError::Protocol(message);
+    let (code, _, body) = http_get(addr, "/traces")?;
+    if code == 404 {
+        return Err(protocol(
+            "daemon is not tracing; start it with --trace-sample N (and --metrics-addr)"
+                .to_string(),
+        ));
+    }
+    check("/traces answers 200", code == 200)?;
+    let value: serde::Value = serde_json::from_str(body.trim())
+        .map_err(|e| protocol(format!("/traces body is not JSON: {e}")))?;
+    let pushed = value
+        .get("pushed")
+        .and_then(serde::Value::as_u64)
+        .unwrap_or(0);
+    let records = |key: &str| -> &[serde::Value] {
+        value
+            .get(key)
+            .and_then(serde::Value::as_array)
+            .unwrap_or(&[])
+    };
+    match id {
+        Some(id) => {
+            let record = records("slowest")
+                .iter()
+                .chain(records("recent"))
+                .find(|r| r.get("trace_id").and_then(serde::Value::as_str) == Some(id))
+                .ok_or_else(|| {
+                    protocol(format!(
+                        "trace {id} is not in the ring (it keeps the top-K slowest plus a \
+                         bounded tail of recent samples)"
+                    ))
+                })?;
+            print_trace(record);
+        }
+        None => {
+            println!("{pushed} sampled trace(s) recorded since start");
+            for record in records("slowest").iter().take(slowest) {
+                print_trace(record);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders one `/traces` record as an indented span tree.
+fn print_trace(record: &serde::Value) {
+    let str_of = |key: &str| {
+        record
+            .get(key)
+            .and_then(serde::Value::as_str)
+            .unwrap_or("?")
+    };
+    let num_of = |v: &serde::Value, key: &str| v.get(key).and_then(serde::Value::as_f64);
+    let replay = matches!(record.get("replay"), Some(serde::Value::Bool(true)));
+    println!(
+        "trace {} root={} total={:.1}us{}",
+        str_of("trace_id"),
+        str_of("root"),
+        num_of(record, "total_us").unwrap_or(0.0),
+        if replay { " replay=true" } else { "" },
+    );
+    let spans = record
+        .get("spans")
+        .and_then(serde::Value::as_array)
+        .unwrap_or(&[]);
+    // Spans carry a parent *index*; indent each by its ancestor depth.
+    for (i, span) in spans.iter().enumerate() {
+        let mut depth = 1;
+        let mut at = i;
+        while let Some(parent) = spans
+            .get(at)
+            .and_then(|s| s.get("parent"))
+            .and_then(serde::Value::as_u64)
+        {
+            depth += 1;
+            at = parent as usize;
+            if depth > spans.len() {
+                break;
+            }
+        }
+        println!(
+            "{:indent$}{} start={:.1}us dur={:.1}us",
+            "",
+            span.get("name")
+                .and_then(serde::Value::as_str)
+                .unwrap_or("?"),
+            num_of(span, "start_us").unwrap_or(0.0),
+            num_of(span, "dur_us").unwrap_or(0.0),
+            indent = depth * 2,
+        );
+    }
+    if let Some(counts) = record.get("counts").and_then(serde::Value::as_object) {
+        for (name, n) in counts {
+            println!("  count {name}={}", n.as_u64().unwrap_or(0));
+        }
+    }
+}
+
 /// Validates the `--metrics-addr` endpoint like CI would with promtool:
 /// health, content type, strict exposition grammar, and the presence of the
 /// core series families.
@@ -257,7 +372,23 @@ fn check_metrics(addr: &str) -> ClientResult<()> {
 
     let (code, _, body) = http_get(addr, "/healthz")?;
     check("/healthz answers 200", code == 200)?;
-    check("/healthz body is `ok`", body == "ok\n")?;
+    let health: serde::Value = serde_json::from_str(body.trim())
+        .map_err(|e| protocol(format!("/healthz body is not JSON: {e}")))?;
+    check(
+        "/healthz reports status ok",
+        health.get("status").and_then(serde::Value::as_str) == Some("ok"),
+    )?;
+    check(
+        "/healthz reports uptime",
+        health
+            .get("uptime_secs")
+            .and_then(serde::Value::as_f64)
+            .is_some_and(|v| v >= 0.0),
+    )?;
+    check(
+        "/healthz reports the shard count",
+        health.get("shards").is_some() && health.get("journal_seq").is_some(),
+    )?;
 
     let (code, head, body) = http_get(addr, "/metrics")?;
     check("/metrics answers 200", code == 200)?;
@@ -325,6 +456,35 @@ fn check_metrics(addr: &str) -> ClientResult<()> {
             .value("oef_uptime_seconds", &[])
             .is_some_and(|v| v >= 0.0),
     )?;
+    // Exemplars (when the daemon traces) may only ride histogram `_bucket`
+    // samples, must carry a trace_id label and a finite value.  The strict
+    // parser already rejects exemplars elsewhere; assert the well-formedness
+    // of the ones that made it through.
+    let mut exemplars = 0usize;
+    for family in &exposition.families {
+        for sample in &family.samples {
+            if let Some(exemplar) = &sample.exemplar {
+                exemplars += 1;
+                check(
+                    &format!("exemplar on {} rides a histogram bucket", sample.name),
+                    family.kind == MetricKind::Histogram && sample.name.ends_with("_bucket"),
+                )?;
+                check(
+                    &format!("exemplar on {} carries a trace_id", sample.name),
+                    exemplar.label("trace_id").is_some_and(|id| {
+                        !id.is_empty() && id.chars().all(|c| c.is_ascii_hexdigit())
+                    }),
+                )?;
+                check(
+                    &format!("exemplar on {} has a finite value", sample.name),
+                    exemplar.value.is_finite(),
+                )?;
+            }
+        }
+    }
+    if exemplars > 0 {
+        println!("ok: {exemplars} exemplar(s) validated");
+    }
     println!(
         "ok: {} families, {} samples — exposition is valid",
         exposition.families.len(),

@@ -52,6 +52,7 @@
 use oef_cluster::ClusterTopology;
 use oef_service::{CommandHandler, SchedulerService, Server, ServiceConfig};
 use oef_shard::{placement_from_name, JournalOptions, Journaled, ShardCoordinator};
+use oef_trace::{TraceRing, Tracer};
 use std::io::Write;
 use std::path::Path;
 
@@ -63,6 +64,9 @@ struct Args {
     journal: JournalOptions,
     shards: usize,
     placement: String,
+    /// `--trace-sample N`: record every N-th command as a span tree (0 =
+    /// tracing off, the default — no per-command tracing work at all).
+    trace_sample: u64,
     config: ServiceConfig,
     /// Config flags seen on the command line; `--restore` and journal
     /// recovery reject these instead of silently ignoring them (the
@@ -79,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         journal: JournalOptions::default(),
         shards: 1,
         placement: "least-loaded".to_string(),
+        trace_sample: 0,
         config: ServiceConfig::default(),
         config_flags: Vec::new(),
     };
@@ -124,6 +129,11 @@ fn parse_args() -> Result<Args, String> {
                 args.placement = value("--placement")?;
                 args.config_flags.push(flag);
             }
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|e| format!("bad --trace-sample: {e}"))?;
+            }
             "--restore" => args.restore = Some(value("--restore")?),
             "--journal-dir" => args.journal_dir = Some(value("--journal-dir")?),
             "--fsync-every" => {
@@ -141,7 +151,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: oef-serviced [--addr HOST:PORT] [--metrics-addr HOST:PORT] \
                      [--policy NAME] [--round-secs SECS] [--fluid] [--max-tenants N] \
                      [--shards N] [--placement least-loaded|round-robin] [--restore FILE] \
-                     [--journal-dir DIR] [--fsync-every N] [--compact-every N]"
+                     [--journal-dir DIR] [--fsync-every N] [--compact-every N] \
+                     [--trace-sample N]"
                 );
                 std::process::exit(0);
             }
@@ -174,22 +185,26 @@ fn fail(message: impl std::fmt::Display) -> ! {
 }
 
 /// Spawns the server (and, with `--metrics-addr`, the Prometheus exposition
-/// listener), prints the listening line(s) and blocks until shutdown.
+/// listener), prints the listening line(s) and blocks until shutdown.  With
+/// a tracer, sampled commands record span trees into its ring, served as
+/// `GET /traces` on the metrics listener.
 fn serve<C: CommandHandler>(
     mut service: C,
     addr: &str,
     metrics_addr: Option<&str>,
+    tracer: Option<Tracer>,
     rounds_run: fn(&C) -> usize,
 ) {
     let metrics_server = metrics_addr.map(|maddr| {
         let registry = oef_obs::Registry::new();
         service.attach_observability(&registry);
-        match oef_obs::MetricsServer::spawn(registry, maddr) {
+        let ring = tracer.as_ref().map(|t| t.ring().clone());
+        match oef_obs::MetricsServer::spawn_with_traces(registry, maddr, ring) {
             Ok(server) => server,
             Err(e) => fail(format!("cannot bind metrics listener {maddr}: {e}")),
         }
     });
-    let server = match Server::spawn(service, addr) {
+    let server = match Server::spawn_traced(service, addr, tracer) {
         Ok(server) => server,
         Err(e) => fail(format!("cannot bind {addr}: {e}")),
     };
@@ -258,6 +273,15 @@ fn main() {
         Ok(args) => args,
         Err(message) => fail(message),
     };
+    // Structured JSON logs on stderr, written by one dedicated thread so log
+    // volume never blocks the worker (over-budget lines are drop-counted).
+    oef_trace::init_logger();
+    let tracer = (args.trace_sample > 0).then(|| {
+        Tracer::with_ring(
+            args.trace_sample,
+            TraceRing::new(oef_trace::DEFAULT_TOP_K, oef_trace::DEFAULT_RECENT),
+        )
+    });
 
     if let Some(dir) = &args.journal_dir {
         let dir = Path::new(dir);
@@ -279,20 +303,28 @@ fn main() {
                     args.config_flags.join(", ")
                 ));
             }
-            let (journaled, summary) = Journaled::recover(dir, args.journal)
+            let (journaled, summary) = Journaled::recover_with(dir, args.journal, tracer.as_ref())
                 .unwrap_or_else(|e| fail(format!("cannot recover from {}: {e}", dir.display())));
+            oef_trace::log_json(
+                "info",
+                "recovery",
+                "recovered from journal",
+                &[
+                    ("dir", &dir.display().to_string()),
+                    ("shards", &journaled.coordinator().num_shards().to_string()),
+                    ("base_seq", &summary.base_seq.to_string()),
+                    ("replayed", &summary.replayed.to_string()),
+                    ("stale_skipped", &summary.stale_skipped.to_string()),
+                    ("torn_bytes", &summary.torn_bytes.to_string()),
+                    ("gap_dropped", &summary.gap_dropped.to_string()),
+                    ("rounds", &summary.rounds.to_string()),
+                ],
+            );
             println!(
-                "oef-serviced recovered {} shard(s) from {}: snapshot at seq {}, {} command(s) \
-                 replayed, {} stale skipped, {} torn byte(s) truncated, {} dropped past a gap, \
-                 {} round(s)",
+                "oef-serviced recovered {} shard(s) from {}: {} command(s) replayed",
                 journaled.coordinator().num_shards(),
                 dir.display(),
-                summary.base_seq,
                 summary.replayed,
-                summary.stale_skipped,
-                summary.torn_bytes,
-                summary.gap_dropped,
-                summary.rounds,
             );
             journaled
         } else {
@@ -312,6 +344,7 @@ fn main() {
             journaled,
             &args.addr,
             args.metrics_addr.as_deref(),
+            tracer,
             Journaled::rounds_run,
         );
         return;
@@ -347,6 +380,7 @@ fn main() {
                     coordinator,
                     &args.addr,
                     args.metrics_addr.as_deref(),
+                    tracer,
                     ShardCoordinator::rounds_run,
                 );
             }
@@ -357,6 +391,7 @@ fn main() {
                     service,
                     &args.addr,
                     args.metrics_addr.as_deref(),
+                    tracer,
                     SchedulerService::rounds_run,
                 );
             }
@@ -380,6 +415,7 @@ fn main() {
             coordinator,
             &args.addr,
             args.metrics_addr.as_deref(),
+            tracer,
             ShardCoordinator::rounds_run,
         );
     } else {
@@ -389,6 +425,7 @@ fn main() {
             service,
             &args.addr,
             args.metrics_addr.as_deref(),
+            tracer,
             SchedulerService::rounds_run,
         );
     }

@@ -773,6 +773,11 @@ impl ShardCoordinator {
     /// One federation round: every shard solves its own LP in parallel.
     fn tick(&mut self) -> Response {
         let fanout_started = Instant::now();
+        // The whole fan-out is one `solve` span on the worker thread.  The
+        // scoped shard threads have no recorder of their own, so the span
+        // covers spawn + slowest shard, not per-shard breakdowns — the
+        // per-shard split lives in the `{shard}`-labelled histograms.
+        let fanout_span = oef_trace::span("solve");
         // Fan out only when threads can actually overlap: on a single
         // hardware thread the spawn/join cost is pure overhead on every
         // round, while the sharding win that remains — each shard's LP
@@ -799,6 +804,7 @@ impl ShardCoordinator {
                 .map(|shard| shard.apply(Command::Tick, 0))
                 .collect()
         };
+        drop(fanout_span);
 
         let mut merged = RoundSummary {
             round: self.rounds,

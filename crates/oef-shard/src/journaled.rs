@@ -42,6 +42,7 @@ use oef_journal::{
 };
 use oef_obs::{Counter, Gauge, Registry};
 use oef_service::{Command, CommandHandler, ErrorCode, Response};
+use oef_trace::Tracer;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -116,6 +117,7 @@ struct JournalObs {
     appended_bytes: Counter,
     truncated_bytes: Gauge,
     replayed: Gauge,
+    journal_seq: Gauge,
 }
 
 /// A [`ShardCoordinator`] behind a write-ahead journal.  Implements
@@ -189,6 +191,24 @@ impl Journaled {
     /// A damaged journal *tail* is not an error — it is truncated at the
     /// last valid record, exactly what a crash mid-append leaves behind.
     pub fn recover(dir: &Path, options: JournalOptions) -> io::Result<(Self, RecoverySummary)> {
+        Self::recover_with(dir, options, None)
+    }
+
+    /// Like [`Self::recover`], with replay tracing: when a sampling `tracer`
+    /// is given, each replayed command is recorded as a trace marked
+    /// `replay = true` under a *freshly minted* id.  The journal does not
+    /// persist trace context on purpose — a replayed command must never be
+    /// re-attributed to the trace that originally carried it (that trace's
+    /// timings belong to the pre-crash process).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::recover`].
+    pub fn recover_with(
+        dir: &Path,
+        options: JournalOptions,
+        tracer: Option<&Tracer>,
+    ) -> io::Result<(Self, RecoverySummary)> {
         let snapshot_path = dir.join(SNAPSHOT_FILE);
         let snapshot = std::fs::read_to_string(&snapshot_path)?;
         let mut inner = ShardCoordinator::from_federated_json(&snapshot).map_err(|e| {
@@ -217,7 +237,15 @@ impl Journaled {
             // Replay applies commands, not their outcomes: a command the live
             // daemon refused is refused again here, identically (state and
             // command are both identical), so errors are expected data.
-            inner.apply(command, 0);
+            match tracer {
+                Some(t) => {
+                    let root = command.name();
+                    t.trace_replay(root, || inner.apply(command, 0));
+                }
+                None => {
+                    inner.apply(command, 0);
+                }
+            }
             inner.set_journal_seq(record.seq);
         }
         let summary = RecoverySummary::new(base_seq, report, inner.rounds_run());
@@ -394,7 +422,12 @@ impl Journaled {
             match e {
                 CheckpointError::Crashed => return Err(Crashed),
                 CheckpointError::Io(e) => {
-                    eprintln!("oef-serviced: checkpoint failed ({e}); journal keeps the full tail");
+                    oef_trace::log_json(
+                        "error",
+                        "journal",
+                        "checkpoint failed; journal keeps the full tail",
+                        &[("error", &e.to_string())],
+                    );
                 }
             }
         }
@@ -444,6 +477,7 @@ impl Journaled {
         obs.truncated_bytes
             .set(stats.truncated_bytes_on_recovery as f64);
         obs.replayed.set(self.replayed_on_recovery as f64);
+        obs.journal_seq.set(self.inner.journal_seq() as f64);
     }
 }
 
@@ -509,6 +543,11 @@ impl CommandHandler for Journaled {
             replayed: registry.gauge(
                 "oef_journal_replayed_records",
                 "Commands replayed from the journal tail when this process recovered.",
+                &[],
+            ),
+            journal_seq: registry.gauge(
+                "oef_journal_seq",
+                "Global sequence number of the last journaled-and-applied command.",
                 &[],
             ),
         });

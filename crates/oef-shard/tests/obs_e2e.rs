@@ -200,7 +200,12 @@ fn healthz_answers_while_the_command_port_is_busy() {
         client.tick().unwrap();
         let (head, body) = http_get(maddr, "/healthz");
         assert!(head.starts_with("HTTP/1.1 200"));
-        assert_eq!(body, "ok\n");
+        // The liveness body is JSON: status plus freshness signals (see
+        // `docs/tracing.md` and the check-metrics subcommand).
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"shards\":1"), "{body}");
+        assert!(body.contains("\"uptime_secs\":"), "{body}");
+        assert!(!body.contains("\"last_solve_age_secs\":null"), "{body}");
     }
 
     client.shutdown().unwrap();

@@ -1,0 +1,310 @@
+//! End-to-end tracing tests: a traced command's journey across the wire.
+//!
+//! The contract under test is the tentpole of the tracing subsystem: a
+//! client-stamped trace context rides the wire into the daemon, the worker
+//! records named phase spans (`queue_wait`, `journal_append`, `solve`,
+//! `reply_write`) into one span tree, the reply carries the trace id back,
+//! and the finished trace is retrievable from the slow-trace ring with its
+//! spans nested inside the end-to-end duration.  Crash-recovery replay is
+//! tested with the real `kill -9` harness: replayed commands must surface
+//! as *fresh* traces marked `replay=true` — never re-attributed to the
+//! trace ids the original wire commands carried.
+
+use oef_cluster::ClusterTopology;
+use oef_service::{Command, Response, Server, ServiceClient, ServiceConfig};
+use oef_shard::{placement_from_name, JournalOptions, Journaled, ShardCoordinator};
+use oef_trace::{TraceRing, Tracer};
+use std::io::BufRead;
+use std::path::PathBuf;
+
+fn coordinator(shards: usize) -> ShardCoordinator {
+    ShardCoordinator::new(
+        (0..shards)
+            .map(|_| ClusterTopology::paper_cluster())
+            .collect(),
+        ServiceConfig::default(),
+        placement_from_name("least-loaded").unwrap(),
+    )
+    .unwrap()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oef-trace-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const PROFILES: [&[f64]; 4] = [
+    &[1.0, 1.18, 1.39],
+    &[1.0, 1.55, 2.15],
+    &[1.0, 1.25, 1.55],
+    &[1.0, 1.40, 1.90],
+];
+
+/// A traced client: every request carries a sampled context (1-in-1).
+fn traced_client(addr: &str) -> ServiceClient {
+    let mut client = ServiceClient::connect(addr).unwrap();
+    client.set_tracer(Some(Tracer::new(1)));
+    client
+}
+
+/// The tentpole path at 4 shards: a traced command crosses the wire into a
+/// journaled federation, the reply carries the trace id, and the ring holds
+/// the complete span tree with every phase nested inside the total.
+#[test]
+fn traced_tick_returns_trace_id_and_nested_spans() {
+    let dir = fresh_dir("spans");
+    let journaled = Journaled::create(
+        coordinator(4),
+        &dir,
+        JournalOptions {
+            fsync_every: 1,
+            compact_every: 10_000,
+            segment_records: 1024,
+        },
+    )
+    .unwrap();
+    let ring = TraceRing::new(16, 256);
+    let tracer = Tracer::with_ring(1, ring.clone());
+    let server = Server::spawn_traced(journaled, "127.0.0.1:0", Some(tracer)).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = traced_client(&addr);
+    let mut tick_ids = Vec::new();
+    for (i, profile) in PROFILES.iter().enumerate() {
+        let tenant = client.join(&format!("traced-{i}"), 1, profile).unwrap();
+        client.submit_job(tenant, "model", 2, 1e9).unwrap();
+    }
+    for _ in 0..3 {
+        client.tick().unwrap();
+        let id = client
+            .last_trace_id()
+            .expect("a 1-in-1 sampled tick must return a trace id")
+            .to_string();
+        assert!(
+            oef_trace::parse_id(&id).is_some(),
+            "reply trace id {id:?} is not 16 hex digits"
+        );
+        tick_ids.push(id);
+    }
+
+    // Every reply id resolves to a complete span tree in the ring.  The
+    // daemon records the trace *after* flushing the reply (the record's
+    // reply_write span times that flush), so the newest record can trail
+    // the reply by a scheduling quantum — poll briefly.
+    let find = |id: &str| {
+        let key = oef_trace::parse_id(id).unwrap();
+        for _ in 0..200 {
+            if let Some(record) = ring.find(key) {
+                return record;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("trace {id} not retrievable from the ring");
+    };
+    for id in &tick_ids {
+        let record = find(id);
+        assert_eq!(record.root, "Tick");
+        assert!(!record.replay, "a live wire command is not a replay");
+        let named: Vec<&str> = record.spans.iter().map(|s| s.name).collect();
+        for phase in ["queue_wait", "journal_append", "solve", "reply_write"] {
+            assert!(
+                named.contains(&phase),
+                "tick trace {id} is missing the {phase} span (has {named:?})"
+            );
+        }
+        // Nesting: each phase starts and ends inside the end-to-end window,
+        // and the sequential phases cannot exceed it in sum.
+        for span in &record.spans {
+            assert!(
+                span.start_ns + span.dur_ns <= record.total_ns,
+                "span {} ({}ns at {}ns) escapes the {}ns total of trace {id}",
+                span.name,
+                span.dur_ns,
+                span.start_ns,
+                record.total_ns
+            );
+        }
+        assert!(record.child_ns("queue_wait") <= record.total_ns);
+        assert!(
+            record.child_ns("journal_append") + record.child_ns("solve") <= record.total_ns,
+            "journal + solve exceed the end-to-end duration of trace {id}: {:?} total={}",
+            record.spans,
+            record.total_ns
+        );
+        // Group commit at fsync_every=1 syncs inside every append, so each
+        // sync span nests under a journal_append parent and fits within it.
+        for span in &record.spans {
+            if span.name == "journal_sync" {
+                let parent = span
+                    .parent
+                    .expect("journal_sync nests under journal_append");
+                let parent = &record.spans[parent as usize];
+                assert_eq!(parent.name, "journal_append");
+                assert!(span.dur_ns <= parent.dur_ns);
+            }
+        }
+    }
+
+    // The ring sampled every command: joins, submits, ticks.
+    assert!(ring.pushed() >= (2 * PROFILES.len() + 3) as u64);
+    client.shutdown().unwrap();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An untraced daemon still echoes the client's trace id back in the reply,
+/// so a sampling client can correlate even when the server records nothing.
+#[test]
+fn untraced_daemon_echoes_client_trace_id() {
+    let server = Server::spawn(coordinator(2), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = traced_client(&addr);
+    client.join("echo-0", 1, PROFILES[0]).unwrap();
+    let id = client
+        .last_trace_id()
+        .expect("the daemon must echo the client's sampled trace id")
+        .to_string();
+    assert!(oef_trace::parse_id(&id).is_some());
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// Spawns the real daemon binary and returns (child, wire addr, metrics
+/// addr) once both listeners have announced themselves on stdout.
+fn spawn_serviced(args: &[&str]) -> (std::process::Child, String, String) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_oef-serviced"))
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn oef-serviced");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut addr = None;
+    let mut maddr = None;
+    while addr.is_none() || maddr.is_none() {
+        let line = lines
+            .next()
+            .expect("daemon exited before listening")
+            .expect("daemon stdout");
+        if let Some(a) = line.strip_prefix("oef-serviced listening on ") {
+            addr = Some(a.to_string());
+        } else if let Some(a) = line.strip_prefix("oef-serviced metrics listening on ") {
+            maddr = Some(a.to_string());
+        }
+    }
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr.unwrap(), maddr.unwrap())
+}
+
+/// One HTTP/1.1 GET against the metrics listener.
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("metrics port accepts");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body separator");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "GET {path} failed: {head}"
+    );
+    body.to_string()
+}
+
+/// Kill -9 a traced, journaled daemon mid-run and recover it: the replayed
+/// commands must show up in `/traces` as fresh `replay=true` traces whose
+/// ids are disjoint from the ids the original wire commands returned.
+#[test]
+fn replay_traces_are_fresh_and_marked_after_kill_nine() {
+    let dir = fresh_dir("kill9");
+    let dir_arg = dir.to_str().unwrap().to_string();
+    let flags = [
+        "--addr",
+        "127.0.0.1:0",
+        "--metrics-addr",
+        "127.0.0.1:0",
+        "--trace-sample",
+        "1",
+        "--journal-dir",
+        &dir_arg,
+        "--fsync-every",
+        "1",
+        "--compact-every",
+        "100000",
+    ];
+    let (mut child, addr, _maddr) = spawn_serviced(&{
+        let mut f = flags.to_vec();
+        f.extend_from_slice(&["--shards", "2"]);
+        f
+    });
+
+    let mut client = traced_client(&addr);
+    let mut live_ids = Vec::new();
+    for (i, profile) in PROFILES.iter().enumerate() {
+        let tenant = client.join(&format!("crash-{i}"), 1, profile).unwrap();
+        live_ids.push(client.last_trace_id().unwrap().to_string());
+        client.submit_job(tenant, "model", 2, 1e9).unwrap();
+        live_ids.push(client.last_trace_id().unwrap().to_string());
+    }
+    client.tick().unwrap();
+    live_ids.push(client.last_trace_id().unwrap().to_string());
+
+    // SIGKILL: no drop handlers, no exit checkpoint — recovery must replay.
+    child.kill().expect("kill -9 the daemon");
+    let _ = child.wait();
+
+    let (mut child, addr, maddr) = spawn_serviced(&flags);
+    let traces = http_get(&maddr, "/traces");
+    let doc: serde::Value = serde_json::from_str(&traces).expect("/traces is valid JSON");
+    let recent = doc
+        .get("recent")
+        .and_then(serde::Value::as_array)
+        .expect("/traces has a recent list");
+    let slowest = doc
+        .get("slowest")
+        .and_then(serde::Value::as_array)
+        .expect("/traces has a slowest list");
+    let replays: Vec<&serde::Value> = recent
+        .iter()
+        .chain(slowest.iter())
+        .filter(|r| matches!(r.get("replay"), Some(serde::Value::Bool(true))))
+        .collect();
+    // Every journaled command (4 joins + 4 submits + 1 tick) replays as a
+    // trace; the bounded `recent` window may not retain all of them, but
+    // some must be visible and every one must carry a fresh id.
+    assert!(
+        !replays.is_empty(),
+        "recovery replayed no traced commands: {traces}"
+    );
+    for record in &replays {
+        let id = record
+            .get("trace_id")
+            .and_then(serde::Value::as_str)
+            .expect("replay trace has an id");
+        assert!(
+            !live_ids.iter().any(|live| live == id),
+            "replay trace {id} was re-attributed to a live wire trace"
+        );
+    }
+
+    // The recovered daemon keeps tracing live commands.
+    let mut client = traced_client(&addr);
+    match client.call(Command::Tick) {
+        Ok(Response::RoundCompleted(_)) => {}
+        other => panic!("post-recovery tick failed: {other:?}"),
+    }
+    let post = client.last_trace_id().expect("post-recovery tick traced");
+    assert!(oef_trace::parse_id(post).is_some());
+
+    client.shutdown().unwrap();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

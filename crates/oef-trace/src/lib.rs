@@ -1,0 +1,1044 @@
+//! End-to-end command tracing for the OEF middleware.
+//!
+//! A [`TraceContext`] (trace id + parent span id + sampled flag) rides an
+//! *optional* field on every wire command; the daemon's worker thread turns a
+//! sampled command into an in-memory span tree recorded through a
+//! **thread-local recorder** — the code between `begin` and `take` (journal
+//! append, LP solve, …) opens named spans with [`span`] without threading any
+//! handle through call signatures, and pays one thread-local `Option` check
+//! when tracing is off.  Finished traces land in a bounded [`TraceRing`]
+//! (top-K by duration plus a tail ring of the most recent sampled traces)
+//! that the metrics listener serves as `GET /traces`.
+//!
+//! The same crate owns the structured JSON log path: [`log_json`] formats one
+//! JSON object per line (always carrying the current trace id when one is
+//! active) and hands it to a single writer thread over a bounded channel —
+//! when the channel is full the line is *dropped and counted*, never blocking
+//! the caller.
+//!
+//! Design disciplines, mirroring `oef-obs::registry`:
+//! * **No locks on the hot path.**  An unsampled command touches one atomic
+//!   (the sampling counter) and one thread-local check per span site; it
+//!   allocates nothing.
+//! * **Bounded everything.**  The ring holds at most `top_k + recent` traces,
+//!   a trace holds at most [`MAX_SPANS`] spans, the log channel holds at most
+//!   [`LOG_CHANNEL_CAPACITY`] lines.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Spans a single trace will record at most; further spans are dropped (and
+/// counted on the record) rather than growing without bound.
+pub const MAX_SPANS: usize = 128;
+
+/// Lines the asynchronous log writer buffers before dropping.
+pub const LOG_CHANNEL_CAPACITY: usize = 1024;
+
+/// Traces kept in the "slowest" half of the ring.
+pub const DEFAULT_TOP_K: usize = 16;
+
+/// Traces kept in the "most recent" half of the ring.
+pub const DEFAULT_RECENT: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Trace context (the wire-propagated part)
+// ---------------------------------------------------------------------------
+
+/// The context a traced command carries across the wire: which trace it
+/// belongs to, the caller's span, and whether the caller asked for it to be
+/// recorded.  Serialized as an *optional* request field (absent = untraced),
+/// so v2 peers that never heard of tracing interoperate unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace identifier; rendered as 16 lowercase hex digits on the wire and
+    /// in exemplar labels.
+    pub trace_id: u64,
+    /// The caller's span id (0 = the caller is the root).
+    pub parent_span: u64,
+    /// Whether the caller asked the daemon to record this command.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A fresh root context with `sampled` set.
+    pub fn sampled_root(trace_id: u64) -> Self {
+        Self {
+            trace_id,
+            parent_span: 0,
+            sampled: true,
+        }
+    }
+}
+
+/// Renders a trace/span id the canonical way: 16 lowercase hex digits.
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a hex trace/span id (as produced by [`format_id`]).
+pub fn parse_id(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Span records
+// ---------------------------------------------------------------------------
+
+/// One closed span inside a trace: a named phase with its offset and
+/// duration, and the index of its parent span (`None` = child of the root).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (`queue_wait`, `journal_append`, `solve`, …).
+    pub name: &'static str,
+    /// Nanoseconds from the start of the trace to the start of this span.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Index of the parent span in the trace's span list (`None` = the
+    /// root command span is the parent).
+    pub parent: Option<u16>,
+}
+
+/// A finished trace as stored in the ring: the complete span tree of one
+/// command's journey through the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Trace identifier (render with [`format_id`]).
+    pub trace_id: u64,
+    /// Root span name — the wire command variant (`Tick`, `SubmitJob`, …).
+    pub root: &'static str,
+    /// End-to-end duration in nanoseconds (queue wait through reply write).
+    pub total_ns: u64,
+    /// Whether this trace was produced by crash-recovery *replay* of a
+    /// journaled command rather than a live wire command.  Replayed commands
+    /// get fresh trace ids — they are never re-attributed to the trace that
+    /// originally carried them.
+    pub replay: bool,
+    /// Unix timestamp (seconds, fractional) when the trace finished.
+    pub unix_secs: f64,
+    /// Closed child spans, in closing order.
+    pub spans: Vec<SpanRecord>,
+    /// Named counters attached while the trace was active (eta pivots,
+    /// refactorizations, …).
+    pub counts: Vec<(&'static str, u64)>,
+    /// Spans dropped because the trace hit [`MAX_SPANS`].
+    pub dropped_spans: u64,
+}
+
+impl TraceRecord {
+    /// Sum of the durations of the *top-level* spans (direct children of
+    /// the root command span) with this name — the nesting checks the e2e
+    /// tests assert (`queue ≤ total`, …).  Nested same-name spans are
+    /// excluded: a sequential fan-out records each shard's `solve` inside
+    /// the fan-out's own `solve` span, and summing both would double-count
+    /// the same wall-clock.
+    pub fn child_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name && s.parent.is_none())
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// The attached count named `name`, 0 when absent.
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"trace_id\":\"");
+        out.push_str(&format_id(self.trace_id));
+        out.push_str("\",\"root\":\"");
+        push_escaped(&mut out, self.root);
+        out.push_str("\",\"total_us\":");
+        push_f64(&mut out, self.total_ns as f64 / 1e3);
+        out.push_str(",\"replay\":");
+        out.push_str(if self.replay { "true" } else { "false" });
+        out.push_str(",\"unix_secs\":");
+        push_f64(&mut out, self.unix_secs);
+        out.push_str(",\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            push_escaped(&mut out, span.name);
+            out.push_str("\",\"start_us\":");
+            push_f64(&mut out, span.start_ns as f64 / 1e3);
+            out.push_str(",\"dur_us\":");
+            push_f64(&mut out, span.dur_ns as f64 / 1e3);
+            out.push_str(",\"parent\":");
+            match span.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push_str("],\"counts\":{");
+        for (i, (name, value)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            push_escaped(&mut out, name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"dropped_spans\":");
+        out.push_str(&self.dropped_spans.to_string());
+        out.push('}');
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local recorder
+// ---------------------------------------------------------------------------
+
+struct Active {
+    trace_id: u64,
+    root: &'static str,
+    replay: bool,
+    started: Instant,
+    /// Time the command spent queued before `started` — the trace timeline
+    /// originates at enqueue, so every span offset adds this base.
+    base_ns: u64,
+    spans: Vec<SpanRecord>,
+    /// Indices of currently open spans (innermost last).
+    stack: Vec<u16>,
+    counts: Vec<(&'static str, u64)>,
+    dropped_spans: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+/// The trace id of the command currently being recorded on this thread, if
+/// any.  Exemplar attachment reads this at histogram-observe time.
+pub fn current_trace_id() -> Option<u64> {
+    ACTIVE.with(|a| a.borrow().as_ref().map(|t| t.trace_id))
+}
+
+/// Whether a recorder is active on this thread (one thread-local check).
+pub fn is_recording() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Opens a named span on the current thread's trace.  When no trace is being
+/// recorded the guard is inert: no clock read, no allocation.
+///
+/// Spans close when the guard drops, so nesting follows scope; a span opened
+/// while another is open becomes its child.
+pub fn span(name: &'static str) -> SpanGuard {
+    let opened = ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let trace = a.as_mut()?;
+        if trace.spans.len() >= MAX_SPANS {
+            trace.dropped_spans += 1;
+            return None;
+        }
+        let index = trace.spans.len() as u16;
+        let parent = trace.stack.last().copied();
+        trace.spans.push(SpanRecord {
+            name,
+            start_ns: trace.base_ns + trace.started.elapsed().as_nanos() as u64,
+            dur_ns: 0,
+            parent,
+        });
+        trace.stack.push(index);
+        Some(index)
+    });
+    SpanGuard { opened }
+}
+
+/// Closes its span on drop; inert when tracing was off at open time.
+pub struct SpanGuard {
+    opened: Option<u16>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(index) = self.opened else {
+            return;
+        };
+        ACTIVE.with(|a| {
+            let mut a = a.borrow_mut();
+            let Some(trace) = a.as_mut() else {
+                return;
+            };
+            let now = trace.base_ns + trace.started.elapsed().as_nanos() as u64;
+            if let Some(span) = trace.spans.get_mut(index as usize) {
+                span.dur_ns = now.saturating_sub(span.start_ns);
+            }
+            // Guards drop in reverse open order under scoped use; tolerate
+            // out-of-order drops by removing the index wherever it sits.
+            trace.stack.retain(|&i| i != index);
+        });
+    }
+}
+
+/// Adds `n` to the named counter on the current thread's trace (eta pivots,
+/// refactorizations, …).  No-op without an active trace.
+pub fn count(name: &'static str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    ACTIVE.with(|a| {
+        let mut a = a.borrow_mut();
+        let Some(trace) = a.as_mut() else {
+            return;
+        };
+        if let Some(slot) = trace.counts.iter_mut().find(|(c, _)| *c == name) {
+            slot.1 += n;
+        } else {
+            trace.counts.push((name, n));
+        }
+    });
+}
+
+/// A trace lifted off its recording thread, ready to cross to the reply
+/// writer (which appends the `reply_write` span) and be finished into the
+/// ring.
+#[derive(Debug)]
+pub struct PendingTrace {
+    trace_id: u64,
+    root: &'static str,
+    replay: bool,
+    started: Instant,
+    base_ns: u64,
+    spans: Vec<SpanRecord>,
+    counts: Vec<(&'static str, u64)>,
+    dropped_spans: u64,
+}
+
+impl PendingTrace {
+    /// The trace id (for echoing in the wire reply).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+/// The daemon-wide tracing handle: the sampling decision, trace-id minting,
+/// and the ring finished traces land in.  Cloning shares state.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+struct TracerInner {
+    /// Record every Nth command locally (0 = tracing disabled entirely —
+    /// even client-flagged commands are not recorded, and the hot path does
+    /// no per-command work beyond one atomic increment).
+    sample_every: u64,
+    seq: AtomicU64,
+    id_base: u64,
+    ring: TraceRing,
+}
+
+impl Tracer {
+    /// A tracer recording every `sample_every`-th command (plus every
+    /// command whose wire context carries `sampled: true`).  0 disables
+    /// tracing entirely.
+    pub fn new(sample_every: u64) -> Self {
+        Self::with_ring(sample_every, TraceRing::new(DEFAULT_TOP_K, DEFAULT_RECENT))
+    }
+
+    /// A tracer over a caller-supplied ring (tests, custom bounds).
+    pub fn with_ring(sample_every: u64, ring: TraceRing) -> Self {
+        // Seed the id space from wall clock + PID so ids from successive
+        // daemon incarnations (crash/recover cycles) never collide; the
+        // splitmix finalizer in `mint_id` spreads consecutive sequence
+        // numbers over the whole 64-bit space.
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            ^ (u64::from(std::process::id()) << 32);
+        Self {
+            inner: Arc::new(TracerInner {
+                sample_every,
+                seq: AtomicU64::new(0),
+                id_base: seed,
+                ring,
+            }),
+        }
+    }
+
+    /// Whether tracing is enabled at all (`sample_every > 0`).
+    pub fn enabled(&self) -> bool {
+        self.inner.sample_every > 0
+    }
+
+    /// The configured 1-in-N local sampling rate.
+    pub fn sample_every(&self) -> u64 {
+        self.inner.sample_every
+    }
+
+    /// The ring finished traces land in.
+    pub fn ring(&self) -> &TraceRing {
+        &self.inner.ring
+    }
+
+    fn mint_id(&self) -> u64 {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .inner
+            .id_base
+            .wrapping_add(seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let id = z ^ (z >> 31);
+        // 0 is the "no id" sentinel in a few places; never mint it.
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+
+    /// Makes the sampling decision for one command and, when it samples,
+    /// installs a recorder on the current thread.  Returns the trace id the
+    /// command is being recorded under (`None` = not recorded).
+    ///
+    /// `queued_ns`, when given, is recorded as an already-closed
+    /// `queue_wait` span (the time the command sat in the bounded queue —
+    /// measured by the server, which is the only place that knows it).
+    pub fn begin(
+        &self,
+        ctx: Option<TraceContext>,
+        root: &'static str,
+        queued_ns: Option<u64>,
+    ) -> Option<u64> {
+        if self.inner.sample_every == 0 {
+            return None;
+        }
+        let locally_sampled = self
+            .inner
+            .seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.inner.sample_every);
+        let sampled = locally_sampled || ctx.is_some_and(|c| c.sampled);
+        if !sampled {
+            return None;
+        }
+        let trace_id = match ctx {
+            Some(c) if c.trace_id != 0 => c.trace_id,
+            _ => self.mint_id(),
+        };
+        self.install(trace_id, root, false, queued_ns);
+        Some(trace_id)
+    }
+
+    /// Client-side sampling decision: 1-in-N requests get a freshly minted
+    /// sampled [`TraceContext`] to put on the wire (forcing the daemon to
+    /// record the command), the rest get `None`.  No recorder is installed —
+    /// the daemon, not the client, records the spans.
+    pub fn sample_context(&self) -> Option<TraceContext> {
+        if self.inner.sample_every == 0 {
+            return None;
+        }
+        if !self
+            .inner
+            .seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.inner.sample_every)
+        {
+            return None;
+        }
+        Some(TraceContext::sampled_root(self.mint_id()))
+    }
+
+    /// Installs a recorder for a crash-recovery *replay* of a journaled
+    /// command.  Replay traces always mint a fresh id — the journal does not
+    /// persist trace context, and a replayed command must not be
+    /// re-attributed to the trace that originally carried it.
+    pub fn begin_replay(&self, root: &'static str) -> Option<u64> {
+        if self.inner.sample_every == 0 {
+            return None;
+        }
+        let trace_id = self.mint_id();
+        self.install(trace_id, root, true, None);
+        Some(trace_id)
+    }
+
+    fn install(&self, trace_id: u64, root: &'static str, replay: bool, queued_ns: Option<u64>) {
+        let started = Instant::now();
+        let base_ns = queued_ns.unwrap_or(0);
+        let mut spans = Vec::with_capacity(8);
+        if let Some(q) = queued_ns {
+            spans.push(SpanRecord {
+                name: "queue_wait",
+                start_ns: 0,
+                dur_ns: q,
+                parent: None,
+            });
+        }
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = Some(Active {
+                trace_id,
+                root,
+                replay,
+                started,
+                base_ns,
+                spans,
+                stack: Vec::new(),
+                counts: Vec::new(),
+                dropped_spans: 0,
+            });
+        });
+    }
+
+    /// Lifts the recorder off the current thread (closing any spans still
+    /// open) so the trace can cross to the reply writer.  Returns `None`
+    /// when nothing was being recorded.
+    pub fn take(&self) -> Option<PendingTrace> {
+        let active = ACTIVE.with(|a| a.borrow_mut().take())?;
+        let Active {
+            trace_id,
+            root,
+            replay,
+            started,
+            base_ns,
+            mut spans,
+            stack,
+            counts,
+            dropped_spans,
+        } = active;
+        let now = base_ns + started.elapsed().as_nanos() as u64;
+        for index in stack {
+            if let Some(span) = spans.get_mut(index as usize) {
+                span.dur_ns = now.saturating_sub(span.start_ns);
+            }
+        }
+        Some(PendingTrace {
+            trace_id,
+            root,
+            replay,
+            started,
+            base_ns,
+            spans,
+            counts,
+            dropped_spans,
+        })
+    }
+
+    /// Finishes a lifted trace into the ring.  `reply_write_ns`, when given,
+    /// is appended as the final `reply_write` span (measured by the
+    /// connection thread around the socket write).
+    pub fn finish(&self, mut pending: PendingTrace, reply_write_ns: Option<u64>) {
+        let mut total_ns = pending.base_ns + pending.started.elapsed().as_nanos() as u64;
+        if let Some(w) = reply_write_ns {
+            pending.spans.push(SpanRecord {
+                name: "reply_write",
+                start_ns: total_ns,
+                dur_ns: w,
+                parent: None,
+            });
+            total_ns += w;
+        }
+        let record = TraceRecord {
+            trace_id: pending.trace_id,
+            root: pending.root,
+            total_ns,
+            replay: pending.replay,
+            unix_secs: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+            spans: pending.spans,
+            counts: pending.counts,
+            dropped_spans: pending.dropped_spans,
+        };
+        self.inner.ring.push(record);
+    }
+
+    /// Records one closure as a complete replay trace (recover loops).
+    /// Returns the closure's result; the trace id is `None` when disabled.
+    pub fn trace_replay<R>(&self, root: &'static str, f: impl FnOnce() -> R) -> (R, Option<u64>) {
+        let id = self.begin_replay(root);
+        let result = f();
+        if id.is_some() {
+            if let Some(pending) = self.take() {
+                self.finish(pending, None);
+            }
+        }
+        (result, id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slow-trace ring
+// ---------------------------------------------------------------------------
+
+/// Bounded store of finished traces: the top-K slowest by total duration
+/// plus a tail ring of the most recent sampled traces.  Pushes happen only
+/// for sampled commands (1-in-N), so a mutex is fine here — it is never on
+/// the unsampled hot path.
+#[derive(Clone)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+}
+
+struct RingInner {
+    top_k: usize,
+    recent_cap: usize,
+    /// Slowest traces, sorted by `total_ns` descending.
+    slowest: Vec<TraceRecord>,
+    /// Most recent traces, oldest first.
+    recent: VecDeque<TraceRecord>,
+    pushed: u64,
+}
+
+impl TraceRing {
+    /// A ring keeping the `top_k` slowest and the `recent` most recent
+    /// traces.
+    pub fn new(top_k: usize, recent: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(RingInner {
+                top_k: top_k.max(1),
+                recent_cap: recent.max(1),
+                slowest: Vec::new(),
+                recent: VecDeque::new(),
+                pushed: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Adds a finished trace.
+    pub fn push(&self, record: TraceRecord) {
+        let mut inner = self.lock();
+        inner.pushed += 1;
+        let pos = inner
+            .slowest
+            .partition_point(|r| r.total_ns >= record.total_ns);
+        if pos < inner.top_k {
+            inner.slowest.insert(pos, record.clone());
+            if inner.slowest.len() > inner.top_k {
+                inner.slowest.pop();
+            }
+        }
+        if inner.recent.len() >= inner.recent_cap {
+            inner.recent.pop_front();
+        }
+        inner.recent.push_back(record);
+    }
+
+    /// Total traces ever pushed.
+    pub fn pushed(&self) -> u64 {
+        self.lock().pushed
+    }
+
+    /// The `n` slowest traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<TraceRecord> {
+        let inner = self.lock();
+        inner.slowest.iter().take(n).cloned().collect()
+    }
+
+    /// The most recent traces, newest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceRecord> {
+        let inner = self.lock();
+        inner.recent.iter().rev().take(n).cloned().collect()
+    }
+
+    /// Looks a trace up by id, checking both halves of the ring.
+    pub fn find(&self, trace_id: u64) -> Option<TraceRecord> {
+        let inner = self.lock();
+        inner
+            .recent
+            .iter()
+            .rev()
+            .chain(inner.slowest.iter())
+            .find(|r| r.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Renders the ring as the `/traces` JSON document.
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"pushed\":");
+        out.push_str(&inner.pushed.to_string());
+        out.push_str(",\"slowest\":[");
+        for (i, record) in inner.slowest.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&record.to_json());
+        }
+        out.push_str("],\"recent\":[");
+        for (i, record) in inner.recent.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&record.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders one trace as JSON, by id.
+    pub fn find_json(&self, trace_id: u64) -> Option<String> {
+        self.find(trace_id).map(|r| r.to_json())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured JSON logs
+// ---------------------------------------------------------------------------
+
+enum LogMessage {
+    Line(String),
+    Flush(SyncSender<()>),
+}
+
+struct LogState {
+    sender: SyncSender<LogMessage>,
+    dropped: AtomicU64,
+}
+
+static LOGGER: OnceLock<LogState> = OnceLock::new();
+
+/// Starts the asynchronous log writer: one thread draining a bounded
+/// channel to stderr.  Idempotent — the first call wins.  Without this,
+/// [`log_json`] writes synchronously to stderr (same format, blocking).
+pub fn init_logger() {
+    let _ = LOGGER.get_or_init(|| {
+        let (sender, receiver) = sync_channel::<LogMessage>(LOG_CHANNEL_CAPACITY);
+        std::thread::Builder::new()
+            .name("oef-log".to_string())
+            .spawn(move || {
+                use std::io::Write;
+                while let Ok(message) = receiver.recv() {
+                    match message {
+                        LogMessage::Line(line) => {
+                            let mut err = std::io::stderr().lock();
+                            let _ = writeln!(err, "{line}");
+                        }
+                        LogMessage::Flush(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            })
+            .expect("log writer thread spawns");
+        LogState {
+            sender,
+            dropped: AtomicU64::new(0),
+        }
+    });
+}
+
+/// Log lines dropped because the writer's channel was full (0 when the
+/// asynchronous writer was never started).
+pub fn log_lines_dropped() -> u64 {
+    LOGGER
+        .get()
+        .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
+}
+
+/// Blocks until the writer thread has drained everything sent so far
+/// (tests; shutdown paths).  No-op without the asynchronous writer.
+pub fn flush_logs() {
+    if let Some(state) = LOGGER.get() {
+        let (ack, done) = sync_channel(1);
+        if state.sender.send(LogMessage::Flush(ack)).is_ok() {
+            let _ = done.recv();
+        }
+    }
+}
+
+/// Emits one structured JSON log line: timestamp, level, component, message,
+/// the current thread's trace id when one is active, and any extra fields.
+/// Routed through the bounded-channel writer when [`init_logger`] ran
+/// (dropped and counted when the channel is full), synchronously to stderr
+/// otherwise.
+pub fn log_json(level: &str, component: &str, message: &str, fields: &[(&str, &str)]) {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"ts\":");
+    push_f64(
+        &mut line,
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+    );
+    line.push_str(",\"level\":\"");
+    push_escaped(&mut line, level);
+    line.push_str("\",\"component\":\"");
+    push_escaped(&mut line, component);
+    line.push_str("\",\"msg\":\"");
+    push_escaped(&mut line, message);
+    line.push('"');
+    if let Some(trace_id) = current_trace_id() {
+        line.push_str(",\"trace_id\":\"");
+        line.push_str(&format_id(trace_id));
+        line.push('"');
+    }
+    for (key, value) in fields {
+        line.push_str(",\"");
+        push_escaped(&mut line, key);
+        line.push_str("\":\"");
+        push_escaped(&mut line, value);
+        line.push('"');
+    }
+    line.push('}');
+    match LOGGER.get() {
+        Some(state) => match state.sender.try_send(LogMessage::Line(line)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                state.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        None => {
+            eprintln!("{line}");
+        }
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_never_mint_zero() {
+        let tracer = Tracer::new(1);
+        for _ in 0..100 {
+            let id = tracer.mint_id();
+            assert_ne!(id, 0);
+            assert_eq!(parse_id(&format_id(id)), Some(id));
+        }
+        assert_eq!(parse_id(""), None);
+        assert_eq!(parse_id("xyz"), None);
+        assert_eq!(parse_id("00000000000000000"), None, "17 digits");
+        assert_eq!(parse_id("ff"), Some(255));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(0);
+        assert!(!tracer.enabled());
+        let id = tracer.begin(Some(TraceContext::sampled_root(7)), "Tick", Some(1_000));
+        assert_eq!(id, None, "sample 0 disables even client-flagged traces");
+        assert!(!is_recording());
+        {
+            let _guard = span("solve");
+            assert!(current_trace_id().is_none());
+        }
+        assert!(tracer.take().is_none());
+        assert_eq!(tracer.ring().pushed(), 0);
+    }
+
+    #[test]
+    fn sampled_command_records_a_span_tree() {
+        let tracer = Tracer::new(1);
+        let id = tracer
+            .begin(None, "Tick", Some(5_000))
+            .expect("1-in-1 samples everything");
+        assert_eq!(current_trace_id(), Some(id));
+        {
+            let _outer = span("solve");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("eta_pivot");
+            }
+            count("eta_pivots", 3);
+            count("eta_pivots", 2);
+        }
+        let pending = tracer.take().expect("recorder is active");
+        assert!(!is_recording(), "take uninstalls the recorder");
+        tracer.finish(pending, Some(1_500));
+
+        let traces = tracer.ring().recent(1);
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.trace_id, id);
+        assert_eq!(t.root, "Tick");
+        assert!(!t.replay);
+        assert_eq!(t.count("eta_pivots"), 5);
+        assert_eq!(t.child_ns("queue_wait"), 5_000);
+        assert_eq!(t.child_ns("reply_write"), 1_500);
+        let solve = t.spans.iter().find(|s| s.name == "solve").unwrap();
+        assert!(solve.dur_ns >= 2_000_000, "solve span covers the sleep");
+        assert!(t.total_ns >= solve.dur_ns, "children nest under the total");
+        let solve_index = t.spans.iter().position(|s| s.name == "solve").unwrap() as u16;
+        let inner = t.spans.iter().find(|s| s.name == "eta_pivot").unwrap();
+        assert_eq!(inner.parent, Some(solve_index), "nesting follows scope");
+        assert!(
+            solve.dur_ns + t.child_ns("queue_wait") + t.child_ns("reply_write") <= t.total_ns,
+            "sibling spans fit inside the total"
+        );
+    }
+
+    #[test]
+    fn one_in_n_sampling_honors_the_client_flag() {
+        let tracer = Tracer::new(1_000_000);
+        // The very first command is the Nth (counter starts at 0); consume it.
+        let first = tracer.begin(None, "Status", None);
+        assert!(first.is_some());
+        if let Some(p) = tracer.take() {
+            tracer.finish(p, None);
+        }
+        // Locally unsampled...
+        assert_eq!(tracer.begin(None, "Status", None), None);
+        // ...but a client-flagged command is always recorded, under the
+        // client's id.
+        let ctx = TraceContext::sampled_root(0xabcd);
+        let id = tracer.begin(Some(ctx), "Status", None);
+        assert_eq!(id, Some(0xabcd));
+        let pending = tracer.take().unwrap();
+        assert_eq!(pending.trace_id(), 0xabcd);
+        tracer.finish(pending, None);
+        assert_eq!(tracer.ring().find(0xabcd).map(|t| t.root), Some("Status"));
+    }
+
+    #[test]
+    fn ring_keeps_top_k_and_recent_bounded() {
+        let ring = TraceRing::new(2, 3);
+        for i in 0..10u64 {
+            ring.push(TraceRecord {
+                trace_id: i + 1,
+                root: "Tick",
+                total_ns: (i + 1) * 100,
+                replay: false,
+                unix_secs: 0.0,
+                spans: Vec::new(),
+                counts: Vec::new(),
+                dropped_spans: 0,
+            });
+        }
+        assert_eq!(ring.pushed(), 10);
+        let slowest = ring.slowest(10);
+        assert_eq!(
+            slowest.iter().map(|t| t.total_ns).collect::<Vec<_>>(),
+            vec![1000, 900],
+            "top-K by duration, slowest first"
+        );
+        let recent = ring.recent(10);
+        assert_eq!(
+            recent.iter().map(|t| t.trace_id).collect::<Vec<_>>(),
+            vec![10, 9, 8],
+            "recent is newest-first and bounded"
+        );
+        // Lookup hits both halves: id 10 is recent, id 9 is in both, id 1
+        // was evicted everywhere.
+        assert!(ring.find(10).is_some());
+        assert!(ring.find(9).is_some());
+        assert!(ring.find(1).is_none());
+        let json = ring.to_json();
+        assert!(json.contains("\"pushed\":10"), "{json}");
+        assert!(json.contains("\"slowest\":["), "{json}");
+    }
+
+    #[test]
+    fn replay_traces_mint_fresh_ids_and_mark_replay() {
+        let tracer = Tracer::new(1);
+        let original = tracer.begin(None, "SubmitJob", None).unwrap();
+        let p = tracer.take().unwrap();
+        tracer.finish(p, None);
+
+        let ((), replay_id) = tracer.trace_replay("SubmitJob", || {
+            let _s = span("solve");
+        });
+        let replay_id = replay_id.expect("enabled tracer records replays");
+        assert_ne!(replay_id, original, "replay is never re-attributed");
+        let record = tracer.ring().find(replay_id).unwrap();
+        assert!(record.replay);
+        assert_eq!(record.root, "SubmitJob");
+        let live = tracer.ring().find(original).unwrap();
+        assert!(!live.replay);
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts() {
+        let tracer = Tracer::new(1);
+        tracer.begin(None, "Tick", None).unwrap();
+        for _ in 0..(MAX_SPANS + 5) {
+            let _g = span("solve");
+        }
+        let pending = tracer.take().unwrap();
+        assert_eq!(pending.spans.len(), MAX_SPANS);
+        tracer.finish(pending, None);
+        let t = tracer.ring().recent(1).remove(0);
+        assert_eq!(t.dropped_spans, 5);
+    }
+
+    #[test]
+    fn trace_json_escapes_and_renders() {
+        let record = TraceRecord {
+            trace_id: 0xff,
+            root: "Tick",
+            total_ns: 1_500,
+            replay: true,
+            unix_secs: 12.5,
+            spans: vec![SpanRecord {
+                name: "queue_wait",
+                start_ns: 0,
+                dur_ns: 1_000,
+                parent: None,
+            }],
+            counts: vec![("eta_pivots", 4)],
+            dropped_spans: 0,
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"trace_id\":\"00000000000000ff\""), "{json}");
+        assert!(json.contains("\"replay\":true"), "{json}");
+        assert!(json.contains("\"eta_pivots\":4"), "{json}");
+        assert!(json.contains("\"dur_us\":1"), "{json}");
+    }
+
+    #[test]
+    fn log_json_is_one_escaped_line() {
+        // Exercise the synchronous fallback formatting path indirectly: the
+        // escaping helper is what keeps a message with quotes/newlines a
+        // single valid JSON line.
+        let mut out = String::new();
+        push_escaped(&mut out, "a \"quoted\"\nline\t\u{1}");
+        assert_eq!(out, "a \\\"quoted\\\"\\nline\\t\\u0001");
+    }
+}

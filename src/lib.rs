@@ -34,6 +34,10 @@
 //!   fixed-bucket histograms, partitioned gauge families), a Prometheus text
 //!   exposition renderer with a strict in-repo parser, and the std-TCP
 //!   `/metrics` + `/healthz` listener behind `oef-serviced --metrics-addr`.
+//! * [`trace`] — end-to-end command tracing behind `oef-serviced
+//!   --trace-sample N`: wire-propagated trace contexts, a thread-local span
+//!   recorder, the bounded slow-trace ring served as `GET /traces`,
+//!   histogram exemplars, and the structured JSON log writer.
 //!
 //! # Quickstart
 //!
@@ -66,6 +70,7 @@ pub use oef_schedulers as schedulers;
 pub use oef_service as service;
 pub use oef_shard as shard;
 pub use oef_sim as sim;
+pub use oef_trace as trace;
 pub use oef_workloads as workloads;
 
 /// Convenience prelude re-exporting the most commonly used types across the workspace.
