@@ -58,6 +58,16 @@
 //! span recording is thread-local and the ring is only locked for the
 //! sampled minority, so tracing must be nearly free for the unsampled bulk.
 //!
+//! **`--attrib` mode** measures per-tenant solve-cost attribution's
+//! overhead and appends an `attrib_overhead` section to `BENCH_obs.json`:
+//! the classic churn trace replayed twice over TCP against the same
+//! observable daemon — once plain, once with the attribution registry
+//! attached the way `oef-serviced --metrics-addr` attaches it (owner maps
+//! declared per solve, per-pivot accounting, bounded counter family,
+//! `/attrib` endpoint mounted).  The acceptance bar is ≤5% command
+//! throughput overhead: the accounting is always-on, so it must ride paths
+//! the solver already sweeps.
+//!
 //! **`--rebalance` mode** measures the online rebalancer and writes
 //! `BENCH_rebalance.json`: a zipf-skewed churn trace (`ChurnConfig::skew`,
 //! head tenants carrying most of the job budget) replayed twice against the
@@ -1232,6 +1242,218 @@ fn trace_compare(tenants: usize, seed: u64) {
     );
 }
 
+/// Attribution-on vs attribution-off over TCP: the same churn trace, the
+/// same observable daemon (registry attached, metrics listener bound), the
+/// only difference is per-tenant solve-cost attribution wired exactly the
+/// way `oef-serviced --metrics-addr` wires it — owner maps declared before
+/// every solve, per-pivot accounting inside the simplex, reports routed
+/// into a shared [`oef_attrib::AttributionRegistry`] feeding the bounded
+/// `oef_tenant_solve_cost` family and the `GET /attrib` endpoint.  Unlike
+/// the scrape comparison, the cost being priced here is *constitutive*: the
+/// accounting runs on every solve whether or not anyone reads it back, so
+/// this is the number that decides whether attribution can stay always-on.
+/// Like the other comparisons, a single replay sits below the noise floor
+/// of a wall-clock ratio, so each rep sums `LOOPS` replays per mode —
+/// interleaved, alternating which mode goes first — and the reported
+/// overhead is the median paired ratio.  After every attributed replay the
+/// `/attrib` ledger is fetched once (outside the timed window) and
+/// sanity-checked: solves recorded, work attributed, tenants present.
+/// Appends an `attrib_overhead` section to `BENCH_obs.json`.
+fn attrib_compare(tenants: usize, seed: u64) {
+    const REPS: usize = 5;
+    const LOOPS: usize = 16;
+    /// The daemon's built-in exposure bound (`oef-serviced`'s top-K).
+    const TOP_K: usize = 10;
+    let churn = churn_trace(tenants, seed, 24, 0.0);
+    println!(
+        "attrib compare: {} tenants, {} churn events over {} rounds, \
+         top-{TOP_K} exposure, {REPS} reps x {LOOPS} interleaved replays",
+        tenants,
+        churn.num_events(),
+        churn.rounds
+    );
+
+    let service = || {
+        SchedulerService::new(
+            ClusterTopology::paper_cluster(),
+            service_config(tenants, 64),
+        )
+        .expect("service builds")
+    };
+    let add = |total: Option<RunStats>, s: RunStats| match total {
+        None => s,
+        Some(mut t) => {
+            t.commands += s.commands;
+            t.elapsed_secs += s.elapsed_secs;
+            t.tick_secs += s.tick_secs;
+            t.solved_ticks += s.solved_ticks;
+            t.warm_ticks += s.warm_ticks;
+            t.metrics = s.metrics;
+            t
+        }
+    };
+
+    // One replay: both modes attach the registry and bind the metrics
+    // listener (that price is `--scrape`'s business); only the attributed
+    // mode attaches the attribution registry and mounts `/attrib`.
+    let run = |attrib: bool| {
+        let registry = oef_obs::Registry::new();
+        let mut observed = service();
+        observed.attach_observability(&registry);
+        let cost = attrib.then(|| {
+            let cost = oef_attrib::AttributionRegistry::new();
+            cost.attach(&registry, TOP_K);
+            observed.attach_attribution(cost.clone(), 0);
+            cost
+        });
+        let sources: Vec<(String, oef_obs::JsonSource)> = cost
+            .iter()
+            .map(|cost| {
+                let cost = cost.clone();
+                (
+                    "/attrib".to_string(),
+                    std::sync::Arc::new(move || cost.to_json()) as oef_obs::JsonSource,
+                )
+            })
+            .collect();
+        let metrics =
+            oef_obs::MetricsServer::spawn_with_sources(registry, "127.0.0.1:0", None, sources)
+                .expect("metrics port binds");
+        let maddr = metrics.local_addr();
+        let server = Server::spawn(observed, "127.0.0.1:0").expect("daemon binds");
+        let stats = drive(server.local_addr(), &churn);
+        // Ledger sanity — after the timed window: the replay must have been
+        // accounted, not silently skipped.
+        let solves = if attrib {
+            let body = http_get(maddr, "/attrib");
+            let doc = serde_json::from_str::<serde::Value>(&body).expect("/attrib is JSON");
+            let solves = doc
+                .get("solves")
+                .and_then(serde::Value::as_u64)
+                .expect("/attrib reports solves");
+            assert!(solves > 0, "no solves were attributed");
+            let total = doc
+                .get("total_work_units")
+                .and_then(serde::Value::as_u64)
+                .expect("/attrib reports total work");
+            assert!(total > 0, "attributed replay recorded zero work units");
+            // The trace's tenants all leave before the horizon ends, so by
+            // now their history must have folded into the departed bucket.
+            assert!(
+                doc.get("departed")
+                    .and_then(|d| d.get("work_units"))
+                    .and_then(serde::Value::as_u64)
+                    .is_some_and(|w| w > 0),
+                "departed tenants left no work in the ledger"
+            );
+            solves
+        } else {
+            0
+        };
+        server.join();
+        metrics.stop();
+        (stats, solves)
+    };
+    let run_off = || run(false).0;
+    let run_on = || run(true);
+
+    let mut reps: Vec<(RunStats, RunStats, u64)> = Vec::new();
+    for _ in 0..REPS {
+        let mut off_rep: Option<RunStats> = None;
+        let mut on_rep: Option<RunStats> = None;
+        let mut rep_solves = 0u64;
+        for pass in 0..LOOPS {
+            // Alternate which mode runs first (see `scrape_compare`).
+            if pass % 2 == 0 {
+                off_rep = Some(add(off_rep, run_off()));
+                let (stats, solves) = run_on();
+                on_rep = Some(add(on_rep, stats));
+                rep_solves += solves;
+            } else {
+                let (stats, solves) = run_on();
+                on_rep = Some(add(on_rep, stats));
+                rep_solves += solves;
+                off_rep = Some(add(off_rep, run_off()));
+            }
+        }
+        reps.push((
+            off_rep.expect("at least one off replay"),
+            on_rep.expect("at least one on replay"),
+            rep_solves,
+        ));
+    }
+
+    let mut scored: Vec<(f64, usize)> = reps
+        .iter()
+        .enumerate()
+        .map(|(i, (off, on, _))| {
+            let off_cps = off.commands as f64 / off.elapsed_secs;
+            let on_cps = on.commands as f64 / on.elapsed_secs;
+            ((off_cps / on_cps - 1.0) * 100.0, i)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("overheads are finite"));
+    let (overhead_pct, median_rep) = scored[scored.len() / 2];
+    let (off_stats, on_stats, solves) = reps.swap_remove(median_rep);
+    let off_cps = off_stats.commands as f64 / off_stats.elapsed_secs;
+    let on_cps = on_stats.commands as f64 / on_stats.elapsed_secs;
+    println!(
+        "  attrib=off: {} commands in {:.2}s ({off_cps:.0}/s)",
+        off_stats.commands, off_stats.elapsed_secs,
+    );
+    println!(
+        "  attrib=on:  {} commands in {:.2}s ({on_cps:.0}/s), {solves} solve(s) \
+         attributed -> overhead {overhead_pct:.1}%",
+        on_stats.commands, on_stats.elapsed_secs,
+    );
+
+    let section = serde_json::json!({
+        "experiment": "attrib_overhead",
+        "policy": "oef-noncooperative",
+        "top_k": TOP_K,
+        "tenants": tenants,
+        "rounds": churn.rounds,
+        "churn_events": churn.num_events(),
+        "off": {
+            "commands": off_stats.commands,
+            "elapsed_secs": off_stats.elapsed_secs,
+            "commands_per_sec": off_cps,
+        },
+        "on": {
+            "commands": on_stats.commands,
+            "elapsed_secs": on_stats.elapsed_secs,
+            "commands_per_sec": on_cps,
+            "attributed_solves": solves,
+        },
+        "overhead_pct": overhead_pct,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    // `--scrape` owns the rest of BENCH_obs.json; graft the attrib section
+    // into whatever it last wrote instead of clobbering it.
+    let merged = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+    {
+        Some(serde::Value::Object(mut entries)) => {
+            entries.retain(|(key, _)| key != "attrib_overhead");
+            entries.push(("attrib_overhead".to_string(), section));
+            serde::Value::Object(entries)
+        }
+        _ => serde_json::json!({ "attrib_overhead": section }),
+    };
+    std::fs::write(
+        path,
+        serde_json::to_string(&merged).expect("doc serializes"),
+    )
+    .expect("write BENCH_obs.json");
+    println!("wrote {path} (attrib_overhead section)");
+
+    assert!(
+        overhead_pct <= 5.0,
+        "always-on attribution cost {overhead_pct:.1}% command throughput (bar: 5%)"
+    );
+}
+
 fn main() {
     let mut tenants: Option<usize> = None;
     let mut seed = 7u64;
@@ -1240,6 +1462,7 @@ fn main() {
     let mut journal = false;
     let mut scrape = false;
     let mut trace = false;
+    let mut attrib = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--rebalance" {
@@ -1258,6 +1481,10 @@ fn main() {
             trace = true;
             continue;
         }
+        if flag == "--attrib" {
+            attrib = true;
+            continue;
+        }
         match (flag.as_str(), args.next()) {
             ("--tenants", Some(v)) => tenants = Some(v.parse().expect("--tenants wants a number")),
             ("--seed", Some(v)) => seed = v.parse().expect("--seed wants a number"),
@@ -1269,7 +1496,7 @@ fn main() {
             (other, _) => {
                 panic!(
                     "unknown flag `{other}` (supported: --tenants N, --seed S, --shards N, \
-                     --rebalance, --journal, --scrape, --trace)"
+                     --rebalance, --journal, --scrape, --trace, --attrib)"
                 )
             }
         }
@@ -1281,6 +1508,10 @@ fn main() {
     }
     if trace {
         trace_compare(tenants.unwrap_or(20), seed);
+        return;
+    }
+    if attrib {
+        attrib_compare(tenants.unwrap_or(20), seed);
         return;
     }
     if journal {

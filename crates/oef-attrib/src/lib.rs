@@ -1,0 +1,474 @@
+//! Per-tenant solve-cost aggregation: the daemon-side half of attribution.
+//!
+//! `oef-lp` produces one [`AttributionReport`] per solve — work per *owner
+//! slot*, where slot `l` is row `l` of the speedup matrix handed to that
+//! solve.  This crate owns everything above that: the
+//! [`AttributionRegistry`] maps slots to stable tenant wire handles,
+//! accumulates work across rounds (and, since the registry is a shared
+//! handle, across shards), and exposes the result two ways:
+//!
+//! * **Prometheus**: an `oef_tenant_solve_cost` counter family holding at
+//!   most `top_k + 1` series — the top-K tenants by cumulative work, plus an
+//!   `other` bucket absorbing everyone else (and the unattributed share).
+//!   Cardinality is bounded no matter how many tenants churn through; the
+//!   *sum* over the family always equals the total work ever recorded.
+//!   Promotion into the top-K starts a tenant's series from its next delta
+//!   (its history stays in `other`); demotion and eviction remove the
+//!   series and fold its count into `other` — a counter reset on the
+//!   tenant series, while `other` and the family sum stay monotone.
+//! * **JSON** (`GET /attrib`): the exact cumulative per-tenant breakdown,
+//!   unbounded by `top_k`, joined with the always-on phase profiler's
+//!   rolling windows ([`oef_trace::profile`]) so one fetch answers both
+//!   "who is expensive" and "where the daemon's time goes".
+//!
+//! Conservation invariant (pinned by tests): summing every live tenant, the
+//! `departed` bucket and the `unattributed` bucket reproduces the sum of
+//! every report ever recorded — eviction folds a tenant's history into
+//! `departed` instead of dropping it.
+
+use oef_lp::{AttributionReport, TenantWork};
+use oef_obs::{CounterFamily, Registry};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Shared, thread-safe accumulator of per-tenant solve cost.  Cloning is
+/// cheap and every clone observes the same totals — the coordinator hands
+/// one clone to each shard and the metrics listener reads the aggregate.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Cumulative work per live tenant wire handle.
+    tenants: HashMap<u64, TenantWork>,
+    /// Folded history of tenants that left (or were migrated away).
+    departed: TenantWork,
+    /// Work on shared rows, pre-pivot factorizations, and solves that ran
+    /// without owner maps.
+    unattributed: TenantWork,
+    /// Attributed solves recorded.
+    solves: u64,
+    /// The Prometheus family, once attached.
+    family: Option<CounterFamily>,
+    /// Series bound: at most this many tenant series plus `other`.
+    top_k: usize,
+    /// Handles currently holding a series in `family`.
+    exposed: HashSet<u64>,
+}
+
+/// One tenant's cumulative cost, as returned by read accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantCost {
+    /// Tenant wire handle.
+    pub tenant: u64,
+    /// Cumulative work.
+    pub work: TenantWork,
+}
+
+fn lock(inner: &Arc<Mutex<Inner>>) -> MutexGuard<'_, Inner> {
+    // Same poison stance as the obs registry: a panic mid-update can at
+    // worst leave a partially merged report; carry on.
+    inner
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tenant_labels(handle: u64) -> Vec<(String, String)> {
+    vec![("tenant".to_string(), handle.to_string())]
+}
+
+fn other_labels() -> Vec<(String, String)> {
+    vec![("tenant".to_string(), "other".to_string())]
+}
+
+impl AttributionRegistry {
+    /// Creates an empty registry (no Prometheus family until
+    /// [`Self::attach`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the `oef_tenant_solve_cost` counter family in `registry`
+    /// and bounds it to the `top_k` most expensive tenants plus `other`.
+    /// Re-attaching replaces the previous family handle.
+    pub fn attach(&self, registry: &Registry, top_k: usize) {
+        let family = registry.counter_family(
+            "oef_tenant_solve_cost",
+            "Cumulative LP solver work attributed to a tenant, in abstract work units \
+             (eta/ftran nonzeros + weighted pivots and refactorizations).  Bounded to the \
+             top-K tenants; `other` absorbs the rest and the unattributed share.",
+            &[],
+        );
+        let mut inner = lock(&self.inner);
+        inner.family = Some(family);
+        inner.top_k = top_k.max(1);
+        inner.exposed.clear();
+    }
+
+    /// Records one solve's report.  `handles[i]` is the wire handle of the
+    /// tenant at owner slot `i` (the order of the speedup matrix rows the
+    /// policy solved); slots past `handles.len()` and the report's own
+    /// unattributed bucket land in the shared bucket.
+    pub fn record_solve(&self, report: &AttributionReport, handles: &[u64]) {
+        let mut inner = lock(&self.inner);
+        inner.solves += 1;
+        for (slot, work) in report.slots.iter().enumerate() {
+            if work.is_zero() {
+                continue;
+            }
+            match handles.get(slot) {
+                Some(&handle) => inner.tenants.entry(handle).or_default().merge(work),
+                None => inner.unattributed.merge(work),
+            }
+        }
+        inner.unattributed.merge(&report.unattributed);
+        inner.refresh_exposure();
+        // Route this report's *deltas* into the bounded family under the
+        // refreshed exposure, so a tenant promoted by this very solve gets
+        // the units that promoted it.
+        if inner.family.is_none() {
+            return;
+        }
+        let mut other = report.unattributed.work_units();
+        for (slot, work) in report.slots.iter().enumerate() {
+            let units = work.work_units();
+            if units == 0 {
+                continue;
+            }
+            match handles.get(slot) {
+                Some(handle) if inner.exposed.contains(handle) => {
+                    let labels = tenant_labels(*handle);
+                    if let Some(family) = &inner.family {
+                        family.add(labels, units as f64);
+                    }
+                }
+                _ => other += units,
+            }
+        }
+        if other > 0 {
+            if let Some(family) = &inner.family {
+                family.add(other_labels(), other as f64);
+            }
+        }
+    }
+
+    /// Folds a departing tenant's history into the `departed` bucket and
+    /// drops its Prometheus series (if exposed).  Totals are conserved.
+    pub fn evict(&self, handle: u64) {
+        let mut inner = lock(&self.inner);
+        inner.evict_locked(handle);
+    }
+
+    /// Evicts every tenant *not* in `live` — the restore path, where the
+    /// tenant population was replaced wholesale.  In a federation, pass the
+    /// union of all shards' handles.
+    pub fn retain(&self, live: &[u64]) {
+        let mut inner = lock(&self.inner);
+        let stale: Vec<u64> = inner
+            .tenants
+            .keys()
+            .copied()
+            .filter(|h| !live.contains(h))
+            .collect();
+        for handle in stale {
+            inner.evict_locked(handle);
+        }
+    }
+
+    /// Cumulative work of one tenant, if any was ever attributed to it.
+    pub fn tenant_work(&self, handle: u64) -> Option<TenantWork> {
+        lock(&self.inner).tenants.get(&handle).copied()
+    }
+
+    /// Sum over every live tenant plus the departed and unattributed
+    /// buckets — must equal the sum of every recorded report.
+    pub fn total(&self) -> TenantWork {
+        let inner = lock(&self.inner);
+        let mut total = inner.unattributed;
+        total.merge(&inner.departed);
+        for work in inner.tenants.values() {
+            total.merge(work);
+        }
+        total
+    }
+
+    /// Attributed solves recorded so far.
+    pub fn solves(&self) -> u64 {
+        lock(&self.inner).solves
+    }
+
+    /// The `k` most expensive live tenants, by cumulative work units
+    /// (ties broken by handle for determinism).
+    pub fn top(&self, k: usize) -> Vec<TenantCost> {
+        let inner = lock(&self.inner);
+        let mut ranked: Vec<TenantCost> = inner
+            .tenants
+            .iter()
+            .map(|(&tenant, &work)| TenantCost { tenant, work })
+            .collect();
+        ranked.sort_by(rank);
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The `GET /attrib` body: every live tenant's exact cumulative work
+    /// (most expensive first), the departed/unattributed buckets, and the
+    /// always-on phase profiler's rolling windows.
+    pub fn to_json(&self) -> String {
+        let inner = lock(&self.inner);
+        let mut ranked: Vec<TenantCost> = inner
+            .tenants
+            .iter()
+            .map(|(&tenant, &work)| TenantCost { tenant, work })
+            .collect();
+        ranked.sort_by(rank);
+        let mut body = String::with_capacity(1024);
+        body.push_str("{\"solves\":");
+        body.push_str(&inner.solves.to_string());
+        body.push_str(",\"top_k\":");
+        body.push_str(&inner.top_k.to_string());
+        body.push_str(",\"tenants\":[");
+        for (i, cost) in ranked.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("{\"tenant\":");
+            body.push_str(&cost.tenant.to_string());
+            body.push_str(",\"exposed\":");
+            body.push_str(if inner.exposed.contains(&cost.tenant) {
+                "true"
+            } else {
+                "false"
+            });
+            push_work_fields(&mut body, &cost.work);
+            body.push('}');
+        }
+        body.push_str("],\"departed\":{");
+        push_work_body(&mut body, &inner.departed);
+        body.push_str("},\"unattributed\":{");
+        push_work_body(&mut body, &inner.unattributed);
+        body.push_str("},\"total_work_units\":");
+        drop(inner);
+        body.push_str(&self.total().work_units().to_string());
+        body.push_str(",\"profile\":[");
+        for (i, phase) in oef_trace::profile::snapshot().iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"phase\":\"{}\",\"window_count\":{},\"window_total_ns\":{},\
+                 \"window_mean_ns\":{},\"window_max_ns\":{},\"life_count\":{},\
+                 \"life_total_ns\":{}}}",
+                phase.name,
+                phase.window_count,
+                phase.window_total_ns,
+                phase.window_mean_ns(),
+                phase.window_max_ns,
+                phase.life_count,
+                phase.life_total_ns,
+            ));
+        }
+        body.push_str("]}\n");
+        body
+    }
+}
+
+/// Most work units first; equal cost orders by handle so output is stable.
+fn rank(a: &TenantCost, b: &TenantCost) -> std::cmp::Ordering {
+    b.work
+        .work_units()
+        .cmp(&a.work.work_units())
+        .then(a.tenant.cmp(&b.tenant))
+}
+
+fn push_work_body(body: &mut String, work: &TenantWork) {
+    body.push_str(&format!(
+        "\"work_units\":{},\"pivots\":{},\"eta_nnz\":{},\"refactorizations\":{},\
+         \"ftran_nnz\":{},\"btran_rows\":{}",
+        work.work_units(),
+        work.pivots,
+        work.eta_nnz,
+        work.refactorizations,
+        work.ftran_nnz,
+        work.btran_rows,
+    ));
+}
+
+fn push_work_fields(body: &mut String, work: &TenantWork) {
+    body.push(',');
+    push_work_body(body, work);
+}
+
+impl Inner {
+    /// Recomputes which tenants hold a series: the `top_k` by cumulative
+    /// work units.  A demoted tenant's series is removed and its count
+    /// folded into `other` (the family sum never loses work); the
+    /// cumulative map is untouched.
+    fn refresh_exposure(&mut self) {
+        let Some(family) = &self.family else {
+            return;
+        };
+        let mut ranked: Vec<(u64, u64)> = self
+            .tenants
+            .iter()
+            .map(|(&h, w)| (h, w.work_units()))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.top_k);
+        let next: HashSet<u64> = ranked.into_iter().map(|(h, _)| h).collect();
+        for demoted in self.exposed.difference(&next) {
+            if let Some(count) = family.take(&tenant_labels(*demoted)) {
+                family.add(other_labels(), count);
+            }
+        }
+        self.exposed = next;
+    }
+
+    fn evict_locked(&mut self, handle: u64) {
+        if let Some(work) = self.tenants.remove(&handle) {
+            self.departed.merge(&work);
+        }
+        if self.exposed.remove(&handle) {
+            if let Some(family) = &self.family {
+                if let Some(count) = family.take(&tenant_labels(handle)) {
+                    family.add(other_labels(), count);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(slots: &[u64], unattributed: u64) -> AttributionReport {
+        AttributionReport {
+            slots: slots
+                .iter()
+                .map(|&eta_nnz| TenantWork {
+                    eta_nnz,
+                    ..Default::default()
+                })
+                .collect(),
+            unattributed: TenantWork {
+                eta_nnz: unattributed,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn accumulates_conserves_and_ranks() {
+        let reg = AttributionRegistry::new();
+        reg.record_solve(&report(&[10, 3], 2), &[7, 9]);
+        reg.record_solve(&report(&[5, 1], 0), &[7, 9]);
+        assert_eq!(reg.solves(), 2);
+        assert_eq!(reg.tenant_work(7).unwrap().eta_nnz, 15);
+        assert_eq!(reg.tenant_work(9).unwrap().eta_nnz, 4);
+        assert_eq!(reg.total().eta_nnz, 21);
+        let top = reg.top(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].tenant, 7);
+        // Eviction conserves the total via the departed bucket.
+        reg.evict(7);
+        assert!(reg.tenant_work(7).is_none());
+        assert_eq!(reg.total().eta_nnz, 21);
+        // A slot with no matching handle falls into unattributed.
+        reg.record_solve(&report(&[4], 0), &[]);
+        assert_eq!(reg.total().eta_nnz, 25);
+        let json = reg.to_json();
+        assert!(json.contains("\"tenant\":9"), "{json}");
+        assert!(json.contains("\"total_work_units\":25"), "{json}");
+        assert!(json.contains("\"profile\":["), "{json}");
+    }
+
+    #[test]
+    fn family_is_bounded_to_top_k_plus_other_and_sum_is_conserved() {
+        let registry = Registry::new();
+        let reg = AttributionRegistry::new();
+        reg.attach(&registry, 2);
+        // Four tenants with distinct costs: only the two biggest get series.
+        reg.record_solve(&report(&[100, 50, 20, 10], 5), &[1, 2, 3, 4]);
+        let rendered = registry.render();
+        let exposition = oef_obs::parse(&rendered).expect("strict parse");
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "1")]),
+            Some(100.0)
+        );
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "2")]),
+            Some(50.0)
+        );
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "3")]),
+            None,
+            "third tenant must not hold a series at top_k = 2"
+        );
+        // other = 20 + 10 + 5 unattributed.
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "other")]),
+            Some(35.0)
+        );
+        // The family sums to everything ever recorded.
+        let sum: f64 = registry
+            .values("oef_tenant_solve_cost")
+            .into_iter()
+            .map(|(_, v)| v)
+            .sum();
+        assert!((sum - 185.0).abs() < 1e-9, "family sum {sum}");
+
+        // Tenant 3 overtakes tenant 2: promoted, its series starts from the
+        // promoting delta; tenant 2's series is removed and its 50 units
+        // fold into `other` — the family sum keeps every unit ever recorded.
+        reg.record_solve(&report(&[0, 0, 200, 0], 0), &[1, 2, 3, 4]);
+        let exposition = oef_obs::parse(&registry.render()).expect("strict parse");
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "3")]),
+            Some(200.0)
+        );
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "2")]),
+            None
+        );
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "other")]),
+            Some(85.0),
+            "other absorbed the demoted tenant's 50 units"
+        );
+        let family_sum = |registry: &Registry| -> f64 {
+            registry
+                .values("oef_tenant_solve_cost")
+                .into_iter()
+                .map(|(_, v)| v)
+                .sum()
+        };
+        assert!((family_sum(&registry) - 385.0).abs() < 1e-9);
+        // Eviction drops the series, folds its count into `other`, and
+        // keeps both the JSON total and the family sum.
+        let before = reg.total().work_units();
+        reg.evict(1);
+        let exposition = oef_obs::parse(&registry.render()).expect("strict parse");
+        assert_eq!(
+            exposition.value("oef_tenant_solve_cost", &[("tenant", "1")]),
+            None
+        );
+        assert_eq!(reg.total().work_units(), before);
+        assert!((family_sum(&registry) - 385.0).abs() < 1e-9);
+        // Never more than top_k + 1 series.
+        assert!(registry.values("oef_tenant_solve_cost").len() <= 3);
+    }
+
+    #[test]
+    fn retain_folds_stale_handles() {
+        let reg = AttributionRegistry::new();
+        reg.record_solve(&report(&[8, 4, 2], 0), &[11, 12, 13]);
+        reg.retain(&[12]);
+        assert!(reg.tenant_work(11).is_none());
+        assert!(reg.tenant_work(13).is_none());
+        assert_eq!(reg.tenant_work(12).unwrap().eta_nnz, 4);
+        assert_eq!(reg.total().eta_nnz, 14);
+    }
+}

@@ -51,6 +51,7 @@ fn sync_coop_program(
     if !matches!(slot, Some(p) if p.n == n && p.k == k) {
         let (problem, _) = CooperativeOef::build_problem(cluster, speedups);
         *slot = Some(CoopProgram { problem, n, k });
+        set_coop_owner_maps(slot.as_mut().expect("just populated"));
         return;
     }
     let prog = slot.as_mut().expect("checked above");
@@ -78,6 +79,30 @@ fn sync_coop_program(
             }
         }
     }
+
+    set_coop_owner_maps(prog);
+}
+
+/// Declares the tenant-major owner maps for solver work attribution:
+/// variable block `l` and every envy row guarding tenant `l`'s bundle belong
+/// to owner slot `l`; the shared capacity rows stay unowned.
+fn set_coop_owner_maps(prog: &mut CoopProgram) {
+    let (n, k) = (prog.n, prog.k);
+    let mut var_owner = vec![0u32; n * k];
+    for l in 0..n {
+        for j in 0..k {
+            var_owner[l * k + j] = l as u32;
+        }
+    }
+    let mut row_owner = vec![oef_lp::NO_OWNER; k + n * (n - 1)];
+    for l in 0..n {
+        for i in 0..n {
+            if i != l {
+                row_owner[prog.envy_row(l, i)] = l as u32;
+            }
+        }
+    }
+    prog.problem.set_attribution_owners(var_owner, row_owner);
 }
 
 /// The cooperative OEF fair-share evaluator.
@@ -221,6 +246,10 @@ impl AllocationPolicy for CooperativeOef {
 
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         Some(self.context.stats())
+    }
+
+    fn solver_attribution(&self) -> Option<oef_lp::AttributionReport> {
+        Some(self.context.last_attribution())
     }
 }
 

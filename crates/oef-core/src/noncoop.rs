@@ -120,6 +120,27 @@ fn sync_noncoop_program(
             );
         }
     }
+
+    set_noncoop_owner_maps(prog);
+}
+
+/// Declares the tenant-major owner maps for solver work attribution:
+/// variable block `l` and tenant `l`'s equal-throughput row belong to owner
+/// slot `l`; the shared capacity rows stay unowned.  Re-set after every sync
+/// because any journaled churn edit clears the maps.
+fn set_noncoop_owner_maps(prog: &mut TenantMajorProgram) {
+    let (n, k) = (prog.n, prog.k);
+    let mut var_owner = vec![0u32; n * k];
+    for l in 0..n {
+        for j in 0..k {
+            var_owner[l * k + j] = l as u32;
+        }
+    }
+    let mut row_owner = vec![oef_lp::NO_OWNER; k + n.saturating_sub(1)];
+    for l in 1..n {
+        row_owner[prog.eq_row(l)] = l as u32;
+    }
+    prog.problem.set_attribution_owners(var_owner, row_owner);
 }
 
 /// The non-cooperative OEF fair-share evaluator.
@@ -259,6 +280,10 @@ impl AllocationPolicy for NonCooperativeOef {
 
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         Some(self.context.stats())
+    }
+
+    fn solver_attribution(&self) -> Option<oef_lp::AttributionReport> {
+        Some(self.context.last_attribution())
     }
 }
 

@@ -58,6 +58,14 @@ pub trait AllocationPolicy {
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         None
     }
+
+    /// Per-tenant work attribution of the most recent solve, when the policy
+    /// is LP-backed and declared owner maps: slot `l` of the report is the
+    /// tenant at index `l` of the speedup matrix passed to that solve.
+    /// Baselines without an LP context return `None`.
+    fn solver_attribution(&self) -> Option<oef_lp::AttributionReport> {
+        None
+    }
 }
 
 /// Boxed, thread-safe allocation policy, convenient for heterogeneous collections of
@@ -75,6 +83,10 @@ impl<P: AllocationPolicy + ?Sized> AllocationPolicy for &P {
 
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         (**self).solver_stats()
+    }
+
+    fn solver_attribution(&self) -> Option<oef_lp::AttributionReport> {
+        (**self).solver_attribution()
     }
 }
 
@@ -97,6 +109,10 @@ impl<P: AllocationPolicy + ?Sized> AllocationPolicy for Box<P> {
 
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         (**self).solver_stats()
+    }
+
+    fn solver_attribution(&self) -> Option<oef_lp::AttributionReport> {
+        (**self).solver_attribution()
     }
 }
 

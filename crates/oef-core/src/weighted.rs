@@ -225,6 +225,10 @@ impl AllocationPolicy for WeightedOef {
     fn solver_stats(&self) -> Option<oef_lp::ContextStats> {
         self.inner_policy().solver_stats()
     }
+
+    fn solver_attribution(&self) -> Option<oef_lp::AttributionReport> {
+        self.inner_policy().solver_attribution()
+    }
 }
 
 #[cfg(test)]

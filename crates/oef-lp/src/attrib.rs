@@ -1,0 +1,159 @@
+//! Per-owner solver-work attribution.
+//!
+//! The revised simplex charges every unit of work it performs — pivots,
+//! eta-file growth, refactorizations, ftran/btran sweeps — to the *owner
+//! slot* of the column or row involved, as declared by
+//! [`crate::Problem::set_attribution_owners`].  The OEF policies lay tenants
+//! out in arithmetic blocks, so "which tenant's rows made this solve slow"
+//! reduces to an array index per pivot: accounting is a slot lookup plus a
+//! few integer adds on paths that already sweep the same data, with no
+//! allocation per pivot (the slot array is sized once per solve).
+//!
+//! The invariant the tests pin down: summing [`TenantWork::pivots`] (and
+//! `refactorizations`) across all slots plus the unattributed bucket equals
+//! the solver's own [`crate::ContextStats`] deltas for the same solves,
+//! *exactly* — every `push_eta` flows through one attributed pivot, so no
+//! work can leak out of (or be double-counted into) the report.
+
+/// Work the solver performed on behalf of one attribution owner.
+///
+/// All quantities are exact integer counts of events on the solve path; the
+/// scalar [`TenantWork::work_units`] collapses them into one comparable cost
+/// figure for ranking and Prometheus export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantWork {
+    /// Simplex pivots whose entering column belongs to this owner (each is
+    /// one eta-file append).
+    pub pivots: u64,
+    /// Nonzeros those pivots appended to the eta file — the actual memory
+    /// and per-ftran/btran cost the owner's pivots induce.
+    pub eta_nnz: u64,
+    /// Basis refactorizations triggered while this owner's pivot was the
+    /// most recent one (eta-file growth is what trips the rebuild).
+    pub refactorizations: u64,
+    /// Nonzeros of this owner's columns fed through ftran (direction solves).
+    pub ftran_nnz: u64,
+    /// `B⁻¹`-row extractions (btran of a unit vector) for this owner's rows
+    /// during dual repair and artificial drive-out.
+    pub btran_rows: u64,
+}
+
+impl TenantWork {
+    /// Whether no work at all was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &TenantWork) {
+        self.pivots += other.pivots;
+        self.eta_nnz += other.eta_nnz;
+        self.refactorizations += other.refactorizations;
+        self.ftran_nnz += other.ftran_nnz;
+        self.btran_rows += other.btran_rows;
+    }
+
+    /// Scalar cost in abstract work units, for ranking owners against each
+    /// other: nonzero traffic at weight 1, plus fixed per-event charges for
+    /// pivots and (much heavier) refactorizations.
+    pub fn work_units(&self) -> u64 {
+        self.eta_nnz
+            + self.ftran_nnz
+            + self.btran_rows
+            + 8 * self.pivots
+            + 256 * self.refactorizations
+    }
+}
+
+/// Per-solve attribution: one [`TenantWork`] per owner slot, plus the
+/// unattributed bucket (shared rows, pre-pivot factorizations, out-of-range
+/// slots).  `slots` is empty when the solved problem carried no owner maps —
+/// all work then lands in `unattributed`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributionReport {
+    /// Work per owner slot, indexed by the slot ids the caller declared.
+    pub slots: Vec<TenantWork>,
+    /// Work on shared entities no single owner is responsible for.
+    pub unattributed: TenantWork,
+}
+
+impl AttributionReport {
+    /// Whether owner maps were in effect for the solve.
+    pub fn attributed(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Sum of every slot plus the unattributed bucket.
+    pub fn total(&self) -> TenantWork {
+        let mut total = self.unattributed;
+        for slot in &self.slots {
+            total.merge(slot);
+        }
+        total
+    }
+
+    /// Merges another report into this one slot-by-slot, growing the slot
+    /// array as needed (aggregation across solves or shards).
+    pub fn merge(&mut self, other: &AttributionReport) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), TenantWork::default());
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            mine.merge(theirs);
+        }
+        self.unattributed.merge(&other.unattributed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_and_totals_line_up() {
+        let mut a = AttributionReport {
+            slots: vec![
+                TenantWork {
+                    pivots: 2,
+                    eta_nnz: 10,
+                    ..Default::default()
+                },
+                TenantWork::default(),
+            ],
+            unattributed: TenantWork {
+                refactorizations: 1,
+                ..Default::default()
+            },
+        };
+        let b = AttributionReport {
+            slots: vec![
+                TenantWork {
+                    pivots: 1,
+                    ..Default::default()
+                },
+                TenantWork {
+                    btran_rows: 4,
+                    ..Default::default()
+                },
+                TenantWork {
+                    ftran_nnz: 7,
+                    ..Default::default()
+                },
+            ],
+            unattributed: TenantWork::default(),
+        };
+        a.merge(&b);
+        assert_eq!(a.slots.len(), 3, "merge grows to the wider report");
+        assert_eq!(a.slots[0].pivots, 3);
+        assert_eq!(a.slots[1].btran_rows, 4);
+        assert_eq!(a.slots[2].ftran_nnz, 7);
+        let total = a.total();
+        assert_eq!(total.pivots, 3);
+        assert_eq!(total.refactorizations, 1);
+        assert_eq!(total.eta_nnz, 10);
+        assert!(a.attributed());
+        assert!(!AttributionReport::default().attributed());
+        assert!(TenantWork::default().is_zero());
+        assert!(total.work_units() > 0);
+    }
+}

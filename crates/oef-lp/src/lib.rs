@@ -84,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attrib;
 mod error;
 mod factor;
 mod problem;
@@ -91,8 +92,9 @@ mod revised;
 mod simplex;
 mod solution;
 
+pub use attrib::{AttributionReport, TenantWork};
 pub use error::LpError;
-pub use problem::{Constraint, ConstraintOp, LinearExpr, Problem, Sense, Variable};
+pub use problem::{Constraint, ConstraintOp, LinearExpr, Problem, Sense, Variable, NO_OWNER};
 pub use revised::{ContextCell, ContextStats, SolverContext};
 pub use simplex::{SimplexOptions, SolverStats};
 pub use solution::Solution;

@@ -18,6 +18,11 @@ static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
 /// trimmed horizon simply cold-solves, so the cap only bounds memory.
 const JOURNAL_CAP: usize = 4096;
 
+/// Attribution owner-slot sentinel: work on a variable or row carrying this
+/// owner is charged to the shared "unattributed" bucket (capacity rows, rows
+/// no single tenant owns).
+pub const NO_OWNER: u32 = u32::MAX;
+
 /// Optimisation direction of a [`Problem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Sense {
@@ -165,6 +170,13 @@ pub struct Problem {
     /// Shape edits since `journal_base_epoch`, newest last.
     journal: Vec<ChurnOp>,
     journal_base_epoch: u64,
+    /// Attribution owner slot per variable ([`NO_OWNER`] = shared).  Like the
+    /// journal, a process-local hint: not serialized, and cleared by every
+    /// journaled shape edit so it can never survive churn stale.  Empty =
+    /// attribution disabled.
+    var_owner: Vec<u32>,
+    /// Attribution owner slot per constraint row ([`NO_OWNER`] = shared).
+    row_owner: Vec<u32>,
 }
 
 impl Problem {
@@ -178,6 +190,8 @@ impl Problem {
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             journal: Vec::new(),
             journal_base_epoch: 0,
+            var_owner: Vec::new(),
+            row_owner: Vec::new(),
         }
     }
 
@@ -188,6 +202,39 @@ impl Problem {
             self.journal.drain(..drop);
             self.journal_base_epoch += drop as u64;
         }
+        // Owner maps are positional; any shape edit invalidates them.  The
+        // caller re-sets them (cheaply, they are arithmetic) before solving.
+        self.var_owner.clear();
+        self.row_owner.clear();
+    }
+
+    /// Declares which attribution owner slot each variable and constraint row
+    /// belongs to, enabling per-tenant solver-work attribution for the next
+    /// solve ([`crate::SolverContext::last_attribution`]).  Slots are dense
+    /// small integers (the caller's tenant positions); [`NO_OWNER`] marks
+    /// shared entities such as capacity rows.
+    ///
+    /// The maps are positional and process-local: they are not serialized,
+    /// and every journaled shape edit clears them — set them after structural
+    /// churn, right before solving.  Length mismatches with the current shape
+    /// disable attribution rather than misattribute.
+    pub fn set_attribution_owners(&mut self, var_owner: Vec<u32>, row_owner: Vec<u32>) {
+        self.var_owner = var_owner;
+        self.row_owner = row_owner;
+    }
+
+    /// Drops the attribution owner maps (attribution disabled until set again).
+    pub fn clear_attribution_owners(&mut self) {
+        self.var_owner.clear();
+        self.row_owner.clear();
+    }
+
+    /// The owner maps when they are set and consistent with the current
+    /// shape, `None` otherwise.
+    pub(crate) fn attribution_owners(&self) -> Option<(&[u32], &[u32])> {
+        (self.var_owner.len() == self.variable_names.len()
+            && self.row_owner.len() == self.constraints.len())
+        .then_some((self.var_owner.as_slice(), self.row_owner.as_slice()))
     }
 
     /// Per-process-unique id of this problem's edit lineage.  Clones keep the
@@ -653,6 +700,8 @@ impl Deserialize for Problem {
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             journal: Vec::new(),
             journal_base_epoch: 0,
+            var_owner: Vec::new(),
+            row_owner: Vec::new(),
         })
     }
 }

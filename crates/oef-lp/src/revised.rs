@@ -39,9 +39,10 @@
 //! `SolverContext::solve` never reports worse answers than
 //! [`crate::Problem::solve_with`].
 
+use crate::attrib::{AttributionReport, TenantWork};
 use crate::error::LpError;
 use crate::factor::{BasisFactor, FactorCounters};
-use crate::problem::{ConstraintOp, Problem, Sense};
+use crate::problem::{ConstraintOp, Problem, Sense, NO_OWNER};
 use crate::simplex::{SimplexOptions, SolverStats};
 use crate::solution::Solution;
 use crate::Result;
@@ -193,8 +194,44 @@ struct Scratch {
     repair_pivots: usize,
     /// Factor counters at the start of the current solve (per-solve stats).
     factor_base: FactorCounters,
+    /// Attribution owner slot per standard-form column (slack/artificial
+    /// columns inherit their row's owner).  Empty when the problem declared
+    /// no owner maps — all work then lands in `attrib.unattributed`.
+    attrib_col_slot: Vec<u32>,
+    /// Attribution owner slot per constraint row.
+    attrib_row_slot: Vec<u32>,
+    /// Number of owner slots the current problem's maps span.
+    attrib_slots: usize,
+    /// Per-solve work attribution, reset at the top of each solve.
+    attrib: AttributionReport,
+    /// Owner slot of the most recent pivot's entering column — the owner a
+    /// subsequent eta-growth refactorization is billed to.
+    attrib_last_slot: u32,
     /// Extracted structural values.
     values: Vec<f64>,
+}
+
+impl Scratch {
+    /// Zeroes the attribution report and sizes it for the current owner maps.
+    fn reset_attribution(&mut self) {
+        self.attrib_last_slot = NO_OWNER;
+        self.attrib.unattributed = TenantWork::default();
+        self.attrib.slots.clear();
+        self.attrib
+            .slots
+            .resize(self.attrib_slots, TenantWork::default());
+    }
+
+    /// The work cell a given owner slot charges into.  Out-of-range slots —
+    /// including [`NO_OWNER`] — fall through to the unattributed bucket, so
+    /// charging is total: no branch on whether attribution is enabled.
+    #[inline]
+    fn attrib_cell(&mut self, slot: u32) -> &mut TenantWork {
+        match self.attrib.slots.get_mut(slot as usize) {
+            Some(cell) => cell,
+            None => &mut self.attrib.unattributed,
+        }
+    }
 }
 
 /// Standard-form layout shared by the cold and warm paths.
@@ -244,6 +281,14 @@ impl SolverContext {
         }
     }
 
+    /// Per-owner work attribution of the most recent solve.  `slots` is
+    /// empty when the solved problem declared no owner maps (see
+    /// [`Problem::set_attribution_owners`]); every count then sits in
+    /// [`AttributionReport::unattributed`].
+    pub fn last_attribution(&self) -> &AttributionReport {
+        &self.scratch.attrib
+    }
+
     /// Drops the cached basis, forcing the next solve to run cold.
     pub fn invalidate(&mut self) {
         self.cache = None;
@@ -283,6 +328,10 @@ impl SolverContext {
         let form = build_standard_form(problem, &mut self.scratch);
         self.scratch.factor_base = self.scratch.factor.counters();
         self.scratch.repair_pivots = 0;
+        // One reset per solve() call: cold_solve rebuilds the standard form
+        // after a failed warm attempt, and that attempt's work must stay in
+        // the report for the totals to match the factor-counter deltas.
+        self.scratch.reset_attribution();
 
         if let Some(cache) = self.cache.take() {
             if cache.signature == signature && cache.basis.len() == form.rows {
@@ -593,6 +642,35 @@ fn build_standard_form(problem: &Problem, s: &mut Scratch) -> StandardForm {
         }
     }
 
+    // Attribution owner maps: resolve every standard-form column to its
+    // declared owner slot (slack/artificial columns inherit their row's
+    // owner).  Absent or length-stale maps disable attribution cleanly.
+    match problem.attribution_owners() {
+        Some((var_owner, row_owner)) => {
+            s.attrib_row_slot.clear();
+            s.attrib_row_slot.extend_from_slice(row_owner);
+            s.attrib_col_slot.clear();
+            let col_owner = &s.col_owner;
+            s.attrib_col_slot
+                .extend(col_owner.iter().map(|kind| match *kind {
+                    ColKind::Structural(v) => var_owner.get(v).copied().unwrap_or(NO_OWNER),
+                    ColKind::Slack(r) | ColKind::Artificial(r) => row_owner[r],
+                }));
+            s.attrib_slots = var_owner
+                .iter()
+                .chain(row_owner)
+                .filter(|&&o| o != NO_OWNER)
+                .map(|&o| o as usize + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        None => {
+            s.attrib_col_slot.clear();
+            s.attrib_row_slot.clear();
+            s.attrib_slots = 0;
+        }
+    }
+
     // Phase-2 costs in minimize orientation; slack and artificial columns
     // carry zero cost.
     s.cost.clear();
@@ -643,6 +721,13 @@ fn refactorize_current(s: &mut Scratch, form: &StandardForm) -> bool {
             return false;
         }
     }
+    // Bill the rebuild to the owner of the most recent pivot (NO_OWNER at
+    // solve start, i.e. the shared bucket).  The charge lands *before* the
+    // call because `BasisFactor::refactorize` bumps its counter even when it
+    // then fails on a singular basis — attribution totals must match the
+    // counter deltas exactly.
+    let slot = s.attrib_last_slot;
+    s.attrib_cell(slot).refactorizations += 1;
     if !s.factor.refactorize(&s.columns, &s.basis) {
         return false;
     }
@@ -668,6 +753,9 @@ fn ftran_column(s: &mut Scratch, col: usize) {
     for &(r, v) in &s.columns[col] {
         s.arhs[r] += v;
     }
+    let nnz = s.columns[col].len() as u64;
+    let slot = s.attrib_col_slot.get(col).copied().unwrap_or(NO_OWNER);
+    s.attrib_cell(slot).ftran_nnz += nnz;
     let Scratch {
         factor, arhs, u, ..
     } = s;
@@ -957,6 +1045,8 @@ fn run_dual_repair(
             } = s;
             factor.btran_unit(row, unit, rho);
         }
+        let row_slot = s.attrib_row_slot.get(row).copied().unwrap_or(NO_OWNER);
+        s.attrib_cell(row_slot).btran_rows += 1;
 
         // Entering column: minimize d_j / (-alpha_j) over nonbasic real
         // columns with alpha_j < 0, where alpha_j = (B^{-1})_row · a_j.
@@ -1037,11 +1127,16 @@ fn pivot_update(s: &mut Scratch, row: usize, entering: usize) {
     debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero direction element");
 
     let theta = s.xb[row] / pivot_value;
+    // The eta vector `push_eta` appends holds exactly the nonzeros this loop
+    // visits plus the pivot position, so counting here attributes eta-file
+    // growth without touching the factor.
+    let mut eta_nnz = 1u64;
     for (i, xi) in s.xb.iter_mut().enumerate() {
         if i != row {
             let f = s.u[i];
             if f != 0.0 {
                 *xi -= f * theta;
+                eta_nnz += 1;
             }
         }
     }
@@ -1052,6 +1147,12 @@ fn pivot_update(s: &mut Scratch, row: usize, entering: usize) {
     s.in_basis[entering] = true;
     s.basis[row] = entering;
     s.pivots_since_drift_check += 1;
+
+    let slot = s.attrib_col_slot.get(entering).copied().unwrap_or(NO_OWNER);
+    let cell = s.attrib_cell(slot);
+    cell.pivots += 1;
+    cell.eta_nnz += eta_nnz;
+    s.attrib_last_slot = slot;
 }
 
 /// After phase 1, pivots artificial variables (at value zero) out of the
@@ -1070,6 +1171,8 @@ fn drive_out_artificials(s: &mut Scratch, form: &StandardForm, options: &Simplex
             } = s;
             factor.btran_unit(row, unit, rho);
         }
+        let row_slot = s.attrib_row_slot.get(row).copied().unwrap_or(NO_OWNER);
+        s.attrib_cell(row_slot).btran_rows += 1;
         let mut replacement = None;
         for j in 0..form.artificial_start {
             if s.in_basis[j] {
@@ -1202,6 +1305,12 @@ impl ContextCell {
     /// Whether the most recent solve warm-started.
     pub fn last_was_warm(&self) -> bool {
         self.lock().last_was_warm()
+    }
+
+    /// Clone of the most recent solve's per-owner work attribution (see
+    /// [`SolverContext::last_attribution`]).
+    pub fn last_attribution(&self) -> AttributionReport {
+        self.lock().last_attribution().clone()
     }
 
     /// Drops the cached basis.
@@ -1582,6 +1691,54 @@ mod tests {
         let s = ctx.solve(&p).unwrap();
         let dense = p.solve().unwrap();
         assert_close(s.objective_value(), dense.objective_value());
+    }
+
+    #[test]
+    fn attribution_totals_match_counter_deltas_exactly() {
+        let (mut p, _, _) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        let mut acc = AttributionReport::default();
+        let mut last = ctx.stats();
+        for round in 0..4 {
+            if round > 0 {
+                p.update_rhs(2, 18.0 + 2.0 * round as f64);
+            }
+            // Two variable owners, no row owners (rows are shared capacity).
+            p.set_attribution_owners(vec![0, 1], vec![NO_OWNER; 3]);
+            ctx.solve(&p).unwrap();
+            let report = ctx.last_attribution().clone();
+            assert_eq!(report.slots.len(), 2, "two owner slots declared");
+            let now = ctx.stats();
+            assert_eq!(
+                report.total().pivots,
+                now.eta_pivots - last.eta_pivots,
+                "round {round}: every eta append must be one attributed pivot"
+            );
+            assert_eq!(
+                report.total().refactorizations,
+                now.refactorizations - last.refactorizations,
+                "round {round}: every refactorization must be attributed"
+            );
+            last = now;
+            acc.merge(&report);
+        }
+        assert!(acc.total().pivots >= 1);
+        assert!(
+            acc.slots.iter().any(|w| !w.is_zero()),
+            "structural pivots must land on variable owners, not only the shared bucket"
+        );
+    }
+
+    #[test]
+    fn attribution_disabled_without_owner_maps() {
+        let (p, _, _) = textbook_problem();
+        let mut ctx = SolverContext::new();
+        ctx.solve(&p).unwrap();
+        let report = ctx.last_attribution();
+        assert!(!report.attributed());
+        let stats = ctx.stats();
+        assert_eq!(report.unattributed.pivots, stats.eta_pivots);
+        assert_eq!(report.unattributed.refactorizations, stats.refactorizations);
     }
 
     #[test]

@@ -27,6 +27,12 @@ const READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Upper bound on the request head we are willing to buffer.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
+/// A caller-provided JSON body generator, mounted on its own `GET` path by
+/// [`MetricsServer::spawn_with_sources`] (e.g. the daemon's `/attrib` cost
+/// explainer).  Called per request on the handler thread — it must not take
+/// locks the scheduling worker holds for long.
+pub type JsonSource = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// A running metrics endpoint serving `GET /metrics`, `GET /healthz` and —
 /// when a trace ring is attached — `GET /traces`.
 pub struct MetricsServer {
@@ -59,6 +65,22 @@ impl MetricsServer {
         addr: impl ToSocketAddrs,
         traces: Option<TraceRing>,
     ) -> std::io::Result<Self> {
+        Self::spawn_with_sources(registry, addr, traces, Vec::new())
+    }
+
+    /// Like [`Self::spawn_with_traces`], additionally mounting each
+    /// `(path, source)` pair as a `GET <path>` JSON endpoint (paths must
+    /// start with `/`; the built-in routes win on collision).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn spawn_with_sources(
+        registry: Registry,
+        addr: impl ToSocketAddrs,
+        traces: Option<TraceRing>,
+        sources: Vec<(String, JsonSource)>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -66,7 +88,7 @@ impl MetricsServer {
         let handle = {
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
-                accept_loop(&listener, &registry, traces.as_ref(), &shutdown)
+                accept_loop(&listener, &registry, traces.as_ref(), &sources, &shutdown)
             })
         };
         Ok(Self {
@@ -93,6 +115,7 @@ fn accept_loop(
     listener: &TcpListener,
     registry: &Registry,
     traces: Option<&TraceRing>,
+    sources: &[(String, JsonSource)],
     shutdown: &Arc<AtomicBool>,
 ) {
     loop {
@@ -103,9 +126,10 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let registry = registry.clone();
                 let traces = traces.cloned();
+                let sources = sources.to_vec();
                 std::thread::spawn(move || {
                     // A dead scraper is not a daemon error.
-                    let _ = serve_connection(stream, &registry, traces.as_ref());
+                    let _ = serve_connection(stream, &registry, traces.as_ref(), &sources);
                 });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -120,6 +144,7 @@ fn serve_connection(
     mut stream: TcpStream,
     registry: &Registry,
     traces: Option<&TraceRing>,
+    sources: &[(String, JsonSource)],
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_nodelay(true)?;
@@ -153,7 +178,10 @@ fn serve_connection(
                     "tracing not enabled\n".to_string(),
                 ),
             },
-            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            path => match sources.iter().find(|(mount, _)| mount == path) {
+                Some((_, source)) => ("200 OK", "application/json", source()),
+                None => ("404 Not Found", "text/plain", "not found\n".to_string()),
+            },
         }
     };
     write!(
@@ -315,6 +343,37 @@ mod tests {
         assert!(body.contains("\"pushed\":1"), "{body}");
         assert!(body.contains("\"root\":\"Tick\""), "{body}");
         assert!(body.contains("\"queue_wait\""), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn mounted_json_sources_are_served() {
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let source: JsonSource = {
+            let counter = Arc::clone(&counter);
+            Arc::new(move || {
+                format!(
+                    "{{\"calls\":{}}}\n",
+                    counter.fetch_add(1, Ordering::SeqCst) + 1
+                )
+            })
+        };
+        let server = MetricsServer::spawn_with_sources(
+            Registry::new(),
+            "127.0.0.1:0",
+            None,
+            vec![("/attrib".to_string(), source)],
+        )
+        .expect("spawn");
+        let addr = server.local_addr();
+        let (status, body) = get(addr, "/attrib");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"calls\":1"), "{body}");
+        // The source is called per request, not snapshotted at spawn.
+        let (_, body) = get(addr, "/attrib");
+        assert!(body.contains("\"calls\":2"), "{body}");
+        let (status, _) = get(addr, "/other");
+        assert!(status.contains("404"), "{status}");
         server.stop();
     }
 

@@ -45,9 +45,9 @@ mod http;
 mod parse;
 mod registry;
 
-pub use http::MetricsServer;
+pub use http::{JsonSource, MetricsServer};
 pub use parse::{parse, Exemplar, Exposition, MetricFamily, MetricKind, ParseError, Sample};
 pub use registry::{
-    escape_help, escape_label_value, fmt_value, AgeGauge, Counter, Gauge, GaugeFamily, Histogram,
-    Labels, Registry, DEFAULT_LATENCY_BUCKETS,
+    escape_help, escape_label_value, fmt_value, AgeGauge, Counter, CounterFamily, Gauge,
+    GaugeFamily, Histogram, Labels, Registry, DEFAULT_LATENCY_BUCKETS,
 };

@@ -357,6 +357,67 @@ impl GaugeFamily {
     }
 }
 
+/// A counter family whose label sets change over time (e.g. one series per
+/// exposed tenant): values are monotone per series, and series can be
+/// dropped when their owner departs — the reader treats a disappearing
+/// series like any counter reset.
+#[derive(Clone, Debug, Default)]
+pub struct CounterFamily {
+    series: Arc<Mutex<Vec<(Labels, f64)>>>,
+}
+
+impl CounterFamily {
+    /// Creates an empty family, not yet attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the series with exactly `labels`, inserting it at
+    /// `delta` when absent.  Negative or non-finite deltas are ignored —
+    /// counters never move backwards.
+    pub fn add(&self, labels: Labels, delta: f64) {
+        if !delta.is_finite() || delta < 0.0 {
+            return;
+        }
+        let mut series = lock(&self.series);
+        match series.iter_mut().find(|(l, _)| *l == labels) {
+            Some(slot) => slot.1 += delta,
+            None => series.push((labels, delta)),
+        }
+    }
+
+    /// Drops the series with exactly `labels` (an evicted tenant's series
+    /// disappears from the next scrape).  Returns whether a series was
+    /// removed.
+    pub fn remove(&self, labels: &[(String, String)]) -> bool {
+        self.take(labels).is_some()
+    }
+
+    /// Drops the series with exactly `labels` and returns its final value,
+    /// so the caller can conserve it elsewhere (e.g. fold a demoted
+    /// tenant's count into an `other` bucket).
+    pub fn take(&self, labels: &[(String, String)]) -> Option<f64> {
+        let mut series = lock(&self.series);
+        let at = series.iter().position(|(l, _)| l == labels)?;
+        Some(series.swap_remove(at).1)
+    }
+
+    /// Number of live series.
+    pub fn len(&self) -> usize {
+        lock(&self.series).len()
+    }
+
+    /// Whether the family currently has no series.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current series (label set, value) pairs.
+    pub fn snapshot(&self) -> Vec<(Labels, f64)> {
+        lock(&self.series).clone()
+    }
+}
+
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
@@ -369,6 +430,7 @@ enum Series {
     Age(Labels, AgeGauge),
     Histogram(Labels, Histogram),
     GaugeSet(Labels, GaugeFamily),
+    CounterSet(Labels, CounterFamily),
 }
 
 struct Family {
@@ -489,6 +551,18 @@ impl Registry {
         family
     }
 
+    /// Creates and registers a dynamic-label *counter* family partition —
+    /// same partitioning contract as [`Registry::gauge_family`], rendered
+    /// with `TYPE counter`.
+    pub fn counter_family(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> CounterFamily {
+        let family = CounterFamily::new();
+        let handle = family.clone();
+        self.register(name, help, "counter", labels, move |base| {
+            Series::CounterSet(base, handle)
+        });
+        family
+    }
+
     fn register(
         &self,
         name: &str,
@@ -530,7 +604,8 @@ impl Registry {
             | (Series::Gauge(a, _), Series::Gauge(b, _))
             | (Series::Age(a, _), Series::Age(b, _))
             | (Series::Histogram(a, _), Series::Histogram(b, _))
-            | (Series::GaugeSet(a, _), Series::GaugeSet(b, _)) => a == b,
+            | (Series::GaugeSet(a, _), Series::GaugeSet(b, _))
+            | (Series::CounterSet(a, _), Series::CounterSet(b, _)) => a == b,
             _ => false,
         };
         match family.series.iter_mut().find(|s| same_identity(s)) {
@@ -558,6 +633,13 @@ impl Registry {
                 Series::Gauge(labels, gauge) => out.push((labels.clone(), gauge.value())),
                 Series::Age(labels, age) => out.push((labels.clone(), age.age_seconds())),
                 Series::GaugeSet(base, set) => {
+                    for (labels, value) in set.snapshot() {
+                        let mut merged = base.clone();
+                        merged.extend(labels);
+                        out.push((merged, value));
+                    }
+                }
+                Series::CounterSet(base, set) => {
                     for (labels, value) in set.snapshot() {
                         let mut merged = base.clone();
                         merged.extend(labels);
@@ -608,6 +690,18 @@ impl Registry {
                         ));
                     }
                     Series::GaugeSet(base, set) => {
+                        for (labels, value) in set.snapshot() {
+                            let mut merged = base.clone();
+                            merged.extend(labels);
+                            out.push_str(&format!(
+                                "{}{} {}\n",
+                                family.name,
+                                render_labels(&merged),
+                                fmt_value(value)
+                            ));
+                        }
+                    }
+                    Series::CounterSet(base, set) => {
                         for (labels, value) in set.snapshot() {
                             let mut merged = base.clone();
                             merged.extend(labels);
@@ -896,6 +990,40 @@ mod tests {
         assert!(!family.remove(&bob), "second remove is a no-op");
         assert_eq!(family.snapshot(), vec![(alice, 1.5)]);
         assert!(!family.is_empty());
+    }
+
+    #[test]
+    fn counter_family_is_monotone_bounded_and_renders_as_counter() {
+        let registry = Registry::new();
+        let family = registry.counter_family(
+            "oef_tenant_solve_cost",
+            "Attributed solve cost.",
+            &[("shard", "0")],
+        );
+        let alice: Labels = vec![("tenant".into(), "a1".into())];
+        let other: Labels = vec![("tenant".into(), "other".into())];
+        family.add(alice.clone(), 10.0);
+        family.add(alice.clone(), 5.0);
+        family.add(other.clone(), 1.0);
+        family.add(alice.clone(), -3.0); // ignored: counters never regress
+        family.add(alice.clone(), f64::NAN); // ignored
+        assert_eq!(family.len(), 2);
+
+        let rendered = registry.render();
+        assert!(
+            rendered.contains("# TYPE oef_tenant_solve_cost counter"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("oef_tenant_solve_cost{shard=\"0\",tenant=\"a1\"} 15"),
+            "{rendered}"
+        );
+        crate::parse(&rendered).expect("strict parser accepts counter families");
+
+        assert!(family.remove(&alice));
+        let values = registry.values("oef_tenant_solve_cost");
+        assert_eq!(values.len(), 1, "evicted series disappears immediately");
+        assert_eq!(values[0].1, 1.0);
     }
 
     #[test]

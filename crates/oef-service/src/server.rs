@@ -62,6 +62,12 @@ pub trait CommandHandler: Send + 'static {
     /// `/metrics` listener is configured.  The default registers nothing —
     /// handlers stay valid without observability.
     fn attach_observability(&mut self, _registry: &oef_obs::Registry) {}
+
+    /// Hooks the handler into a shared per-tenant solve-cost registry (the
+    /// `GET /attrib` explainer and the `oef_tenant_solve_cost` family).
+    /// The default ignores it — cores without an LP solver have nothing to
+    /// attribute.
+    fn attach_attribution(&mut self, _attrib: &oef_attrib::AttributionRegistry) {}
 }
 
 /// State shared between the listener, the worker and connection handlers.
@@ -234,23 +240,23 @@ fn worker_loop<C: CommandHandler>(
     }) = queue.pop()
     {
         let depth = queue.len();
+        // Queue wait is measured for *every* command: the always-on profiler
+        // aggregates it even when this command is not being traced.
+        let queue_wait_ns = enqueued.elapsed().as_nanos() as u64;
+        oef_trace::profile::record("queue_wait", queue_wait_ns);
         // Sampling decision + recorder install (a no-op returning None when
         // tracing is off or the command is unsampled).  The recorder is
         // thread-local, so the span sites inside `apply` — journal append,
         // solve, … — need no handle threaded through `CommandHandler`.
-        let recording = tracer.and_then(|t| {
-            t.begin(
-                trace,
-                command.name(),
-                Some(enqueued.elapsed().as_nanos() as u64),
-            )
-        });
+        let recording = tracer.and_then(|t| t.begin(trace, command.name(), Some(queue_wait_ns)));
         // Contain panics from command processing: a poisoned daemon must
         // fail-stop visibly (structured error, clean shutdown), not leave the
         // panicking client parked forever on its slot with the queue wedged.
+        let apply_started = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             service.apply(command, depth)
         }));
+        oef_trace::profile::record("apply", apply_started.elapsed().as_nanos() as u64);
         // Lift the recorder off this thread whether apply returned or
         // panicked — a leaked recorder would mis-attribute the next command.
         let pending = match (recording, tracer) {
@@ -397,8 +403,10 @@ fn serve_connection(
         let written = serde_json::to_string(&reply)
             .map_err(std::io::Error::other)
             .and_then(|line| writeln!(writer, "{line}").and_then(|()| writer.flush()));
+        let write_ns = write_started.elapsed().as_nanos() as u64;
+        oef_trace::profile::record("reply_write", write_ns);
         if let (Some(tracer), Some(pending)) = (tracer, pending) {
-            tracer.finish(pending, Some(write_started.elapsed().as_nanos() as u64));
+            tracer.finish(pending, Some(write_ns));
         }
         shared.pending_replies.fetch_sub(1, Ordering::SeqCst);
         written?;

@@ -14,6 +14,7 @@ use crate::command::{
 use crate::metrics::ServiceMetrics;
 use crate::server::CommandHandler;
 use crate::snapshot::{ServiceSnapshot, SNAPSHOT_VERSION};
+use oef_attrib::AttributionRegistry;
 use oef_cluster::{ClusterState, ClusterTopology, GpuType, HostHandle, Job, JobId, Tenant};
 use oef_core::{BoxedPolicy, SpeedupVector, TenantIndexMap};
 use oef_obs::{AgeGauge, Counter, Gauge, GaugeFamily, Registry};
@@ -158,6 +159,10 @@ const FAIRNESS_TOLERANCE: f64 = 1e-6;
 struct FrontObs {
     queue_depth: Gauge,
     uptime: Gauge,
+    /// Mirrors of the process-global tracing loss counters: spans dropped
+    /// past a trace's cap, log lines dropped by the non-blocking writer.
+    trace_dropped: Counter,
+    log_dropped: Counter,
 }
 
 /// Per-shard exposition cells (`{shard="N"}`): solver-cache counters mirrored
@@ -199,6 +204,15 @@ pub struct SchedulerService {
     /// cluster state, and survive `Restore`.
     front_obs: Option<FrontObs>,
     shard_obs: Option<ShardObs>,
+    /// Per-tenant solve-cost accumulator, present once attached.  A shared
+    /// handle (the federation hands every shard a clone of one registry);
+    /// like the obs cells it describes this process and survives `Restore`.
+    attrib: Option<AttributionRegistry>,
+    /// Shard index this core records attribution under: handles fed to the
+    /// shared registry are wire-tagged (`sharded::encode`) so per-shard
+    /// locals can never collide across a federation.  0 (the identity
+    /// encoding) for an unsharded daemon.
+    attrib_shard: usize,
     /// Process-lifetime clock for `Status.uptime_secs`; survives `Restore`
     /// (state age and process age are different things).
     started: Instant,
@@ -237,6 +251,8 @@ impl SchedulerService {
             metrics: ServiceMetrics::new(),
             front_obs: None,
             shard_obs: None,
+            attrib: None,
+            attrib_shard: 0,
             started: Instant::now(),
             shutting_down: false,
         })
@@ -304,6 +320,8 @@ impl SchedulerService {
             metrics: ServiceMetrics::new(),
             front_obs: None,
             shard_obs: None,
+            attrib: None,
+            attrib_shard: 0,
             started: Instant::now(),
             shutting_down: false,
         })
@@ -425,8 +443,36 @@ impl SchedulerService {
                 "Seconds since the daemon process started.",
                 &[],
             ),
+            trace_dropped: registry.counter(
+                "oef_trace_dropped_spans_total",
+                "Spans dropped because a trace hit its per-trace span cap.",
+                &[],
+            ),
+            log_dropped: registry.counter(
+                "oef_log_dropped_lines_total",
+                "Structured log lines dropped by the non-blocking writer.",
+                &[],
+            ),
         });
         self.attach_shard_observability(registry, 0);
+    }
+
+    /// Hooks this core into a shared per-tenant solve-cost registry.  In a
+    /// federation every shard receives a clone of the same registry, so the
+    /// exposed totals are the cross-shard aggregate.
+    pub fn attach_attribution(&mut self, attrib: AttributionRegistry, shard: usize) {
+        self.attrib = Some(attrib);
+        self.attrib_shard = shard;
+    }
+
+    /// A shard-local handle in its wire form (shard 0 is the identity
+    /// encoding; the null handle stays null).
+    fn wire_handle(&self, local: u64) -> u64 {
+        if local == 0 {
+            0
+        } else {
+            oef_core::sharded::encode(self.attrib_shard, local)
+        }
     }
 
     /// Registers this core's per-shard series under `{shard="N"}` and seeds
@@ -529,6 +575,8 @@ impl SchedulerService {
         if let Some(front) = &self.front_obs {
             front.queue_depth.set(queue_depth as f64);
             front.uptime.set(self.started.elapsed().as_secs_f64());
+            front.trace_dropped.set(oef_trace::spans_dropped());
+            front.log_dropped.set(oef_trace::log_lines_dropped());
         }
         if let Some(obs) = &self.shard_obs {
             obs.tenants.set(self.tenants.len() as f64);
@@ -618,6 +666,29 @@ impl SchedulerService {
         obs.sharing_incentive
             .set(f64::from(u8::from(incentive_met)));
         obs.fairness_sample_age.touch();
+    }
+
+    /// Feeds the round's solver attribution into the shared cost registry.
+    /// Slot `l` of the report is row `l` of the speedup matrix the policy
+    /// solved, which is exactly `record.tenants[l]` (the engine builds both
+    /// from the same active-tenant scan, in order) — so the slot-to-handle
+    /// join is a positional map, no lookup table to drift.
+    fn record_attribution(&mut self, record: &RoundRecord) {
+        let Some(attrib) = &self.attrib else {
+            return;
+        };
+        let Some(report) = self.policy.solver_attribution() else {
+            return;
+        };
+        if report.total().is_zero() {
+            return;
+        }
+        let handles: Vec<u64> = record
+            .tenants
+            .iter()
+            .map(|t| self.wire_handle(self.tenants.handle_at(t.tenant).unwrap_or(0)))
+            .collect();
+        attrib.record_solve(&report, &handles);
     }
 
     /// Executes one command against the state machine.
@@ -733,6 +804,12 @@ impl SchedulerService {
         // Engine-level removal keeps the rounding placer's deviation rows
         // aligned with the compacted tenant indices.
         self.engine.remove_tenant(index);
+        // Fold the tenant's cost history into the departed bucket and drop
+        // its exposed series — per-tenant cardinality must not outlive the
+        // tenant.
+        if let Some(attrib) = &self.attrib {
+            attrib.evict(self.wire_handle(handle));
+        }
         Ok(Response::TenantLeft { tenant: handle })
     }
 
@@ -768,6 +845,11 @@ impl SchedulerService {
             .engine
             .remove_tenant(index)
             .expect("a live handle resolves to a live tenant");
+        // The handle dies here; the re-minted tenant on the target shard
+        // accumulates under its fresh handle.  History goes to `departed`.
+        if let Some(attrib) = &self.attrib {
+            attrib.evict(self.wire_handle(handle));
+        }
         Ok(TenantExtract { tenant, deviation })
     }
 
@@ -934,6 +1016,9 @@ impl SchedulerService {
         let stats_before = self.policy.solver_stats();
         let record = {
             let _solve = oef_trace::span("solve");
+            // Always-on twin of the sampled span: every solve lands in the
+            // profiler's rolling windows, traced or not.
+            let _profile = oef_trace::profile::phase("solve");
             self.engine
                 .step(&*self.policy)
                 .map_err(|e| (ErrorCode::Internal, e.to_string()))?
@@ -961,6 +1046,7 @@ impl SchedulerService {
         if !record.tenants.is_empty() {
             self.metrics.record_round(record.solver_time_secs);
             self.sample_fairness_obs(&record);
+            self.record_attribution(&record);
         }
         // A long-lived daemon must not accumulate job history without bound:
         // completed jobs leave the state (counted in the metrics registry),
@@ -1074,6 +1160,8 @@ impl SchedulerService {
         let metrics = std::mem::take(&mut self.metrics);
         let front_obs = self.front_obs.take();
         let shard_obs = self.shard_obs.take();
+        let attrib = self.attrib.take();
+        let attrib_shard = self.attrib_shard;
         let started = self.started;
         // Likewise the command queue was sized when this process spawned and
         // cannot be resized live: keep the running capacity authoritative so
@@ -1084,8 +1172,21 @@ impl SchedulerService {
         self.metrics = metrics;
         self.front_obs = front_obs;
         self.shard_obs = shard_obs;
+        self.attrib = attrib;
+        self.attrib_shard = attrib_shard;
         self.started = started;
         self.config.limits.queue_capacity = queue_capacity;
+        // The restore replaced the tenant population wholesale: fold cost
+        // history of handles that no longer exist into the departed bucket.
+        if let Some(attrib) = self.attrib.clone() {
+            let live: Vec<u64> = self
+                .tenants
+                .handles()
+                .iter()
+                .map(|&h| self.wire_handle(h))
+                .collect();
+            attrib.retain(&live);
+        }
         Ok(Response::Restored { tenants })
     }
 
@@ -1135,6 +1236,11 @@ impl CommandHandler for SchedulerService {
 
     fn attach_observability(&mut self, registry: &Registry) {
         SchedulerService::attach_observability(self, registry);
+    }
+
+    fn attach_attribution(&mut self, attrib: &AttributionRegistry) {
+        // An unsharded daemon is wire-identical to shard 0 of a federation.
+        SchedulerService::attach_attribution(self, attrib.clone(), 0);
     }
 }
 

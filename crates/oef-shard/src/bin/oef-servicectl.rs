@@ -8,6 +8,9 @@
 //! oef-servicectl trace <addr>             # print the slowest sampled traces (metrics port)
 //! oef-servicectl trace <addr> --slowest N # top-N slowest traces
 //! oef-servicectl trace <addr> --id X      # one trace by hex id
+//! oef-servicectl attrib <addr>            # per-tenant solve-cost explainer (metrics port)
+//! oef-servicectl attrib <addr> --top K    # limit the tenant table to the top K
+//! oef-servicectl attrib <addr> --tenant H # one tenant's full cost breakdown
 //! oef-servicectl tick     <addr>          # run one scheduling round
 //! oef-servicectl migrate <addr> <tenant> <shard>  # move a tenant to another shard
 //! oef-servicectl rebalance <addr>         # run one rebalancing pass, print the plan
@@ -81,6 +84,24 @@ fn main() {
             }
         },
         [cmd, addr, flag, id] if cmd == "trace" && flag == "--id" => trace(addr, 0, Some(id)),
+        [cmd, addr] if cmd == "attrib" => attrib(addr, 10, None),
+        [cmd, addr, flag, k] if cmd == "attrib" && flag == "--top" => match k.parse::<usize>() {
+            Ok(k) => attrib(addr, k, None),
+            Err(e) => {
+                eprintln!("oef-servicectl: bad --top: {e}");
+                std::process::exit(2);
+            }
+        },
+        [cmd, addr, flag, h] if cmd == "attrib" && flag == "--tenant" => match sharded::parse(h) {
+            Some(handle) => attrib(addr, 0, Some(handle)),
+            None => {
+                eprintln!(
+                    "oef-servicectl: `{h}` is not a handle (use the decimal value or the \
+                         shard:slot@gen form that `status` prints)"
+                );
+                std::process::exit(2);
+            }
+        },
         [cmd, addr] if cmd == "tick" => tick(addr),
         [cmd, addr, tenant, shard] if cmd == "migrate" => migrate(addr, tenant, shard),
         [cmd, addr] if cmd == "rebalance" => rebalance(addr),
@@ -98,6 +119,7 @@ fn main() {
                  \x20      oef-servicectl status --shards <addr>\n\
                  \x20      oef-servicectl check-metrics <metrics-addr>\n\
                  \x20      oef-servicectl trace <metrics-addr> [--slowest N | --id HEX]\n\
+                 \x20      oef-servicectl attrib <metrics-addr> [--top K | --tenant H]\n\
                  \x20      oef-servicectl migrate <addr> <tenant-handle> <shard>\n\
                  \x20      oef-servicectl snapshot <addr> <file>\n\
                  \x20      oef-servicectl smoke-crash-prepare <addr> <file>\n\
@@ -361,6 +383,190 @@ fn print_trace(record: &serde::Value) {
             println!("  count {name}={}", n.as_u64().unwrap_or(0));
         }
     }
+}
+
+/// The cost explainer: reads `GET /attrib` off the metrics listener and
+/// renders the per-tenant solve-cost table (or one tenant's breakdown),
+/// the daemon's always-on phase profile, and — when the daemon also
+/// traces — the slowest recorded rounds with their solver share, so
+/// "which rounds were slow" and "who made them expensive" answer from
+/// one command.
+fn attrib(addr: &str, top: usize, tenant: Option<u64>) -> ClientResult<()> {
+    let protocol = |message: String| oef_service::ClientError::Protocol(message);
+    let (code, _, body) = http_get(addr, "/attrib")?;
+    if code == 404 {
+        return Err(protocol(
+            "daemon exposes no /attrib endpoint; start it with --metrics-addr (attribution \
+             requires a metrics listener)"
+                .to_string(),
+        ));
+    }
+    check("/attrib answers 200", code == 200)?;
+    let value: serde::Value = serde_json::from_str(body.trim())
+        .map_err(|e| protocol(format!("/attrib body is not JSON: {e}")))?;
+    let num = |v: &serde::Value, key: &str| v.get(key).and_then(serde::Value::as_u64).unwrap_or(0);
+    let solves = num(&value, "solves");
+    let total = num(&value, "total_work_units");
+    let tenants = value
+        .get("tenants")
+        .and_then(serde::Value::as_array)
+        .unwrap_or(&[]);
+    let share = |units: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * units as f64 / total as f64
+        }
+    };
+    let print_work = |label: &str, v: &serde::Value| {
+        println!(
+            "  {label}: work_units={} ({:.1}%) pivots={} eta_nnz={} refactor={} ftran_nnz={} \
+             btran_rows={}",
+            num(v, "work_units"),
+            share(num(v, "work_units")),
+            num(v, "pivots"),
+            num(v, "eta_nnz"),
+            num(v, "refactorizations"),
+            num(v, "ftran_nnz"),
+            num(v, "btran_rows"),
+        );
+    };
+    println!(
+        "{solves} attributed solve(s), {total} total work units, {} live tenant(s)",
+        tenants.len(),
+    );
+    match tenant {
+        Some(handle) => {
+            let record = tenants
+                .iter()
+                .find(|t| num(t, "tenant") == handle)
+                .ok_or_else(|| {
+                    protocol(format!(
+                        "tenant {} ({}) holds no attributed work (never scheduled, or its \
+                         history moved to the departed bucket when it left)",
+                        handle,
+                        sharded::format(handle),
+                    ))
+                })?;
+            print_work(&format!("tenant {}", sharded::format(handle)), record);
+        }
+        None => {
+            for record in tenants.iter().take(top) {
+                let handle = num(record, "tenant");
+                let exposed = matches!(record.get("exposed"), Some(serde::Value::Bool(true)));
+                print_work(
+                    &format!(
+                        "tenant {}{}",
+                        sharded::format(handle),
+                        if exposed { "" } else { " (not exported)" },
+                    ),
+                    record,
+                );
+            }
+            if tenants.len() > top {
+                println!(
+                    "  … {} more tenant(s); rerun with --top",
+                    tenants.len() - top
+                );
+            }
+            if let Some(departed) = value.get("departed") {
+                if num(departed, "work_units") > 0 {
+                    print_work("departed", departed);
+                }
+            }
+            if let Some(unattributed) = value.get("unattributed") {
+                if num(unattributed, "work_units") > 0 {
+                    print_work("unattributed", unattributed);
+                }
+            }
+        }
+    }
+    if let Some(phases) = value.get("profile").and_then(serde::Value::as_array) {
+        if !phases.is_empty() {
+            println!("phase profile (rolling window):");
+            for phase in phases {
+                println!(
+                    "  {:<14} n={} mean={:.1}us max={:.1}us lifetime n={}",
+                    phase
+                        .get("phase")
+                        .and_then(serde::Value::as_str)
+                        .unwrap_or("?"),
+                    num(phase, "window_count"),
+                    num(phase, "window_mean_ns") as f64 / 1e3,
+                    num(phase, "window_max_ns") as f64 / 1e3,
+                    num(phase, "life_count"),
+                );
+            }
+        }
+    }
+    // Join with the slow-trace ring: for each slow round, show how much of
+    // it the solver accounts for.  Attribution is cumulative, so the tenant
+    // table above names the likely contributors.
+    if let Ok((code, _, body)) = http_get(addr, "/traces") {
+        if code == 200 {
+            if let Ok(traces) = serde_json::from_str::<serde::Value>(body.trim()) {
+                let slowest = traces
+                    .get("slowest")
+                    .and_then(serde::Value::as_array)
+                    .unwrap_or(&[]);
+                let slow_rounds: Vec<&serde::Value> = slowest
+                    .iter()
+                    .filter(|r| {
+                        r.get("spans")
+                            .and_then(serde::Value::as_array)
+                            .is_some_and(|spans| {
+                                spans.iter().any(|s| {
+                                    s.get("name").and_then(serde::Value::as_str) == Some("solve")
+                                })
+                            })
+                    })
+                    .take(5)
+                    .collect();
+                if !slow_rounds.is_empty() {
+                    // Solve spans are summed across shards, which solve in
+                    // parallel threads — a fanned-out round can legitimately
+                    // show a solver share above 100% of its wall-clock.
+                    println!("slowest traced rounds (summed per-shard solve time vs wall-clock):");
+                    for record in slow_rounds {
+                        let total_us = record
+                            .get("total_us")
+                            .and_then(serde::Value::as_f64)
+                            .unwrap_or(0.0);
+                        let solve_us: f64 = record
+                            .get("spans")
+                            .and_then(serde::Value::as_array)
+                            .unwrap_or(&[])
+                            .iter()
+                            .filter(|s| {
+                                s.get("name").and_then(serde::Value::as_str) == Some("solve")
+                            })
+                            .filter_map(|s| s.get("dur_us").and_then(serde::Value::as_f64))
+                            .sum();
+                        println!(
+                            "  trace {} total={:.1}us solve={:.1}us ({:.0}%)  — inspect with \
+                             `trace {addr} --id {}`",
+                            record
+                                .get("trace_id")
+                                .and_then(serde::Value::as_str)
+                                .unwrap_or("?"),
+                            total_us,
+                            solve_us,
+                            if total_us > 0.0 {
+                                100.0 * solve_us / total_us
+                            } else {
+                                0.0
+                            },
+                            record
+                                .get("trace_id")
+                                .and_then(serde::Value::as_str)
+                                .unwrap_or("?"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validates the `--metrics-addr` endpoint like CI would with promtool:

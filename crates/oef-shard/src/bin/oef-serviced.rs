@@ -179,6 +179,10 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Tenant series the `oef_tenant_solve_cost` family may hold (plus the
+/// `other` bucket) — scrape cardinality stays bounded at any tenant count.
+const ATTRIB_TOP_K: usize = 10;
+
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("oef-serviced: {message}");
     std::process::exit(2);
@@ -198,8 +202,24 @@ fn serve<C: CommandHandler>(
     let metrics_server = metrics_addr.map(|maddr| {
         let registry = oef_obs::Registry::new();
         service.attach_observability(&registry);
+        // Per-tenant solve-cost attribution rides on the metrics listener:
+        // the bounded `oef_tenant_solve_cost` family in `/metrics`, the
+        // exact cumulative breakdown (joined with the always-on phase
+        // profiler) as `GET /attrib`.
+        let cost = oef_attrib::AttributionRegistry::new();
+        cost.attach(&registry, ATTRIB_TOP_K);
+        service.attach_attribution(&cost);
+        let attrib_source: oef_obs::JsonSource = {
+            let cost = cost.clone();
+            std::sync::Arc::new(move || cost.to_json())
+        };
         let ring = tracer.as_ref().map(|t| t.ring().clone());
-        match oef_obs::MetricsServer::spawn_with_traces(registry, maddr, ring) {
+        match oef_obs::MetricsServer::spawn_with_sources(
+            registry,
+            maddr,
+            ring,
+            vec![("/attrib".to_string(), attrib_source)],
+        ) {
             Ok(server) => server,
             Err(e) => fail(format!("cannot bind metrics listener {maddr}: {e}")),
         }

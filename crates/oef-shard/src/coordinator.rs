@@ -35,6 +35,7 @@ use crate::placement::{ShardLoad, ShardPlacement};
 use crate::snapshot::{
     FederatedSnapshot, ForwardingEntry, PlacementState, FEDERATED_SNAPSHOT_VERSION,
 };
+use oef_attrib::AttributionRegistry;
 use oef_cluster::ClusterTopology;
 use oef_core::sharded;
 use oef_obs::{Counter, Gauge, GaugeFamily, Registry};
@@ -77,6 +78,8 @@ struct CoordObs {
     forwarding_depth: Gauge,
     migrated: Counter,
     solve_ewma: GaugeFamily,
+    trace_dropped: Counter,
+    log_dropped: Counter,
 }
 
 /// A federation of scheduler shards speaking the ordinary service protocol.
@@ -118,6 +121,10 @@ pub struct ShardCoordinator {
     /// Exposition cells, present once attached to a registry.  Like
     /// `metrics` they describe this process and survive `Restore`.
     obs: Option<CoordObs>,
+    /// Shared per-tenant solve-cost registry; every shard holds a clone of
+    /// the same accumulator, so its totals are the federation aggregate.
+    /// Survives `Restore` (it describes this process's solver work).
+    attrib: Option<AttributionRegistry>,
     started: Instant,
     shutting_down: bool,
 }
@@ -181,6 +188,7 @@ impl ShardCoordinator {
             migrated: 0,
             metrics: ServiceMetrics::new(),
             obs: None,
+            attrib: None,
             started: Instant::now(),
             shutting_down: false,
             rebalance_trail: Vec::new(),
@@ -217,6 +225,7 @@ impl ShardCoordinator {
             migrated: 0,
             metrics: ServiceMetrics::new(),
             obs: None,
+            attrib: None,
             started: Instant::now(),
             shutting_down: false,
             rebalance_trail: Vec::new(),
@@ -446,9 +455,30 @@ impl ShardCoordinator {
                 "Per-shard EWMA of round solve latency (the rebalancer's load signal).",
                 &[],
             ),
+            trace_dropped: registry.counter(
+                "oef_trace_dropped_spans_total",
+                "Spans dropped because a trace hit its per-trace span cap.",
+                &[],
+            ),
+            log_dropped: registry.counter(
+                "oef_log_dropped_lines_total",
+                "Structured log lines dropped by the non-blocking writer.",
+                &[],
+            ),
         };
         self.obs = Some(obs);
         self.refresh_topology_obs();
+    }
+
+    /// Hands every shard a clone of one shared solve-cost registry, so
+    /// per-tenant attribution aggregates across the federation.  Call after
+    /// [`Self::attach_observability`] when the registry is also attached to
+    /// the exposition registry.
+    pub fn attach_attribution(&mut self, attrib: &AttributionRegistry) {
+        for (shard, service) in self.shards.iter_mut().enumerate() {
+            service.attach_attribution(attrib.clone(), shard);
+        }
+        self.attrib = Some(attrib.clone());
     }
 
     /// Refreshes the federation topology gauges.  `forwarding_depth` walks
@@ -488,6 +518,8 @@ impl ShardCoordinator {
         if let Some(obs) = &self.obs {
             obs.queue_depth.set(queue_depth as f64);
             obs.uptime.set(self.started.elapsed().as_secs_f64());
+            obs.trace_dropped.set(oef_trace::spans_dropped());
+            obs.log_dropped.set(oef_trace::log_lines_dropped());
             if reshapes {
                 self.refresh_topology_obs();
             }
@@ -1060,6 +1092,22 @@ impl ShardCoordinator {
                 service.attach_shard_observability(&registry, shard);
             }
         }
+        // Restore rebuilt the shards without their attribution handle;
+        // re-attach it and fold cost history of handles the restored
+        // population no longer contains (union across all shards — any
+        // shard may own any handle).
+        if let Some(attrib) = self.attrib.clone() {
+            let live: Vec<u64> = self
+                .shards
+                .iter()
+                .enumerate()
+                .flat_map(|(shard, s)| s.tenant_handles().iter().map(move |&h| tag(shard, h)))
+                .collect();
+            attrib.retain(&live);
+            for (shard, service) in self.shards.iter_mut().enumerate() {
+                service.attach_attribution(attrib.clone(), shard);
+            }
+        }
         Response::Restored { tenants }
     }
 }
@@ -1075,6 +1123,10 @@ impl CommandHandler for ShardCoordinator {
 
     fn attach_observability(&mut self, registry: &Registry) {
         ShardCoordinator::attach_observability(self, registry);
+    }
+
+    fn attach_attribution(&mut self, attrib: &AttributionRegistry) {
+        ShardCoordinator::attach_attribution(self, attrib);
     }
 }
 

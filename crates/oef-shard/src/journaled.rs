@@ -36,15 +36,17 @@
 //! moments — the crash-recovery e2e suite drives every one of them.
 
 use crate::coordinator::ShardCoordinator;
+use oef_attrib::AttributionRegistry;
 use oef_core::sharded;
 use oef_journal::{
     CrashPoint, FaultInjector, FaultPlan, Journal, JournalConfig, PendingFile, RecoveryReport,
 };
-use oef_obs::{Counter, Gauge, Registry};
+use oef_obs::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BUCKETS};
 use oef_service::{Command, CommandHandler, ErrorCode, Response};
 use oef_trace::Tracer;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// File name of the checkpoint snapshot inside the journal directory.
 const SNAPSHOT_FILE: &str = "snapshot.json";
@@ -118,6 +120,20 @@ struct JournalObs {
     truncated_bytes: Gauge,
     replayed: Gauge,
     journal_seq: Gauge,
+    /// Wall-clock latency of individual journal appends and fsyncs, with
+    /// observations pinned to the active trace as exemplars — a slow-commit
+    /// spike in a dashboard jumps straight to the command that paid it.
+    append_hist: Histogram,
+    sync_hist: Histogram,
+}
+
+/// Observes `secs`, pinning it to the active sampled trace (if any) as an
+/// OpenMetrics exemplar on its histogram bucket.
+fn observe_latency(hist: &Histogram, secs: f64) {
+    match oef_trace::current_trace_id() {
+        Some(id) => hist.observe_with_exemplar(secs, &oef_trace::format_id(id)),
+        None => hist.observe(secs),
+    }
 }
 
 /// A [`ShardCoordinator`] behind a write-ahead journal.  Implements
@@ -353,7 +369,7 @@ impl Journaled {
                 // The queue drains and `on_shutdown` checkpoints after it;
                 // sync eagerly anyway so even a kill between here and there
                 // loses nothing.
-                let _ = self.journal.sync();
+                let _ = self.timed_sync();
                 Ok(response)
             }
             command => {
@@ -378,7 +394,7 @@ impl Journaled {
                     }
                 };
                 if self.faults.should_crash(CrashPoint::PostAppendPreApply) {
-                    let _ = self.journal.sync();
+                    let _ = self.timed_sync();
                     return Err(Crashed);
                 }
                 let response = self.inner.apply(command, queue_depth);
@@ -395,7 +411,32 @@ impl Journaled {
     fn journal_command(&mut self, command: &Command) -> io::Result<u64> {
         let payload = serde_json::to_string(command)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.journal.append(lane_of(command), payload.as_bytes())
+        let started = Instant::now();
+        let result = self.journal.append(lane_of(command), payload.as_bytes());
+        let elapsed = started.elapsed();
+        oef_trace::profile::record("journal_append", elapsed.as_nanos() as u64);
+        if let Some(obs) = &self.obs {
+            observe_latency(&obs.append_hist, elapsed.as_secs_f64());
+        }
+        result
+    }
+
+    /// Syncs the journal, feeding the fsync latency to the always-on
+    /// profiler and (once attached) the exemplar-linked sync histogram.
+    fn timed_sync(&mut self) -> io::Result<()> {
+        let started = Instant::now();
+        let result = self.journal.sync();
+        let elapsed = started.elapsed();
+        oef_trace::profile::record("journal_sync", elapsed.as_nanos() as u64);
+        if let Some(obs) = &self.obs {
+            observe_latency(&obs.sync_hist, elapsed.as_secs_f64());
+        }
+        result
+    }
+
+    /// Forwards the shared solve-cost registry to the wrapped coordinator.
+    pub fn attach_attribution(&mut self, attrib: &AttributionRegistry) {
+        self.inner.attach_attribution(attrib);
     }
 
     fn maybe_checkpoint(&mut self) -> Result<(), Crashed> {
@@ -437,7 +478,7 @@ impl Journaled {
     fn try_checkpoint(&mut self) -> Result<(), CheckpointError> {
         // The snapshot claims to cover `journal_seq`; everything up to it
         // must be durable before the claim is.
-        self.journal.sync()?;
+        self.timed_sync()?;
         let snapshot = self.snapshot_json()?;
         let mut pending = PendingFile::begin(&self.snapshot_path)?;
         pending.write_all(snapshot.as_bytes())?;
@@ -513,8 +554,12 @@ impl CommandHandler for Journaled {
     fn on_shutdown(&mut self) {
         // Clean shutdown never needs tail replay: flush the journal and
         // checkpoint so the snapshot covers everything.
-        let _ = self.journal.sync();
+        let _ = self.timed_sync();
         let _ = self.checkpoint();
+    }
+
+    fn attach_attribution(&mut self, attrib: &AttributionRegistry) {
+        Journaled::attach_attribution(self, attrib);
     }
 
     fn attach_observability(&mut self, registry: &Registry) {
@@ -549,6 +594,18 @@ impl CommandHandler for Journaled {
                 "oef_journal_seq",
                 "Global sequence number of the last journaled-and-applied command.",
                 &[],
+            ),
+            append_hist: registry.histogram(
+                "oef_journal_append_seconds",
+                "Wall-clock time of one write-ahead journal append.",
+                &[],
+                DEFAULT_LATENCY_BUCKETS,
+            ),
+            sync_hist: registry.histogram(
+                "oef_journal_sync_seconds",
+                "Wall-clock time of one journal fsync (group commits, rolls, checkpoints).",
+                &[],
+                DEFAULT_LATENCY_BUCKETS,
             ),
         });
         self.refresh_journal_obs();

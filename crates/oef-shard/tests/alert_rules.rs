@@ -54,6 +54,11 @@ fn alert_rules_reference_only_live_metrics() {
     )
     .unwrap();
     coordinator.attach_observability(&registry);
+    // The attribution family is part of the shipped rule set; attach it the
+    // way oef-serviced does so its series render below.
+    let cost = oef_attrib::AttributionRegistry::new();
+    cost.attach(&registry, 10);
+    coordinator.attach_attribution(&cost);
     for i in 0..4 {
         let response = coordinator.apply(
             Command::TenantJoin {

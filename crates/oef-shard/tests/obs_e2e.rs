@@ -185,6 +185,170 @@ fn concurrent_scrapes_stay_valid_while_commands_run() {
 }
 
 #[test]
+fn attrib_endpoint_ranks_the_heavy_tenant_first() {
+    let registry = Registry::new();
+    let mut coordinator = coordinator(2);
+    coordinator.attach_observability(&registry);
+    let cost = oef_attrib::AttributionRegistry::new();
+    cost.attach(&registry, 3);
+    coordinator.attach_attribution(&cost);
+    let source: oef_obs::JsonSource = {
+        let cost = cost.clone();
+        Arc::new(move || cost.to_json())
+    };
+    let metrics = MetricsServer::spawn_with_sources(
+        registry,
+        "127.0.0.1:0",
+        None,
+        vec![("/attrib".to_string(), source)],
+    )
+    .expect("metrics port binds");
+    let maddr = metrics.local_addr();
+    let server = Server::spawn(coordinator, "127.0.0.1:0").expect("daemon binds");
+
+    // One deliberately heavy tenant next to three static light tenants.
+    // Pivot work follows *change*: a warm solve only pivots on columns whose
+    // data moved since the cached basis.  The heavy tenant's speedups are
+    // perturbed before every round, so the repair pivots keep landing on its
+    // columns while the light tenants coast on the cached basis.
+    let mut client = ServiceClient::connect(server.local_addr()).expect("client connects");
+    // Seven static light tenants and one churning heavy one, four per
+    // shard.  The equal-throughput rows couple a shard's tenants, so the
+    // heavy tenant's basis hops do drag its shard-mates' columns — but that
+    // induced work splits across three neighbours while the heavy tenant
+    // keeps its own half, so per tenant it must still dominate.
+    let mut light = Vec::new();
+    let mut heavy = 0u64;
+    for i in 0..8 {
+        if i == 0 {
+            heavy = client.join("attrib-heavy", 8, &[1.0, 3.1, 1.2]).unwrap();
+            client.submit_job(heavy, "model", 4, 4e9).unwrap();
+        } else {
+            let handle = client
+                .join(&format!("attrib-light-{i}"), 1, &[1.0, 1.05, 4.0])
+                .unwrap();
+            client.submit_job(handle, "model", 1, 1e9).unwrap();
+            light.push(handle);
+        }
+    }
+    for round in 0..40 {
+        // Alternate which device type the heavy tenant is fastest on: the
+        // optimal basis must swap columns every round, unlike a scaling
+        // that leaves the old vertex optimal (zero repair pivots).
+        // Speedups are normalised to the slowest type (entry 0 pinned at
+        // 1.0), so the flip swings between types 1 and 2.
+        let speedups = if round % 2 == 0 {
+            [1.0, 5.0, 1.01]
+        } else {
+            [1.0, 1.01, 5.0]
+        };
+        client.update_speedups(heavy, &speedups).unwrap();
+        client.tick().unwrap();
+    }
+
+    let (head, body) = http_get(maddr, "/attrib");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "GET /attrib failed: {head}"
+    );
+    let value: serde::Value = serde_json::from_str(body.trim()).expect("/attrib body is JSON");
+    let num = |v: &serde::Value, key: &str| v.get(key).and_then(serde::Value::as_u64).unwrap_or(0);
+    assert!(
+        num(&value, "solves") >= 20,
+        "every round attributed: {body}"
+    );
+    let total = num(&value, "total_work_units");
+    assert!(total > 0, "rounds must record solver work: {body}");
+    let tenants = value
+        .get("tenants")
+        .and_then(serde::Value::as_array)
+        .expect("tenants array");
+    assert_eq!(tenants.len(), 8, "all eight live tenants appear: {body}");
+    // The explainer sorts by cumulative work: the heavy tenant leads, with
+    // strictly more work than any light tenant.
+    assert_eq!(
+        num(&tenants[0], "tenant"),
+        heavy,
+        "heavy tenant must rank first: {body}"
+    );
+    let heavy_units = num(&tenants[0], "work_units");
+    for record in &tenants[1..] {
+        assert!(
+            light.contains(&num(record, "tenant")),
+            "unknown tenant in ranking: {body}"
+        );
+        assert!(
+            num(record, "work_units") < heavy_units,
+            "heavy tenant must dominate every light tenant: {body}"
+        );
+    }
+    assert!(
+        matches!(tenants[0].get("exposed"), Some(serde::Value::Bool(true))),
+        "the top tenant holds a Prometheus series: {body}"
+    );
+    // Conservation over the wire: live + departed + unattributed buckets
+    // reproduce the reported total.
+    let live: u64 = tenants.iter().map(|t| num(t, "work_units")).sum();
+    assert_eq!(
+        live + num(value.get("departed").unwrap(), "work_units")
+            + num(value.get("unattributed").unwrap(), "work_units"),
+        total,
+        "work-unit conservation: {body}"
+    );
+    assert!(
+        value
+            .get("profile")
+            .and_then(serde::Value::as_array)
+            .is_some_and(|p| !p.is_empty()),
+        "always-on profiler phases ride the /attrib body: {body}"
+    );
+
+    // The bounded Prometheus family agrees: the heavy tenant's series is
+    // present and the family sum equals everything ever recorded.
+    let (_, scrape) = http_get(maddr, "/metrics");
+    let exposition = oef_obs::parse(&scrape).expect("scrape parses");
+    let family = exposition
+        .family("oef_tenant_solve_cost")
+        .expect("solve-cost family present");
+    assert!(
+        family.samples.len() <= 4,
+        "top_k=3 bounds the family to 4 series"
+    );
+    let heavy_label = heavy.to_string();
+    assert!(
+        family
+            .samples
+            .iter()
+            .any(|s| s.label("tenant") == Some(heavy_label.as_str())),
+        "heavy tenant holds a series: {scrape}"
+    );
+    let family_sum: f64 = family.samples.iter().map(|s| s.value).sum();
+    assert!(
+        (family_sum - total as f64).abs() < 1e-6,
+        "family sum {family_sum} must equal total work {total}"
+    );
+
+    // A tenant leaving folds its history into `departed` — nothing is lost.
+    client.leave(light[0]).unwrap();
+    let (_, body) = http_get(maddr, "/attrib");
+    let value: serde::Value = serde_json::from_str(body.trim()).expect("/attrib body is JSON");
+    let tenants = value
+        .get("tenants")
+        .and_then(serde::Value::as_array)
+        .expect("tenants array");
+    assert_eq!(tenants.len(), 7, "departed tenant left the live table");
+    assert_eq!(
+        num(&value, "total_work_units"),
+        total,
+        "eviction conserves the total via the departed bucket"
+    );
+
+    client.shutdown().unwrap();
+    server.join();
+    metrics.stop();
+}
+
+#[test]
 fn healthz_answers_while_the_command_port_is_busy() {
     let registry = Registry::new();
     let mut coordinator = coordinator(1);

@@ -225,6 +225,16 @@ thread_local! {
     static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
 }
 
+/// Process-wide count of spans shed because a trace hit [`MAX_SPANS`] —
+/// the per-record `dropped_spans` only survives as long as the record does,
+/// so silent shedding needs a monotone counter the metrics page can export.
+static SPANS_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Spans dropped across all traces because a trace hit its [`MAX_SPANS`] cap.
+pub fn spans_dropped() -> u64 {
+    SPANS_DROPPED.load(Ordering::Relaxed)
+}
+
 /// The trace id of the command currently being recorded on this thread, if
 /// any.  Exemplar attachment reads this at histogram-observe time.
 pub fn current_trace_id() -> Option<u64> {
@@ -247,6 +257,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         let trace = a.as_mut()?;
         if trace.spans.len() >= MAX_SPANS {
             trace.dropped_spans += 1;
+            SPANS_DROPPED.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let index = trace.spans.len() as u16;
@@ -817,6 +828,217 @@ pub fn log_json(level: &str, component: &str, message: &str, fields: &[(&str, &s
     }
 }
 
+// ---------------------------------------------------------------------------
+// Always-on phase profiler
+// ---------------------------------------------------------------------------
+
+/// Continuous self-profiling of the daemon's per-command phases.
+///
+/// Tracing only sees the 1-in-N sampled commands; the profiler sees *every*
+/// command, so rolling per-phase medians stay honest under load.  The price
+/// per [`phase`] guard is two monotonic clock reads and a handful of relaxed
+/// atomics — no locks, no allocation, and the phase table is a fixed array
+/// claimed lazily by `&'static str` name.
+///
+/// Aggregation is a ring of [`WINDOW_COUNT`] epoch-stamped windows of
+/// [`WINDOW_SECS`] seconds each: a recording lands in the window of the
+/// current epoch (resetting it first if the cell still holds an older
+/// epoch), and [`snapshot`] sums the windows still inside the rolling
+/// horizon.  Lifetime totals ride alongside for rate computation.
+pub mod profile {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    /// Width of one aggregation window.
+    pub const WINDOW_SECS: u64 = 10;
+
+    /// Windows kept in the ring; the rolling view spans at most
+    /// `WINDOW_COUNT * WINDOW_SECS` seconds.
+    pub const WINDOW_COUNT: usize = 6;
+
+    /// Distinct phase names the table can hold; later names are silently
+    /// unprofiled (bounded memory beats completeness here).
+    pub const MAX_PHASES: usize = 32;
+
+    struct WindowCell {
+        epoch: AtomicU64,
+        count: AtomicU64,
+        total_ns: AtomicU64,
+        max_ns: AtomicU64,
+    }
+
+    impl WindowCell {
+        const fn new() -> Self {
+            Self {
+                epoch: AtomicU64::new(u64::MAX),
+                count: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+            }
+        }
+    }
+
+    struct Phase {
+        name: OnceLock<&'static str>,
+        windows: [WindowCell; WINDOW_COUNT],
+        life_count: AtomicU64,
+        life_ns: AtomicU64,
+    }
+
+    impl Phase {
+        const fn new() -> Self {
+            Self {
+                name: OnceLock::new(),
+                windows: [const { WindowCell::new() }; WINDOW_COUNT],
+                life_count: AtomicU64::new(0),
+                life_ns: AtomicU64::new(0),
+            }
+        }
+    }
+
+    static PHASES: [Phase; MAX_PHASES] = [const { Phase::new() }; MAX_PHASES];
+    static STARTED: OnceLock<Instant> = OnceLock::new();
+
+    fn current_epoch() -> u64 {
+        STARTED.get_or_init(Instant::now).elapsed().as_secs() / WINDOW_SECS
+    }
+
+    /// Finds (or lazily claims) the table slot for `name`.  Linear scan over
+    /// a tiny fixed array: phase sets are single digits in practice.
+    fn slot(name: &'static str) -> Option<&'static Phase> {
+        for phase in PHASES.iter() {
+            match phase.name.get() {
+                Some(&claimed) => {
+                    if std::ptr::eq(claimed.as_ptr(), name.as_ptr()) || claimed == name {
+                        return Some(phase);
+                    }
+                }
+                None => {
+                    if phase.name.set(name).is_ok() || phase.name.get().is_some_and(|&c| c == name)
+                    {
+                        return Some(phase);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Records one completed phase occurrence of `dur_ns` nanoseconds.
+    /// Call directly when the duration was measured elsewhere (queue wait,
+    /// reply write); use [`phase`] for scope-shaped phases.
+    pub fn record(name: &'static str, dur_ns: u64) {
+        let Some(phase) = slot(name) else {
+            return;
+        };
+        phase.life_count.fetch_add(1, Ordering::Relaxed);
+        phase.life_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        let epoch = current_epoch();
+        let cell = &phase.windows[(epoch % WINDOW_COUNT as u64) as usize];
+        let seen = cell.epoch.load(Ordering::Relaxed);
+        if seen != epoch {
+            // First recorder of a new epoch resets the recycled cell; a
+            // racing recorder that loses the exchange just adds to the
+            // freshly zeroed cell.  A sample racing the reset can be lost —
+            // acceptable for profiling, never for accounting.
+            if cell
+                .epoch
+                .compare_exchange(seen, epoch, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                cell.count.store(0, Ordering::Relaxed);
+                cell.total_ns.store(0, Ordering::Relaxed);
+                cell.max_ns.store(0, Ordering::Relaxed);
+            }
+        }
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        cell.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    /// Opens an always-on profiled phase; the duration records when the
+    /// guard drops.  Independent of tracing — this fires for every command,
+    /// sampled or not.
+    pub fn phase(name: &'static str) -> PhaseGuard {
+        PhaseGuard {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Closes its phase on drop (see [`phase`]).
+    pub struct PhaseGuard {
+        name: &'static str,
+        start: Instant,
+    }
+
+    impl Drop for PhaseGuard {
+        fn drop(&mut self) {
+            record(self.name, self.start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// One phase's aggregate over the rolling horizon plus its lifetime
+    /// totals.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct PhaseSnapshot {
+        /// Phase name as registered.
+        pub name: &'static str,
+        /// Occurrences inside the rolling window horizon.
+        pub window_count: u64,
+        /// Wall-clock nanoseconds inside the horizon.
+        pub window_total_ns: u64,
+        /// Largest single occurrence inside the horizon.
+        pub window_max_ns: u64,
+        /// Occurrences since process start.
+        pub life_count: u64,
+        /// Wall-clock nanoseconds since process start.
+        pub life_total_ns: u64,
+    }
+
+    impl PhaseSnapshot {
+        /// Mean duration over the rolling horizon, nanoseconds.
+        pub fn window_mean_ns(&self) -> u64 {
+            self.window_total_ns
+                .checked_div(self.window_count)
+                .unwrap_or(0)
+        }
+    }
+
+    /// Snapshot of every registered phase, in registration order.  Windows
+    /// older than the ring horizon are excluded.
+    pub fn snapshot() -> Vec<PhaseSnapshot> {
+        let epoch = current_epoch();
+        let oldest = epoch.saturating_sub(WINDOW_COUNT as u64 - 1);
+        let mut out = Vec::new();
+        for phase in PHASES.iter() {
+            let Some(&name) = phase.name.get() else {
+                break;
+            };
+            let mut snap = PhaseSnapshot {
+                name,
+                window_count: 0,
+                window_total_ns: 0,
+                window_max_ns: 0,
+                life_count: phase.life_count.load(Ordering::Relaxed),
+                life_total_ns: phase.life_ns.load(Ordering::Relaxed),
+            };
+            for cell in &phase.windows {
+                let cell_epoch = cell.epoch.load(Ordering::Relaxed);
+                if cell_epoch == u64::MAX || cell_epoch < oldest || cell_epoch > epoch {
+                    continue;
+                }
+                snap.window_count += cell.count.load(Ordering::Relaxed);
+                snap.window_total_ns += cell.total_ns.load(Ordering::Relaxed);
+                snap.window_max_ns = snap.window_max_ns.max(cell.max_ns.load(Ordering::Relaxed));
+            }
+            out.push(snap);
+        }
+        out
+    }
+}
+
 fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
@@ -996,6 +1218,7 @@ mod tests {
 
     #[test]
     fn span_cap_drops_and_counts() {
+        let global_before = spans_dropped();
         let tracer = Tracer::new(1);
         tracer.begin(None, "Tick", None).unwrap();
         for _ in 0..(MAX_SPANS + 5) {
@@ -1006,6 +1229,38 @@ mod tests {
         tracer.finish(pending, None);
         let t = tracer.ring().recent(1).remove(0);
         assert_eq!(t.dropped_spans, 5);
+        assert!(
+            spans_dropped() >= global_before + 5,
+            "drops must also land on the process-wide counter"
+        );
+    }
+
+    #[test]
+    fn profiler_aggregates_always_on_phases() {
+        // Unique names: the phase table is process-global and tests share it.
+        {
+            let _g = profile::phase("test_profile_solve");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        profile::record("test_profile_solve", 1_000);
+        profile::record("test_profile_queue", 500);
+
+        let snaps = profile::snapshot();
+        let solve = snaps
+            .iter()
+            .find(|s| s.name == "test_profile_solve")
+            .expect("phase registered");
+        assert_eq!(solve.window_count, 2);
+        assert!(solve.window_total_ns >= 2_000_000 + 1_000);
+        assert!(solve.window_max_ns >= 2_000_000);
+        assert_eq!(solve.life_count, 2);
+        assert!(solve.window_mean_ns() >= 1_000_000);
+        let queue = snaps
+            .iter()
+            .find(|s| s.name == "test_profile_queue")
+            .expect("phase registered");
+        assert_eq!(queue.window_count, 1);
+        assert_eq!(queue.window_total_ns, 500);
     }
 
     #[test]
